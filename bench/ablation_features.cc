@@ -1,0 +1,98 @@
+/// Ablations over LIGHTOR's modelling choices (extensions the paper
+/// mentions but does not evaluate):
+///   * similarity backend: BoW+k-means (paper) vs TF-IDF vs word
+///     embeddings vs Jaccard (the "can be enhanced with word embedding"
+///     note in Section IV-C);
+///   * adjustment model: constant c (paper) vs burst-feature regression
+///     (Section IX future work);
+///   * the naive largest-message-count method of Section IV-C1, as the
+///     floor every variant must clear.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/naive_top_count.h"
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "core/evaluation.h"
+#include "core/initializer.h"
+
+using namespace lightor;  // NOLINT
+
+namespace {
+
+constexpr int kTrainVideos = 5;
+constexpr int kTestVideos = 15;
+constexpr size_t kK = 5;
+
+double Precision(const core::InitializerOptions& opts,
+                 const sim::Corpus& train, const sim::Corpus& test) {
+  core::HighlightInitializer init(opts);
+  if (!init.Train(bench::TrainingSlice(train, kTrainVideos)).ok()) {
+    return -1.0;
+  }
+  double total = 0.0;
+  for (const auto& video : test) {
+    const auto dots = init.Detect(sim::ToCoreMessages(video.chat),
+                                  video.truth.meta.length, kK);
+    total += core::VideoPrecisionStart(core::DotPositions(dots),
+                                       bench::Truth(video));
+  }
+  return total / static_cast<double>(test.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Feature/model ablations (Dota2: %d train, %d test) ===\n\n",
+              kTrainVideos, kTestVideos);
+  const auto corpus =
+      sim::MakeCorpus(sim::GameType::kDota2, kTrainVideos + kTestVideos, 606);
+  const auto split = sim::SplitCorpus(corpus, kTrainVideos, kTestVideos);
+
+  std::printf("--- message-similarity backend ---\n");
+  common::TextTable t_sim({"backend", "Video Precision@5 (start)"});
+  const std::pair<const char*, core::SimilarityBackend> backends[] = {
+      {"bag-of-words + k-means (paper)",
+       core::SimilarityBackend::kBagOfWords},
+      {"tf-idf + k-means", core::SimilarityBackend::kTfIdf},
+      {"hashing word embeddings", core::SimilarityBackend::kEmbedding},
+      {"pairwise Jaccard", core::SimilarityBackend::kJaccard},
+  };
+  for (const auto& [name, backend] : backends) {
+    core::InitializerOptions opts;
+    opts.similarity_backend = backend;
+    t_sim.AddRow({name, common::FormatDouble(
+                            Precision(opts, split.train, split.test), 3)});
+  }
+  t_sim.Print(std::cout);
+
+  std::printf("\n--- adjustment model ---\n");
+  common::TextTable t_adj({"model", "Video Precision@5 (start)"});
+  {
+    core::InitializerOptions opts;
+    opts.adjustment_kind = core::AdjustmentKind::kConstant;
+    t_adj.AddRow({"constant c (paper)",
+                  common::FormatDouble(
+                      Precision(opts, split.train, split.test), 3)});
+    opts.adjustment_kind = core::AdjustmentKind::kRegression;
+    t_adj.AddRow({"burst-feature regression (Sec. IX)",
+                  common::FormatDouble(
+                      Precision(opts, split.train, split.test), 3)});
+  }
+  t_adj.Print(std::cout);
+
+  std::printf("\n--- floor: naive largest-message-count (Sec. IV-C1) ---\n");
+  baselines::NaiveTopCount naive;
+  double naive_precision = 0.0;
+  for (const auto& video : split.test) {
+    naive_precision += core::VideoPrecisionStart(
+        naive.Detect(sim::ToCoreMessages(video.chat),
+                     video.truth.meta.length, kK),
+        bench::Truth(video));
+  }
+  std::printf("naive Video Precision@5 (start) = %.3f\n",
+              naive_precision / static_cast<double>(split.test.size()));
+  return 0;
+}

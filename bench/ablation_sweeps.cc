@@ -1,0 +1,151 @@
+/// Ablations over the design knobs DESIGN.md calls out (not in the paper;
+/// they probe the choices the paper fixes):
+///   * sliding-window size l (paper: 25 s)
+///   * red-dot separation δ (paper: 120 s)
+///   * adjustment stage on/off (c learned vs c = 0)
+///   * play-duration filter bounds
+///   * overlap-graph outlier removal on/off
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "core/evaluation.h"
+#include "core/initializer.h"
+#include "sim/viewer_simulator.h"
+
+using namespace lightor;  // NOLINT
+
+namespace {
+
+constexpr int kTrainVideos = 5;
+constexpr int kTestVideos = 12;
+constexpr size_t kK = 5;
+
+double InitializerPrecision(const core::InitializerOptions& opts,
+                            const sim::Corpus& train,
+                            const sim::Corpus& test, bool zero_adjustment) {
+  core::HighlightInitializer init(opts);
+  if (!init.Train(bench::TrainingSlice(train, kTrainVideos)).ok()) return -1.0;
+  if (zero_adjustment) init.SetAdjustment(0.0);
+  double total = 0.0;
+  for (const auto& video : test) {
+    const auto dots = init.Detect(sim::ToCoreMessages(video.chat),
+                                  video.truth.meta.length, kK);
+    total += core::VideoPrecisionStart(core::DotPositions(dots),
+                                       bench::Truth(video));
+  }
+  return total / static_cast<double>(test.size());
+}
+
+double ExtractorPrecision(const core::ExtractorOptions& opts,
+                          const core::HighlightInitializer& init,
+                          const sim::Corpus& test, uint64_t seed) {
+  core::HighlightExtractor extractor(opts);
+  common::Rng rng(seed);
+  sim::ViewerSimulator viewers;
+  double total = 0.0;
+  for (const auto& video : test) {
+    const auto truth = bench::Truth(video);
+    const auto dots = init.Detect(sim::ToCoreMessages(video.chat),
+                                  video.truth.meta.length, kK);
+    std::vector<double> starts;
+    for (const auto& dot : dots) {
+      sim::SimulatedCrowdProvider provider(video.truth, viewers, 10,
+                                           rng.Fork());
+      starts.push_back(extractor.Run(provider, dot.position).boundary.start);
+    }
+    total += core::VideoPrecisionStart(starts, truth);
+  }
+  return total / static_cast<double>(test.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation sweeps over LIGHTOR's design knobs ===\n");
+  std::printf("(Dota2: %d train, %d test videos, k = %zu)\n\n", kTrainVideos,
+              kTestVideos, kK);
+  const auto corpus =
+      sim::MakeCorpus(sim::GameType::kDota2, kTrainVideos + kTestVideos, 404);
+  const auto split = sim::SplitCorpus(corpus, kTrainVideos, kTestVideos);
+
+  // --- window size l ---------------------------------------------------
+  std::printf("--- sliding-window size l (paper default 25 s) ---\n");
+  common::TextTable t_window({"l (s)", "Video Precision@5 (start)"});
+  for (double l : {10.0, 25.0, 40.0, 60.0}) {
+    core::InitializerOptions opts;
+    opts.window.size = l;
+    opts.window.stride = l / 2.0;
+    t_window.AddRow({common::FormatDouble(l, 0),
+                     common::FormatDouble(
+                         InitializerPrecision(opts, split.train, split.test,
+                                              false),
+                         3)});
+  }
+  t_window.Print(std::cout);
+
+  // --- separation δ ----------------------------------------------------
+  std::printf("\n--- red-dot separation delta (paper default 120 s) ---\n");
+  common::TextTable t_sep({"delta (s)", "Video Precision@5 (start)"});
+  for (double d : {30.0, 60.0, 120.0, 240.0}) {
+    core::InitializerOptions opts;
+    opts.min_separation = d;
+    t_sep.AddRow({common::FormatDouble(d, 0),
+                  common::FormatDouble(
+                      InitializerPrecision(opts, split.train, split.test,
+                                           false),
+                      3)});
+  }
+  t_sep.Print(std::cout);
+
+  // --- adjustment stage ---------------------------------------------------
+  std::printf("\n--- adjustment stage (learned c vs c = 0) ---\n");
+  common::TextTable t_adj({"variant", "Video Precision@5 (start)"});
+  {
+    core::InitializerOptions opts;
+    t_adj.AddRow({"learned c",
+                  common::FormatDouble(
+                      InitializerPrecision(opts, split.train, split.test,
+                                           false),
+                      3)});
+    t_adj.AddRow({"c = 0 (no adjustment)",
+                  common::FormatDouble(
+                      InitializerPrecision(opts, split.train, split.test,
+                                           true),
+                      3)});
+  }
+  t_adj.Print(std::cout);
+
+  // --- extractor knobs ---------------------------------------------------
+  core::HighlightInitializer init;
+  if (!init.Train(bench::TrainingSlice(split.train, kTrainVideos)).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  std::printf("\n--- play-duration filter bounds (default [6.5, 120] s) ---\n");
+  common::TextTable t_len({"min len (s)", "Video Precision@5 (start)"});
+  for (double min_len : {0.0, 3.0, 6.5, 12.0}) {
+    core::ExtractorOptions opts;
+    opts.min_play_length = min_len;
+    t_len.AddRow({common::FormatDouble(min_len, 1),
+                  common::FormatDouble(
+                      ExtractorPrecision(opts, init, split.test, 11), 3)});
+  }
+  t_len.Print(std::cout);
+
+  std::printf("\n--- overlap-graph outlier removal ---\n");
+  common::TextTable t_graph({"variant", "Video Precision@5 (start)"});
+  for (bool enabled : {true, false}) {
+    core::ExtractorOptions opts;
+    opts.graph_outlier_removal = enabled;
+    t_graph.AddRow({enabled ? "graph filter on" : "graph filter off",
+                    common::FormatDouble(
+                        ExtractorPrecision(opts, init, split.test, 12), 3)});
+  }
+  t_graph.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,68 @@
+#ifndef LIGHTOR_BENCH_BENCH_UTIL_H_
+#define LIGHTOR_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "core/initializer.h"
+#include "core/window.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+
+namespace lightor::bench {
+
+/// Converts a labelled sim video into the core training type.
+inline core::TrainingVideo ToTraining(const sim::LabeledVideo& video) {
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(video.chat);
+  tv.video_length = video.truth.meta.length;
+  for (const auto& h : video.truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  return tv;
+}
+
+/// Ground-truth highlight spans of a video.
+inline std::vector<common::Interval> Truth(const sim::LabeledVideo& video) {
+  std::vector<common::Interval> out;
+  for (const auto& h : video.truth.highlights) out.push_back(h.span);
+  return out;
+}
+
+/// Ground-truth chat label of a sliding window, computed from the
+/// simulator's per-message annotations (NOT from the rule the initializer
+/// trains with): a window "talks about a highlight" when it holds at
+/// least `min_burst` reaction-burst messages making up at least
+/// `min_fraction` of its messages.
+inline int WindowBurstLabel(const sim::ChatLog& chat,
+                            const core::SlidingWindow& window,
+                            int min_burst = 3, double min_fraction = 0.2) {
+  int burst = 0;
+  int total = 0;
+  for (const auto& msg : chat) {
+    if (msg.timestamp < window.span.start) continue;
+    if (msg.timestamp >= window.span.end) break;
+    ++total;
+    if (msg.source == sim::MessageSource::kHighlightBurst) ++burst;
+  }
+  if (total == 0) return 0;
+  return (burst >= min_burst &&
+          static_cast<double>(burst) / total >= min_fraction)
+             ? 1
+             : 0;
+}
+
+/// First `n` videos as TrainingVideo objects.
+inline std::vector<core::TrainingVideo> TrainingSlice(
+    const sim::Corpus& corpus, size_t n) {
+  std::vector<core::TrainingVideo> out;
+  for (size_t i = 0; i < std::min(n, corpus.size()); ++i) {
+    out.push_back(ToTraining(corpus[i]));
+  }
+  return out;
+}
+
+}  // namespace lightor::bench
+
+#endif  // LIGHTOR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,113 @@
+/// Figure 11 — Cross-game model generalization.
+///
+/// (a) LIGHTOR trained on LoL (1 video), tested on LoL and on Dota2: the
+///     general features transfer.
+/// (b) Chat-LSTM trained on LoL (many videos), tested on LoL and Dota2:
+///     the character-level model is tied to LoL's vocabulary/emotes and
+///     drops sharply on Dota2.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/chat_lstm.h"
+#include "bench/bench_util.h"
+#include "common/parallel.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "core/evaluation.h"
+#include "core/initializer.h"
+
+using namespace lightor;  // NOLINT
+
+namespace {
+
+constexpr int kLstmTrainVideos = 40;
+constexpr int kTestVideos = 20;
+
+baselines::ChatLstmOptions LstmBenchOptions() {
+  baselines::ChatLstmOptions opts;
+  opts.frame_stride = 6.0;
+  opts.lstm.hidden_size = 16;
+  opts.lstm.num_layers = 2;
+  opts.lstm.max_sequence_length = 64;
+  opts.lstm.epochs = 3;
+  return opts;
+}
+
+double LightorPrecisionAtK(const core::HighlightInitializer& init,
+                           const sim::Corpus& test, size_t k) {
+  std::vector<double> per_video(test.size(), 0.0);
+  common::ParallelFor(test.size(), [&](size_t i) {
+    const auto& video = test[i];
+    const auto dots = init.Detect(sim::ToCoreMessages(video.chat),
+                                  video.truth.meta.length, k);
+    per_video[i] = core::VideoPrecisionStart(core::DotPositions(dots),
+                                             bench::Truth(video));
+  });
+  double total = 0.0;
+  for (double p : per_video) total += p;
+  return total / static_cast<double>(test.size());
+}
+
+double LstmPrecisionAtK(const baselines::ChatLstm& model,
+                        const sim::Corpus& test, size_t k) {
+  std::vector<double> per_video(test.size(), 0.0);
+  common::ParallelFor(test.size(), [&](size_t i) {
+    const auto& video = test[i];
+    const auto positions = model.DetectTopK(sim::ToCoreMessages(video.chat),
+                                            video.truth.meta.length, k);
+    per_video[i] = core::VideoPrecisionStart(positions, bench::Truth(video));
+  });
+  double total = 0.0;
+  for (double p : per_video) total += p;
+  return total / static_cast<double>(test.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 11: cross-game generalization (train on LoL) ===\n\n");
+  const auto lol_corpus = sim::MakeCorpus(sim::GameType::kLol,
+                                          kLstmTrainVideos + kTestVideos,
+                                          1111);
+  const auto lol_split =
+      sim::SplitCorpus(lol_corpus, kLstmTrainVideos, kTestVideos);
+  const auto dota_test =
+      sim::MakeCorpus(sim::GameType::kDota2, kTestVideos, 1112);
+
+  core::HighlightInitializer lightor;
+  if (!lightor.Train(bench::TrainingSlice(lol_split.train, 1)).ok()) {
+    std::fprintf(stderr, "lightor training failed\n");
+    return 1;
+  }
+  baselines::ChatLstm lstm(LstmBenchOptions());
+  std::printf("training Chat-LSTM on %d LoL videos...\n\n", kLstmTrainVideos);
+  if (!lstm.Train(bench::TrainingSlice(lol_split.train, kLstmTrainVideos))
+           .ok()) {
+    std::fprintf(stderr, "chat-lstm training failed\n");
+    return 1;
+  }
+
+  std::printf("--- Fig 11(a): LIGHTOR (trained on 1 LoL video) ---\n");
+  common::TextTable table_a({"k", "test on LoL", "test on Dota2"});
+  for (size_t k = 1; k <= 10; ++k) {
+    table_a.AddRow(
+        {std::to_string(k),
+         common::FormatDouble(LightorPrecisionAtK(lightor, lol_split.test, k),
+                              3),
+         common::FormatDouble(LightorPrecisionAtK(lightor, dota_test, k), 3)});
+  }
+  table_a.Print(std::cout);
+
+  std::printf("\n--- Fig 11(b): Chat-LSTM (trained on %d LoL videos) ---\n",
+              kLstmTrainVideos);
+  common::TextTable table_b({"k", "test on LoL", "test on Dota2"});
+  for (size_t k = 1; k <= 10; ++k) {
+    table_b.AddRow(
+        {std::to_string(k),
+         common::FormatDouble(LstmPrecisionAtK(lstm, lol_split.test, k), 3),
+         common::FormatDouble(LstmPrecisionAtK(lstm, dota_test, k), 3)});
+  }
+  table_b.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,106 @@
+/// Figure 6 — Evaluation of the Highlight Initializer's prediction stage.
+///
+/// (a) Chat Precision@K (k = 1..10) for three logistic-regression models:
+///     `msg num` only, `msg num + msg len`, and all three features.
+///     Trained on 10 Dota2 videos, tested on 50.
+/// (b) Chat Precision@10 vs number of training videos (1..10) for the
+///     all-features model — the paper's "one labelled video suffices".
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/strings.h"
+#include "core/evaluation.h"
+#include "core/initializer.h"
+
+using namespace lightor;  // NOLINT
+
+namespace {
+
+// Defaults mirror the paper (10 train / 50 test Dota2 videos); override
+// with --train=N --test=N --seed=S.
+int kTrainVideos = 10;
+int kTestVideos = 50;
+uint64_t kSeed = 66;
+
+/// Mean Chat Precision@K over test videos for a trained initializer.
+double MeanChatPrecision(const core::HighlightInitializer& init,
+                         const sim::Corpus& test, size_t k) {
+  double total = 0.0;
+  for (const auto& video : test) {
+    const auto scored = init.ScoreWindows(sim::ToCoreMessages(video.chat),
+                                          video.truth.meta.length);
+    const auto top = init.TopKWindows(scored, k);
+    std::vector<int> labels;
+    for (const auto& w : top) {
+      labels.push_back(bench::WindowBurstLabel(video.chat, w));
+    }
+    total += core::ChatPrecisionAtK(labels);
+  }
+  return total / static_cast<double>(test.size());
+}
+
+core::HighlightInitializer TrainModel(const sim::Corpus& train, size_t n,
+                                      core::FeatureSet features) {
+  core::InitializerOptions opts;
+  opts.feature_set = features;
+  core::HighlightInitializer init(opts);
+  const auto status = init.Train(bench::TrainingSlice(train, n));
+  if (!status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  return init;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags = common::Flags::Parse(argc, argv);
+  kTrainVideos = static_cast<int>(flags.GetInt("train", kTrainVideos));
+  kTestVideos = static_cast<int>(flags.GetInt("test", kTestVideos));
+  kSeed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int64_t>(kSeed)));
+  std::printf("=== Fig. 6: prediction stage of the Highlight Initializer ===\n");
+  std::printf("(Dota2: %d training videos, %d test videos)\n\n", kTrainVideos,
+              kTestVideos);
+  const auto corpus =
+      sim::MakeCorpus(sim::GameType::kDota2, kTrainVideos + kTestVideos, kSeed);
+  const auto split = sim::SplitCorpus(corpus, static_cast<size_t>(kTrainVideos),
+                                      static_cast<size_t>(kTestVideos));
+
+  // ---- (a) feature ablation ------------------------------------------------
+  std::printf("--- Fig 6(a): Chat Precision@K by feature set ---\n");
+  const auto m_num = TrainModel(split.train, static_cast<size_t>(kTrainVideos),
+                                core::FeatureSet::kNum);
+  const auto m_numlen = TrainModel(split.train, static_cast<size_t>(kTrainVideos),
+                                   core::FeatureSet::kNumLen);
+  const auto m_all = TrainModel(split.train, static_cast<size_t>(kTrainVideos),
+                                core::FeatureSet::kAll);
+  common::TextTable table_a(
+      {"k", "msg num", "msg num+len", "all 3 features"});
+  for (size_t k = 1; k <= 10; ++k) {
+    table_a.AddRow(
+        {std::to_string(k),
+         common::FormatDouble(MeanChatPrecision(m_num, split.test, k), 3),
+         common::FormatDouble(MeanChatPrecision(m_numlen, split.test, k), 3),
+         common::FormatDouble(MeanChatPrecision(m_all, split.test, k), 3)});
+  }
+  table_a.Print(std::cout);
+  std::printf("\n");
+
+  // ---- (b) training-set size ----------------------------------------------
+  std::printf("--- Fig 6(b): Chat Precision@10 vs #training videos ---\n");
+  common::TextTable table_b({"#train videos", "Chat Precision@10"});
+  for (int n = 1; n <= kTrainVideos; ++n) {
+    const auto model = TrainModel(split.train, static_cast<size_t>(n),
+                                  core::FeatureSet::kAll);
+    table_b.AddRow({std::to_string(n),
+                    common::FormatDouble(
+                        MeanChatPrecision(model, split.test, 10), 3)});
+  }
+  table_b.Print(std::cout);
+  return 0;
+}

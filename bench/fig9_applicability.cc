@@ -1,0 +1,57 @@
+/// Figure 9 — Applicability of LIGHTOR on the (simulated) platform:
+/// cumulative distributions of chat messages per hour and viewers per
+/// video over the top-10 channels' twenty most recent recorded videos.
+/// The paper's thresholds: the Initializer wants >500 chat messages/hour;
+/// the Extractor wants >100 viewers.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "sim/platform.h"
+
+using namespace lightor;  // NOLINT
+
+int main() {
+  std::printf("=== Fig. 9: CDFs over recorded videos (top-10 channels) ===\n\n");
+  sim::Platform::Options opts;
+  opts.num_channels = 10;
+  opts.videos_per_channel = 20;
+  opts.game = sim::GameType::kDota2;
+  opts.seed = 99;
+  const sim::Platform platform(opts);
+
+  std::vector<double> msgs_per_hour;
+  std::vector<double> viewers;
+  for (const auto& channel : platform.channels()) {
+    const auto ids = platform.ListRecentVideoIds(channel.name, 20).value();
+    for (const auto& id : ids) {
+      const auto video = platform.GetVideo(id).value();
+      msgs_per_hour.push_back(static_cast<double>(video.chat.size()) /
+                              (video.truth.meta.length / 3600.0));
+      viewers.push_back(static_cast<double>(video.num_viewers));
+    }
+  }
+
+  const common::EmpiricalCdf msg_cdf(msgs_per_hour);
+  const common::EmpiricalCdf viewer_cdf(viewers);
+  std::printf("%zu recorded videos\n\n", msg_cdf.size());
+
+  common::TextTable table({"percentile", "chat msgs/hour", "viewers"});
+  for (double q : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    table.AddRow({common::FormatDouble(q, 1),
+                  common::FormatDouble(msg_cdf.Quantile(q), 0),
+                  common::FormatDouble(viewer_cdf.Quantile(q), 0)});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nfraction of videos with >500 chat msgs/hour: %.2f (paper: >0.8)\n",
+      1.0 - msg_cdf.Evaluate(500.0));
+  std::printf(
+      "fraction of videos with >100 viewers:        %.2f (paper: 1.0)\n",
+      1.0 - viewer_cdf.Evaluate(100.0));
+  return 0;
+}

@@ -1,0 +1,107 @@
+/// The paper's proposed future direction (end of Section VII-E): "LIGHTOR
+/// is used to generate high-quality labeled data and Deep Learning is
+/// then applied to train a model."
+///
+/// Compares, on held-out Dota2 videos:
+///   * Chat-LSTM trained on ground-truth labels (needs human annotation
+///     of every training video);
+///   * Chat-LSTM trained on LIGHTOR pseudo-labels (needs ONE human-
+///     labelled video, for LIGHTOR itself);
+///   * LIGHTOR's initializer alone.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/bootstrapped_lstm.h"
+#include "baselines/chat_lstm.h"
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "core/evaluation.h"
+
+using namespace lightor;  // NOLINT
+
+namespace {
+
+constexpr int kUnlabelledVideos = 12;
+constexpr int kTestVideos = 10;
+
+baselines::ChatLstmOptions LstmBenchOptions() {
+  baselines::ChatLstmOptions opts;
+  opts.frame_stride = 6.0;
+  opts.lstm.hidden_size = 16;
+  opts.lstm.num_layers = 2;
+  opts.lstm.max_sequence_length = 64;
+  opts.lstm.epochs = 3;
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Future work: LIGHTOR-bootstrapped deep learning ===\n");
+  std::printf("(%d unlabelled training videos, %d test videos, Dota2)\n\n",
+              kUnlabelledVideos, kTestVideos);
+  const auto corpus = sim::MakeCorpus(
+      sim::GameType::kDota2, 1 + kUnlabelledVideos + kTestVideos, 707);
+  const sim::Corpus train_pool(corpus.begin() + 1,
+                               corpus.begin() + 1 + kUnlabelledVideos);
+  const sim::Corpus test_pool(corpus.begin() + 1 + kUnlabelledVideos,
+                              corpus.end());
+
+  // LIGHTOR trained on the single labelled video.
+  core::HighlightInitializer lightor;
+  if (!lightor.Train({bench::ToTraining(corpus[0])}).ok()) {
+    std::fprintf(stderr, "lightor training failed\n");
+    return 1;
+  }
+
+  // (a) Chat-LSTM on ground-truth labels of the pool (the expensive way).
+  baselines::ChatLstm supervised(LstmBenchOptions());
+  std::printf("training supervised Chat-LSTM (%d labelled videos)...\n",
+              kUnlabelledVideos);
+  if (!supervised.Train(bench::TrainingSlice(train_pool, train_pool.size()))
+           .ok()) {
+    std::fprintf(stderr, "supervised training failed\n");
+    return 1;
+  }
+
+  // (b) Chat-LSTM on LIGHTOR pseudo-labels of the same pool (no labels).
+  baselines::BootstrappedLstmOptions bopts;
+  bopts.lstm = LstmBenchOptions();
+  baselines::BootstrappedLstm bootstrapped(bopts);
+  std::printf("training bootstrapped Chat-LSTM (0 labelled videos)...\n");
+  if (!bootstrapped.Train(lightor, train_pool).ok()) {
+    std::fprintf(stderr, "bootstrapped training failed\n");
+    return 1;
+  }
+  std::printf("pseudo-labels generated: %zu\n\n",
+              bootstrapped.pseudo_labels_generated());
+
+  common::TextTable table({"k", "LIGHTOR (1 label)",
+                           "LSTM on true labels",
+                           "LSTM on LIGHTOR pseudo-labels"});
+  for (size_t k : {1, 3, 5, 10}) {
+    double ours = 0.0, sup = 0.0, boot = 0.0;
+    for (const auto& video : test_pool) {
+      const auto messages = sim::ToCoreMessages(video.chat);
+      const double length = video.truth.meta.length;
+      const auto truth = bench::Truth(video);
+      ours += core::VideoPrecisionStart(
+          core::DotPositions(lightor.Detect(messages, length, k)), truth);
+      sup += core::VideoPrecisionStart(
+          supervised.DetectTopK(messages, length, k), truth);
+      boot += core::VideoPrecisionStart(
+          bootstrapped.DetectTopK(messages, length, k), truth);
+    }
+    const double n = static_cast<double>(test_pool.size());
+    table.AddRow({std::to_string(k), common::FormatDouble(ours / n, 3),
+                  common::FormatDouble(sup / n, 3),
+                  common::FormatDouble(boot / n, 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nthe pseudo-labelled model should approach the fully supervised "
+      "one\nwhile needing a single human-labelled video in total.\n");
+  return 0;
+}

@@ -1,0 +1,193 @@
+/// Microbenchmarks (google-benchmark) for the hot paths of every
+/// subsystem: window generation, featurization, similarity, peak finding,
+/// LR training, extractor stages, storage throughput, and LSTM inference.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "core/extractor.h"
+#include "core/features.h"
+#include "core/initializer.h"
+#include "ml/logistic_regression.h"
+#include "ml/lstm.h"
+#include "sim/viewer_simulator.h"
+#include "storage/database.h"
+#include "text/similarity.h"
+
+using namespace lightor;  // NOLINT
+
+namespace {
+
+const sim::LabeledVideo& BenchVideo() {
+  static const sim::Corpus* corpus =
+      new sim::Corpus(sim::MakeCorpus(sim::GameType::kDota2, 1, 3030));
+  return (*corpus)[0];
+}
+
+const std::vector<core::Message>& BenchMessages() {
+  static const std::vector<core::Message>* messages =
+      new std::vector<core::Message>(sim::ToCoreMessages(BenchVideo().chat));
+  return *messages;
+}
+
+void BM_GenerateWindows(benchmark::State& state) {
+  const auto& messages = BenchMessages();
+  const double length = BenchVideo().truth.meta.length;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::GenerateWindows(messages, length, core::WindowOptions{}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(messages.size()));
+}
+BENCHMARK(BM_GenerateWindows);
+
+void BM_WindowFeaturization(benchmark::State& state) {
+  const auto& messages = BenchMessages();
+  const double length = BenchVideo().truth.meta.length;
+  const auto windows =
+      core::GenerateWindows(messages, length, core::WindowOptions{});
+  core::WindowFeaturizer featurizer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(featurizer.ComputeAll(messages, windows));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(windows.size()));
+}
+BENCHMARK(BM_WindowFeaturization);
+
+void BM_MessageSimilarity(benchmark::State& state) {
+  std::vector<std::string> messages;
+  for (int i = 0; i < 30; ++i) {
+    messages.push_back(i % 2 ? "what a play gg" : "rampage PogChamp wow");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::MessageSetSimilarity(messages));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(messages.size()));
+}
+BENCHMARK(BM_MessageSimilarity);
+
+void BM_FindMessagePeak(benchmark::State& state) {
+  const auto& messages = BenchMessages();
+  const common::Interval span(100.0, 200.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FindMessagePeak(messages, span));
+  }
+}
+BENCHMARK(BM_FindMessagePeak);
+
+void BM_LogisticRegressionFit(benchmark::State& state) {
+  common::Rng rng(1);
+  ml::Dataset data;
+  for (int i = 0; i < 500; ++i) {
+    const int label = i % 4 == 0 ? 1 : 0;
+    data.Add({rng.Uniform(0, 1) + label * 0.4, rng.Uniform(0, 1),
+              rng.Uniform(0, 1) * (label ? 0.5 : 1.0)},
+             label);
+  }
+  for (auto _ : state) {
+    ml::LogisticRegression lr;
+    benchmark::DoNotOptimize(lr.Fit(data));
+  }
+}
+BENCHMARK(BM_LogisticRegressionFit);
+
+void BM_InitializerDetect(benchmark::State& state) {
+  static core::HighlightInitializer* init = [] {
+    auto* model = new core::HighlightInitializer();
+    const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 3031);
+    (void)model->Train({bench::ToTraining(corpus[0])});
+    return model;
+  }();
+  const auto& messages = BenchMessages();
+  const double length = BenchVideo().truth.meta.length;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(init->Detect(messages, length, 5));
+  }
+}
+BENCHMARK(BM_InitializerDetect);
+
+void BM_ExtractorFilterAndRefine(benchmark::State& state) {
+  sim::ViewerSimulator viewers;
+  common::Rng rng(5);
+  const auto& truth = BenchVideo().truth;
+  const double dot = truth.highlights[0].span.start - 2.0;
+  const auto plays =
+      sim::ToCorePlays(viewers.CollectPlays(truth, dot, 30, rng));
+  core::HighlightExtractor extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.RefineOnce(plays, dot));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plays.size()));
+}
+BENCHMARK(BM_ExtractorFilterAndRefine);
+
+void BM_ChatStorePutGet(benchmark::State& state) {
+  const auto& chat = BenchVideo().chat;
+  for (auto _ : state) {
+    storage::ChatStore store;
+    for (size_t i = 0; i < chat.size(); i += 4) {
+      storage::ChatRecord rec;
+      rec.video_id = "v";
+      rec.timestamp = chat[i].timestamp;
+      rec.user = chat[i].user;
+      rec.text = chat[i].text;
+      store.Put(std::move(rec));
+    }
+    benchmark::DoNotOptimize(store.GetRange("v", 100.0, 200.0));
+  }
+}
+BENCHMARK(BM_ChatStorePutGet);
+
+void BM_AppendLogThroughput(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() / "lightor_bench";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "bench.log").string();
+  std::filesystem::remove(path);
+  storage::AppendLog log;
+  (void)log.Open(path);
+  const std::vector<uint8_t> payload(256, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Append(payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+  log.Close();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_AppendLogThroughput);
+
+void BM_LstmForward(benchmark::State& state) {
+  ml::LstmOptions opts;
+  opts.hidden_size = 16;
+  opts.num_layers = 2;
+  opts.max_sequence_length = 64;
+  ml::CharLstmClassifier model(opts);
+  const std::string text =
+      "PogChamp what a play rampage insane gg clip it baron steal";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictProbability(text));
+  }
+}
+BENCHMARK(BM_LstmForward);
+
+void BM_CrowdSimulation(benchmark::State& state) {
+  sim::ViewerSimulator viewers;
+  common::Rng rng(9);
+  const auto& truth = BenchVideo().truth;
+  const double dot = truth.highlights[0].span.start;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viewers.CollectPlays(truth, dot, 10, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_CrowdSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+/// Head-to-head on one video: LIGHTOR vs every non-deep baseline in the
+/// paper (Toretter on chat; SocialSkip and Moocer on interactions), with
+/// the ground truth printed alongside — a quick qualitative feel for WHY
+/// the design choices matter before running the full benchmark suite.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/moocer.h"
+#include "baselines/socialskip.h"
+#include "baselines/toretter.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "core/evaluation.h"
+#include "core/lightor.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/viewer_simulator.h"
+
+using namespace lightor;  // NOLINT
+
+int main() {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 2, 808);
+  const auto& train = corpus[0];
+  const auto& test = corpus[1];
+  constexpr size_t kK = 5;
+
+  std::printf("test video %s, ground-truth highlights:\n",
+              test.truth.meta.id.c_str());
+  std::vector<common::Interval> truth;
+  for (const auto& h : test.truth.highlights) {
+    truth.push_back(h.span);
+    std::printf("  [%s .. %s] intensity %.2f\n",
+                common::FormatTimestamp(h.span.start).c_str(),
+                common::FormatTimestamp(h.span.end).c_str(), h.intensity);
+  }
+
+  // --- LIGHTOR ----------------------------------------------------------
+  core::Lightor lightor;
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(train.chat);
+  tv.video_length = train.truth.meta.length;
+  for (const auto& h : train.truth.highlights) tv.highlights.push_back(h.span);
+  if (auto st = lightor.TrainInitializer({tv}); !st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const auto messages = sim::ToCoreMessages(test.chat);
+  const double length = test.truth.meta.length;
+
+  common::Rng rng(1);
+  auto process = lightor.Process(
+      messages, length,
+      [&](const core::RedDot&) -> std::unique_ptr<core::PlayProvider> {
+        return std::make_unique<sim::SimulatedCrowdProvider>(
+            test.truth, sim::ViewerSimulator(), 10, rng.Fork());
+      });
+  std::vector<double> our_starts, our_ends;
+  for (const auto& item : process.value()) {
+    our_starts.push_back(item.refined.boundary.start);
+    our_ends.push_back(item.refined.boundary.end);
+  }
+
+  // --- Toretter (chat only) ------------------------------------------------
+  baselines::Toretter toretter;
+  const auto tor_events = toretter.DetectEvents(messages, length, kK);
+
+  // --- Interaction baselines get the same crowd data LIGHTOR saw ----------
+  sim::ViewerSimulator viewers;
+  std::vector<sim::InteractionEvent> events;
+  std::vector<core::Play> plays;
+  for (const auto& item : process.value()) {
+    for (int u = 0; u < 10; ++u) {
+      const auto session =
+          viewers.SimulateSession(test.truth, item.dot.position, rng, "u");
+      events.insert(events.end(), session.events.begin(),
+                    session.events.end());
+      for (const auto& play : session.plays) {
+        plays.emplace_back(play.user, play.span.start, play.span.end);
+      }
+    }
+  }
+  baselines::SocialSkip socialskip;
+  const auto skip_ivs = socialskip.Detect(events, length, kK);
+  baselines::Moocer moocer;
+  const auto mooc_ivs = moocer.Detect(plays, length, kK);
+
+  auto starts_of = [](const std::vector<common::Interval>& ivs) {
+    std::vector<double> out;
+    for (const auto& iv : ivs) out.push_back(iv.start);
+    return out;
+  };
+  auto ends_of = [](const std::vector<common::Interval>& ivs) {
+    std::vector<double> out;
+    for (const auto& iv : ivs) out.push_back(iv.end);
+    return out;
+  };
+
+  std::printf("\n");
+  common::TextTable table({"method", "input", "Precision@5 start",
+                           "Precision@5 end"});
+  table.AddRow({"LIGHTOR", "chat + interactions",
+                common::FormatDouble(
+                    core::VideoPrecisionStart(our_starts, truth), 2),
+                common::FormatDouble(core::VideoPrecisionEnd(our_ends, truth),
+                                     2)});
+  table.AddRow({"Toretter", "chat only",
+                common::FormatDouble(
+                    core::VideoPrecisionStart(tor_events, truth), 2),
+                "-"});
+  table.AddRow({"SocialSkip", "seek events",
+                common::FormatDouble(
+                    core::VideoPrecisionStart(starts_of(skip_ivs), truth), 2),
+                common::FormatDouble(
+                    core::VideoPrecisionEnd(ends_of(skip_ivs), truth), 2)});
+  table.AddRow({"Moocer", "play histogram",
+                common::FormatDouble(
+                    core::VideoPrecisionStart(starts_of(mooc_ivs), truth), 2),
+                common::FormatDouble(
+                    core::VideoPrecisionEnd(ends_of(mooc_ivs), truth), 2)});
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,141 @@
+/// The Section VI deployment story, end to end: the LIGHTOR browser
+/// extension's backend against a (simulated) live-streaming platform.
+///
+///   * a user opens a recorded-video page -> the service looks the video
+///     up, crawls its chat if missing, runs the Highlight Initializer and
+///     stores red dots (all persisted in the write-ahead-logged database);
+///   * viewers interact with the dots -> their raw events are logged;
+///   * the Highlight Extractor periodically refines the dots from the
+///     logged interactions;
+///   * the database directory survives a process restart (we reopen it
+///     and show the state is still there).
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "common/strings.h"
+#include "core/lightor.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "storage/web_service.h"
+
+using namespace lightor;  // NOLINT
+
+namespace {
+
+core::TrainingVideo MakeTrainingVideo() {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 501);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  return tv;
+}
+
+}  // namespace
+
+int main() {
+  const std::string db_dir =
+      (std::filesystem::temp_directory_path() / "lightor_extension_demo")
+          .string();
+  std::filesystem::remove_all(db_dir);
+
+  // The platform we deploy against.
+  sim::Platform::Options popts;
+  popts.num_channels = 3;
+  popts.videos_per_channel = 2;
+  popts.seed = 500;
+  const sim::Platform platform(popts);
+
+  // A trained LIGHTOR pipeline (one labelled video suffices).
+  core::Lightor lightor;
+  if (auto st = lightor.TrainInitializer({MakeTrainingVideo()}); !st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  {
+    auto db = storage::Database::Open(db_dir);
+    if (!db.ok()) {
+      std::fprintf(stderr, "db open failed: %s\n",
+                   db.status().ToString().c_str());
+      return 1;
+    }
+    storage::WebService service(&platform, db.value().get(), &lightor, 5);
+
+    const std::string video_id = platform.AllVideoIds()[0];
+    std::printf("user opens video page: %s\n", video_id.c_str());
+    auto dots = service.OnPageVisit(video_id);
+    if (!dots.ok()) {
+      std::fprintf(stderr, "page visit failed: %s\n",
+                   dots.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("chat crawled (%zu messages stored); %zu red dots "
+                "published:\n",
+                db.value()->chat().GetByVideo(video_id).size(),
+                dots.value().size());
+    for (const auto& dot : dots.value()) {
+      std::printf("  dot #%d at %s (score %.3f)\n", dot.dot_index,
+                  common::FormatTimestamp(dot.dot_position).c_str(),
+                  dot.score);
+    }
+
+    // Viewers arrive in waves; the service refines after each wave.
+    const auto video = platform.GetVideo(video_id).value();
+    sim::ViewerSimulator viewers;
+    common::Rng rng(77);
+    uint64_t session_id = 0;
+    for (int wave = 1; wave <= 3; ++wave) {
+      const auto current = service.GetHighlights(video_id).value();
+      for (const auto& dot : current) {
+        for (int u = 0; u < 12; ++u) {
+          const auto session = viewers.SimulateSession(
+              video.truth, dot.dot_position, rng,
+              "viewer" + std::to_string(session_id));
+          (void)service.LogSession(video_id, session.user, ++session_id,
+                                   session.events);
+        }
+      }
+      const auto updated = service.Refine(video_id);
+      std::printf("wave %d: %llu sessions logged so far, %d dots refined\n",
+                  wave, static_cast<unsigned long long>(session_id),
+                  updated.value_or(0));
+    }
+
+    std::printf("\nrefined highlights:\n");
+    const auto refined = service.GetHighlights(video_id).value();
+    for (const auto& rec : refined) {
+      std::printf("  #%d [%s .. %s] iteration %d%s\n", rec.dot_index,
+                  common::FormatTimestamp(rec.start).c_str(),
+                  common::FormatTimestamp(rec.end).c_str(), rec.iteration,
+                  rec.converged ? " (converged)" : "");
+    }
+  }
+
+  // Simulate a backend restart: everything must come back from the logs.
+  std::printf("\nrestarting the backend (reopening %s)...\n", db_dir.c_str());
+  auto db = storage::Database::Open(db_dir);
+  if (!db.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  const std::string video_id = platform.AllVideoIds()[0];
+  std::printf("recovered: %zu chat records, %zu interaction records, "
+              "%zu highlight versions\n",
+              db.value()->chat().TotalRecords(),
+              db.value()->interactions().TotalRecords(),
+              db.value()->highlights().TotalRecords());
+  std::printf("latest dots for %s after restart:\n", video_id.c_str());
+  for (const auto& rec : db.value()->highlights().GetLatest(video_id)) {
+    std::printf("  #%d [%s .. %s] iteration %d\n", rec.dot_index,
+                common::FormatTimestamp(rec.start).c_str(),
+                common::FormatTimestamp(rec.end).c_str(), rec.iteration);
+  }
+  std::filesystem::remove_all(db_dir);
+  return 0;
+}

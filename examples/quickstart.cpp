@@ -1,0 +1,95 @@
+/// Quickstart: the full LIGHTOR workflow on synthetic Twitch-style data.
+///
+/// 1. Generate a labelled Dota2 corpus (ground-truth highlights + chat).
+/// 2. Train the Highlight Initializer on ONE labelled video.
+/// 3. Detect red dots on an unseen video and print them.
+/// 4. Refine each red dot with a simulated crowd (Highlight Extractor).
+/// 5. Score everything against ground truth.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/strings.h"
+#include "core/evaluation.h"
+#include "core/lightor.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+
+using namespace lightor;  // NOLINT: example brevity
+
+int main() {
+  // --- 1. Data -------------------------------------------------------------
+  const sim::Corpus corpus = sim::MakeCorpus(sim::GameType::kDota2,
+                                             /*n=*/4, /*seed=*/7);
+  const sim::LabeledVideo& train_video = corpus[0];
+  const sim::LabeledVideo& test_video = corpus[1];
+
+  // --- 2. Train on a single labelled video ---------------------------------
+  core::Lightor lightor;
+  core::TrainingVideo training;
+  training.messages = sim::ToCoreMessages(train_video.chat);
+  training.video_length = train_video.truth.meta.length;
+  for (const auto& h : train_video.truth.highlights) {
+    training.highlights.push_back(h.span);
+  }
+  const common::Status trained = lightor.TrainInitializer({training});
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+  std::printf("Trained on 1 video. Learned reaction delay c = %.0f s\n",
+              lightor.initializer().adjustment_c());
+
+  // --- 3. Red dots on an unseen video --------------------------------------
+  const auto messages = sim::ToCoreMessages(test_video.chat);
+  const double length = test_video.truth.meta.length;
+  auto dots = lightor.Initialize(messages, length, /*k=*/5);
+  if (!dots.ok()) {
+    std::fprintf(stderr, "initialize failed: %s\n",
+                 dots.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nTest video %s (%s long, %zu true highlights)\n",
+              test_video.truth.meta.id.c_str(),
+              common::FormatTimestamp(length).c_str(),
+              test_video.truth.highlights.size());
+  std::vector<common::Interval> truth;
+  for (const auto& h : test_video.truth.highlights) truth.push_back(h.span);
+
+  std::printf("\nRed dots (Highlight Initializer):\n");
+  for (const auto& dot : dots.value()) {
+    std::printf("  dot @ %s  score=%.3f  %s\n",
+                common::FormatTimestamp(dot.position).c_str(), dot.score,
+                core::IsGoodRedDotForAny(dot.position, truth) ? "GOOD"
+                                                              : "off-target");
+  }
+  const double p_start = core::VideoPrecisionStart(
+      core::DotPositions(dots.value()), truth);
+  std::printf("Video Precision@5 (start, initializer only) = %.2f\n", p_start);
+
+  // --- 4. Crowd refinement (Highlight Extractor) ----------------------------
+  std::printf("\nRefined highlights (Highlight Extractor, simulated crowd):\n");
+  common::Rng crowd_rng(99);
+  std::vector<common::Seconds> starts, ends;
+  for (const auto& dot : dots.value()) {
+    sim::SimulatedCrowdProvider provider(test_video.truth,
+                                         sim::ViewerSimulator(),
+                                         /*viewers_per_iteration=*/10,
+                                         crowd_rng.Fork());
+    const core::ExtractResult refined =
+        lightor.Extract(provider, dot.position);
+    starts.push_back(refined.boundary.start);
+    ends.push_back(refined.boundary.end);
+    std::printf("  [%s .. %s]  iterations=%d %s\n",
+                common::FormatTimestamp(refined.boundary.start).c_str(),
+                common::FormatTimestamp(refined.boundary.end).c_str(),
+                refined.iterations,
+                refined.converged ? "(converged)" : "");
+  }
+
+  // --- 5. Score -------------------------------------------------------------
+  std::printf("\nFinal Video Precision@5: start=%.2f end=%.2f\n",
+              core::VideoPrecisionStart(starts, truth),
+              core::VideoPrecisionEnd(ends, truth));
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "baselines/bootstrapped_lstm.h"
+
+#include "sim/bridge.h"
+
+namespace lightor::baselines {
+
+BootstrappedLstm::BootstrappedLstm(BootstrappedLstmOptions options)
+    : options_(options), model_(options.lstm) {}
+
+common::Status BootstrappedLstm::Train(
+    const core::HighlightInitializer& initializer,
+    const sim::Corpus& unlabelled) {
+  if (!initializer.trained()) {
+    return common::Status::FailedPrecondition(
+        "BootstrappedLstm::Train: initializer is not trained");
+  }
+  if (unlabelled.empty()) {
+    return common::Status::InvalidArgument(
+        "BootstrappedLstm::Train: empty corpus");
+  }
+  pseudo_labels_ = 0;
+  std::vector<core::TrainingVideo> pseudo_labelled;
+  for (const auto& video : unlabelled) {
+    core::TrainingVideo tv;
+    tv.messages = sim::ToCoreMessages(video.chat);
+    tv.video_length = video.truth.meta.length;
+    // LIGHTOR's red dots become the labels — ground truth is never read.
+    const auto dots = initializer.Detect(tv.messages, tv.video_length,
+                                         options_.dots_per_video);
+    for (const auto& dot : dots) {
+      tv.highlights.emplace_back(dot.position,
+                                 dot.position + options_.pseudo_label_length);
+      ++pseudo_labels_;
+    }
+    if (!tv.highlights.empty()) pseudo_labelled.push_back(std::move(tv));
+  }
+  if (pseudo_labelled.empty()) {
+    return common::Status::Internal(
+        "BootstrappedLstm::Train: no pseudo-labels generated");
+  }
+  return model_.Train(pseudo_labelled);
+}
+
+std::vector<common::Seconds> BootstrappedLstm::DetectTopK(
+    const std::vector<core::Message>& messages, common::Seconds video_length,
+    size_t k) const {
+  return model_.DetectTopK(messages, video_length, k);
+}
+
+}  // namespace lightor::baselines

@@ -1,0 +1,54 @@
+#ifndef LIGHTOR_BASELINES_BOOTSTRAPPED_LSTM_H_
+#define LIGHTOR_BASELINES_BOOTSTRAPPED_LSTM_H_
+
+#include <vector>
+
+#include "baselines/chat_lstm.h"
+#include "common/status.h"
+#include "core/initializer.h"
+#include "sim/corpus.h"
+
+namespace lightor::baselines {
+
+/// The paper's proposed LIGHTOR × deep-learning combination (Section
+/// VII-E): "LIGHTOR is used to generate high-quality labeled data and
+/// Deep Learning is then applied to train a model."
+///
+/// A trained Highlight Initializer detects red dots on an *unlabelled*
+/// corpus; the dots (extended by a provisional highlight length) become
+/// pseudo-labels; a Chat-LSTM trains on those pseudo-labels. The result
+/// is a chat-only model that needs NO chat at inference ... still needs
+/// chat, but no human labels beyond LIGHTOR's single training video.
+struct BootstrappedLstmOptions {
+  ChatLstmOptions lstm;
+  size_t dots_per_video = 5;        ///< pseudo-labels per unlabelled video
+  double pseudo_label_length = 25.0;  ///< provisional highlight extent
+};
+
+class BootstrappedLstm {
+ public:
+  explicit BootstrappedLstm(BootstrappedLstmOptions options = {});
+
+  /// Generates pseudo-labels on `unlabelled` with `initializer` (must be
+  /// trained) and trains the LSTM on them.
+  common::Status Train(const core::HighlightInitializer& initializer,
+                       const sim::Corpus& unlabelled);
+
+  /// Top-k detections of the underlying Chat-LSTM.
+  std::vector<common::Seconds> DetectTopK(
+      const std::vector<core::Message>& messages,
+      common::Seconds video_length, size_t k) const;
+
+  bool trained() const { return model_.trained(); }
+  const ChatLstm& model() const { return model_; }
+  size_t pseudo_labels_generated() const { return pseudo_labels_; }
+
+ private:
+  BootstrappedLstmOptions options_;
+  ChatLstm model_;
+  size_t pseudo_labels_ = 0;
+};
+
+}  // namespace lightor::baselines
+
+#endif  // LIGHTOR_BASELINES_BOOTSTRAPPED_LSTM_H_

@@ -1,0 +1,113 @@
+#include "baselines/chat_lstm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightor::baselines {
+
+ChatLstm::ChatLstm(ChatLstmOptions options)
+    : options_(options), model_(options.lstm) {}
+
+std::string ChatLstm::FrameText(const std::vector<core::Message>& messages,
+                                common::Seconds t, common::Seconds window) {
+  const auto lo = std::lower_bound(
+      messages.begin(), messages.end(), t,
+      [](const core::Message& m, common::Seconds v) {
+        return m.timestamp < v;
+      });
+  const auto hi = std::lower_bound(
+      lo, messages.end(), t + window,
+      [](const core::Message& m, common::Seconds v) {
+        return m.timestamp < v;
+      });
+  std::string text;
+  for (auto it = lo; it != hi; ++it) {
+    if (!text.empty()) text += '\n';
+    text += it->text;
+  }
+  return text;
+}
+
+common::Status ChatLstm::Train(
+    const std::vector<core::TrainingVideo>& videos) {
+  if (videos.empty()) {
+    return common::Status::InvalidArgument("ChatLstm::Train: no videos");
+  }
+  common::Rng rng(options_.seed);
+  std::vector<std::string> texts;
+  std::vector<int> labels;
+
+  for (const auto& video : videos) {
+    // Positive frames: every frame inside a highlight span.
+    std::vector<common::Seconds> positives, negatives;
+    for (double t = 0.0; t < video.video_length; t += options_.frame_stride) {
+      const bool inside = std::any_of(
+          video.highlights.begin(), video.highlights.end(),
+          [&](const common::Interval& h) { return h.Contains(t); });
+      (inside ? positives : negatives).push_back(t);
+    }
+    // Subsample negatives: full negative sets dwarf the positives and
+    // blow up CPU training time without changing the comparison.
+    rng.Shuffle(negatives);
+    const size_t keep = std::min(
+        negatives.size(),
+        positives.size() *
+            static_cast<size_t>(std::max(1, options_.negatives_per_positive)));
+    negatives.resize(keep);
+
+    for (common::Seconds t : positives) {
+      texts.push_back(FrameText(video.messages, t, options_.chat_window));
+      labels.push_back(1);
+    }
+    for (common::Seconds t : negatives) {
+      texts.push_back(FrameText(video.messages, t, options_.chat_window));
+      labels.push_back(0);
+    }
+  }
+  if (texts.empty()) {
+    return common::Status::InvalidArgument(
+        "ChatLstm::Train: no frames produced");
+  }
+  LIGHTOR_RETURN_IF_ERROR(model_.Train(texts, labels));
+  trained_ = true;
+  return common::Status::OK();
+}
+
+std::vector<double> ChatLstm::ScoreFrames(
+    const std::vector<core::Message>& messages, common::Seconds video_length,
+    std::vector<common::Seconds>* positions) const {
+  std::vector<double> scores;
+  for (double t = 0.0; t < video_length; t += options_.frame_stride) {
+    scores.push_back(model_.PredictProbability(
+        FrameText(messages, t, options_.chat_window)));
+    if (positions != nullptr) positions->push_back(t);
+  }
+  return scores;
+}
+
+std::vector<common::Seconds> ChatLstm::DetectTopK(
+    const std::vector<core::Message>& messages, common::Seconds video_length,
+    size_t k) const {
+  std::vector<common::Seconds> positions;
+  const std::vector<double> scores =
+      ScoreFrames(messages, video_length, &positions);
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  // "if two frames are close to each other (within 120s ...), we only
+  // pick up the frame with a higher probability".
+  std::vector<common::Seconds> picked;
+  for (size_t idx : order) {
+    if (picked.size() >= k) break;
+    const double t = positions[idx];
+    const bool close = std::any_of(
+        picked.begin(), picked.end(), [&](common::Seconds p) {
+          return std::abs(p - t) <= options_.min_separation;
+        });
+    if (!close) picked.push_back(t);
+  }
+  return picked;
+}
+
+}  // namespace lightor::baselines

@@ -1,0 +1,71 @@
+#ifndef LIGHTOR_BASELINES_CHAT_LSTM_H_
+#define LIGHTOR_BASELINES_CHAT_LSTM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/initializer.h"
+#include "core/message.h"
+#include "ml/lstm.h"
+
+namespace lightor::baselines {
+
+/// The paper's deep-learning baseline (Fu et al., EMNLP 2017): a
+/// character-level LSTM that classifies each video frame as highlight /
+/// non-highlight from the chat messages in the following 7-second window.
+/// Frames are sampled at `frame_stride`; top-k frames (with 120 s
+/// separation, matching the LIGHTOR setting) are reported as detected
+/// highlight positions.
+///
+/// Per the substitution note in DESIGN.md the network is sized for CPU
+/// training; the experiments compare training-data volume, training time,
+/// and cross-game generalization, which are architecture-shape
+/// independent.
+struct ChatLstmOptions {
+  double frame_stride = 5.0;     ///< seconds between scored frames
+  double chat_window = 7.0;      ///< chat lookahead per frame (the paper's 7 s)
+  double min_separation = 120.0; ///< between reported detections
+  int negatives_per_positive = 3;  ///< negative-frame subsampling for training
+  ml::LstmOptions lstm;
+  uint64_t seed = 11;
+};
+
+class ChatLstm {
+ public:
+  explicit ChatLstm(ChatLstmOptions options = {});
+
+  /// Trains on labelled videos: a frame is positive iff it lies inside a
+  /// ground-truth highlight span.
+  common::Status Train(const std::vector<core::TrainingVideo>& videos);
+
+  /// P(highlight) for every frame of a video; `positions` (optional out)
+  /// receives the frame timestamps.
+  std::vector<double> ScoreFrames(const std::vector<core::Message>& messages,
+                                  common::Seconds video_length,
+                                  std::vector<common::Seconds>* positions)
+      const;
+
+  /// Top-k frame positions by probability with min-separation suppression.
+  std::vector<common::Seconds> DetectTopK(
+      const std::vector<core::Message>& messages,
+      common::Seconds video_length, size_t k) const;
+
+  bool trained() const { return trained_; }
+  const ml::CharLstmClassifier& model() const { return model_; }
+  const ChatLstmOptions& options() const { return options_; }
+
+  /// Builds the chat text a frame sees (messages in [t, t + window)).
+  static std::string FrameText(const std::vector<core::Message>& messages,
+                               common::Seconds t, common::Seconds window);
+
+ private:
+  ChatLstmOptions options_;
+  ml::CharLstmClassifier model_;
+  bool trained_ = false;
+};
+
+}  // namespace lightor::baselines
+
+#endif  // LIGHTOR_BASELINES_CHAT_LSTM_H_

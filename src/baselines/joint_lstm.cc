@@ -1,0 +1,114 @@
+#include "baselines/joint_lstm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/bridge.h"
+
+namespace lightor::baselines {
+
+namespace {
+
+core::TrainingVideo ToTrainingVideo(const sim::LabeledVideo& video) {
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(video.chat);
+  tv.video_length = video.truth.meta.length;
+  for (const auto& h : video.truth.highlights) tv.highlights.push_back(h.span);
+  return tv;
+}
+
+bool InsideHighlight(const sim::GroundTruthVideo& truth, common::Seconds t) {
+  return truth.HighlightAt(t) >= 0;
+}
+
+}  // namespace
+
+JointLstm::JointLstm(JointLstmOptions options)
+    : options_(options),
+      chat_(options.chat),
+      video_features_(options.video),
+      video_model_(options.video_lr),
+      fusion_(options.fusion_lr) {}
+
+common::Status JointLstm::Train(const sim::Corpus& corpus) {
+  if (corpus.empty()) {
+    return common::Status::InvalidArgument("JointLstm::Train: empty corpus");
+  }
+  // 1) Chat pathway.
+  std::vector<core::TrainingVideo> chat_videos;
+  chat_videos.reserve(corpus.size());
+  for (const auto& video : corpus) chat_videos.push_back(ToTrainingVideo(video));
+  LIGHTOR_RETURN_IF_ERROR(chat_.Train(chat_videos));
+
+  // 2) Video pathway: LR over simulated frame features.
+  common::Rng rng(options_.chat.seed ^ 0x5151515151515151ULL);
+  ml::Dataset video_data;
+  const double stride = options_.chat.frame_stride;
+  for (const auto& video : corpus) {
+    for (double t = 0.0; t < video.truth.meta.length; t += stride) {
+      const int label = InsideHighlight(video.truth, t) ? 1 : 0;
+      // Match the chat model's negative subsampling rate.
+      if (label == 0 && !rng.Bernoulli(0.25)) continue;
+      video_data.Add(video_features_.FrameFeatures(video.truth, t), label);
+    }
+  }
+  LIGHTOR_RETURN_IF_ERROR(video_model_.Fit(video_data));
+
+  // 3) Fusion layer over the two pathway probabilities.
+  ml::Dataset fusion_data;
+  for (const auto& video : corpus) {
+    const auto messages = sim::ToCoreMessages(video.chat);
+    for (double t = 0.0; t < video.truth.meta.length; t += stride) {
+      const int label = InsideHighlight(video.truth, t) ? 1 : 0;
+      if (label == 0 && !rng.Bernoulli(0.25)) continue;
+      const double p_chat = chat_.model().PredictProbability(
+          ChatLstm::FrameText(messages, t, options_.chat.chat_window));
+      const double p_video = video_model_.PredictProbability(
+          video_features_.FrameFeatures(video.truth, t));
+      fusion_data.Add({p_chat, p_video}, label);
+    }
+  }
+  LIGHTOR_RETURN_IF_ERROR(fusion_.Fit(fusion_data));
+  trained_ = true;
+  return common::Status::OK();
+}
+
+std::vector<double> JointLstm::ScoreFrames(
+    const sim::LabeledVideo& video,
+    std::vector<common::Seconds>* positions) const {
+  const auto messages = sim::ToCoreMessages(video.chat);
+  std::vector<double> scores;
+  for (double t = 0.0; t < video.truth.meta.length;
+       t += options_.chat.frame_stride) {
+    const double p_chat = chat_.model().PredictProbability(
+        ChatLstm::FrameText(messages, t, options_.chat.chat_window));
+    const double p_video = video_model_.PredictProbability(
+        video_features_.FrameFeatures(video.truth, t));
+    scores.push_back(fusion_.PredictProbability({p_chat, p_video}));
+    if (positions != nullptr) positions->push_back(t);
+  }
+  return scores;
+}
+
+std::vector<common::Seconds> JointLstm::DetectTopK(
+    const sim::LabeledVideo& video, size_t k) const {
+  std::vector<common::Seconds> positions;
+  const std::vector<double> scores = ScoreFrames(video, &positions);
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::vector<common::Seconds> picked;
+  for (size_t idx : order) {
+    if (picked.size() >= k) break;
+    const double t = positions[idx];
+    const bool close = std::any_of(
+        picked.begin(), picked.end(), [&](common::Seconds p) {
+          return std::abs(p - t) <= options_.min_separation;
+        });
+    if (!close) picked.push_back(t);
+  }
+  return picked;
+}
+
+}  // namespace lightor::baselines

@@ -1,0 +1,73 @@
+#include "baselines/moocer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace lightor::baselines {
+
+Moocer::Moocer(MoocerOptions options) : options_(options) {}
+
+std::vector<double> Moocer::WatchCurve(const std::vector<core::Play>& plays,
+                                       common::Seconds video_length) const {
+  const size_t n_bins = static_cast<size_t>(
+                            std::ceil(video_length / options_.bin_seconds)) +
+                        1;
+  std::vector<double> bins(n_bins, 0.0);
+  for (const auto& play : plays) {
+    const double lo = std::clamp(play.span.start, 0.0, video_length);
+    const double hi = std::clamp(play.span.end, 0.0, video_length);
+    if (hi <= lo) continue;
+    const size_t b0 = static_cast<size_t>(lo / options_.bin_seconds);
+    const size_t b1 = std::min(
+        n_bins - 1, static_cast<size_t>(hi / options_.bin_seconds));
+    for (size_t b = b0; b <= b1; ++b) bins[b] += 1.0;
+  }
+  return common::GaussianSmooth(bins, options_.smooth_sigma);
+}
+
+std::vector<common::Interval> Moocer::Detect(
+    const std::vector<core::Play>& plays, common::Seconds video_length,
+    size_t k) const {
+  const std::vector<double> curve = WatchCurve(plays, video_length);
+  std::vector<size_t> peaks = common::LocalMaxima(curve, 1e-9);
+  std::sort(peaks.begin(), peaks.end(),
+            [&](size_t a, size_t b) { return curve[a] > curve[b]; });
+
+  const long max_steps = static_cast<long>(
+      options_.max_extent / options_.bin_seconds);
+  std::vector<common::Interval> out;
+  for (size_t peak : peaks) {
+    if (out.size() >= k) break;
+    const double height = curve[peak];
+    const double floor = height * options_.turning_fraction;
+    // Walk left until the curve rises again or drops below the floor.
+    long left = static_cast<long>(peak);
+    for (long steps = 0; left > 0 && steps < max_steps; ++steps) {
+      const long next = left - 1;
+      if (curve[static_cast<size_t>(next)] >
+              curve[static_cast<size_t>(left)] ||
+          curve[static_cast<size_t>(next)] < floor) {
+        break;
+      }
+      left = next;
+    }
+    long right = static_cast<long>(peak);
+    const long n = static_cast<long>(curve.size());
+    for (long steps = 0; right < n - 1 && steps < max_steps; ++steps) {
+      const long next = right + 1;
+      if (curve[static_cast<size_t>(next)] >
+              curve[static_cast<size_t>(right)] ||
+          curve[static_cast<size_t>(next)] < floor) {
+        break;
+      }
+      right = next;
+    }
+    out.emplace_back(static_cast<double>(left) * options_.bin_seconds,
+                     (static_cast<double>(right) + 1.0) * options_.bin_seconds);
+  }
+  return out;
+}
+
+}  // namespace lightor::baselines

@@ -1,0 +1,44 @@
+#ifndef LIGHTOR_BASELINES_MOOCER_H_
+#define LIGHTOR_BASELINES_MOOCER_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "core/message.h"
+
+namespace lightor::baselines {
+
+/// Moocer (Kim et al., "Understanding in-video dropouts and interaction
+/// peaks in online lecture videos"): builds a per-second watch-frequency
+/// histogram from Play interactions only, smooths it, finds local maxima,
+/// and reports the two turning points around each maximum (where the
+/// curve stops falling) as the highlight boundary.
+struct MoocerOptions {
+  double bin_seconds = 1.0;
+  double smooth_sigma = 8.0;
+  /// A turning point is declared when the curve drops below this fraction
+  /// of the peak height or starts rising again.
+  double turning_fraction = 0.5;
+  double max_extent = 60.0;  ///< search limit on each side of a peak
+};
+
+class Moocer {
+ public:
+  explicit Moocer(MoocerOptions options = {});
+
+  /// Top-k highlight intervals from play records, ranked by peak height.
+  std::vector<common::Interval> Detect(const std::vector<core::Play>& plays,
+                                       common::Seconds video_length,
+                                       size_t k) const;
+
+  /// The smoothed watch-frequency curve (exposed for tests/analysis).
+  std::vector<double> WatchCurve(const std::vector<core::Play>& plays,
+                                 common::Seconds video_length) const;
+
+ private:
+  MoocerOptions options_;
+};
+
+}  // namespace lightor::baselines
+
+#endif  // LIGHTOR_BASELINES_MOOCER_H_

@@ -1,0 +1,37 @@
+#include "baselines/naive_top_count.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/window.h"
+
+namespace lightor::baselines {
+
+NaiveTopCount::NaiveTopCount(NaiveTopCountOptions options)
+    : options_(options) {}
+
+std::vector<common::Seconds> NaiveTopCount::Detect(
+    const std::vector<core::Message>& messages, common::Seconds video_length,
+    size_t k) const {
+  core::WindowOptions wopts;
+  wopts.size = options_.window_size;
+  wopts.stride = options_.window_size / 2.0;
+  auto windows = core::GenerateWindows(messages, video_length, wopts);
+  std::sort(windows.begin(), windows.end(),
+            [](const core::SlidingWindow& a, const core::SlidingWindow& b) {
+              return a.message_count() > b.message_count();
+            });
+  std::vector<common::Seconds> dots;
+  for (const auto& w : windows) {
+    if (dots.size() >= k) break;
+    const double position = w.span.Center();
+    const bool close = std::any_of(
+        dots.begin(), dots.end(), [&](common::Seconds d) {
+          return std::abs(d - position) <= options_.min_separation;
+        });
+    if (!close) dots.push_back(position);
+  }
+  return dots;
+}
+
+}  // namespace lightor::baselines

@@ -1,0 +1,37 @@
+#ifndef LIGHTOR_BASELINES_NAIVE_TOP_COUNT_H_
+#define LIGHTOR_BASELINES_NAIVE_TOP_COUNT_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "core/message.h"
+
+namespace lightor::baselines {
+
+/// The paper's "naive implementation" (Section IV-C1): "count which part
+/// of the video has the largest message number and put a red dot at that
+/// position." It fails for the two reasons the paper analyses — ad bots
+/// create fake peaks, and real peaks lag the highlight start by the
+/// comment delay — which is exactly what its inclusion demonstrates.
+struct NaiveTopCountOptions {
+  double window_size = 25.0;      ///< counting window
+  double min_separation = 120.0;  ///< between reported dots
+};
+
+class NaiveTopCount {
+ public:
+  explicit NaiveTopCount(NaiveTopCountOptions options = {});
+
+  /// Top-k window-center positions by raw message count. `messages` must
+  /// be sorted by timestamp.
+  std::vector<common::Seconds> Detect(const std::vector<core::Message>& messages,
+                                      common::Seconds video_length,
+                                      size_t k) const;
+
+ private:
+  NaiveTopCountOptions options_;
+};
+
+}  // namespace lightor::baselines
+
+#endif  // LIGHTOR_BASELINES_NAIVE_TOP_COUNT_H_

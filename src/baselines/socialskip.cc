@@ -1,0 +1,57 @@
+#include "baselines/socialskip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace lightor::baselines {
+
+SocialSkip::SocialSkip(SocialSkipOptions options) : options_(options) {}
+
+std::vector<double> SocialSkip::InterestCurve(
+    const std::vector<sim::InteractionEvent>& events,
+    common::Seconds video_length) const {
+  const size_t n_bins = static_cast<size_t>(
+                            std::ceil(video_length / options_.bin_seconds)) +
+                        1;
+  std::vector<double> bins(n_bins, 0.0);
+  auto add_range = [&](double lo, double hi, double value) {
+    lo = std::clamp(lo, 0.0, video_length);
+    hi = std::clamp(hi, 0.0, video_length);
+    if (hi <= lo) return;
+    const size_t b0 = static_cast<size_t>(lo / options_.bin_seconds);
+    const size_t b1 = std::min(
+        n_bins - 1, static_cast<size_t>(hi / options_.bin_seconds));
+    for (size_t b = b0; b <= b1; ++b) bins[b] += value;
+  };
+  for (const auto& ev : events) {
+    if (ev.type == sim::InteractionType::kSeekBackward) {
+      // The replayed range [target, position] is interesting.
+      add_range(ev.target, ev.position, +1.0);
+    } else if (ev.type == sim::InteractionType::kSeekForward) {
+      // The skipped range [position, target] is uninteresting.
+      add_range(ev.position, ev.target, -1.0);
+    }
+  }
+  return common::GaussianSmooth(bins, options_.smooth_sigma);
+}
+
+std::vector<common::Interval> SocialSkip::Detect(
+    const std::vector<sim::InteractionEvent>& events,
+    common::Seconds video_length, size_t k) const {
+  const std::vector<double> curve = InterestCurve(events, video_length);
+  std::vector<size_t> peaks = common::LocalMaxima(curve, 1e-9);
+  std::sort(peaks.begin(), peaks.end(),
+            [&](size_t a, size_t b) { return curve[a] > curve[b]; });
+  std::vector<common::Interval> out;
+  for (size_t peak : peaks) {
+    if (out.size() >= k) break;
+    const double t = (static_cast<double>(peak) + 0.5) * options_.bin_seconds;
+    out.emplace_back(std::max(0.0, t - options_.boundary_margin),
+                     std::min(video_length, t + options_.boundary_margin));
+  }
+  return out;
+}
+
+}  // namespace lightor::baselines

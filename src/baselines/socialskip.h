@@ -1,0 +1,43 @@
+#ifndef LIGHTOR_BASELINES_SOCIALSKIP_H_
+#define LIGHTOR_BASELINES_SOCIALSKIP_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "sim/viewer.h"
+
+namespace lightor::baselines {
+
+/// SocialSkip (Chorianopoulos, "Collective intelligence within web
+/// video"): builds a per-second interest histogram from seek
+/// interactions — a backward seek replays a range (interesting, +1), a
+/// forward seek skips a range (uninteresting, −1) — smooths it, and
+/// reports each local maximum ±10 s as a highlight boundary.
+struct SocialSkipOptions {
+  double bin_seconds = 1.0;
+  double smooth_sigma = 8.0;
+  double boundary_margin = 10.0;  ///< start = peak − margin, end = peak + margin
+};
+
+class SocialSkip {
+ public:
+  explicit SocialSkip(SocialSkipOptions options = {});
+
+  /// Top-k highlight intervals from raw interaction events (all viewers'
+  /// sessions concatenated), ranked by peak height.
+  std::vector<common::Interval> Detect(
+      const std::vector<sim::InteractionEvent>& events,
+      common::Seconds video_length, size_t k) const;
+
+  /// The smoothed interest curve (exposed for tests/analysis).
+  std::vector<double> InterestCurve(
+      const std::vector<sim::InteractionEvent>& events,
+      common::Seconds video_length) const;
+
+ private:
+  SocialSkipOptions options_;
+};
+
+}  // namespace lightor::baselines
+
+#endif  // LIGHTOR_BASELINES_SOCIALSKIP_H_

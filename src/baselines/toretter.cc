@@ -1,0 +1,50 @@
+#include "baselines/toretter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace lightor::baselines {
+
+Toretter::Toretter(ToretterOptions options) : options_(options) {}
+
+std::vector<common::Seconds> Toretter::DetectEvents(
+    const std::vector<core::Message>& messages, common::Seconds video_length,
+    size_t k) const {
+  const size_t n_bins = static_cast<size_t>(
+                            std::ceil(video_length / options_.bin_seconds)) +
+                        1;
+  std::vector<double> counts(n_bins, 0.0);
+  for (const auto& msg : messages) {
+    const size_t bin = std::min(
+        n_bins - 1,
+        static_cast<size_t>(msg.timestamp / options_.bin_seconds));
+    counts[bin] += 1.0;
+  }
+  const std::vector<double> smooth =
+      common::GaussianSmooth(counts, options_.smooth_sigma);
+
+  const double mean = common::Mean(smooth);
+  const double stddev = std::max(1e-9, common::StdDev(smooth));
+  const double threshold = mean + options_.z_threshold * stddev;
+
+  // Candidate events: local maxima above the z-score threshold.
+  std::vector<size_t> peaks = common::LocalMaxima(smooth, threshold);
+  std::sort(peaks.begin(), peaks.end(),
+            [&](size_t a, size_t b) { return smooth[a] > smooth[b]; });
+
+  std::vector<common::Seconds> events;
+  for (size_t peak : peaks) {
+    if (events.size() >= k) break;
+    const double t = (static_cast<double>(peak) + 0.5) * options_.bin_seconds;
+    const bool too_close = std::any_of(
+        events.begin(), events.end(), [&](common::Seconds e) {
+          return std::abs(e - t) <= options_.min_separation;
+        });
+    if (!too_close) events.push_back(t);
+  }
+  return events;
+}
+
+}  // namespace lightor::baselines

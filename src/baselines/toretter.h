@@ -1,0 +1,45 @@
+#ifndef LIGHTOR_BASELINES_TORETTER_H_
+#define LIGHTOR_BASELINES_TORETTER_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "core/message.h"
+
+namespace lightor::baselines {
+
+/// Toretter-style event detection (Sakaki et al., tweet analysis for
+/// real-time earthquake reporting) applied to chat messages: bin the
+/// message counts, smooth, and report burst peaks whose z-score exceeds a
+/// threshold as event positions. Two deliberate properties make it the
+/// paper's Fig. 7(a) baseline:
+///   * it scores bursts on raw counts only (no length/similarity
+///     features), so spam bots and discussion surges rank highly;
+///   * it reports the *peak* position — no reaction-delay adjustment — so
+///     its dots lag the true highlight starts by the comment delay.
+struct ToretterOptions {
+  double bin_seconds = 1.0;
+  double smooth_sigma = 5.0;      ///< Gaussian smoothing of the count curve
+  double z_threshold = 2.0;       ///< burst detection threshold
+  double min_separation = 120.0;  ///< between reported events
+};
+
+class Toretter {
+ public:
+  explicit Toretter(ToretterOptions options = {});
+
+  /// Top-k event positions (peak times) ordered by burst magnitude.
+  /// `messages` must be sorted by timestamp.
+  std::vector<common::Seconds> DetectEvents(
+      const std::vector<core::Message>& messages,
+      common::Seconds video_length, size_t k) const;
+
+  const ToretterOptions& options() const { return options_; }
+
+ private:
+  ToretterOptions options_;
+};
+
+}  // namespace lightor::baselines
+
+#endif  // LIGHTOR_BASELINES_TORETTER_H_

@@ -1,0 +1,71 @@
+#include "baselines/video_features.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lightor::baselines {
+
+namespace {
+
+uint64_t HashId(const std::string& id) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<double> UnitVector(size_t dims, common::Rng& rng) {
+  std::vector<double> v(dims);
+  double norm = 0.0;
+  for (double& x : v) {
+    x = rng.Normal(0.0, 1.0);
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (double& x : v) x /= norm;
+  }
+  return v;
+}
+
+}  // namespace
+
+SimulatedVideoFeatures::SimulatedVideoFeatures(VideoFeatureOptions options)
+    : options_(options) {
+  common::Rng rng(options_.seed);
+  dota_direction_ = UnitVector(options_.dims, rng);
+  lol_direction_ = UnitVector(options_.dims, rng);
+}
+
+std::vector<double> SimulatedVideoFeatures::GameDirection(
+    sim::GameType game) const {
+  return game == sim::GameType::kDota2 ? dota_direction_ : lol_direction_;
+}
+
+std::vector<double> SimulatedVideoFeatures::FrameFeatures(
+    const sim::GroundTruthVideo& video, common::Seconds t) const {
+  // Deterministic per (video, second): the "pixels" of this frame.
+  common::Rng rng(HashId(video.meta.id) ^
+                  (static_cast<uint64_t>(std::llround(t)) *
+                   0x9e3779b97f4a7c15ULL));
+  std::vector<double> features(options_.dims);
+  for (double& f : features) {
+    f = rng.Normal(0.0, options_.noise_scale);
+  }
+  const int hi = video.HighlightAt(t);
+  if (hi >= 0) {
+    const auto& h = video.highlights[static_cast<size_t>(hi)];
+    const std::vector<double> dir = GameDirection(video.meta.game);
+    const double magnitude =
+        options_.action_scale * h.intensity * rng.Uniform(0.6, 1.2);
+    for (size_t d = 0; d < options_.dims; ++d) {
+      features[d] += magnitude * dir[d];
+    }
+  }
+  return features;
+}
+
+}  // namespace lightor::baselines

@@ -1,0 +1,50 @@
+#ifndef LIGHTOR_BASELINES_VIDEO_FEATURES_H_
+#define LIGHTOR_BASELINES_VIDEO_FEATURES_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "sim/video.h"
+
+namespace lightor::baselines {
+
+/// Simulated per-frame visual features — the stand-in for the image
+/// features a pre-trained CNN would extract from the actual video frames
+/// (which we do not have; see the substitution table in DESIGN.md).
+///
+/// Each frame yields a `dims`-dimensional vector: deterministic
+/// pseudo-random noise, plus — inside a highlight — an "action" component
+/// whose direction is *game-specific* (a fixed random mixing vector per
+/// game) and whose magnitude scales with the highlight's intensity. The
+/// game-specific direction is what makes a video model trained on LoL
+/// transfer poorly to Dota2, reproducing the generalization gap the paper
+/// reports for Joint-LSTM.
+struct VideoFeatureOptions {
+  size_t dims = 8;
+  double action_scale = 1.3;   ///< highlight action-component magnitude
+  double noise_scale = 1.1;    ///< per-frame noise magnitude
+  uint64_t seed = 1234;        ///< fixes the per-game mixing directions
+};
+
+class SimulatedVideoFeatures {
+ public:
+  explicit SimulatedVideoFeatures(VideoFeatureOptions options = {});
+
+  /// Feature vector of the frame at time `t` of `video`. Deterministic in
+  /// (video id, t).
+  std::vector<double> FrameFeatures(const sim::GroundTruthVideo& video,
+                                    common::Seconds t) const;
+
+  size_t dims() const { return options_.dims; }
+
+ private:
+  std::vector<double> GameDirection(sim::GameType game) const;
+
+  VideoFeatureOptions options_;
+  std::vector<double> dota_direction_;
+  std::vector<double> lol_direction_;
+};
+
+}  // namespace lightor::baselines
+
+#endif  // LIGHTOR_BASELINES_VIDEO_FEATURES_H_

@@ -1,0 +1,59 @@
+#ifndef LIGHTOR_COMMON_CSV_H_
+#define LIGHTOR_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lightor::common {
+
+/// Writes rows of stringified cells as RFC-4180 CSV (quoting only when a
+/// cell contains a comma, quote, or newline). Used by the benchmark
+/// harness to dump figure series for external plotting.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (not owned; must outlive us).
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  /// Writes the header row.
+  void WriteHeader(const std::vector<std::string>& columns);
+
+  /// Writes one data row.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream* out_;
+  size_t rows_ = 0;
+};
+
+/// Parses one RFC-4180 CSV line into cells (handles quoted cells with
+/// embedded commas, escaped quotes, but not embedded newlines — callers
+/// that write newlines must escape them first).
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Pretty-prints an aligned text table to a stream — the benchmark
+/// binaries use this to print the same rows/series the paper reports.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  /// Appends a data row; must match the number of columns.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lightor::common
+
+#endif  // LIGHTOR_COMMON_CSV_H_

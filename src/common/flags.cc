@@ -1,0 +1,88 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace lightor::common {
+
+Flags Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!StartsWith(token, "--")) {
+      flags.positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` form: consume the next token unless it is a flag.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[body] = "";  // bare boolean flag
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback,
+                      bool* ok) const {
+  if (ok != nullptr) *ok = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    if (ok != nullptr) *ok = false;
+    return fallback;
+  }
+  return value;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback,
+                        bool* ok) const {
+  if (ok != nullptr) *ok = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    if (ok != nullptr) *ok = false;
+    return fallback;
+  }
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string v = ToLower(it->second);
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return fallback;
+}
+
+std::vector<std::string> Flags::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, _] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace lightor::common

@@ -1,0 +1,53 @@
+#ifndef LIGHTOR_COMMON_FLAGS_H_
+#define LIGHTOR_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lightor::common {
+
+/// A tiny command-line flag parser for the benchmark/example binaries:
+/// accepts `--name=value` and `--name value` tokens; everything else is a
+/// positional argument. Typed getters fall back to a default when the
+/// flag is absent and fail (Status) on malformed values.
+class Flags {
+ public:
+  /// Parses argv (argv[0] is skipped). Unknown flags are retained — the
+  /// caller decides what is valid.
+  static Flags Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Raw string value (empty default).
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Integer value; returns `fallback` when absent. Malformed input is
+  /// reported through `ok` when provided (and the fallback is returned).
+  int64_t GetInt(const std::string& name, int64_t fallback,
+                 bool* ok = nullptr) const;
+
+  /// Floating-point value with the same semantics as GetInt.
+  double GetDouble(const std::string& name, double fallback,
+                   bool* ok = nullptr) const;
+
+  /// Boolean: `--flag` alone, or =true/false/1/0/yes/no.
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all parsed flags (for validation / help texts).
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lightor::common
+
+#endif  // LIGHTOR_COMMON_FLAGS_H_

@@ -1,0 +1,76 @@
+#ifndef LIGHTOR_COMMON_INTERVAL_H_
+#define LIGHTOR_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace lightor::common {
+
+/// All timestamps in the library are seconds from the start of a video.
+using Seconds = double;
+
+/// A closed time interval [start, end] on a video timeline. Used for
+/// highlights, sliding windows, play sessions, and red-dot neighborhoods.
+struct Interval {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+
+  Interval() = default;
+  Interval(Seconds s, Seconds e) : start(s), end(e) {}
+
+  /// Length in seconds; zero for degenerate/inverted intervals.
+  Seconds Length() const { return std::max(0.0, end - start); }
+
+  /// True if start <= end.
+  bool Valid() const { return start <= end; }
+
+  /// True if `t` lies inside [start, end].
+  bool Contains(Seconds t) const { return t >= start && t <= end; }
+
+  /// True if `other` lies entirely inside this interval.
+  bool Contains(const Interval& other) const {
+    return other.start >= start && other.end <= end;
+  }
+
+  /// True if the two closed intervals share at least one point.
+  bool Overlaps(const Interval& other) const {
+    return start <= other.end && other.start <= end;
+  }
+
+  /// Length of the overlap with `other` (0 when disjoint).
+  Seconds OverlapLength(const Interval& other) const {
+    return std::max(0.0, std::min(end, other.end) -
+                             std::max(start, other.start));
+  }
+
+  /// Intersection-over-union with `other`; 0 when both are degenerate.
+  double Iou(const Interval& other) const {
+    const Seconds inter = OverlapLength(other);
+    const Seconds uni = Length() + other.Length() - inter;
+    return uni > 0.0 ? inter / uni : 0.0;
+  }
+
+  /// Midpoint of the interval.
+  Seconds Center() const { return 0.5 * (start + end); }
+
+  /// Returns this interval shifted by `dt` seconds.
+  Interval Shifted(Seconds dt) const { return {start + dt, end + dt}; }
+
+  /// Returns this interval clamped into [lo, hi].
+  Interval Clamped(Seconds lo, Seconds hi) const {
+    return {std::clamp(start, lo, hi), std::clamp(end, lo, hi)};
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << "[" << iv.start << ", " << iv.end << "]";
+}
+
+}  // namespace lightor::common
+
+#endif  // LIGHTOR_COMMON_INTERVAL_H_

@@ -1,0 +1,48 @@
+#ifndef LIGHTOR_COMMON_LOGGING_H_
+#define LIGHTOR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lightor::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to Info.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line to stderr: "[LEVEL] file:line message".
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+/// Stream-style log statement collector; emits on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace lightor::common
+
+#define LIGHTOR_LOG(level)                                      \
+  ::lightor::common::LogStream(::lightor::common::LogLevel::k##level, \
+                               __FILE__, __LINE__)
+
+#endif  // LIGHTOR_COMMON_LOGGING_H_

@@ -1,0 +1,36 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace lightor::common {
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads) {
+  if (n == 0) return;
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (size_t t = 1; t < num_threads; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace lightor::common

@@ -1,0 +1,19 @@
+#ifndef LIGHTOR_COMMON_PARALLEL_H_
+#define LIGHTOR_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace lightor::common {
+
+/// Runs `fn(0) .. fn(n-1)` across a pool of threads (atomic work-stealing
+/// over indices). `fn` must be safe to call concurrently for distinct
+/// indices; writes should go to per-index slots so results stay
+/// deterministic. `num_threads` 0 picks the hardware concurrency.
+/// Degrades to a plain loop for n <= 1 or a single thread.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads = 0);
+
+}  // namespace lightor::common
+
+#endif  // LIGHTOR_COMMON_PARALLEL_H_

@@ -1,0 +1,78 @@
+#ifndef LIGHTOR_COMMON_RESULT_H_
+#define LIGHTOR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace lightor::common {
+
+/// A value-or-error holder: either contains a `T` (and an OK status) or a
+/// non-OK `Status`. Accessing the value of an errored result aborts in
+/// debug builds (assert), mirroring absl::StatusOr semantics.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so
+  /// `return Status::NotFound(...)` works). Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace lightor::common
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status
+/// from the enclosing function when it is an error.
+#define LIGHTOR_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto LIGHTOR_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!LIGHTOR_CONCAT_(_res_, __LINE__).ok())     \
+    return LIGHTOR_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(LIGHTOR_CONCAT_(_res_, __LINE__)).value()
+
+#define LIGHTOR_CONCAT_INNER_(a, b) a##b
+#define LIGHTOR_CONCAT_(a, b) LIGHTOR_CONCAT_INNER_(a, b)
+
+#endif  // LIGHTOR_COMMON_RESULT_H_

@@ -1,0 +1,211 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lightor::common {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) {
+  return std::sqrt(Variance(xs));
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> MovingAverage(const std::vector<double>& xs, int radius) {
+  assert(radius >= 0);
+  const int n = static_cast<int>(xs.size());
+  std::vector<double> out(xs.size(), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - radius);
+    const int hi = std::min(n - 1, i + radius);
+    double acc = 0.0;
+    for (int j = lo; j <= hi; ++j) acc += xs[j];
+    out[i] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> GaussianSmooth(const std::vector<double>& xs,
+                                   double sigma) {
+  assert(sigma > 0.0);
+  const int n = static_cast<int>(xs.size());
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<double> kernel(2 * radius + 1);
+  for (int k = -radius; k <= radius; ++k) {
+    kernel[k + radius] = std::exp(-0.5 * (k / sigma) * (k / sigma));
+  }
+  std::vector<double> out(xs.size(), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0, wsum = 0.0;
+    for (int k = -radius; k <= radius; ++k) {
+      const int j = i + k;
+      if (j < 0 || j >= n) continue;
+      acc += kernel[k + radius] * xs[j];
+      wsum += kernel[k + radius];
+    }
+    out[i] = wsum > 0.0 ? acc / wsum : 0.0;
+  }
+  return out;
+}
+
+std::vector<size_t> LocalMaxima(const std::vector<double>& xs,
+                                double min_height) {
+  std::vector<size_t> peaks;
+  const size_t n = xs.size();
+  if (n == 0) return peaks;
+  if (n == 1) {
+    if (xs[0] >= min_height) peaks.push_back(0);
+    return peaks;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (xs[i] < min_height) continue;
+    const bool left_ok = (i == 0) || xs[i] > xs[i - 1];
+    if (!left_ok) continue;
+    // Walk a plateau: the peak counts if the first strictly different
+    // value to the right is smaller (or the plateau reaches the end).
+    size_t j = i;
+    while (j + 1 < n && xs[j + 1] == xs[i]) ++j;
+    const bool right_ok = (j == n - 1) || xs[j + 1] < xs[i];
+    if (right_ok) peaks.push_back(i);
+  }
+  return peaks;
+}
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(num_bins)),
+      counts_(num_bins, 0.0) {
+  assert(num_bins >= 1);
+  assert(hi > lo);
+}
+
+void Histogram::Add(double x, double weight) {
+  counts_[BinIndex(x)] += weight;
+  total_ += weight;
+}
+
+size_t Histogram::BinIndex(double x) const {
+  const double raw = (x - lo_) / width_;
+  if (raw < 0.0) return 0;
+  const size_t idx = static_cast<size_t>(raw);
+  return std::min(idx, counts_.size() - 1);
+}
+
+double Histogram::BinCenter(size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::Normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0.0) return out;
+  for (size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] / total_;
+  return out;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::Evaluate(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace lightor::common

@@ -1,0 +1,122 @@
+#ifndef LIGHTOR_COMMON_STATS_H_
+#define LIGHTOR_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lightor::common {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double Variance(const std::vector<double>& xs);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Median (average of the two middle elements for even n); 0 for empty
+/// input. Does not modify the input.
+double Median(std::vector<double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]; 0 for empty input.
+double Quantile(std::vector<double> xs, double q);
+
+/// Minimum / maximum; 0 for empty input.
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Pearson correlation of two equally-sized vectors; 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Centered moving average with window half-width `radius` (window size
+/// 2*radius+1, truncated at the edges). Returns a vector of input size.
+std::vector<double> MovingAverage(const std::vector<double>& xs, int radius);
+
+/// Gaussian kernel smoothing with bandwidth `sigma` (in sample units),
+/// truncated at 3 sigma. Returns a vector of input size.
+std::vector<double> GaussianSmooth(const std::vector<double>& xs,
+                                   double sigma);
+
+/// Indices of strict local maxima of `xs` (greater than both neighbors;
+/// plateau peaks report their first index). Endpoints qualify when greater
+/// than their single neighbor. Values below `min_height` are skipped.
+std::vector<size_t> LocalMaxima(const std::vector<double>& xs,
+                                double min_height = 0.0);
+
+/// A fixed-bin histogram over [lo, hi). Out-of-range samples are clamped
+/// into the first/last bin.
+class Histogram {
+ public:
+  /// Creates `num_bins` equal-width bins spanning [lo, hi). Requires
+  /// num_bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, size_t num_bins);
+
+  /// Adds one observation with the given weight.
+  void Add(double x, double weight = 1.0);
+
+  /// Index of the bin that `x` falls into (clamped).
+  size_t BinIndex(double x) const;
+
+  /// Center of bin `i`.
+  double BinCenter(size_t i) const;
+
+  /// Width of each bin.
+  double BinWidth() const { return width_; }
+
+  size_t num_bins() const { return counts_.size(); }
+  const std::vector<double>& counts() const { return counts_; }
+  double total_weight() const { return total_; }
+
+  /// Counts normalized to sum to 1 (all zeros when empty).
+  std::vector<double> Normalized() const;
+
+ private:
+  double lo_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+/// An empirical CDF built from a sample.
+class EmpiricalCdf {
+ public:
+  /// Builds from `samples` (copied and sorted).
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  double Evaluate(double x) const;
+
+  /// Inverse CDF at q in [0, 1].
+  double Quantile(double q) const;
+
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Online accumulator for mean/variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< Unbiased; 0 for n < 2.
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lightor::common
+
+#endif  // LIGHTOR_COMMON_STATS_H_

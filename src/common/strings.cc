@@ -1,0 +1,89 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace lightor::common {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (true) {
+    const size_t pos = s.find(delim, begin);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(begin));
+      break;
+    }
+    out.emplace_back(s.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t begin = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > begin) out.emplace_back(s.substr(begin, i - begin));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string FormatDouble(double x, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, x);
+  return buf;
+}
+
+std::string FormatTimestamp(double seconds) {
+  const long total = std::lround(std::max(0.0, seconds));
+  const long h = total / 3600;
+  const long m = (total % 3600) / 60;
+  const long s = total % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%ld:%02ld:%02ld", h, m, s);
+  return buf;
+}
+
+}  // namespace lightor::common

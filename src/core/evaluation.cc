@@ -1,0 +1,51 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+
+namespace lightor::core {
+
+double ChatPrecisionAtK(const std::vector<int>& topk_labels) {
+  if (topk_labels.empty()) return 0.0;
+  const auto hits = std::count(topk_labels.begin(), topk_labels.end(), 1);
+  return static_cast<double>(hits) /
+         static_cast<double>(topk_labels.size());
+}
+
+double VideoPrecisionStart(const std::vector<common::Seconds>& starts,
+                           const std::vector<common::Interval>& highlights,
+                           double slack) {
+  if (starts.empty()) return 0.0;
+  size_t hits = 0;
+  for (common::Seconds x : starts) {
+    const bool ok = std::any_of(
+        highlights.begin(), highlights.end(), [&](const common::Interval& h) {
+          return x >= h.start - slack && x <= h.end;
+        });
+    if (ok) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(starts.size());
+}
+
+double VideoPrecisionEnd(const std::vector<common::Seconds>& ends,
+                         const std::vector<common::Interval>& highlights,
+                         double slack) {
+  if (ends.empty()) return 0.0;
+  size_t hits = 0;
+  for (common::Seconds y : ends) {
+    const bool ok = std::any_of(
+        highlights.begin(), highlights.end(), [&](const common::Interval& h) {
+          return y >= h.start && y <= h.end + slack;
+        });
+    if (ok) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(ends.size());
+}
+
+std::vector<common::Seconds> DotPositions(const std::vector<RedDot>& dots) {
+  std::vector<common::Seconds> out;
+  out.reserve(dots.size());
+  for (const auto& d : dots) out.push_back(d.position);
+  return out;
+}
+
+}  // namespace lightor::core

@@ -1,0 +1,35 @@
+#ifndef LIGHTOR_CORE_EVALUATION_H_
+#define LIGHTOR_CORE_EVALUATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/interval.h"
+#include "core/initializer.h"
+#include "core/window.h"
+
+namespace lightor::core {
+
+/// Chat Precision@K (Section VII-A): fraction of the k selected windows
+/// whose label is 1 ("talking about a highlight"). `windows` are the
+/// already-selected top-k windows; `labels` align with them.
+double ChatPrecisionAtK(const std::vector<int>& topk_labels);
+
+/// Video Precision@K (start): a start position x is correct iff some
+/// highlight h=[s,e] satisfies x ∈ [s − slack, e].
+double VideoPrecisionStart(const std::vector<common::Seconds>& starts,
+                           const std::vector<common::Interval>& highlights,
+                           double slack = 10.0);
+
+/// Video Precision@K (end): an end position y is correct iff some
+/// highlight h=[s,e] satisfies y ∈ [s, e + slack].
+double VideoPrecisionEnd(const std::vector<common::Seconds>& ends,
+                         const std::vector<common::Interval>& highlights,
+                         double slack = 10.0);
+
+/// Convenience: start positions of a red-dot list.
+std::vector<common::Seconds> DotPositions(const std::vector<RedDot>& dots);
+
+}  // namespace lightor::core
+
+#endif  // LIGHTOR_CORE_EVALUATION_H_

@@ -1,0 +1,190 @@
+#include "core/extractor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace lightor::core {
+
+std::vector<double> PlayFeatures::Normalized() const {
+  const double t = total();
+  if (t <= 0.0) return {0.0, 0.0, 0.0};
+  return {plays_after / t, plays_before / t, plays_across / t};
+}
+
+common::Status TypeClassifier::Train(const ml::Dataset& data) {
+  return model_.Fit(data);
+}
+
+double TypeClassifier::TypeIProbability(const PlayFeatures& features) const {
+  if (model_.fitted()) {
+    return model_.PredictProbability(features.Normalized());
+  }
+  // Rule fallback (Fig. 4): for a Type II dot an engaged viewer's plays
+  // start at or after the dot; plays ending before or spanning across the
+  // dot indicate backward search, i.e. Type I.
+  const double t = features.total();
+  if (t <= 0.0) return 0.5;
+  const double backward_fraction =
+      (features.plays_before + features.plays_across) / t;
+  return backward_fraction >= 0.45 ? 0.9 : 0.1;
+}
+
+DotType TypeClassifier::Classify(const PlayFeatures& features) const {
+  return TypeIProbability(features) >= 0.5 ? DotType::kTypeI
+                                           : DotType::kTypeII;
+}
+
+HighlightExtractor::HighlightExtractor(ExtractorOptions options,
+                                       TypeClassifier classifier)
+    : options_(options), classifier_(std::move(classifier)) {}
+
+std::vector<Play> HighlightExtractor::RemoveGraphOutliers(
+    const std::vector<Play>& plays) {
+  const size_t n = plays.size();
+  if (n <= 2) return plays;
+  // Overlap graph: edge when spans intersect. O(n^2) is fine for
+  // crowd-sized inputs (tens of plays per dot).
+  std::vector<std::vector<size_t>> adjacency(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (plays[i].span.Overlaps(plays[j].span)) {
+        adjacency[i].push_back(j);
+        adjacency[j].push_back(i);
+      }
+    }
+  }
+  size_t center = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (adjacency[i].size() > adjacency[center].size()) center = i;
+  }
+  std::vector<bool> keep(n, false);
+  keep[center] = true;
+  for (size_t j : adjacency[center]) keep[j] = true;
+  std::vector<Play> kept;
+  kept.reserve(adjacency[center].size() + 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) kept.push_back(plays[i]);
+  }
+  return kept;
+}
+
+std::vector<Play> HighlightExtractor::FilterPlays(
+    const std::vector<Play>& plays, common::Seconds red_dot) const {
+  const common::Interval neighborhood(red_dot - options_.delta,
+                                      red_dot + options_.delta);
+  std::vector<Play> filtered;
+  for (const auto& play : plays) {
+    if (!play.span.Valid()) continue;
+    // Distance filter: the play must start within the dot's neighborhood
+    // (a play far from the dot belongs to another highlight).
+    if (!neighborhood.Contains(play.span.start)) continue;
+    // Duration filter.
+    const double len = play.span.Length();
+    if (len < options_.min_play_length || len > options_.max_play_length) {
+      continue;
+    }
+    filtered.push_back(play);
+  }
+  if (options_.graph_outlier_removal) {
+    filtered = RemoveGraphOutliers(filtered);
+  }
+  return filtered;
+}
+
+PlayFeatures HighlightExtractor::ComputeFeatures(
+    const std::vector<Play>& plays, common::Seconds red_dot) const {
+  PlayFeatures f;
+  for (const auto& play : plays) {
+    if (play.span.start >= red_dot) {
+      f.plays_after += 1.0;
+    } else if (play.span.end < red_dot) {
+      f.plays_before += 1.0;
+    } else {
+      f.plays_across += 1.0;
+    }
+  }
+  return f;
+}
+
+RefineResult HighlightExtractor::RefineOnce(const std::vector<Play>& plays,
+                                            common::Seconds red_dot) const {
+  RefineResult result;
+  const std::vector<Play> filtered = FilterPlays(plays, red_dot);
+  result.plays_used = static_cast<int>(filtered.size());
+  result.enough_plays =
+      result.plays_used >= options_.min_plays;
+  if (!result.enough_plays) {
+    // Not enough signal: treat as Type I so the loop gathers more data
+    // at an earlier position.
+    result.type = DotType::kTypeI;
+    result.new_dot = std::max(0.0, red_dot - options_.type1_move);
+    return result;
+  }
+
+  const PlayFeatures features = ComputeFeatures(filtered, red_dot);
+  result.type = classifier_.Classify(features);
+
+  if (result.type == DotType::kTypeII) {
+    // Aggregation for Type II: drop plays that end before the dot, then
+    // take the medians of starts and ends.
+    std::vector<double> starts, ends;
+    for (const auto& play : filtered) {
+      if (play.span.end < red_dot) continue;  // Algorithm 2 lines 7–10
+      starts.push_back(play.span.start);
+      ends.push_back(play.span.end);
+    }
+    if (starts.empty()) {
+      result.type = DotType::kTypeI;
+      result.new_dot = std::max(0.0, red_dot - options_.type1_move);
+      return result;
+    }
+    result.boundary = common::Interval(common::Median(starts),
+                                       common::Median(ends));
+    result.new_dot = result.boundary.start;
+  } else {
+    // Type I: the highlight ended before the dot — move backwards by m
+    // and collect fresh interactions there.
+    result.new_dot = std::max(0.0, red_dot - options_.type1_move);
+  }
+  return result;
+}
+
+ExtractResult HighlightExtractor::Run(PlayProvider& provider,
+                                      common::Seconds initial_dot) const {
+  ExtractResult result;
+  common::Seconds dot = initial_dot;
+  result.dot_history.push_back(dot);
+  common::Interval last_boundary(initial_dot,
+                                 initial_dot + options_.fallback_length);
+  bool have_boundary = false;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    ++result.iterations;
+    const std::vector<Play> plays = provider.Collect(dot);
+    const RefineResult step = RefineOnce(plays, dot);
+    result.final_type = step.type;
+    if (step.type == DotType::kTypeII && step.enough_plays) {
+      last_boundary = step.boundary;
+      have_boundary = true;
+      if (std::abs(step.new_dot - dot) < options_.convergence_epsilon) {
+        result.converged = true;
+        dot = step.new_dot;
+        result.dot_history.push_back(dot);
+        break;
+      }
+    }
+    dot = step.new_dot;
+    result.dot_history.push_back(dot);
+    if (dot <= 0.0 && !have_boundary) break;  // ran off the start
+  }
+  result.boundary =
+      have_boundary
+          ? last_boundary
+          : common::Interval(dot, dot + options_.fallback_length);
+  return result;
+}
+
+}  // namespace lightor::core

@@ -1,0 +1,151 @@
+#ifndef LIGHTOR_CORE_EXTRACTOR_H_
+#define LIGHTOR_CORE_EXTRACTOR_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "core/message.h"
+#include "ml/logistic_regression.h"
+
+namespace lightor::core {
+
+/// Relative position of a red dot to its highlight's end (Section V-B):
+/// Type I — the dot is after the end (viewers must rewind to find it);
+/// Type II — the dot is before the end (playing forward shows it).
+enum class DotType { kTypeI, kTypeII };
+
+/// The three play-position features used to classify a red dot (Fig. 4).
+struct PlayFeatures {
+  double plays_after = 0.0;   ///< start at or after the dot
+  double plays_before = 0.0;  ///< end before the dot
+  double plays_across = 0.0;  ///< start before and end after the dot
+
+  std::vector<double> ToVector() const {
+    return {plays_after, plays_before, plays_across};
+  }
+  double total() const { return plays_after + plays_before + plays_across; }
+  /// Fractions (sum to 1; zeros when there are no plays) — the model is
+  /// trained on fractions so it is invariant to crowd size.
+  std::vector<double> Normalized() const;
+};
+
+/// Configuration of the Highlight Extractor (Section V).
+struct ExtractorOptions {
+  /// Plays farther than Δ from the dot belong to other highlights.
+  double delta = 60.0;
+  /// Duration filter: too-short plays are probe glances; too-long plays
+  /// are people watching the whole video.
+  double min_play_length = 6.5;
+  double max_play_length = 120.0;
+  /// Use the overlap-graph outlier removal stage.
+  bool graph_outlier_removal = true;
+  /// Type I move-back step m (Algorithm 2).
+  double type1_move = 20.0;
+  /// Convergence threshold ε on the dot position.
+  double convergence_epsilon = 3.0;
+  int max_iterations = 8;
+  /// Fallback highlight length when the crowd never produces a Type II
+  /// verdict (the dot is reported with this provisional extent).
+  double fallback_length = 20.0;
+  /// Minimum filtered plays required to attempt aggregation.
+  int min_plays = 3;
+};
+
+/// Classifies a red dot as Type I / Type II from play-position features.
+/// Backed by a logistic-regression model when trained; otherwise a
+/// calibrated rule (Fig. 4's observation: Type I dots attract plays
+/// before/across the dot, Type II dots attract almost none).
+class TypeClassifier {
+ public:
+  TypeClassifier() = default;
+
+  /// Trains the LR model on normalized feature rows; label 1 = Type I.
+  common::Status Train(const ml::Dataset& data);
+
+  /// Classifies one dot's plays.
+  DotType Classify(const PlayFeatures& features) const;
+
+  /// P(Type I) — for diagnostics.
+  double TypeIProbability(const PlayFeatures& features) const;
+
+  bool trained() const { return model_.fitted(); }
+  const ml::LogisticRegression& model() const { return model_; }
+  /// Mutable model access for deserialization (core/model_io.h).
+  ml::LogisticRegression& mutable_model() { return model_; }
+
+ private:
+  ml::LogisticRegression model_;
+};
+
+/// Supplies fresh crowd plays for a (possibly moved) red-dot position —
+/// one Highlight Extractor iteration's worth of interaction data. In
+/// deployment this is the platform's interaction log; in experiments the
+/// sim::ViewerSimulator implements it.
+class PlayProvider {
+ public:
+  virtual ~PlayProvider() = default;
+  virtual std::vector<Play> Collect(common::Seconds red_dot) = 0;
+};
+
+/// One extractor iteration's outcome.
+struct RefineResult {
+  DotType type = DotType::kTypeII;
+  common::Interval boundary;       ///< valid when type == kTypeII
+  common::Seconds new_dot = 0.0;   ///< dot position for the next iteration
+  int plays_used = 0;              ///< plays surviving the filter
+  bool enough_plays = false;
+};
+
+/// Full iterative run outcome.
+struct ExtractResult {
+  common::Interval boundary;
+  bool converged = false;
+  int iterations = 0;
+  std::vector<common::Seconds> dot_history;
+  DotType final_type = DotType::kTypeI;
+};
+
+/// The Highlight Extractor: filtering → classification → aggregation
+/// (Algorithm 2), iterated to convergence against a PlayProvider.
+class HighlightExtractor {
+ public:
+  explicit HighlightExtractor(ExtractorOptions options = {},
+                              TypeClassifier classifier = {});
+
+  /// Filtering stage: distance filter, duration filter, overlap-graph
+  /// outlier removal.
+  std::vector<Play> FilterPlays(const std::vector<Play>& plays,
+                                common::Seconds red_dot) const;
+
+  /// Overlap-graph outlier removal in isolation: keeps the max-degree
+  /// node and its neighbors.
+  static std::vector<Play> RemoveGraphOutliers(const std::vector<Play>& plays);
+
+  /// The three classification features of the filtered plays.
+  PlayFeatures ComputeFeatures(const std::vector<Play>& plays,
+                               common::Seconds red_dot) const;
+
+  /// One iteration of Algorithm 2 on already-collected plays.
+  RefineResult RefineOnce(const std::vector<Play>& plays,
+                          common::Seconds red_dot) const;
+
+  /// Full iterative refinement loop: collect → filter → classify →
+  /// aggregate, moving Type I dots back by m, until the dot converges or
+  /// max_iterations is reached.
+  ExtractResult Run(PlayProvider& provider, common::Seconds initial_dot) const;
+
+  const ExtractorOptions& options() const { return options_; }
+  const TypeClassifier& classifier() const { return classifier_; }
+  void set_classifier(TypeClassifier classifier) {
+    classifier_ = std::move(classifier);
+  }
+
+ private:
+  ExtractorOptions options_;
+  TypeClassifier classifier_;
+};
+
+}  // namespace lightor::core
+
+#endif  // LIGHTOR_CORE_EXTRACTOR_H_

@@ -1,0 +1,78 @@
+#ifndef LIGHTOR_CORE_FEATURES_H_
+#define LIGHTOR_CORE_FEATURES_H_
+
+#include <vector>
+
+#include "core/message.h"
+#include "core/window.h"
+#include "ml/scaler.h"
+#include "text/tokenizer.h"
+
+namespace lightor::core {
+
+/// The three general features of the Highlight Initializer (Section IV-C).
+struct WindowFeatures {
+  double message_number = 0.0;      ///< # messages in the window
+  double message_length = 0.0;      ///< mean words per message
+  double message_similarity = 0.0;  ///< avg cosine to one-cluster k-means center
+
+  std::vector<double> ToVector() const {
+    return {message_number, message_length, message_similarity};
+  }
+};
+
+/// Which feature columns a model uses — Fig. 6(a) compares `msg num`,
+/// `msg num + msg len`, and all three.
+enum class FeatureSet { kNum, kNumLen, kAll };
+
+/// Backend for the message-similarity feature. The paper uses binary
+/// bag-of-words + one-cluster k-means and notes the feature "can be
+/// further enhanced with more sophisticated word representation (e.g.,
+/// word embedding)" — the alternatives exist for that ablation.
+enum class SimilarityBackend {
+  kBagOfWords,  ///< the paper's formulation (default)
+  kTfIdf,       ///< TF-IDF-weighted vectors, same k-means-center cosine
+  kEmbedding,   ///< hashing-trick word embeddings
+  kJaccard,     ///< mean pairwise Jaccard of token sets
+};
+
+/// Number of columns in a feature set.
+size_t FeatureSetWidth(FeatureSet set);
+
+/// Projects a full 3-feature row onto `set`'s columns.
+std::vector<double> SelectFeatures(const WindowFeatures& features,
+                                   FeatureSet set);
+
+/// Computes raw (un-normalized) window features from chat messages.
+class WindowFeaturizer {
+ public:
+  explicit WindowFeaturizer(text::TokenizerOptions tokenizer_options = {},
+                            SimilarityBackend similarity_backend =
+                                SimilarityBackend::kBagOfWords);
+
+  /// Features of one window over its message range.
+  WindowFeatures Compute(const std::vector<Message>& messages,
+                         const SlidingWindow& window) const;
+
+  /// Features of every window.
+  std::vector<WindowFeatures> ComputeAll(
+      const std::vector<Message>& messages,
+      const std::vector<SlidingWindow>& windows) const;
+
+  SimilarityBackend similarity_backend() const { return similarity_backend_; }
+
+ private:
+  text::TokenizerOptions tokenizer_options_;
+  SimilarityBackend similarity_backend_;
+};
+
+/// Normalizes raw per-window features to [0, 1] **within one video**
+/// (min-max over that video's windows) and projects to `set`. Per-video
+/// normalization is what makes the features transfer across videos and
+/// games: absolute chat volume varies wildly, relative volume does not.
+std::vector<std::vector<double>> NormalizeFeatures(
+    const std::vector<WindowFeatures>& raw, FeatureSet set);
+
+}  // namespace lightor::core
+
+#endif  // LIGHTOR_CORE_FEATURES_H_

@@ -1,0 +1,184 @@
+#include "core/initializer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lightor::core {
+
+bool IsGoodRedDot(common::Seconds dot, const common::Interval& highlight,
+                  double slack) {
+  return dot >= highlight.start - slack && dot <= highlight.end;
+}
+
+bool IsGoodRedDotForAny(common::Seconds dot,
+                        const std::vector<common::Interval>& highlights,
+                        double slack) {
+  return std::any_of(highlights.begin(), highlights.end(),
+                     [&](const common::Interval& h) {
+                       return IsGoodRedDot(dot, h, slack);
+                     });
+}
+
+HighlightInitializer::HighlightInitializer(InitializerOptions options)
+    : options_(options),
+      featurizer_(text::TokenizerOptions{}, options.similarity_backend),
+      model_(options.lr) {}
+
+std::vector<int> HighlightInitializer::LabelWindows(
+    const std::vector<SlidingWindow>& windows,
+    const std::vector<common::Interval>& highlights) const {
+  std::vector<int> labels;
+  labels.reserve(windows.size());
+  for (const auto& w : windows) {
+    int label = 0;
+    // "Talking about a highlight" needs messages: a near-empty window is
+    // never a positive, even if it overlaps the discussion period.
+    if (w.message_count() >= 3) {
+      for (const auto& h : highlights) {
+        // Viewers react within a bounded window after the highlight
+        // starts (they comment on the event, not for the whole duration
+        // of a long teamfight).
+        const common::Interval discussion(
+            h.start + 5.0, h.start + 15.0 + options_.discussion_lag);
+        if (w.span.OverlapLength(discussion) > 0.0) {
+          label = 1;
+          break;
+        }
+      }
+    }
+    labels.push_back(label);
+  }
+  return labels;
+}
+
+common::Status HighlightInitializer::Train(
+    const std::vector<TrainingVideo>& videos) {
+  if (videos.empty()) {
+    return common::Status::InvalidArgument(
+        "HighlightInitializer::Train: no training videos");
+  }
+  ml::Dataset data;
+  for (const auto& video : videos) {
+    if (!MessagesSorted(video.messages)) {
+      return common::Status::InvalidArgument(
+          "HighlightInitializer::Train: messages not sorted by timestamp");
+    }
+    const auto windows =
+        GenerateWindows(video.messages, video.video_length, options_.window);
+    const auto raw = featurizer_.ComputeAll(video.messages, windows);
+    const auto rows = NormalizeFeatures(raw, options_.feature_set);
+    const auto labels = LabelWindows(windows, video.highlights);
+    for (size_t i = 0; i < rows.size(); ++i) data.Add(rows[i], labels[i]);
+  }
+  if (data.NumPositive() == 0) {
+    return common::Status::InvalidArgument(
+        "HighlightInitializer::Train: no positive window in training data");
+  }
+  if (data.NumPositive() == data.size()) {
+    return common::Status::InvalidArgument(
+        "HighlightInitializer::Train: no negative window in training data");
+  }
+  LIGHTOR_RETURN_IF_ERROR(model_.Fit(data));
+  LIGHTOR_RETURN_IF_ERROR(LearnAdjustment(videos));
+  return common::Status::OK();
+}
+
+BurstFeatures HighlightInitializer::FeaturesAroundPeak(
+    const std::vector<Message>& messages, common::Seconds peak) const {
+  const double half = options_.window.size;
+  return ComputeBurstFeatures(
+      messages, common::Interval(std::max(0.0, peak - half), peak + half));
+}
+
+common::Status HighlightInitializer::LearnAdjustment(
+    const std::vector<TrainingVideo>& videos) {
+  // Observations: for each labelled highlight, the message peak within
+  // its discussion period plus the burst-shape features around it.
+  std::vector<AdjustmentObservation> observations;
+  for (const auto& video : videos) {
+    for (const auto& h : video.highlights) {
+      const common::Interval discussion(
+          h.start, h.start + 15.0 + options_.discussion_lag);
+      AdjustmentObservation obs;
+      obs.peak = FindMessagePeak(video.messages, discussion);
+      obs.features = FeaturesAroundPeak(video.messages, obs.peak);
+      obs.highlight = h;
+      observations.push_back(obs);
+    }
+  }
+  if (observations.empty()) return common::Status::OK();
+
+  AdjustmentOptions adj;
+  adj.kind = options_.adjustment_kind;
+  adj.search_min = options_.adjustment_min;
+  adj.search_max = options_.adjustment_max;
+  adj.search_step = options_.adjustment_step;
+  adj.good_dot_slack = options_.good_dot_slack;
+  adjustment_model_ = AdjustmentModel(adj);
+  LIGHTOR_RETURN_IF_ERROR(adjustment_model_.Train(observations));
+  if (options_.adjustment_kind == AdjustmentKind::kConstant) {
+    adjustment_c_ = adjustment_model_.constant();
+  }
+  return common::Status::OK();
+}
+
+std::vector<SlidingWindow> HighlightInitializer::ScoreWindows(
+    const std::vector<Message>& messages,
+    common::Seconds video_length) const {
+  assert(trained());
+  auto windows = GenerateWindows(messages, video_length, options_.window);
+  const auto raw = featurizer_.ComputeAll(messages, windows);
+  const auto rows = NormalizeFeatures(raw, options_.feature_set);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    windows[i].probability = model_.PredictProbability(rows[i]);
+  }
+  return windows;
+}
+
+std::vector<SlidingWindow> HighlightInitializer::TopKWindows(
+    std::vector<SlidingWindow> scored, size_t k) const {
+  std::sort(scored.begin(), scored.end(),
+            [](const SlidingWindow& a, const SlidingWindow& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.span.start < b.span.start;
+            });
+  std::vector<SlidingWindow> picked;
+  for (const auto& w : scored) {
+    if (picked.size() >= k) break;
+    const bool too_close = std::any_of(
+        picked.begin(), picked.end(), [&](const SlidingWindow& p) {
+          return std::abs(p.span.start - w.span.start) <=
+                 options_.min_separation;
+        });
+    if (!too_close) picked.push_back(w);
+  }
+  return picked;
+}
+
+std::vector<RedDot> HighlightInitializer::Detect(
+    const std::vector<Message>& messages, common::Seconds video_length,
+    size_t k) const {
+  const auto top = TopKWindows(ScoreWindows(messages, video_length), k);
+  std::vector<RedDot> dots;
+  dots.reserve(top.size());
+  for (const auto& w : top) {
+    RedDot dot;
+    dot.window = w.span;
+    dot.score = w.probability;
+    dot.peak = FindMessagePeak(messages, w.span);
+    if (options_.adjustment_kind == AdjustmentKind::kRegression &&
+        adjustment_model_.trained()) {
+      dot.position = adjustment_model_.PredictStart(
+          dot.peak, FeaturesAroundPeak(messages, dot.peak));
+    } else {
+      dot.position = std::max(0.0, dot.peak - adjustment_c_);
+    }
+    dots.push_back(dot);
+  }
+  return dots;
+}
+
+}  // namespace lightor::core

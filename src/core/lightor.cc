@@ -1,0 +1,63 @@
+#include "core/lightor.h"
+
+namespace lightor::core {
+
+Lightor::Lightor(LightorOptions options)
+    : options_(options),
+      initializer_(options.initializer),
+      extractor_(options.extractor) {}
+
+common::Status Lightor::TrainInitializer(
+    const std::vector<TrainingVideo>& videos) {
+  return initializer_.Train(videos);
+}
+
+void Lightor::SetTypeClassifier(TypeClassifier classifier) {
+  extractor_.set_classifier(std::move(classifier));
+}
+
+common::Result<std::vector<RedDot>> Lightor::Initialize(
+    const std::vector<Message>& messages, common::Seconds video_length,
+    size_t k) const {
+  if (!initializer_.trained()) {
+    return common::Status::FailedPrecondition(
+        "Lightor::Initialize: initializer is not trained");
+  }
+  if (!MessagesSorted(messages)) {
+    return common::Status::InvalidArgument(
+        "Lightor::Initialize: messages not sorted by timestamp");
+  }
+  if (video_length <= 0.0) {
+    return common::Status::InvalidArgument(
+        "Lightor::Initialize: non-positive video length");
+  }
+  return initializer_.Detect(messages, video_length, k);
+}
+
+ExtractResult Lightor::Extract(PlayProvider& provider,
+                               common::Seconds initial_dot) const {
+  return extractor_.Run(provider, initial_dot);
+}
+
+common::Result<std::vector<ExtractedHighlight>> Lightor::Process(
+    const std::vector<Message>& messages, common::Seconds video_length,
+    const ProviderFactory& make_provider) const {
+  auto dots_result = Initialize(messages, video_length, options_.top_k);
+  if (!dots_result.ok()) return dots_result.status();
+
+  std::vector<ExtractedHighlight> out;
+  for (const RedDot& dot : dots_result.value()) {
+    ExtractedHighlight item;
+    item.dot = dot;
+    std::unique_ptr<PlayProvider> provider = make_provider(dot);
+    if (provider == nullptr) {
+      return common::Status::Internal(
+          "Lightor::Process: provider factory returned null");
+    }
+    item.refined = extractor_.Run(*provider, dot.position);
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace lightor::core

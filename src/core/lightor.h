@@ -1,0 +1,72 @@
+#ifndef LIGHTOR_CORE_LIGHTOR_H_
+#define LIGHTOR_CORE_LIGHTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/extractor.h"
+#include "core/initializer.h"
+
+namespace lightor::core {
+
+/// Full configuration of the LIGHTOR workflow.
+struct LightorOptions {
+  InitializerOptions initializer;
+  ExtractorOptions extractor;
+  size_t top_k = 5;  ///< number of highlights to extract per video
+};
+
+/// One extracted highlight after the full workflow.
+struct ExtractedHighlight {
+  RedDot dot;             ///< the initializer's red dot
+  ExtractResult refined;  ///< the extractor's iterative refinement outcome
+};
+
+/// The end-to-end LIGHTOR facade (Fig. 1): Highlight Initializer over chat
+/// messages, then Highlight Extractor over crowd play interactions around
+/// each red dot.
+class Lightor {
+ public:
+  explicit Lightor(LightorOptions options = {});
+
+  /// Trains the Initializer's window model and adjustment constant on
+  /// labelled videos (one video suffices — Fig. 6(b)).
+  common::Status TrainInitializer(const std::vector<TrainingVideo>& videos);
+
+  /// Installs a trained Type I/II classifier for the Extractor (when not
+  /// set, the extractor uses its calibrated rule).
+  void SetTypeClassifier(TypeClassifier classifier);
+
+  /// Stage 1: red dots for a new video.
+  common::Result<std::vector<RedDot>> Initialize(
+      const std::vector<Message>& messages, common::Seconds video_length,
+      size_t k) const;
+
+  /// Stage 2: refine one red dot against a play provider.
+  ExtractResult Extract(PlayProvider& provider,
+                        common::Seconds initial_dot) const;
+
+  /// End-to-end: Initialize, then Extract each dot. The factory yields
+  /// one PlayProvider per red dot (crowds differ per dot).
+  using ProviderFactory =
+      std::function<std::unique_ptr<PlayProvider>(const RedDot&)>;
+  common::Result<std::vector<ExtractedHighlight>> Process(
+      const std::vector<Message>& messages, common::Seconds video_length,
+      const ProviderFactory& make_provider) const;
+
+  const HighlightInitializer& initializer() const { return initializer_; }
+  HighlightInitializer& mutable_initializer() { return initializer_; }
+  const HighlightExtractor& extractor() const { return extractor_; }
+  const LightorOptions& options() const { return options_; }
+
+ private:
+  LightorOptions options_;
+  HighlightInitializer initializer_;
+  HighlightExtractor extractor_;
+};
+
+}  // namespace lightor::core
+
+#endif  // LIGHTOR_CORE_LIGHTOR_H_

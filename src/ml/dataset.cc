@@ -1,0 +1,90 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lightor::ml {
+
+void Dataset::Add(std::vector<double> row, int label) {
+  features.push_back(std::move(row));
+  labels.push_back(label);
+}
+
+void Dataset::Append(const Dataset& other) {
+  features.insert(features.end(), other.features.begin(),
+                  other.features.end());
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+size_t Dataset::NumPositive() const {
+  return static_cast<size_t>(std::count(labels.begin(), labels.end(), 1));
+}
+
+common::Status Dataset::Validate() const {
+  if (features.size() != labels.size()) {
+    return common::Status::InvalidArgument(
+        "Dataset: features/labels size mismatch");
+  }
+  const size_t width = features.empty() ? 0 : features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != width) {
+      return common::Status::InvalidArgument("Dataset: ragged feature rows");
+    }
+  }
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return common::Status::InvalidArgument("Dataset: labels must be 0/1");
+    }
+  }
+  return common::Status::OK();
+}
+
+void ShuffleDataset(Dataset& data, common::Rng& rng) {
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng.Shuffle(order);
+  Dataset shuffled;
+  shuffled.features.reserve(data.size());
+  shuffled.labels.reserve(data.size());
+  for (size_t idx : order) {
+    shuffled.features.push_back(std::move(data.features[idx]));
+    shuffled.labels.push_back(data.labels[idx]);
+  }
+  data = std::move(shuffled);
+}
+
+TrainTestSplit SplitDataset(const Dataset& data, double train_fraction,
+                            common::Rng& rng) {
+  Dataset copy = data;
+  ShuffleDataset(copy, rng);
+  const size_t n_train = static_cast<size_t>(
+      train_fraction * static_cast<double>(copy.size()));
+  TrainTestSplit split;
+  for (size_t i = 0; i < copy.size(); ++i) {
+    if (i < n_train) {
+      split.train.Add(std::move(copy.features[i]), copy.labels[i]);
+    } else {
+      split.test.Add(std::move(copy.features[i]), copy.labels[i]);
+    }
+  }
+  return split;
+}
+
+std::vector<TrainTestSplit> KFoldSplits(const Dataset& data, size_t k,
+                                        common::Rng& rng) {
+  Dataset copy = data;
+  ShuffleDataset(copy, rng);
+  std::vector<TrainTestSplit> folds(k);
+  for (size_t fold = 0; fold < k; ++fold) {
+    for (size_t i = 0; i < copy.size(); ++i) {
+      if (i % k == fold) {
+        folds[fold].test.Add(copy.features[i], copy.labels[i]);
+      } else {
+        folds[fold].train.Add(copy.features[i], copy.labels[i]);
+      }
+    }
+  }
+  return folds;
+}
+
+}  // namespace lightor::ml

@@ -1,0 +1,51 @@
+#ifndef LIGHTOR_ML_DATASET_H_
+#define LIGHTOR_ML_DATASET_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lightor::ml {
+
+/// A labelled feature matrix for binary classification: `features[i]` is
+/// example i's feature row and `labels[i]` in {0, 1}.
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;
+
+  size_t size() const { return features.size(); }
+  bool empty() const { return features.empty(); }
+
+  /// Appends one example.
+  void Add(std::vector<double> row, int label);
+
+  /// Appends all examples of `other`.
+  void Append(const Dataset& other);
+
+  /// Count of positive labels.
+  size_t NumPositive() const;
+
+  /// Checks the invariants (same length, rectangular, labels in {0,1}).
+  common::Status Validate() const;
+};
+
+/// Shuffles a dataset in place (feature/label pairs move together).
+void ShuffleDataset(Dataset& data, common::Rng& rng);
+
+/// Splits into train/test by `train_fraction` (in (0,1)), after an
+/// internal shuffle with `rng`.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit SplitDataset(const Dataset& data, double train_fraction,
+                            common::Rng& rng);
+
+/// Yields `k` (train, test) folds for cross-validation.
+std::vector<TrainTestSplit> KFoldSplits(const Dataset& data, size_t k,
+                                        common::Rng& rng);
+
+}  // namespace lightor::ml
+
+#endif  // LIGHTOR_ML_DATASET_H_

@@ -1,0 +1,336 @@
+#include "ml/gru.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/logistic_regression.h"  // Sigmoid
+#include "ml/optimizer.h"
+
+namespace lightor::ml {
+
+CharGruClassifier::CharGruClassifier(LstmOptions options)
+    : options_(options) {
+  InitParameters();
+}
+
+void CharGruClassifier::InitParameters() {
+  const size_t H = options_.hidden_size;
+  layers_.clear();
+  size_t offset = 0;
+  for (size_t l = 0; l < options_.num_layers; ++l) {
+    LayerOffsets lo;
+    lo.in_dim = l == 0 ? static_cast<size_t>(CharVocab::kInputDim) : H;
+    lo.wx = offset;
+    offset += 3 * H * lo.in_dim;
+    lo.wh = offset;
+    offset += 3 * H * H;
+    lo.bias = offset;
+    offset += 3 * H;
+    layers_.push_back(lo);
+  }
+  head_w_offset_ = offset;
+  offset += H;
+  head_b_offset_ = offset;
+  offset += 1;
+  params_.assign(offset, 0.0);
+
+  common::Rng rng(options_.seed ^ 0x6A09E667F3BCC908ULL);
+  for (const auto& lo : layers_) {
+    const double sx =
+        options_.init_scale / std::sqrt(static_cast<double>(lo.in_dim));
+    const double sh =
+        options_.init_scale / std::sqrt(static_cast<double>(H));
+    for (size_t i = 0; i < 3 * H * lo.in_dim; ++i) {
+      params_[lo.wx + i] = rng.Uniform(-sx, sx);
+    }
+    for (size_t i = 0; i < 3 * H * H; ++i) {
+      params_[lo.wh + i] = rng.Uniform(-sh, sh);
+    }
+    // Update-gate bias starts positive so early training mostly carries
+    // state (the GRU analogue of the LSTM forget-bias trick).
+    for (size_t i = 0; i < 3 * H; ++i) {
+      params_[lo.bias + i] = i < H ? 1.0 : 0.0;
+    }
+  }
+  const double sw = options_.init_scale / std::sqrt(static_cast<double>(H));
+  for (size_t i = 0; i < H; ++i) {
+    params_[head_w_offset_ + i] = rng.Uniform(-sw, sw);
+  }
+}
+
+std::vector<int> CharGruClassifier::EncodeText(std::string_view text) const {
+  const size_t n = std::min(text.size(), options_.max_sequence_length);
+  std::vector<int> ids;
+  ids.reserve(std::max<size_t>(n, 1));
+  for (size_t i = 0; i < n; ++i) ids.push_back(CharVocab::Encode(text[i]));
+  if (ids.empty()) ids.push_back(CharVocab::Encode(' '));
+  return ids;
+}
+
+double CharGruClassifier::Forward(const std::vector<int>& ids,
+                                  ForwardCache* cache) const {
+  const size_t H = options_.hidden_size;
+  const size_t L = layers_.size();
+  const size_t T = ids.size();
+
+  ForwardCache local;
+  ForwardCache& c = cache ? *cache : local;
+  auto alloc = [&](std::vector<std::vector<std::vector<double>>>& v) {
+    v.assign(L, std::vector<std::vector<double>>(
+                    T, std::vector<double>(H, 0.0)));
+  };
+  alloc(c.gate_z);
+  alloc(c.gate_r);
+  alloc(c.cand);
+  alloc(c.hidden);
+  alloc(c.uh);
+  c.input_ids = ids;
+
+  std::vector<double> pre(3 * H);
+  for (size_t l = 0; l < L; ++l) {
+    const auto& lo = layers_[l];
+    const double* wx = params_.data() + lo.wx;
+    const double* wh = params_.data() + lo.wh;
+    const double* bias = params_.data() + lo.bias;
+    std::vector<double> h_prev(H, 0.0);
+    for (size_t t = 0; t < T; ++t) {
+      // pre = Wx x + b for the z and r blocks; the n block's recurrent
+      // part is gated, so compute Un h_prev separately.
+      if (l == 0) {
+        const size_t col = static_cast<size_t>(ids[t]);
+        for (size_t q = 0; q < 3 * H; ++q) {
+          pre[q] = wx[q * lo.in_dim + col] + bias[q];
+        }
+      } else {
+        const auto& below = c.hidden[l - 1][t];
+        for (size_t q = 0; q < 3 * H; ++q) {
+          const double* row = wx + q * lo.in_dim;
+          double acc = bias[q];
+          for (size_t k = 0; k < H; ++k) acc += row[k] * below[k];
+          pre[q] = acc;
+        }
+      }
+      auto& uh = c.uh[l][t];
+      for (size_t q = 0; q < H; ++q) {
+        // z and r recurrent terms go straight into pre.
+        const double* row_z = wh + q * H;
+        const double* row_r = wh + (H + q) * H;
+        const double* row_n = wh + (2 * H + q) * H;
+        double acc_z = 0.0, acc_r = 0.0, acc_n = 0.0;
+        for (size_t k = 0; k < H; ++k) {
+          acc_z += row_z[k] * h_prev[k];
+          acc_r += row_r[k] * h_prev[k];
+          acc_n += row_n[k] * h_prev[k];
+        }
+        pre[q] += acc_z;
+        pre[H + q] += acc_r;
+        uh[q] = acc_n;
+      }
+      auto& z = c.gate_z[l][t];
+      auto& r = c.gate_r[l][t];
+      auto& n = c.cand[l][t];
+      auto& h = c.hidden[l][t];
+      for (size_t q = 0; q < H; ++q) {
+        z[q] = Sigmoid(pre[q]);
+        r[q] = Sigmoid(pre[H + q]);
+        n[q] = std::tanh(pre[2 * H + q] + r[q] * uh[q]);
+        h[q] = (1.0 - z[q]) * n[q] + z[q] * h_prev[q];
+      }
+      h_prev = h;
+    }
+  }
+
+  c.pooled.assign(H, 0.0);
+  for (size_t t = 0; t < T; ++t) {
+    for (size_t q = 0; q < H; ++q) c.pooled[q] += c.hidden[L - 1][t][q];
+  }
+  for (size_t q = 0; q < H; ++q) c.pooled[q] /= static_cast<double>(T);
+  double logit = params_[head_b_offset_];
+  for (size_t q = 0; q < H; ++q) {
+    logit += params_[head_w_offset_ + q] * c.pooled[q];
+  }
+  c.probability = Sigmoid(logit);
+  return c.probability;
+}
+
+void CharGruClassifier::Backward(const ForwardCache& cache, double d_logit,
+                                 std::vector<double>& grads) const {
+  const size_t H = options_.hidden_size;
+  const size_t L = layers_.size();
+  const size_t T = cache.input_ids.size();
+
+  for (size_t q = 0; q < H; ++q) {
+    grads[head_w_offset_ + q] += d_logit * cache.pooled[q];
+  }
+  grads[head_b_offset_] += d_logit;
+
+  std::vector<std::vector<std::vector<double>>> dh_from_above(
+      L, std::vector<std::vector<double>>(T, std::vector<double>(H, 0.0)));
+  const double pool_scale = d_logit / static_cast<double>(T);
+  for (size_t t = 0; t < T; ++t) {
+    for (size_t q = 0; q < H; ++q) {
+      dh_from_above[L - 1][t][q] = pool_scale * params_[head_w_offset_ + q];
+    }
+  }
+
+  std::vector<double> da_z(H), da_r(H), da_n(H), d_uh(H);
+  for (size_t li = L; li-- > 0;) {
+    const auto& lo = layers_[li];
+    const double* wx = params_.data() + lo.wx;
+    const double* wh = params_.data() + lo.wh;
+    double* gwx = grads.data() + lo.wx;
+    double* gwh = grads.data() + lo.wh;
+    double* gb = grads.data() + lo.bias;
+
+    std::vector<double> dh_next(H, 0.0);
+    for (size_t t = T; t-- > 0;) {
+      const auto& z = cache.gate_z[li][t];
+      const auto& r = cache.gate_r[li][t];
+      const auto& n = cache.cand[li][t];
+      const auto& uh = cache.uh[li][t];
+      const std::vector<double>* h_prev =
+          t > 0 ? &cache.hidden[li][t - 1] : nullptr;
+
+      for (size_t q = 0; q < H; ++q) {
+        const double dh = dh_from_above[li][t][q] + dh_next[q];
+        const double hp = h_prev ? (*h_prev)[q] : 0.0;
+        const double dz = dh * (hp - n[q]);
+        const double dn = dh * (1.0 - z[q]);
+        da_n[q] = dn * (1.0 - n[q] * n[q]);
+        const double dr = da_n[q] * uh[q];
+        d_uh[q] = da_n[q] * r[q];
+        da_z[q] = dz * z[q] * (1.0 - z[q]);
+        da_r[q] = dr * r[q] * (1.0 - r[q]);
+        // The direct h_prev carry term; recurrent-matrix terms added below.
+        dh_next[q] = dh * z[q];
+      }
+
+      // Parameter gradients + propagate into h_prev and the layer below.
+      if (li == 0) {
+        const size_t col = static_cast<size_t>(cache.input_ids[t]);
+        for (size_t q = 0; q < H; ++q) {
+          gwx[q * lo.in_dim + col] += da_z[q];
+          gwx[(H + q) * lo.in_dim + col] += da_r[q];
+          gwx[(2 * H + q) * lo.in_dim + col] += da_n[q];
+          gb[q] += da_z[q];
+          gb[H + q] += da_r[q];
+          gb[2 * H + q] += da_n[q];
+        }
+      } else {
+        const auto& below = cache.hidden[li - 1][t];
+        auto& dbelow = dh_from_above[li - 1][t];
+        for (size_t q = 0; q < H; ++q) {
+          double* row_z = gwx + q * lo.in_dim;
+          double* row_r = gwx + (H + q) * lo.in_dim;
+          double* row_n = gwx + (2 * H + q) * lo.in_dim;
+          const double* wrow_z = wx + q * lo.in_dim;
+          const double* wrow_r = wx + (H + q) * lo.in_dim;
+          const double* wrow_n = wx + (2 * H + q) * lo.in_dim;
+          for (size_t k = 0; k < H; ++k) {
+            row_z[k] += da_z[q] * below[k];
+            row_r[k] += da_r[q] * below[k];
+            row_n[k] += da_n[q] * below[k];
+            dbelow[k] += da_z[q] * wrow_z[k] + da_r[q] * wrow_r[k] +
+                         da_n[q] * wrow_n[k];
+          }
+          gb[q] += da_z[q];
+          gb[H + q] += da_r[q];
+          gb[2 * H + q] += da_n[q];
+        }
+      }
+      if (h_prev) {
+        for (size_t q = 0; q < H; ++q) {
+          double* row_z = gwh + q * H;
+          double* row_r = gwh + (H + q) * H;
+          double* row_n = gwh + (2 * H + q) * H;
+          for (size_t k = 0; k < H; ++k) {
+            row_z[k] += da_z[q] * (*h_prev)[k];
+            row_r[k] += da_r[q] * (*h_prev)[k];
+            row_n[k] += d_uh[q] * (*h_prev)[k];
+          }
+        }
+      }
+      // Recurrent-matrix contributions to dh_prev.
+      for (size_t q = 0; q < H; ++q) {
+        const double* row_z = wh + q * H;
+        const double* row_r = wh + (H + q) * H;
+        const double* row_n = wh + (2 * H + q) * H;
+        for (size_t k = 0; k < H; ++k) {
+          dh_next[k] += da_z[q] * row_z[k] + da_r[q] * row_r[k] +
+                        d_uh[q] * row_n[k];
+        }
+      }
+      if (t == 0) break;
+    }
+  }
+}
+
+common::Status CharGruClassifier::Train(const std::vector<std::string>& texts,
+                                        const std::vector<int>& labels) {
+  if (texts.empty()) {
+    return common::Status::InvalidArgument("CharGru::Train: empty data");
+  }
+  if (texts.size() != labels.size()) {
+    return common::Status::InvalidArgument(
+        "CharGru::Train: texts/labels size mismatch");
+  }
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return common::Status::InvalidArgument(
+          "CharGru::Train: labels must be 0/1");
+    }
+  }
+  InitParameters();
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(texts.size());
+  for (const auto& t : texts) encoded.push_back(EncodeText(t));
+
+  AdamOptimizer adam(options_.learning_rate);
+  common::Rng rng(options_.seed ^ 0xBB67AE8584CAA73BULL);
+  std::vector<size_t> order(texts.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<double> grads(params_.size(), 0.0);
+  epoch_losses_.clear();
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    for (size_t idx : order) {
+      ForwardCache cache;
+      const double p = Forward(encoded[idx], &cache);
+      const double y = static_cast<double>(labels[idx]);
+      constexpr double kEps = 1e-12;
+      const double pc = std::clamp(p, kEps, 1.0 - kEps);
+      loss_sum -= y * std::log(pc) + (1.0 - y) * std::log(1.0 - pc);
+      std::fill(grads.begin(), grads.end(), 0.0);
+      Backward(cache, p - y, grads);
+      ClipGradientNorm(grads, options_.grad_clip);
+      adam.Step(params_, grads);
+    }
+    epoch_losses_.push_back(loss_sum / static_cast<double>(texts.size()));
+  }
+  return common::Status::OK();
+}
+
+double CharGruClassifier::PredictProbability(std::string_view text) const {
+  return Forward(EncodeText(text), nullptr);
+}
+
+double CharGruClassifier::Loss(std::string_view text, int label) const {
+  const double p = Forward(EncodeText(text), nullptr);
+  constexpr double kEps = 1e-12;
+  const double pc = std::clamp(p, kEps, 1.0 - kEps);
+  return label == 1 ? -std::log(pc) : -std::log(1.0 - pc);
+}
+
+std::vector<double> CharGruClassifier::Gradients(std::string_view text,
+                                                 int label) const {
+  ForwardCache cache;
+  const double p = Forward(EncodeText(text), &cache);
+  std::vector<double> grads(params_.size(), 0.0);
+  Backward(cache, p - static_cast<double>(label), grads);
+  return grads;
+}
+
+}  // namespace lightor::ml

@@ -1,0 +1,80 @@
+#ifndef LIGHTOR_ML_GRU_H_
+#define LIGHTOR_ML_GRU_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/lstm.h"  // CharVocab, LstmOptions (shared shape/training knobs)
+
+namespace lightor::ml {
+
+/// A stacked character-level GRU binary classifier — the architecture
+/// ablation partner of CharLstmClassifier (same options struct, same
+/// one-hot byte input, same mean-pooled logistic head, Adam + BPTT).
+///
+/// Gate equations (Cho et al., 2014):
+///   z = sigmoid(Wz x + Uz h_prev + bz)        update gate
+///   r = sigmoid(Wr x + Ur h_prev + br)        reset gate
+///   n = tanh  (Wn x + r * (Un h_prev) + bn)   candidate
+///   h = (1 - z) * n + z * h_prev
+class CharGruClassifier {
+ public:
+  explicit CharGruClassifier(LstmOptions options = {});
+
+  /// Trains on (texts, labels); labels in {0,1}. Replaces prior weights.
+  common::Status Train(const std::vector<std::string>& texts,
+                       const std::vector<int>& labels);
+
+  /// P(label = 1 | text).
+  double PredictProbability(std::string_view text) const;
+
+  /// Per-epoch mean losses of the last Train call.
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+
+  size_t num_parameters() const { return params_.size(); }
+  const LstmOptions& options() const { return options_; }
+
+  // --- Testing / diagnostics hooks ----------------------------------------
+  const std::vector<double>& parameters() const { return params_; }
+  std::vector<double>& mutable_parameters() { return params_; }
+  double Loss(std::string_view text, int label) const;
+  std::vector<double> Gradients(std::string_view text, int label) const;
+
+ private:
+  struct LayerOffsets {
+    size_t wx;    // [3H x in_dim]  (z, r, n blocks)
+    size_t wh;    // [3H x H]
+    size_t bias;  // [3H]
+    size_t in_dim;
+  };
+
+  struct ForwardCache {
+    // Indexed [layer][t], inner vectors sized H.
+    std::vector<std::vector<std::vector<double>>> gate_z, gate_r, cand,
+        hidden, uh;  // uh = Un * h_prev (pre-reset recurrent term)
+    std::vector<int> input_ids;
+    double probability = 0.0;
+    std::vector<double> pooled;
+  };
+
+  void InitParameters();
+  std::vector<int> EncodeText(std::string_view text) const;
+  double Forward(const std::vector<int>& ids, ForwardCache* cache) const;
+  void Backward(const ForwardCache& cache, double d_logit,
+                std::vector<double>& grads) const;
+
+  LstmOptions options_;
+  std::vector<LayerOffsets> layers_;
+  size_t head_w_offset_ = 0;
+  size_t head_b_offset_ = 0;
+  std::vector<double> params_;
+  std::vector<double> epoch_losses_;
+};
+
+}  // namespace lightor::ml
+
+#endif  // LIGHTOR_ML_GRU_H_

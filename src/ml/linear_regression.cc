@@ -1,0 +1,111 @@
+#include "ml/linear_regression.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lightor::ml {
+
+common::Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
+                                                      std::vector<double> b,
+                                                      size_t n) {
+  if (a.size() != n * n || b.size() != n) {
+    return common::Status::InvalidArgument(
+        "SolveLinearSystem: dimension mismatch");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-12) {
+      return common::Status::FailedPrecondition(
+          "SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (size_t k = row + 1; k < n; ++k) acc -= a[row * n + k] * x[k];
+    x[row] = acc / a[row * n + row];
+  }
+  return x;
+}
+
+LinearRegression::LinearRegression(LinearRegressionOptions options)
+    : options_(options) {}
+
+common::Status LinearRegression::Fit(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets) {
+  if (rows.empty() || rows.size() != targets.size()) {
+    return common::Status::InvalidArgument(
+        "LinearRegression::Fit: empty or mismatched input");
+  }
+  const size_t width = rows[0].size();
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      return common::Status::InvalidArgument(
+          "LinearRegression::Fit: ragged rows");
+    }
+  }
+  // Augment with an intercept column (index `width`), unpenalized.
+  const size_t d = width + 1;
+  std::vector<double> xtx(d * d, 0.0);
+  std::vector<double> xty(d, 0.0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto x_at = [&](size_t j) {
+      return j < width ? rows[i][j] : 1.0;
+    };
+    for (size_t r = 0; r < d; ++r) {
+      for (size_t c = 0; c < d; ++c) {
+        xtx[r * d + c] += x_at(r) * x_at(c);
+      }
+      xty[r] += x_at(r) * targets[i];
+    }
+  }
+  for (size_t j = 0; j < width; ++j) {
+    xtx[j * d + j] += options_.l2_lambda;
+  }
+  auto solved = SolveLinearSystem(std::move(xtx), std::move(xty), d);
+  if (!solved.ok()) return solved.status();
+  weights_.assign(solved.value().begin(), solved.value().end() - 1);
+  intercept_ = solved.value().back();
+  has_intercept_only_ = weights_.empty();
+  return common::Status::OK();
+}
+
+double LinearRegression::Predict(const std::vector<double>& row) const {
+  assert(fitted());
+  assert(row.size() == weights_.size());
+  double acc = intercept_;
+  for (size_t j = 0; j < weights_.size(); ++j) acc += weights_[j] * row[j];
+  return acc;
+}
+
+void LinearRegression::SetParameters(std::vector<double> weights,
+                                     double intercept) {
+  weights_ = std::move(weights);
+  intercept_ = intercept;
+  has_intercept_only_ = weights_.empty();
+}
+
+}  // namespace lightor::ml

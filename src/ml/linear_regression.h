@@ -1,0 +1,51 @@
+#ifndef LIGHTOR_ML_LINEAR_REGRESSION_H_
+#define LIGHTOR_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lightor::ml {
+
+/// Solves the square linear system A x = b by Gaussian elimination with
+/// partial pivoting. `a` is row-major n×n. Fails on singular systems.
+common::Result<std::vector<double>> SolveLinearSystem(
+    std::vector<double> a, std::vector<double> b, size_t n);
+
+/// Ridge linear regression fitted in closed form via the normal
+/// equations: (XᵀX + λI) w = Xᵀy, with an unpenalized intercept. Sized
+/// for small feature counts (the adjustment model uses 3).
+struct LinearRegressionOptions {
+  double l2_lambda = 1e-6;
+};
+
+class LinearRegression {
+ public:
+  explicit LinearRegression(LinearRegressionOptions options = {});
+
+  /// Fits on rows/targets. Requires a non-empty rectangular matrix with
+  /// at least one row and consistent widths.
+  common::Status Fit(const std::vector<std::vector<double>>& rows,
+                     const std::vector<double>& targets);
+
+  /// Predicted value for one row (requires a fitted model).
+  double Predict(const std::vector<double>& row) const;
+
+  bool fitted() const { return !weights_.empty() || has_intercept_only_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+  /// Directly installs parameters (deserialization / tests).
+  void SetParameters(std::vector<double> weights, double intercept);
+
+ private:
+  LinearRegressionOptions options_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  bool has_intercept_only_ = false;
+};
+
+}  // namespace lightor::ml
+
+#endif  // LIGHTOR_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,134 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lightor::ml {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options) {}
+
+common::Status LogisticRegression::Fit(const Dataset& data) {
+  LIGHTOR_RETURN_IF_ERROR(data.Validate());
+  if (data.empty()) {
+    return common::Status::InvalidArgument("LogisticRegression: empty data");
+  }
+  const size_t n = data.size();
+  const size_t width = data.features[0].size();
+  if (width == 0) {
+    return common::Status::InvalidArgument(
+        "LogisticRegression: zero-width features");
+  }
+
+  // Class weights: n / (2 * count_class), the scikit-learn "balanced" rule.
+  const size_t n_pos = data.NumPositive();
+  const size_t n_neg = n - n_pos;
+  double w_pos = 1.0, w_neg = 1.0;
+  if (options_.balance_classes && n_pos > 0 && n_neg > 0) {
+    w_pos = static_cast<double>(n) / (2.0 * static_cast<double>(n_pos));
+    w_neg = static_cast<double>(n) / (2.0 * static_cast<double>(n_neg));
+  }
+
+  weights_.assign(width, 0.0);
+  bias_ = 0.0;
+  double learning_rate = options_.learning_rate;
+  double prev_loss = std::numeric_limits<double>::infinity();
+  std::vector<double> grad(width);
+
+  size_t iter = 0;
+  for (; iter < options_.max_iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    double loss = 0.0;
+    double weight_total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const auto& x = data.features[i];
+      double z = bias_;
+      for (size_t c = 0; c < width; ++c) z += weights_[c] * x[c];
+      const double p = Sigmoid(z);
+      const double y = static_cast<double>(data.labels[i]);
+      const double sample_weight = data.labels[i] == 1 ? w_pos : w_neg;
+      const double err = (p - y) * sample_weight;
+      for (size_t c = 0; c < width; ++c) grad[c] += err * x[c];
+      grad_bias += err;
+      constexpr double kEps = 1e-12;
+      const double pc = std::clamp(p, kEps, 1.0 - kEps);
+      loss -= sample_weight *
+              (y * std::log(pc) + (1.0 - y) * std::log(1.0 - pc));
+      weight_total += sample_weight;
+    }
+    for (size_t c = 0; c < width; ++c) {
+      grad[c] = grad[c] / weight_total + options_.l2_lambda * weights_[c];
+      loss += 0.5 * options_.l2_lambda * weights_[c] * weights_[c];
+    }
+    grad_bias /= weight_total;
+    loss /= weight_total;
+
+    // Divergence guard: a too-aggressive step (e.g. strong L2 with a high
+    // learning rate) can blow the loss up — back off and restart from the
+    // origin with a halved step size rather than emitting NaNs.
+    if (!std::isfinite(loss) ||
+        (std::isfinite(prev_loss) && loss > prev_loss * 4.0 + 1.0)) {
+      std::fill(weights_.begin(), weights_.end(), 0.0);
+      bias_ = 0.0;
+      learning_rate *= 0.5;
+      prev_loss = std::numeric_limits<double>::infinity();
+      continue;
+    }
+
+    for (size_t c = 0; c < width; ++c) {
+      weights_[c] -= learning_rate * grad[c];
+    }
+    bias_ -= learning_rate * grad_bias;
+
+    if (std::abs(prev_loss - loss) < options_.tolerance) {
+      prev_loss = loss;
+      ++iter;
+      break;
+    }
+    prev_loss = loss;
+  }
+  iterations_run_ = iter;
+  final_loss_ = prev_loss;
+  return common::Status::OK();
+}
+
+double LogisticRegression::PredictProbability(
+    const std::vector<double>& row) const {
+  assert(fitted());
+  assert(row.size() == weights_.size());
+  double z = bias_;
+  for (size_t c = 0; c < weights_.size(); ++c) z += weights_[c] * row[c];
+  return Sigmoid(z);
+}
+
+std::vector<double> LogisticRegression::PredictProbabilities(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(PredictProbability(row));
+  return out;
+}
+
+int LogisticRegression::Predict(const std::vector<double>& row,
+                                double threshold) const {
+  return PredictProbability(row) >= threshold ? 1 : 0;
+}
+
+void LogisticRegression::SetParameters(std::vector<double> weights,
+                                       double bias) {
+  weights_ = std::move(weights);
+  bias_ = bias;
+}
+
+}  // namespace lightor::ml

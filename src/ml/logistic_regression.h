@@ -1,0 +1,65 @@
+#ifndef LIGHTOR_ML_LOGISTIC_REGRESSION_H_
+#define LIGHTOR_ML_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace lightor::ml {
+
+/// Numerically stable sigmoid.
+double Sigmoid(double z);
+
+/// Training configuration for logistic regression.
+struct LogisticRegressionOptions {
+  double learning_rate = 0.5;
+  size_t max_iterations = 2000;
+  double l2_lambda = 1e-3;       ///< L2 penalty on weights (not bias).
+  double tolerance = 1e-7;       ///< Stop when the loss improvement drops below.
+  bool balance_classes = true;   ///< Reweight examples inversely to class
+                                 ///< frequency — highlight windows are rare
+                                 ///< (~1:8 in the paper's Fig. 2 video).
+};
+
+/// Binary logistic regression trained with full-batch gradient descent.
+/// This is the model behind both LIGHTOR stages: the Highlight
+/// Initializer's window classifier (3 features) and the Highlight
+/// Extractor's Type I/II red-dot classifier (3 features).
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {});
+
+  /// Fits on `data` (validated). Replaces any previous model.
+  common::Status Fit(const Dataset& data);
+
+  /// P(label = 1 | row). Requires a fitted model of matching width.
+  double PredictProbability(const std::vector<double>& row) const;
+
+  /// Batch probabilities.
+  std::vector<double> PredictProbabilities(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Hard 0/1 prediction at `threshold`.
+  int Predict(const std::vector<double>& row, double threshold = 0.5) const;
+
+  bool fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  size_t iterations_run() const { return iterations_run_; }
+  double final_loss() const { return final_loss_; }
+
+  /// Directly installs parameters (deserialization / tests).
+  void SetParameters(std::vector<double> weights, double bias);
+
+ private:
+  LogisticRegressionOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  size_t iterations_run_ = 0;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace lightor::ml
+
+#endif  // LIGHTOR_ML_LOGISTIC_REGRESSION_H_

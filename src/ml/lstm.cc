@@ -1,0 +1,346 @@
+#include "ml/lstm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "ml/logistic_regression.h"  // for Sigmoid
+#include "ml/optimizer.h"
+
+namespace lightor::ml {
+
+int CharVocab::Encode(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  if (u >= 32 && u <= 126) return static_cast<int>(u) - 32;
+  return kInputDim - 1;  // other bucket
+}
+
+CharLstmClassifier::CharLstmClassifier(LstmOptions options)
+    : options_(options) {
+  InitParameters();
+}
+
+void CharLstmClassifier::InitParameters() {
+  const size_t H = options_.hidden_size;
+  layers_.clear();
+  size_t offset = 0;
+  for (size_t l = 0; l < options_.num_layers; ++l) {
+    LayerOffsets lo;
+    lo.in_dim = l == 0 ? static_cast<size_t>(CharVocab::kInputDim) : H;
+    lo.wx = offset;
+    offset += 4 * H * lo.in_dim;
+    lo.wh = offset;
+    offset += 4 * H * H;
+    lo.bias = offset;
+    offset += 4 * H;
+    layers_.push_back(lo);
+  }
+  head_w_offset_ = offset;
+  offset += H;
+  head_b_offset_ = offset;
+  offset += 1;
+  params_.assign(offset, 0.0);
+
+  common::Rng rng(options_.seed);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const auto& lo = layers_[l];
+    const double sx =
+        options_.init_scale / std::sqrt(static_cast<double>(lo.in_dim));
+    const double sh =
+        options_.init_scale / std::sqrt(static_cast<double>(H));
+    for (size_t i = 0; i < 4 * H * lo.in_dim; ++i) {
+      params_[lo.wx + i] = rng.Uniform(-sx, sx);
+    }
+    for (size_t i = 0; i < 4 * H * H; ++i) {
+      params_[lo.wh + i] = rng.Uniform(-sh, sh);
+    }
+    // Forget-gate bias starts at 1.0 (standard trick for gradient flow).
+    for (size_t i = 0; i < 4 * H; ++i) {
+      params_[lo.bias + i] = (i >= H && i < 2 * H) ? 1.0 : 0.0;
+    }
+  }
+  const double sw = options_.init_scale / std::sqrt(static_cast<double>(H));
+  for (size_t i = 0; i < H; ++i) {
+    params_[head_w_offset_ + i] = rng.Uniform(-sw, sw);
+  }
+  params_[head_b_offset_] = 0.0;
+}
+
+std::vector<int> CharLstmClassifier::EncodeText(std::string_view text) const {
+  const size_t n = std::min(text.size(), options_.max_sequence_length);
+  std::vector<int> ids;
+  ids.reserve(std::max<size_t>(n, 1));
+  for (size_t i = 0; i < n; ++i) ids.push_back(CharVocab::Encode(text[i]));
+  if (ids.empty()) ids.push_back(CharVocab::Encode(' '));  // empty input
+  return ids;
+}
+
+double CharLstmClassifier::Forward(const std::vector<int>& ids,
+                                   ForwardCache* cache) const {
+  const size_t H = options_.hidden_size;
+  const size_t L = layers_.size();
+  const size_t T = ids.size();
+
+  auto alloc = [&](std::vector<std::vector<std::vector<double>>>& v) {
+    v.assign(L, std::vector<std::vector<double>>(
+                    T, std::vector<double>(H, 0.0)));
+  };
+  ForwardCache local;
+  ForwardCache& c = cache ? *cache : local;
+  alloc(c.gate_i);
+  alloc(c.gate_f);
+  alloc(c.gate_o);
+  alloc(c.gate_g);
+  alloc(c.cell);
+  alloc(c.hidden);
+  alloc(c.tanh_cell);
+  c.input_ids = ids;
+
+  std::vector<double> pre(4 * H);
+  for (size_t l = 0; l < L; ++l) {
+    const auto& lo = layers_[l];
+    const double* wx = params_.data() + lo.wx;
+    const double* wh = params_.data() + lo.wh;
+    const double* bias = params_.data() + lo.bias;
+    std::vector<double> h_prev(H, 0.0), c_prev(H, 0.0);
+    for (size_t t = 0; t < T; ++t) {
+      // pre = Wx * x_t + Wh * h_prev + b
+      if (l == 0) {
+        // One-hot input: Wx * x is simply Wx's column ids[t].
+        const size_t col = static_cast<size_t>(ids[t]);
+        for (size_t r = 0; r < 4 * H; ++r) {
+          pre[r] = wx[r * lo.in_dim + col] + bias[r];
+        }
+      } else {
+        const auto& below = c.hidden[l - 1][t];
+        for (size_t r = 0; r < 4 * H; ++r) {
+          const double* row = wx + r * lo.in_dim;
+          double acc = bias[r];
+          for (size_t k = 0; k < H; ++k) acc += row[k] * below[k];
+          pre[r] = acc;
+        }
+      }
+      for (size_t r = 0; r < 4 * H; ++r) {
+        const double* row = wh + r * H;
+        double acc = 0.0;
+        for (size_t k = 0; k < H; ++k) acc += row[k] * h_prev[k];
+        pre[r] += acc;
+      }
+      auto& gi = c.gate_i[l][t];
+      auto& gf = c.gate_f[l][t];
+      auto& go = c.gate_o[l][t];
+      auto& gg = c.gate_g[l][t];
+      auto& cc = c.cell[l][t];
+      auto& hh = c.hidden[l][t];
+      auto& tc = c.tanh_cell[l][t];
+      for (size_t k = 0; k < H; ++k) {
+        gi[k] = Sigmoid(pre[k]);
+        gf[k] = Sigmoid(pre[H + k]);
+        go[k] = Sigmoid(pre[2 * H + k]);
+        gg[k] = std::tanh(pre[3 * H + k]);
+        cc[k] = gf[k] * c_prev[k] + gi[k] * gg[k];
+        tc[k] = std::tanh(cc[k]);
+        hh[k] = go[k] * tc[k];
+      }
+      h_prev = hh;
+      c_prev = cc;
+    }
+  }
+
+  // Mean-pool the top layer's hidden states, then logistic head.
+  c.pooled.assign(H, 0.0);
+  for (size_t t = 0; t < T; ++t) {
+    const auto& hh = c.hidden[L - 1][t];
+    for (size_t k = 0; k < H; ++k) c.pooled[k] += hh[k];
+  }
+  for (size_t k = 0; k < H; ++k) c.pooled[k] /= static_cast<double>(T);
+
+  double logit = params_[head_b_offset_];
+  for (size_t k = 0; k < H; ++k) {
+    logit += params_[head_w_offset_ + k] * c.pooled[k];
+  }
+  c.probability = Sigmoid(logit);
+  return c.probability;
+}
+
+void CharLstmClassifier::Backward(const ForwardCache& cache, double d_logit,
+                                  std::vector<double>& grads) const {
+  const size_t H = options_.hidden_size;
+  const size_t L = layers_.size();
+  const size_t T = cache.input_ids.size();
+
+  // Head gradients.
+  for (size_t k = 0; k < H; ++k) {
+    grads[head_w_offset_ + k] += d_logit * cache.pooled[k];
+  }
+  grads[head_b_offset_] += d_logit;
+
+  // dh arriving at each (layer, t) from above (head pooling or the layer
+  // above's input path).
+  std::vector<std::vector<std::vector<double>>> dh_from_above(
+      L, std::vector<std::vector<double>>(T, std::vector<double>(H, 0.0)));
+  const double pool_scale = d_logit / static_cast<double>(T);
+  for (size_t t = 0; t < T; ++t) {
+    for (size_t k = 0; k < H; ++k) {
+      dh_from_above[L - 1][t][k] = pool_scale * params_[head_w_offset_ + k];
+    }
+  }
+
+  std::vector<double> da(4 * H);
+  for (size_t li = L; li-- > 0;) {
+    const auto& lo = layers_[li];
+    const double* wx = params_.data() + lo.wx;
+    const double* wh = params_.data() + lo.wh;
+    double* gwx = grads.data() + lo.wx;
+    double* gwh = grads.data() + lo.wh;
+    double* gb = grads.data() + lo.bias;
+
+    std::vector<double> dh_next(H, 0.0), dc_next(H, 0.0);
+    for (size_t t = T; t-- > 0;) {
+      const auto& gi = cache.gate_i[li][t];
+      const auto& gf = cache.gate_f[li][t];
+      const auto& go = cache.gate_o[li][t];
+      const auto& gg = cache.gate_g[li][t];
+      const auto& tc = cache.tanh_cell[li][t];
+      const std::vector<double>* c_prev =
+          t > 0 ? &cache.cell[li][t - 1] : nullptr;
+      const std::vector<double>* h_prev =
+          t > 0 ? &cache.hidden[li][t - 1] : nullptr;
+
+      for (size_t k = 0; k < H; ++k) {
+        const double dh = dh_from_above[li][t][k] + dh_next[k];
+        const double d_o = dh * tc[k];
+        double dc = dh * go[k] * (1.0 - tc[k] * tc[k]) + dc_next[k];
+        const double cprev_k = c_prev ? (*c_prev)[k] : 0.0;
+        const double d_i = dc * gg[k];
+        const double d_f = dc * cprev_k;
+        const double d_g = dc * gi[k];
+        da[k] = d_i * gi[k] * (1.0 - gi[k]);
+        da[H + k] = d_f * gf[k] * (1.0 - gf[k]);
+        da[2 * H + k] = d_o * go[k] * (1.0 - go[k]);
+        da[3 * H + k] = d_g * (1.0 - gg[k] * gg[k]);
+        dc_next[k] = dc * gf[k];
+      }
+
+      // Parameter gradients.
+      if (li == 0) {
+        const size_t col = static_cast<size_t>(cache.input_ids[t]);
+        for (size_t r = 0; r < 4 * H; ++r) {
+          gwx[r * lo.in_dim + col] += da[r];
+          gb[r] += da[r];
+        }
+      } else {
+        const auto& below = cache.hidden[li - 1][t];
+        for (size_t r = 0; r < 4 * H; ++r) {
+          double* row = gwx + r * lo.in_dim;
+          const double dar = da[r];
+          for (size_t k = 0; k < H; ++k) row[k] += dar * below[k];
+          gb[r] += dar;
+        }
+        // Propagate into the layer below: dx = Wx^T * da.
+        auto& dbelow = dh_from_above[li - 1][t];
+        for (size_t r = 0; r < 4 * H; ++r) {
+          const double* row = wx + r * lo.in_dim;
+          const double dar = da[r];
+          for (size_t k = 0; k < H; ++k) dbelow[k] += dar * row[k];
+        }
+      }
+      if (h_prev) {
+        for (size_t r = 0; r < 4 * H; ++r) {
+          double* row = gwh + r * H;
+          const double dar = da[r];
+          for (size_t k = 0; k < H; ++k) row[k] += dar * (*h_prev)[k];
+        }
+      }
+      // dh_next = Wh^T * da.
+      std::fill(dh_next.begin(), dh_next.end(), 0.0);
+      for (size_t r = 0; r < 4 * H; ++r) {
+        const double* row = wh + r * H;
+        const double dar = da[r];
+        for (size_t k = 0; k < H; ++k) dh_next[k] += dar * row[k];
+      }
+      if (t == 0) break;
+    }
+  }
+}
+
+common::Status CharLstmClassifier::Train(const std::vector<std::string>& texts,
+                                         const std::vector<int>& labels) {
+  if (texts.empty()) {
+    return common::Status::InvalidArgument("CharLstm::Train: empty data");
+  }
+  if (texts.size() != labels.size()) {
+    return common::Status::InvalidArgument(
+        "CharLstm::Train: texts/labels size mismatch");
+  }
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return common::Status::InvalidArgument(
+          "CharLstm::Train: labels must be 0/1");
+    }
+  }
+  InitParameters();
+
+  // Encode once.
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(texts.size());
+  for (const auto& t : texts) encoded.push_back(EncodeText(t));
+
+  AdamOptimizer adam(options_.learning_rate);
+  common::Rng rng(options_.seed ^ 0xABCDEF0123456789ULL);
+  std::vector<size_t> order(texts.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<double> grads(params_.size(), 0.0);
+  epoch_losses_.clear();
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    for (size_t idx : order) {
+      ForwardCache cache;
+      const double p = Forward(encoded[idx], &cache);
+      const double y = static_cast<double>(labels[idx]);
+      constexpr double kEps = 1e-12;
+      const double pc = std::clamp(p, kEps, 1.0 - kEps);
+      loss_sum -= y * std::log(pc) + (1.0 - y) * std::log(1.0 - pc);
+      std::fill(grads.begin(), grads.end(), 0.0);
+      Backward(cache, p - y, grads);
+      ClipGradientNorm(grads, options_.grad_clip);
+      adam.Step(params_, grads);
+    }
+    epoch_losses_.push_back(loss_sum / static_cast<double>(texts.size()));
+  }
+  final_epoch_loss_ = epoch_losses_.back();
+  return common::Status::OK();
+}
+
+double CharLstmClassifier::Loss(std::string_view text, int label) const {
+  const double p = Forward(EncodeText(text), nullptr);
+  constexpr double kEps = 1e-12;
+  const double pc = std::clamp(p, kEps, 1.0 - kEps);
+  return label == 1 ? -std::log(pc) : -std::log(1.0 - pc);
+}
+
+std::vector<double> CharLstmClassifier::Gradients(std::string_view text,
+                                                  int label) const {
+  ForwardCache cache;
+  const double p = Forward(EncodeText(text), &cache);
+  std::vector<double> grads(params_.size(), 0.0);
+  Backward(cache, p - static_cast<double>(label), grads);
+  return grads;
+}
+
+double CharLstmClassifier::PredictProbability(std::string_view text) const {
+  return Forward(EncodeText(text), nullptr);
+}
+
+std::vector<double> CharLstmClassifier::PredictProbabilities(
+    const std::vector<std::string>& texts) const {
+  std::vector<double> out;
+  out.reserve(texts.size());
+  for (const auto& t : texts) out.push_back(PredictProbability(t));
+  return out;
+}
+
+}  // namespace lightor::ml

@@ -1,0 +1,117 @@
+#ifndef LIGHTOR_ML_LSTM_H_
+#define LIGHTOR_ML_LSTM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lightor::ml {
+
+/// Character vocabulary for the char-level LSTM: printable ASCII (32..126)
+/// plus one out-of-range bucket.
+struct CharVocab {
+  static constexpr int kInputDim = 96;  // 95 printable + 1 other
+
+  /// Maps a byte to its one-hot index in [0, kInputDim).
+  static int Encode(char c);
+};
+
+/// Configuration for the character-level LSTM classifier. The paper's
+/// Chat-LSTM baseline is "a character-level 3-layer LSTM-RNN"; defaults
+/// mirror that shape, and benchmarks shrink it to CPU scale (the
+/// comparison is about training cost and generalization, not capacity).
+struct LstmOptions {
+  size_t hidden_size = 32;
+  size_t num_layers = 3;
+  size_t max_sequence_length = 128;  ///< Characters; longer input truncates.
+  size_t epochs = 5;
+  double learning_rate = 3e-3;
+  double grad_clip = 5.0;
+  uint64_t seed = 1;
+  double init_scale = 0.2;  ///< Uniform(-s, s) weight init.
+};
+
+/// A stacked character-level LSTM binary classifier trained with
+/// truncated-at-input BPTT and Adam. Input text is byte-encoded one-hot;
+/// the classification head applies a logistic unit to the mean-pooled
+/// top-layer hidden states.
+///
+/// This is a full from-scratch implementation (forward, BPTT, clipping,
+/// Adam) — it is the substrate for the paper's deep-learning baselines.
+class CharLstmClassifier {
+ public:
+  explicit CharLstmClassifier(LstmOptions options = {});
+
+  /// Trains on (texts, labels); labels in {0,1}. Replaces prior weights.
+  /// Returns InvalidArgument for empty or mismatched input.
+  common::Status Train(const std::vector<std::string>& texts,
+                       const std::vector<int>& labels);
+
+  /// P(label = 1 | text).
+  double PredictProbability(std::string_view text) const;
+
+  /// Batch probabilities.
+  std::vector<double> PredictProbabilities(
+      const std::vector<std::string>& texts) const;
+
+  /// Mean training loss of the final epoch (0 before training).
+  double final_epoch_loss() const { return final_epoch_loss_; }
+
+  /// Per-epoch mean losses of the last Train call.
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+
+  /// Total number of trainable parameters.
+  size_t num_parameters() const { return params_.size(); }
+
+  const LstmOptions& options() const { return options_; }
+
+  // --- Testing / diagnostics hooks ----------------------------------------
+  /// Flat parameter vector (layer weights then head).
+  const std::vector<double>& parameters() const { return params_; }
+  std::vector<double>& mutable_parameters() { return params_; }
+  /// Binary cross-entropy of one example under the current weights.
+  double Loss(std::string_view text, int label) const;
+  /// Analytic gradient of `Loss` w.r.t. all parameters (BPTT) — used by
+  /// the numeric gradient-check tests.
+  std::vector<double> Gradients(std::string_view text, int label) const;
+
+ private:
+  struct LayerOffsets {
+    size_t wx;       // [4H x in_dim]
+    size_t wh;       // [4H x H]
+    size_t bias;     // [4H]
+    size_t in_dim;
+  };
+
+  /// Per-sequence activation caches needed by BPTT.
+  struct ForwardCache {
+    // Indexed [layer][t]; each inner vector sized H (or 4H for gates).
+    std::vector<std::vector<std::vector<double>>> gate_i, gate_f, gate_o,
+        gate_g, cell, hidden, tanh_cell;
+    std::vector<int> input_ids;
+    double probability = 0.0;
+    std::vector<double> pooled;  // mean-pooled top hidden, sized H
+  };
+
+  void InitParameters();
+  std::vector<int> EncodeText(std::string_view text) const;
+  double Forward(const std::vector<int>& ids, ForwardCache* cache) const;
+  void Backward(const ForwardCache& cache, double d_logit,
+                std::vector<double>& grads) const;
+
+  LstmOptions options_;
+  std::vector<LayerOffsets> layers_;
+  size_t head_w_offset_ = 0;
+  size_t head_b_offset_ = 0;
+  std::vector<double> params_;
+  double final_epoch_loss_ = 0.0;
+  std::vector<double> epoch_losses_;
+};
+
+}  // namespace lightor::ml
+
+#endif  // LIGHTOR_ML_LSTM_H_

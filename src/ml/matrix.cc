@@ -1,0 +1,58 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+
+namespace lightor::ml {
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::MatVecAccumulate(const std::vector<double>& x,
+                              std::vector<double>& y) const {
+  assert(x.size() == cols_);
+  assert(y.size() == rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] += acc;
+  }
+}
+
+void Matrix::MatTVecAccumulate(const std::vector<double>& x,
+                               std::vector<double>& y) const {
+  assert(x.size() == rows_);
+  assert(y.size() == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+}
+
+void Matrix::AddOuterProduct(const std::vector<double>& a,
+                             const std::vector<double>& b, double scale) {
+  assert(a.size() == rows_);
+  assert(b.size() == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* row = data_.data() + r * cols_;
+    const double ar = a[r] * scale;
+    if (ar == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
+  }
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return acc;
+}
+
+}  // namespace lightor::ml

@@ -1,0 +1,65 @@
+#ifndef LIGHTOR_ML_MATRIX_H_
+#define LIGHTOR_ML_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace lightor::ml {
+
+/// A small row-major dense matrix of doubles. Sized for the models in this
+/// library (logistic regression, CPU-scale LSTMs) — no BLAS, no views.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
+  /// Sets all entries to `value`.
+  void Fill(double value);
+
+  /// y += this * x  (y sized rows(), x sized cols()).
+  void MatVecAccumulate(const std::vector<double>& x,
+                        std::vector<double>& y) const;
+
+  /// y += this^T * x  (y sized cols(), x sized rows()).
+  void MatTVecAccumulate(const std::vector<double>& x,
+                         std::vector<double>& y) const;
+
+  /// this += scale * (a outer b), where a is sized rows(), b sized cols().
+  void AddOuterProduct(const std::vector<double>& a,
+                       const std::vector<double>& b, double scale = 1.0);
+
+  /// this += scale * other (same shape required).
+  void AddScaled(const Matrix& other, double scale);
+
+  /// Frobenius-norm squared.
+  double SquaredNorm() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace lightor::ml
+
+#endif  // LIGHTOR_ML_MATRIX_H_

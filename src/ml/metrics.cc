@@ -1,0 +1,118 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lightor::ml {
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision() const {
+  const size_t denom = true_positive + false_positive;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  const size_t denom = true_positive + false_negative;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix Confusion(const std::vector<double>& probabilities,
+                          const std::vector<int>& labels, double threshold) {
+  assert(probabilities.size() == labels.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    const bool predicted = probabilities[i] >= threshold;
+    const bool actual = labels[i] == 1;
+    if (predicted && actual) ++cm.true_positive;
+    else if (predicted && !actual) ++cm.false_positive;
+    else if (!predicted && actual) ++cm.false_negative;
+    else ++cm.true_negative;
+  }
+  return cm;
+}
+
+double LogLoss(const std::vector<double>& probabilities,
+               const std::vector<int>& labels) {
+  assert(probabilities.size() == labels.size());
+  if (probabilities.empty()) return 0.0;
+  constexpr double kEps = 1e-12;
+  double acc = 0.0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    const double p = std::clamp(probabilities[i], kEps, 1.0 - kEps);
+    acc += labels[i] == 1 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return acc / static_cast<double>(probabilities.size());
+}
+
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<int>& labels, size_t k) {
+  assert(scores.size() == labels.size());
+  if (scores.empty() || k == 0) return 0.0;
+  k = std::min(k, scores.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&](size_t a, size_t b) {
+                      return scores[a] != scores[b] ? scores[a] > scores[b]
+                                                    : a < b;
+                    });
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (labels[order[i]] == 1) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  assert(scores.size() == labels.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  // Rank-sum with midrank handling for ties.
+  std::vector<double> ranks(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = midrank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  size_t n_pos = 0;
+  for (size_t t = 0; t < labels.size(); ++t) {
+    if (labels[t] == 1) {
+      pos_rank_sum += ranks[t];
+      ++n_pos;
+    }
+  }
+  const size_t n_neg = labels.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  return (pos_rank_sum - 0.5 * static_cast<double>(n_pos) *
+                             static_cast<double>(n_pos + 1)) /
+         (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+}  // namespace lightor::ml

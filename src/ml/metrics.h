@@ -1,0 +1,48 @@
+#ifndef LIGHTOR_ML_METRICS_H_
+#define LIGHTOR_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lightor::ml {
+
+/// Binary confusion counts at a fixed decision threshold.
+struct ConfusionMatrix {
+  size_t true_positive = 0;
+  size_t false_positive = 0;
+  size_t true_negative = 0;
+  size_t false_negative = 0;
+
+  size_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double Accuracy() const;
+  double Precision() const;  ///< 0 when no positives were predicted.
+  double Recall() const;     ///< 0 when there are no positive labels.
+  double F1() const;         ///< Harmonic mean; 0 when degenerate.
+};
+
+/// Builds a confusion matrix from probabilities and 0/1 labels at
+/// `threshold` (predict 1 when p >= threshold).
+ConfusionMatrix Confusion(const std::vector<double>& probabilities,
+                          const std::vector<int>& labels,
+                          double threshold = 0.5);
+
+/// Mean binary cross-entropy (log-loss) with probability clamping.
+double LogLoss(const std::vector<double>& probabilities,
+               const std::vector<int>& labels);
+
+/// Precision among the k highest-scored items: fraction of the top-k
+/// (by score, descending, ties by index) whose label is 1. This is the
+/// paper's Precision@K shape; k is clamped to the input size.
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<int>& labels, size_t k);
+
+/// Area under the ROC curve via the rank-sum formulation; 0.5 when one
+/// class is absent.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+}  // namespace lightor::ml
+
+#endif  // LIGHTOR_ML_METRICS_H_

@@ -1,0 +1,75 @@
+#include "ml/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lightor::ml {
+
+SgdOptimizer::SgdOptimizer(double learning_rate, double momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {}
+
+void SgdOptimizer::Step(std::vector<double>& params,
+                        const std::vector<double>& grads) {
+  assert(params.size() == grads.size());
+  if (momentum_ > 0.0) {
+    if (velocity_.size() != params.size()) {
+      velocity_.assign(params.size(), 0.0);
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      velocity_[i] = momentum_ * velocity_[i] - learning_rate_ * grads[i];
+      params[i] += velocity_[i];
+    }
+  } else {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i] -= learning_rate_ * grads[i];
+    }
+  }
+}
+
+void SgdOptimizer::Reset() { velocity_.clear(); }
+
+AdamOptimizer::AdamOptimizer(double learning_rate, double beta1, double beta2,
+                             double epsilon)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {}
+
+void AdamOptimizer::Step(std::vector<double>& params,
+                         const std::vector<double>& grads) {
+  assert(params.size() == grads.size());
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0);
+    v_.assign(params.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= learning_rate_ * mhat / (std::sqrt(vhat) + epsilon_);
+  }
+}
+
+void AdamOptimizer::Reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+double ClipGradientNorm(std::vector<double>& grads, double max_norm) {
+  double norm_sq = 0.0;
+  for (double g : grads) norm_sq += g * g;
+  const double norm = std::sqrt(norm_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (double& g : grads) g *= scale;
+  }
+  return norm;
+}
+
+}  // namespace lightor::ml

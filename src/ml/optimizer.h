@@ -1,0 +1,65 @@
+#ifndef LIGHTOR_ML_OPTIMIZER_H_
+#define LIGHTOR_ML_OPTIMIZER_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace lightor::ml {
+
+/// First-order optimizer over a flat parameter vector. The LSTM keeps all
+/// of its weights in one contiguous vector, so optimizers only need this
+/// interface.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update: params -= step(grads). Vectors must be the same
+  /// size across all calls.
+  virtual void Step(std::vector<double>& params,
+                    const std::vector<double>& grads) = 0;
+
+  /// Resets optimizer state (moment estimates, step counter).
+  virtual void Reset() = 0;
+};
+
+/// Plain SGD with optional momentum.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate, double momentum = 0.0);
+  void Step(std::vector<double>& params,
+            const std::vector<double>& grads) override;
+  void Reset() override;
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  std::vector<double> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate = 1e-3, double beta1 = 0.9,
+                         double beta2 = 0.999, double epsilon = 1e-8);
+  void Step(std::vector<double>& params,
+            const std::vector<double>& grads) override;
+  void Reset() override;
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  size_t t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+/// Scales `grads` in place so its global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double ClipGradientNorm(std::vector<double>& grads, double max_norm);
+
+}  // namespace lightor::ml
+
+#endif  // LIGHTOR_ML_OPTIMIZER_H_

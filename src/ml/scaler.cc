@@ -1,0 +1,66 @@
+#include "ml/scaler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lightor::ml {
+
+common::Status MinMaxScaler::Fit(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) {
+    return common::Status::InvalidArgument("MinMaxScaler::Fit: no rows");
+  }
+  const size_t width = rows[0].size();
+  if (width == 0) {
+    return common::Status::InvalidArgument("MinMaxScaler::Fit: empty rows");
+  }
+  mins_.assign(width, rows[0][0]);
+  maxs_.assign(width, rows[0][0]);
+  for (size_t c = 0; c < width; ++c) mins_[c] = maxs_[c] = rows[0][c];
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      mins_.clear();
+      maxs_.clear();
+      return common::Status::InvalidArgument(
+          "MinMaxScaler::Fit: ragged feature matrix");
+    }
+    for (size_t c = 0; c < width; ++c) {
+      mins_[c] = std::min(mins_[c], row[c]);
+      maxs_[c] = std::max(maxs_[c], row[c]);
+    }
+  }
+  return common::Status::OK();
+}
+
+std::vector<double> MinMaxScaler::Transform(
+    const std::vector<double>& row) const {
+  assert(fitted());
+  assert(row.size() == mins_.size());
+  std::vector<double> out(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    const double range = maxs_[c] - mins_[c];
+    if (range <= 0.0) {
+      out[c] = 0.0;
+    } else {
+      out[c] = std::clamp((row[c] - mins_[c]) / range, 0.0, 1.0);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> MinMaxScaler::TransformBatch(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(Transform(row));
+  return out;
+}
+
+common::Status MinMaxScaler::FitTransform(
+    std::vector<std::vector<double>>& rows) {
+  LIGHTOR_RETURN_IF_ERROR(Fit(rows));
+  rows = TransformBatch(rows);
+  return common::Status::OK();
+}
+
+}  // namespace lightor::ml

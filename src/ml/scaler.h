@@ -1,0 +1,40 @@
+#ifndef LIGHTOR_ML_SCALER_H_
+#define LIGHTOR_ML_SCALER_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace lightor::ml {
+
+/// Per-feature min-max normalization to [0, 1] — the paper: "To make these
+/// features generalize well, we normalize them to the range in [0,1]".
+/// Constant features map to 0. Transform clamps out-of-range values so a
+/// model trained on one video cannot see wild feature values on another.
+class MinMaxScaler {
+ public:
+  /// Learns per-column min/max. Requires a non-empty, rectangular matrix.
+  common::Status Fit(const std::vector<std::vector<double>>& rows);
+
+  /// Scales one row (must match the fitted width).
+  std::vector<double> Transform(const std::vector<double>& row) const;
+
+  /// Scales a batch.
+  std::vector<std::vector<double>> TransformBatch(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Fit + TransformBatch in one call.
+  common::Status FitTransform(std::vector<std::vector<double>>& rows);
+
+  bool fitted() const { return !mins_.empty(); }
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace lightor::ml
+
+#endif  // LIGHTOR_ML_SCALER_H_

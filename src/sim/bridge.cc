@@ -1,0 +1,44 @@
+#include "sim/bridge.h"
+
+namespace lightor::sim {
+
+std::vector<core::Message> ToCoreMessages(const ChatLog& chat) {
+  std::vector<core::Message> out;
+  out.reserve(chat.size());
+  for (const auto& msg : chat) {
+    core::Message m;
+    m.timestamp = msg.timestamp;
+    m.user = msg.user;
+    m.text = msg.text;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<core::Play> ToCorePlays(const std::vector<PlayRecord>& plays) {
+  std::vector<core::Play> out;
+  out.reserve(plays.size());
+  for (const auto& play : plays) {
+    out.emplace_back(play.user, play.span.start, play.span.end);
+  }
+  return out;
+}
+
+SimulatedCrowdProvider::SimulatedCrowdProvider(const GroundTruthVideo& video,
+                                               ViewerSimulator simulator,
+                                               int viewers_per_iteration,
+                                               common::Rng rng)
+    : video_(video),
+      simulator_(std::move(simulator)),
+      viewers_per_iteration_(viewers_per_iteration),
+      rng_(rng) {}
+
+std::vector<core::Play> SimulatedCrowdProvider::Collect(
+    common::Seconds red_dot) {
+  const auto plays =
+      simulator_.CollectPlays(video_, red_dot, viewers_per_iteration_, rng_);
+  total_sessions_ += viewers_per_iteration_;
+  return ToCorePlays(plays);
+}
+
+}  // namespace lightor::sim

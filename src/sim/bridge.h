@@ -1,0 +1,49 @@
+#ifndef LIGHTOR_SIM_BRIDGE_H_
+#define LIGHTOR_SIM_BRIDGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/extractor.h"
+#include "core/message.h"
+#include "sim/chat.h"
+#include "sim/video.h"
+#include "sim/viewer.h"
+#include "sim/viewer_simulator.h"
+
+namespace lightor::sim {
+
+/// Converts a simulated chat log into the pipeline's message type
+/// (dropping the ground-truth annotations — the pipeline must not see
+/// them).
+std::vector<core::Message> ToCoreMessages(const ChatLog& chat);
+
+/// Converts simulated play records into the pipeline's play type.
+std::vector<core::Play> ToCorePlays(const std::vector<PlayRecord>& plays);
+
+/// A core::PlayProvider backed by the viewer simulator: each Collect()
+/// call simulates a fresh crowd of `viewers_per_iteration` viewers around
+/// the requested dot position — exactly the paper's publish-tasks /
+/// collect-responses loop on AMT.
+class SimulatedCrowdProvider : public core::PlayProvider {
+ public:
+  SimulatedCrowdProvider(const GroundTruthVideo& video,
+                         ViewerSimulator simulator, int viewers_per_iteration,
+                         common::Rng rng);
+
+  std::vector<core::Play> Collect(common::Seconds red_dot) override;
+
+  int total_sessions() const { return total_sessions_; }
+
+ private:
+  const GroundTruthVideo& video_;
+  ViewerSimulator simulator_;
+  int viewers_per_iteration_;
+  common::Rng rng_;
+  int total_sessions_ = 0;
+};
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_BRIDGE_H_

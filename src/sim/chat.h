@@ -1,0 +1,44 @@
+#ifndef LIGHTOR_SIM_CHAT_H_
+#define LIGHTOR_SIM_CHAT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace lightor::sim {
+
+/// Why a simulated message was emitted. **Ground-truth-only annotation**:
+/// the LIGHTOR pipeline must never read this (it only sees timestamp,
+/// user, and text); evaluation code uses it to label sliding windows.
+enum class MessageSource {
+  kBackground,       ///< ordinary chatter
+  kDiscussionSurge,  ///< off-topic chatty episode (hard negative)
+  kBotSpam,          ///< advertisement bot (hard negative for msg-count)
+  kHighlightBurst,   ///< reaction to a highlight
+  kOffTopicHype,     ///< excitement about non-highlight content (a break,
+                     ///< a joke) — short emote-heavy messages that mimic a
+                     ///< real reaction burst (Section VIII's failure mode)
+  kShortStorm,       ///< waves of short but *diverse* messages (greeting
+                     ///< waves, poll spam): high count, low length, LOW
+                     ///< similarity — the negative only the similarity
+                     ///< feature can reject
+};
+
+/// One time-stamped live chat message.
+struct ChatMessage {
+  common::Seconds timestamp = 0.0;
+  std::string user;
+  std::string text;
+
+  // Ground-truth annotations (not visible to the pipeline):
+  MessageSource source = MessageSource::kBackground;
+  int highlight_index = -1;  ///< which highlight a burst message reacts to
+};
+
+/// Messages of one video, sorted by timestamp.
+using ChatLog = std::vector<ChatMessage>;
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_CHAT_H_

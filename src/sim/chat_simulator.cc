@@ -1,0 +1,345 @@
+#include "sim/chat_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightor::sim {
+
+namespace {
+
+/// Bot advertisement templates: long, near-identical messages. These are
+/// the classic false positives for the "largest message number" heuristic.
+constexpr const char* kBotTemplates[] = {
+    "BUY cheap game skins today at superskinshop dot com use promo code "
+    "STREAM for a huge discount limited offer only",
+    "FOLLOW my channel for free giveaways every single day click the link "
+    "in my profile right now and win big prizes",
+    "best boosting service in town visit rankboostpro dot net and climb "
+    "the ladder fast cheap and safe guaranteed results",
+};
+
+/// Generates a pronounceable pseudo-word — the long tail of live-chat
+/// vocabulary (usernames, typos, in-jokes) that never repeats.
+std::string MakePseudoWord(common::Rng& rng) {
+  static constexpr const char* kSyllables[] = {
+      "ka", "zu", "mo", "ri", "ta", "ne", "lo", "shi", "ba", "gre",
+      "pon", "der", "wix", "tru", "vel", "qua", "ze", "fi", "nu", "yo"};
+  const int n = static_cast<int>(rng.UniformInt(2, 4));
+  std::string word;
+  for (int i = 0; i < n; ++i) {
+    word += kSyllables[rng.UniformInt(0, 19)];
+  }
+  if (rng.Bernoulli(0.3)) word += std::to_string(rng.UniformInt(0, 99));
+  return word;
+}
+
+}  // namespace
+
+ChatSimulator::ChatSimulator(GameProfile profile)
+    : profile_(std::move(profile)),
+      channel_emotes_(text::EmoteLexicon::ForChannel(profile_.emote_domain)) {}
+
+std::string ChatSimulator::MakeUserName(common::Rng& rng) const {
+  return "viewer" + std::to_string(rng.UniformInt(0, 1999));
+}
+
+std::string ChatSimulator::MakeBackgroundMessage(common::Rng& rng) const {
+  // Bimodal lengths, like real chat: plenty of drive-by "lol" / "gg" /
+  // emote one-liners among the longer sentences (the paper's Fig. 2(b):
+  // "non-highlights can be any length").
+  const int n_words = rng.Bernoulli(0.4)
+                          ? static_cast<int>(rng.UniformInt(1, 3))
+                          : static_cast<int>(rng.UniformInt(4, 14));
+  std::string msg;
+  for (int i = 0; i < n_words; ++i) {
+    if (!msg.empty()) msg += ' ';
+    // Real chat vocabulary is long-tailed: a third of the tokens are
+    // names, typos, and one-off words that never repeat across messages.
+    if (rng.Bernoulli(0.35)) {
+      msg += MakePseudoWord(rng);
+    } else {
+      msg += profile_.casual_words[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(profile_.casual_words.size()) - 1))];
+    }
+  }
+  if (rng.Bernoulli(0.10)) {
+    msg += ' ';
+    msg += channel_emotes_.emotes()[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(channel_emotes_.size()) - 1))];
+  }
+  if (rng.Bernoulli(0.15)) msg += '?';
+  return msg;
+}
+
+std::string ChatSimulator::MakeSurgeMessage(common::Rng& rng,
+                                            const std::string& topic) const {
+  const int n_words = static_cast<int>(rng.UniformInt(4, 12));
+  std::string msg;
+  for (int i = 0; i < n_words; ++i) {
+    if (!msg.empty()) msg += ' ';
+    if (rng.Bernoulli(0.25)) {
+      msg += topic;
+    } else if (rng.Bernoulli(0.25)) {
+      msg += MakePseudoWord(rng);
+    } else {
+      msg += profile_.casual_words[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(profile_.casual_words.size()) - 1))];
+    }
+  }
+  return msg;
+}
+
+std::string ChatSimulator::MakeBotMessage(common::Rng& rng,
+                                          int variant) const {
+  const size_t tpl = static_cast<size_t>(variant) %
+                     (sizeof(kBotTemplates) / sizeof(kBotTemplates[0]));
+  std::string msg = kBotTemplates[tpl];
+  // Tiny per-message variation so messages are near- but not exactly
+  // identical, like real spam rotations.
+  msg += " #" + std::to_string(rng.UniformInt(100, 999));
+  return msg;
+}
+
+std::string ChatSimulator::MakeStormMessage(common::Rng& rng) const {
+  const int n_tokens = static_cast<int>(rng.UniformInt(1, 3));
+  std::string msg;
+  for (int i = 0; i < n_tokens; ++i) {
+    if (!msg.empty()) msg += ' ';
+    const double pick = rng.NextDouble();
+    if (pick < 0.45) {
+      msg += MakePseudoWord(rng);
+    } else if (pick < 0.70) {
+      msg += channel_emotes_.emotes()[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(channel_emotes_.size()) - 1))];
+    } else {
+      msg += profile_.casual_words[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(profile_.casual_words.size()) - 1))];
+    }
+  }
+  return msg;
+}
+
+std::vector<std::string> ChatSimulator::MakeMemeSet(
+    common::Rng& rng, const std::string& event_word) const {
+  std::vector<std::string> memes = {event_word};
+  for (size_t idx : rng.SampleIndices(channel_emotes_.size(), 3)) {
+    memes.push_back(channel_emotes_.emotes()[idx]);
+  }
+  for (size_t idx : rng.SampleIndices(profile_.hype_words.size(), 3)) {
+    memes.push_back(profile_.hype_words[idx]);
+  }
+  return memes;
+}
+
+std::string ChatSimulator::MakeBurstMessage(
+    common::Rng& rng, const std::vector<std::string>& meme_set) const {
+  // Reaction messages are short and heavily repeat the burst's meme set —
+  // the same emote/keyword storm every live chat produces.
+  const int n_tokens = static_cast<int>(rng.UniformInt(1, 4));
+  std::string msg;
+  for (int i = 0; i < n_tokens; ++i) {
+    if (!msg.empty()) msg += ' ';
+    msg += meme_set[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(meme_set.size()) - 1))];
+  }
+  if (rng.Bernoulli(0.25)) msg += "!!";
+  return msg;
+}
+
+ChatLog ChatSimulator::Generate(const GroundTruthVideo& video,
+                                common::Rng& rng, double rate_scale) const {
+  ChatLog log;
+  const double length = video.meta.length;
+  const double hours = length / 3600.0;
+
+  // --- Background chatter with lulls --------------------------------------
+  // Lulls: ~2 per hour, 120–300 s each, at reduced rate.
+  std::vector<common::Interval> lulls;
+  const int n_lulls = rng.Poisson(2.0 * hours);
+  for (int i = 0; i < n_lulls; ++i) {
+    const double start = rng.Uniform(0.0, length);
+    lulls.emplace_back(start, start + rng.Uniform(120.0, 300.0));
+  }
+  auto in_lull = [&](double t) {
+    return std::any_of(lulls.begin(), lulls.end(),
+                       [&](const common::Interval& l) { return l.Contains(t); });
+  };
+
+  const double base = profile_.base_message_rate * rate_scale;
+  for (double t = 0.0; t < length; t += 1.0) {
+    double rate = base;
+    if (in_lull(t)) rate *= profile_.lull_rate_fraction;
+    const int n = rng.Poisson(rate);
+    for (int i = 0; i < n; ++i) {
+      ChatMessage msg;
+      msg.timestamp = t + rng.NextDouble();
+      msg.user = MakeUserName(rng);
+      msg.text = MakeBackgroundMessage(rng);
+      msg.source = MessageSource::kBackground;
+      log.push_back(std::move(msg));
+    }
+  }
+
+  // Helper: minimum distance from t to any highlight span.
+  auto highlight_distance = [&](double t) {
+    double best = 1e18;
+    for (const auto& h : video.highlights) {
+      double d = 0.0;
+      if (t < h.span.start) d = h.span.start - t;
+      else if (t > h.span.end) d = t - h.span.end;
+      best = std::min(best, d);
+    }
+    return best;
+  };
+
+  // --- Discussion surges (hard negatives) ---------------------------------
+  const int n_surges = rng.Poisson(profile_.discussion_surges_per_hour * hours);
+  for (int s = 0; s < n_surges; ++s) {
+    double start = 0.0;
+    // Surges happen wherever chat wanders; only avoid landing directly
+    // inside a reaction burst so labels stay meaningful.
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      start = rng.Uniform(60.0, std::max(61.0, length - 120.0));
+      if (highlight_distance(start) > 45.0) break;
+    }
+    const double duration =
+        profile_.discussion_surge_duration * rng.Uniform(0.7, 1.5);
+    const std::string topic = profile_.casual_words[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(profile_.casual_words.size()) - 1))];
+    const double surge_rate =
+        base * profile_.discussion_surge_multiplier;
+    for (double t = start; t < std::min(start + duration, length); t += 1.0) {
+      const int n = rng.Poisson(surge_rate);
+      for (int i = 0; i < n; ++i) {
+        ChatMessage msg;
+        msg.timestamp = t + rng.NextDouble();
+        msg.user = MakeUserName(rng);
+        msg.text = MakeSurgeMessage(rng, topic);
+        msg.source = MessageSource::kDiscussionSurge;
+        log.push_back(std::move(msg));
+      }
+    }
+  }
+
+  // --- Bot spam episodes ---------------------------------------------------
+  const int n_bots = rng.Poisson(profile_.bot_episodes_per_hour * hours);
+  for (int b = 0; b < n_bots; ++b) {
+    double start = 0.0;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      start = rng.Uniform(30.0, std::max(31.0, length - 60.0));
+      if (highlight_distance(start) > 120.0) break;
+    }
+    const int n_msgs = static_cast<int>(
+        rng.UniformInt(profile_.bot_messages_min, profile_.bot_messages_max));
+    const int variant = static_cast<int>(rng.UniformInt(0, 2));
+    const std::string bot_user = "promo_bot" + std::to_string(b);
+    for (int i = 0; i < n_msgs; ++i) {
+      ChatMessage msg;
+      msg.timestamp = start + rng.Uniform(0.0, profile_.bot_episode_duration);
+      msg.user = bot_user;
+      msg.text = MakeBotMessage(rng, variant);
+      msg.source = MessageSource::kBotSpam;
+      log.push_back(std::move(msg));
+    }
+  }
+
+  // --- Short storms (greeting waves, poll spam) ----------------------------
+  // High count + short messages + mutually diverse tokens: the negative
+  // that message number and length cannot reject, but similarity can.
+  const int n_storms = rng.Poisson(profile_.short_storms_per_hour * hours);
+  for (int e = 0; e < n_storms; ++e) {
+    double start = 0.0;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      start = rng.Uniform(60.0, std::max(61.0, length - 60.0));
+      if (highlight_distance(start) > 90.0) break;
+    }
+    const double duration = profile_.short_storm_duration *
+                            rng.Uniform(0.7, 1.4);
+    const double storm_rate = base * profile_.short_storm_multiplier;
+    for (double t = start; t < std::min(start + duration, length); t += 1.0) {
+      const int n = rng.Poisson(storm_rate);
+      for (int i = 0; i < n; ++i) {
+        ChatMessage msg;
+        msg.timestamp = t + rng.NextDouble();
+        msg.user = MakeUserName(rng);
+        msg.text = MakeStormMessage(rng);
+        msg.source = MessageSource::kShortStorm;
+        log.push_back(std::move(msg));
+      }
+    }
+  }
+
+  // --- Off-topic hype bursts ------------------------------------------------
+  // Short, emote-heavy excitement about something that is NOT a labelled
+  // highlight (a break, a joke): stylistically identical to a reaction
+  // burst, so even the full 3-feature model can be fooled (Section VIII).
+  const int n_hype = rng.Poisson(profile_.offtopic_hype_per_hour * hours);
+  for (int e = 0; e < n_hype; ++e) {
+    double center = 0.0;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      center = rng.Uniform(60.0, std::max(61.0, length - 60.0));
+      if (highlight_distance(center) > 90.0) break;
+    }
+    const double sigma = rng.Uniform(5.0, 9.0);
+    const double peak_rate =
+        base * profile_.offtopic_hype_multiplier * rng.Uniform(0.4, 0.9);
+    const std::string hype_word = profile_.hype_words[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(profile_.hype_words.size()) - 1))];
+    const std::vector<std::string> hype_memes = MakeMemeSet(rng, hype_word);
+    for (double t = std::max(0.0, center - 3.0 * sigma);
+         t < std::min(length, center + 3.0 * sigma); t += 1.0) {
+      const double z = (t - center) / sigma;
+      const int n = rng.Poisson(peak_rate * std::exp(-0.5 * z * z));
+      for (int i = 0; i < n; ++i) {
+        ChatMessage msg;
+        msg.timestamp = t + rng.NextDouble();
+        msg.user = MakeUserName(rng);
+        // Off-topic excitement is less focused than a game-event storm:
+        // meme tokens mixed with the long-tail vocabulary.
+        msg.text = rng.Bernoulli(0.55) ? MakeBurstMessage(rng, hype_memes)
+                                       : MakeStormMessage(rng);
+        msg.source = MessageSource::kOffTopicHype;
+        log.push_back(std::move(msg));
+      }
+    }
+  }
+
+  // --- Highlight reaction bursts -------------------------------------------
+  for (size_t hi = 0; hi < video.highlights.size(); ++hi) {
+    const auto& h = video.highlights[hi];
+    const double delay = std::max(
+        5.0, rng.Normal(profile_.reaction_delay_mean,
+                        profile_.reaction_delay_std));
+    const double peak = h.span.start + delay;
+    const double sigma = profile_.burst_duration * rng.Uniform(0.35, 0.5);
+    const double peak_rate =
+        base * profile_.burst_peak_multiplier * h.intensity;
+    const std::string event_word = profile_.event_words[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(profile_.event_words.size()) - 1))];
+    const std::vector<std::string> meme_set = MakeMemeSet(rng, event_word);
+    const double t_lo = std::max(0.0, peak - 3.0 * sigma);
+    const double t_hi = std::min(length, peak + 3.5 * sigma);
+    for (double t = t_lo; t < t_hi; t += 1.0) {
+      const double z = (t - peak) / sigma;
+      const double rate = peak_rate * std::exp(-0.5 * z * z);
+      const int n = rng.Poisson(rate);
+      for (int i = 0; i < n; ++i) {
+        ChatMessage msg;
+        msg.timestamp = t + rng.NextDouble();
+        msg.user = MakeUserName(rng);
+        msg.text = MakeBurstMessage(rng, meme_set);
+        msg.source = MessageSource::kHighlightBurst;
+        msg.highlight_index = static_cast<int>(hi);
+        log.push_back(std::move(msg));
+      }
+    }
+  }
+
+  std::sort(log.begin(), log.end(),
+            [](const ChatMessage& a, const ChatMessage& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return log;
+}
+
+}  // namespace lightor::sim

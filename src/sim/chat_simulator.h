@@ -1,0 +1,70 @@
+#ifndef LIGHTOR_SIM_CHAT_SIMULATOR_H_
+#define LIGHTOR_SIM_CHAT_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/chat.h"
+#include "sim/game_profile.h"
+#include "sim/video.h"
+#include "text/emotes.h"
+
+namespace lightor::sim {
+
+/// Generates the time-stamped chat of a recorded live video. The model
+/// reproduces the statistical regularities the paper measures on real
+/// Twitch chat (Fig. 2):
+///
+///  * background chatter: an inhomogeneous Poisson process with lulls,
+///    emitting medium-to-long off-topic messages with low mutual
+///    similarity;
+///  * discussion surges: minute-scale episodes where chat gets busy about
+///    something that is NOT a highlight (hard negatives for the
+///    message-count feature);
+///  * bot spam: a bot posts many long, near-identical advertisement
+///    messages within seconds (the naive top-count method's failure mode);
+///  * highlight reaction bursts: after each highlight, the message rate
+///    ramps up to a peak that lags the highlight start by
+///    Normal(reaction_delay_mean, reaction_delay_std) seconds — "people
+///    can only comment on a highlight after they have seen it" — and the
+///    burst messages are short, emote-heavy, and topically concentrated
+///    (high similarity).
+///
+/// `rate_scale` lets callers model channel popularity (Fig. 9 sweeps it).
+class ChatSimulator {
+ public:
+  explicit ChatSimulator(GameProfile profile);
+
+  /// Generates the full chat log of `video`, sorted by timestamp.
+  ChatLog Generate(const GroundTruthVideo& video, common::Rng& rng,
+                   double rate_scale = 1.0) const;
+
+  const GameProfile& profile() const { return profile_; }
+
+ private:
+  std::string MakeBackgroundMessage(common::Rng& rng) const;
+  std::string MakeSurgeMessage(common::Rng& rng,
+                               const std::string& topic) const;
+  std::string MakeBotMessage(common::Rng& rng, int variant) const;
+  /// A short (1–3 token) message drawn from the long-tail vocabulary:
+  /// casual words, random emotes, and generated pseudo-words (usernames,
+  /// typos, memes-of-the-day) — mutually diverse by construction.
+  std::string MakeStormMessage(common::Rng& rng) const;
+  /// Builds the small token set one reaction burst draws from (the event
+  /// keyword plus a few emotes/hype words): real reaction storms repeat
+  /// the same handful of tokens, which is what gives burst windows their
+  /// high message similarity.
+  std::vector<std::string> MakeMemeSet(common::Rng& rng,
+                                       const std::string& event_word) const;
+  std::string MakeBurstMessage(common::Rng& rng,
+                               const std::vector<std::string>& meme_set) const;
+  std::string MakeUserName(common::Rng& rng) const;
+
+  GameProfile profile_;
+  text::EmoteLexicon channel_emotes_;
+};
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_CHAT_SIMULATOR_H_

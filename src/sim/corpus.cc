@@ -1,0 +1,41 @@
+#include "sim/corpus.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "sim/chat_simulator.h"
+#include "sim/video_generator.h"
+
+namespace lightor::sim {
+
+Corpus MakeCorpus(GameType game, int n, uint64_t seed, double rate_scale) {
+  common::Rng rng(seed);
+  const GameProfile profile = GameProfile::ForGame(game);
+  VideoGenerator video_gen(profile);
+  ChatSimulator chat_sim(profile);
+  Corpus corpus;
+  corpus.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    LabeledVideo video;
+    video.truth = video_gen.Generate(
+        GameTypeName(game) + "_video" + std::to_string(i), rng);
+    video.chat = chat_sim.Generate(video.truth, rng, rate_scale);
+    corpus.push_back(std::move(video));
+  }
+  return corpus;
+}
+
+CorpusSplit SplitCorpus(const Corpus& corpus, size_t n_train, size_t n_test) {
+  CorpusSplit split;
+  const size_t n = corpus.size();
+  for (size_t i = 0; i < std::min(n_train, n); ++i) {
+    split.train.push_back(corpus[i]);
+  }
+  for (size_t i = n_train; i < std::min(n_train + n_test, n); ++i) {
+    split.test.push_back(corpus[i]);
+  }
+  return split;
+}
+
+}  // namespace lightor::sim

@@ -1,0 +1,39 @@
+#ifndef LIGHTOR_SIM_CORPUS_H_
+#define LIGHTOR_SIM_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/chat.h"
+#include "sim/game_profile.h"
+#include "sim/video.h"
+
+namespace lightor::sim {
+
+/// One labelled evaluation video: ground truth plus its chat log.
+struct LabeledVideo {
+  GroundTruthVideo truth;
+  ChatLog chat;
+};
+
+/// A set of labelled videos of one game — the unit the experiments train
+/// and test on (the paper uses 60 Dota2 and 173 LoL videos).
+using Corpus = std::vector<LabeledVideo>;
+
+/// Generates `n` labelled videos for `game`, deterministically from
+/// `seed`. `rate_scale` scales chat volume (1.0 ≈ a healthy popular
+/// channel, per the profile calibration).
+Corpus MakeCorpus(GameType game, int n, uint64_t seed,
+                  double rate_scale = 1.0);
+
+/// Slices a corpus into a training prefix and a testing suffix:
+/// train = [0, n_train), test = [n_train, n_train + n_test).
+struct CorpusSplit {
+  Corpus train;
+  Corpus test;
+};
+CorpusSplit SplitCorpus(const Corpus& corpus, size_t n_train, size_t n_test);
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_CORPUS_H_

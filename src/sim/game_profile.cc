@@ -1,0 +1,107 @@
+#include "sim/game_profile.h"
+
+namespace lightor::sim {
+
+std::string GameTypeName(GameType game) {
+  return game == GameType::kDota2 ? "dota2" : "lol";
+}
+
+namespace {
+
+std::vector<std::string> CommonCasualWords() {
+  return {"the",    "a",      "and",    "is",      "that",    "this",
+          "what",   "when",   "did",    "you",     "guys",    "think",
+          "about",  "stream", "today",  "game",    "play",    "player",
+          "team",   "watch",  "anyone", "know",    "why",     "how",
+          "chat",   "song",   "music",  "like",    "really",  "just",
+          "some",   "people", "here",   "from",    "where",   "long",
+          "time",   "first",  "last",   "match",   "score",   "item",
+          "build",  "skin",   "new",    "old",     "good",    "bad",
+          "meta",   "patch",  "update", "queue",   "rank",    "ladder",
+          "elo",    "smurf",  "lag",    "fps",     "drop",    "camera",
+          "sound",  "volume", "maybe",  "never",   "always",  "week",
+          "month",  "year",   "yesterday", "tomorrow", "morning", "night",
+          "work",   "school", "home",   "friend",  "brother", "dinner",
+          "coffee", "pizza",  "lunch",  "weather", "raining", "tired",
+          "sleep",  "awake",  "early",  "late",    "favorite", "worst",
+          "best",   "better", "worse",  "again",   "still",   "already",
+          "probably", "actually", "honestly", "basically", "literally",
+          "remember", "forget", "guess", "agree",  "disagree", "opinion",
+          "question", "answer", "reason", "because", "though", "anyway",
+          "anybody", "somebody", "nobody", "everyone", "nothing",
+          "something", "everything", "playlist", "keyboard", "mouse",
+          "monitor", "setup",  "clip",   "vod",     "upload",  "follow",
+          "subscribe", "prime", "donate", "emote",  "mods",    "banned",
+          "timeout", "rules",  "spam",   "caps",    "language", "english",
+          "country", "brazil", "germany", "canada", "france",  "russia"};
+}
+
+std::vector<std::string> CommonHypeWords() {
+  return {"gg",    "wow",   "omg",   "insane", "sick",  "wtf",  "no",
+          "way",   "clip",  "it",    "lets",   "go",    "holy", "nice",
+          "crazy", "what",  "a",     "huge",   "big",   "play", "unreal",
+          "nuts",  "clean", "perfect"};
+}
+
+}  // namespace
+
+GameProfile GameProfile::Dota2() {
+  GameProfile p;
+  p.game = GameType::kDota2;
+  p.emote_domain = text::EmoteDomain::kDota2;
+  // "The length of each video is between 0.5 hour to 2 hours."
+  p.min_video_length = 1800.0;
+  p.max_video_length = 7200.0;
+  // "Each video contains 10 labeled highlights on average."
+  p.mean_highlights = 10.0;
+  // "The length of each highlight is between 5s to 50s."
+  p.min_highlight_length = 5.0;
+  p.max_highlight_length = 50.0;
+  p.base_message_rate = 0.30;  // ~1080 background msgs/hour
+  p.hype_words = CommonHypeWords();
+  p.event_words = {"rampage",  "ultrakill", "gank",   "roshan", "aegis",
+                   "blackhole", "echoslam",  "hook",   "divine", "rapier",
+                   "buyback",  "throne",    "smoke",  "wombo",  "teamwipe"};
+  p.casual_words = CommonCasualWords();
+  p.casual_words.insert(p.casual_words.end(),
+                        {"pudge", "invoker", "mid", "carry", "support",
+                         "ward", "courier", "lane", "jungle", "ancient"});
+  return p;
+}
+
+GameProfile GameProfile::Lol() {
+  GameProfile p;
+  p.game = GameType::kLol;
+  p.emote_domain = text::EmoteDomain::kLol;
+  // "The length of each video is between 0.5 hour to 1 hour."
+  p.min_video_length = 1800.0;
+  p.max_video_length = 3600.0;
+  // "Each video contains 14 labeled highlights on average."
+  p.mean_highlights = 14.0;
+  // "The length of each highlight is between 2s to 81s."
+  p.min_highlight_length = 2.0;
+  p.max_highlight_length = 81.0;
+  p.min_highlight_gap = 130.0;
+  // Esports broadcast chat is denser than personal channels.
+  p.base_message_rate = 0.55;
+  p.discussion_surges_per_hour = 1.6;
+  p.bot_episodes_per_hour = 0.5;  // moderated broadcast chat has fewer bots
+  p.reaction_delay_mean = 24.0;   // same "reaction time" ballpark
+  p.reaction_delay_std = 5.0;
+  p.burst_peak_multiplier = 12.0;
+  p.hype_words = CommonHypeWords();
+  p.event_words = {"pentakill", "baron",  "steal", "flash", "outplay",
+                   "dragon",    "elder",  "nexus", "ace",   "backdoor",
+                   "teamfight", "engage", "dive",  "solo",  "quadra"};
+  p.casual_words = CommonCasualWords();
+  p.casual_words.insert(p.casual_words.end(),
+                        {"faker", "adc", "jungler", "botlane", "toplane",
+                         "draft", "pick", "ban", "scaling", "tempo"});
+  return p;
+}
+
+GameProfile GameProfile::ForGame(GameType game) {
+  return game == GameType::kDota2 ? Dota2() : Lol();
+}
+
+}  // namespace lightor::sim

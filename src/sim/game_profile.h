@@ -1,0 +1,87 @@
+#ifndef LIGHTOR_SIM_GAME_PROFILE_H_
+#define LIGHTOR_SIM_GAME_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "text/emotes.h"
+
+namespace lightor::sim {
+
+/// The two evaluation domains of the paper.
+enum class GameType { kDota2, kLol };
+
+/// Short name ("dota2" / "lol").
+std::string GameTypeName(GameType game);
+
+/// All generative parameters for one game domain. The two built-in
+/// profiles are calibrated to the paper's dataset description
+/// (Section VII-A) and chat analysis (Fig. 2): video lengths, highlight
+/// counts/lengths, chat volumes of 800–4300 messages per video, a
+/// viewer reaction delay of ≈20–25 s, and domain-specific vocabularies so
+/// that models do NOT transfer trivially across games (Fig. 11).
+struct GameProfile {
+  GameType game = GameType::kDota2;
+  text::EmoteDomain emote_domain = text::EmoteDomain::kDota2;
+
+  // --- Video shape -------------------------------------------------------
+  double min_video_length = 1800.0;   ///< seconds
+  double max_video_length = 7200.0;
+  double mean_highlights = 10.0;      ///< per video (Poisson, min 3)
+  double min_highlight_length = 5.0;  ///< seconds
+  double max_highlight_length = 50.0;
+  double min_highlight_gap = 150.0;   ///< enforced spacing between highlights
+
+  // --- Background chat ---------------------------------------------------
+  double base_message_rate = 0.30;    ///< background messages per second
+  double lull_rate_fraction = 0.4;    ///< rate multiplier during chat lulls
+  double discussion_surges_per_hour = 2.0;  ///< off-topic chatty episodes
+  double discussion_surge_multiplier = 6.0; ///< rate multiplier in a surge
+  double discussion_surge_duration = 40.0;  ///< seconds
+  /// Off-topic hype bursts (a funny moment, a game break): short,
+  /// emote-heavy messages indistinguishable in style from a highlight
+  /// reaction — the false positives Section VIII reports.
+  double offtopic_hype_per_hour = 0.5;
+  double offtopic_hype_multiplier = 5.0;
+  /// Short-storm episodes: greeting waves / poll spam — many short but
+  /// mutually diverse messages.
+  double short_storms_per_hour = 1.0;
+  double short_storm_multiplier = 4.5;
+  double short_storm_duration = 18.0;
+
+  // --- Bot / advertisement spam (the naive method's failure mode) --------
+  double bot_episodes_per_hour = 0.8;
+  int bot_messages_min = 12;
+  int bot_messages_max = 30;
+  double bot_episode_duration = 10.0;  ///< seconds
+
+  // --- Highlight reaction bursts ------------------------------------------
+  double reaction_delay_mean = 22.0;   ///< burst peak lag after highlight
+                                       ///< start (the paper's learned
+                                       ///< constant c lands in 23–27 s)
+  double reaction_delay_std = 5.0;
+  double burst_duration = 18.0;        ///< burst half-duration (seconds)
+  double burst_peak_multiplier = 14.0; ///< peak rate over base, scaled by
+                                       ///< highlight intensity
+  double burst_emote_probability = 0.55;  ///< emote tokens inside bursts
+
+  // --- Vocabulary ---------------------------------------------------------
+  std::vector<std::string> hype_words;     ///< short excited exclamations
+  std::vector<std::string> event_words;    ///< per-highlight topic keywords
+  std::vector<std::string> casual_words;   ///< background chatter lexicon
+
+  /// Built-in profile for Dota2 (Twitch personal channels: bursty,
+  /// noisy personal-stream chat).
+  static GameProfile Dota2();
+
+  /// Built-in profile for LoL (NALCS esports broadcast: larger audience,
+  /// denser chat, more highlights of wider length range).
+  static GameProfile Lol();
+
+  /// Profile lookup by game type.
+  static GameProfile ForGame(GameType game);
+};
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_GAME_PROFILE_H_

@@ -1,0 +1,214 @@
+#include "sim/trace_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace lightor::sim {
+
+namespace {
+
+const char* SourceName(MessageSource source) {
+  switch (source) {
+    case MessageSource::kBackground:
+      return "background";
+    case MessageSource::kDiscussionSurge:
+      return "surge";
+    case MessageSource::kBotSpam:
+      return "bot";
+    case MessageSource::kHighlightBurst:
+      return "burst";
+    case MessageSource::kOffTopicHype:
+      return "hype";
+    case MessageSource::kShortStorm:
+      return "storm";
+  }
+  return "background";
+}
+
+common::Result<MessageSource> SourceFromName(const std::string& name) {
+  if (name == "background") return MessageSource::kBackground;
+  if (name == "surge") return MessageSource::kDiscussionSurge;
+  if (name == "bot") return MessageSource::kBotSpam;
+  if (name == "burst") return MessageSource::kHighlightBurst;
+  if (name == "hype") return MessageSource::kOffTopicHype;
+  if (name == "storm") return MessageSource::kShortStorm;
+  return common::Status::Corruption("unknown message source: " + name);
+}
+
+common::Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return common::Status::Corruption("bad number: " + s);
+  }
+  return v;
+}
+
+std::string SanitizeNewlines(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+}  // namespace
+
+common::Status SaveCorpus(const Corpus& corpus,
+                          const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return common::Status::IoError("create_directories: " + ec.message());
+  }
+  std::ofstream index(directory + "/corpus.index");
+  if (!index.is_open()) {
+    return common::Status::IoError("cannot write corpus.index");
+  }
+  for (const auto& video : corpus) {
+    const std::string& id = video.truth.meta.id;
+    index << id << "\n";
+
+    std::ofstream meta(directory + "/" + id + ".meta.csv");
+    if (!meta.is_open()) {
+      return common::Status::IoError("cannot write meta for " + id);
+    }
+    common::CsvWriter meta_csv(&meta);
+    meta_csv.WriteRow({GameTypeName(video.truth.meta.game),
+                       common::FormatDouble(video.truth.meta.length, 3)});
+    for (const auto& h : video.truth.highlights) {
+      meta_csv.WriteRow({common::FormatDouble(h.span.start, 3),
+                         common::FormatDouble(h.span.end, 3),
+                         common::FormatDouble(h.intensity, 4)});
+    }
+
+    std::ofstream chat(directory + "/" + id + ".chat.csv");
+    if (!chat.is_open()) {
+      return common::Status::IoError("cannot write chat for " + id);
+    }
+    common::CsvWriter chat_csv(&chat);
+    chat_csv.WriteHeader({"timestamp", "user", "text", "source",
+                          "highlight_index"});
+    for (const auto& msg : video.chat) {
+      chat_csv.WriteRow({common::FormatDouble(msg.timestamp, 3), msg.user,
+                         SanitizeNewlines(msg.text), SourceName(msg.source),
+                         std::to_string(msg.highlight_index)});
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Result<Corpus> LoadCorpus(const std::string& directory) {
+  std::ifstream index(directory + "/corpus.index");
+  if (!index.is_open()) {
+    return common::Status::NotFound("no corpus.index in " + directory);
+  }
+  Corpus corpus;
+  std::string id;
+  while (std::getline(index, id)) {
+    id = std::string(common::Trim(id));
+    if (id.empty()) continue;
+    LabeledVideo video;
+    video.truth.meta.id = id;
+
+    std::ifstream meta(directory + "/" + id + ".meta.csv");
+    if (!meta.is_open()) {
+      return common::Status::Corruption("missing meta for " + id);
+    }
+    std::string line;
+    if (!std::getline(meta, line)) {
+      return common::Status::Corruption("empty meta for " + id);
+    }
+    {
+      const auto cells = common::ParseCsvLine(line);
+      if (cells.size() != 2) {
+        return common::Status::Corruption("bad meta header for " + id);
+      }
+      video.truth.meta.game =
+          cells[0] == "lol" ? GameType::kLol : GameType::kDota2;
+      LIGHTOR_ASSIGN_OR_RETURN(video.truth.meta.length,
+                               ParseDouble(cells[1]));
+    }
+    while (std::getline(meta, line)) {
+      if (common::Trim(line).empty()) continue;
+      const auto cells = common::ParseCsvLine(line);
+      if (cells.size() != 3) {
+        return common::Status::Corruption("bad highlight row for " + id);
+      }
+      Highlight h;
+      LIGHTOR_ASSIGN_OR_RETURN(h.span.start, ParseDouble(cells[0]));
+      LIGHTOR_ASSIGN_OR_RETURN(h.span.end, ParseDouble(cells[1]));
+      LIGHTOR_ASSIGN_OR_RETURN(h.intensity, ParseDouble(cells[2]));
+      video.truth.highlights.push_back(h);
+    }
+
+    std::ifstream chat(directory + "/" + id + ".chat.csv");
+    if (!chat.is_open()) {
+      return common::Status::Corruption("missing chat for " + id);
+    }
+    bool header = true;
+    while (std::getline(chat, line)) {
+      if (header) {
+        header = false;
+        continue;
+      }
+      if (common::Trim(line).empty()) continue;
+      const auto cells = common::ParseCsvLine(line);
+      if (cells.size() != 5) {
+        return common::Status::Corruption("bad chat row for " + id);
+      }
+      ChatMessage msg;
+      LIGHTOR_ASSIGN_OR_RETURN(msg.timestamp, ParseDouble(cells[0]));
+      msg.user = cells[1];
+      msg.text = cells[2];
+      LIGHTOR_ASSIGN_OR_RETURN(msg.source, SourceFromName(cells[3]));
+      msg.highlight_index = std::atoi(cells[4].c_str());
+      video.chat.push_back(std::move(msg));
+    }
+    corpus.push_back(std::move(video));
+  }
+  return corpus;
+}
+
+common::Result<std::vector<core::Message>> LoadChatCsv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return common::Status::NotFound("cannot open chat csv: " + path);
+  }
+  std::vector<core::Message> messages;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (common::Trim(line).empty()) continue;
+    const auto cells = common::ParseCsvLine(line);
+    if (cells.size() < 3) {
+      return common::Status::Corruption("chat csv row needs >=3 cells");
+    }
+    auto ts = ParseDouble(cells[0]);
+    if (!ts.ok()) {
+      if (first) {
+        first = false;
+        continue;  // header row
+      }
+      return ts.status();
+    }
+    first = false;
+    core::Message m;
+    m.timestamp = ts.value();
+    m.user = cells[1];
+    m.text = cells[2];
+    messages.push_back(std::move(m));
+  }
+  std::sort(messages.begin(), messages.end(),
+            [](const core::Message& a, const core::Message& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return messages;
+}
+
+}  // namespace lightor::sim

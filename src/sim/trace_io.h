@@ -1,0 +1,42 @@
+#ifndef LIGHTOR_SIM_TRACE_IO_H_
+#define LIGHTOR_SIM_TRACE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/message.h"
+#include "sim/corpus.h"
+
+namespace lightor::sim {
+
+/// Dataset export/import — the published-dataset story of the paper (its
+/// repo releases the crawled chat and collected play data). A corpus is
+/// written as one directory:
+///
+///   corpus.index              one video id per line
+///   <id>.meta.csv             game,length then start,end,intensity rows
+///   <id>.chat.csv             timestamp,user,text,source,highlight_index
+///
+/// Round-tripping preserves everything, including the ground-truth
+/// annotations — external tooling (pandas, R) can read the files
+/// directly.
+
+/// Writes `corpus` under `directory` (created if needed). Overwrites
+/// existing files of the same names.
+common::Status SaveCorpus(const Corpus& corpus, const std::string& directory);
+
+/// Reads a corpus back. Fails with NotFound when the index is missing and
+/// Corruption on malformed rows.
+common::Result<Corpus> LoadCorpus(const std::string& directory);
+
+/// Imports an *external* chat dump — a CSV whose first three columns are
+/// timestamp (seconds), user, text (a header row is skipped when the
+/// first cell is not numeric; extra columns are ignored). This is the
+/// entry point for running LIGHTOR on real crawled chat rather than the
+/// simulator's corpora. Messages are returned sorted by timestamp.
+common::Result<std::vector<core::Message>> LoadChatCsv(
+    const std::string& path);
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_TRACE_IO_H_

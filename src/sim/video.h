@@ -1,0 +1,50 @@
+#ifndef LIGHTOR_SIM_VIDEO_H_
+#define LIGHTOR_SIM_VIDEO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "sim/game_profile.h"
+
+namespace lightor::sim {
+
+/// One ground-truth highlight in a recorded live video.
+struct Highlight {
+  common::Interval span;
+  /// Relative excitement in (0, 1]; scales the chat reaction burst and
+  /// how eagerly simulated viewers watch it.
+  double intensity = 1.0;
+};
+
+/// Metadata of a recorded live video.
+struct VideoMeta {
+  std::string id;
+  GameType game = GameType::kDota2;
+  common::Seconds length = 0.0;
+};
+
+/// A recorded live video together with its ground-truth highlight labels
+/// (in the paper these come from human annotators; here they are known by
+/// construction). The LIGHTOR pipeline itself never reads `highlights` —
+/// only the evaluation and the simulators do.
+struct GroundTruthVideo {
+  VideoMeta meta;
+  std::vector<Highlight> highlights;  // sorted by start time
+
+  /// Index of the highlight whose span (with `slack` before the start and
+  /// after the end) contains `t`; -1 if none.
+  int HighlightAt(common::Seconds t, common::Seconds slack = 0.0) const {
+    for (size_t i = 0; i < highlights.size(); ++i) {
+      const auto& h = highlights[i].span;
+      if (t >= h.start - slack && t <= h.end + slack) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_VIDEO_H_

@@ -1,0 +1,51 @@
+#include "sim/video_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightor::sim {
+
+GroundTruthVideo VideoGenerator::Generate(const std::string& id,
+                                          common::Rng& rng) const {
+  GroundTruthVideo video;
+  video.meta.id = id;
+  video.meta.game = profile_.game;
+  video.meta.length =
+      rng.Uniform(profile_.min_video_length, profile_.max_video_length);
+
+  int count = std::max(3, rng.Poisson(profile_.mean_highlights));
+  // A highlight needs room: clamp the count so that spacing is feasible.
+  const double usable = video.meta.length - 2.0 * profile_.min_highlight_gap;
+  const int max_fit = std::max(
+      1, static_cast<int>(usable / (profile_.min_highlight_gap +
+                                    profile_.max_highlight_length)));
+  count = std::min(count, max_fit);
+
+  // Place highlight start times by jittering an even grid: this yields
+  // well-spread highlights (viewers prefer spread-out red dots — Section
+  // VIII) while preserving randomness.
+  const double margin = profile_.min_highlight_gap;
+  const double span = video.meta.length - 2.0 * margin;
+  const double slot = span / static_cast<double>(count);
+  for (int i = 0; i < count; ++i) {
+    const double jitter =
+        rng.Uniform(0.0, std::max(1.0, slot - profile_.max_highlight_length -
+                                            profile_.min_highlight_gap));
+    const double start = margin + static_cast<double>(i) * slot + jitter;
+    const double length = rng.Uniform(profile_.min_highlight_length,
+                                      profile_.max_highlight_length);
+    Highlight h;
+    h.span = common::Interval(start, std::min(start + length,
+                                              video.meta.length - 10.0));
+    // Intensity: most highlights are mid-strength; a few are spectacular.
+    h.intensity = std::clamp(rng.LogNormal(-0.5, 0.45), 0.15, 1.0);
+    video.highlights.push_back(h);
+  }
+  std::sort(video.highlights.begin(), video.highlights.end(),
+            [](const Highlight& a, const Highlight& b) {
+              return a.span.start < b.span.start;
+            });
+  return video;
+}
+
+}  // namespace lightor::sim

@@ -1,0 +1,31 @@
+#ifndef LIGHTOR_SIM_VIDEO_GENERATOR_H_
+#define LIGHTOR_SIM_VIDEO_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "sim/video.h"
+
+namespace lightor::sim {
+
+/// Synthesizes ground-truth videos for a game profile: video length,
+/// highlight count (Poisson around the profile mean, at least 3), highlight
+/// placement with enforced spacing, lengths and intensities. This replaces
+/// the paper's human annotation step — the generated spans ARE the labels.
+class VideoGenerator {
+ public:
+  explicit VideoGenerator(GameProfile profile) : profile_(std::move(profile)) {}
+
+  /// Generates one video. `id` becomes the video id; `rng` drives all
+  /// randomness (deterministic per seed).
+  GroundTruthVideo Generate(const std::string& id, common::Rng& rng) const;
+
+  const GameProfile& profile() const { return profile_; }
+
+ private:
+  GameProfile profile_;
+};
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_VIDEO_GENERATOR_H_

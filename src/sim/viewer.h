@@ -1,0 +1,52 @@
+#ifndef LIGHTOR_SIM_VIEWER_H_
+#define LIGHTOR_SIM_VIEWER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace lightor::sim {
+
+/// Raw player interactions (what a real platform's frontend would log).
+enum class InteractionType { kPlay, kPause, kSeekForward, kSeekBackward };
+
+/// One frontend interaction event in a viewing session.
+struct InteractionEvent {
+  double wall_time = 0.0;  ///< seconds since the session started
+  InteractionType type = InteractionType::kPlay;
+  common::Seconds position = 0.0;  ///< playhead when the event fired
+  common::Seconds target = 0.0;    ///< seek destination (seek events only)
+};
+
+/// A distilled play record: the user played the video continuously from
+/// `span.start` to `span.end` — the `play(s, e)` of the paper.
+struct PlayRecord {
+  std::string user;
+  common::Interval span;
+
+  PlayRecord() = default;
+  PlayRecord(std::string u, common::Seconds s, common::Seconds e)
+      : user(std::move(u)), span(s, e) {}
+};
+
+/// Everything one simulated viewer did around one red dot.
+struct ViewerSession {
+  std::string user;
+  std::vector<InteractionEvent> events;  ///< raw event log
+  std::vector<PlayRecord> plays;         ///< distilled plays
+};
+
+/// Converts a play list into the raw event log a frontend would emit
+/// (play/pause pairs, seeks between consecutive plays).
+std::vector<InteractionEvent> EventsFromPlays(
+    const std::vector<PlayRecord>& plays);
+
+/// Rebuilds play records from a raw event log (play → pause/seek pairs).
+/// This is what a deployed LIGHTOR backend does with logged interactions.
+std::vector<PlayRecord> PlaysFromEvents(
+    const std::string& user, const std::vector<InteractionEvent>& events);
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_VIEWER_H_

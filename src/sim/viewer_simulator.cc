@@ -1,0 +1,257 @@
+#include "sim/viewer_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightor::sim {
+
+std::vector<InteractionEvent> EventsFromPlays(
+    const std::vector<PlayRecord>& plays) {
+  std::vector<InteractionEvent> events;
+  double wall = 0.0;
+  common::Seconds playhead = plays.empty() ? 0.0 : plays[0].span.start;
+  for (const auto& play : plays) {
+    if (play.span.start != playhead) {
+      InteractionEvent seek;
+      seek.wall_time = wall;
+      seek.type = play.span.start > playhead ? InteractionType::kSeekForward
+                                             : InteractionType::kSeekBackward;
+      seek.position = playhead;
+      seek.target = play.span.start;
+      events.push_back(seek);
+      wall += 1.0;  // a seek takes ~1 s of wall time
+    }
+    InteractionEvent start;
+    start.wall_time = wall;
+    start.type = InteractionType::kPlay;
+    start.position = play.span.start;
+    events.push_back(start);
+    wall += play.span.Length();
+    InteractionEvent stop;
+    stop.wall_time = wall;
+    stop.type = InteractionType::kPause;
+    stop.position = play.span.end;
+    events.push_back(stop);
+    wall += 1.0;
+    playhead = play.span.end;
+  }
+  return events;
+}
+
+std::vector<PlayRecord> PlaysFromEvents(
+    const std::string& user, const std::vector<InteractionEvent>& events) {
+  std::vector<PlayRecord> plays;
+  bool playing = false;
+  common::Seconds play_start = 0.0;
+  for (const auto& ev : events) {
+    switch (ev.type) {
+      case InteractionType::kPlay:
+        playing = true;
+        play_start = ev.position;
+        break;
+      case InteractionType::kPause:
+        if (playing && ev.position > play_start) {
+          plays.emplace_back(user, play_start, ev.position);
+        }
+        playing = false;
+        break;
+      case InteractionType::kSeekForward:
+      case InteractionType::kSeekBackward:
+        if (playing && ev.position > play_start) {
+          plays.emplace_back(user, play_start, ev.position);
+          play_start = ev.target;  // playback continues at the target
+        }
+        break;
+    }
+  }
+  return plays;
+}
+
+ViewerSimulator::ViewerSimulator(ViewerBehaviorOptions options)
+    : options_(options) {}
+
+int ViewerSimulator::TargetHighlight(const GroundTruthVideo& video,
+                                     common::Seconds red_dot) const {
+  int best = -1;
+  double best_dist = options_.attention_radius + 20.0;
+  for (size_t i = 0; i < video.highlights.size(); ++i) {
+    const auto& span = video.highlights[i].span;
+    double d = 0.0;
+    if (red_dot < span.start) d = span.start - red_dot;
+    else if (red_dot > span.end) d = red_dot - span.end;
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+ViewerSession ViewerSimulator::SimulateSession(const GroundTruthVideo& video,
+                                               common::Seconds red_dot,
+                                               common::Rng& rng,
+                                               const std::string& user) const {
+  ViewerSession session;
+  session.user = user;
+  auto& plays = session.plays;
+  const double video_end = video.meta.length;
+  auto clamp_pos = [&](double t) { return std::clamp(t, 0.0, video_end); };
+  // Quick at-the-dot checks are short (the paper's "watch for a few
+  // seconds"); exploratory probes while hunting vary more widely.
+  auto quick_probe_len = [&]() { return rng.Uniform(2.0, 6.0); };
+  auto probe_len = [&]() {
+    return rng.Uniform(options_.probe_min, options_.probe_max);
+  };
+
+  // --- Noise archetypes ----------------------------------------------------
+  const double archetype = rng.NextDouble();
+  if (archetype < options_.p_checker) {
+    // Random short probes scattered around the dot.
+    const int n = static_cast<int>(rng.UniformInt(2, 5));
+    for (int i = 0; i < n; ++i) {
+      const double s = clamp_pos(
+          red_dot + rng.Uniform(-options_.attention_radius,
+                                options_.attention_radius));
+      plays.emplace_back(user, s, clamp_pos(s + probe_len()));
+    }
+    session.events = EventsFromPlays(plays);
+    return session;
+  }
+  if (archetype < options_.p_checker + options_.p_marathon) {
+    // Watches a huge stretch: a too-long play the filter must drop.
+    const double s = clamp_pos(red_dot - rng.Uniform(100.0, 300.0));
+    const double e = clamp_pos(red_dot + rng.Uniform(200.0, 500.0));
+    plays.emplace_back(user, s, e);
+    session.events = EventsFromPlays(plays);
+    return session;
+  }
+  if (archetype <
+      options_.p_checker + options_.p_marathon + options_.p_distracted) {
+    // Wanders away from the dot: spatial outliers, some inside the
+    // attention radius (so the distance filter alone cannot drop them).
+    const double offset = rng.Uniform(40.0, 130.0) *
+                          (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+    const double s = clamp_pos(red_dot + offset);
+    plays.emplace_back(user, s, clamp_pos(s + rng.Uniform(5.0, 20.0)));
+    if (rng.Bernoulli(0.5)) {
+      const double s2 = clamp_pos(s + rng.Uniform(-20.0, 20.0));
+      plays.emplace_back(user, s2, clamp_pos(s2 + probe_len()));
+    }
+    session.events = EventsFromPlays(plays);
+    return session;
+  }
+
+  // --- Engaged viewer ------------------------------------------------------
+  const int target = TargetHighlight(video, red_dot);
+  if (target < 0) {
+    // Nothing near this dot: probe briefly, then leave (the signal that
+    // lets the extractor demote dots that are not about a highlight).
+    plays.emplace_back(user, red_dot, clamp_pos(red_dot + quick_probe_len()));
+    if (rng.Bernoulli(0.4)) {
+      const double s = clamp_pos(red_dot + rng.Uniform(10.0, 30.0));
+      plays.emplace_back(user, s, clamp_pos(s + probe_len()));
+    }
+    session.events = EventsFromPlays(plays);
+    return session;
+  }
+
+  const auto& h = video.highlights[static_cast<size_t>(target)].span;
+  auto settle_and_watch = [&](double from_hint) {
+    // The exciting part starts a few seconds in; viewers settle there —
+    // proportionally less deep into short highlights.
+    const double offset =
+        std::min(rng.Normal(options_.settle_offset_mean,
+                            options_.settle_offset_std),
+                 0.35 * h.Length());
+    double s = std::max(from_hint, h.start + offset);
+    s = clamp_pos(s);
+    // Viewers linger a little longer after brief clips ("was that it?").
+    const double linger = std::max(0.0, 8.0 - 0.3 * h.Length());
+    const double tail =
+        linger + std::max(0.0, rng.Normal(options_.tail_after_end_mean,
+                                          options_.tail_after_end_std));
+    plays.emplace_back(user, s, clamp_pos(h.end + tail));
+    if (rng.Bernoulli(options_.p_rewatch)) {
+      const double s2 = clamp_pos(h.start + rng.Normal(2.0, 2.0));
+      plays.emplace_back(user, s2,
+                         clamp_pos(h.end + linger + rng.Uniform(0.0, 3.0)));
+    }
+  };
+
+  // Each viewer's sense of "where the highlight ends" is blurred; dots
+  // sitting near the boundary draw mixed behaviour.
+  const double perceived_end =
+      h.end - options_.perception_end_bias +
+      rng.Normal(0.0, options_.perception_end_blur);
+  if (red_dot <= perceived_end) {
+    // Type II situation: playing forward from the dot reaches the
+    // highlight.
+    if (red_dot >= h.start - options_.patience) {
+      // The highlight is visible within the patience window.
+      settle_and_watch(red_dot);
+    } else {
+      // Too early: a stretch of nothing first. Some viewers skip forward
+      // in steps; others abandon.
+      plays.emplace_back(user, red_dot,
+                         clamp_pos(red_dot + quick_probe_len()));
+      double pos = red_dot;
+      bool found = false;
+      while (pos < h.end) {
+        if (rng.Bernoulli(options_.p_abandon_early)) break;  // abandoned
+        pos = clamp_pos(pos + rng.Uniform(8.0, 20.0));
+        if (pos >= h.start - 5.0 && pos <= h.end) {
+          found = true;
+          break;
+        }
+        plays.emplace_back(user, pos, clamp_pos(pos + probe_len()));
+      }
+      if (found) settle_and_watch(pos);
+    }
+  } else {
+    // Type I situation: the dot is after the highlight end. Playing
+    // forward shows nothing; some viewers rewind and hunt for it.
+    plays.emplace_back(user, red_dot,
+                       clamp_pos(red_dot + quick_probe_len()));
+    if (rng.Bernoulli(options_.p_search_backward)) {
+      double pos = red_dot;
+      while (pos > std::max(0.0, h.start - options_.search_step_max)) {
+        pos = clamp_pos(pos - rng.Uniform(options_.search_step_min,
+                                          options_.search_step_max));
+        if (pos >= h.start - 5.0 && pos <= h.end - 2.0) {
+          // Landed inside: they recognize the highlight and watch it from
+          // wherever they are — this is what makes Type I start offsets
+          // spread roughly uniformly around the true start (Fig. 3a).
+          const double tail = std::max(
+              0.0, rng.Normal(options_.tail_after_end_mean,
+                              options_.tail_after_end_std));
+          plays.emplace_back(user, pos, clamp_pos(h.end + tail));
+          break;
+        }
+        plays.emplace_back(user, pos, clamp_pos(pos + probe_len()));
+        if (rng.Bernoulli(options_.p_give_up_per_step)) break;
+      }
+    } else if (rng.Bernoulli(0.4)) {
+      // Not in a rewinding mood: poke forward once before leaving.
+      const double fwd = clamp_pos(red_dot + rng.Uniform(10.0, 40.0));
+      plays.emplace_back(user, fwd, clamp_pos(fwd + probe_len()));
+    }
+    // Otherwise: they skip on to the next dot (no further plays here).
+  }
+
+  session.events = EventsFromPlays(plays);
+  return session;
+}
+
+std::vector<PlayRecord> ViewerSimulator::CollectPlays(
+    const GroundTruthVideo& video, common::Seconds red_dot, int viewers,
+    common::Rng& rng) const {
+  std::vector<PlayRecord> all;
+  for (int i = 0; i < viewers; ++i) {
+    auto session = SimulateSession(video, red_dot, rng,
+                                   "worker" + std::to_string(i));
+    all.insert(all.end(), session.plays.begin(), session.plays.end());
+  }
+  return all;
+}
+
+}  // namespace lightor::sim

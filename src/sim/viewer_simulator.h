@@ -1,0 +1,80 @@
+#ifndef LIGHTOR_SIM_VIEWER_SIMULATOR_H_
+#define LIGHTOR_SIM_VIEWER_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/video.h"
+#include "sim/viewer.h"
+
+namespace lightor::sim {
+
+/// Behavioural parameters of the simulated crowd. Defaults are calibrated
+/// so that the two play-offset distributions of the paper's Fig. 3 emerge:
+/// for a red dot placed *before* the highlight end (Type II), main play
+/// starts are Normal around the highlight start with a median offset of
+/// +5..10 s; for a dot placed *after* the highlight end (Type I), viewers
+/// rewind-and-probe, landing approximately Uniform in [-40, +20] s.
+struct ViewerBehaviorOptions {
+  double patience = 10.0;          ///< seconds before "nothing here" verdict
+  double probe_min = 2.0;          ///< exploratory play length range; long
+  double probe_max = 12.0;         ///< probes survive the duration filter
+  double settle_offset_mean = 7.0; ///< main play start offset from the
+                                   ///< highlight start ("users skip the
+                                   ///< beginning"; paper: median 5–10 s)
+  double settle_offset_std = 3.0;
+  double tail_after_end_mean = 3.0;  ///< keep watching a bit past the end
+  double tail_after_end_std = 2.0;
+  double p_rewatch = 0.25;         ///< re-play the highlight after watching
+  double p_search_backward = 0.55; ///< Type I: rewind to look for it
+  double search_step_min = 10.0;   ///< backward seek step range
+  double search_step_max = 40.0;
+  double p_give_up_per_step = 0.2;   ///< chance of abandoning each rewind
+  double p_abandon_early = 0.45;     ///< leave when nothing shows up soon
+  /// Viewers do not perceive the labelled highlight boundary exactly;
+  /// each session blurs the effective end by Normal(-bias, blur) seconds,
+  /// which is what keeps the Type I/II signal from being separable with
+  /// 100% accuracy (the paper's classifier reaches ~80%).
+  double perception_end_bias = 3.0;
+  double perception_end_blur = 8.0;
+
+  // Noise archetypes (fractions of the crowd):
+  double p_checker = 0.15;     ///< random short probes around the dot
+  double p_marathon = 0.07;    ///< watches a huge range (too-long play)
+  double p_distracted = 0.12;  ///< plays far away from the dot (outlier)
+
+  /// Viewers only pay attention within this distance of the red dot; it
+  /// mirrors the extractor's Δ (60 s in the paper).
+  double attention_radius = 60.0;
+};
+
+/// Simulates crowd viewers interacting with a red dot on a recorded
+/// video's progress bar. Replaces the paper's ~500 AMT workers.
+class ViewerSimulator {
+ public:
+  explicit ViewerSimulator(ViewerBehaviorOptions options = {});
+
+  /// Simulates one viewer session around `red_dot`.
+  ViewerSession SimulateSession(const GroundTruthVideo& video,
+                                common::Seconds red_dot, common::Rng& rng,
+                                const std::string& user) const;
+
+  /// Simulates `viewers` sessions and returns all distilled plays.
+  std::vector<PlayRecord> CollectPlays(const GroundTruthVideo& video,
+                                       common::Seconds red_dot, int viewers,
+                                       common::Rng& rng) const;
+
+  const ViewerBehaviorOptions& options() const { return options_; }
+
+ private:
+  /// The highlight a viewer could plausibly be led to by this dot, or -1.
+  int TargetHighlight(const GroundTruthVideo& video,
+                      common::Seconds red_dot) const;
+
+  ViewerBehaviorOptions options_;
+};
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_VIEWER_SIMULATOR_H_

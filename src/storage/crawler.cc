@@ -1,0 +1,46 @@
+#include "storage/crawler.h"
+
+namespace lightor::storage {
+
+Crawler::Crawler(const sim::Platform* platform, Database* db)
+    : platform_(platform), db_(db) {}
+
+common::Result<bool> Crawler::EnsureChat(const std::string& video_id) {
+  if (db_->chat().HasVideo(video_id)) return false;
+  auto chat = platform_->FetchChat(video_id);
+  if (!chat.ok()) return chat.status();
+  for (const auto& msg : chat.value()) {
+    ChatRecord rec;
+    rec.video_id = video_id;
+    rec.timestamp = msg.timestamp;
+    rec.user = msg.user;
+    rec.text = msg.text;
+    LIGHTOR_RETURN_IF_ERROR(db_->PutChat(rec));
+  }
+  return true;
+}
+
+common::Result<int> Crawler::CrawlChannel(const std::string& channel_name,
+                                          int recent) {
+  auto ids = platform_->ListRecentVideoIds(channel_name, recent);
+  if (!ids.ok()) return ids.status();
+  int crawled = 0;
+  for (const auto& id : ids.value()) {
+    auto did = EnsureChat(id);
+    if (!did.ok()) return did.status();
+    if (did.value()) ++crawled;
+  }
+  return crawled;
+}
+
+common::Result<int> Crawler::CrawlAllChannels(int recent_per_channel) {
+  int crawled = 0;
+  for (const auto& channel : platform_->channels()) {
+    auto n = CrawlChannel(channel.name, recent_per_channel);
+    if (!n.ok()) return n.status();
+    crawled += n.value();
+  }
+  return crawled;
+}
+
+}  // namespace lightor::storage

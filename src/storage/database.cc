@@ -1,0 +1,116 @@
+#include "storage/database.h"
+
+#include <filesystem>
+
+namespace lightor::storage {
+
+common::Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return common::Status::IoError("create_directories failed: " +
+                                   directory + ": " + ec.message());
+  }
+  std::unique_ptr<Database> db(new Database());
+  db->directory_ = directory;
+  const std::string chat_path = directory + "/chat.log";
+  const std::string interaction_path = directory + "/interactions.log";
+  const std::string highlight_path = directory + "/highlights.log";
+
+  // Truncate torn tails, then replay.
+  for (const auto& path : {chat_path, interaction_path, highlight_path}) {
+    auto recovered = AppendLog::Recover(path);
+    if (!recovered.ok()) return recovered.status();
+  }
+
+  common::Status replay_status = common::Status::OK();
+  LIGHTOR_RETURN_IF_ERROR(AppendLog::ReplayFile(
+      chat_path, [&](const std::vector<uint8_t>& bytes) {
+        auto rec = ChatRecord::Decode(bytes);
+        if (rec.ok()) db->chat_.Put(std::move(rec).value());
+        else if (replay_status.ok()) replay_status = rec.status();
+      }));
+  LIGHTOR_RETURN_IF_ERROR(AppendLog::ReplayFile(
+      interaction_path, [&](const std::vector<uint8_t>& bytes) {
+        auto rec = InteractionRecord::Decode(bytes);
+        if (rec.ok()) db->interactions_.Put(std::move(rec).value());
+        else if (replay_status.ok()) replay_status = rec.status();
+      }));
+  LIGHTOR_RETURN_IF_ERROR(AppendLog::ReplayFile(
+      highlight_path, [&](const std::vector<uint8_t>& bytes) {
+        auto rec = HighlightRecord::Decode(bytes);
+        if (rec.ok()) db->highlights_.Put(std::move(rec).value());
+        else if (replay_status.ok()) replay_status = rec.status();
+      }));
+  if (!replay_status.ok()) return replay_status;
+
+  LIGHTOR_RETURN_IF_ERROR(db->chat_log_.Open(chat_path));
+  LIGHTOR_RETURN_IF_ERROR(db->interaction_log_.Open(interaction_path));
+  LIGHTOR_RETURN_IF_ERROR(db->highlight_log_.Open(highlight_path));
+  return db;
+}
+
+Database::Stats Database::GetStats() const {
+  Stats stats;
+  stats.chat_records = chat_.TotalRecords();
+  stats.interaction_records = interactions_.TotalRecords();
+  stats.highlight_records = highlights_.TotalRecords();
+  stats.highlight_dots = highlights_.NumDots();
+  std::error_code ec;
+  stats.chat_log_bytes =
+      std::filesystem::file_size(directory_ + "/chat.log", ec);
+  if (ec) stats.chat_log_bytes = 0;
+  stats.interaction_log_bytes =
+      std::filesystem::file_size(directory_ + "/interactions.log", ec);
+  if (ec) stats.interaction_log_bytes = 0;
+  stats.highlight_log_bytes =
+      std::filesystem::file_size(directory_ + "/highlights.log", ec);
+  if (ec) stats.highlight_log_bytes = 0;
+  return stats;
+}
+
+common::Result<size_t> Database::CompactHighlights() {
+  const std::string path = directory_ + "/highlights.log";
+  const std::string tmp_path = path + ".compact";
+  std::vector<HighlightRecord> latest = highlights_.AllLatest();
+  {
+    AppendLog tmp;
+    LIGHTOR_RETURN_IF_ERROR(tmp.Open(tmp_path));
+    for (const auto& rec : latest) {
+      LIGHTOR_RETURN_IF_ERROR(tmp.Append(rec.Encode()));
+    }
+  }
+  highlight_log_.Close();
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    // Try to keep serving: reopen the old log.
+    (void)highlight_log_.Open(path);
+    return common::Status::IoError("compaction rename failed: " +
+                                   ec.message());
+  }
+  LIGHTOR_RETURN_IF_ERROR(highlight_log_.Open(path));
+  highlights_.ResetFrom(std::move(latest));
+  return highlights_.TotalRecords();
+}
+
+common::Status Database::PutChat(const ChatRecord& record) {
+  LIGHTOR_RETURN_IF_ERROR(chat_log_.Append(record.Encode()));
+  chat_.Put(record);
+  return common::Status::OK();
+}
+
+common::Status Database::PutInteraction(const InteractionRecord& record) {
+  LIGHTOR_RETURN_IF_ERROR(interaction_log_.Append(record.Encode()));
+  interactions_.Put(record);
+  return common::Status::OK();
+}
+
+common::Status Database::PutHighlight(const HighlightRecord& record) {
+  LIGHTOR_RETURN_IF_ERROR(highlight_log_.Append(record.Encode()));
+  highlights_.Put(record);
+  return common::Status::OK();
+}
+
+}  // namespace lightor::storage

@@ -1,0 +1,71 @@
+#ifndef LIGHTOR_STORAGE_DATABASE_H_
+#define LIGHTOR_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/log.h"
+#include "storage/stores.h"
+
+namespace lightor::storage {
+
+/// The LIGHTOR backend database (Section VI): three append-only logs
+/// (chat, interactions, highlights) with in-memory indexes rebuilt on
+/// open. Every Put appends to the WAL first, then updates the index, so
+/// the in-memory state is always recoverable.
+class Database {
+ public:
+  /// Opens (creating if needed) the database under `directory`, recovers
+  /// torn log tails, and replays all records into the in-memory stores.
+  static common::Result<std::unique_ptr<Database>> Open(
+      const std::string& directory);
+
+  ~Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  common::Status PutChat(const ChatRecord& record);
+  common::Status PutInteraction(const InteractionRecord& record);
+  common::Status PutHighlight(const HighlightRecord& record);
+
+  /// Aggregate counters plus on-disk log sizes.
+  struct Stats {
+    size_t chat_records = 0;
+    size_t interaction_records = 0;
+    size_t highlight_records = 0;  ///< versions (pre-compaction history)
+    size_t highlight_dots = 0;     ///< distinct (video, dot) keys
+    uintmax_t chat_log_bytes = 0;
+    uintmax_t interaction_log_bytes = 0;
+    uintmax_t highlight_log_bytes = 0;
+  };
+  Stats GetStats() const;
+
+  /// Compacts the highlight log: every dot's refinement history collapses
+  /// to its latest record (the log grows one record per Refine pass, so a
+  /// long-lived deployment compacts periodically). Crash-safe: the new
+  /// log is written to a temp file and renamed over the old one. Returns
+  /// the number of records kept.
+  common::Result<size_t> CompactHighlights();
+
+  ChatStore& chat() { return chat_; }
+  InteractionStore& interactions() { return interactions_; }
+  HighlightStore& highlights() { return highlights_; }
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  Database() = default;
+
+  std::string directory_;
+  AppendLog chat_log_;
+  AppendLog interaction_log_;
+  AppendLog highlight_log_;
+  ChatStore chat_;
+  InteractionStore interactions_;
+  HighlightStore highlights_;
+};
+
+}  // namespace lightor::storage
+
+#endif  // LIGHTOR_STORAGE_DATABASE_H_

@@ -1,0 +1,97 @@
+#include "storage/log.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "storage/serialize.h"
+
+namespace lightor::storage {
+
+AppendLog::~AppendLog() { Close(); }
+
+common::Status AppendLog::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return common::Status::IoError("open failed: " + path + ": " +
+                                   std::strerror(errno));
+  }
+  path_ = path;
+  return common::Status::OK();
+}
+
+common::Status AppendLog::Append(const std::vector<uint8_t>& payload) {
+  if (file_ == nullptr) {
+    return common::Status::FailedPrecondition("AppendLog: not open");
+  }
+  Encoder frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.data(), payload.size()));
+  const auto& header = frame.bytes();
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), file_) !=
+           payload.size())) {
+    return common::Status::IoError("write failed: " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    return common::Status::IoError("flush failed: " + path_);
+  }
+  return common::Status::OK();
+}
+
+void AppendLog::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+common::Status AppendLog::ReplayFile(
+    const std::string& path,
+    const std::function<void(const std::vector<uint8_t>&)>& visitor,
+    size_t* valid_bytes) {
+  if (valid_bytes != nullptr) *valid_bytes = 0;
+  if (!std::filesystem::exists(path)) return common::Status::OK();
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return common::Status::IoError("open failed: " + path + ": " +
+                                   std::strerror(errno));
+  }
+  size_t offset = 0;
+  while (true) {
+    uint8_t header[8];
+    const size_t got = std::fread(header, 1, sizeof(header), file);
+    if (got < sizeof(header)) break;  // clean EOF or torn header
+    Decoder dec(header, sizeof(header));
+    const uint32_t length = dec.GetU32().value();
+    const uint32_t crc = dec.GetU32().value();
+    std::vector<uint8_t> payload(length);
+    if (length > 0 &&
+        std::fread(payload.data(), 1, length, file) != length) {
+      break;  // torn payload
+    }
+    if (Crc32(payload.data(), payload.size()) != crc) break;  // corrupted
+    visitor(payload);
+    offset += sizeof(header) + length;
+    if (valid_bytes != nullptr) *valid_bytes = offset;
+  }
+  std::fclose(file);
+  return common::Status::OK();
+}
+
+common::Result<size_t> AppendLog::Recover(const std::string& path) {
+  size_t records = 0;
+  size_t valid_bytes = 0;
+  const common::Status st = ReplayFile(
+      path, [&](const std::vector<uint8_t>&) { ++records; }, &valid_bytes);
+  if (!st.ok()) return st;
+  if (std::filesystem::exists(path) &&
+      std::filesystem::file_size(path) > valid_bytes) {
+    std::filesystem::resize_file(path, valid_bytes);
+  }
+  return records;
+}
+
+}  // namespace lightor::storage

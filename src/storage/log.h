@@ -1,0 +1,61 @@
+#ifndef LIGHTOR_STORAGE_LOG_H_
+#define LIGHTOR_STORAGE_LOG_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lightor::storage {
+
+/// An append-only record log with per-record CRC framing:
+///
+///   [u32 payload length][u32 crc32(payload)][payload bytes]
+///
+/// Recovery tolerates a torn tail: replay stops at the first frame whose
+/// length overruns the file or whose CRC mismatches, and `Recover`
+/// truncates the file there (the RocksDB WAL recovery idiom).
+class AppendLog {
+ public:
+  AppendLog() = default;
+  ~AppendLog();
+
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  /// Opens (creating if needed) the log at `path` for appending.
+  common::Status Open(const std::string& path);
+
+  /// Appends one framed record and flushes.
+  common::Status Append(const std::vector<uint8_t>& payload);
+
+  /// Closes the file (idempotent).
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Replays every valid record of the log at `path` (which may not
+  /// exist — that is an empty log, OK). Stops silently at a corrupted or
+  /// torn tail; `valid_bytes`, when non-null, receives the clean prefix
+  /// length.
+  static common::Status ReplayFile(
+      const std::string& path,
+      const std::function<void(const std::vector<uint8_t>&)>& visitor,
+      size_t* valid_bytes = nullptr);
+
+  /// Truncates the log at `path` to its longest valid prefix. Returns the
+  /// number of records that survived.
+  static common::Result<size_t> Recover(const std::string& path);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace lightor::storage
+
+#endif  // LIGHTOR_STORAGE_LOG_H_

@@ -1,0 +1,72 @@
+#ifndef LIGHTOR_STORAGE_RECORD_H_
+#define LIGHTOR_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightor::storage {
+
+/// One crawled chat message, keyed by video.
+struct ChatRecord {
+  std::string video_id;
+  double timestamp = 0.0;
+  std::string user;
+  std::string text;
+
+  std::vector<uint8_t> Encode() const;
+  static common::Result<ChatRecord> Decode(const std::vector<uint8_t>& bytes);
+  friend bool operator==(const ChatRecord&, const ChatRecord&) = default;
+};
+
+/// Frontend interaction kinds (mirrors sim::InteractionType; stored as a
+/// stable wire value).
+enum class StoredInteraction : uint8_t {
+  kPlay = 0,
+  kPause = 1,
+  kSeekForward = 2,
+  kSeekBackward = 3,
+};
+
+/// One logged frontend interaction around a red dot.
+struct InteractionRecord {
+  std::string video_id;
+  std::string user;
+  uint64_t session_id = 0;
+  StoredInteraction event = StoredInteraction::kPlay;
+  double wall_time = 0.0;
+  double position = 0.0;
+  double target = 0.0;
+
+  std::vector<uint8_t> Encode() const;
+  static common::Result<InteractionRecord> Decode(
+      const std::vector<uint8_t>& bytes);
+  friend bool operator==(const InteractionRecord&,
+                         const InteractionRecord&) = default;
+};
+
+/// The current state of one red dot / highlight of a video. Re-written on
+/// every refinement iteration; the store keeps the latest per
+/// (video, dot_index).
+struct HighlightRecord {
+  std::string video_id;
+  int32_t dot_index = 0;
+  double dot_position = 0.0;
+  double start = 0.0;
+  double end = 0.0;
+  double score = 0.0;
+  int32_t iteration = 0;
+  bool converged = false;
+
+  std::vector<uint8_t> Encode() const;
+  static common::Result<HighlightRecord> Decode(
+      const std::vector<uint8_t>& bytes);
+  friend bool operator==(const HighlightRecord&,
+                         const HighlightRecord&) = default;
+};
+
+}  // namespace lightor::storage
+
+#endif  // LIGHTOR_STORAGE_RECORD_H_

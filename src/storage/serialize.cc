@@ -1,0 +1,116 @@
+#include "storage/serialize.h"
+
+#include <cstring>
+
+namespace lightor::storage {
+
+void Encoder::PutU8(uint8_t v) { bytes_.push_back(v); }
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+common::Result<uint8_t> Decoder::GetU8() {
+  if (remaining() < 1) {
+    return common::Status::Corruption("decoder: out of bytes (u8)");
+  }
+  return data_[pos_++];
+}
+
+common::Result<uint32_t> Decoder::GetU32() {
+  if (remaining() < 4) {
+    return common::Status::Corruption("decoder: out of bytes (u32)");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+common::Result<uint64_t> Decoder::GetU64() {
+  if (remaining() < 8) {
+    return common::Status::Corruption("decoder: out of bytes (u64)");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+common::Result<double> Decoder::GetDouble() {
+  auto bits = GetU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  const uint64_t b = bits.value();
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+common::Result<std::string> Decoder::GetString() {
+  auto len = GetU32();
+  if (!len.ok()) return len.status();
+  if (remaining() < len.value()) {
+    return common::Status::Corruption("decoder: string length overruns");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len.value());
+  pos_ += len.value();
+  return s;
+}
+
+namespace {
+
+struct CrcTable {
+  uint32_t entries[256];
+  CrcTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const CrcTable& GetCrcTable() {
+  static const CrcTable* table = new CrcTable();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  const CrcTable& table = GetCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table.entries[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace lightor::storage

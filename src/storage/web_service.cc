@@ -1,0 +1,204 @@
+#include "storage/web_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightor::storage {
+
+namespace {
+
+sim::InteractionType ToSimType(StoredInteraction event) {
+  switch (event) {
+    case StoredInteraction::kPlay:
+      return sim::InteractionType::kPlay;
+    case StoredInteraction::kPause:
+      return sim::InteractionType::kPause;
+    case StoredInteraction::kSeekForward:
+      return sim::InteractionType::kSeekForward;
+    case StoredInteraction::kSeekBackward:
+      return sim::InteractionType::kSeekBackward;
+  }
+  return sim::InteractionType::kPlay;
+}
+
+StoredInteraction FromSimType(sim::InteractionType type) {
+  switch (type) {
+    case sim::InteractionType::kPlay:
+      return StoredInteraction::kPlay;
+    case sim::InteractionType::kPause:
+      return StoredInteraction::kPause;
+    case sim::InteractionType::kSeekForward:
+      return StoredInteraction::kSeekForward;
+    case sim::InteractionType::kSeekBackward:
+      return StoredInteraction::kSeekBackward;
+  }
+  return StoredInteraction::kPlay;
+}
+
+}  // namespace
+
+WebService::WebService(const sim::Platform* platform, Database* db,
+                       const core::Lightor* lightor, size_t top_k)
+    : platform_(platform),
+      db_(db),
+      lightor_(lightor),
+      crawler_(platform, db),
+      top_k_(top_k) {}
+
+common::Result<std::vector<HighlightRecord>> WebService::OnPageVisit(
+    const std::string& video_id) {
+  if (db_->highlights().HasVideo(video_id)) {
+    return db_->highlights().GetLatest(video_id);
+  }
+  // First visit: make sure the chat is stored (online crawl), then run
+  // the Highlight Initializer and persist its red dots.
+  auto crawled = crawler_.EnsureChat(video_id);
+  if (!crawled.ok()) return crawled.status();
+
+  const auto& chat = db_->chat().GetByVideo(video_id);
+  std::vector<core::Message> messages;
+  messages.reserve(chat.size());
+  double video_length = 0.0;
+  for (const auto& rec : chat) {
+    core::Message m;
+    m.timestamp = rec.timestamp;
+    m.user = rec.user;
+    m.text = rec.text;
+    video_length = std::max(video_length, rec.timestamp);
+    messages.push_back(std::move(m));
+  }
+  // The platform knows the true video length; fall back to the last
+  // message when metadata is unavailable.
+  if (auto video = platform_->GetVideo(video_id); video.ok()) {
+    video_length = video.value().truth.meta.length;
+  }
+
+  auto dots = lightor_->Initialize(messages, video_length, top_k_);
+  if (!dots.ok()) return dots.status();
+
+  std::vector<HighlightRecord> records;
+  for (size_t i = 0; i < dots.value().size(); ++i) {
+    const core::RedDot& dot = dots.value()[i];
+    HighlightRecord rec;
+    rec.video_id = video_id;
+    rec.dot_index = static_cast<int32_t>(i);
+    rec.dot_position = dot.position;
+    rec.start = dot.position;
+    rec.end = dot.position + lightor_->options().extractor.fallback_length;
+    rec.score = dot.score;
+    rec.iteration = 0;
+    rec.converged = false;
+    LIGHTOR_RETURN_IF_ERROR(db_->PutHighlight(rec));
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+common::Status WebService::LogSession(
+    const std::string& video_id, const std::string& user, uint64_t session_id,
+    const std::vector<sim::InteractionEvent>& events) {
+  for (const auto& ev : events) {
+    InteractionRecord rec;
+    rec.video_id = video_id;
+    rec.user = user;
+    rec.session_id = session_id;
+    rec.event = FromSimType(ev.type);
+    rec.wall_time = ev.wall_time;
+    rec.position = ev.position;
+    rec.target = ev.target;
+    LIGHTOR_RETURN_IF_ERROR(db_->PutInteraction(rec));
+  }
+  return common::Status::OK();
+}
+
+std::unordered_map<int32_t, std::vector<core::Play>> WebService::PlaysByDot(
+    const std::string& video_id,
+    const std::vector<HighlightRecord>& dots) const {
+  std::unordered_map<int32_t, std::vector<core::Play>> by_dot;
+  uint64_t watermark = 0;
+  if (auto it = refine_watermark_.find(video_id);
+      it != refine_watermark_.end()) {
+    watermark = it->second;
+  }
+  const auto sessions =
+      db_->interactions().SessionsSince(video_id, watermark);
+  const double delta = lightor_->options().extractor.delta;
+  for (const auto& [session_id, records] : sessions) {
+    // Rebuild the session's event stream, then distill plays.
+    std::vector<sim::InteractionEvent> events;
+    events.reserve(records.size());
+    std::string user;
+    for (const auto& rec : records) {
+      user = rec.user;
+      sim::InteractionEvent ev;
+      ev.wall_time = rec.wall_time;
+      ev.type = ToSimType(rec.event);
+      ev.position = rec.position;
+      ev.target = rec.target;
+      events.push_back(ev);
+    }
+    for (const auto& play : sim::PlaysFromEvents(user, events)) {
+      // Assign the play to the nearest dot within Δ.
+      int32_t best_dot = -1;
+      double best_dist = delta + 1.0;
+      for (const auto& dot : dots) {
+        const double d = std::abs(play.span.start - dot.dot_position);
+        if (d < best_dist) {
+          best_dist = d;
+          best_dot = dot.dot_index;
+        }
+      }
+      if (best_dot >= 0) {
+        by_dot[best_dot].emplace_back(play.user, play.span.start,
+                                      play.span.end);
+      }
+    }
+  }
+  return by_dot;
+}
+
+common::Result<int> WebService::Refine(const std::string& video_id) {
+  if (!db_->highlights().HasVideo(video_id)) {
+    return common::Status::NotFound("Refine: video has no red dots yet: " +
+                                    video_id);
+  }
+  const auto dots = db_->highlights().GetLatest(video_id);
+  auto plays_by_dot = PlaysByDot(video_id, dots);
+  // Consume everything logged so far: next Refine only sees newer data.
+  refine_watermark_[video_id] = db_->interactions().current_generation() + 1;
+
+  int updated = 0;
+  const core::HighlightExtractor& extractor = lightor_->extractor();
+  for (const auto& dot : dots) {
+    auto it = plays_by_dot.find(dot.dot_index);
+    if (it == plays_by_dot.end()) continue;
+    const core::RefineResult step =
+        extractor.RefineOnce(it->second, dot.dot_position);
+    HighlightRecord next = dot;
+    next.iteration = dot.iteration + 1;
+    if (step.type == core::DotType::kTypeII && step.enough_plays) {
+      next.start = step.boundary.start;
+      next.end = step.boundary.end;
+      next.converged = std::abs(step.new_dot - dot.dot_position) <
+                       lightor_->options().extractor.convergence_epsilon;
+      next.dot_position = step.new_dot;
+    } else {
+      next.dot_position = step.new_dot;
+      next.start = step.new_dot;
+      next.converged = false;
+    }
+    LIGHTOR_RETURN_IF_ERROR(db_->PutHighlight(next));
+    ++updated;
+  }
+  return updated;
+}
+
+common::Result<std::vector<HighlightRecord>> WebService::GetHighlights(
+    const std::string& video_id) const {
+  if (!db_->highlights().HasVideo(video_id)) {
+    return common::Status::NotFound("no highlights for video: " + video_id);
+  }
+  return db_->highlights().GetLatest(video_id);
+}
+
+}  // namespace lightor::storage

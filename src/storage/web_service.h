@@ -1,0 +1,68 @@
+#ifndef LIGHTOR_STORAGE_WEB_SERVICE_H_
+#define LIGHTOR_STORAGE_WEB_SERVICE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/lightor.h"
+#include "sim/viewer.h"
+#include "storage/crawler.h"
+#include "storage/database.h"
+
+namespace lightor::storage {
+
+/// The browser-extension backend of Section VI-A, end to end:
+///
+///   page visit → extract video id → chat in DB? (crawl if not) →
+///   Highlight Initializer → red dots rendered on the progress bar →
+///   interaction logging → Highlight Extractor refinement → updated dots.
+///
+/// The service is deliberately synchronous and single-threaded — it
+/// models the dataflow, not a production HTTP stack.
+class WebService {
+ public:
+  /// None of the pointers are owned. `lightor` must already have a
+  /// trained initializer.
+  WebService(const sim::Platform* platform, Database* db,
+             const core::Lightor* lightor, size_t top_k = 5);
+
+  /// A user opened a recorded-video page: returns the video's current red
+  /// dots, computing and persisting them on first visit (crawling the
+  /// chat if needed).
+  common::Result<std::vector<HighlightRecord>> OnPageVisit(
+      const std::string& video_id);
+
+  /// The frontend uploads one viewing session's interaction events.
+  common::Status LogSession(const std::string& video_id,
+                            const std::string& user, uint64_t session_id,
+                            const std::vector<sim::InteractionEvent>& events);
+
+  /// Runs one Highlight Extractor refinement pass over the interactions
+  /// logged since the previous pass. Returns the number of dots updated.
+  common::Result<int> Refine(const std::string& video_id);
+
+  /// Current highlights of a video (NotFound before the first visit).
+  common::Result<std::vector<HighlightRecord>> GetHighlights(
+      const std::string& video_id) const;
+
+ private:
+  /// Rebuilds plays from the logged sessions newer than the video's
+  /// refinement watermark and groups them by nearest red dot.
+  std::unordered_map<int32_t, std::vector<core::Play>> PlaysByDot(
+      const std::string& video_id,
+      const std::vector<HighlightRecord>& dots) const;
+
+  const sim::Platform* platform_;
+  Database* db_;
+  const core::Lightor* lightor_;
+  Crawler crawler_;
+  size_t top_k_;
+  /// Per-video interaction-generation watermark consumed by Refine.
+  std::unordered_map<std::string, uint64_t> refine_watermark_;
+};
+
+}  // namespace lightor::storage
+
+#endif  // LIGHTOR_STORAGE_WEB_SERVICE_H_

@@ -1,0 +1,88 @@
+#include "text/embedding.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lightor::text {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+HashingEmbedder::HashingEmbedder(size_t dims, uint64_t seed,
+                                 TokenizerOptions tokenizer_options)
+    : dims_(dims), seed_(seed), tokenizer_(tokenizer_options) {}
+
+std::vector<double> HashingEmbedder::EmbedToken(std::string_view token) const {
+  common::Rng rng(Fnv1a(token, seed_));
+  std::vector<double> vec(dims_);
+  double norm = 0.0;
+  for (double& v : vec) {
+    v = rng.Normal(0.0, 1.0);
+    norm += v * v;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (double& v : vec) v /= norm;
+  }
+  return vec;
+}
+
+std::vector<double> HashingEmbedder::EmbedMessage(
+    std::string_view message) const {
+  std::vector<double> acc(dims_, 0.0);
+  const auto tokens = tokenizer_.Tokenize(message);
+  if (tokens.empty()) return acc;
+  for (const auto& token : tokens) {
+    const auto vec = EmbedToken(token);
+    for (size_t i = 0; i < dims_; ++i) acc[i] += vec[i];
+  }
+  for (double& v : acc) v /= static_cast<double>(tokens.size());
+  return acc;
+}
+
+double DenseCosineSimilarity(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < n; ++i) dot += a[i] * b[i];
+  for (double v : a) na += v * v;
+  for (double v : b) nb += v * v;
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double EmbeddingSetSimilarity(const std::vector<std::string>& messages,
+                              const HashingEmbedder& embedder) {
+  if (messages.empty()) return 0.0;
+  std::vector<std::vector<double>> embeddings;
+  embeddings.reserve(messages.size());
+  std::vector<double> center(embedder.dims(), 0.0);
+  for (const auto& msg : messages) {
+    embeddings.push_back(embedder.EmbedMessage(msg));
+    for (size_t i = 0; i < center.size(); ++i) center[i] += embeddings.back()[i];
+  }
+  for (double& c : center) c /= static_cast<double>(messages.size());
+  double acc = 0.0;
+  size_t counted = 0;
+  for (const auto& e : embeddings) {
+    const double sim = DenseCosineSimilarity(e, center);
+    if (sim != 0.0 || e != std::vector<double>(embedder.dims(), 0.0)) {
+      acc += sim;
+      ++counted;
+    }
+  }
+  return counted > 0 ? acc / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace lightor::text

@@ -1,0 +1,53 @@
+#ifndef LIGHTOR_TEXT_EMBEDDING_H_
+#define LIGHTOR_TEXT_EMBEDDING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace lightor::text {
+
+/// A deterministic hashing-trick word embedding. The paper notes the
+/// message-similarity feature "can be further enhanced with more
+/// sophisticated word representation (e.g., word embedding)"; this module
+/// provides a training-free stand-in: each token hashes to a fixed
+/// pseudo-random unit vector, and a message embeds as the mean of its
+/// token vectors. Hash collisions play the role of (crude) distributional
+/// similarity; identical tokens always coincide, which is the property the
+/// similarity feature actually relies on.
+class HashingEmbedder {
+ public:
+  /// `dims` is the embedding dimensionality; `seed` fixes the hash salt.
+  explicit HashingEmbedder(size_t dims = 32, uint64_t seed = 17,
+                           TokenizerOptions tokenizer_options = {});
+
+  /// Embeds one token as a unit vector.
+  std::vector<double> EmbedToken(std::string_view token) const;
+
+  /// Embeds a message as the mean of its token embeddings (zero vector for
+  /// an empty message).
+  std::vector<double> EmbedMessage(std::string_view message) const;
+
+  size_t dims() const { return dims_; }
+
+ private:
+  size_t dims_;
+  uint64_t seed_;
+  Tokenizer tokenizer_;
+};
+
+/// Cosine similarity of two dense vectors; 0 when either is zero.
+double DenseCosineSimilarity(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Embedding-based variant of the message-set similarity feature: average
+/// cosine similarity of each message embedding to the mean embedding.
+double EmbeddingSetSimilarity(const std::vector<std::string>& messages,
+                              const HashingEmbedder& embedder);
+
+}  // namespace lightor::text
+
+#endif  // LIGHTOR_TEXT_EMBEDDING_H_

@@ -1,0 +1,73 @@
+#include "text/emotes.h"
+
+#include <algorithm>
+
+namespace lightor::text {
+
+namespace {
+
+std::vector<std::string> GlobalEmotes() {
+  return {"PogChamp", "Kreygasm", "LUL",      "KEKW",    "OMEGALUL",
+          "Pog",      "PogU",     "monkaS",   "pepeLaugh", "EZ",
+          "Clap",     "GG",       "Pepega",   "5Head",   "WutFace",
+          "BibleThump", "ResidentSleeper", "Jebaited", "TriHard", "HeyGuys"};
+}
+
+std::vector<std::string> Dota2Emotes() {
+  return {"dotaTriumph", "dotaRage", "dotaGank",  "dotaRosh", "dotaDivine",
+          "dotaRampage", "dotaAegis", "dotaBKB",  "dotaMid",  "dotaThrone",
+          "EarthshakerEcho", "PudgeHook", "TechiesBoom", "AxeCall"};
+}
+
+std::vector<std::string> LolEmotes() {
+  return {"lolBaron",  "lolPenta", "lolFlash", "lolDragon", "lolNexus",
+          "lolAce",    "lolTower", "lolGank",  "lolSmite",  "lolElder",
+          "FakerFlash", "BaronSteal", "PentaKill", "WardBush"};
+}
+
+}  // namespace
+
+EmoteLexicon EmoteLexicon::ForDomain(EmoteDomain domain) {
+  switch (domain) {
+    case EmoteDomain::kGlobal:
+      return EmoteLexicon(GlobalEmotes());
+    case EmoteDomain::kDota2:
+      return EmoteLexicon(Dota2Emotes());
+    case EmoteDomain::kLol:
+      return EmoteLexicon(LolEmotes());
+  }
+  return EmoteLexicon({});
+}
+
+EmoteLexicon EmoteLexicon::ForChannel(EmoteDomain game_domain) {
+  std::vector<std::string> merged = GlobalEmotes();
+  const auto domain_emotes = game_domain == EmoteDomain::kDota2
+                                 ? Dota2Emotes()
+                                 : (game_domain == EmoteDomain::kLol
+                                        ? LolEmotes()
+                                        : std::vector<std::string>{});
+  merged.insert(merged.end(), domain_emotes.begin(), domain_emotes.end());
+  return EmoteLexicon(std::move(merged));
+}
+
+EmoteLexicon::EmoteLexicon(std::vector<std::string> emotes)
+    : emotes_(std::move(emotes)) {
+  std::sort(emotes_.begin(), emotes_.end());
+  emotes_.erase(std::unique(emotes_.begin(), emotes_.end()), emotes_.end());
+}
+
+bool EmoteLexicon::Contains(std::string_view token) const {
+  return std::binary_search(emotes_.begin(), emotes_.end(), token);
+}
+
+double EmoteLexicon::EmoteFraction(
+    const std::vector<std::string>& tokens) const {
+  if (tokens.empty()) return 0.0;
+  size_t hits = 0;
+  for (const auto& t : tokens) {
+    if (Contains(t)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(tokens.size());
+}
+
+}  // namespace lightor::text

@@ -1,0 +1,44 @@
+#ifndef LIGHTOR_TEXT_EMOTES_H_
+#define LIGHTOR_TEXT_EMOTES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lightor::text {
+
+/// Emote domains. Real Twitch chat mixes global emotes with game- and
+/// channel-specific ones; the two game lexicons deliberately have almost
+/// disjoint vocabularies so that cross-game generalization experiments
+/// (Fig. 11) see a realistic domain shift.
+enum class EmoteDomain { kGlobal, kDota2, kLol };
+
+/// A lexicon of chat emote tokens ("PogChamp", "Kreygasm", ...).
+class EmoteLexicon {
+ public:
+  /// Builds the built-in lexicon for `domain`.
+  static EmoteLexicon ForDomain(EmoteDomain domain);
+
+  /// Builds a merged lexicon (global + domain emotes), which is what a
+  /// live channel's chat actually draws from.
+  static EmoteLexicon ForChannel(EmoteDomain game_domain);
+
+  explicit EmoteLexicon(std::vector<std::string> emotes);
+
+  /// True if `token` is an emote in this lexicon (case-sensitive, the
+  /// Twitch convention).
+  bool Contains(std::string_view token) const;
+
+  /// Fraction of `tokens` that are emotes.
+  double EmoteFraction(const std::vector<std::string>& tokens) const;
+
+  const std::vector<std::string>& emotes() const { return emotes_; }
+  size_t size() const { return emotes_.size(); }
+
+ private:
+  std::vector<std::string> emotes_;  // sorted for binary search
+};
+
+}  // namespace lightor::text
+
+#endif  // LIGHTOR_TEXT_EMOTES_H_

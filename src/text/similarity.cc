@@ -1,0 +1,63 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightor::text {
+
+std::vector<double> OneClusterKMeansCenter(
+    const std::vector<SparseVector>& vectors) {
+  int32_t max_index = -1;
+  for (const auto& v : vectors) {
+    if (!v.indices.empty()) max_index = std::max(max_index, v.indices.back());
+  }
+  std::vector<double> center(static_cast<size_t>(max_index + 1), 0.0);
+  if (vectors.empty() || max_index < 0) return center;
+  for (const auto& v : vectors) {
+    for (size_t i = 0; i < v.indices.size(); ++i) {
+      center[static_cast<size_t>(v.indices[i])] += v.values[i];
+    }
+  }
+  for (double& c : center) c /= static_cast<double>(vectors.size());
+  return center;
+}
+
+double MessageSetSimilarity(const std::vector<SparseVector>& vectors) {
+  if (vectors.empty()) return 0.0;
+  const std::vector<double> center = OneClusterKMeansCenter(vectors);
+  double center_norm = 0.0;
+  for (double c : center) center_norm += c * c;
+  center_norm = std::sqrt(center_norm);
+  if (center_norm <= 0.0) return 0.0;
+  double acc = 0.0;
+  size_t counted = 0;
+  for (const auto& v : vectors) {
+    const double vnorm = v.Norm();
+    if (vnorm <= 0.0) continue;
+    acc += v.Dot(center) / (vnorm * center_norm);
+    ++counted;
+  }
+  return counted > 0 ? acc / static_cast<double>(counted) : 0.0;
+}
+
+double MessageSetSimilarity(const std::vector<std::string>& messages,
+                            const TokenizerOptions& tokenizer_options) {
+  BowVectorizer vectorizer(tokenizer_options);
+  return MessageSetSimilarity(vectorizer.FitTransformBatch(messages));
+}
+
+double MeanPairwiseSimilarity(const std::vector<SparseVector>& vectors) {
+  const size_t n = vectors.size();
+  if (n < 2) return 0.0;
+  double acc = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      acc += CosineSimilarity(vectors[i], vectors[j]);
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? acc / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace lightor::text

@@ -1,0 +1,36 @@
+#ifndef LIGHTOR_TEXT_SIMILARITY_H_
+#define LIGHTOR_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vectorizer.h"
+
+namespace lightor::text {
+
+/// One-cluster k-means over sparse binary vectors: the cluster center is
+/// the (dense) mean of the members, which is exactly the fixed point of a
+/// single-centroid Lloyd iteration. Returned as a dense vector sized to
+/// the largest index + 1.
+std::vector<double> OneClusterKMeansCenter(
+    const std::vector<SparseVector>& vectors);
+
+/// The paper's message-similarity feature: represent each message as a
+/// binary BoW vector, compute the one-cluster k-means center, and return
+/// the average cosine similarity of each message to the center. Empty or
+/// all-empty input yields 0.
+double MessageSetSimilarity(const std::vector<SparseVector>& vectors);
+
+/// Convenience overload: vectorizes `messages` with a fresh local
+/// vocabulary (window-local vocabularies are sufficient because the
+/// feature only compares messages inside one window).
+double MessageSetSimilarity(const std::vector<std::string>& messages,
+                            const TokenizerOptions& tokenizer_options = {});
+
+/// Mean pairwise cosine similarity (O(n^2)); an alternative similarity
+/// used in ablations to validate the k-means-center formulation.
+double MeanPairwiseSimilarity(const std::vector<SparseVector>& vectors);
+
+}  // namespace lightor::text
+
+#endif  // LIGHTOR_TEXT_SIMILARITY_H_

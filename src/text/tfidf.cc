@@ -1,0 +1,91 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "text/similarity.h"
+
+namespace lightor::text {
+
+TfIdfVectorizer::TfIdfVectorizer(TokenizerOptions tokenizer_options)
+    : tokenizer_(tokenizer_options) {}
+
+std::vector<SparseVector> TfIdfVectorizer::FitTransform(
+    const std::vector<std::string>& messages) {
+  // First pass: tokenize, build the vocabulary, count document frequency.
+  std::vector<std::map<int32_t, double>> term_counts(messages.size());
+  std::vector<int64_t> doc_freq;
+  for (size_t d = 0; d < messages.size(); ++d) {
+    std::set<int32_t> seen;
+    for (const auto& token : tokenizer_.Tokenize(messages[d])) {
+      const int32_t id = vocabulary_.AddToken(token);
+      if (static_cast<size_t>(id) >= doc_freq.size()) {
+        doc_freq.resize(static_cast<size_t>(id) + 1, 0);
+      }
+      term_counts[d][id] += 1.0;
+      if (seen.insert(id).second) ++doc_freq[static_cast<size_t>(id)];
+    }
+  }
+  const double n_docs = static_cast<double>(messages.size());
+  idf_.resize(doc_freq.size());
+  for (size_t t = 0; t < doc_freq.size(); ++t) {
+    idf_[t] = std::log((1.0 + n_docs) /
+                       (1.0 + static_cast<double>(doc_freq[t]))) +
+              1.0;
+  }
+  // Second pass: tf * idf, L2-normalized.
+  std::vector<SparseVector> out(messages.size());
+  for (size_t d = 0; d < messages.size(); ++d) {
+    SparseVector& vec = out[d];
+    for (const auto& [id, tf] : term_counts[d]) {
+      vec.indices.push_back(id);
+      vec.values.push_back(tf * idf_[static_cast<size_t>(id)]);
+    }
+    const double norm = vec.Norm();
+    if (norm > 0.0) {
+      for (double& v : vec.values) v /= norm;
+    }
+  }
+  return out;
+}
+
+double TfIdfSetSimilarity(const std::vector<std::string>& messages,
+                          const TokenizerOptions& tokenizer_options) {
+  TfIdfVectorizer vectorizer(tokenizer_options);
+  return MessageSetSimilarity(vectorizer.FitTransform(messages));
+}
+
+double JaccardSimilarity(const std::vector<std::string>& tokens_a,
+                         const std::vector<std::string>& tokens_b) {
+  const std::set<std::string> a(tokens_a.begin(), tokens_a.end());
+  const std::set<std::string> b(tokens_b.begin(), tokens_b.end());
+  if (a.empty() && b.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const auto& t : a) intersection += b.count(t);
+  const size_t uni = a.size() + b.size() - intersection;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+double JaccardSetSimilarity(const std::vector<std::string>& messages,
+                            const TokenizerOptions& tokenizer_options) {
+  const Tokenizer tokenizer(tokenizer_options);
+  std::vector<std::vector<std::string>> tokens;
+  tokens.reserve(messages.size());
+  for (const auto& msg : messages) tokens.push_back(tokenizer.Tokenize(msg));
+  if (tokens.size() < 2) return tokens.size() == 1 ? 1.0 : 0.0;
+  double acc = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    for (size_t j = i + 1; j < tokens.size(); ++j) {
+      acc += JaccardSimilarity(tokens[i], tokens[j]);
+      ++pairs;
+    }
+  }
+  return acc / static_cast<double>(pairs);
+}
+
+}  // namespace lightor::text

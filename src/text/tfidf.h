@@ -1,0 +1,49 @@
+#ifndef LIGHTOR_TEXT_TFIDF_H_
+#define LIGHTOR_TEXT_TFIDF_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vectorizer.h"
+
+namespace lightor::text {
+
+/// TF-IDF weighted message vectors over a (window-local) message set:
+/// tf = term count within the message, idf = log((1+N)/(1+df)) + 1
+/// (smooth idf, the scikit-learn formulation). Common filler words
+/// ("the", "a") get down-weighted, sharpening topical similarity — an
+/// alternative backend for the message-similarity feature.
+class TfIdfVectorizer {
+ public:
+  explicit TfIdfVectorizer(TokenizerOptions tokenizer_options = {});
+
+  /// Vectorizes the whole message set at once (idf needs all documents).
+  /// Vectors are L2-normalized.
+  std::vector<SparseVector> FitTransform(
+      const std::vector<std::string>& messages);
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+  const std::vector<double>& idf() const { return idf_; }
+
+ private:
+  Tokenizer tokenizer_;
+  Vocabulary vocabulary_;
+  std::vector<double> idf_;
+};
+
+/// The message-set similarity feature computed over TF-IDF vectors
+/// (average cosine of each message to the one-cluster k-means center).
+double TfIdfSetSimilarity(const std::vector<std::string>& messages,
+                          const TokenizerOptions& tokenizer_options = {});
+
+/// Jaccard similarity of two token sets.
+double JaccardSimilarity(const std::vector<std::string>& tokens_a,
+                         const std::vector<std::string>& tokens_b);
+
+/// Mean pairwise Jaccard similarity of a message set (O(n²) pairs).
+double JaccardSetSimilarity(const std::vector<std::string>& messages,
+                            const TokenizerOptions& tokenizer_options = {});
+
+}  // namespace lightor::text
+
+#endif  // LIGHTOR_TEXT_TFIDF_H_

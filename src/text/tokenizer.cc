@@ -1,0 +1,43 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace lightor::text {
+
+namespace {
+
+bool IsPunct(char c) {
+  return std::ispunct(static_cast<unsigned char>(c)) != 0;
+}
+
+std::string_view StripPunct(std::string_view token) {
+  size_t begin = 0;
+  while (begin < token.size() && IsPunct(token[begin])) ++begin;
+  size_t end = token.size();
+  while (end > begin && IsPunct(token[end - 1])) --end;
+  return token.substr(begin, end - begin);
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view message) const {
+  std::vector<std::string> out;
+  for (const std::string& raw : common::SplitWhitespace(message)) {
+    std::string_view token = raw;
+    if (options_.strip_punctuation) token = StripPunct(token);
+    if (token.size() < options_.min_token_length) continue;
+    out.push_back(options_.lowercase ? common::ToLower(token)
+                                     : std::string(token));
+  }
+  return out;
+}
+
+size_t Tokenizer::CountWords(std::string_view message) const {
+  return common::SplitWhitespace(message).size();
+}
+
+}  // namespace lightor::text

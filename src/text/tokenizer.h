@@ -1,0 +1,45 @@
+#ifndef LIGHTOR_TEXT_TOKENIZER_H_
+#define LIGHTOR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lightor::text {
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  /// Lower-case all tokens (emote tokens in live chat are case-sensitive on
+  /// real platforms, but our generators emit canonical casing, so
+  /// lower-casing is safe and improves matching).
+  bool lowercase = true;
+  /// Strip leading/trailing punctuation from each token ("gg!!" -> "gg").
+  bool strip_punctuation = true;
+  /// Drop tokens shorter than this after stripping.
+  size_t min_token_length = 1;
+};
+
+/// Splits chat messages into word tokens. Live-chat text is short and
+/// noisy (emotes, repeated letters, punctuation storms); this tokenizer is
+/// deliberately simple — whitespace split plus punctuation trimming —
+/// because the paper's features only need word counts and word identity.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes one message.
+  std::vector<std::string> Tokenize(std::string_view message) const;
+
+  /// Number of word tokens in `message` (the paper's message-length
+  /// definition: "the number of words in the message").
+  size_t CountWords(std::string_view message) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace lightor::text
+
+#endif  // LIGHTOR_TEXT_TOKENIZER_H_

@@ -1,0 +1,84 @@
+#include "text/vectorizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightor::text {
+
+double SparseVector::Norm() const {
+  double acc = 0.0;
+  for (double v : values) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double acc = 0.0;
+  size_t i = 0, j = 0;
+  while (i < indices.size() && j < other.indices.size()) {
+    if (indices[i] == other.indices[j]) {
+      acc += values[i] * other.values[j];
+      ++i;
+      ++j;
+    } else if (indices[i] < other.indices[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return acc;
+}
+
+double SparseVector::Dot(const std::vector<double>& dense) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const size_t idx = static_cast<size_t>(indices[i]);
+    if (idx < dense.size()) acc += values[i] * dense[idx];
+  }
+  return acc;
+}
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  const double na = a.Norm();
+  const double nb = b.Norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return a.Dot(b) / (na * nb);
+}
+
+BowVectorizer::BowVectorizer(TokenizerOptions tokenizer_options)
+    : tokenizer_(tokenizer_options) {}
+
+SparseVector BowVectorizer::VectorFromIds(std::vector<int32_t> ids) const {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  SparseVector vec;
+  vec.indices = std::move(ids);
+  vec.values.assign(vec.indices.size(), 1.0);  // binary BoW
+  return vec;
+}
+
+SparseVector BowVectorizer::FitTransform(std::string_view message) {
+  std::vector<int32_t> ids;
+  for (const std::string& token : tokenizer_.Tokenize(message)) {
+    ids.push_back(vocabulary_.AddToken(token));
+  }
+  return VectorFromIds(std::move(ids));
+}
+
+SparseVector BowVectorizer::Transform(std::string_view message) const {
+  std::vector<int32_t> ids;
+  for (const std::string& token : tokenizer_.Tokenize(message)) {
+    const int32_t id = vocabulary_.Lookup(token);
+    if (id != Vocabulary::kUnknown) ids.push_back(id);
+  }
+  return VectorFromIds(std::move(ids));
+}
+
+std::vector<SparseVector> BowVectorizer::FitTransformBatch(
+    const std::vector<std::string>& messages) {
+  std::vector<SparseVector> out;
+  out.reserve(messages.size());
+  for (const auto& msg : messages) out.push_back(FitTransform(msg));
+  return out;
+}
+
+}  // namespace lightor::text

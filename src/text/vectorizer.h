@@ -1,0 +1,69 @@
+#ifndef LIGHTOR_TEXT_VECTORIZER_H_
+#define LIGHTOR_TEXT_VECTORIZER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace lightor::text {
+
+/// A sparse vector stored as (index, value) pairs sorted by index with no
+/// duplicates. Bag-of-words message vectors are extremely sparse (a chat
+/// message has a handful of words against a corpus vocabulary), so dense
+/// storage would be wasteful.
+struct SparseVector {
+  std::vector<int32_t> indices;
+  std::vector<double> values;
+
+  size_t nnz() const { return indices.size(); }
+  bool empty() const { return indices.empty(); }
+
+  /// L2 norm.
+  double Norm() const;
+
+  /// Dot product with another sparse vector (merge join on indices).
+  double Dot(const SparseVector& other) const;
+
+  /// Dot product with a dense vector (out-of-range indices contribute 0).
+  double Dot(const std::vector<double>& dense) const;
+};
+
+/// Cosine similarity of two sparse vectors; 0 when either is empty.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Turns messages into binary bag-of-words vectors (the paper: "We use Bag
+/// of Words to represent each message as a binary vector"). The vectorizer
+/// owns a growing vocabulary; `Transform` (const) maps unseen tokens to
+/// nothing, `FitTransform` extends the vocabulary.
+class BowVectorizer {
+ public:
+  explicit BowVectorizer(TokenizerOptions tokenizer_options = {});
+
+  /// Adds the message's tokens to the vocabulary and returns its binary
+  /// BoW vector.
+  SparseVector FitTransform(std::string_view message);
+
+  /// Returns the message's binary BoW vector over the current vocabulary;
+  /// unseen tokens are dropped.
+  SparseVector Transform(std::string_view message) const;
+
+  /// Vectorizes a batch with vocabulary growth.
+  std::vector<SparseVector> FitTransformBatch(
+      const std::vector<std::string>& messages);
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+ private:
+  SparseVector VectorFromIds(std::vector<int32_t> ids) const;
+
+  Tokenizer tokenizer_;
+  Vocabulary vocabulary_;
+};
+
+}  // namespace lightor::text
+
+#endif  // LIGHTOR_TEXT_VECTORIZER_H_

@@ -1,0 +1,48 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lightor::text {
+
+int32_t Vocabulary::AddToken(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) {
+    ++counts_[static_cast<size_t>(it->second)];
+    return it->second;
+  }
+  const int32_t id = static_cast<int32_t>(tokens_.size());
+  tokens_.emplace_back(token);
+  counts_.push_back(1);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+int32_t Vocabulary::Lookup(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kUnknown : it->second;
+}
+
+const std::string& Vocabulary::TokenOf(int32_t id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < tokens_.size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+int64_t Vocabulary::CountOf(int32_t id) const {
+  if (id < 0 || static_cast<size_t>(id) >= counts_.size()) return 0;
+  return counts_[static_cast<size_t>(id)];
+}
+
+std::vector<int32_t> Vocabulary::TopKByFrequency(size_t k) const {
+  std::vector<int32_t> ids(tokens_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
+  std::sort(ids.begin(), ids.end(), [&](int32_t a, int32_t b) {
+    const int64_t ca = counts_[static_cast<size_t>(a)];
+    const int64_t cb = counts_[static_cast<size_t>(b)];
+    return ca != cb ? ca > cb : a < b;
+  });
+  ids.resize(std::min(k, ids.size()));
+  return ids;
+}
+
+}  // namespace lightor::text

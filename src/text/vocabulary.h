@@ -1,0 +1,44 @@
+#ifndef LIGHTOR_TEXT_VOCABULARY_H_
+#define LIGHTOR_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lightor::text {
+
+/// Token id space for bag-of-words vectors. Ids are dense and assigned in
+/// first-seen order; id 0 is valid (there is no reserved sentinel — lookup
+/// misses are reported via kUnknown).
+class Vocabulary {
+ public:
+  static constexpr int32_t kUnknown = -1;
+
+  /// Returns the id of `token`, inserting it if absent.
+  int32_t AddToken(std::string_view token);
+
+  /// Returns the id of `token`, or kUnknown.
+  int32_t Lookup(std::string_view token) const;
+
+  /// Returns the token for `id`. Requires 0 <= id < size().
+  const std::string& TokenOf(int32_t id) const;
+
+  /// Number of occurrences recorded via AddToken.
+  int64_t CountOf(int32_t id) const;
+
+  size_t size() const { return tokens_.size(); }
+
+  /// Returns ids of the `k` most frequent tokens (ties broken by id).
+  std::vector<int32_t> TopKByFrequency(size_t k) const;
+
+ private:
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace lightor::text
+
+#endif  // LIGHTOR_TEXT_VOCABULARY_H_

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "baselines/moocer.h"
+#include "baselines/socialskip.h"
+#include "baselines/toretter.h"
+#include "core/evaluation.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/viewer_simulator.h"
+
+namespace lightor::baselines {
+namespace {
+
+TEST(ToretterTest, DetectsObviousBurst) {
+  // Synthetic chat: sparse background + a dense burst at 500 s.
+  std::vector<core::Message> messages;
+  for (int t = 0; t < 1000; t += 10) {
+    core::Message m;
+    m.timestamp = static_cast<double>(t);
+    m.text = "bg";
+    messages.push_back(m);
+  }
+  for (int i = 0; i < 60; ++i) {
+    core::Message m;
+    m.timestamp = 498.0 + 0.1 * i;
+    m.text = "burst";
+    messages.push_back(m);
+  }
+  std::sort(messages.begin(), messages.end(),
+            [](const core::Message& a, const core::Message& b) {
+              return a.timestamp < b.timestamp;
+            });
+  Toretter toretter;
+  const auto events = toretter.DetectEvents(messages, 1000.0, 3);
+  ASSERT_FALSE(events.empty());
+  EXPECT_NEAR(events[0], 501.0, 10.0);
+}
+
+TEST(ToretterTest, RespectsMinSeparationAndK) {
+  std::vector<core::Message> messages;
+  auto add_burst = [&](double at) {
+    for (int i = 0; i < 50; ++i) {
+      core::Message m;
+      m.timestamp = at + 0.1 * i;
+      m.text = "x";
+      messages.push_back(m);
+    }
+  };
+  add_burst(200.0);
+  add_burst(250.0);  // within 120 s of the first: must be suppressed
+  add_burst(600.0);
+  std::sort(messages.begin(), messages.end(),
+            [](const core::Message& a, const core::Message& b) {
+              return a.timestamp < b.timestamp;
+            });
+  Toretter toretter;
+  const auto events = toretter.DetectEvents(messages, 1000.0, 10);
+  ASSERT_GE(events.size(), 2u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      EXPECT_GT(std::abs(events[i] - events[j]), 120.0);
+    }
+  }
+}
+
+TEST(ToretterTest, EmptyChatYieldsNothing) {
+  Toretter toretter;
+  EXPECT_TRUE(toretter.DetectEvents({}, 1000.0, 5).empty());
+}
+
+// The paper's core observation (Fig. 7a): Toretter reports burst peaks,
+// which lag highlight starts by the comment delay, so its start precision
+// is far below LIGHTOR's adjusted dots.
+TEST(ToretterTest, PeaksLagHighlightStarts) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 3, 71);
+  double lag_sum = 0.0;
+  int lag_count = 0;
+  for (const auto& video : corpus) {
+    const auto events = Toretter().DetectEvents(
+        sim::ToCoreMessages(video.chat), video.truth.meta.length, 5);
+    for (double e : events) {
+      // Find the nearest highlight start.
+      double best = 1e18;
+      for (const auto& h : video.truth.highlights) {
+        if (std::abs(e - h.span.start) < std::abs(best)) {
+          best = e - h.span.start;
+        }
+      }
+      if (std::abs(best) < 60.0) {
+        lag_sum += best;
+        ++lag_count;
+      }
+    }
+  }
+  ASSERT_GT(lag_count, 5);
+  // Mean lag is positive (events fire after the start), near the
+  // simulated reaction delay.
+  EXPECT_GT(lag_sum / lag_count, 10.0);
+}
+
+sim::GroundTruthVideo OneHighlight(double start, double len) {
+  sim::GroundTruthVideo video;
+  video.meta.id = "v";
+  video.meta.length = 2000.0;
+  video.highlights.push_back({common::Interval(start, start + len), 0.9});
+  return video;
+}
+
+TEST(SocialSkipTest, BackwardSeeksMarkInterest) {
+  std::vector<sim::InteractionEvent> events;
+  sim::InteractionEvent seek;
+  seek.type = sim::InteractionType::kSeekBackward;
+  seek.position = 520.0;
+  seek.target = 500.0;
+  for (int i = 0; i < 5; ++i) events.push_back(seek);
+  SocialSkip skip;
+  const auto detected = skip.Detect(events, 2000.0, 1);
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_GT(detected[0].start, 480.0);
+  EXPECT_LT(detected[0].end, 540.0);
+}
+
+TEST(SocialSkipTest, ForwardSeeksSuppress) {
+  std::vector<sim::InteractionEvent> events;
+  sim::InteractionEvent back;
+  back.type = sim::InteractionType::kSeekBackward;
+  back.position = 520.0;
+  back.target = 500.0;
+  events.push_back(back);
+  // Heavier forward-skipping over the same range drives it negative.
+  sim::InteractionEvent fwd;
+  fwd.type = sim::InteractionType::kSeekForward;
+  fwd.position = 495.0;
+  fwd.target = 525.0;
+  for (int i = 0; i < 4; ++i) events.push_back(fwd);
+  SocialSkip skip;
+  const auto curve = skip.InterestCurve(events, 2000.0);
+  EXPECT_LT(curve[510], 0.0);
+}
+
+TEST(SocialSkipTest, BoundaryIsPeakPlusMinusMargin) {
+  std::vector<sim::InteractionEvent> events;
+  sim::InteractionEvent seek;
+  seek.type = sim::InteractionType::kSeekBackward;
+  seek.position = 1010.0;
+  seek.target = 990.0;
+  for (int i = 0; i < 3; ++i) events.push_back(seek);
+  SocialSkipOptions opts;
+  const auto detected = SocialSkip(opts).Detect(events, 2000.0, 1);
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_NEAR(detected[0].Length(), 2.0 * opts.boundary_margin, 2.0);
+}
+
+TEST(MoocerTest, WatchCurveCountsPlays) {
+  Moocer moocer;
+  const std::vector<core::Play> plays = {{"u", 100.0, 120.0},
+                                         {"u", 105.0, 125.0}};
+  const auto curve = moocer.WatchCurve(plays, 300.0);
+  EXPECT_GT(curve[110], curve[200]);
+  EXPECT_GT(curve[110], curve[50]);
+}
+
+TEST(MoocerTest, DetectFindsWatchedRegion) {
+  const auto video = OneHighlight(800.0, 25.0);
+  sim::ViewerSimulator viewers;
+  common::Rng rng(72);
+  const auto plays =
+      sim::ToCorePlays(viewers.CollectPlays(video, 798.0, 120, rng));
+  Moocer moocer;
+  const auto detected = moocer.Detect(plays, video.meta.length, 1);
+  ASSERT_EQ(detected.size(), 1u);
+  // The detected interval must overlap the true highlight.
+  EXPECT_TRUE(detected[0].Overlaps(video.highlights[0].span));
+}
+
+TEST(MoocerTest, EmptyPlaysYieldNothing) {
+  Moocer moocer;
+  EXPECT_TRUE(moocer.Detect({}, 1000.0, 3).empty());
+}
+
+TEST(MoocerTest, TurningPointsBoundThePeak) {
+  // Plays concentrated on [500, 520]: boundaries should not wander far.
+  std::vector<core::Play> plays;
+  for (int i = 0; i < 30; ++i) {
+    plays.emplace_back("u", 500.0 + (i % 5), 520.0 - (i % 3));
+  }
+  Moocer moocer;
+  const auto detected = moocer.Detect(plays, 1000.0, 1);
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_GT(detected[0].start, 500.0 - 65.0);
+  EXPECT_LT(detected[0].end, 520.0 + 65.0);
+}
+
+}  // namespace
+}  // namespace lightor::baselines

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bootstrapped_lstm.h"
+#include "baselines/naive_top_count.h"
+#include "core/evaluation.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+
+namespace lightor::baselines {
+namespace {
+
+TEST(NaiveTopCountTest, FindsTheBiggestBurst) {
+  std::vector<core::Message> messages;
+  auto add = [&](double at, int n) {
+    for (int i = 0; i < n; ++i) {
+      core::Message m;
+      m.timestamp = at + 0.05 * i;
+      m.text = "x";
+      messages.push_back(m);
+    }
+  };
+  add(100.0, 5);
+  add(500.0, 60);
+  add(900.0, 10);
+  std::sort(messages.begin(), messages.end(),
+            [](const core::Message& a, const core::Message& b) {
+              return a.timestamp < b.timestamp;
+            });
+  NaiveTopCount naive;
+  const auto dots = naive.Detect(messages, 1200.0, 1);
+  ASSERT_EQ(dots.size(), 1u);
+  EXPECT_NEAR(dots[0], 500.0, 30.0);
+}
+
+TEST(NaiveTopCountTest, RespectsSeparationAndK) {
+  std::vector<core::Message> messages;
+  for (int burst = 0; burst < 4; ++burst) {
+    for (int i = 0; i < 30; ++i) {
+      core::Message m;
+      m.timestamp = 200.0 * burst + 100.0 + 0.1 * i;
+      m.text = "x";
+      messages.push_back(m);
+    }
+  }
+  NaiveTopCount naive;
+  const auto dots = naive.Detect(messages, 1000.0, 3);
+  EXPECT_EQ(dots.size(), 3u);
+  for (size_t i = 0; i < dots.size(); ++i) {
+    for (size_t j = i + 1; j < dots.size(); ++j) {
+      EXPECT_GT(std::abs(dots[i] - dots[j]), 120.0);
+    }
+  }
+}
+
+TEST(NaiveTopCountTest, EmptyChat) {
+  NaiveTopCount naive;
+  EXPECT_TRUE(naive.Detect({}, 1000.0, 5).empty());
+}
+
+// The paper's Section IV-C1 analysis: the naive method is fooled by the
+// comment delay, so LIGHTOR's adjusted dots must beat it.
+TEST(NaiveTopCountTest, LightorBeatsNaive) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 9, 125);
+  core::HighlightInitializer init;
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  ASSERT_TRUE(init.Train({tv}).ok());
+  NaiveTopCount naive;
+  double ours = 0.0, theirs = 0.0;
+  for (size_t v = 1; v < corpus.size(); ++v) {
+    std::vector<common::Interval> truth;
+    for (const auto& h : corpus[v].truth.highlights) truth.push_back(h.span);
+    const auto messages = sim::ToCoreMessages(corpus[v].chat);
+    const double length = corpus[v].truth.meta.length;
+    ours += core::VideoPrecisionStart(
+        core::DotPositions(init.Detect(messages, length, 5)), truth);
+    theirs += core::VideoPrecisionStart(naive.Detect(messages, length, 5),
+                                        truth);
+  }
+  // A decisive average margin (the naive method pays the comment delay
+  // on every dot; LIGHTOR does not).
+  EXPECT_GT(ours / 8.0, theirs / 8.0 + 0.15);
+}
+
+baselines::BootstrappedLstmOptions TinyBootstrap() {
+  BootstrappedLstmOptions opts;
+  opts.lstm.frame_stride = 10.0;
+  opts.lstm.lstm.hidden_size = 8;
+  opts.lstm.lstm.num_layers = 1;
+  opts.lstm.lstm.max_sequence_length = 48;
+  opts.lstm.lstm.epochs = 2;
+  opts.dots_per_video = 4;
+  return opts;
+}
+
+TEST(BootstrappedLstmTest, RequiresTrainedInitializer) {
+  core::HighlightInitializer untrained;
+  BootstrappedLstm model(TinyBootstrap());
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 122);
+  EXPECT_TRUE(model.Train(untrained, corpus).IsFailedPrecondition());
+  EXPECT_TRUE(
+      model
+          .Train(untrained, {})
+          .IsFailedPrecondition());
+}
+
+TEST(BootstrappedLstmTest, TrainsOnPseudoLabelsOnly) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 3, 123);
+  core::HighlightInitializer init;
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  ASSERT_TRUE(init.Train({tv}).ok());
+
+  BootstrappedLstm model(TinyBootstrap());
+  // Train on the other two videos WITHOUT their labels.
+  sim::Corpus unlabelled = {corpus[1], corpus[2]};
+  ASSERT_TRUE(model.Train(init, unlabelled).ok());
+  EXPECT_TRUE(model.trained());
+  EXPECT_GT(model.pseudo_labels_generated(), 4u);
+
+  // It produces sane detections on a fresh video.
+  const auto detections = model.DetectTopK(
+      sim::ToCoreMessages(corpus[1].chat), corpus[1].truth.meta.length, 5);
+  EXPECT_LE(detections.size(), 5u);
+  for (double t : detections) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, corpus[1].truth.meta.length);
+  }
+}
+
+TEST(BootstrappedLstmTest, EmptyCorpusRejected) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 124);
+  core::HighlightInitializer init;
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  ASSERT_TRUE(init.Train({tv}).ok());
+  BootstrappedLstm model(TinyBootstrap());
+  EXPECT_TRUE(model.Train(init, {}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lightor::baselines

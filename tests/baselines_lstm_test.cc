@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "baselines/chat_lstm.h"
+#include "baselines/joint_lstm.h"
+#include "baselines/video_features.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+
+namespace lightor::baselines {
+namespace {
+
+ChatLstmOptions TinyChatLstm() {
+  ChatLstmOptions opts;
+  opts.frame_stride = 10.0;
+  opts.lstm.hidden_size = 8;
+  opts.lstm.num_layers = 1;
+  opts.lstm.max_sequence_length = 48;
+  opts.lstm.epochs = 2;
+  return opts;
+}
+
+core::TrainingVideo ToTraining(const sim::LabeledVideo& video) {
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(video.chat);
+  tv.video_length = video.truth.meta.length;
+  for (const auto& h : video.truth.highlights) tv.highlights.push_back(h.span);
+  return tv;
+}
+
+TEST(ChatLstmTest, FrameTextCollectsWindowMessages) {
+  std::vector<core::Message> messages(3);
+  messages[0].timestamp = 10.0;
+  messages[0].text = "one";
+  messages[1].timestamp = 12.0;
+  messages[1].text = "two";
+  messages[2].timestamp = 30.0;
+  messages[2].text = "three";
+  EXPECT_EQ(ChatLstm::FrameText(messages, 9.0, 7.0), "one\ntwo");
+  EXPECT_EQ(ChatLstm::FrameText(messages, 28.0, 7.0), "three");
+  EXPECT_EQ(ChatLstm::FrameText(messages, 100.0, 7.0), "");
+}
+
+TEST(ChatLstmTest, RejectsEmptyTraining) {
+  ChatLstm model(TinyChatLstm());
+  EXPECT_TRUE(model.Train({}).IsInvalidArgument());
+  EXPECT_FALSE(model.trained());
+}
+
+TEST(ChatLstmTest, TrainsAndScores) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 81);
+  ChatLstm model(TinyChatLstm());
+  ASSERT_TRUE(model.Train({ToTraining(corpus[0])}).ok());
+  EXPECT_TRUE(model.trained());
+
+  std::vector<common::Seconds> positions;
+  const auto scores = model.ScoreFrames(
+      sim::ToCoreMessages(corpus[0].chat), corpus[0].truth.meta.length,
+      &positions);
+  ASSERT_EQ(scores.size(), positions.size());
+  ASSERT_FALSE(scores.empty());
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(ChatLstmTest, DetectTopKRespectsSeparation) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 82);
+  ChatLstm model(TinyChatLstm());
+  ASSERT_TRUE(model.Train({ToTraining(corpus[0])}).ok());
+  const auto detections = model.DetectTopK(
+      sim::ToCoreMessages(corpus[0].chat), corpus[0].truth.meta.length, 5);
+  EXPECT_LE(detections.size(), 5u);
+  for (size_t i = 0; i < detections.size(); ++i) {
+    for (size_t j = i + 1; j < detections.size(); ++j) {
+      EXPECT_GT(std::abs(detections[i] - detections[j]), 120.0);
+    }
+  }
+}
+
+TEST(VideoFeaturesTest, DeterministicPerFrame) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 83);
+  SimulatedVideoFeatures features;
+  const auto a = features.FrameFeatures(corpus[0].truth, 100.0);
+  const auto b = features.FrameFeatures(corpus[0].truth, 100.0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), features.dims());
+}
+
+TEST(VideoFeaturesTest, HighlightFramesCarrySignal) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 84);
+  const auto& truth = corpus[0].truth;
+  SimulatedVideoFeatures features;
+  // Mean norm of highlight frames should exceed background frames.
+  double hi_norm = 0.0, bg_norm = 0.0;
+  int hi_n = 0, bg_n = 0;
+  for (double t = 0.0; t < truth.meta.length; t += 5.0) {
+    const auto f = features.FrameFeatures(truth, t);
+    double norm = 0.0;
+    for (double x : f) norm += x * x;
+    if (truth.HighlightAt(t) >= 0) {
+      hi_norm += norm;
+      ++hi_n;
+    } else {
+      bg_norm += norm;
+      ++bg_n;
+    }
+  }
+  ASSERT_GT(hi_n, 0);
+  ASSERT_GT(bg_n, 0);
+  EXPECT_GT(hi_norm / hi_n, bg_norm / bg_n);
+}
+
+TEST(VideoFeaturesTest, GameDirectionsDiffer) {
+  // The same "action" reads differently across games: feature vectors of
+  // highlight frames in Dota2 and LoL videos point along different axes.
+  SimulatedVideoFeatures features;
+  sim::GroundTruthVideo dota;
+  dota.meta.id = "d";
+  dota.meta.game = sim::GameType::kDota2;
+  dota.meta.length = 100.0;
+  dota.highlights.push_back({common::Interval(0.0, 100.0), 1.0});
+  sim::GroundTruthVideo lol = dota;
+  lol.meta.id = "l";
+  lol.meta.game = sim::GameType::kLol;
+
+  auto mean_features = [&](const sim::GroundTruthVideo& v) {
+    std::vector<double> acc(features.dims(), 0.0);
+    for (double t = 0.0; t < 100.0; t += 1.0) {
+      const auto f = features.FrameFeatures(v, t);
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] += f[i];
+    }
+    return acc;
+  };
+  const auto mean_dota = mean_features(dota);
+  const auto mean_lol = mean_features(lol);
+  double dot = 0.0, norm_d = 0.0, norm_l = 0.0;
+  for (size_t i = 0; i < mean_dota.size(); ++i) {
+    dot += mean_dota[i] * mean_lol[i];
+    norm_d += mean_dota[i] * mean_dota[i];
+    norm_l += mean_lol[i] * mean_lol[i];
+  }
+  const double cosine = dot / std::sqrt(norm_d * norm_l);
+  EXPECT_LT(cosine, 0.9);  // not the same direction
+}
+
+TEST(JointLstmTest, TrainsAndDetects) {
+  JointLstmOptions opts;
+  opts.chat = TinyChatLstm();
+  JointLstm model(opts);
+  const auto corpus = sim::MakeCorpus(sim::GameType::kLol, 2, 85);
+  ASSERT_TRUE(model.Train({corpus[0]}).ok());
+  EXPECT_TRUE(model.trained());
+  const auto detections = model.DetectTopK(corpus[1], 5);
+  EXPECT_LE(detections.size(), 5u);
+  std::vector<common::Seconds> positions;
+  const auto scores = model.ScoreFrames(corpus[1], &positions);
+  ASSERT_EQ(scores.size(), positions.size());
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(JointLstmTest, RejectsEmptyCorpus) {
+  JointLstm model;
+  EXPECT_TRUE(model.Train({}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lightor::baselines

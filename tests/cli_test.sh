@@ -1,0 +1,34 @@
+#!/bin/sh
+# End-to-end exercise of the lightor CLI: gen -> train -> detect -> eval
+# -> extract. $1 is the path to the lightor binary.
+set -e
+LIGHTOR="$1"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$LIGHTOR" gen --game=lol --videos=3 --seed=9 --out="$TMP/corpus"
+test -f "$TMP/corpus/corpus.index"
+
+"$LIGHTOR" train --corpus="$TMP/corpus" --train-videos=1 \
+    --model="$TMP/m.model"
+test -f "$TMP/m.model"
+
+VIDEO=$(sed -n '2p' "$TMP/corpus/corpus.index")
+"$LIGHTOR" detect --corpus="$TMP/corpus" --model="$TMP/m.model" \
+    --video="$VIDEO" --k=3 | grep -q "red dot"
+"$LIGHTOR" eval --corpus="$TMP/corpus" --model="$TMP/m.model" --k=5 \
+    --skip=1 | grep -q "mean over 2 videos"
+"$LIGHTOR" extract --corpus="$TMP/corpus" --model="$TMP/m.model" \
+    --video="$VIDEO" --k=2 --viewers=8 | grep -q "converged"
+
+# Error paths exit non-zero.
+if "$LIGHTOR" detect --corpus="$TMP/corpus" --model="$TMP/m.model" \
+    --video=does-not-exist 2>/dev/null; then
+  echo "expected failure for unknown video" >&2
+  exit 1
+fi
+if "$LIGHTOR" bogus-command 2>/dev/null; then
+  echo "expected failure for unknown command" >&2
+  exit 1
+fi
+echo "cli ok"

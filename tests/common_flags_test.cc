@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace lightor::common {
+namespace {
+
+Flags ParseArgs(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const Flags flags = ParseArgs({"--videos=10", "--seed=42"});
+  EXPECT_TRUE(flags.Has("videos"));
+  EXPECT_EQ(flags.GetInt("videos", 0), 10);
+  EXPECT_EQ(flags.GetInt("seed", 0), 42);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const Flags flags = ParseArgs({"--name", "value", "--n", "7"});
+  EXPECT_EQ(flags.GetString("name"), "value");
+  EXPECT_EQ(flags.GetInt("n", 0), 7);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  const Flags flags = ParseArgs({"--verbose", "--count=3"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("quiet", false));
+  EXPECT_TRUE(flags.GetBool("quiet", true));
+}
+
+TEST(FlagsTest, BooleanValues) {
+  EXPECT_TRUE(ParseArgs({"--x=true"}).GetBool("x", false));
+  EXPECT_TRUE(ParseArgs({"--x=1"}).GetBool("x", false));
+  EXPECT_TRUE(ParseArgs({"--x=YES"}).GetBool("x", false));
+  EXPECT_FALSE(ParseArgs({"--x=false"}).GetBool("x", true));
+  EXPECT_FALSE(ParseArgs({"--x=0"}).GetBool("x", true));
+  EXPECT_FALSE(ParseArgs({"--x=no"}).GetBool("x", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags flags = ParseArgs({"input.txt", "--k=5", "output.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags flags = ParseArgs({});
+  EXPECT_EQ(flags.GetInt("missing", -3), -3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(flags.GetString("missing", "d"), "d");
+}
+
+TEST(FlagsTest, MalformedNumbersReportFailure) {
+  const Flags flags = ParseArgs({"--n=abc", "--x=1.5zz"});
+  bool ok = true;
+  EXPECT_EQ(flags.GetInt("n", 9, &ok), 9);
+  EXPECT_FALSE(ok);
+  ok = true;
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 0.5, &ok), 0.5);
+  EXPECT_FALSE(ok);
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const Flags flags = ParseArgs({"--rate=0.25", "--neg=-3.5"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("neg", 0.0), -3.5);
+}
+
+TEST(FlagsTest, FlagNames) {
+  const Flags flags = ParseArgs({"--b=1", "--a=2"});
+  const auto names = flags.FlagNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // map-ordered
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const Flags flags = ParseArgs({"--k=1", "--k=2"});
+  EXPECT_EQ(flags.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace lightor::common

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace lightor::common {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-5.0, 3.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyApproximatesP) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.Normal(2.0, 3.0));
+  EXPECT_NEAR(Mean(xs), 2.0, 0.05);
+  EXPECT_NEAR(StdDev(xs), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.Exponential(2.0));
+  EXPECT_NEAR(Mean(xs), 0.5, 0.02);
+  EXPECT_GE(Min(xs), 0.0);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(static_cast<uint64_t>(mean * 1000) + 9);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    xs.push_back(static_cast<double>(rng.Poisson(mean)));
+  }
+  EXPECT_NEAR(Mean(xs), mean, std::max(0.05, 0.05 * mean));
+  EXPECT_NEAR(Variance(xs), mean, std::max(0.15, 0.08 * mean));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PoissonMeanTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 4.0, 20.0, 100.0));
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, ZipfRanksWithinRangeAndHeadHeavy) {
+  Rng rng(11);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const int r = rng.Zipf(10, 1.0);
+    ASSERT_GE(r, 1);
+    ASSERT_LE(r, 10);
+    ++counts[static_cast<size_t>(r)];
+  }
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(12);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(14);
+  const auto sample = rng.SampleIndices(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleIndicesClampsToN) {
+  Rng rng(15);
+  EXPECT_EQ(rng.SampleIndices(5, 50).size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(16);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  // The two children and the parent should all disagree.
+  EXPECT_NE(child1.Next64(), child2.Next64());
+  EXPECT_NE(child1.Next64(), parent.Next64());
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace lightor::common

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace lightor::common {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, VarianceUnbiased) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({4.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 2.0);  // ((1-2)^2+(3-2)^2)/1
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), std::sqrt(2.0));
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatsTest, MedianIsRobustToOutliers) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 1e9}), 2.5);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.125), 5.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3.0, -1.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Min({}), 0.0);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+  const std::vector<double> flat = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, flat), 0.0);
+}
+
+TEST(StatsTest, MovingAveragePreservesConstant) {
+  const std::vector<double> xs(10, 4.0);
+  for (double v : MovingAverage(xs, 3)) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(StatsTest, MovingAverageSmoothsSpike) {
+  std::vector<double> xs(11, 0.0);
+  xs[5] = 10.0;
+  const auto smooth = MovingAverage(xs, 1);
+  EXPECT_NEAR(smooth[4], 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(smooth[5], 10.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(smooth[0], 0.0);
+}
+
+TEST(StatsTest, MovingAverageZeroRadiusIsIdentity) {
+  const std::vector<double> xs = {1.0, 5.0, 2.0};
+  EXPECT_EQ(MovingAverage(xs, 0), xs);
+}
+
+TEST(StatsTest, GaussianSmoothPreservesMassShape) {
+  std::vector<double> xs(21, 0.0);
+  xs[10] = 1.0;
+  const auto smooth = GaussianSmooth(xs, 2.0);
+  // The peak stays at the center and decays monotonically outwards.
+  for (size_t i = 0; i < 10; ++i) EXPECT_LE(smooth[i], smooth[i + 1]);
+  for (size_t i = 10; i + 1 < smooth.size(); ++i) {
+    EXPECT_GE(smooth[i], smooth[i + 1]);
+  }
+}
+
+TEST(StatsTest, LocalMaximaFindsInteriorPeaks) {
+  const std::vector<double> xs = {0, 1, 3, 1, 0, 2, 5, 2, 0};
+  const auto peaks = LocalMaxima(xs);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 2u);
+  EXPECT_EQ(peaks[1], 6u);
+}
+
+TEST(StatsTest, LocalMaximaHandlesPlateaus) {
+  const std::vector<double> xs = {0, 2, 2, 2, 0};
+  const auto peaks = LocalMaxima(xs);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 1u);
+}
+
+TEST(StatsTest, LocalMaximaRespectsMinHeight) {
+  const std::vector<double> xs = {0, 1, 0, 5, 0};
+  const auto peaks = LocalMaxima(xs, 2.0);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 3u);
+}
+
+TEST(StatsTest, LocalMaximaEndpoints) {
+  const std::vector<double> xs = {5, 1, 0, 1, 7};
+  const auto peaks = LocalMaxima(xs);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 0u);
+  EXPECT_EQ(peaks[1], 4u);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 2.0);
+  h.Add(1.0);    // bin 0
+  h.Add(9.9);    // bin 4
+  h.Add(-50.0);  // clamped to bin 0
+  h.Add(99.0);   // clamped to bin 4
+  EXPECT_DOUBLE_EQ(h.counts()[0], 2.0);
+  EXPECT_DOUBLE_EQ(h.counts()[4], 2.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+}
+
+TEST(HistogramTest, WeightsAndNormalization) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(0.5, 3.0);
+  h.Add(3.5, 1.0);
+  const auto norm = h.Normalized();
+  EXPECT_DOUBLE_EQ(norm[0], 0.75);
+  EXPECT_DOUBLE_EQ(norm[3], 0.25);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(4), 9.0);
+}
+
+TEST(EmpiricalCdfTest, EvaluateAndQuantile) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 2.5);
+}
+
+TEST(RunningStatsTest, MatchesBatchStats) {
+  RunningStats rs;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), Variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace lightor::common

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+
+namespace lightor::core {
+namespace {
+
+TEST(ChatPrecisionTest, FractionOfPositiveLabels) {
+  EXPECT_DOUBLE_EQ(ChatPrecisionAtK({1, 1, 0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(ChatPrecisionAtK({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ChatPrecisionAtK({}), 0.0);
+  EXPECT_DOUBLE_EQ(ChatPrecisionAtK({1}), 1.0);
+}
+
+TEST(VideoPrecisionStartTest, SlackWindow) {
+  const std::vector<common::Interval> hs = {{100.0, 120.0}};
+  // Correct iff x in [s-10, e].
+  EXPECT_DOUBLE_EQ(VideoPrecisionStart({110.0}, hs), 1.0);
+  EXPECT_DOUBLE_EQ(VideoPrecisionStart({90.0}, hs), 1.0);
+  EXPECT_DOUBLE_EQ(VideoPrecisionStart({89.9}, hs), 0.0);
+  EXPECT_DOUBLE_EQ(VideoPrecisionStart({120.0}, hs), 1.0);
+  EXPECT_DOUBLE_EQ(VideoPrecisionStart({120.1}, hs), 0.0);
+}
+
+TEST(VideoPrecisionStartTest, AveragesOverPositions) {
+  const std::vector<common::Interval> hs = {{100.0, 120.0}, {500.0, 520.0}};
+  EXPECT_DOUBLE_EQ(VideoPrecisionStart({110.0, 510.0, 300.0, 95.0}, hs),
+                   0.75);
+  EXPECT_DOUBLE_EQ(VideoPrecisionStart({}, hs), 0.0);
+}
+
+TEST(VideoPrecisionEndTest, SlackWindow) {
+  const std::vector<common::Interval> hs = {{100.0, 120.0}};
+  // Correct iff y in [s, e+10].
+  EXPECT_DOUBLE_EQ(VideoPrecisionEnd({110.0}, hs), 1.0);
+  EXPECT_DOUBLE_EQ(VideoPrecisionEnd({100.0}, hs), 1.0);
+  EXPECT_DOUBLE_EQ(VideoPrecisionEnd({99.9}, hs), 0.0);
+  EXPECT_DOUBLE_EQ(VideoPrecisionEnd({130.0}, hs), 1.0);
+  EXPECT_DOUBLE_EQ(VideoPrecisionEnd({130.1}, hs), 0.0);
+}
+
+TEST(VideoPrecisionTest, CustomSlack) {
+  const std::vector<common::Interval> hs = {{100.0, 120.0}};
+  EXPECT_DOUBLE_EQ(VideoPrecisionStart({85.0}, hs, 20.0), 1.0);
+  EXPECT_DOUBLE_EQ(VideoPrecisionEnd({135.0}, hs, 20.0), 1.0);
+}
+
+TEST(DotPositionsTest, ExtractsPositions) {
+  std::vector<RedDot> dots(2);
+  dots[0].position = 5.0;
+  dots[1].position = 9.0;
+  EXPECT_EQ(DotPositions(dots), (std::vector<common::Seconds>{5.0, 9.0}));
+  EXPECT_TRUE(DotPositions({}).empty());
+}
+
+}  // namespace
+}  // namespace lightor::core

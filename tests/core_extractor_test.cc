@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/extractor.h"
+#include "sim/bridge.h"
+#include "sim/viewer_simulator.h"
+
+namespace lightor::core {
+namespace {
+
+Play P(double s, double e) { return Play("u", s, e); }
+
+TEST(PlayFeaturesTest, NormalizedFractions) {
+  PlayFeatures f;
+  f.plays_after = 6.0;
+  f.plays_before = 2.0;
+  f.plays_across = 2.0;
+  const auto n = f.Normalized();
+  EXPECT_DOUBLE_EQ(n[0], 0.6);
+  EXPECT_DOUBLE_EQ(n[1], 0.2);
+  EXPECT_DOUBLE_EQ(n[2], 0.2);
+  PlayFeatures zero;
+  EXPECT_EQ(zero.Normalized(), (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(FilterTest, DistanceFilterDropsFarPlays) {
+  HighlightExtractor extractor;
+  const double dot = 1000.0;
+  const auto filtered = extractor.FilterPlays(
+      {P(990, 1010), P(1200, 1220), P(700, 720)}, dot);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_DOUBLE_EQ(filtered[0].span.start, 990.0);
+}
+
+TEST(FilterTest, DurationFilterDropsProbesAndMarathons) {
+  ExtractorOptions opts;
+  opts.graph_outlier_removal = false;
+  HighlightExtractor extractor(opts);
+  const auto filtered = extractor.FilterPlays(
+      {P(1000, 1003),      // too short (probe)
+       P(1000, 1500),      // too long (marathon)
+       P(1000, 1020)},     // just right
+      1000.0);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_DOUBLE_EQ(filtered[0].span.end, 1020.0);
+}
+
+TEST(FilterTest, InvalidPlaysDropped) {
+  ExtractorOptions opts;
+  opts.graph_outlier_removal = false;
+  HighlightExtractor extractor(opts);
+  EXPECT_TRUE(extractor.FilterPlays({P(1010, 990)}, 1000.0).empty());
+}
+
+TEST(GraphOutlierTest, KeepsOverlappingClusterDropsIsolated) {
+  // Cluster of 3 mutually overlapping plays + 1 isolated far play (still
+  // within the distance window).
+  const std::vector<Play> plays = {P(995, 1015), P(1000, 1020),
+                                   P(1005, 1018), P(1040, 1055)};
+  const auto kept = HighlightExtractor::RemoveGraphOutliers(plays);
+  ASSERT_EQ(kept.size(), 3u);
+  for (const auto& play : kept) EXPECT_LT(play.span.start, 1030.0);
+}
+
+TEST(GraphOutlierTest, SmallInputsPassThrough) {
+  EXPECT_EQ(HighlightExtractor::RemoveGraphOutliers({}).size(), 0u);
+  EXPECT_EQ(HighlightExtractor::RemoveGraphOutliers({P(0, 10)}).size(), 1u);
+  EXPECT_EQ(
+      HighlightExtractor::RemoveGraphOutliers({P(0, 10), P(100, 110)}).size(),
+      2u);
+}
+
+TEST(FeaturesTest, CountsRelativeToDot) {
+  HighlightExtractor extractor;
+  const double dot = 1000.0;
+  const auto f = extractor.ComputeFeatures(
+      {P(1000, 1020), P(1010, 1030), P(980, 990), P(995, 1005)}, dot);
+  EXPECT_DOUBLE_EQ(f.plays_after, 2.0);   // start >= dot
+  EXPECT_DOUBLE_EQ(f.plays_before, 1.0);  // end < dot
+  EXPECT_DOUBLE_EQ(f.plays_across, 1.0);  // start < dot <= end
+}
+
+TEST(TypeClassifierTest, RuleFallbackMatchesFig4) {
+  TypeClassifier classifier;
+  EXPECT_FALSE(classifier.trained());
+  PlayFeatures type2;
+  type2.plays_after = 9.0;
+  type2.plays_across = 1.0;
+  EXPECT_EQ(classifier.Classify(type2), DotType::kTypeII);
+  PlayFeatures type1;
+  type1.plays_after = 2.0;
+  type1.plays_before = 5.0;
+  type1.plays_across = 3.0;
+  EXPECT_EQ(classifier.Classify(type1), DotType::kTypeI);
+}
+
+TEST(TypeClassifierTest, TrainedModelOverridesRule) {
+  // Train on synthetic feature rows: label 1 (Type I) when the
+  // before+across fraction is high.
+  ml::Dataset data;
+  common::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const double backward = rng.Uniform(0.0, 1.0);
+    PlayFeatures f;
+    f.plays_before = backward * 10.0;
+    f.plays_after = (1.0 - backward) * 10.0;
+    data.Add(f.Normalized(), backward > 0.5 ? 1 : 0);
+  }
+  TypeClassifier classifier;
+  ASSERT_TRUE(classifier.Train(data).ok());
+  EXPECT_TRUE(classifier.trained());
+  PlayFeatures mostly_backward;
+  mostly_backward.plays_before = 8.0;
+  mostly_backward.plays_after = 2.0;
+  EXPECT_EQ(classifier.Classify(mostly_backward), DotType::kTypeI);
+  PlayFeatures mostly_forward;
+  mostly_forward.plays_before = 1.0;
+  mostly_forward.plays_after = 9.0;
+  EXPECT_EQ(classifier.Classify(mostly_forward), DotType::kTypeII);
+}
+
+TEST(RefineOnceTest, TypeIIAggregatesMedians) {
+  HighlightExtractor extractor;
+  const double dot = 1000.0;
+  // Engaged crowd: all plays start at/after the dot and overlap.
+  const std::vector<Play> plays = {P(1005, 1030), P(1007, 1031),
+                                   P(1006, 1029), P(1008, 1032),
+                                   P(1004, 1028)};
+  const auto result = extractor.RefineOnce(plays, dot);
+  EXPECT_EQ(result.type, DotType::kTypeII);
+  EXPECT_TRUE(result.enough_plays);
+  EXPECT_DOUBLE_EQ(result.boundary.start, 1006.0);
+  EXPECT_DOUBLE_EQ(result.boundary.end, 1030.0);
+  EXPECT_DOUBLE_EQ(result.new_dot, 1006.0);
+}
+
+TEST(RefineOnceTest, TypeIIDropsPlaysEndingBeforeDot) {
+  ExtractorOptions opts;
+  opts.graph_outlier_removal = false;
+  HighlightExtractor extractor(opts);
+  const double dot = 1000.0;
+  // 3 engaged plays after the dot + 2 plays fully before it (ends < dot,
+  // not enough to flip the rule to Type I: backward fraction 2/5 < 0.45).
+  const std::vector<Play> plays = {P(1001, 1020), P(1002, 1021),
+                                   P(1003, 1022), P(980, 992), P(981, 993)};
+  const auto result = extractor.RefineOnce(plays, dot);
+  ASSERT_EQ(result.type, DotType::kTypeII);
+  // Medians computed over the 3 surviving plays only.
+  EXPECT_DOUBLE_EQ(result.boundary.start, 1002.0);
+  EXPECT_DOUBLE_EQ(result.boundary.end, 1021.0);
+}
+
+TEST(RefineOnceTest, TypeIMovesDotBack) {
+  HighlightExtractor extractor;
+  const double dot = 1000.0;
+  // Backward-search crowd: plays before/across the dot dominate.
+  const std::vector<Play> plays = {P(960, 975), P(965, 980), P(970, 985),
+                                   P(950, 1010), P(955, 1005)};
+  const auto result = extractor.RefineOnce(plays, dot);
+  EXPECT_EQ(result.type, DotType::kTypeI);
+  EXPECT_DOUBLE_EQ(result.new_dot, 1000.0 - extractor.options().type1_move);
+}
+
+TEST(RefineOnceTest, TooFewPlaysTreatedAsTypeI) {
+  HighlightExtractor extractor;
+  const auto result = extractor.RefineOnce({P(1000, 1020)}, 1000.0);
+  EXPECT_FALSE(result.enough_plays);
+  EXPECT_EQ(result.type, DotType::kTypeI);
+  EXPECT_LT(result.new_dot, 1000.0);
+}
+
+TEST(RefineOnceTest, NewDotClampedAtZero) {
+  HighlightExtractor extractor;
+  const auto result = extractor.RefineOnce({}, 5.0);
+  EXPECT_GE(result.new_dot, 0.0);
+}
+
+/// Trains a Type I/II classifier the way a deployment would: labelled
+/// dots around a training video's highlights, crowd plays, features.
+TypeClassifier TrainedClassifier(const HighlightExtractor& extractor) {
+  sim::GroundTruthVideo video;
+  video.meta.id = "train";
+  video.meta.length = 3600.0;
+  for (int i = 0; i < 10; ++i) {
+    const double start = 200.0 + i * 320.0;
+    video.highlights.push_back(
+        {common::Interval(start, start + 10.0 + 3.0 * i), 0.8});
+  }
+  sim::ViewerSimulator viewers;
+  common::Rng rng(4242);
+  ml::Dataset data;
+  for (const auto& h : video.highlights) {
+    for (int rep = 0; rep < 6; ++rep) {
+      const bool type1 = rng.Bernoulli(0.5);
+      const double dot = type1
+                             ? h.span.end + rng.Uniform(1.0, 25.0)
+                             : h.span.start + rng.Uniform(-10.0,
+                                                          h.span.Length());
+      const auto plays =
+          sim::ToCorePlays(viewers.CollectPlays(video, dot, 20, rng));
+      const auto filtered = extractor.FilterPlays(plays, dot);
+      if (filtered.size() < 2) continue;
+      data.Add(extractor.ComputeFeatures(filtered, dot).Normalized(),
+               type1 ? 1 : 0);
+    }
+  }
+  TypeClassifier classifier;
+  EXPECT_TRUE(classifier.Train(data).ok());
+  return classifier;
+}
+
+/// A scripted provider for deterministic Run() tests.
+class ScriptedProvider : public PlayProvider {
+ public:
+  explicit ScriptedProvider(sim::GroundTruthVideo video)
+      : video_(std::move(video)), sim_(), rng_(77) {}
+
+  std::vector<Play> Collect(common::Seconds red_dot) override {
+    ++calls_;
+    return sim::ToCorePlays(sim_.CollectPlays(video_, red_dot, 12, rng_));
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  sim::GroundTruthVideo video_;
+  sim::ViewerSimulator sim_;
+  common::Rng rng_;
+  int calls_ = 0;
+};
+
+sim::GroundTruthVideo OneHighlight(double start, double len) {
+  sim::GroundTruthVideo video;
+  video.meta.id = "v";
+  video.meta.length = 3600.0;
+  video.highlights.push_back({common::Interval(start, start + len), 0.9});
+  return video;
+}
+
+TEST(RunTest, ConvergesFromGoodDot) {
+  HighlightExtractor extractor;
+  extractor.set_classifier(TrainedClassifier(extractor));
+  ScriptedProvider provider(OneHighlight(1000.0, 25.0));
+  const auto result = extractor.Run(provider, 998.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.final_type, DotType::kTypeII);
+  // Boundary start lands a few seconds into the highlight (Fig. 3(b)'s
+  // tolerable error); end lands near the highlight end.
+  EXPECT_NEAR(result.boundary.start, 1007.0, 8.0);
+  EXPECT_NEAR(result.boundary.end, 1025.0 + 8.0, 10.0);
+}
+
+TEST(RunTest, TypeIDotWalksBackAndConverges) {
+  HighlightExtractor extractor;
+  extractor.set_classifier(TrainedClassifier(extractor));
+  ScriptedProvider provider(OneHighlight(1000.0, 20.0));
+  // The dot starts past the highlight end: first iterations must move it
+  // backwards, then converge as Type II.
+  const auto result = extractor.Run(provider, 1045.0);
+  EXPECT_GE(result.iterations, 2);
+  ASSERT_GE(result.dot_history.size(), 2u);
+  EXPECT_LT(result.dot_history[1], result.dot_history[0]);
+  EXPECT_NEAR(result.boundary.start, 1005.0, 14.0);
+}
+
+TEST(RunTest, RespectsMaxIterations) {
+  ExtractorOptions opts;
+  opts.max_iterations = 2;
+  HighlightExtractor extractor(opts);
+  // No highlight anywhere near: the crowd only probes, so the loop
+  // exhausts its iterations without converging.
+  ScriptedProvider provider(OneHighlight(100.0, 20.0));
+  const auto result = extractor.Run(provider, 3000.0);
+  EXPECT_LE(result.iterations, 2);
+  EXPECT_EQ(provider.calls(), result.iterations);
+}
+
+/// A provider whose crowd never produces any plays.
+class SilentProvider : public PlayProvider {
+ public:
+  std::vector<Play> Collect(common::Seconds) override { return {}; }
+};
+
+TEST(RunTest, FallbackBoundaryWhenNoTypeII) {
+  ExtractorOptions opts;
+  opts.max_iterations = 3;
+  HighlightExtractor extractor(opts);
+  SilentProvider provider;
+  const auto result = extractor.Run(provider, 3000.0);
+  EXPECT_FALSE(result.converged);
+  // Fallback boundary has the configured provisional extent and the dot
+  // walked backwards by m per iteration.
+  EXPECT_NEAR(result.boundary.Length(), opts.fallback_length, 1e-9);
+  EXPECT_NEAR(result.boundary.start,
+              3000.0 - opts.type1_move * opts.max_iterations, 1e-9);
+}
+
+}  // namespace
+}  // namespace lightor::core

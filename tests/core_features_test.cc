@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+
+namespace lightor::core {
+namespace {
+
+std::vector<Message> MakeMessages(
+    const std::vector<std::pair<double, std::string>>& items) {
+  std::vector<Message> out;
+  for (const auto& [t, text] : items) {
+    Message m;
+    m.timestamp = t;
+    m.user = "u";
+    m.text = text;
+    out.push_back(m);
+  }
+  return out;
+}
+
+SlidingWindow WholeWindow(const std::vector<Message>& messages, double lo,
+                          double hi) {
+  SlidingWindow w;
+  w.span = common::Interval(lo, hi);
+  w.first_message = 0;
+  w.last_message = messages.size();
+  return w;
+}
+
+TEST(FeatureSetTest, WidthsAndSelection) {
+  EXPECT_EQ(FeatureSetWidth(FeatureSet::kNum), 1u);
+  EXPECT_EQ(FeatureSetWidth(FeatureSet::kNumLen), 2u);
+  EXPECT_EQ(FeatureSetWidth(FeatureSet::kAll), 3u);
+  WindowFeatures f;
+  f.message_number = 1.0;
+  f.message_length = 2.0;
+  f.message_similarity = 3.0;
+  EXPECT_EQ(SelectFeatures(f, FeatureSet::kNum),
+            (std::vector<double>{1.0}));
+  EXPECT_EQ(SelectFeatures(f, FeatureSet::kNumLen),
+            (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(SelectFeatures(f, FeatureSet::kAll),
+            (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(FeaturizerTest, MessageNumberCountsWindowMessages) {
+  const auto messages = MakeMessages({{1, "a"}, {2, "b"}, {3, "c"}});
+  WindowFeaturizer featurizer;
+  const auto f = featurizer.Compute(messages, WholeWindow(messages, 0, 10));
+  EXPECT_DOUBLE_EQ(f.message_number, 3.0);
+}
+
+TEST(FeaturizerTest, MessageLengthIsMeanWordCount) {
+  const auto messages =
+      MakeMessages({{1, "one"}, {2, "two words"}, {3, "three word msg"}});
+  WindowFeaturizer featurizer;
+  const auto f = featurizer.Compute(messages, WholeWindow(messages, 0, 10));
+  EXPECT_DOUBLE_EQ(f.message_length, 2.0);
+}
+
+TEST(FeaturizerTest, SimilarityHighForRepeatedMessages) {
+  const auto same =
+      MakeMessages({{1, "gg wp"}, {2, "gg wp"}, {3, "gg wp"}});
+  const auto diverse = MakeMessages(
+      {{1, "what song"}, {2, "laggy stream today"}, {3, "first time here"}});
+  WindowFeaturizer featurizer;
+  const auto f_same = featurizer.Compute(same, WholeWindow(same, 0, 10));
+  const auto f_diverse =
+      featurizer.Compute(diverse, WholeWindow(diverse, 0, 10));
+  EXPECT_GT(f_same.message_similarity, f_diverse.message_similarity);
+  EXPECT_NEAR(f_same.message_similarity, 1.0, 1e-9);
+}
+
+TEST(FeaturizerTest, EmptyWindowIsZeros) {
+  const std::vector<Message> none;
+  WindowFeaturizer featurizer;
+  SlidingWindow w;
+  w.span = common::Interval(0, 10);
+  const auto f = featurizer.Compute(none, w);
+  EXPECT_DOUBLE_EQ(f.message_number, 0.0);
+  EXPECT_DOUBLE_EQ(f.message_length, 0.0);
+  EXPECT_DOUBLE_EQ(f.message_similarity, 0.0);
+}
+
+TEST(FeaturizerTest, ComputeAllMatchesCompute) {
+  const auto messages = MakeMessages({{1, "a b"}, {2, "c"}});
+  WindowFeaturizer featurizer;
+  SlidingWindow w0;
+  w0.span = common::Interval(0, 1.5);
+  w0.first_message = 0;
+  w0.last_message = 1;
+  SlidingWindow w1;
+  w1.span = common::Interval(1.5, 3);
+  w1.first_message = 1;
+  w1.last_message = 2;
+  const auto all = featurizer.ComputeAll(messages, {w0, w1});
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0].message_length, 2.0);
+  EXPECT_DOUBLE_EQ(all[1].message_length, 1.0);
+}
+
+TEST(NormalizeFeaturesTest, UnitRangePerColumn) {
+  std::vector<WindowFeatures> raw(3);
+  raw[0] = {10.0, 1.0, 0.2};
+  raw[1] = {20.0, 3.0, 0.4};
+  raw[2] = {30.0, 5.0, 0.6};
+  const auto rows = NormalizeFeatures(raw, FeatureSet::kAll);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(rows[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(rows[2][0], 1.0);
+  EXPECT_DOUBLE_EQ(rows[1][1], 0.5);
+  EXPECT_NEAR(rows[1][2], 0.5, 1e-12);
+}
+
+TEST(NormalizeFeaturesTest, FeatureSetProjection) {
+  std::vector<WindowFeatures> raw(2);
+  raw[0] = {0.0, 0.0, 0.0};
+  raw[1] = {4.0, 2.0, 1.0};
+  const auto rows = NormalizeFeatures(raw, FeatureSet::kNumLen);
+  ASSERT_EQ(rows[0].size(), 2u);
+}
+
+TEST(NormalizeFeaturesTest, EmptyInput) {
+  EXPECT_TRUE(NormalizeFeatures({}, FeatureSet::kAll).empty());
+}
+
+}  // namespace
+}  // namespace lightor::core

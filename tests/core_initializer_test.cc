@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "core/initializer.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+
+namespace lightor::core {
+namespace {
+
+TEST(GoodRedDotTest, DefinitionFromSectionIVA) {
+  const common::Interval h(1990.0, 2005.0);
+  EXPECT_TRUE(IsGoodRedDot(2000.0, h));   // inside
+  EXPECT_TRUE(IsGoodRedDot(1990.0, h));   // at start
+  EXPECT_TRUE(IsGoodRedDot(2005.0, h));   // at end
+  EXPECT_TRUE(IsGoodRedDot(1980.0, h));   // exactly 10 s early
+  EXPECT_FALSE(IsGoodRedDot(1979.9, h));  // too early
+  EXPECT_FALSE(IsGoodRedDot(2005.1, h));  // after the end
+  EXPECT_FALSE(IsGoodRedDot(2100.0, h));  // the paper's bad example
+}
+
+TEST(GoodRedDotTest, AnyOverMultipleHighlights) {
+  const std::vector<common::Interval> hs = {{100, 120}, {500, 520}};
+  EXPECT_TRUE(IsGoodRedDotForAny(110.0, hs));
+  EXPECT_TRUE(IsGoodRedDotForAny(495.0, hs));
+  EXPECT_FALSE(IsGoodRedDotForAny(300.0, hs));
+}
+
+TrainingVideo ToTraining(const sim::LabeledVideo& video) {
+  TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(video.chat);
+  tv.video_length = video.truth.meta.length;
+  for (const auto& h : video.truth.highlights) tv.highlights.push_back(h.span);
+  return tv;
+}
+
+class TrainedInitializerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new sim::Corpus(sim::MakeCorpus(sim::GameType::kDota2, 6, 31));
+    initializer_ = new HighlightInitializer();
+    ASSERT_TRUE(initializer_->Train({ToTraining((*corpus_)[0])}).ok());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete initializer_;
+    corpus_ = nullptr;
+    initializer_ = nullptr;
+  }
+  static sim::Corpus* corpus_;
+  static HighlightInitializer* initializer_;
+};
+
+sim::Corpus* TrainedInitializerTest::corpus_ = nullptr;
+HighlightInitializer* TrainedInitializerTest::initializer_ = nullptr;
+
+TEST_F(TrainedInitializerTest, TrainsFromOneVideo) {
+  EXPECT_TRUE(initializer_->trained());
+  // Fig. 7(b): the learned constant is a stable viewer "reaction time"
+  // (paper: 23–27 s); allow the simulator's wider single-video band.
+  EXPECT_GE(initializer_->adjustment_c(), 10.0);
+  EXPECT_LE(initializer_->adjustment_c(), 35.0);
+}
+
+TEST_F(TrainedInitializerTest, ModelWeightsFollowFig2Observations) {
+  // More messages => more likely a highlight: positive weight.
+  // Longer messages => less likely: negative weight.
+  const auto& w = initializer_->model().weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_GT(w[0], 0.0);
+  EXPECT_LT(w[1], 0.0);
+}
+
+TEST_F(TrainedInitializerTest, ScoreWindowsAssignsProbabilities) {
+  const auto& video = (*corpus_)[1];
+  const auto windows = initializer_->ScoreWindows(
+      sim::ToCoreMessages(video.chat), video.truth.meta.length);
+  ASSERT_FALSE(windows.empty());
+  for (const auto& w : windows) {
+    EXPECT_GE(w.probability, 0.0);
+    EXPECT_LE(w.probability, 1.0);
+  }
+}
+
+TEST_F(TrainedInitializerTest, DetectFindsGoodDotsOnUnseenVideos) {
+  double total = 0.0;
+  int n = 0;
+  for (size_t vi = 1; vi < corpus_->size(); ++vi) {
+    const auto& video = (*corpus_)[vi];
+    std::vector<common::Interval> truth;
+    for (const auto& h : video.truth.highlights) truth.push_back(h.span);
+    const auto dots = initializer_->Detect(
+        sim::ToCoreMessages(video.chat), video.truth.meta.length, 5);
+    EXPECT_LE(dots.size(), 5u);
+    total += VideoPrecisionStart(DotPositions(dots), truth);
+    ++n;
+  }
+  // The paper's headline: 70–90% precision. Demand well above chance.
+  EXPECT_GT(total / n, 0.6);
+}
+
+TEST_F(TrainedInitializerTest, TopKRespectsMinSeparation) {
+  const auto& video = (*corpus_)[1];
+  const auto dots = initializer_->Detect(
+      sim::ToCoreMessages(video.chat), video.truth.meta.length, 10);
+  for (size_t i = 0; i < dots.size(); ++i) {
+    for (size_t j = i + 1; j < dots.size(); ++j) {
+      EXPECT_GT(std::abs(dots[i].window.start - dots[j].window.start),
+                initializer_->options().min_separation);
+    }
+  }
+}
+
+TEST_F(TrainedInitializerTest, DotsOrderedByScoreAndAdjusted) {
+  const auto& video = (*corpus_)[2];
+  const auto dots = initializer_->Detect(
+      sim::ToCoreMessages(video.chat), video.truth.meta.length, 5);
+  ASSERT_GE(dots.size(), 2u);
+  for (size_t i = 1; i < dots.size(); ++i) {
+    EXPECT_GE(dots[i - 1].score, dots[i].score);
+  }
+  for (const auto& dot : dots) {
+    EXPECT_NEAR(dot.position, dot.peak - initializer_->adjustment_c(), 1e-9);
+    EXPECT_GE(dot.position, 0.0);
+  }
+}
+
+TEST_F(TrainedInitializerTest, LabelWindowsOverlapRule) {
+  std::vector<SlidingWindow> windows(3);
+  // Window 0 overlaps the discussion period and has messages: positive.
+  windows[0].span = common::Interval(100.0, 125.0);
+  windows[0].first_message = 0;
+  windows[0].last_message = 10;
+  // Window 1 overlaps but is (nearly) message-free: negative.
+  windows[1].span = common::Interval(125.0, 150.0);
+  windows[1].first_message = 10;
+  windows[1].last_message = 11;
+  // Window 2 is far away: negative.
+  windows[2].span = common::Interval(300.0, 325.0);
+  windows[2].first_message = 11;
+  windows[2].last_message = 40;
+  const std::vector<common::Interval> highlights = {{90.0, 110.0}};
+  const auto labels = initializer_->LabelWindows(windows, highlights);
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(labels[1], 0);
+  EXPECT_EQ(labels[2], 0);
+}
+
+TEST(InitializerErrorsTest, RejectsEmptyAndUnsortedTraining) {
+  HighlightInitializer init;
+  EXPECT_TRUE(init.Train({}).IsInvalidArgument());
+
+  TrainingVideo unsorted;
+  Message m1;
+  m1.timestamp = 5.0;
+  Message m2;
+  m2.timestamp = 1.0;
+  unsorted.messages = {m1, m2};
+  unsorted.video_length = 100.0;
+  unsorted.highlights = {{10.0, 20.0}};
+  EXPECT_TRUE(init.Train({unsorted}).IsInvalidArgument());
+}
+
+TEST(InitializerErrorsTest, RejectsAllNegativeTraining) {
+  // A video whose highlights lie outside every window produces no
+  // positive labels.
+  TrainingVideo tv;
+  for (int i = 0; i < 50; ++i) {
+    Message m;
+    m.timestamp = static_cast<double>(i);
+    m.text = "hello there friend";
+    tv.messages.push_back(m);
+  }
+  tv.video_length = 50.0;
+  tv.highlights = {};  // no highlights at all
+  HighlightInitializer init;
+  EXPECT_TRUE(init.Train({tv}).IsInvalidArgument());
+}
+
+TEST(InitializerOptionsTest, FeatureSetNumOnlyStillTrains) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 2, 41);
+  InitializerOptions opts;
+  opts.feature_set = FeatureSet::kNum;
+  HighlightInitializer init(opts);
+  ASSERT_TRUE(init.Train({ToTraining(corpus[0])}).ok());
+  const auto dots = init.Detect(sim::ToCoreMessages(corpus[1].chat),
+                                corpus[1].truth.meta.length, 3);
+  EXPECT_FALSE(dots.empty());
+}
+
+TEST(InitializerOptionsTest, SetAdjustmentOverrides) {
+  HighlightInitializer init;
+  init.SetAdjustment(42.0);
+  EXPECT_DOUBLE_EQ(init.adjustment_c(), 42.0);
+}
+
+}  // namespace
+}  // namespace lightor::core

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evaluation.h"
+#include "core/lightor.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+
+namespace lightor::core {
+namespace {
+
+TrainingVideo ToTraining(const sim::LabeledVideo& video) {
+  TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(video.chat);
+  tv.video_length = video.truth.meta.length;
+  for (const auto& h : video.truth.highlights) tv.highlights.push_back(h.span);
+  return tv;
+}
+
+TEST(LightorTest, InitializeRequiresTraining) {
+  Lightor lightor;
+  const auto result = lightor.Initialize({}, 100.0, 5);
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(LightorTest, InitializeValidatesInput) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 51);
+  Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({ToTraining(corpus[0])}).ok());
+
+  // Unsorted messages.
+  std::vector<Message> unsorted(2);
+  unsorted[0].timestamp = 10.0;
+  unsorted[1].timestamp = 5.0;
+  EXPECT_TRUE(
+      lightor.Initialize(unsorted, 100.0, 5).status().IsInvalidArgument());
+
+  // Bad video length.
+  EXPECT_TRUE(lightor.Initialize({}, 0.0, 5).status().IsInvalidArgument());
+}
+
+TEST(LightorTest, EndToEndProcessExtractsHighlights) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 3, 52);
+  Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({ToTraining(corpus[0])}).ok());
+
+  const auto& test_video = corpus[1];
+  common::Rng rng(9);
+  auto factory = [&](const RedDot&) -> std::unique_ptr<PlayProvider> {
+    return std::make_unique<sim::SimulatedCrowdProvider>(
+        test_video.truth, sim::ViewerSimulator(), 10, rng.Fork());
+  };
+  const auto result = lightor.Process(
+      sim::ToCoreMessages(test_video.chat), test_video.truth.meta.length,
+      factory);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().empty());
+  EXPECT_LE(result.value().size(), lightor.options().top_k);
+
+  std::vector<common::Interval> truth;
+  for (const auto& h : test_video.truth.highlights) truth.push_back(h.span);
+  std::vector<common::Seconds> starts, ends;
+  for (const auto& item : result.value()) {
+    starts.push_back(item.refined.boundary.start);
+    ends.push_back(item.refined.boundary.end);
+    EXPECT_GE(item.refined.iterations, 1);
+  }
+  EXPECT_GT(VideoPrecisionStart(starts, truth), 0.5);
+  EXPECT_GT(VideoPrecisionEnd(ends, truth), 0.5);
+}
+
+TEST(LightorTest, ProcessRejectsNullProvider) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 53);
+  Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({ToTraining(corpus[0])}).ok());
+  const auto result = lightor.Process(
+      sim::ToCoreMessages(corpus[0].chat), corpus[0].truth.meta.length,
+      [](const RedDot&) { return std::unique_ptr<PlayProvider>(); });
+  EXPECT_TRUE(result.status().IsInternal());
+}
+
+TEST(LightorTest, SetTypeClassifierInstallsModel) {
+  Lightor lightor;
+  TypeClassifier classifier;
+  ml::Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    data.Add({1.0, 0.0, 0.0}, 0);
+    data.Add({0.0, 1.0, 0.0}, 1);
+  }
+  ASSERT_TRUE(classifier.Train(data).ok());
+  lightor.SetTypeClassifier(classifier);
+  EXPECT_TRUE(lightor.extractor().classifier().trained());
+}
+
+TEST(LightorTest, OptionsArePropagated) {
+  LightorOptions opts;
+  opts.top_k = 7;
+  opts.initializer.min_separation = 90.0;
+  opts.extractor.delta = 45.0;
+  Lightor lightor(opts);
+  EXPECT_EQ(lightor.options().top_k, 7u);
+  EXPECT_DOUBLE_EQ(lightor.initializer().options().min_separation, 90.0);
+  EXPECT_DOUBLE_EQ(lightor.extractor().options().delta, 45.0);
+}
+
+}  // namespace
+}  // namespace lightor::core

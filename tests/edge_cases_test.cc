@@ -1,0 +1,145 @@
+/// Cross-module edge cases that the per-module suites don't reach.
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/evaluation.h"
+#include "core/extractor.h"
+#include "core/initializer.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/viewer_simulator.h"
+
+namespace lightor {
+namespace {
+
+TEST(TypeClassifierEdgeTest, NoPlaysIsCoinFlipProbability) {
+  core::TypeClassifier classifier;
+  core::PlayFeatures empty;
+  EXPECT_DOUBLE_EQ(classifier.TypeIProbability(empty), 0.5);
+}
+
+TEST(ExtractorEdgeTest, AllPlaysFilteredYieldsTypeIStep) {
+  core::HighlightExtractor extractor;
+  // Every play is a sub-second probe: all filtered.
+  std::vector<core::Play> plays;
+  for (int i = 0; i < 10; ++i) {
+    plays.emplace_back("u", 1000.0 + i, 1000.5 + i);
+  }
+  const auto step = extractor.RefineOnce(plays, 1000.0);
+  EXPECT_FALSE(step.enough_plays);
+  EXPECT_EQ(step.type, core::DotType::kTypeI);
+}
+
+TEST(ExtractorEdgeTest, DotAtVideoStartNeverGoesNegative) {
+  core::HighlightExtractor extractor;
+  const auto step = extractor.RefineOnce({}, 0.0);
+  EXPECT_DOUBLE_EQ(step.new_dot, 0.0);
+}
+
+TEST(InitializerEdgeTest, DetectWithZeroKReturnsEmpty) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 171);
+  core::HighlightInitializer init;
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  ASSERT_TRUE(init.Train({tv}).ok());
+  EXPECT_TRUE(init.Detect(tv.messages, tv.video_length, 0).empty());
+}
+
+TEST(InitializerEdgeTest, DetectWithHugeKReturnsAllSeparatedWindows) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 172);
+  core::HighlightInitializer init;
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  ASSERT_TRUE(init.Train({tv}).ok());
+  const auto dots = init.Detect(tv.messages, tv.video_length, 100000);
+  // Bounded by the δ-separation packing of the timeline.
+  EXPECT_LE(static_cast<double>(dots.size()),
+            tv.video_length / init.options().min_separation + 1.0);
+  EXPECT_GT(dots.size(), 3u);
+}
+
+TEST(InitializerEdgeTest, ConcurrentDetectIsSafe) {
+  // Detection is const and pure; many threads may serve queries against
+  // one trained model (the web-service deployment pattern).
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 3, 173);
+  core::HighlightInitializer init;
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  ASSERT_TRUE(init.Train({tv}).ok());
+
+  const auto messages = sim::ToCoreMessages(corpus[1].chat);
+  const double length = corpus[1].truth.meta.length;
+  const auto reference = init.Detect(messages, length, 5);
+
+  std::vector<std::vector<core::RedDot>> results(16);
+  common::ParallelFor(16, [&](size_t i) {
+    results[i] = init.Detect(messages, length, 5);
+  });
+  for (const auto& dots : results) {
+    ASSERT_EQ(dots.size(), reference.size());
+    for (size_t d = 0; d < dots.size(); ++d) {
+      EXPECT_DOUBLE_EQ(dots[d].position, reference[d].position);
+    }
+  }
+}
+
+TEST(EvaluationEdgeTest, OverlappingHighlightsCountOnce) {
+  // A position inside two overlapping spans is still one correct hit.
+  const std::vector<common::Interval> hs = {{100.0, 130.0}, {120.0, 150.0}};
+  EXPECT_DOUBLE_EQ(core::VideoPrecisionStart({125.0}, hs), 1.0);
+}
+
+TEST(EvaluationEdgeTest, EmptyTruthMeansZeroPrecision) {
+  EXPECT_DOUBLE_EQ(core::VideoPrecisionStart({10.0}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(core::VideoPrecisionEnd({10.0}, {}), 0.0);
+}
+
+TEST(ViewerEdgeTest, DotBeyondVideoEndStillSafe) {
+  sim::GroundTruthVideo video;
+  video.meta.id = "v";
+  video.meta.length = 100.0;
+  video.highlights.push_back({common::Interval(40.0, 60.0), 0.8});
+  sim::ViewerSimulator sim;
+  common::Rng rng(5);
+  // A (buggy upstream) dot placed past the end: plays must stay in range.
+  const auto plays = sim.CollectPlays(video, 150.0, 50, rng);
+  for (const auto& play : plays) {
+    EXPECT_GE(play.span.start, 0.0);
+    EXPECT_LE(play.span.end, video.meta.length);
+  }
+}
+
+TEST(ViewerEdgeTest, VideoWithNoHighlightsOnlyProbes) {
+  sim::GroundTruthVideo video;
+  video.meta.id = "v";
+  video.meta.length = 1000.0;
+  sim::ViewerSimulator sim;
+  common::Rng rng(6);
+  const auto plays = sim.CollectPlays(video, 500.0, 100, rng);
+  int engaged = 0;
+  for (const auto& play : plays) {
+    if (play.span.Length() > 20.0 && play.span.Length() < 120.0) ++engaged;
+  }
+  EXPECT_LT(engaged, 10);  // nothing to engage with
+}
+
+TEST(BridgeEdgeTest, EmptyChatConverts) {
+  EXPECT_TRUE(sim::ToCoreMessages({}).empty());
+  EXPECT_TRUE(sim::ToCorePlays({}).empty());
+}
+
+}  // namespace
+}  // namespace lightor

@@ -1,0 +1,161 @@
+/// Cross-module integration and property tests: the full LIGHTOR workflow
+/// against the simulated platform, swept over seeds and games.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evaluation.h"
+#include "core/lightor.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+
+namespace lightor {
+namespace {
+
+core::TrainingVideo ToTraining(const sim::LabeledVideo& video) {
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(video.chat);
+  tv.video_length = video.truth.meta.length;
+  for (const auto& h : video.truth.highlights) tv.highlights.push_back(h.span);
+  return tv;
+}
+
+std::vector<common::Interval> Truth(const sim::LabeledVideo& video) {
+  std::vector<common::Interval> out;
+  for (const auto& h : video.truth.highlights) out.push_back(h.span);
+  return out;
+}
+
+struct EndToEndParam {
+  sim::GameType game;
+  uint64_t seed;
+};
+
+class EndToEndTest : public ::testing::TestWithParam<EndToEndParam> {};
+
+// Property: across games and seeds, training on a single video yields an
+// initializer whose top-5 dots are mostly good on unseen videos, and the
+// extractor's crowd refinement does not degrade them.
+TEST_P(EndToEndTest, OneVideoTrainingGeneralizes) {
+  const auto param = GetParam();
+  const auto corpus = sim::MakeCorpus(param.game, 4, param.seed);
+  core::Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({ToTraining(corpus[0])}).ok());
+
+  common::Rng rng(param.seed ^ 0xF00D);
+  double init_precision = 0.0;
+  double refined_precision = 0.0;
+  int n = 0;
+  for (size_t vi = 1; vi < corpus.size(); ++vi) {
+    const auto& video = corpus[vi];
+    const auto truth = Truth(video);
+    auto result = lightor.Process(
+        sim::ToCoreMessages(video.chat), video.truth.meta.length,
+        [&](const core::RedDot&) -> std::unique_ptr<core::PlayProvider> {
+          return std::make_unique<sim::SimulatedCrowdProvider>(
+              video.truth, sim::ViewerSimulator(), 10, rng.Fork());
+        });
+    ASSERT_TRUE(result.ok());
+    std::vector<common::Seconds> dot_positions, starts;
+    for (const auto& item : result.value()) {
+      dot_positions.push_back(item.dot.position);
+      starts.push_back(item.refined.boundary.start);
+    }
+    init_precision += core::VideoPrecisionStart(dot_positions, truth);
+    refined_precision += core::VideoPrecisionStart(starts, truth);
+    ++n;
+  }
+  EXPECT_GT(init_precision / n, 0.55) << "initializer below paper band";
+  EXPECT_GT(refined_precision / n, 0.55) << "extractor degraded the dots";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GamesAndSeeds, EndToEndTest,
+    ::testing::Values(EndToEndParam{sim::GameType::kDota2, 101},
+                      EndToEndParam{sim::GameType::kDota2, 202},
+                      EndToEndParam{sim::GameType::kLol, 303},
+                      EndToEndParam{sim::GameType::kLol, 404}));
+
+// Cross-game transfer (Fig. 11a): a LoL-trained model must stay accurate
+// on Dota2 because the features are general.
+TEST(CrossGameTest, LolModelWorksOnDota) {
+  const auto lol = sim::MakeCorpus(sim::GameType::kLol, 1, 555);
+  const auto dota = sim::MakeCorpus(sim::GameType::kDota2, 3, 556);
+  core::Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({ToTraining(lol[0])}).ok());
+  double precision = 0.0;
+  for (const auto& video : dota) {
+    const auto dots = lightor.Initialize(sim::ToCoreMessages(video.chat),
+                                         video.truth.meta.length, 5);
+    ASSERT_TRUE(dots.ok());
+    precision +=
+        core::VideoPrecisionStart(core::DotPositions(dots.value()),
+                                  Truth(video));
+  }
+  EXPECT_GT(precision / static_cast<double>(dota.size()), 0.5);
+}
+
+// Property: the extractor's boundary starts never precede the red dot by
+// more than delta + one Type-I walk budget, and always lie inside the
+// video.
+TEST(ExtractorPropertyTest, BoundariesStayLocal) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 2, 777);
+  core::Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({ToTraining(corpus[0])}).ok());
+  const auto& video = corpus[1];
+  common::Rng rng(778);
+  auto result = lightor.Process(
+      sim::ToCoreMessages(video.chat), video.truth.meta.length,
+      [&](const core::RedDot&) -> std::unique_ptr<core::PlayProvider> {
+        return std::make_unique<sim::SimulatedCrowdProvider>(
+            video.truth, sim::ViewerSimulator(), 10, rng.Fork());
+      });
+  ASSERT_TRUE(result.ok());
+  const auto& opts = lightor.options().extractor;
+  const double walk_budget =
+      opts.delta + opts.type1_move * opts.max_iterations;
+  for (const auto& item : result.value()) {
+    EXPECT_GE(item.refined.boundary.start, 0.0);
+    EXPECT_LE(item.refined.boundary.end, video.truth.meta.length + 60.0);
+    EXPECT_GT(item.refined.boundary.start,
+              item.dot.position - walk_budget - 1.0);
+    EXPECT_LT(item.refined.boundary.start, item.dot.position + opts.delta);
+  }
+}
+
+// More crowd data should not hurt: precision with 20 viewers/iteration is
+// at least roughly that with 4 viewers/iteration.
+TEST(CrowdSizeTest, MoreViewersDoNotHurt) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 3, 888);
+  core::Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({ToTraining(corpus[0])}).ok());
+
+  auto run = [&](int viewers, uint64_t seed) {
+    common::Rng rng(seed);
+    double total = 0.0;
+    int n = 0;
+    for (size_t vi = 1; vi < corpus.size(); ++vi) {
+      const auto& video = corpus[vi];
+      auto result = lightor.Process(
+          sim::ToCoreMessages(video.chat), video.truth.meta.length,
+          [&](const core::RedDot&) -> std::unique_ptr<core::PlayProvider> {
+            return std::make_unique<sim::SimulatedCrowdProvider>(
+                video.truth, sim::ViewerSimulator(), viewers, rng.Fork());
+          });
+      std::vector<common::Seconds> starts;
+      for (const auto& item : result.value()) {
+        starts.push_back(item.refined.boundary.start);
+      }
+      total += core::VideoPrecisionStart(starts, Truth(video));
+      ++n;
+    }
+    return total / n;
+  };
+  const double small_crowd = run(4, 1);
+  const double big_crowd = run(20, 2);
+  EXPECT_GE(big_crowd + 0.21, small_crowd);  // allow one-dot noise
+}
+
+}  // namespace
+}  // namespace lightor

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "ml/gru.h"
+
+namespace lightor::ml {
+namespace {
+
+LstmOptions TinyOptions() {
+  LstmOptions opts;
+  opts.hidden_size = 4;
+  opts.num_layers = 2;
+  opts.max_sequence_length = 16;
+  opts.epochs = 30;
+  opts.learning_rate = 0.02;
+  opts.seed = 7;
+  return opts;
+}
+
+TEST(CharGruTest, UntrainedOutputsValidProbability) {
+  CharGruClassifier model(TinyOptions());
+  const double p = model.PredictProbability("hello world");
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(CharGruTest, DeterministicGivenSeed) {
+  CharGruClassifier a(TinyOptions());
+  CharGruClassifier b(TinyOptions());
+  EXPECT_DOUBLE_EQ(a.PredictProbability("xyz"), b.PredictProbability("xyz"));
+}
+
+TEST(CharGruTest, RejectsBadInput) {
+  CharGruClassifier model(TinyOptions());
+  EXPECT_TRUE(model.Train({}, {}).IsInvalidArgument());
+  EXPECT_TRUE(model.Train({"a"}, {1, 0}).IsInvalidArgument());
+  EXPECT_TRUE(model.Train({"a"}, {7}).IsInvalidArgument());
+}
+
+TEST(CharGruTest, GradientMatchesNumericDifference) {
+  LstmOptions opts = TinyOptions();
+  opts.hidden_size = 3;
+  opts.num_layers = 2;
+  CharGruClassifier model(opts);
+  const std::string text = "ab!cd";
+  const int label = 1;
+
+  const std::vector<double> analytic = model.Gradients(text, label);
+  auto& params = model.mutable_parameters();
+  ASSERT_EQ(analytic.size(), params.size());
+
+  const double eps = 1e-6;
+  for (size_t idx = 0; idx < params.size();
+       idx += std::max<size_t>(1, params.size() / 60)) {
+    const double saved = params[idx];
+    params[idx] = saved + eps;
+    const double up = model.Loss(text, label);
+    params[idx] = saved - eps;
+    const double down = model.Loss(text, label);
+    params[idx] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[idx], numeric,
+                1e-4 * std::max(1.0, std::abs(numeric)))
+        << "param index " << idx;
+  }
+}
+
+TEST(CharGruTest, TrainingReducesLossAndLearnsPattern) {
+  CharGruClassifier model(TinyOptions());
+  std::vector<std::string> texts;
+  std::vector<int> labels;
+  for (int i = 0; i < 8; ++i) {
+    texts.push_back(std::string(4 + i % 3, 'x'));
+    labels.push_back(1);
+    texts.push_back(std::string(4 + i % 3, 'o'));
+    labels.push_back(0);
+  }
+  ASSERT_TRUE(model.Train(texts, labels).ok());
+  ASSERT_GE(model.epoch_losses().size(), 2u);
+  EXPECT_LT(model.epoch_losses().back(), model.epoch_losses().front());
+  EXPECT_GT(model.PredictProbability("xxxxx"), 0.7);
+  EXPECT_LT(model.PredictProbability("ooooo"), 0.3);
+}
+
+TEST(CharGruTest, ParameterCountMatchesArchitecture) {
+  LstmOptions opts = TinyOptions();
+  CharGruClassifier model(opts);
+  const size_t h = opts.hidden_size;
+  const size_t in = CharVocab::kInputDim;
+  const size_t expected = (3 * h * in + 3 * h * h + 3 * h) +
+                          (3 * h * h + 3 * h * h + 3 * h) + h + 1;
+  EXPECT_EQ(model.num_parameters(), expected);
+}
+
+TEST(CharGruTest, FewerParametersThanLstm) {
+  // The classic GRU selling point: ~3/4 of the LSTM's parameters at the
+  // same hidden size.
+  LstmOptions opts = TinyOptions();
+  CharGruClassifier gru(opts);
+  CharLstmClassifier lstm(opts);
+  EXPECT_LT(gru.num_parameters(), lstm.num_parameters());
+}
+
+}  // namespace
+}  // namespace lightor::ml

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/linear_regression.h"
+
+namespace lightor::ml {
+namespace {
+
+TEST(SolveLinearSystemTest, Solves2x2) {
+  // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+  auto x = SolveLinearSystem({2, 1, 1, -1}, {5, 1}, 2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, NeedsPivoting) {
+  // First pivot is zero: 0x + y = 1; x + 0y = 2.
+  auto x = SolveLinearSystem({0, 1, 1, 0}, {1, 2}, 2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, SingularFails) {
+  auto x = SolveLinearSystem({1, 2, 2, 4}, {1, 2}, 2);
+  EXPECT_FALSE(x.ok());
+  EXPECT_TRUE(x.status().IsFailedPrecondition());
+}
+
+TEST(SolveLinearSystemTest, DimensionMismatch) {
+  auto x = SolveLinearSystem({1, 2, 3}, {1, 2}, 2);
+  EXPECT_TRUE(x.status().IsInvalidArgument());
+}
+
+TEST(LinearRegressionTest, RecoversExactLinearModel) {
+  // y = 3 x0 - 2 x1 + 5.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  common::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.Uniform(-2, 2);
+    const double x1 = rng.Uniform(-2, 2);
+    rows.push_back({x0, x1});
+    targets.push_back(3.0 * x0 - 2.0 * x1 + 5.0);
+  }
+  LinearRegression lr;
+  ASSERT_TRUE(lr.Fit(rows, targets).ok());
+  EXPECT_NEAR(lr.weights()[0], 3.0, 1e-6);
+  EXPECT_NEAR(lr.weights()[1], -2.0, 1e-6);
+  EXPECT_NEAR(lr.intercept(), 5.0, 1e-6);
+  EXPECT_NEAR(lr.Predict({1.0, 1.0}), 6.0, 1e-6);
+}
+
+TEST(LinearRegressionTest, NoisyFitIsClose) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  common::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0, 10);
+    rows.push_back({x});
+    targets.push_back(2.0 * x + 1.0 + rng.Normal(0.0, 0.5));
+  }
+  LinearRegression lr;
+  ASSERT_TRUE(lr.Fit(rows, targets).ok());
+  EXPECT_NEAR(lr.weights()[0], 2.0, 0.05);
+  EXPECT_NEAR(lr.intercept(), 1.0, 0.2);
+}
+
+TEST(LinearRegressionTest, RidgeShrinksWeights) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  common::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.Uniform(-1, 1);
+    rows.push_back({x});
+    targets.push_back(4.0 * x);
+  }
+  LinearRegressionOptions strong;
+  strong.l2_lambda = 100.0;
+  LinearRegression lr_strong(strong), lr_weak;
+  ASSERT_TRUE(lr_strong.Fit(rows, targets).ok());
+  ASSERT_TRUE(lr_weak.Fit(rows, targets).ok());
+  EXPECT_LT(std::abs(lr_strong.weights()[0]),
+            std::abs(lr_weak.weights()[0]));
+}
+
+TEST(LinearRegressionTest, RejectsBadInput) {
+  LinearRegression lr;
+  EXPECT_TRUE(lr.Fit({}, {}).IsInvalidArgument());
+  EXPECT_TRUE(lr.Fit({{1.0}}, {1.0, 2.0}).IsInvalidArgument());
+  EXPECT_TRUE(lr.Fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}).IsInvalidArgument());
+}
+
+TEST(LinearRegressionTest, ConstantTargetGivesInterceptOnly) {
+  LinearRegression lr;
+  ASSERT_TRUE(lr.Fit({{1.0}, {2.0}, {3.0}}, {7.0, 7.0, 7.0}).ok());
+  EXPECT_NEAR(lr.Predict({10.0}), 7.0, 1e-6);
+}
+
+TEST(LinearRegressionTest, SetParameters) {
+  LinearRegression lr;
+  lr.SetParameters({1.5}, -0.5);
+  EXPECT_TRUE(lr.fitted());
+  EXPECT_DOUBLE_EQ(lr.Predict({2.0}), 2.5);
+}
+
+}  // namespace
+}  // namespace lightor::ml

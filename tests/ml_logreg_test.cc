@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+
+namespace lightor::ml {
+namespace {
+
+TEST(SigmoidTest, KnownValuesAndStability) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(Sigmoid(-800.0), 0.0, 1e-12);  // no overflow
+  EXPECT_NEAR(Sigmoid(800.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(5.0) + Sigmoid(-5.0), 1.0, 1e-12);
+}
+
+Dataset LinearlySeparable(common::Rng& rng, int n_per_class) {
+  Dataset d;
+  for (int i = 0; i < n_per_class; ++i) {
+    d.Add({rng.Uniform(0.0, 0.4), rng.Uniform(0.0, 1.0)}, 0);
+    d.Add({rng.Uniform(0.6, 1.0), rng.Uniform(0.0, 1.0)}, 1);
+  }
+  return d;
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  common::Rng rng(1);
+  const Dataset d = LinearlySeparable(rng, 100);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(d).ok());
+  EXPECT_TRUE(lr.fitted());
+  int correct = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    correct += lr.Predict(d.features[i]) == d.labels[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / d.size(), 0.97);
+  // The separating feature gets a positive weight.
+  EXPECT_GT(lr.weights()[0], 0.0);
+  EXPECT_LT(std::abs(lr.weights()[1]), std::abs(lr.weights()[0]));
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreCalibratedDirectionally) {
+  common::Rng rng(2);
+  const Dataset d = LinearlySeparable(rng, 200);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(d).ok());
+  EXPECT_GT(lr.PredictProbability({0.9, 0.5}), 0.9);
+  EXPECT_LT(lr.PredictProbability({0.1, 0.5}), 0.1);
+}
+
+TEST(LogisticRegressionTest, RejectsBadInput) {
+  LogisticRegression lr;
+  EXPECT_TRUE(lr.Fit(Dataset{}).IsInvalidArgument());
+  Dataset ragged;
+  ragged.Add({1.0}, 0);
+  ragged.Add({1.0, 2.0}, 1);
+  EXPECT_TRUE(lr.Fit(ragged).IsInvalidArgument());
+  Dataset zerowidth;
+  zerowidth.Add({}, 0);
+  EXPECT_TRUE(lr.Fit(zerowidth).IsInvalidArgument());
+}
+
+TEST(LogisticRegressionTest, ClassImbalanceHandledWithBalancing) {
+  // 1:20 imbalance; balanced training should still recall positives.
+  common::Rng rng(3);
+  Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    d.Add({rng.Uniform(0.0, 0.45)}, 0);
+  }
+  for (int i = 0; i < 20; ++i) {
+    d.Add({rng.Uniform(0.55, 1.0)}, 1);
+  }
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(d).ok());
+  std::vector<double> probs;
+  for (const auto& row : d.features) {
+    probs.push_back(lr.PredictProbability(row));
+  }
+  const auto cm = Confusion(probs, d.labels, 0.5);
+  EXPECT_GT(cm.Recall(), 0.9);
+}
+
+TEST(LogisticRegressionTest, L2ShrinksWeights) {
+  common::Rng rng(4);
+  const Dataset d = LinearlySeparable(rng, 100);
+  LogisticRegressionOptions weak;
+  weak.l2_lambda = 1e-6;
+  LogisticRegressionOptions strong;
+  strong.l2_lambda = 10.0;
+  LogisticRegression lr_weak(weak), lr_strong(strong);
+  ASSERT_TRUE(lr_weak.Fit(d).ok());
+  ASSERT_TRUE(lr_strong.Fit(d).ok());
+  EXPECT_GT(std::abs(lr_weak.weights()[0]),
+            std::abs(lr_strong.weights()[0]));
+}
+
+TEST(LogisticRegressionTest, ConvergenceStopsEarly) {
+  Dataset d;
+  d.Add({0.0}, 0);
+  d.Add({1.0}, 1);
+  LogisticRegressionOptions opts;
+  opts.max_iterations = 100000;
+  opts.tolerance = 1e-4;
+  LogisticRegression lr(opts);
+  ASSERT_TRUE(lr.Fit(d).ok());
+  EXPECT_LT(lr.iterations_run(), 100000u);
+}
+
+TEST(LogisticRegressionTest, SetParametersBypassesTraining) {
+  LogisticRegression lr;
+  lr.SetParameters({2.0, -1.0}, 0.5);
+  EXPECT_TRUE(lr.fitted());
+  const double z = 2.0 * 1.0 - 1.0 * 2.0 + 0.5;
+  EXPECT_NEAR(lr.PredictProbability({1.0, 2.0}), Sigmoid(z), 1e-12);
+}
+
+TEST(LogisticRegressionTest, BatchPredictMatchesSingle) {
+  LogisticRegression lr;
+  lr.SetParameters({1.0}, 0.0);
+  const auto probs = lr.PredictProbabilities({{0.0}, {1.0}, {-1.0}});
+  ASSERT_EQ(probs.size(), 3u);
+  EXPECT_DOUBLE_EQ(probs[0], lr.PredictProbability({0.0}));
+  EXPECT_DOUBLE_EQ(probs[1], lr.PredictProbability({1.0}));
+}
+
+}  // namespace
+}  // namespace lightor::ml

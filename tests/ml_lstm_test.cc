@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "ml/lstm.h"
+
+namespace lightor::ml {
+namespace {
+
+LstmOptions TinyOptions() {
+  LstmOptions opts;
+  opts.hidden_size = 4;
+  opts.num_layers = 2;
+  opts.max_sequence_length = 16;
+  opts.epochs = 30;
+  opts.learning_rate = 0.02;
+  opts.seed = 7;
+  return opts;
+}
+
+TEST(CharVocabTest, EncodesPrintableAsciiDensely) {
+  EXPECT_EQ(CharVocab::Encode(' '), 0);
+  EXPECT_EQ(CharVocab::Encode('!'), 1);
+  EXPECT_EQ(CharVocab::Encode('~'), 94);
+  EXPECT_EQ(CharVocab::Encode('\n'), CharVocab::kInputDim - 1);
+  EXPECT_EQ(CharVocab::Encode(static_cast<char>(200)),
+            CharVocab::kInputDim - 1);
+}
+
+TEST(CharLstmTest, UntrainedOutputsValidProbability) {
+  CharLstmClassifier model(TinyOptions());
+  const double p = model.PredictProbability("hello");
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(CharLstmTest, DeterministicGivenSeed) {
+  CharLstmClassifier a(TinyOptions());
+  CharLstmClassifier b(TinyOptions());
+  EXPECT_DOUBLE_EQ(a.PredictProbability("xyz"), b.PredictProbability("xyz"));
+}
+
+TEST(CharLstmTest, RejectsBadTrainingInput) {
+  CharLstmClassifier model(TinyOptions());
+  EXPECT_TRUE(model.Train({}, {}).IsInvalidArgument());
+  EXPECT_TRUE(model.Train({"a"}, {1, 0}).IsInvalidArgument());
+  EXPECT_TRUE(model.Train({"a"}, {2}).IsInvalidArgument());
+}
+
+TEST(CharLstmTest, GradientMatchesNumericDifference) {
+  LstmOptions opts = TinyOptions();
+  opts.hidden_size = 3;
+  opts.num_layers = 2;
+  CharLstmClassifier model(opts);
+  const std::string text = "abc!x";
+  const int label = 1;
+
+  const std::vector<double> analytic = model.Gradients(text, label);
+  auto& params = model.mutable_parameters();
+  ASSERT_EQ(analytic.size(), params.size());
+
+  const double eps = 1e-6;
+  // Spot-check a spread of parameter indices (full check is O(P^2)).
+  for (size_t idx = 0; idx < params.size();
+       idx += std::max<size_t>(1, params.size() / 60)) {
+    const double saved = params[idx];
+    params[idx] = saved + eps;
+    const double up = model.Loss(text, label);
+    params[idx] = saved - eps;
+    const double down = model.Loss(text, label);
+    params[idx] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[idx], numeric,
+                1e-4 * std::max(1.0, std::abs(numeric)))
+        << "param index " << idx;
+  }
+}
+
+TEST(CharLstmTest, TrainingReducesLoss) {
+  CharLstmClassifier model(TinyOptions());
+  const std::vector<std::string> texts = {"aaaa", "bbbb", "aaab", "bbba",
+                                          "aaaa", "bbbb"};
+  const std::vector<int> labels = {1, 0, 1, 0, 1, 0};
+  ASSERT_TRUE(model.Train(texts, labels).ok());
+  ASSERT_GE(model.epoch_losses().size(), 2u);
+  EXPECT_LT(model.epoch_losses().back(), model.epoch_losses().front());
+}
+
+TEST(CharLstmTest, LearnsCharacterPattern) {
+  CharLstmClassifier model(TinyOptions());
+  std::vector<std::string> texts;
+  std::vector<int> labels;
+  // Positive: strings of 'x'; negative: strings of 'o'.
+  for (int i = 0; i < 8; ++i) {
+    texts.push_back(std::string(4 + i % 3, 'x'));
+    labels.push_back(1);
+    texts.push_back(std::string(4 + i % 3, 'o'));
+    labels.push_back(0);
+  }
+  ASSERT_TRUE(model.Train(texts, labels).ok());
+  EXPECT_GT(model.PredictProbability("xxxxx"), 0.7);
+  EXPECT_LT(model.PredictProbability("ooooo"), 0.3);
+}
+
+TEST(CharLstmTest, EmptyTextHandled) {
+  CharLstmClassifier model(TinyOptions());
+  const double p = model.PredictProbability("");
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(CharLstmTest, LongInputTruncatedSafely) {
+  CharLstmClassifier model(TinyOptions());
+  const std::string longtext(10000, 'z');
+  const double p = model.PredictProbability(longtext);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  // Truncation means the first max_sequence_length chars decide.
+  const std::string prefix(TinyOptions().max_sequence_length, 'z');
+  EXPECT_DOUBLE_EQ(p, model.PredictProbability(prefix));
+}
+
+TEST(CharLstmTest, ParameterCountMatchesArchitecture) {
+  LstmOptions opts = TinyOptions();
+  CharLstmClassifier model(opts);
+  const size_t h = opts.hidden_size;
+  const size_t in = CharVocab::kInputDim;
+  // Layer 0: Wx(4h x in) + Wh(4h x h) + b(4h); layer 1: Wx(4h x h) + ...
+  const size_t expected = (4 * h * in + 4 * h * h + 4 * h) +
+                          (4 * h * h + 4 * h * h + 4 * h) + h + 1;
+  EXPECT_EQ(model.num_parameters(), expected);
+}
+
+TEST(CharLstmTest, BatchPredictMatchesSingle) {
+  CharLstmClassifier model(TinyOptions());
+  const auto probs = model.PredictProbabilities({"ab", "cd"});
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_DOUBLE_EQ(probs[0], model.PredictProbability("ab"));
+  EXPECT_DOUBLE_EQ(probs[1], model.PredictProbability("cd"));
+}
+
+}  // namespace
+}  // namespace lightor::ml

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "ml/matrix.h"
+
+namespace lightor::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, Fill) {
+  Matrix m(2, 2);
+  m.Fill(3.0);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(m(r, c), 3.0);
+  }
+}
+
+TEST(MatrixTest, MatVecAccumulate) {
+  Matrix m(2, 3);
+  // m = [1 2 3; 4 5 6]
+  int v = 1;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  std::vector<double> x = {1.0, 0.0, -1.0};
+  std::vector<double> y = {10.0, 20.0};
+  m.MatVecAccumulate(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.0 + (1.0 - 3.0));
+  EXPECT_DOUBLE_EQ(y[1], 20.0 + (4.0 - 6.0));
+}
+
+TEST(MatrixTest, MatTVecAccumulate) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 3.0;
+  m(1, 1) = 4.0;
+  std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y(2, 0.0);
+  m.MatTVecAccumulate(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);  // 1+3
+  EXPECT_DOUBLE_EQ(y[1], 6.0);  // 2+4
+}
+
+TEST(MatrixTest, AddOuterProduct) {
+  Matrix m(2, 2);
+  m.AddOuterProduct({1.0, 2.0}, {3.0, 4.0}, 2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 16.0);
+}
+
+TEST(MatrixTest, AddScaledAndNorm) {
+  Matrix a(1, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 4.0;
+  Matrix b(1, 2, 1.0);
+  a.AddScaled(b, 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(b.SquaredNorm(), 2.0);
+}
+
+}  // namespace
+}  // namespace lightor::ml

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.h"
+
+namespace lightor::ml {
+namespace {
+
+TEST(ConfusionTest, CountsAtThreshold) {
+  const std::vector<double> p = {0.9, 0.8, 0.3, 0.2};
+  const std::vector<int> y = {1, 0, 1, 0};
+  const auto cm = Confusion(p, y, 0.5);
+  EXPECT_EQ(cm.true_positive, 1u);
+  EXPECT_EQ(cm.false_positive, 1u);
+  EXPECT_EQ(cm.false_negative, 1u);
+  EXPECT_EQ(cm.true_negative, 1u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.5);
+}
+
+TEST(ConfusionTest, DegenerateCases) {
+  ConfusionMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+}
+
+TEST(ConfusionTest, ThresholdBoundaryInclusive) {
+  const auto cm = Confusion({0.5}, {1}, 0.5);
+  EXPECT_EQ(cm.true_positive, 1u);
+}
+
+TEST(LogLossTest, PerfectAndWrongPredictions) {
+  EXPECT_NEAR(LogLoss({1.0, 0.0}, {1, 0}), 0.0, 1e-9);
+  EXPECT_GT(LogLoss({0.0, 1.0}, {1, 0}), 10.0);  // confidently wrong
+  EXPECT_NEAR(LogLoss({0.5}, {1}), std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(LogLoss({}, {}), 0.0);
+}
+
+TEST(PrecisionAtKTest, TopKSelection) {
+  const std::vector<double> scores = {0.9, 0.1, 0.8, 0.2};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  // top-2 by score: indices 0 (label 1) and 2 (label 0).
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, labels, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, labels, 1), 1.0);
+  // k=4 covers everything: 2/4.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, labels, 4), 0.5);
+}
+
+TEST(PrecisionAtKTest, KClampedAndEdge) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0.5}, {1}, 100), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, {}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0.5}, {1}, 0), 0.0);
+}
+
+TEST(PrecisionAtKTest, TieBrokenByIndex) {
+  const std::vector<double> scores = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, {1, 0}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, {0, 1}, 1), 0.0);
+}
+
+TEST(RocAucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, RandomIsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(RocAucTest, SingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+}  // namespace
+}  // namespace lightor::ml

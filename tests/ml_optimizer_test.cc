@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/optimizer.h"
+
+namespace lightor::ml {
+namespace {
+
+// Gradient of f(x) = sum (x_i - target_i)^2.
+std::vector<double> QuadraticGrad(const std::vector<double>& x,
+                                  const std::vector<double>& target) {
+  std::vector<double> g(x.size());
+  for (size_t i = 0; i < x.size(); ++i) g[i] = 2.0 * (x[i] - target[i]);
+  return g;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  std::vector<double> x = {5.0, -3.0};
+  const std::vector<double> target = {1.0, 2.0};
+  SgdOptimizer sgd(0.1);
+  for (int i = 0; i < 200; ++i) sgd.Step(x, QuadraticGrad(x, target));
+  EXPECT_NEAR(x[0], 1.0, 1e-6);
+  EXPECT_NEAR(x[1], 2.0, 1e-6);
+}
+
+TEST(SgdTest, MomentumAccelerates) {
+  std::vector<double> plain = {10.0};
+  std::vector<double> momentum = {10.0};
+  SgdOptimizer sgd_plain(0.01);
+  SgdOptimizer sgd_momentum(0.01, 0.9);
+  const std::vector<double> target = {0.0};
+  for (int i = 0; i < 50; ++i) {
+    sgd_plain.Step(plain, QuadraticGrad(plain, target));
+    sgd_momentum.Step(momentum, QuadraticGrad(momentum, target));
+  }
+  EXPECT_LT(std::abs(momentum[0]), std::abs(plain[0]));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  std::vector<double> x = {5.0, -3.0, 0.5};
+  const std::vector<double> target = {1.0, 2.0, -1.0};
+  AdamOptimizer adam(0.1);
+  for (int i = 0; i < 2000; ++i) adam.Step(x, QuadraticGrad(x, target));
+  EXPECT_NEAR(x[0], 1.0, 1e-3);
+  EXPECT_NEAR(x[1], 2.0, 1e-3);
+  EXPECT_NEAR(x[2], -1.0, 1e-3);
+}
+
+TEST(AdamTest, ResetClearsState) {
+  std::vector<double> x = {1.0};
+  AdamOptimizer adam(0.1);
+  adam.Step(x, {1.0});
+  const double after_first = x[0];
+  adam.Reset();
+  std::vector<double> y = {1.0};
+  adam.Step(y, {1.0});
+  EXPECT_DOUBLE_EQ(y[0], after_first);
+}
+
+TEST(AdamTest, FirstStepMagnitudeIsLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  std::vector<double> x = {0.0};
+  AdamOptimizer adam(0.05);
+  adam.Step(x, {123.0});
+  EXPECT_NEAR(x[0], -0.05, 1e-6);
+}
+
+TEST(ClipGradientNormTest, ScalesDownLargeGradients) {
+  std::vector<double> g = {3.0, 4.0};  // norm 5
+  const double norm = ClipGradientNorm(g, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(std::hypot(g[0], g[1]), 1.0, 1e-12);
+  EXPECT_NEAR(g[0] / g[1], 0.75, 1e-12);  // direction preserved
+}
+
+TEST(ClipGradientNormTest, LeavesSmallGradientsAlone) {
+  std::vector<double> g = {0.3, 0.4};
+  ClipGradientNorm(g, 1.0);
+  EXPECT_DOUBLE_EQ(g[0], 0.3);
+  EXPECT_DOUBLE_EQ(g[1], 0.4);
+}
+
+TEST(ClipGradientNormTest, ZeroGradientSafe) {
+  std::vector<double> g = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(ClipGradientNorm(g, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace lightor::ml

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/scaler.h"
+
+namespace lightor::ml {
+namespace {
+
+TEST(MinMaxScalerTest, ScalesToUnitRange) {
+  MinMaxScaler scaler;
+  std::vector<std::vector<double>> rows = {{0.0, 10.0}, {5.0, 20.0},
+                                           {10.0, 30.0}};
+  ASSERT_TRUE(scaler.Fit(rows).ok());
+  const auto t = scaler.Transform({5.0, 20.0});
+  EXPECT_DOUBLE_EQ(t[0], 0.5);
+  EXPECT_DOUBLE_EQ(t[1], 0.5);
+  EXPECT_DOUBLE_EQ(scaler.Transform({0.0, 10.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(scaler.Transform({10.0, 30.0})[1], 1.0);
+}
+
+TEST(MinMaxScalerTest, ClampsOutOfRange) {
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{0.0}, {10.0}}).ok());
+  EXPECT_DOUBLE_EQ(scaler.Transform({-100.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(scaler.Transform({100.0})[0], 1.0);
+}
+
+TEST(MinMaxScalerTest, ConstantFeatureMapsToZero) {
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{3.0}, {3.0}}).ok());
+  EXPECT_DOUBLE_EQ(scaler.Transform({3.0})[0], 0.0);
+}
+
+TEST(MinMaxScalerTest, RejectsEmptyAndRagged) {
+  MinMaxScaler scaler;
+  EXPECT_TRUE(scaler.Fit({}).IsInvalidArgument());
+  EXPECT_TRUE(scaler.Fit({{1.0}, {1.0, 2.0}}).IsInvalidArgument());
+  EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(MinMaxScalerTest, FitTransformInPlace) {
+  MinMaxScaler scaler;
+  std::vector<std::vector<double>> rows = {{0.0}, {4.0}};
+  ASSERT_TRUE(scaler.FitTransform(rows).ok());
+  EXPECT_DOUBLE_EQ(rows[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(rows[1][0], 1.0);
+}
+
+TEST(DatasetTest, AddAndCounts) {
+  Dataset d;
+  d.Add({1.0}, 1);
+  d.Add({2.0}, 0);
+  d.Add({3.0}, 1);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.NumPositive(), 2u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesProblems) {
+  Dataset d;
+  d.Add({1.0}, 1);
+  d.labels.push_back(0);  // mismatched sizes
+  EXPECT_TRUE(d.Validate().IsInvalidArgument());
+
+  Dataset ragged;
+  ragged.Add({1.0}, 0);
+  ragged.Add({1.0, 2.0}, 1);
+  EXPECT_TRUE(ragged.Validate().IsInvalidArgument());
+
+  Dataset badlabel;
+  badlabel.Add({1.0}, 2);
+  EXPECT_TRUE(badlabel.Validate().IsInvalidArgument());
+}
+
+TEST(DatasetTest, AppendConcatenates) {
+  Dataset a, b;
+  a.Add({1.0}, 0);
+  b.Add({2.0}, 1);
+  b.Add({3.0}, 1);
+  a.Append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.NumPositive(), 2u);
+}
+
+TEST(DatasetTest, ShufflePreservesPairs) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.Add({static_cast<double>(i)}, i % 2);
+  }
+  common::Rng rng(42);
+  ShuffleDataset(d, rng);
+  EXPECT_EQ(d.size(), 100u);
+  for (size_t i = 0; i < d.size(); ++i) {
+    // Pair invariant: label == feature parity.
+    EXPECT_EQ(d.labels[i], static_cast<int>(d.features[i][0]) % 2);
+  }
+}
+
+TEST(DatasetTest, SplitSizes) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) d.Add({static_cast<double>(i)}, 0);
+  common::Rng rng(1);
+  const auto split = SplitDataset(d, 0.7, rng);
+  EXPECT_EQ(split.train.size(), 7u);
+  EXPECT_EQ(split.test.size(), 3u);
+}
+
+TEST(DatasetTest, KFoldCoversAllOnce) {
+  Dataset d;
+  for (int i = 0; i < 20; ++i) d.Add({static_cast<double>(i)}, 0);
+  common::Rng rng(2);
+  const auto folds = KFoldSplits(d, 4, rng);
+  ASSERT_EQ(folds.size(), 4u);
+  size_t total_test = 0;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 20u);
+    total_test += fold.test.size();
+  }
+  EXPECT_EQ(total_test, 20u);
+}
+
+}  // namespace
+}  // namespace lightor::ml

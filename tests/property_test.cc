@@ -1,0 +1,206 @@
+/// Cross-cutting property tests: randomized inputs, invariant checks.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/extractor.h"
+#include "core/initializer.h"
+#include "ml/metrics.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "storage/log.h"
+#include "storage/stores.h"
+
+namespace lightor {
+namespace {
+
+class SeededPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// Property: the append log round-trips arbitrary payload sequences.
+TEST_P(SeededPropertyTest, AppendLogRoundTripsRandomPayloads) {
+  common::Rng rng(GetParam());
+  const auto path =
+      (std::filesystem::temp_directory_path() /
+       ("lightor_prop_log_" + std::to_string(GetParam()) + ".log"))
+          .string();
+  std::filesystem::remove(path);
+  std::vector<std::vector<uint8_t>> payloads;
+  {
+    storage::AppendLog log;
+    ASSERT_TRUE(log.Open(path).ok());
+    const int n = static_cast<int>(rng.UniformInt(1, 40));
+    for (int i = 0; i < n; ++i) {
+      std::vector<uint8_t> payload(
+          static_cast<size_t>(rng.UniformInt(0, 2000)));
+      for (auto& b : payload) {
+        b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      }
+      ASSERT_TRUE(log.Append(payload).ok());
+      payloads.push_back(std::move(payload));
+    }
+  }
+  std::vector<std::vector<uint8_t>> read;
+  ASSERT_TRUE(storage::AppendLog::ReplayFile(
+                  path,
+                  [&](const std::vector<uint8_t>& p) { read.push_back(p); })
+                  .ok());
+  EXPECT_EQ(read, payloads);
+  std::filesystem::remove(path);
+}
+
+// Property: ChatStore returns time-sorted messages for any insert order.
+TEST_P(SeededPropertyTest, ChatStoreAlwaysSorted) {
+  common::Rng rng(GetParam() ^ 0xC0FFEE);
+  storage::ChatStore store;
+  const int n = static_cast<int>(rng.UniformInt(1, 200));
+  for (int i = 0; i < n; ++i) {
+    storage::ChatRecord rec;
+    rec.video_id = rng.Bernoulli(0.5) ? "a" : "b";
+    rec.timestamp = rng.Uniform(0.0, 1000.0);
+    rec.user = "u";
+    rec.text = "t";
+    store.Put(std::move(rec));
+  }
+  for (const auto* id : {"a", "b"}) {
+    const auto& msgs = store.GetByVideo(id);
+    for (size_t i = 1; i < msgs.size(); ++i) {
+      EXPECT_LE(msgs[i - 1].timestamp, msgs[i].timestamp);
+    }
+  }
+}
+
+// Property: FilterPlays output is a subset satisfying every constraint.
+TEST_P(SeededPropertyTest, FilterPlaysEnforcesConstraints) {
+  common::Rng rng(GetParam() ^ 0xF11735);
+  core::HighlightExtractor extractor;
+  const double dot = rng.Uniform(200.0, 3000.0);
+  std::vector<core::Play> plays;
+  const int n = static_cast<int>(rng.UniformInt(0, 80));
+  for (int i = 0; i < n; ++i) {
+    const double s = dot + rng.Uniform(-150.0, 150.0);
+    plays.emplace_back("u", s, s + rng.Uniform(-5.0, 400.0));
+  }
+  const auto& opts = extractor.options();
+  const auto filtered = extractor.FilterPlays(plays, dot);
+  EXPECT_LE(filtered.size(), plays.size());
+  for (const auto& play : filtered) {
+    EXPECT_TRUE(play.span.Valid());
+    EXPECT_GE(play.span.start, dot - opts.delta);
+    EXPECT_LE(play.span.start, dot + opts.delta);
+    EXPECT_GE(play.span.Length(), opts.min_play_length);
+    EXPECT_LE(play.span.Length(), opts.max_play_length);
+  }
+}
+
+// Property: PrecisionAtK is within [0,1] and monotone in label flips.
+TEST_P(SeededPropertyTest, PrecisionAtKBounds) {
+  common::Rng rng(GetParam() ^ 0xAB);
+  const size_t n = static_cast<size_t>(rng.UniformInt(1, 50));
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (size_t i = 0; i < n; ++i) {
+    scores.push_back(rng.NextDouble());
+    labels.push_back(rng.Bernoulli(0.3) ? 1 : 0);
+  }
+  for (size_t k = 1; k <= n; ++k) {
+    const double p = ml::PrecisionAtK(scores, labels, k);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // All-positive labels => precision 1 at every k.
+  std::vector<int> ones(n, 1);
+  EXPECT_DOUBLE_EQ(ml::PrecisionAtK(scores, ones, n), 1.0);
+}
+
+// Property: Gaussian smoothing preserves the total mass of an interior
+// spike (within truncation tolerance).
+TEST_P(SeededPropertyTest, GaussianSmoothPreservesInteriorMass) {
+  common::Rng rng(GetParam() ^ 0x60);
+  std::vector<double> xs(200, 0.0);
+  const size_t spike =
+      static_cast<size_t>(rng.UniformInt(50, 150));
+  xs[spike] = rng.Uniform(1.0, 10.0);
+  const auto smooth = common::GaussianSmooth(xs, 3.0);
+  double mass = 0.0;
+  for (double v : smooth) mass += v;
+  EXPECT_NEAR(mass, xs[spike], xs[spike] * 0.02);
+}
+
+// Property: detection is deterministic — same corpus, same model, same
+// dots, across repeated invocations.
+TEST(DeterminismTest, DetectIsPure) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 2, 909);
+  core::HighlightInitializer init;
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  ASSERT_TRUE(init.Train({tv}).ok());
+  const auto messages = sim::ToCoreMessages(corpus[1].chat);
+  const auto a = init.Detect(messages, corpus[1].truth.meta.length, 5);
+  const auto b = init.Detect(messages, corpus[1].truth.meta.length, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].position, b[i].position);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    EXPECT_DOUBLE_EQ(a[i].peak, b[i].peak);
+  }
+}
+
+// Property: two independently constructed corpora from the same seed are
+// byte-identical in their chat text.
+TEST(DeterminismTest, CorpusGenerationIsReproducible) {
+  const auto a = sim::MakeCorpus(sim::GameType::kLol, 2, 4242);
+  const auto b = sim::MakeCorpus(sim::GameType::kLol, 2, 4242);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t v = 0; v < a.size(); ++v) {
+    ASSERT_EQ(a[v].chat.size(), b[v].chat.size());
+    for (size_t m = 0; m < a[v].chat.size(); m += 211) {
+      EXPECT_EQ(a[v].chat[m].text, b[v].chat[m].text);
+    }
+  }
+}
+
+// Property: a window's probability is invariant to messages outside it.
+TEST(InvarianceTest, WindowFeaturesIgnoreOutsideMessages) {
+  core::WindowFeaturizer featurizer;
+  std::vector<core::Message> messages;
+  for (int i = 0; i < 10; ++i) {
+    core::Message m;
+    m.timestamp = 100.0 + i;
+    m.text = "inside words";
+    messages.push_back(m);
+  }
+  core::SlidingWindow w;
+  w.span = common::Interval(100.0, 110.0);
+  w.first_message = 0;
+  w.last_message = messages.size();
+  const auto base = featurizer.Compute(messages, w);
+
+  // Prepend unrelated messages; shift the index range accordingly.
+  std::vector<core::Message> extended;
+  for (int i = 0; i < 5; ++i) {
+    core::Message m;
+    m.timestamp = 1.0 + i;
+    m.text = "outside noise words everywhere";
+    extended.push_back(m);
+  }
+  extended.insert(extended.end(), messages.begin(), messages.end());
+  w.first_message = 5;
+  w.last_message = extended.size();
+  const auto shifted = featurizer.Compute(extended, w);
+  EXPECT_DOUBLE_EQ(base.message_number, shifted.message_number);
+  EXPECT_DOUBLE_EQ(base.message_length, shifted.message_length);
+  EXPECT_DOUBLE_EQ(base.message_similarity, shifted.message_similarity);
+}
+
+}  // namespace
+}  // namespace lightor

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include <set>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "sim/chat_simulator.h"
+#include "sim/video_generator.h"
+#include "text/tokenizer.h"
+
+namespace lightor::sim {
+namespace {
+
+struct ChatFixture {
+  GroundTruthVideo video;
+  ChatLog chat;
+
+  explicit ChatFixture(uint64_t seed, GameType game = GameType::kDota2,
+                       double rate_scale = 1.0) {
+    const GameProfile profile = GameProfile::ForGame(game);
+    VideoGenerator vgen(profile);
+    ChatSimulator cgen(profile);
+    common::Rng rng(seed);
+    video = vgen.Generate("test", rng);
+    chat = cgen.Generate(video, rng, rate_scale);
+  }
+};
+
+TEST(ChatSimulatorTest, MessagesSortedAndInRange) {
+  const ChatFixture fx(1);
+  ASSERT_FALSE(fx.chat.empty());
+  for (size_t i = 0; i < fx.chat.size(); ++i) {
+    EXPECT_GE(fx.chat[i].timestamp, 0.0);
+    EXPECT_LE(fx.chat[i].timestamp, fx.video.meta.length + 1.0);
+    EXPECT_FALSE(fx.chat[i].text.empty());
+    EXPECT_FALSE(fx.chat[i].user.empty());
+    if (i > 0) {
+      EXPECT_GE(fx.chat[i].timestamp, fx.chat[i - 1].timestamp);
+    }
+  }
+}
+
+TEST(ChatSimulatorTest, VolumeMatchesPaperRange) {
+  // The paper's crawled videos have 800–4300 messages; at rate_scale 1 a
+  // video should land in (or near) that band.
+  const ChatFixture fx(2);
+  const double hours = fx.video.meta.length / 3600.0;
+  const double per_hour = static_cast<double>(fx.chat.size()) / hours;
+  EXPECT_GT(per_hour, 500.0);   // the applicability threshold (Fig. 9)
+  EXPECT_LT(per_hour, 6000.0);
+}
+
+TEST(ChatSimulatorTest, RateScaleScalesVolume) {
+  const ChatFixture low(3, GameType::kDota2, 0.5);
+  const ChatFixture high(3, GameType::kDota2, 2.0);
+  EXPECT_GT(high.chat.size(), low.chat.size() * 2);
+}
+
+TEST(ChatSimulatorTest, EveryHighlightProducesBurst) {
+  const ChatFixture fx(4);
+  for (size_t hi = 0; hi < fx.video.highlights.size(); ++hi) {
+    const int count = static_cast<int>(std::count_if(
+        fx.chat.begin(), fx.chat.end(), [&](const ChatMessage& m) {
+          return m.source == MessageSource::kHighlightBurst &&
+                 m.highlight_index == static_cast<int>(hi);
+        }));
+    EXPECT_GT(count, 3) << "highlight " << hi;
+  }
+}
+
+TEST(ChatSimulatorTest, BurstPeakLagsHighlightStart) {
+  const ChatFixture fx(5);
+  const auto& profile = GameProfile::Dota2();
+  std::vector<double> lags;
+  for (size_t hi = 0; hi < fx.video.highlights.size(); ++hi) {
+    std::vector<double> times;
+    for (const auto& m : fx.chat) {
+      if (m.source == MessageSource::kHighlightBurst &&
+          m.highlight_index == static_cast<int>(hi)) {
+        times.push_back(m.timestamp);
+      }
+    }
+    if (times.size() < 5) continue;
+    lags.push_back(common::Median(times) -
+                   fx.video.highlights[hi].span.start);
+  }
+  ASSERT_GT(lags.size(), 3u);
+  const double median_lag = common::Median(lags);
+  EXPECT_GT(median_lag, profile.reaction_delay_mean - 8.0);
+  EXPECT_LT(median_lag, profile.reaction_delay_mean + 8.0);
+}
+
+TEST(ChatSimulatorTest, BurstMessagesAreShorterThanBackground) {
+  const ChatFixture fx(6);
+  text::Tokenizer tok;
+  common::RunningStats burst_len, background_len;
+  for (const auto& m : fx.chat) {
+    const double words = static_cast<double>(tok.CountWords(m.text));
+    if (m.source == MessageSource::kHighlightBurst) burst_len.Add(words);
+    if (m.source == MessageSource::kBackground) background_len.Add(words);
+  }
+  EXPECT_LT(burst_len.mean(), background_len.mean() * 0.6);
+}
+
+TEST(ChatSimulatorTest, BotMessagesAreLongAndNearIdentical) {
+  // Bots must exist at some seed; scan a few.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const ChatFixture fx(seed);
+    std::vector<const ChatMessage*> bots;
+    for (const auto& m : fx.chat) {
+      if (m.source == MessageSource::kBotSpam) bots.push_back(&m);
+    }
+    if (bots.size() < 5) continue;
+    text::Tokenizer tok;
+    for (const auto* m : bots) {
+      EXPECT_GT(tok.CountWords(m->text), 10u);
+    }
+    return;  // found and verified a bot episode
+  }
+  FAIL() << "no bot episode generated across seeds 1..8";
+}
+
+TEST(ChatSimulatorTest, NoiseSourcesKeepDistanceFromHighlights) {
+  const ChatFixture fx(7);
+  for (const auto& m : fx.chat) {
+    if (m.source != MessageSource::kBotSpam) continue;
+    // Bot episodes are placed >120 s from highlight spans (when feasible);
+    // allow slack for the episode duration itself.
+    double min_dist = 1e18;
+    for (const auto& h : fx.video.highlights) {
+      double d = 0.0;
+      if (m.timestamp < h.span.start) d = h.span.start - m.timestamp;
+      else if (m.timestamp > h.span.end) d = m.timestamp - h.span.end;
+      min_dist = std::min(min_dist, d);
+    }
+    EXPECT_GT(min_dist, 60.0);
+  }
+}
+
+TEST(ChatSimulatorTest, DeterministicPerSeed) {
+  const ChatFixture a(8), b(8);
+  ASSERT_EQ(a.chat.size(), b.chat.size());
+  for (size_t i = 0; i < a.chat.size(); i += 97) {
+    EXPECT_EQ(a.chat[i].text, b.chat[i].text);
+    EXPECT_DOUBLE_EQ(a.chat[i].timestamp, b.chat[i].timestamp);
+  }
+}
+
+TEST(ChatSimulatorTest, LolChatIsDenser) {
+  const ChatFixture dota(9, GameType::kDota2);
+  const ChatFixture lol(9, GameType::kLol);
+  const double dota_rate =
+      static_cast<double>(dota.chat.size()) / dota.video.meta.length;
+  const double lol_rate =
+      static_cast<double>(lol.chat.size()) / lol.video.meta.length;
+  EXPECT_GT(lol_rate, dota_rate);
+}
+
+TEST(ChatSimulatorTest, ShortStormsAreShortAndDiverse) {
+  // Scan seeds until a storm episode appears, then verify its signature:
+  // short messages with low mutual similarity (vs a reaction burst).
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const ChatFixture fx(seed);
+    std::vector<std::string> storm_texts, burst_texts;
+    for (const auto& m : fx.chat) {
+      if (m.source == MessageSource::kShortStorm) {
+        storm_texts.push_back(m.text);
+      }
+      if (m.source == MessageSource::kHighlightBurst &&
+          m.highlight_index == 0) {
+        burst_texts.push_back(m.text);
+      }
+    }
+    if (storm_texts.size() < 15 || burst_texts.size() < 10) continue;
+    text::Tokenizer tok;
+    for (const auto& t : storm_texts) EXPECT_LE(tok.CountWords(t), 3u);
+    const double storm_sim = text::MessageSetSimilarity(storm_texts);
+    const double burst_sim = text::MessageSetSimilarity(burst_texts);
+    EXPECT_LT(storm_sim, burst_sim * 0.8)
+        << "storm messages should be far more diverse than a burst";
+    return;
+  }
+  FAIL() << "no storm episode generated across seeds 1..8";
+}
+
+TEST(ChatSimulatorTest, BurstsRepeatAMemeSet) {
+  // A single highlight's reaction burst draws from a small token set.
+  const ChatFixture fx(4);
+  text::Tokenizer tok;
+  std::set<std::string> vocabulary;
+  size_t tokens = 0;
+  for (const auto& m : fx.chat) {
+    if (m.source != MessageSource::kHighlightBurst || m.highlight_index != 0) {
+      continue;
+    }
+    for (auto& t : tok.Tokenize(m.text)) {
+      vocabulary.insert(std::move(t));
+      ++tokens;
+    }
+  }
+  ASSERT_GT(tokens, 10u);
+  // The meme set has ~7 distinct tokens; allow a little slack for casing.
+  EXPECT_LE(vocabulary.size(), 10u);
+}
+
+}  // namespace
+}  // namespace lightor::sim

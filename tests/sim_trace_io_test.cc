@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/trace_io.h"
+
+namespace lightor::sim {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("lightor_trace_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything) {
+  const Corpus original = MakeCorpus(GameType::kDota2, 2, 111);
+  ASSERT_TRUE(SaveCorpus(original, dir_).ok());
+  auto loaded = LoadCorpus(dir_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), original.size());
+  for (size_t v = 0; v < original.size(); ++v) {
+    const auto& a = original[v];
+    const auto& b = loaded.value()[v];
+    EXPECT_EQ(b.truth.meta.id, a.truth.meta.id);
+    EXPECT_EQ(b.truth.meta.game, a.truth.meta.game);
+    EXPECT_NEAR(b.truth.meta.length, a.truth.meta.length, 1e-3);
+    ASSERT_EQ(b.truth.highlights.size(), a.truth.highlights.size());
+    for (size_t h = 0; h < a.truth.highlights.size(); ++h) {
+      EXPECT_NEAR(b.truth.highlights[h].span.start,
+                  a.truth.highlights[h].span.start, 1e-3);
+      EXPECT_NEAR(b.truth.highlights[h].intensity,
+                  a.truth.highlights[h].intensity, 1e-3);
+    }
+    ASSERT_EQ(b.chat.size(), a.chat.size());
+    for (size_t m = 0; m < a.chat.size(); m += 101) {
+      EXPECT_NEAR(b.chat[m].timestamp, a.chat[m].timestamp, 1e-3);
+      EXPECT_EQ(b.chat[m].user, a.chat[m].user);
+      EXPECT_EQ(b.chat[m].text, a.chat[m].text);
+      EXPECT_EQ(b.chat[m].source, a.chat[m].source);
+      EXPECT_EQ(b.chat[m].highlight_index, a.chat[m].highlight_index);
+    }
+  }
+}
+
+TEST_F(TraceIoTest, LolGameRoundTrips) {
+  const Corpus original = MakeCorpus(GameType::kLol, 1, 112);
+  ASSERT_TRUE(SaveCorpus(original, dir_).ok());
+  auto loaded = LoadCorpus(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()[0].truth.meta.game, GameType::kLol);
+}
+
+TEST_F(TraceIoTest, MissingIndexIsNotFound) {
+  EXPECT_TRUE(LoadCorpus(dir_ + "/nowhere").status().IsNotFound());
+}
+
+TEST_F(TraceIoTest, MissingChatFileIsCorruption) {
+  const Corpus original = MakeCorpus(GameType::kDota2, 1, 113);
+  ASSERT_TRUE(SaveCorpus(original, dir_).ok());
+  std::filesystem::remove(dir_ + "/" + original[0].truth.meta.id +
+                          ".chat.csv");
+  EXPECT_TRUE(LoadCorpus(dir_).status().IsCorruption());
+}
+
+TEST_F(TraceIoTest, MalformedChatRowIsCorruption) {
+  const Corpus original = MakeCorpus(GameType::kDota2, 1, 114);
+  ASSERT_TRUE(SaveCorpus(original, dir_).ok());
+  std::ofstream chat(dir_ + "/" + original[0].truth.meta.id + ".chat.csv",
+                     std::ios::app);
+  chat << "only,three,cells\n";
+  chat.close();
+  EXPECT_TRUE(LoadCorpus(dir_).status().IsCorruption());
+}
+
+TEST_F(TraceIoTest, MessagesWithCommasSurvive) {
+  Corpus corpus = MakeCorpus(GameType::kDota2, 1, 115);
+  corpus[0].chat[0].text = "hello, with a comma, and \"quotes\"";
+  ASSERT_TRUE(SaveCorpus(corpus, dir_).ok());
+  auto loaded = LoadCorpus(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()[0].chat[0].text,
+            "hello, with a comma, and \"quotes\"");
+}
+
+TEST_F(TraceIoTest, EmptyCorpusRoundTrips) {
+  ASSERT_TRUE(SaveCorpus({}, dir_).ok());
+  auto loaded = LoadCorpus(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST_F(TraceIoTest, LoadChatCsvImportsExternalDump) {
+  std::filesystem::create_directories(dir_);
+  const std::string path = dir_ + "/external.csv";
+  std::ofstream out(path);
+  out << "timestamp,user,text\n";
+  out << "12.5,alice,hello there\n";
+  out << "3.0,bob,\"first, with comma\"\n";
+  out << "99.0,carol,PogChamp\n";
+  out.close();
+  auto messages = LoadChatCsv(path);
+  ASSERT_TRUE(messages.ok());
+  ASSERT_EQ(messages.value().size(), 3u);
+  // Sorted by timestamp.
+  EXPECT_DOUBLE_EQ(messages.value()[0].timestamp, 3.0);
+  EXPECT_EQ(messages.value()[0].user, "bob");
+  EXPECT_EQ(messages.value()[0].text, "first, with comma");
+  EXPECT_DOUBLE_EQ(messages.value()[2].timestamp, 99.0);
+}
+
+TEST_F(TraceIoTest, LoadChatCsvWithoutHeader) {
+  std::filesystem::create_directories(dir_);
+  const std::string path = dir_ + "/noheader.csv";
+  std::ofstream out(path);
+  out << "1.0,u,msg one\n2.0,u,msg two\n";
+  out.close();
+  auto messages = LoadChatCsv(path);
+  ASSERT_TRUE(messages.ok());
+  EXPECT_EQ(messages.value().size(), 2u);
+}
+
+TEST_F(TraceIoTest, LoadChatCsvErrors) {
+  EXPECT_TRUE(LoadChatCsv(dir_ + "/missing.csv").status().IsNotFound());
+  std::filesystem::create_directories(dir_);
+  const std::string path = dir_ + "/bad.csv";
+  std::ofstream out(path);
+  out << "1.0,only-two\n";
+  out.close();
+  EXPECT_TRUE(LoadChatCsv(path).status().IsCorruption());
+  // Non-numeric timestamp past the header is an error.
+  const std::string path2 = dir_ + "/bad2.csv";
+  std::ofstream out2(path2);
+  out2 << "ts,user,text\n1.0,u,ok\nxx,u,bad\n";
+  out2.close();
+  EXPECT_TRUE(LoadChatCsv(path2).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace lightor::sim

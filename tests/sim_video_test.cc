@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/video_generator.h"
+
+namespace lightor::sim {
+namespace {
+
+class VideoGeneratorSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VideoGeneratorSeedTest, Dota2Invariants) {
+  const GameProfile profile = GameProfile::Dota2();
+  VideoGenerator gen(profile);
+  common::Rng rng(GetParam());
+  const auto video = gen.Generate("v", rng);
+
+  EXPECT_GE(video.meta.length, profile.min_video_length);
+  EXPECT_LE(video.meta.length, profile.max_video_length);
+  EXPECT_GE(video.highlights.size(), 1u);
+
+  for (size_t i = 0; i < video.highlights.size(); ++i) {
+    const auto& h = video.highlights[i];
+    EXPECT_TRUE(h.span.Valid());
+    EXPECT_GE(h.span.start, 0.0);
+    EXPECT_LE(h.span.end, video.meta.length);
+    EXPECT_GE(h.span.Length(), 1.0);
+    EXPECT_LE(h.span.Length(), profile.max_highlight_length + 1e-9);
+    EXPECT_GT(h.intensity, 0.0);
+    EXPECT_LE(h.intensity, 1.0);
+    if (i > 0) {
+      // Sorted and non-overlapping with real spacing.
+      EXPECT_GT(h.span.start, video.highlights[i - 1].span.end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VideoGeneratorSeedTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+TEST(VideoGeneratorTest, DeterministicPerSeed) {
+  VideoGenerator gen(GameProfile::Dota2());
+  common::Rng rng1(5), rng2(5);
+  const auto a = gen.Generate("x", rng1);
+  const auto b = gen.Generate("x", rng2);
+  ASSERT_EQ(a.highlights.size(), b.highlights.size());
+  for (size_t i = 0; i < a.highlights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.highlights[i].span.start, b.highlights[i].span.start);
+  }
+}
+
+TEST(VideoGeneratorTest, LolProfileRanges) {
+  const GameProfile profile = GameProfile::Lol();
+  VideoGenerator gen(profile);
+  common::Rng rng(7);
+  common::RunningStats count_stats;
+  for (int i = 0; i < 40; ++i) {
+    const auto video = gen.Generate("v" + std::to_string(i), rng);
+    EXPECT_LE(video.meta.length, 3600.0 + 1e-9);
+    count_stats.Add(static_cast<double>(video.highlights.size()));
+  }
+  // LoL videos are shorter, so the feasible count is clamped below the
+  // profile mean of 14; it must still exceed the Dota mean-ish floor.
+  EXPECT_GT(count_stats.mean(), 6.0);
+}
+
+TEST(GroundTruthVideoTest, HighlightAtLookup) {
+  GroundTruthVideo video;
+  video.meta.length = 1000.0;
+  video.highlights.push_back({common::Interval(100.0, 120.0), 1.0});
+  video.highlights.push_back({common::Interval(500.0, 510.0), 0.5});
+  EXPECT_EQ(video.HighlightAt(110.0), 0);
+  EXPECT_EQ(video.HighlightAt(505.0), 1);
+  EXPECT_EQ(video.HighlightAt(300.0), -1);
+  EXPECT_EQ(video.HighlightAt(95.0), -1);
+  EXPECT_EQ(video.HighlightAt(95.0, /*slack=*/10.0), 0);
+}
+
+TEST(GameProfileTest, NamesAndLookup) {
+  EXPECT_EQ(GameTypeName(GameType::kDota2), "dota2");
+  EXPECT_EQ(GameTypeName(GameType::kLol), "lol");
+  EXPECT_EQ(GameProfile::ForGame(GameType::kLol).game, GameType::kLol);
+  EXPECT_EQ(GameProfile::ForGame(GameType::kDota2).game, GameType::kDota2);
+}
+
+TEST(GameProfileTest, ProfilesMatchPaperDataset) {
+  const auto dota = GameProfile::Dota2();
+  EXPECT_DOUBLE_EQ(dota.min_highlight_length, 5.0);
+  EXPECT_DOUBLE_EQ(dota.max_highlight_length, 50.0);
+  EXPECT_DOUBLE_EQ(dota.mean_highlights, 10.0);
+  const auto lol = GameProfile::Lol();
+  EXPECT_DOUBLE_EQ(lol.min_highlight_length, 2.0);
+  EXPECT_DOUBLE_EQ(lol.max_highlight_length, 81.0);
+  EXPECT_DOUBLE_EQ(lol.mean_highlights, 14.0);
+  // Distinct vocabularies drive the cross-game domain shift.
+  for (const auto& w : dota.event_words) {
+    for (const auto& v : lol.event_words) EXPECT_NE(w, v);
+  }
+}
+
+}  // namespace
+}  // namespace lightor::sim

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/viewer_simulator.h"
+
+namespace lightor::sim {
+namespace {
+
+GroundTruthVideo OneHighlightVideo(double start = 1000.0, double len = 25.0) {
+  GroundTruthVideo video;
+  video.meta.id = "v";
+  video.meta.length = 3600.0;
+  video.highlights.push_back({common::Interval(start, start + len), 0.8});
+  return video;
+}
+
+TEST(EventsPlaysRoundTripTest, PlaysSurviveEventConversion) {
+  std::vector<PlayRecord> plays = {
+      {"u", 100.0, 130.0}, {"u", 90.0, 120.0}, {"u", 200.0, 220.0}};
+  const auto events = EventsFromPlays(plays);
+  const auto rebuilt = PlaysFromEvents("u", events);
+  ASSERT_EQ(rebuilt.size(), plays.size());
+  for (size_t i = 0; i < plays.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rebuilt[i].span.start, plays[i].span.start);
+    EXPECT_DOUBLE_EQ(rebuilt[i].span.end, plays[i].span.end);
+    EXPECT_EQ(rebuilt[i].user, "u");
+  }
+}
+
+TEST(EventsPlaysRoundTripTest, EmptySession) {
+  EXPECT_TRUE(EventsFromPlays({}).empty());
+  EXPECT_TRUE(PlaysFromEvents("u", {}).empty());
+}
+
+TEST(EventsPlaysRoundTripTest, SeekWhilePlayingSplitsPlay) {
+  std::vector<InteractionEvent> events;
+  InteractionEvent play;
+  play.type = InteractionType::kPlay;
+  play.position = 10.0;
+  events.push_back(play);
+  InteractionEvent seek;
+  seek.type = InteractionType::kSeekForward;
+  seek.wall_time = 5.0;
+  seek.position = 15.0;
+  seek.target = 50.0;
+  events.push_back(seek);
+  InteractionEvent pause;
+  pause.type = InteractionType::kPause;
+  pause.wall_time = 10.0;
+  pause.position = 55.0;
+  events.push_back(pause);
+  const auto plays = PlaysFromEvents("u", events);
+  ASSERT_EQ(plays.size(), 2u);
+  EXPECT_DOUBLE_EQ(plays[0].span.start, 10.0);
+  EXPECT_DOUBLE_EQ(plays[0].span.end, 15.0);
+  EXPECT_DOUBLE_EQ(plays[1].span.start, 50.0);
+  EXPECT_DOUBLE_EQ(plays[1].span.end, 55.0);
+}
+
+TEST(ViewerSimulatorTest, SessionsProducePlays) {
+  const auto video = OneHighlightVideo();
+  ViewerSimulator sim;
+  common::Rng rng(1);
+  int with_plays = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto session = sim.SimulateSession(video, 1000.0, rng, "u");
+    if (!session.plays.empty()) ++with_plays;
+    for (const auto& play : session.plays) {
+      EXPECT_GE(play.span.start, 0.0);
+      EXPECT_LE(play.span.end, video.meta.length);
+      EXPECT_TRUE(play.span.Valid());
+    }
+  }
+  EXPECT_GT(with_plays, 40);
+}
+
+// Fig. 3(b): for a Type II dot (before the highlight end), engaged
+// viewers' main-play start offsets concentrate a few seconds after the
+// highlight start, median in roughly [3, 12].
+TEST(ViewerSimulatorTest, TypeIIStartOffsetsAreNormalish) {
+  const auto video = OneHighlightVideo(1000.0, 30.0);
+  ViewerSimulator sim;
+  common::Rng rng(2);
+  const double dot = 998.0;  // just before the highlight start
+  std::vector<double> offsets;
+  for (const auto& play : sim.CollectPlays(video, dot, 400, rng)) {
+    const double len = play.span.Length();
+    if (len < 6.5 || len > 120.0) continue;  // the extractor's filter
+    offsets.push_back(play.span.start - 1000.0);
+  }
+  ASSERT_GT(offsets.size(), 100u);
+  const double median = common::Median(offsets);
+  EXPECT_GT(median, 2.0);
+  EXPECT_LT(median, 12.0);
+  // Concentration: the IQR is tight relative to Type I's uniform spread.
+  const double iqr = common::Quantile(offsets, 0.75) -
+                     common::Quantile(offsets, 0.25);
+  EXPECT_LT(iqr, 15.0);
+}
+
+// Fig. 3(a): for a Type I dot (after the highlight end), rewinding
+// viewers land roughly uniformly spread around the highlight start.
+TEST(ViewerSimulatorTest, TypeIStartOffsetsAreSpread) {
+  const auto video = OneHighlightVideo(1000.0, 20.0);
+  ViewerSimulator sim;
+  common::Rng rng(3);
+  const double dot = 1035.0;  // after the highlight end (1020)
+  std::vector<double> offsets;
+  for (const auto& play : sim.CollectPlays(video, dot, 600, rng)) {
+    const double len = play.span.Length();
+    if (len < 6.5 || len > 120.0) continue;
+    offsets.push_back(play.span.start - 1000.0);
+  }
+  ASSERT_GT(offsets.size(), 50u);
+  const double spread = common::Quantile(offsets, 0.9) -
+                        common::Quantile(offsets, 0.1);
+  EXPECT_GT(spread, 12.0);  // much wider than the Type II concentration
+}
+
+// Fig. 4's separation signal: the backward-play fraction of a Type I dot
+// is clearly higher than a Type II dot's (even though a noisy crowd emits
+// some of both everywhere).
+TEST(ViewerSimulatorTest, TypeIHasHigherBackwardFractionThanTypeII) {
+  const auto video = OneHighlightVideo(1000.0, 20.0);
+  ViewerSimulator sim;
+  common::Rng rng(4);
+  auto backward_fraction = [&](double dot) {
+    int backward = 0, total = 0;
+    for (const auto& play : sim.CollectPlays(video, dot, 400, rng)) {
+      const double len = play.span.Length();
+      if (len < 6.5 || len > 120.0) continue;
+      ++total;
+      if (play.span.start < dot) ++backward;
+    }
+    return total > 0 ? static_cast<double>(backward) / total : 0.0;
+  };
+  const double type1 = backward_fraction(1040.0);  // after the end
+  const double type2 = backward_fraction(997.0);   // before the start
+  EXPECT_GT(type1, type2 + 0.2);
+}
+
+TEST(ViewerSimulatorTest, TypeIIProducesMostlyAfterDotPlays) {
+  const auto video = OneHighlightVideo(1000.0, 30.0);
+  ViewerSimulator sim;
+  common::Rng rng(5);
+  const double dot = 995.0;
+  int before_or_across = 0, after = 0;
+  for (const auto& play : sim.CollectPlays(video, dot, 300, rng)) {
+    const double len = play.span.Length();
+    if (len < 6.5 || len > 120.0) continue;
+    if (play.span.start < dot) ++before_or_across;
+    else ++after;
+  }
+  EXPECT_GT(after, before_or_across * 2);
+}
+
+TEST(ViewerSimulatorTest, DotWithNoNearbyHighlightYieldsOnlyProbes) {
+  const auto video = OneHighlightVideo(1000.0, 20.0);
+  ViewerSimulator sim;
+  common::Rng rng(6);
+  // 2000 s is far from the only highlight.
+  const auto plays = sim.CollectPlays(video, 2000.0, 200, rng);
+  int long_plays = 0;
+  for (const auto& play : plays) {
+    if (play.span.Length() > 15.0 && play.span.Length() < 120.0) {
+      ++long_plays;
+    }
+  }
+  // Nobody settles into a highlight watch; long plays only come from the
+  // rare marathon archetype.
+  EXPECT_LT(long_plays, 20);
+}
+
+TEST(ViewerSimulatorTest, SessionEventsAreChronological) {
+  const auto video = OneHighlightVideo();
+  ViewerSimulator sim;
+  common::Rng rng(7);
+  const auto session = sim.SimulateSession(video, 1000.0, rng, "alice");
+  for (size_t i = 1; i < session.events.size(); ++i) {
+    EXPECT_GE(session.events[i].wall_time, session.events[i - 1].wall_time);
+  }
+  EXPECT_EQ(session.user, "alice");
+}
+
+TEST(ViewerSimulatorTest, NoiseArchetypesAppear) {
+  ViewerBehaviorOptions opts;
+  opts.p_checker = 1.0;  // force the checker archetype
+  const auto video = OneHighlightVideo();
+  ViewerSimulator sim(opts);
+  common::Rng rng(8);
+  const auto session = sim.SimulateSession(video, 1000.0, rng, "u");
+  ASSERT_GE(session.plays.size(), 2u);
+  for (const auto& play : session.plays) {
+    EXPECT_LT(play.span.Length(), 12.5);  // probes only
+  }
+}
+
+}  // namespace
+}  // namespace lightor::sim

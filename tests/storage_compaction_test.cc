@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/database.h"
+
+namespace lightor::storage {
+namespace {
+
+class CompactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("lightor_compact_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static HighlightRecord Dot(const std::string& video, int32_t index,
+                             int32_t iter) {
+    HighlightRecord rec;
+    rec.video_id = video;
+    rec.dot_index = index;
+    rec.iteration = iter;
+    rec.start = 100.0 + iter;
+    rec.end = 130.0 + iter;
+    rec.dot_position = rec.start;
+    return rec;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CompactionTest, KeepsOnlyLatestVersions) {
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  for (int iter = 0; iter < 5; ++iter) {
+    ASSERT_TRUE(db.value()->PutHighlight(Dot("v", 0, iter)).ok());
+    ASSERT_TRUE(db.value()->PutHighlight(Dot("v", 1, iter)).ok());
+  }
+  EXPECT_EQ(db.value()->highlights().TotalRecords(), 10u);
+  const auto before_bytes = db.value()->GetStats().highlight_log_bytes;
+
+  auto kept = db.value()->CompactHighlights();
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept.value(), 2u);
+  EXPECT_EQ(db.value()->highlights().TotalRecords(), 2u);
+  EXPECT_LT(db.value()->GetStats().highlight_log_bytes, before_bytes);
+
+  // Latest state preserved.
+  const auto latest = db.value()->highlights().GetLatest("v");
+  ASSERT_EQ(latest.size(), 2u);
+  EXPECT_EQ(latest[0].iteration, 4);
+  EXPECT_EQ(latest[1].iteration, 4);
+}
+
+TEST_F(CompactionTest, StateSurvivesReopenAfterCompaction) {
+  {
+    auto db = Database::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    for (int iter = 0; iter < 3; ++iter) {
+      ASSERT_TRUE(db.value()->PutHighlight(Dot("v", 0, iter)).ok());
+    }
+    ASSERT_TRUE(db.value()->CompactHighlights().ok());
+    // Writable after compaction.
+    ASSERT_TRUE(db.value()->PutHighlight(Dot("v", 0, 3)).ok());
+  }
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  const auto latest = db.value()->highlights().GetLatest("v");
+  ASSERT_EQ(latest.size(), 1u);
+  EXPECT_EQ(latest[0].iteration, 3);
+  // History: compacted record + post-compaction append.
+  EXPECT_EQ(db.value()->highlights().GetHistory("v", 0).size(), 2u);
+}
+
+TEST_F(CompactionTest, EmptyDatabaseCompactsToZero) {
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  auto kept = db.value()->CompactHighlights();
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept.value(), 0u);
+}
+
+TEST_F(CompactionTest, StatsReflectStores) {
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  ChatRecord chat;
+  chat.video_id = "v";
+  chat.timestamp = 1.0;
+  chat.user = "u";
+  chat.text = "hi";
+  ASSERT_TRUE(db.value()->PutChat(chat).ok());
+  ASSERT_TRUE(db.value()->PutHighlight(Dot("v", 0, 0)).ok());
+  const auto stats = db.value()->GetStats();
+  EXPECT_EQ(stats.chat_records, 1u);
+  EXPECT_EQ(stats.highlight_records, 1u);
+  EXPECT_EQ(stats.highlight_dots, 1u);
+  EXPECT_GT(stats.chat_log_bytes, 0u);
+  EXPECT_GT(stats.highlight_log_bytes, 0u);
+  EXPECT_EQ(stats.interaction_records, 0u);
+}
+
+}  // namespace
+}  // namespace lightor::storage

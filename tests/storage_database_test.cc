@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/database.h"
+
+namespace lightor::storage {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("lightor_db_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+ChatRecord Chat(double t) {
+  ChatRecord rec;
+  rec.video_id = "v";
+  rec.timestamp = t;
+  rec.user = "u";
+  rec.text = "msg";
+  return rec;
+}
+
+TEST_F(DatabaseTest, OpenCreatesDirectory) {
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_));
+  EXPECT_EQ(db.value()->directory(), dir_);
+}
+
+TEST_F(DatabaseTest, PutsVisibleInMemory) {
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value()->PutChat(Chat(1.0)).ok());
+  ASSERT_TRUE(db.value()->PutChat(Chat(2.0)).ok());
+  EXPECT_EQ(db.value()->chat().GetByVideo("v").size(), 2u);
+}
+
+TEST_F(DatabaseTest, StateSurvivesReopen) {
+  {
+    auto db = Database::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db.value()->PutChat(Chat(1.0)).ok());
+
+    InteractionRecord ir;
+    ir.video_id = "v";
+    ir.user = "u";
+    ir.session_id = 1;
+    ir.event = StoredInteraction::kPlay;
+    ir.position = 100.0;
+    ASSERT_TRUE(db.value()->PutInteraction(ir).ok());
+
+    HighlightRecord hr;
+    hr.video_id = "v";
+    hr.dot_index = 0;
+    hr.start = 100.0;
+    hr.end = 120.0;
+    ASSERT_TRUE(db.value()->PutHighlight(hr).ok());
+  }
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value()->chat().GetByVideo("v").size(), 1u);
+  EXPECT_EQ(db.value()->interactions().SessionsForVideo("v").size(), 1u);
+  const auto dots = db.value()->highlights().GetLatest("v");
+  ASSERT_EQ(dots.size(), 1u);
+  EXPECT_DOUBLE_EQ(dots[0].end, 120.0);
+}
+
+TEST_F(DatabaseTest, RecoversFromTornChatLog) {
+  {
+    auto db = Database::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db.value()->PutChat(Chat(1.0)).ok());
+  }
+  {
+    std::ofstream out(dir_ + "/chat.log", std::ios::binary | std::ios::app);
+    out.write("\x99\x00\x00\x00torn", 8);  // bogus frame
+  }
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value()->chat().GetByVideo("v").size(), 1u);
+  // The database is writable again after recovery.
+  ASSERT_TRUE(db.value()->PutChat(Chat(2.0)).ok());
+  auto reopened = Database::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->chat().GetByVideo("v").size(), 2u);
+}
+
+TEST_F(DatabaseTest, HighlightHistoryAccumulatesAcrossReopens) {
+  HighlightRecord hr;
+  hr.video_id = "v";
+  hr.dot_index = 0;
+  {
+    auto db = Database::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    hr.iteration = 0;
+    ASSERT_TRUE(db.value()->PutHighlight(hr).ok());
+    hr.iteration = 1;
+    ASSERT_TRUE(db.value()->PutHighlight(hr).ok());
+  }
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value()->highlights().GetHistory("v", 0).size(), 2u);
+  EXPECT_EQ(db.value()->highlights().GetLatest("v")[0].iteration, 1);
+}
+
+}  // namespace
+}  // namespace lightor::storage

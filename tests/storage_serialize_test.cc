@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "storage/record.h"
+#include "storage/serialize.h"
+
+namespace lightor::storage {
+namespace {
+
+TEST(EncoderDecoderTest, RoundTripScalars) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutU64(0x0123456789ABCDEFULL);
+  enc.PutDouble(3.14159);
+  enc.PutString("hello");
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.GetU8().value(), 0xAB);
+  EXPECT_EQ(dec.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(dec.GetDouble().value(), 3.14159);
+  EXPECT_EQ(dec.GetString().value(), "hello");
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(EncoderDecoderTest, EmptyStringAndSpecialDoubles) {
+  Encoder enc;
+  enc.PutString("");
+  enc.PutDouble(-0.0);
+  enc.PutDouble(1e308);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.GetString().value(), "");
+  EXPECT_DOUBLE_EQ(dec.GetDouble().value(), -0.0);
+  EXPECT_DOUBLE_EQ(dec.GetDouble().value(), 1e308);
+}
+
+TEST(DecoderTest, UnderrunReportsCorruption) {
+  Encoder enc;
+  enc.PutU8(1);
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.GetU32().status().IsCorruption());
+  Decoder dec2(enc.bytes());
+  ASSERT_TRUE(dec2.GetU8().ok());
+  EXPECT_TRUE(dec2.GetU8().status().IsCorruption());
+}
+
+TEST(DecoderTest, StringLengthOverrun) {
+  Encoder enc;
+  enc.PutU32(100);  // claims 100 bytes, provides none
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.GetString().status().IsCorruption());
+}
+
+TEST(Crc32Test, KnownValueAndSensitivity) {
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(Crc32(data, sizeof(data)), 0xCBF43926u);
+  uint8_t tweaked[sizeof(data)];
+  memcpy(tweaked, data, sizeof(data));
+  tweaked[0] = '0';
+  EXPECT_NE(Crc32(tweaked, sizeof(data)), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(ChatRecordTest, RoundTrip) {
+  ChatRecord rec;
+  rec.video_id = "dota2_channel0_v1";
+  rec.timestamp = 1234.5;
+  rec.user = "viewer42";
+  rec.text = "PogChamp what a play!!";
+  const auto decoded = ChatRecord::Decode(rec.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), rec);
+}
+
+TEST(InteractionRecordTest, RoundTripAllEventTypes) {
+  for (const auto event :
+       {StoredInteraction::kPlay, StoredInteraction::kPause,
+        StoredInteraction::kSeekForward, StoredInteraction::kSeekBackward}) {
+    InteractionRecord rec;
+    rec.video_id = "v";
+    rec.user = "u";
+    rec.session_id = 77;
+    rec.event = event;
+    rec.wall_time = 5.5;
+    rec.position = 100.0;
+    rec.target = 80.0;
+    const auto decoded = InteractionRecord::Decode(rec.Encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), rec);
+  }
+}
+
+TEST(InteractionRecordTest, RejectsBadEventType) {
+  InteractionRecord rec;
+  rec.video_id = "v";
+  auto bytes = rec.Encode();
+  // The event byte follows video_id (4+1), user (4), session (8).
+  bytes[4 + 1 + 4 + 8] = 99;
+  EXPECT_TRUE(InteractionRecord::Decode(bytes).status().IsCorruption());
+}
+
+TEST(HighlightRecordTest, RoundTrip) {
+  HighlightRecord rec;
+  rec.video_id = "v";
+  rec.dot_index = 3;
+  rec.dot_position = 1000.0;
+  rec.start = 995.0;
+  rec.end = 1020.0;
+  rec.score = 0.93;
+  rec.iteration = 4;
+  rec.converged = true;
+  const auto decoded = HighlightRecord::Decode(rec.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), rec);
+}
+
+TEST(RecordTest, TruncatedPayloadIsCorruption) {
+  ChatRecord rec;
+  rec.video_id = "video";
+  rec.text = "message text";
+  auto bytes = rec.Encode();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_TRUE(ChatRecord::Decode(bytes).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace lightor::storage

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "storage/stores.h"
+
+namespace lightor::storage {
+namespace {
+
+ChatRecord Chat(const std::string& video, double t,
+                const std::string& text = "hi") {
+  ChatRecord rec;
+  rec.video_id = video;
+  rec.timestamp = t;
+  rec.user = "u";
+  rec.text = text;
+  return rec;
+}
+
+TEST(ChatStoreTest, PutAndGetSorted) {
+  ChatStore store;
+  store.Put(Chat("v1", 30.0));
+  store.Put(Chat("v1", 10.0));  // out of order on purpose
+  store.Put(Chat("v1", 20.0));
+  store.Put(Chat("v2", 5.0));
+  const auto& msgs = store.GetByVideo("v1");
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_DOUBLE_EQ(msgs[0].timestamp, 10.0);
+  EXPECT_DOUBLE_EQ(msgs[2].timestamp, 30.0);
+  EXPECT_EQ(store.TotalRecords(), 4u);
+}
+
+TEST(ChatStoreTest, HasVideoAndMissingVideo) {
+  ChatStore store;
+  store.Put(Chat("v1", 1.0));
+  EXPECT_TRUE(store.HasVideo("v1"));
+  EXPECT_FALSE(store.HasVideo("v2"));
+  EXPECT_TRUE(store.GetByVideo("v2").empty());
+}
+
+TEST(ChatStoreTest, GetRangeHalfOpen) {
+  ChatStore store;
+  for (double t : {5.0, 10.0, 15.0, 20.0}) store.Put(Chat("v", t));
+  const auto range = store.GetRange("v", 10.0, 20.0);
+  ASSERT_EQ(range.size(), 2u);
+  EXPECT_DOUBLE_EQ(range[0].timestamp, 10.0);
+  EXPECT_DOUBLE_EQ(range[1].timestamp, 15.0);
+  EXPECT_TRUE(store.GetRange("v", 100.0, 200.0).empty());
+}
+
+TEST(ChatStoreTest, VideoIdsSorted) {
+  ChatStore store;
+  store.Put(Chat("zz", 1.0));
+  store.Put(Chat("aa", 1.0));
+  EXPECT_EQ(store.VideoIds(), (std::vector<std::string>{"aa", "zz"}));
+}
+
+InteractionRecord Interaction(const std::string& video, uint64_t session,
+                              double wall, StoredInteraction event) {
+  InteractionRecord rec;
+  rec.video_id = video;
+  rec.user = "u";
+  rec.session_id = session;
+  rec.event = event;
+  rec.wall_time = wall;
+  return rec;
+}
+
+TEST(InteractionStoreTest, GroupsBySession) {
+  InteractionStore store;
+  store.Put(Interaction("v", 1, 0.0, StoredInteraction::kPlay));
+  store.Put(Interaction("v", 2, 0.0, StoredInteraction::kPlay));
+  store.Put(Interaction("v", 1, 5.0, StoredInteraction::kPause));
+  const auto sessions = store.SessionsForVideo("v");
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions.at(1).size(), 2u);
+  EXPECT_EQ(sessions.at(2).size(), 1u);
+}
+
+TEST(InteractionStoreTest, SessionsSortedByWallTime) {
+  InteractionStore store;
+  store.Put(Interaction("v", 1, 9.0, StoredInteraction::kPause));
+  store.Put(Interaction("v", 1, 1.0, StoredInteraction::kPlay));
+  const auto sessions = store.SessionsForVideo("v");
+  const auto& events = sessions.at(1);
+  EXPECT_DOUBLE_EQ(events[0].wall_time, 1.0);
+  EXPECT_DOUBLE_EQ(events[1].wall_time, 9.0);
+}
+
+TEST(InteractionStoreTest, GenerationWatermark) {
+  InteractionStore store;
+  store.Put(Interaction("v", 1, 0.0, StoredInteraction::kPlay));
+  const uint64_t mark = store.current_generation() + 1;
+  store.Put(Interaction("v", 2, 0.0, StoredInteraction::kPlay));
+  const auto fresh = store.SessionsSince("v", mark);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh.begin()->first, 2u);
+}
+
+TEST(InteractionStoreTest, UnknownVideoEmpty) {
+  InteractionStore store;
+  EXPECT_TRUE(store.SessionsForVideo("none").empty());
+}
+
+HighlightRecord Dot(const std::string& video, int32_t index, int32_t iter,
+                    double start = 100.0) {
+  HighlightRecord rec;
+  rec.video_id = video;
+  rec.dot_index = index;
+  rec.iteration = iter;
+  rec.start = start;
+  rec.end = start + 20.0;
+  rec.dot_position = start;
+  return rec;
+}
+
+TEST(HighlightStoreTest, LatestPerDot) {
+  HighlightStore store;
+  store.Put(Dot("v", 0, 0, 100.0));
+  store.Put(Dot("v", 0, 1, 95.0));
+  store.Put(Dot("v", 1, 0, 500.0));
+  const auto latest = store.GetLatest("v");
+  ASSERT_EQ(latest.size(), 2u);
+  EXPECT_EQ(latest[0].iteration, 1);
+  EXPECT_DOUBLE_EQ(latest[0].start, 95.0);
+  EXPECT_EQ(latest[1].dot_index, 1);
+}
+
+TEST(HighlightStoreTest, HistoryOldestFirst) {
+  HighlightStore store;
+  store.Put(Dot("v", 0, 0));
+  store.Put(Dot("v", 0, 1));
+  store.Put(Dot("v", 0, 2));
+  const auto history = store.GetHistory("v", 0);
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history.front().iteration, 0);
+  EXPECT_EQ(history.back().iteration, 2);
+  EXPECT_TRUE(store.GetHistory("v", 9).empty());
+}
+
+TEST(HighlightStoreTest, GetDotAndMisses) {
+  HighlightStore store;
+  store.Put(Dot("v", 2, 0));
+  auto dot = store.GetDot("v", 2);
+  ASSERT_TRUE(dot.ok());
+  EXPECT_EQ(dot.value().dot_index, 2);
+  EXPECT_TRUE(store.GetDot("v", 0).status().IsNotFound());
+  EXPECT_TRUE(store.GetDot("w", 2).status().IsNotFound());
+}
+
+TEST(HighlightStoreTest, HasVideoScansPrefix) {
+  HighlightStore store;
+  EXPECT_FALSE(store.HasVideo("v"));
+  store.Put(Dot("v", 5, 0));
+  EXPECT_TRUE(store.HasVideo("v"));
+  EXPECT_FALSE(store.HasVideo("u"));
+  // "v" must not match a video named "va" via prefix confusion.
+  EXPECT_FALSE(store.HasVideo("va"));
+}
+
+}  // namespace
+}  // namespace lightor::storage

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/evaluation.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "storage/web_service.h"
+
+namespace lightor::storage {
+namespace {
+
+class WebServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("lightor_ws_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+
+    sim::Platform::Options popts;
+    popts.num_channels = 2;
+    popts.videos_per_channel = 2;
+    popts.seed = 61;
+    platform_ = std::make_unique<sim::Platform>(popts);
+
+    auto db = Database::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+
+    // Train the pipeline on an out-of-platform corpus video.
+    const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 62);
+    core::TrainingVideo tv;
+    tv.messages = sim::ToCoreMessages(corpus[0].chat);
+    tv.video_length = corpus[0].truth.meta.length;
+    for (const auto& h : corpus[0].truth.highlights) {
+      tv.highlights.push_back(h.span);
+    }
+    lightor_ = std::make_unique<core::Lightor>();
+    ASSERT_TRUE(lightor_->TrainInitializer({tv}).ok());
+
+    service_ = std::make_unique<WebService>(platform_.get(), db_.get(),
+                                            lightor_.get(), 5);
+    video_id_ = platform_->AllVideoIds()[0];
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<sim::Platform> platform_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<core::Lightor> lightor_;
+  std::unique_ptr<WebService> service_;
+  std::string video_id_;
+};
+
+TEST_F(WebServiceTest, FirstVisitCrawlsAndInitializes) {
+  EXPECT_FALSE(db_->chat().HasVideo(video_id_));
+  auto dots = service_->OnPageVisit(video_id_);
+  ASSERT_TRUE(dots.ok());
+  EXPECT_FALSE(dots.value().empty());
+  EXPECT_LE(dots.value().size(), 5u);
+  EXPECT_TRUE(db_->chat().HasVideo(video_id_));
+  EXPECT_TRUE(db_->highlights().HasVideo(video_id_));
+}
+
+TEST_F(WebServiceTest, SecondVisitServedFromStore) {
+  auto first = service_->OnPageVisit(video_id_);
+  ASSERT_TRUE(first.ok());
+  const size_t chat_records = db_->chat().TotalRecords();
+  auto second = service_->OnPageVisit(video_id_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(db_->chat().TotalRecords(), chat_records);  // no re-crawl
+  ASSERT_EQ(second.value().size(), first.value().size());
+  EXPECT_DOUBLE_EQ(second.value()[0].dot_position,
+                   first.value()[0].dot_position);
+}
+
+TEST_F(WebServiceTest, UnknownVideoIsNotFound) {
+  EXPECT_TRUE(service_->OnPageVisit("missing").status().IsNotFound());
+  EXPECT_TRUE(service_->GetHighlights("missing").status().IsNotFound());
+  EXPECT_TRUE(service_->Refine("missing").status().IsNotFound());
+}
+
+TEST_F(WebServiceTest, FullDeploymentLoopRefinesDots) {
+  auto dots = service_->OnPageVisit(video_id_);
+  ASSERT_TRUE(dots.ok());
+  const auto video = platform_->GetVideo(video_id_).value();
+
+  sim::ViewerSimulator viewers;
+  common::Rng rng(63);
+  uint64_t session_id = 0;
+  // Three rounds of: viewers interact around the published dots -> the
+  // service refines.
+  for (int round = 0; round < 3; ++round) {
+    const auto current = service_->GetHighlights(video_id_).value();
+    for (const auto& dot : current) {
+      for (int u = 0; u < 10; ++u) {
+        const auto session = viewers.SimulateSession(
+            video.truth, dot.dot_position, rng,
+            "w" + std::to_string(session_id));
+        ASSERT_TRUE(service_
+                        ->LogSession(video_id_, session.user, ++session_id,
+                                     session.events)
+                        .ok());
+      }
+    }
+    auto updated = service_->Refine(video_id_);
+    ASSERT_TRUE(updated.ok());
+    EXPECT_GT(updated.value(), 0);
+  }
+
+  const auto refined = service_->GetHighlights(video_id_).value();
+  std::vector<common::Interval> truth;
+  for (const auto& h : video.truth.highlights) truth.push_back(h.span);
+  std::vector<double> starts;
+  int iterations_advanced = 0;
+  for (const auto& dot : refined) {
+    starts.push_back(dot.start);
+    if (dot.iteration > 0) ++iterations_advanced;
+  }
+  EXPECT_GT(iterations_advanced, 0);
+  EXPECT_GT(core::VideoPrecisionStart(starts, truth), 0.4);
+}
+
+TEST_F(WebServiceTest, RefineConsumesWatermarkedInteractionsOnly) {
+  ASSERT_TRUE(service_->OnPageVisit(video_id_).ok());
+  const auto video = platform_->GetVideo(video_id_).value();
+  sim::ViewerSimulator viewers;
+  common::Rng rng(64);
+  const auto dots = service_->GetHighlights(video_id_).value();
+  for (int u = 0; u < 8; ++u) {
+    const auto session = viewers.SimulateSession(
+        video.truth, dots[0].dot_position, rng, "w");
+    ASSERT_TRUE(service_->LogSession(video_id_, "w", 1000 + u,
+                                     session.events)
+                    .ok());
+  }
+  ASSERT_TRUE(service_->Refine(video_id_).ok());
+  // Immediately refining again sees no new interactions: nothing updates.
+  auto second = service_->Refine(video_id_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 0);
+}
+
+}  // namespace
+}  // namespace lightor::storage

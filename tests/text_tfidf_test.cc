@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/features.h"
+#include "text/tfidf.h"
+
+namespace lightor::text {
+namespace {
+
+TEST(TfIdfVectorizerTest, VectorsAreUnitNorm) {
+  TfIdfVectorizer vec;
+  const auto vectors = vec.FitTransform({"gg wp", "what a play", "gg"});
+  for (const auto& v : vectors) {
+    if (v.empty()) continue;
+    EXPECT_NEAR(v.Norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(TfIdfVectorizerTest, RareTermsWeighMore) {
+  TfIdfVectorizer vec;
+  // "the" appears in every doc; "baron" in one.
+  const auto vectors = vec.FitTransform(
+      {"the baron", "the game", "the stream", "the chat"});
+  const int32_t the_id = vec.vocabulary().Lookup("the");
+  const int32_t baron_id = vec.vocabulary().Lookup("baron");
+  ASSERT_NE(the_id, Vocabulary::kUnknown);
+  ASSERT_NE(baron_id, Vocabulary::kUnknown);
+  EXPECT_GT(vec.idf()[static_cast<size_t>(baron_id)],
+            vec.idf()[static_cast<size_t>(the_id)]);
+  // In the first document the baron component dominates.
+  const auto& v0 = vectors[0];
+  double the_val = 0.0, baron_val = 0.0;
+  for (size_t i = 0; i < v0.indices.size(); ++i) {
+    if (v0.indices[i] == the_id) the_val = v0.values[i];
+    if (v0.indices[i] == baron_id) baron_val = v0.values[i];
+  }
+  EXPECT_GT(baron_val, the_val);
+}
+
+TEST(TfIdfVectorizerTest, EmptyInput) {
+  TfIdfVectorizer vec;
+  EXPECT_TRUE(vec.FitTransform({}).empty());
+  const auto vectors = vec.FitTransform({""});
+  ASSERT_EQ(vectors.size(), 1u);
+  EXPECT_TRUE(vectors[0].empty());
+}
+
+TEST(TfIdfSetSimilarityTest, SameVsDifferent) {
+  const double same = TfIdfSetSimilarity({"baron steal", "baron steal"});
+  const double diff =
+      TfIdfSetSimilarity({"aa bb cc", "dd ee ff", "gg hh ii"});
+  EXPECT_GT(same, diff);
+  EXPECT_NEAR(same, 1.0, 1e-9);
+}
+
+TEST(JaccardSimilarityTest, Basics) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 0.0);
+  // Duplicates collapse to sets.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a"}, {"a"}), 1.0);
+}
+
+TEST(JaccardSetSimilarityTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(JaccardSetSimilarity({}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSetSimilarity({"solo msg"}), 1.0);
+  EXPECT_NEAR(JaccardSetSimilarity({"gg wp", "gg wp", "gg wp"}), 1.0, 1e-12);
+}
+
+// All similarity backends must produce the same *ordering*: topical burst
+// messages score above random chatter.
+class BackendTest
+    : public ::testing::TestWithParam<core::SimilarityBackend> {};
+
+TEST_P(BackendTest, BurstScoresAboveChatter) {
+  core::WindowFeaturizer featurizer(TokenizerOptions{}, GetParam());
+  auto window_of = [](const std::vector<std::string>& texts) {
+    std::vector<core::Message> messages;
+    for (size_t i = 0; i < texts.size(); ++i) {
+      core::Message m;
+      m.timestamp = static_cast<double>(i);
+      m.text = texts[i];
+      messages.push_back(m);
+    }
+    core::SlidingWindow w;
+    w.span = common::Interval(0, 100);
+    w.first_message = 0;
+    w.last_message = messages.size();
+    return std::make_pair(messages, w);
+  };
+  const auto [burst_msgs, burst_win] = window_of(
+      {"baron PogChamp", "baron wow", "omg baron", "baron steal wow"});
+  const auto [chat_msgs, chat_win] = window_of(
+      {"what song is this", "anyone know the score today",
+       "lag again on my end", "first time watching this channel"});
+  const double burst =
+      featurizer.Compute(burst_msgs, burst_win).message_similarity;
+  const double chatter =
+      featurizer.Compute(chat_msgs, chat_win).message_similarity;
+  EXPECT_GT(burst, chatter);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendTest,
+    ::testing::Values(core::SimilarityBackend::kBagOfWords,
+                      core::SimilarityBackend::kTfIdf,
+                      core::SimilarityBackend::kEmbedding,
+                      core::SimilarityBackend::kJaccard));
+
+}  // namespace
+}  // namespace lightor::text

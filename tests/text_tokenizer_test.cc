@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "text/emotes.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace lightor::text {
+namespace {
+
+TEST(TokenizerTest, BasicSplit) {
+  Tokenizer tok;
+  const auto tokens = tok.Tokenize("what a play");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "what");
+  EXPECT_EQ(tokens[2], "play");
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("PogChamp")[0], "pogchamp");
+}
+
+TEST(TokenizerTest, CaseSensitiveOption) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  Tokenizer tok(opts);
+  EXPECT_EQ(tok.Tokenize("PogChamp")[0], "PogChamp");
+}
+
+TEST(TokenizerTest, StripsSurroundingPunctuation) {
+  Tokenizer tok;
+  const auto tokens = tok.Tokenize("gg!! ...wow?? (nice)");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "gg");
+  EXPECT_EQ(tokens[1], "wow");
+  EXPECT_EQ(tokens[2], "nice");
+}
+
+TEST(TokenizerTest, DropsPurePunctuationTokens) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("!!! ??? ...").empty());
+}
+
+TEST(TokenizerTest, KeepsInnerPunctuation) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("don't")[0], "don't");
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  TokenizerOptions opts;
+  opts.min_token_length = 3;
+  Tokenizer tok(opts);
+  const auto tokens = tok.Tokenize("a bb ccc dddd");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "ccc");
+}
+
+TEST(TokenizerTest, CountWordsIsWhitespaceBased) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.CountWords("one two three"), 3u);
+  EXPECT_EQ(tok.CountWords(""), 0u);
+  EXPECT_EQ(tok.CountWords("  padded   words "), 2u);
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+}
+
+TEST(VocabularyTest, AssignsDenseIdsInOrder) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.AddToken("gg"), 0);
+  EXPECT_EQ(vocab.AddToken("wow"), 1);
+  EXPECT_EQ(vocab.AddToken("gg"), 0);
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, LookupMissReturnsUnknown) {
+  Vocabulary vocab;
+  vocab.AddToken("x");
+  EXPECT_EQ(vocab.Lookup("x"), 0);
+  EXPECT_EQ(vocab.Lookup("y"), Vocabulary::kUnknown);
+}
+
+TEST(VocabularyTest, TokenOfRoundTrips) {
+  Vocabulary vocab;
+  const int32_t id = vocab.AddToken("baron");
+  EXPECT_EQ(vocab.TokenOf(id), "baron");
+}
+
+TEST(VocabularyTest, CountsTrackOccurrences) {
+  Vocabulary vocab;
+  vocab.AddToken("a");
+  vocab.AddToken("b");
+  vocab.AddToken("a");
+  vocab.AddToken("a");
+  EXPECT_EQ(vocab.CountOf(vocab.Lookup("a")), 3);
+  EXPECT_EQ(vocab.CountOf(vocab.Lookup("b")), 1);
+  EXPECT_EQ(vocab.CountOf(Vocabulary::kUnknown), 0);
+}
+
+TEST(VocabularyTest, TopKByFrequency) {
+  Vocabulary vocab;
+  for (int i = 0; i < 5; ++i) vocab.AddToken("common");
+  for (int i = 0; i < 2; ++i) vocab.AddToken("medium");
+  vocab.AddToken("rare");
+  const auto top = vocab.TopKByFrequency(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(vocab.TokenOf(top[0]), "common");
+  EXPECT_EQ(vocab.TokenOf(top[1]), "medium");
+}
+
+TEST(EmoteLexiconTest, DomainLexiconsAreDisjointish) {
+  const auto dota = EmoteLexicon::ForDomain(EmoteDomain::kDota2);
+  const auto lol = EmoteLexicon::ForDomain(EmoteDomain::kLol);
+  EXPECT_GT(dota.size(), 0u);
+  EXPECT_GT(lol.size(), 0u);
+  for (const auto& e : dota.emotes()) EXPECT_FALSE(lol.Contains(e));
+}
+
+TEST(EmoteLexiconTest, ChannelMergesGlobal) {
+  const auto global = EmoteLexicon::ForDomain(EmoteDomain::kGlobal);
+  const auto channel = EmoteLexicon::ForChannel(EmoteDomain::kDota2);
+  for (const auto& e : global.emotes()) EXPECT_TRUE(channel.Contains(e));
+  EXPECT_GT(channel.size(), global.size());
+}
+
+TEST(EmoteLexiconTest, ContainsIsCaseSensitive) {
+  const auto lexicon = EmoteLexicon::ForDomain(EmoteDomain::kGlobal);
+  EXPECT_TRUE(lexicon.Contains("PogChamp"));
+  EXPECT_FALSE(lexicon.Contains("pogchamp"));
+}
+
+TEST(EmoteLexiconTest, EmoteFraction) {
+  const auto lexicon = EmoteLexicon::ForDomain(EmoteDomain::kGlobal);
+  EXPECT_DOUBLE_EQ(lexicon.EmoteFraction({"PogChamp", "hello"}), 0.5);
+  EXPECT_DOUBLE_EQ(lexicon.EmoteFraction({}), 0.0);
+}
+
+TEST(EmoteLexiconTest, DeduplicatesInput) {
+  EmoteLexicon lexicon({"A", "A", "B"});
+  EXPECT_EQ(lexicon.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lightor::text

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/embedding.h"
+#include "text/similarity.h"
+#include "text/vectorizer.h"
+
+namespace lightor::text {
+namespace {
+
+TEST(SparseVectorTest, NormAndDot) {
+  SparseVector a{{0, 2}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  SparseVector b{{1, 2}, {1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 8.0);  // only index 2 overlaps: 4*2
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+}
+
+TEST(SparseVectorTest, DotWithDense) {
+  SparseVector a{{0, 3}, {2.0, 5.0}};
+  const std::vector<double> dense = {1.0, 0.0, 0.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.Dot(dense), 12.0);
+  // Out-of-range sparse indices contribute nothing.
+  SparseVector big{{10}, {7.0}};
+  EXPECT_DOUBLE_EQ(big.Dot(dense), 0.0);
+}
+
+TEST(CosineSimilarityTest, IdenticalOrthogonalEmpty) {
+  SparseVector a{{0, 1}, {1.0, 1.0}};
+  SparseVector b{{2, 3}, {1.0, 1.0}};
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  SparseVector empty;
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, empty), 0.0);
+}
+
+TEST(BowVectorizerTest, BinaryVectorsDedupTokens) {
+  BowVectorizer vec;
+  const auto v = vec.FitTransform("gg gg gg wow");
+  EXPECT_EQ(v.nnz(), 2u);  // "gg" and "wow"
+  for (double x : v.values) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(BowVectorizerTest, TransformIgnoresUnseenTokens) {
+  BowVectorizer vec;
+  vec.FitTransform("alpha beta");
+  const auto v = vec.Transform("alpha gamma");
+  EXPECT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(vec.vocabulary().size(), 2u);  // gamma not added
+}
+
+TEST(BowVectorizerTest, IndicesSortedUnique) {
+  BowVectorizer vec;
+  const auto v = vec.FitTransform("z y x z y");
+  ASSERT_EQ(v.nnz(), 3u);
+  EXPECT_LT(v.indices[0], v.indices[1]);
+  EXPECT_LT(v.indices[1], v.indices[2]);
+}
+
+TEST(BowVectorizerTest, BatchGrowsVocabulary) {
+  BowVectorizer vec;
+  const auto batch = vec.FitTransformBatch({"a b", "b c", "c d"});
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(vec.vocabulary().size(), 4u);
+}
+
+TEST(OneClusterKMeansTest, CenterIsMean) {
+  // Two identical binary vectors: center equals them.
+  SparseVector a{{0, 1}, {1.0, 1.0}};
+  const auto center = OneClusterKMeansCenter({a, a});
+  ASSERT_EQ(center.size(), 2u);
+  EXPECT_DOUBLE_EQ(center[0], 1.0);
+  EXPECT_DOUBLE_EQ(center[1], 1.0);
+}
+
+TEST(OneClusterKMeansTest, PartialMembership) {
+  SparseVector a{{0}, {1.0}};
+  SparseVector b{{1}, {1.0}};
+  const auto center = OneClusterKMeansCenter({a, b});
+  ASSERT_EQ(center.size(), 2u);
+  EXPECT_DOUBLE_EQ(center[0], 0.5);
+  EXPECT_DOUBLE_EQ(center[1], 0.5);
+}
+
+TEST(OneClusterKMeansTest, EmptyInput) {
+  EXPECT_TRUE(OneClusterKMeansCenter({}).empty());
+}
+
+TEST(MessageSetSimilarityTest, IdenticalMessagesScoreOne) {
+  EXPECT_NEAR(MessageSetSimilarity({"gg wp", "gg wp", "gg wp"}), 1.0, 1e-9);
+}
+
+TEST(MessageSetSimilarityTest, DisjointMessagesScoreLow) {
+  const double sim =
+      MessageSetSimilarity({"aa bb", "cc dd", "ee ff", "gg hh"});
+  EXPECT_LT(sim, 0.6);
+  EXPECT_GT(sim, 0.0);  // every vector still projects onto the center
+}
+
+TEST(MessageSetSimilarityTest, SimilarBeatsDissimilar) {
+  const double similar =
+      MessageSetSimilarity({"baron steal", "baron wow", "omg baron"});
+  const double dissimilar =
+      MessageSetSimilarity({"what song is this", "lag again today",
+                            "anyone know the score"});
+  EXPECT_GT(similar, dissimilar);
+}
+
+TEST(MessageSetSimilarityTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(MessageSetSimilarity(std::vector<std::string>{}), 0.0);
+  EXPECT_DOUBLE_EQ(MessageSetSimilarity({"", "", ""}), 0.0);
+  EXPECT_NEAR(MessageSetSimilarity({"solo"}), 1.0, 1e-12);
+}
+
+TEST(MeanPairwiseSimilarityTest, MatchesIntuition) {
+  BowVectorizer vec;
+  const auto batch = vec.FitTransformBatch({"a b", "a b", "c d"});
+  const double sim = MeanPairwiseSimilarity(batch);
+  // pairs: (1.0, 0.0, 0.0) / 3
+  EXPECT_NEAR(sim, 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(MeanPairwiseSimilarity({}), 0.0);
+}
+
+TEST(HashingEmbedderTest, DeterministicUnitTokens) {
+  HashingEmbedder emb(16, 7);
+  const auto v1 = emb.EmbedToken("baron");
+  const auto v2 = emb.EmbedToken("baron");
+  EXPECT_EQ(v1, v2);
+  double norm = 0.0;
+  for (double x : v1) norm += x * x;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-9);
+}
+
+TEST(HashingEmbedderTest, DifferentTokensDiffer) {
+  HashingEmbedder emb(16, 7);
+  EXPECT_NE(emb.EmbedToken("baron"), emb.EmbedToken("dragon"));
+}
+
+TEST(HashingEmbedderTest, MessageIsMeanOfTokens) {
+  HashingEmbedder emb(8, 3);
+  const auto a = emb.EmbedToken("x");
+  const auto b = emb.EmbedToken("y");
+  const auto msg = emb.EmbedMessage("x y");
+  for (size_t i = 0; i < emb.dims(); ++i) {
+    EXPECT_NEAR(msg[i], 0.5 * (a[i] + b[i]), 1e-12);
+  }
+}
+
+TEST(HashingEmbedderTest, EmptyMessageIsZero) {
+  HashingEmbedder emb(8, 3);
+  for (double x : emb.EmbedMessage("")) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(DenseCosineTest, Basics) {
+  EXPECT_NEAR(DenseCosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(DenseCosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(DenseCosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(DenseCosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(EmbeddingSetSimilarityTest, IdenticalHigh) {
+  HashingEmbedder emb(16, 5);
+  const double sim = EmbeddingSetSimilarity({"gg wp", "gg wp"}, emb);
+  EXPECT_NEAR(sim, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lightor::text

@@ -1,0 +1,252 @@
+/// lightor — command-line front end for the full workflow.
+///
+///   lightor gen     --game=dota2 --videos=10 --seed=7 --out=corpus/
+///   lightor train   --corpus=corpus/ --train-videos=1 --model=m.model
+///   lightor detect  --corpus=corpus/ --model=m.model --video=<id> --k=5
+///   lightor detect  --model=m.model --chat=chat.csv [--video-length=S]
+///   lightor eval    --corpus=corpus/ --model=m.model --k=5 [--skip=N]
+///   lightor extract --corpus=corpus/ --model=m.model --video=<id> --k=5
+///                   [--viewers=10]
+///
+/// `gen` synthesizes a labelled corpus to disk (CSV traces); `train`
+/// fits the Highlight Initializer on the first N videos and saves the
+/// model; `detect` prints red dots for one video; `eval` scores Video
+/// Precision@K over the corpus; `extract` runs the full two-stage
+/// pipeline with a simulated crowd.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/strings.h"
+#include "core/evaluation.h"
+#include "core/model_io.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/trace_io.h"
+#include "sim/viewer_simulator.h"
+
+using namespace lightor;  // NOLINT
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lightor <gen|train|detect|eval|extract> [--flags]\n"
+               "run with a command and no flags to see its options\n");
+  return 2;
+}
+
+int Fail(const common::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+common::Result<sim::Corpus> LoadCorpusFlag(const common::Flags& flags) {
+  const std::string dir = flags.GetString("corpus");
+  if (dir.empty()) {
+    return common::Status::InvalidArgument("--corpus=DIR is required");
+  }
+  return sim::LoadCorpus(dir);
+}
+
+common::Result<size_t> FindVideo(const sim::Corpus& corpus,
+                                 const std::string& id) {
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (corpus[i].truth.meta.id == id) return i;
+  }
+  return common::Status::NotFound("no video '" + id +
+                                  "' in the corpus (see corpus.index)");
+}
+
+int CmdGen(const common::Flags& flags) {
+  const std::string out = flags.GetString("out");
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "gen: --out=DIR required "
+                 "[--game=dota2|lol --videos=N --seed=S --rate=1.0]\n");
+    return 2;
+  }
+  const sim::GameType game = flags.GetString("game", "dota2") == "lol"
+                                 ? sim::GameType::kLol
+                                 : sim::GameType::kDota2;
+  const int videos = static_cast<int>(flags.GetInt("videos", 10));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const double rate = flags.GetDouble("rate", 1.0);
+  const auto corpus = sim::MakeCorpus(game, videos, seed, rate);
+  if (auto st = sim::SaveCorpus(corpus, out); !st.ok()) return Fail(st);
+  size_t messages = 0;
+  for (const auto& v : corpus) messages += v.chat.size();
+  std::printf("wrote %d %s videos (%zu chat messages) to %s\n", videos,
+              sim::GameTypeName(game).c_str(), messages, out.c_str());
+  return 0;
+}
+
+int CmdTrain(const common::Flags& flags) {
+  const std::string model_path = flags.GetString("model");
+  if (model_path.empty()) {
+    std::fprintf(stderr,
+                 "train: --corpus=DIR --model=FILE required "
+                 "[--train-videos=1]\n");
+    return 2;
+  }
+  auto corpus = LoadCorpusFlag(flags);
+  if (!corpus.ok()) return Fail(corpus.status());
+  const auto n = static_cast<size_t>(flags.GetInt("train-videos", 1));
+  std::vector<core::TrainingVideo> training;
+  for (size_t i = 0; i < std::min(n, corpus.value().size()); ++i) {
+    const auto& video = corpus.value()[i];
+    core::TrainingVideo tv;
+    tv.messages = sim::ToCoreMessages(video.chat);
+    tv.video_length = video.truth.meta.length;
+    for (const auto& h : video.truth.highlights) {
+      tv.highlights.push_back(h.span);
+    }
+    training.push_back(std::move(tv));
+  }
+  core::HighlightInitializer init;
+  if (auto st = init.Train(training); !st.ok()) return Fail(st);
+  if (auto st = core::SaveInitializer(init, model_path); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("trained on %zu video(s); learned c = %.0f s; model -> %s\n",
+              training.size(), init.adjustment_c(), model_path.c_str());
+  return 0;
+}
+
+common::Result<core::HighlightInitializer> LoadModelFlag(
+    const common::Flags& flags) {
+  const std::string path = flags.GetString("model");
+  if (path.empty()) {
+    return common::Status::InvalidArgument("--model=FILE is required");
+  }
+  return core::LoadInitializer(path);
+}
+
+int CmdDetect(const common::Flags& flags) {
+  auto model = LoadModelFlag(flags);
+  if (!model.ok()) return Fail(model.status());
+  const auto k = static_cast<size_t>(flags.GetInt("k", 5));
+
+  // Two input modes: a corpus video (with ground truth) or an external
+  // chat CSV (--chat=FILE [--video-length=S]).
+  if (flags.Has("chat")) {
+    auto messages = sim::LoadChatCsv(flags.GetString("chat"));
+    if (!messages.ok()) return Fail(messages.status());
+    double length = flags.GetDouble("video-length", 0.0);
+    if (length <= 0.0 && !messages.value().empty()) {
+      length = messages.value().back().timestamp + 60.0;
+    }
+    const auto dots = model.value().Detect(messages.value(), length, k);
+    common::TextTable table({"red dot", "score", "peak"});
+    for (const auto& dot : dots) {
+      table.AddRow({common::FormatTimestamp(dot.position),
+                    common::FormatDouble(dot.score, 3),
+                    common::FormatTimestamp(dot.peak)});
+    }
+    table.Print(std::cout);
+    return 0;
+  }
+
+  auto corpus = LoadCorpusFlag(flags);
+  if (!corpus.ok()) return Fail(corpus.status());
+  auto index = FindVideo(corpus.value(), flags.GetString("video"));
+  if (!index.ok()) return Fail(index.status());
+  const auto& video = corpus.value()[index.value()];
+
+  const auto dots = model.value().Detect(sim::ToCoreMessages(video.chat),
+                                         video.truth.meta.length, k);
+  common::TextTable table({"red dot", "score", "peak", "good?"});
+  const auto truth_spans = [&] {
+    std::vector<common::Interval> spans;
+    for (const auto& h : video.truth.highlights) spans.push_back(h.span);
+    return spans;
+  }();
+  for (const auto& dot : dots) {
+    table.AddRow({common::FormatTimestamp(dot.position),
+                  common::FormatDouble(dot.score, 3),
+                  common::FormatTimestamp(dot.peak),
+                  core::IsGoodRedDotForAny(dot.position, truth_spans)
+                      ? "yes"
+                      : "no"});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdEval(const common::Flags& flags) {
+  auto corpus = LoadCorpusFlag(flags);
+  if (!corpus.ok()) return Fail(corpus.status());
+  auto model = LoadModelFlag(flags);
+  if (!model.ok()) return Fail(model.status());
+  const auto k = static_cast<size_t>(flags.GetInt("k", 5));
+  const auto skip = static_cast<size_t>(flags.GetInt("skip", 0));
+
+  double total = 0.0;
+  int n = 0;
+  for (size_t i = skip; i < corpus.value().size(); ++i) {
+    const auto& video = corpus.value()[i];
+    std::vector<common::Interval> truth;
+    for (const auto& h : video.truth.highlights) truth.push_back(h.span);
+    const auto dots = model.value().Detect(sim::ToCoreMessages(video.chat),
+                                           video.truth.meta.length, k);
+    const double p =
+        core::VideoPrecisionStart(core::DotPositions(dots), truth);
+    std::printf("%-24s P@%zu(start) = %.3f\n", video.truth.meta.id.c_str(),
+                k, p);
+    total += p;
+    ++n;
+  }
+  if (n > 0) {
+    std::printf("mean over %d videos: %.3f\n", n, total / n);
+  }
+  return 0;
+}
+
+int CmdExtract(const common::Flags& flags) {
+  auto corpus = LoadCorpusFlag(flags);
+  if (!corpus.ok()) return Fail(corpus.status());
+  auto model = LoadModelFlag(flags);
+  if (!model.ok()) return Fail(model.status());
+  auto index = FindVideo(corpus.value(), flags.GetString("video"));
+  if (!index.ok()) return Fail(index.status());
+  const auto& video = corpus.value()[index.value()];
+  const auto k = static_cast<size_t>(flags.GetInt("k", 5));
+  const int viewers = static_cast<int>(flags.GetInt("viewers", 10));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  const auto dots = model.value().Detect(sim::ToCoreMessages(video.chat),
+                                         video.truth.meta.length, k);
+  core::HighlightExtractor extractor;
+  common::Rng rng(seed);
+  common::TextTable table({"dot", "highlight", "iterations", "converged"});
+  for (const auto& dot : dots) {
+    sim::SimulatedCrowdProvider provider(video.truth, sim::ViewerSimulator(),
+                                         viewers, rng.Fork());
+    const auto result = extractor.Run(provider, dot.position);
+    table.AddRow({common::FormatTimestamp(dot.position),
+                  "[" + common::FormatTimestamp(result.boundary.start) +
+                      " .. " + common::FormatTimestamp(result.boundary.end) +
+                      "]",
+                  std::to_string(result.iterations),
+                  result.converged ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const common::Flags flags = common::Flags::Parse(argc - 1, argv + 1);
+  if (command == "gen") return CmdGen(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "detect") return CmdDetect(flags);
+  if (command == "eval") return CmdEval(flags);
+  if (command == "extract") return CmdExtract(flags);
+  return Usage();
+}
