@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rnn.dir/ablation_rnn.cc.o"
+  "CMakeFiles/ablation_rnn.dir/ablation_rnn.cc.o.d"
+  "ablation_rnn"
+  "ablation_rnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

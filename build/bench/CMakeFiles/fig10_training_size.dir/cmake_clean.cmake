@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_training_size.dir/fig10_training_size.cc.o"
+  "CMakeFiles/fig10_training_size.dir/fig10_training_size.cc.o.d"
+  "fig10_training_size"
+  "fig10_training_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_training_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

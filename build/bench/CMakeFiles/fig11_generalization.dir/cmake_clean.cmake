@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_generalization.dir/fig11_generalization.cc.o"
+  "CMakeFiles/fig11_generalization.dir/fig11_generalization.cc.o.d"
+  "fig11_generalization"
+  "fig11_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

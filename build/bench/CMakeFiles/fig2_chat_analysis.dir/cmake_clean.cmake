@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_chat_analysis.dir/fig2_chat_analysis.cc.o"
+  "CMakeFiles/fig2_chat_analysis.dir/fig2_chat_analysis.cc.o.d"
+  "fig2_chat_analysis"
+  "fig2_chat_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_chat_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

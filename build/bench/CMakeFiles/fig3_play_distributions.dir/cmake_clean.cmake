@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_play_distributions.dir/fig3_play_distributions.cc.o"
+  "CMakeFiles/fig3_play_distributions.dir/fig3_play_distributions.cc.o.d"
+  "fig3_play_distributions"
+  "fig3_play_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_play_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_prediction.dir/fig6_prediction.cc.o"
+  "CMakeFiles/fig6_prediction.dir/fig6_prediction.cc.o.d"
+  "fig6_prediction"
+  "fig6_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_adjustment.dir/fig7_adjustment.cc.o"
+  "CMakeFiles/fig7_adjustment.dir/fig7_adjustment.cc.o.d"
+  "fig7_adjustment"
+  "fig7_adjustment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_adjustment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_extractor.dir/fig8_extractor.cc.o"
+  "CMakeFiles/fig8_extractor.dir/fig8_extractor.cc.o.d"
+  "fig8_extractor"
+  "fig8_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

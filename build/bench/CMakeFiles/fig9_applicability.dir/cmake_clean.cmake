@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_applicability.dir/fig9_applicability.cc.o"
+  "CMakeFiles/fig9_applicability.dir/fig9_applicability.cc.o.d"
+  "fig9_applicability"
+  "fig9_applicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_bootstrap.dir/future_bootstrap.cc.o"
+  "CMakeFiles/future_bootstrap.dir/future_bootstrap.cc.o.d"
+  "future_bootstrap"
+  "future_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

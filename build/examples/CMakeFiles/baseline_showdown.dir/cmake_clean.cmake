@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_showdown.dir/baseline_showdown.cpp.o"
+  "CMakeFiles/baseline_showdown.dir/baseline_showdown.cpp.o.d"
+  "baseline_showdown"
+  "baseline_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_extension_backend.dir/browser_extension_backend.cpp.o"
+  "CMakeFiles/browser_extension_backend.dir/browser_extension_backend.cpp.o.d"
+  "browser_extension_backend"
+  "browser_extension_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_extension_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

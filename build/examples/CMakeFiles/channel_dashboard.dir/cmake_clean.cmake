@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_dashboard.dir/channel_dashboard.cpp.o"
+  "CMakeFiles/channel_dashboard.dir/channel_dashboard.cpp.o.d"
+  "channel_dashboard"
+  "channel_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bootstrapped_lstm.cc" "src/baselines/CMakeFiles/lightor_baselines.dir/bootstrapped_lstm.cc.o" "gcc" "src/baselines/CMakeFiles/lightor_baselines.dir/bootstrapped_lstm.cc.o.d"
+  "/root/repo/src/baselines/chat_lstm.cc" "src/baselines/CMakeFiles/lightor_baselines.dir/chat_lstm.cc.o" "gcc" "src/baselines/CMakeFiles/lightor_baselines.dir/chat_lstm.cc.o.d"
+  "/root/repo/src/baselines/joint_lstm.cc" "src/baselines/CMakeFiles/lightor_baselines.dir/joint_lstm.cc.o" "gcc" "src/baselines/CMakeFiles/lightor_baselines.dir/joint_lstm.cc.o.d"
+  "/root/repo/src/baselines/moocer.cc" "src/baselines/CMakeFiles/lightor_baselines.dir/moocer.cc.o" "gcc" "src/baselines/CMakeFiles/lightor_baselines.dir/moocer.cc.o.d"
+  "/root/repo/src/baselines/naive_top_count.cc" "src/baselines/CMakeFiles/lightor_baselines.dir/naive_top_count.cc.o" "gcc" "src/baselines/CMakeFiles/lightor_baselines.dir/naive_top_count.cc.o.d"
+  "/root/repo/src/baselines/socialskip.cc" "src/baselines/CMakeFiles/lightor_baselines.dir/socialskip.cc.o" "gcc" "src/baselines/CMakeFiles/lightor_baselines.dir/socialskip.cc.o.d"
+  "/root/repo/src/baselines/toretter.cc" "src/baselines/CMakeFiles/lightor_baselines.dir/toretter.cc.o" "gcc" "src/baselines/CMakeFiles/lightor_baselines.dir/toretter.cc.o.d"
+  "/root/repo/src/baselines/video_features.cc" "src/baselines/CMakeFiles/lightor_baselines.dir/video_features.cc.o" "gcc" "src/baselines/CMakeFiles/lightor_baselines.dir/video_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lightor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lightor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lightor_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lightor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lightor_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightor_baselines.dir/bootstrapped_lstm.cc.o"
+  "CMakeFiles/lightor_baselines.dir/bootstrapped_lstm.cc.o.d"
+  "CMakeFiles/lightor_baselines.dir/chat_lstm.cc.o"
+  "CMakeFiles/lightor_baselines.dir/chat_lstm.cc.o.d"
+  "CMakeFiles/lightor_baselines.dir/joint_lstm.cc.o"
+  "CMakeFiles/lightor_baselines.dir/joint_lstm.cc.o.d"
+  "CMakeFiles/lightor_baselines.dir/moocer.cc.o"
+  "CMakeFiles/lightor_baselines.dir/moocer.cc.o.d"
+  "CMakeFiles/lightor_baselines.dir/naive_top_count.cc.o"
+  "CMakeFiles/lightor_baselines.dir/naive_top_count.cc.o.d"
+  "CMakeFiles/lightor_baselines.dir/socialskip.cc.o"
+  "CMakeFiles/lightor_baselines.dir/socialskip.cc.o.d"
+  "CMakeFiles/lightor_baselines.dir/toretter.cc.o"
+  "CMakeFiles/lightor_baselines.dir/toretter.cc.o.d"
+  "CMakeFiles/lightor_baselines.dir/video_features.cc.o"
+  "CMakeFiles/lightor_baselines.dir/video_features.cc.o.d"
+  "liblightor_baselines.a"
+  "liblightor_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightor_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightor_common.dir/csv.cc.o"
+  "CMakeFiles/lightor_common.dir/csv.cc.o.d"
+  "CMakeFiles/lightor_common.dir/flags.cc.o"
+  "CMakeFiles/lightor_common.dir/flags.cc.o.d"
+  "CMakeFiles/lightor_common.dir/logging.cc.o"
+  "CMakeFiles/lightor_common.dir/logging.cc.o.d"
+  "CMakeFiles/lightor_common.dir/parallel.cc.o"
+  "CMakeFiles/lightor_common.dir/parallel.cc.o.d"
+  "CMakeFiles/lightor_common.dir/rng.cc.o"
+  "CMakeFiles/lightor_common.dir/rng.cc.o.d"
+  "CMakeFiles/lightor_common.dir/stats.cc.o"
+  "CMakeFiles/lightor_common.dir/stats.cc.o.d"
+  "CMakeFiles/lightor_common.dir/status.cc.o"
+  "CMakeFiles/lightor_common.dir/status.cc.o.d"
+  "CMakeFiles/lightor_common.dir/strings.cc.o"
+  "CMakeFiles/lightor_common.dir/strings.cc.o.d"
+  "liblightor_common.a"
+  "liblightor_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightor_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adjustment.cc" "src/core/CMakeFiles/lightor_core.dir/adjustment.cc.o" "gcc" "src/core/CMakeFiles/lightor_core.dir/adjustment.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/lightor_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/lightor_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/extractor.cc" "src/core/CMakeFiles/lightor_core.dir/extractor.cc.o" "gcc" "src/core/CMakeFiles/lightor_core.dir/extractor.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/lightor_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/lightor_core.dir/features.cc.o.d"
+  "/root/repo/src/core/initializer.cc" "src/core/CMakeFiles/lightor_core.dir/initializer.cc.o" "gcc" "src/core/CMakeFiles/lightor_core.dir/initializer.cc.o.d"
+  "/root/repo/src/core/lightor.cc" "src/core/CMakeFiles/lightor_core.dir/lightor.cc.o" "gcc" "src/core/CMakeFiles/lightor_core.dir/lightor.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/lightor_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/lightor_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/window.cc" "src/core/CMakeFiles/lightor_core.dir/window.cc.o" "gcc" "src/core/CMakeFiles/lightor_core.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lightor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lightor_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lightor_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightor_core.dir/adjustment.cc.o"
+  "CMakeFiles/lightor_core.dir/adjustment.cc.o.d"
+  "CMakeFiles/lightor_core.dir/evaluation.cc.o"
+  "CMakeFiles/lightor_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/lightor_core.dir/extractor.cc.o"
+  "CMakeFiles/lightor_core.dir/extractor.cc.o.d"
+  "CMakeFiles/lightor_core.dir/features.cc.o"
+  "CMakeFiles/lightor_core.dir/features.cc.o.d"
+  "CMakeFiles/lightor_core.dir/initializer.cc.o"
+  "CMakeFiles/lightor_core.dir/initializer.cc.o.d"
+  "CMakeFiles/lightor_core.dir/lightor.cc.o"
+  "CMakeFiles/lightor_core.dir/lightor.cc.o.d"
+  "CMakeFiles/lightor_core.dir/model_io.cc.o"
+  "CMakeFiles/lightor_core.dir/model_io.cc.o.d"
+  "CMakeFiles/lightor_core.dir/window.cc.o"
+  "CMakeFiles/lightor_core.dir/window.cc.o.d"
+  "liblightor_core.a"
+  "liblightor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

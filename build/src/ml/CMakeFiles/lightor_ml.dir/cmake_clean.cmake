@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightor_ml.dir/dataset.cc.o"
+  "CMakeFiles/lightor_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/lightor_ml.dir/gru.cc.o"
+  "CMakeFiles/lightor_ml.dir/gru.cc.o.d"
+  "CMakeFiles/lightor_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/lightor_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/lightor_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/lightor_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/lightor_ml.dir/lstm.cc.o"
+  "CMakeFiles/lightor_ml.dir/lstm.cc.o.d"
+  "CMakeFiles/lightor_ml.dir/matrix.cc.o"
+  "CMakeFiles/lightor_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/lightor_ml.dir/metrics.cc.o"
+  "CMakeFiles/lightor_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/lightor_ml.dir/optimizer.cc.o"
+  "CMakeFiles/lightor_ml.dir/optimizer.cc.o.d"
+  "CMakeFiles/lightor_ml.dir/scaler.cc.o"
+  "CMakeFiles/lightor_ml.dir/scaler.cc.o.d"
+  "liblightor_ml.a"
+  "liblightor_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightor_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

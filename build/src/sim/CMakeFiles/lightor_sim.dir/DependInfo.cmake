@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bridge.cc" "src/sim/CMakeFiles/lightor_sim.dir/bridge.cc.o" "gcc" "src/sim/CMakeFiles/lightor_sim.dir/bridge.cc.o.d"
+  "/root/repo/src/sim/chat_simulator.cc" "src/sim/CMakeFiles/lightor_sim.dir/chat_simulator.cc.o" "gcc" "src/sim/CMakeFiles/lightor_sim.dir/chat_simulator.cc.o.d"
+  "/root/repo/src/sim/corpus.cc" "src/sim/CMakeFiles/lightor_sim.dir/corpus.cc.o" "gcc" "src/sim/CMakeFiles/lightor_sim.dir/corpus.cc.o.d"
+  "/root/repo/src/sim/game_profile.cc" "src/sim/CMakeFiles/lightor_sim.dir/game_profile.cc.o" "gcc" "src/sim/CMakeFiles/lightor_sim.dir/game_profile.cc.o.d"
+  "/root/repo/src/sim/platform.cc" "src/sim/CMakeFiles/lightor_sim.dir/platform.cc.o" "gcc" "src/sim/CMakeFiles/lightor_sim.dir/platform.cc.o.d"
+  "/root/repo/src/sim/trace_io.cc" "src/sim/CMakeFiles/lightor_sim.dir/trace_io.cc.o" "gcc" "src/sim/CMakeFiles/lightor_sim.dir/trace_io.cc.o.d"
+  "/root/repo/src/sim/video_generator.cc" "src/sim/CMakeFiles/lightor_sim.dir/video_generator.cc.o" "gcc" "src/sim/CMakeFiles/lightor_sim.dir/video_generator.cc.o.d"
+  "/root/repo/src/sim/viewer_simulator.cc" "src/sim/CMakeFiles/lightor_sim.dir/viewer_simulator.cc.o" "gcc" "src/sim/CMakeFiles/lightor_sim.dir/viewer_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lightor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lightor_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lightor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lightor_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

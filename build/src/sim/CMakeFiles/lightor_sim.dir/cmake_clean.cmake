@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightor_sim.dir/bridge.cc.o"
+  "CMakeFiles/lightor_sim.dir/bridge.cc.o.d"
+  "CMakeFiles/lightor_sim.dir/chat_simulator.cc.o"
+  "CMakeFiles/lightor_sim.dir/chat_simulator.cc.o.d"
+  "CMakeFiles/lightor_sim.dir/corpus.cc.o"
+  "CMakeFiles/lightor_sim.dir/corpus.cc.o.d"
+  "CMakeFiles/lightor_sim.dir/game_profile.cc.o"
+  "CMakeFiles/lightor_sim.dir/game_profile.cc.o.d"
+  "CMakeFiles/lightor_sim.dir/platform.cc.o"
+  "CMakeFiles/lightor_sim.dir/platform.cc.o.d"
+  "CMakeFiles/lightor_sim.dir/trace_io.cc.o"
+  "CMakeFiles/lightor_sim.dir/trace_io.cc.o.d"
+  "CMakeFiles/lightor_sim.dir/video_generator.cc.o"
+  "CMakeFiles/lightor_sim.dir/video_generator.cc.o.d"
+  "CMakeFiles/lightor_sim.dir/viewer_simulator.cc.o"
+  "CMakeFiles/lightor_sim.dir/viewer_simulator.cc.o.d"
+  "liblightor_sim.a"
+  "liblightor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

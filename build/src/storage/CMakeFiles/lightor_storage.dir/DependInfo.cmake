@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/crawler.cc" "src/storage/CMakeFiles/lightor_storage.dir/crawler.cc.o" "gcc" "src/storage/CMakeFiles/lightor_storage.dir/crawler.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/storage/CMakeFiles/lightor_storage.dir/database.cc.o" "gcc" "src/storage/CMakeFiles/lightor_storage.dir/database.cc.o.d"
+  "/root/repo/src/storage/log.cc" "src/storage/CMakeFiles/lightor_storage.dir/log.cc.o" "gcc" "src/storage/CMakeFiles/lightor_storage.dir/log.cc.o.d"
+  "/root/repo/src/storage/record.cc" "src/storage/CMakeFiles/lightor_storage.dir/record.cc.o" "gcc" "src/storage/CMakeFiles/lightor_storage.dir/record.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/storage/CMakeFiles/lightor_storage.dir/serialize.cc.o" "gcc" "src/storage/CMakeFiles/lightor_storage.dir/serialize.cc.o.d"
+  "/root/repo/src/storage/stores.cc" "src/storage/CMakeFiles/lightor_storage.dir/stores.cc.o" "gcc" "src/storage/CMakeFiles/lightor_storage.dir/stores.cc.o.d"
+  "/root/repo/src/storage/web_service.cc" "src/storage/CMakeFiles/lightor_storage.dir/web_service.cc.o" "gcc" "src/storage/CMakeFiles/lightor_storage.dir/web_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lightor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lightor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lightor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lightor_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lightor_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightor_storage.dir/crawler.cc.o"
+  "CMakeFiles/lightor_storage.dir/crawler.cc.o.d"
+  "CMakeFiles/lightor_storage.dir/database.cc.o"
+  "CMakeFiles/lightor_storage.dir/database.cc.o.d"
+  "CMakeFiles/lightor_storage.dir/log.cc.o"
+  "CMakeFiles/lightor_storage.dir/log.cc.o.d"
+  "CMakeFiles/lightor_storage.dir/record.cc.o"
+  "CMakeFiles/lightor_storage.dir/record.cc.o.d"
+  "CMakeFiles/lightor_storage.dir/serialize.cc.o"
+  "CMakeFiles/lightor_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/lightor_storage.dir/stores.cc.o"
+  "CMakeFiles/lightor_storage.dir/stores.cc.o.d"
+  "CMakeFiles/lightor_storage.dir/web_service.cc.o"
+  "CMakeFiles/lightor_storage.dir/web_service.cc.o.d"
+  "liblightor_storage.a"
+  "liblightor_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightor_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

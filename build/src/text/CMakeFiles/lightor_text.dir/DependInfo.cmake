@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/embedding.cc" "src/text/CMakeFiles/lightor_text.dir/embedding.cc.o" "gcc" "src/text/CMakeFiles/lightor_text.dir/embedding.cc.o.d"
+  "/root/repo/src/text/emotes.cc" "src/text/CMakeFiles/lightor_text.dir/emotes.cc.o" "gcc" "src/text/CMakeFiles/lightor_text.dir/emotes.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/text/CMakeFiles/lightor_text.dir/similarity.cc.o" "gcc" "src/text/CMakeFiles/lightor_text.dir/similarity.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/lightor_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/lightor_text.dir/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/lightor_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/lightor_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vectorizer.cc" "src/text/CMakeFiles/lightor_text.dir/vectorizer.cc.o" "gcc" "src/text/CMakeFiles/lightor_text.dir/vectorizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/lightor_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/lightor_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lightor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightor_text.dir/embedding.cc.o"
+  "CMakeFiles/lightor_text.dir/embedding.cc.o.d"
+  "CMakeFiles/lightor_text.dir/emotes.cc.o"
+  "CMakeFiles/lightor_text.dir/emotes.cc.o.d"
+  "CMakeFiles/lightor_text.dir/similarity.cc.o"
+  "CMakeFiles/lightor_text.dir/similarity.cc.o.d"
+  "CMakeFiles/lightor_text.dir/tfidf.cc.o"
+  "CMakeFiles/lightor_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/lightor_text.dir/tokenizer.cc.o"
+  "CMakeFiles/lightor_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/lightor_text.dir/vectorizer.cc.o"
+  "CMakeFiles/lightor_text.dir/vectorizer.cc.o.d"
+  "CMakeFiles/lightor_text.dir/vocabulary.cc.o"
+  "CMakeFiles/lightor_text.dir/vocabulary.cc.o.d"
+  "liblightor_text.a"
+  "liblightor_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightor_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblightor_text.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_curves_test.dir/baselines_curves_test.cc.o"
+  "CMakeFiles/baselines_curves_test.dir/baselines_curves_test.cc.o.d"
+  "baselines_curves_test"
+  "baselines_curves_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_curves_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_extensions_test.dir/baselines_extensions_test.cc.o"
+  "CMakeFiles/baselines_extensions_test.dir/baselines_extensions_test.cc.o.d"
+  "baselines_extensions_test"
+  "baselines_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_lstm_test.dir/baselines_lstm_test.cc.o"
+  "CMakeFiles/baselines_lstm_test.dir/baselines_lstm_test.cc.o.d"
+  "baselines_lstm_test"
+  "baselines_lstm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_lstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

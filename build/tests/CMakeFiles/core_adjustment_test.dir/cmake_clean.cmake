@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_adjustment_test.dir/core_adjustment_test.cc.o"
+  "CMakeFiles/core_adjustment_test.dir/core_adjustment_test.cc.o.d"
+  "core_adjustment_test"
+  "core_adjustment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_adjustment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

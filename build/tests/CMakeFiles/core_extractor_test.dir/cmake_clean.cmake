@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extractor_test.dir/core_extractor_test.cc.o"
+  "CMakeFiles/core_extractor_test.dir/core_extractor_test.cc.o.d"
+  "core_extractor_test"
+  "core_extractor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

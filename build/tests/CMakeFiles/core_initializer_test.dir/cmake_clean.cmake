@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_initializer_test.dir/core_initializer_test.cc.o"
+  "CMakeFiles/core_initializer_test.dir/core_initializer_test.cc.o.d"
+  "core_initializer_test"
+  "core_initializer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_initializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_linreg_test.dir/ml_linreg_test.cc.o"
+  "CMakeFiles/ml_linreg_test.dir/ml_linreg_test.cc.o.d"
+  "ml_linreg_test"
+  "ml_linreg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_linreg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

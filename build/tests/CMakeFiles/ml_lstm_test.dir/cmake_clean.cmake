@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_lstm_test.dir/ml_lstm_test.cc.o"
+  "CMakeFiles/ml_lstm_test.dir/ml_lstm_test.cc.o.d"
+  "ml_lstm_test"
+  "ml_lstm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_lstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

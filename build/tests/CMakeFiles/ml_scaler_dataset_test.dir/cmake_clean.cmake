@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_scaler_dataset_test.dir/ml_scaler_dataset_test.cc.o"
+  "CMakeFiles/ml_scaler_dataset_test.dir/ml_scaler_dataset_test.cc.o.d"
+  "ml_scaler_dataset_test"
+  "ml_scaler_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_scaler_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

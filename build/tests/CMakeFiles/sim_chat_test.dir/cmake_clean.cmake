@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_chat_test.dir/sim_chat_test.cc.o"
+  "CMakeFiles/sim_chat_test.dir/sim_chat_test.cc.o.d"
+  "sim_chat_test"
+  "sim_chat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_chat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_platform_test.dir/sim_platform_test.cc.o"
+  "CMakeFiles/sim_platform_test.dir/sim_platform_test.cc.o.d"
+  "sim_platform_test"
+  "sim_platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

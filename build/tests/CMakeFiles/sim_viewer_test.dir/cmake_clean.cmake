@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_viewer_test.dir/sim_viewer_test.cc.o"
+  "CMakeFiles/sim_viewer_test.dir/sim_viewer_test.cc.o.d"
+  "sim_viewer_test"
+  "sim_viewer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_viewer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_compaction_test.dir/storage_compaction_test.cc.o"
+  "CMakeFiles/storage_compaction_test.dir/storage_compaction_test.cc.o.d"
+  "storage_compaction_test"
+  "storage_compaction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

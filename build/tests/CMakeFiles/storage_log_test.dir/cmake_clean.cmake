@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_log_test.dir/storage_log_test.cc.o"
+  "CMakeFiles/storage_log_test.dir/storage_log_test.cc.o.d"
+  "storage_log_test"
+  "storage_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

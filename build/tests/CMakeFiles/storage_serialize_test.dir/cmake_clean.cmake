@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_serialize_test.dir/storage_serialize_test.cc.o"
+  "CMakeFiles/storage_serialize_test.dir/storage_serialize_test.cc.o.d"
+  "storage_serialize_test"
+  "storage_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

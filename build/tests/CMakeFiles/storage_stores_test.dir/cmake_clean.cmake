@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_stores_test.dir/storage_stores_test.cc.o"
+  "CMakeFiles/storage_stores_test.dir/storage_stores_test.cc.o.d"
+  "storage_stores_test"
+  "storage_stores_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_stores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_webservice_test.dir/storage_webservice_test.cc.o"
+  "CMakeFiles/storage_webservice_test.dir/storage_webservice_test.cc.o.d"
+  "storage_webservice_test"
+  "storage_webservice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_webservice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_vectorizer_test.dir/text_vectorizer_test.cc.o"
+  "CMakeFiles/text_vectorizer_test.dir/text_vectorizer_test.cc.o.d"
+  "text_vectorizer_test"
+  "text_vectorizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_vectorizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

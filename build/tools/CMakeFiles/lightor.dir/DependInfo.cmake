@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/lightor_cli.cc" "tools/CMakeFiles/lightor.dir/lightor_cli.cc.o" "gcc" "tools/CMakeFiles/lightor.dir/lightor_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lightor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lightor_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lightor_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lightor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lightor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lightor_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lightor_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

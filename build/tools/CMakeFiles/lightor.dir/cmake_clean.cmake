@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightor.dir/lightor_cli.cc.o"
+  "CMakeFiles/lightor.dir/lightor_cli.cc.o.d"
+  "lightor"
+  "lightor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

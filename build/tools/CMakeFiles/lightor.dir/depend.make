@@ -1,0 +1,2 @@
+# Empty dependencies file for lightor.
+# This may be replaced when dependencies are built.
