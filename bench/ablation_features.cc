@@ -44,7 +44,8 @@ double Precision(const core::InitializerOptions& opts,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== Feature/model ablations (Dota2: %d train, %d test) ===\n\n",
               kTrainVideos, kTestVideos);
   const auto corpus =

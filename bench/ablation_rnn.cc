@@ -68,7 +68,8 @@ ml::LstmOptions CellOptions() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== RNN-cell ablation: Chat-LSTM vs Chat-GRU frames ===\n\n");
   const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 8, 909);
   const sim::Corpus train(corpus.begin(), corpus.begin() + 5);

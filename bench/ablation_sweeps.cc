@@ -64,7 +64,8 @@ double ExtractorPrecision(const core::ExtractorOptions& opts,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== Ablation sweeps over LIGHTOR's design knobs ===\n");
   std::printf("(Dota2: %d train, %d test videos, k = %zu)\n\n", kTrainVideos,
               kTestVideos, kK);

@@ -1,16 +1,34 @@
 #ifndef LIGHTOR_BENCH_BENCH_UTIL_H_
 #define LIGHTOR_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/interval.h"
+#include "common/logging.h"
 #include "core/initializer.h"
 #include "core/window.h"
 #include "sim/bridge.h"
 #include "sim/corpus.h"
 
 namespace lightor::bench {
+
+/// Shared setup for bench binaries: parses command-line flags and applies
+/// the global ones (--log-level=debug|info|warning|error). Returns the
+/// parsed flags so binaries can read their own.
+inline common::Flags InitBenchEnv(int argc, char** argv) {
+  common::Flags flags = common::Flags::Parse(argc, argv);
+  if (flags.Has("log-level") &&
+      !common::SetLogLevelFromString(flags.GetString("log-level"))) {
+    std::fprintf(stderr,
+                 "warning: bad --log-level '%s' ignored "
+                 "(debug|info|warning|error)\n",
+                 flags.GetString("log-level").c_str());
+  }
+  return flags;
+}
 
 /// Converts a labelled sim video into the core training type.
 inline core::TrainingVideo ToTraining(const sim::LabeledVideo& video) {

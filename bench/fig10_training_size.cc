@@ -70,7 +70,8 @@ double LstmPrecisionAtK(const baselines::ChatLstm& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== Fig. 10: LIGHTOR vs Chat-LSTM, training-set size ===\n");
   std::printf("(LoL; Chat-LSTM 'many' = %d videos, test = %d videos)\n\n",
               kManyTrainVideos, kTestVideos);

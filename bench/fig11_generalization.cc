@@ -65,7 +65,8 @@ double LstmPrecisionAtK(const baselines::ChatLstm& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== Fig. 11: cross-game generalization (train on LoL) ===\n\n");
   const auto lol_corpus = sim::MakeCorpus(sim::GameType::kLol,
                                           kLstmTrainVideos + kTestVideos,

@@ -105,7 +105,8 @@ void PartB(const sim::LabeledVideo& video) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== Fig. 2: chat-data analysis of one Dota2 video ===\n\n");
   const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 2020);
   std::printf("video %s: %s long, %zu highlights, %zu chat messages\n\n",

@@ -60,7 +60,8 @@ void PrintDistribution(const char* title, const std::vector<double>& offsets) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf(
       "=== Fig. 3: play start-position offsets around Type I/II dots ===\n\n");
   const auto type1 = CollectOffsets(true, 33);

@@ -59,7 +59,7 @@ core::HighlightInitializer TrainModel(const sim::Corpus& train, size_t n,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const common::Flags flags = common::Flags::Parse(argc, argv);
+  const common::Flags flags = bench::InitBenchEnv(argc, argv);
   kTrainVideos = static_cast<int>(flags.GetInt("train", kTrainVideos));
   kTestVideos = static_cast<int>(flags.GetInt("test", kTestVideos));
   kSeed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int64_t>(kSeed)));

@@ -25,7 +25,8 @@ constexpr int kTestVideos = 50;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== Fig. 7: adjustment stage of the Highlight Initializer ===\n");
   std::printf("(Dota2: %d training videos, %d test videos)\n\n", kTrainVideos,
               kTestVideos);

@@ -76,7 +76,8 @@ core::TypeClassifier TrainTypeClassifier(const sim::Corpus& train,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== Fig. 8: Highlight Extractor vs SocialSkip vs Moocer ===\n");
   std::printf("(%d test videos x %d dots, %d viewers per iteration)\n\n",
               kTestVideos, kDotsPerVideo, kViewersPerIteration);

@@ -10,11 +10,13 @@
 #include "common/csv.h"
 #include "common/stats.h"
 #include "common/strings.h"
+#include "bench/bench_util.h"
 #include "sim/platform.h"
 
 using namespace lightor;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== Fig. 9: CDFs over recorded videos (top-10 channels) ===\n\n");
   sim::Platform::Options opts;
   opts.num_channels = 10;

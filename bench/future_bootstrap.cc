@@ -38,7 +38,8 @@ baselines::ChatLstmOptions LstmBenchOptions() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== Future work: LIGHTOR-bootstrapped deep learning ===\n");
   std::printf("(%d unlabelled training videos, %d test videos, Dota2)\n\n",
               kUnlabelledVideos, kTestVideos);

@@ -4,14 +4,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/logging.h"
 #include "core/extractor.h"
 #include "core/features.h"
 #include "core/initializer.h"
 #include "ml/logistic_regression.h"
 #include "ml/lstm.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/viewer_simulator.h"
 #include "storage/database.h"
 #include "text/similarity.h"
@@ -188,6 +196,115 @@ void BM_CrowdSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_CrowdSimulation);
 
+// ---- obs instrumentation overhead ----------------------------------------
+// The acceptance bar: a disabled registry keeps instrumented hot loops
+// within noise of an un-instrumented baseline (compare the *Disabled
+// variants against BM_ObsBaselineLoop).
+
+void BM_ObsBaselineLoop(benchmark::State& state) {
+  uint64_t local = 0;
+  for (auto _ : state) {
+    ++local;
+    benchmark::DoNotOptimize(local);
+  }
+}
+BENCHMARK(BM_ObsBaselineLoop);
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::Registry::Global().GetCounter("lightor_bench_counter_total");
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsCounterIncrementDisabled(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::Registry::Global().GetCounter("lightor_bench_counter_total");
+  obs::SetMetricsEnabled(false);
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+  obs::SetMetricsEnabled(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncrementDisabled);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram* histogram = obs::Registry::Global().GetHistogram(
+      "lightor_bench_latency_seconds", obs::Histogram::LatencyBounds());
+  double v = 0.0;
+  for (auto _ : state) {
+    histogram->Observe(v);
+    v += 0.001;
+    if (v > 12.0) v = 0.0;
+    benchmark::DoNotOptimize(histogram);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsHistogramObserveDisabled(benchmark::State& state) {
+  obs::Histogram* histogram = obs::Registry::Global().GetHistogram(
+      "lightor_bench_latency_seconds", obs::Histogram::LatencyBounds());
+  obs::SetMetricsEnabled(false);
+  for (auto _ : state) {
+    histogram->Observe(0.004);
+    benchmark::DoNotOptimize(histogram);
+  }
+  obs::SetMetricsEnabled(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserveDisabled);
+
+void BM_ObsScopedSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedSpan);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+/// BENCHMARK_MAIN plus the observability hooks: `--log-level=...` adjusts
+/// logging, and `--obs-json=FILE` (or env LIGHTOR_OBS_JSON=FILE) writes
+/// the registry's JSON export after the run — the BENCH_*.json-style
+/// trajectory the tentpole asks for.
+int main(int argc, char** argv) {
+  std::string obs_json;
+  if (const char* env = std::getenv("LIGHTOR_OBS_JSON")) obs_json = env;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--obs-json=", 11) == 0) {
+      obs_json = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
+      if (!lightor::common::SetLogLevelFromString(argv[i] + 12)) {
+        std::fprintf(stderr, "bad --log-level: %s\n", argv[i] + 12);
+        return 2;
+      }
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!obs_json.empty()) {
+    const auto status = lightor::obs::WriteFile(
+        obs_json, lightor::obs::ExportJson(lightor::obs::Registry::Global()));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

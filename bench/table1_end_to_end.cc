@@ -41,7 +41,8 @@ common::Interval SegmentAroundFrame(const std::vector<double>& scores,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchEnv(argc, argv);
   std::printf("=== Table I: end-to-end LIGHTOR vs Joint-LSTM ===\n");
   std::printf("(train on LoL, test on %d Dota2 videos, k = %d)\n\n",
               kTestVideos, kTopK);

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Full local CI: lints, fresh configure, build, tests. Mirrors what a
+# hosted pipeline would run; keep it green before pushing.
+#
+#   ./ci.sh            # fresh configure into build-ci/ and run everything
+#   BUILD_DIR=build ./ci.sh   # reuse an existing tree
+
+set -eu
+cd "$(dirname "$0")"
+
+BUILD_DIR=${BUILD_DIR:-build-ci}
+
+echo "== lint: metric naming convention =="
+sh tools/check_metrics_names.sh
+
+echo "== configure ($BUILD_DIR) =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+echo "== observability smoke =="
+"$BUILD_DIR"/tools/obs_dump --visits=1 --viewers=2 --rounds=1 \
+    --format=json >/dev/null
+echo "ci: OK"

@@ -1,16 +1,63 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
-#include <cstdio>
+#include <cctype>
 #include <cstring>
+#include <map>
+#include <mutex>
 
 namespace lightor::common {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+/// min(global, every component override): the conservative gate read by
+/// LIGHTOR_LOG on each statement. Recomputed whenever levels change.
+std::atomic<LogLevel> g_effective_min{LogLevel::kInfo};
+std::atomic<bool> g_stderr_enabled{true};
 
-const char* LevelName(LogLevel level) {
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+/// Guarded by LogMutex().
+std::map<std::string, LogLevel, std::less<>>& ComponentLevels() {
+  static auto* levels = new std::map<std::string, LogLevel, std::less<>>();
+  return *levels;
+}
+
+/// Guarded by LogMutex().
+std::vector<std::shared_ptr<LogSink>>& Sinks() {
+  static auto* sinks = new std::vector<std::shared_ptr<LogSink>>();
+  return *sinks;
+}
+
+void RecomputeEffectiveMinLocked() {
+  LogLevel min = g_level.load();
+  for (const auto& [component, level] : ComponentLevels()) {
+    min = std::min(min, level);
+  }
+  g_effective_min.store(min);
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  g_level.store(level);
+  RecomputeEffectiveMinLocked();
+}
+
+LogLevel GetLogLevel() { return g_level.load(); }
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -24,22 +71,167 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-const char* Basename(const char* path) {
-  const char* slash = std::strrchr(path, '/');
-  return slash ? slash + 1 : path;
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
 }
 
-}  // namespace
+bool SetLogLevelFromString(std::string_view name) {
+  LogLevel level;
+  if (!ParseLogLevel(name, &level)) return false;
+  SetLogLevel(level);
+  return true;
+}
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
+void SetComponentLogLevel(const std::string& component, LogLevel level) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  ComponentLevels()[component] = level;
+  RecomputeEffectiveMinLocked();
+}
 
-LogLevel GetLogLevel() { return g_level.load(); }
+void ClearComponentLogLevels() {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  ComponentLevels().clear();
+  RecomputeEffectiveMinLocked();
+}
+
+std::string_view LogComponentFromPath(std::string_view path) {
+  // The directory holding the file; when the path goes through "src/",
+  // the segment right after it ("src/storage/..." → "storage").
+  const size_t last_slash = path.rfind('/');
+  if (last_slash == std::string_view::npos) return {};
+  const std::string_view dir = path.substr(0, last_slash);
+  const size_t src = dir.rfind("src/");
+  if (src != std::string_view::npos &&
+      (src == 0 || dir[src - 1] == '/')) {
+    std::string_view component = dir.substr(src + 4);
+    const size_t next_slash = component.find('/');
+    if (next_slash != std::string_view::npos) {
+      component = component.substr(0, next_slash);
+    }
+    if (!component.empty()) return component;
+  }
+  const size_t parent_slash = dir.rfind('/');
+  return parent_slash == std::string_view::npos
+             ? dir
+             : dir.substr(parent_slash + 1);
+}
+
+bool LogEnabled(LogLevel level) { return level >= g_effective_min.load(); }
+
+void AddLogSink(std::shared_ptr<LogSink> sink) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  Sinks().push_back(std::move(sink));
+}
+
+void RemoveLogSink(const std::shared_ptr<LogSink>& sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  auto& sinks = Sinks();
+  sinks.erase(std::remove(sinks.begin(), sinks.end(), sink), sinks.end());
+}
+
+void EnableStderrLogging(bool enabled) { g_stderr_enabled.store(enabled); }
+
+FileLogSink::FileLogSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "a")) {}
+
+FileLogSink::~FileLogSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileLogSink::Write(const LogEntry& entry) {
+  if (file_ == nullptr) return;
+  std::fprintf(file_, "[%s] %s:%d %s\n", LogLevelName(entry.level),
+               Basename(entry.file), entry.line, entry.message.c_str());
+  std::fflush(file_);
+}
+
+class CaptureLogs::Sink : public LogSink {
+ public:
+  void Write(const LogEntry& entry) override { entries_.push_back(entry); }
+  const std::vector<LogEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+CaptureLogs::CaptureLogs()
+    : sink_(std::make_shared<Sink>()),
+      stderr_was_enabled_(g_stderr_enabled.load()) {
+  EnableStderrLogging(false);
+  AddLogSink(sink_);
+}
+
+CaptureLogs::~CaptureLogs() {
+  RemoveLogSink(sink_);
+  EnableStderrLogging(stderr_was_enabled_);
+}
+
+const std::vector<LogEntry>& CaptureLogs::entries() const {
+  return sink_->entries();
+}
+
+std::string CaptureLogs::Text() const {
+  std::string out;
+  for (const auto& entry : sink_->entries()) {
+    out += '[';
+    out += LogLevelName(entry.level);
+    out += "] ";
+    out += entry.message;
+    out += '\n';
+  }
+  return out;
+}
+
+bool CaptureLogs::Contains(std::string_view needle) const {
+  for (const auto& entry : sink_->entries()) {
+    if (entry.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
-  if (level < g_level.load()) return;
-  std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), Basename(file),
-               line, message.c_str());
+  const std::string_view component = LogComponentFromPath(file);
+  std::lock_guard<std::mutex> lock(LogMutex());
+  // Precise filter: a component override (either direction) beats the
+  // global level; LogEnabled only pre-filtered against the minimum.
+  LogLevel threshold = g_level.load();
+  if (!component.empty()) {
+    const auto& levels = ComponentLevels();
+    if (auto it = levels.find(component); it != levels.end()) {
+      threshold = it->second;
+    }
+  }
+  if (level < threshold) return;
+
+  if (g_stderr_enabled.load()) {
+    std::fprintf(stderr, "[%s] %s:%d %s\n", LogLevelName(level),
+                 Basename(file), line, message.c_str());
+  }
+  if (!Sinks().empty()) {
+    LogEntry entry;
+    entry.level = level;
+    entry.file = file;
+    entry.line = line;
+    entry.component = component;
+    entry.message = message;
+    for (const auto& sink : Sinks()) sink->Write(entry);
+  }
 }
 
 }  // namespace lightor::common

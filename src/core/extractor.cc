@@ -4,9 +4,62 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lightor::core {
+
+namespace {
+
+obs::Counter& DistanceFilteredCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_core_plays_filtered_total", {{"stage", "distance"}});
+  return *counter;
+}
+
+obs::Counter& DurationFilteredCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_core_plays_filtered_total", {{"stage", "duration"}});
+  return *counter;
+}
+
+obs::Counter& GraphFilteredCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_core_plays_filtered_total", {{"stage", "graph"}});
+  return *counter;
+}
+
+obs::Counter& PlaysKeptCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("lightor_core_plays_kept_total");
+  return *counter;
+}
+
+obs::Counter& DotClassCounter(DotType type) {
+  static obs::Counter* const type1 = obs::Registry::Global().GetCounter(
+      "lightor_core_dot_class_total", {{"type", "I"}});
+  static obs::Counter* const type2 = obs::Registry::Global().GetCounter(
+      "lightor_core_dot_class_total", {{"type", "II"}});
+  return type == DotType::kTypeI ? *type1 : *type2;
+}
+
+obs::Histogram& RefineIterationsHistogram() {
+  static obs::Histogram* const histogram = obs::Registry::Global().GetHistogram(
+      "lightor_core_refine_iterations", obs::Histogram::LinearBounds(8));
+  return *histogram;
+}
+
+obs::Counter& ExtractRunsCounter(bool converged) {
+  static obs::Counter* const yes = obs::Registry::Global().GetCounter(
+      "lightor_core_extract_runs_total", {{"converged", "true"}});
+  static obs::Counter* const no = obs::Registry::Global().GetCounter(
+      "lightor_core_extract_runs_total", {{"converged", "false"}});
+  return converged ? *yes : *no;
+}
+
+}  // namespace
 
 std::vector<double> PlayFeatures::Normalized() const {
   const double t = total();
@@ -80,17 +133,24 @@ std::vector<Play> HighlightExtractor::FilterPlays(
     if (!play.span.Valid()) continue;
     // Distance filter: the play must start within the dot's neighborhood
     // (a play far from the dot belongs to another highlight).
-    if (!neighborhood.Contains(play.span.start)) continue;
+    if (!neighborhood.Contains(play.span.start)) {
+      DistanceFilteredCounter().Increment();
+      continue;
+    }
     // Duration filter.
     const double len = play.span.Length();
     if (len < options_.min_play_length || len > options_.max_play_length) {
+      DurationFilteredCounter().Increment();
       continue;
     }
     filtered.push_back(play);
   }
   if (options_.graph_outlier_removal) {
+    const size_t before = filtered.size();
     filtered = RemoveGraphOutliers(filtered);
+    GraphFilteredCounter().Increment(before - filtered.size());
   }
+  PlaysKeptCounter().Increment(filtered.size());
   return filtered;
 }
 
@@ -126,6 +186,7 @@ RefineResult HighlightExtractor::RefineOnce(const std::vector<Play>& plays,
 
   const PlayFeatures features = ComputeFeatures(filtered, red_dot);
   result.type = classifier_.Classify(features);
+  DotClassCounter(result.type).Increment();
 
   if (result.type == DotType::kTypeII) {
     // Aggregation for Type II: drop plays that end before the dot, then
@@ -154,6 +215,7 @@ RefineResult HighlightExtractor::RefineOnce(const std::vector<Play>& plays,
 
 ExtractResult HighlightExtractor::Run(PlayProvider& provider,
                                       common::Seconds initial_dot) const {
+  obs::ScopedSpan span("extractor.Run");
   ExtractResult result;
   common::Seconds dot = initial_dot;
   result.dot_history.push_back(dot);
@@ -184,6 +246,12 @@ ExtractResult HighlightExtractor::Run(PlayProvider& provider,
       have_boundary
           ? last_boundary
           : common::Interval(dot, dot + options_.fallback_length);
+  RefineIterationsHistogram().Observe(result.iterations);
+  ExtractRunsCounter(result.converged).Increment();
+  LIGHTOR_LOG(Debug) << "extractor: dot " << initial_dot << " -> ["
+                     << result.boundary.start << ", " << result.boundary.end
+                     << "] in " << result.iterations << " iterations"
+                     << (result.converged ? " (converged)" : "");
   return result;
 }
 

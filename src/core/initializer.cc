@@ -4,7 +4,40 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lightor::core {
+
+namespace {
+
+obs::Counter& WindowsScoredCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_core_windows_scored_total");
+  return *counter;
+}
+
+obs::Histogram& ScanLatencyHistogram() {
+  static obs::Histogram* const histogram = obs::Registry::Global().GetHistogram(
+      "lightor_core_scan_latency_seconds", obs::Histogram::LatencyBounds());
+  return *histogram;
+}
+
+obs::Counter& RedDotsCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("lightor_core_red_dots_total");
+  return *counter;
+}
+
+obs::Histogram& AdjustmentShiftHistogram() {
+  static obs::Histogram* const histogram = obs::Registry::Global().GetHistogram(
+      "lightor_core_adjustment_shift_seconds",
+      {0.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0});
+  return *histogram;
+}
+
+}  // namespace
 
 bool IsGoodRedDot(common::Seconds dot, const common::Interval& highlight,
                   double slack) {
@@ -127,7 +160,10 @@ std::vector<SlidingWindow> HighlightInitializer::ScoreWindows(
     const std::vector<Message>& messages,
     common::Seconds video_length) const {
   assert(trained());
+  obs::ScopedSpan span("initializer.ScoreWindows");
+  obs::ScopedTimer timer(&ScanLatencyHistogram());
   auto windows = GenerateWindows(messages, video_length, options_.window);
+  WindowsScoredCounter().Increment(windows.size());
   const auto raw = featurizer_.ComputeAll(messages, windows);
   const auto rows = NormalizeFeatures(raw, options_.feature_set);
   for (size_t i = 0; i < windows.size(); ++i) {
@@ -161,6 +197,7 @@ std::vector<SlidingWindow> HighlightInitializer::TopKWindows(
 std::vector<RedDot> HighlightInitializer::Detect(
     const std::vector<Message>& messages, common::Seconds video_length,
     size_t k) const {
+  obs::ScopedSpan span("initializer.Detect");
   const auto top = TopKWindows(ScoreWindows(messages, video_length), k);
   std::vector<RedDot> dots;
   dots.reserve(top.size());
@@ -176,8 +213,13 @@ std::vector<RedDot> HighlightInitializer::Detect(
     } else {
       dot.position = std::max(0.0, dot.peak - adjustment_c_);
     }
+    AdjustmentShiftHistogram().Observe(dot.peak - dot.position);
     dots.push_back(dot);
   }
+  RedDotsCounter().Increment(dots.size());
+  LIGHTOR_LOG(Debug) << "initializer: " << dots.size() << " red dots from "
+                     << messages.size() << " messages over "
+                     << video_length << "s";
   return dots;
 }
 

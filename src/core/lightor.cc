@@ -1,6 +1,19 @@
 #include "core/lightor.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lightor::core {
+
+namespace {
+
+obs::Histogram& ProcessLatencyHistogram() {
+  static obs::Histogram* const histogram = obs::Registry::Global().GetHistogram(
+      "lightor_core_process_latency_seconds", obs::Histogram::LatencyBounds());
+  return *histogram;
+}
+
+}  // namespace
 
 Lightor::Lightor(LightorOptions options)
     : options_(options),
@@ -42,7 +55,12 @@ ExtractResult Lightor::Extract(PlayProvider& provider,
 common::Result<std::vector<ExtractedHighlight>> Lightor::Process(
     const std::vector<Message>& messages, common::Seconds video_length,
     const ProviderFactory& make_provider) const {
-  auto dots_result = Initialize(messages, video_length, options_.top_k);
+  obs::ScopedSpan span("lightor.Process");
+  obs::ScopedTimer timer(&ProcessLatencyHistogram());
+  auto dots_result = [&] {
+    obs::ScopedSpan init_span("lightor.Initialize");
+    return Initialize(messages, video_length, options_.top_k);
+  }();
   if (!dots_result.ok()) return dots_result.status();
 
   std::vector<ExtractedHighlight> out;
@@ -54,6 +72,7 @@ common::Result<std::vector<ExtractedHighlight>> Lightor::Process(
       return common::Status::Internal(
           "Lightor::Process: provider factory returned null");
     }
+    obs::ScopedSpan extract_span("lightor.Extract");
     item.refined = extractor_.Run(*provider, dot.position);
     out.push_back(std::move(item));
   }

@@ -1,0 +1,220 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace lightor::obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatLabels(const LabelList& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Like FormatLabels but with one extra label appended (histogram `le`).
+std::string FormatLabelsWith(const LabelList& labels, const std::string& key,
+                             const std::string& value) {
+  LabelList extended = labels;
+  extended.emplace_back(key, value);
+  return FormatLabels(extended);
+}
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Upper-bound label value: integral bounds print without a decimal
+/// point ("5" not "5.0") which is what Prometheus servers emit too.
+std::string FormatBound(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    return buf;
+  }
+  return FormatDouble(v);
+}
+
+void EmitTypeOnce(std::ostringstream& out, std::set<std::string>& typed,
+                  const std::string& name, const char* type) {
+  if (typed.insert(name).second) {
+    out << "# TYPE " << name << ' ' << type << '\n';
+  }
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void EmitJsonLabels(std::ostringstream& out, const LabelList& labels) {
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(k) << "\":\"" << JsonEscape(v) << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  std::set<std::string> typed;
+  // The snapshot arrives sorted by series key (registry map order), so
+  // samples of one family are already adjacent.
+  for (const auto& c : snapshot.counters) {
+    EmitTypeOnce(out, typed, c.name, "counter");
+    out << c.name << FormatLabels(c.labels) << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    EmitTypeOnce(out, typed, g.name, "gauge");
+    out << g.name << FormatLabels(g.labels) << ' ' << FormatDouble(g.value)
+        << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    EmitTypeOnce(out, typed, h.name, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      const std::string le =
+          i < h.bounds.size() ? FormatBound(h.bounds[i]) : "+Inf";
+      out << h.name << "_bucket" << FormatLabelsWith(h.labels, "le", le) << ' '
+          << cumulative << '\n';
+    }
+    out << h.name << "_sum" << FormatLabels(h.labels) << ' '
+        << FormatDouble(h.sum) << '\n';
+    out << h.name << "_count" << FormatLabels(h.labels) << ' ' << h.count
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string ExportPrometheus(const Registry& registry) {
+  return ExportPrometheus(registry.Snapshot());
+}
+
+std::string ExportJson(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":[";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    if (i) out << ',';
+    out << "{\"name\":\"" << JsonEscape(c.name) << "\",\"labels\":";
+    EmitJsonLabels(out, c.labels);
+    out << ",\"value\":" << c.value << '}';
+  }
+  out << "],\"gauges\":[";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    if (i) out << ',';
+    out << "{\"name\":\"" << JsonEscape(g.name) << "\",\"labels\":";
+    EmitJsonLabels(out, g.labels);
+    out << ",\"value\":" << FormatDouble(g.value) << '}';
+  }
+  out << "],\"histograms\":[";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i) out << ',';
+    out << "{\"name\":\"" << JsonEscape(h.name) << "\",\"labels\":";
+    EmitJsonLabels(out, h.labels);
+    out << ",\"buckets\":[";
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b) out << ',';
+      const std::string le =
+          b < h.bounds.size() ? FormatDouble(h.bounds[b]) : "\"+Inf\"";
+      out << "{\"le\":" << le << ",\"count\":" << h.bucket_counts[b] << '}';
+    }
+    out << "],\"sum\":" << FormatDouble(h.sum) << ",\"count\":" << h.count
+        << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string ExportJson(const Registry& registry) {
+  return ExportJson(registry.Snapshot());
+}
+
+common::Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return common::Status::IoError("cannot open for writing: " + path);
+  }
+  out << content;
+  out.flush();
+  if (!out) return common::Status::IoError("short write: " + path);
+  return common::Status::OK();
+}
+
+}  // namespace lightor::obs

@@ -1,0 +1,29 @@
+#ifndef LIGHTOR_OBS_EXPORT_H_
+#define LIGHTOR_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace lightor::obs {
+
+/// Prometheus text exposition format (version 0.0.4): one `# TYPE` line
+/// per metric family, `name{label="value"} N` samples, histograms as
+/// cumulative `_bucket{le=...}` plus `_sum`/`_count`. Families are
+/// emitted in sorted name order so the output is diffable.
+std::string ExportPrometheus(const RegistrySnapshot& snapshot);
+std::string ExportPrometheus(const Registry& registry);
+
+/// JSON export of the same snapshot (for BENCH_*.json-style trajectory
+/// files): {"counters":[...],"gauges":[...],"histograms":[...]}, with
+/// each histogram carrying its non-cumulative bucket counts.
+std::string ExportJson(const RegistrySnapshot& snapshot);
+std::string ExportJson(const Registry& registry);
+
+/// Writes `content` to `path` (parent directories are not created).
+common::Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace lightor::obs
+
+#endif  // LIGHTOR_OBS_EXPORT_H_

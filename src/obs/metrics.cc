@@ -1,0 +1,225 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lightor::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Lock-free add for atomic<double> (fetch_add on floating point is not
+/// universally available pre-C++20 library support).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool MetricsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetMetricsEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  if (!MetricsEnabled()) return;
+  AtomicAdd(value_, delta);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double v) {
+  if (!MetricsEnabled()) return;
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::LatencyBounds() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+          0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
+}
+
+std::vector<double> Histogram::LinearBounds(int max) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(max, 1)));
+  for (int i = 1; i <= std::max(max, 1); ++i) {
+    bounds.push_back(static_cast<double>(i));
+  }
+  return bounds;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::string Registry::SeriesKey(const std::string& name,
+                                const LabelList& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+namespace {
+
+LabelList SortedLabels(LabelList labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// Fallback instances handed out on kind mismatches; excluded from
+/// snapshots because they never enter the registry map.
+Counter* DummyCounter() {
+  static Counter* c = new Counter();
+  return c;
+}
+Gauge* DummyGauge() {
+  static Gauge* g = new Gauge();
+  return g;
+}
+Histogram* DummyHistogram() {
+  static Histogram* h = new Histogram({1.0});
+  return h;
+}
+
+}  // namespace
+
+Counter* Registry::GetCounter(const std::string& name, LabelList labels) {
+  labels = SortedLabels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = series_.try_emplace(SeriesKey(name, labels));
+  if (inserted) {
+    it->second.kind = Kind::kCounter;
+    it->second.name = name;
+    it->second.labels = std::move(labels);
+    it->second.counter = std::make_unique<Counter>();
+  } else if (it->second.kind != Kind::kCounter) {
+    LIGHTOR_LOG(Error) << "metric '" << name
+                       << "' re-registered as a counter with a different kind";
+    return DummyCounter();
+  }
+  return it->second.counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, LabelList labels) {
+  labels = SortedLabels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = series_.try_emplace(SeriesKey(name, labels));
+  if (inserted) {
+    it->second.kind = Kind::kGauge;
+    it->second.name = name;
+    it->second.labels = std::move(labels);
+    it->second.gauge = std::make_unique<Gauge>();
+  } else if (it->second.kind != Kind::kGauge) {
+    LIGHTOR_LOG(Error) << "metric '" << name
+                       << "' re-registered as a gauge with a different kind";
+    return DummyGauge();
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds,
+                                  LabelList labels) {
+  labels = SortedLabels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = series_.try_emplace(SeriesKey(name, labels));
+  if (inserted) {
+    it->second.kind = Kind::kHistogram;
+    it->second.name = name;
+    it->second.labels = std::move(labels);
+    it->second.histogram = std::make_unique<Histogram>(std::move(bounds));
+  } else if (it->second.kind != Kind::kHistogram) {
+    LIGHTOR_LOG(Error)
+        << "metric '" << name
+        << "' re-registered as a histogram with a different kind";
+    return DummyHistogram();
+  }
+  return it->second.histogram.get();
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, series] : series_) {
+    switch (series.kind) {
+      case Kind::kCounter:
+        snapshot.counters.push_back(
+            {series.name, series.labels, series.counter->value()});
+        break;
+      case Kind::kGauge:
+        snapshot.gauges.push_back(
+            {series.name, series.labels, series.gauge->value()});
+        break;
+      case Kind::kHistogram:
+        snapshot.histograms.push_back({series.name, series.labels,
+                                       series.histogram->bounds(),
+                                       series.histogram->BucketCounts(),
+                                       series.histogram->count(),
+                                       series.histogram->sum()});
+        break;
+    }
+  }
+  return snapshot;
+}
+
+std::vector<std::string> Registry::SeriesNames() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mu_);
+  names.reserve(series_.size());
+  for (const auto& [key, series] : series_) names.push_back(series.name);
+  return names;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, series] : series_) {
+    switch (series.kind) {
+      case Kind::kCounter:
+        series.counter->Reset();
+        break;
+      case Kind::kGauge:
+        series.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        series.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace lightor::obs

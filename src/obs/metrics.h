@@ -1,0 +1,159 @@
+#ifndef LIGHTOR_OBS_METRICS_H_
+#define LIGHTOR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lightor::obs {
+
+/// Label key/value pairs attached to a metric instance. Kept sorted by
+/// key once interned so `{a=1,b=2}` and `{b=2,a=1}` are the same series.
+using LabelList = std::vector<std::pair<std::string, std::string>>;
+
+/// Process-wide kill switch consulted on every hot-path mutation. A
+/// single relaxed atomic load when disabled, so instrumented loops stay
+/// within noise of un-instrumented ones (see bench/microbench.cc).
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonically increasing event count. Names end in `_total` by the
+/// repo convention `lightor_<layer>_<name>` (tools/check_metrics_names.sh).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depths, watermarks, ratios).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: cumulative-`le` semantics like Prometheus.
+/// `bounds` are the inclusive upper edges; an implicit +Inf bucket
+/// catches the rest. Observation is a linear scan over a handful of
+/// bounds plus three relaxed atomic adds — cheap enough per message.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the last entry being the +Inf bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  void Reset();
+
+  /// Default latency bounds (seconds), roughly exponential 1ms..10s.
+  static std::vector<double> LatencyBounds();
+  /// Small-integer bounds 1..`max` for iteration/count-style histograms.
+  static std::vector<double> LinearBounds(int max);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copies taken under the registry lock for exporters.
+struct CounterSnapshot {
+  std::string name;
+  LabelList labels;
+  uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  LabelList labels;
+  double value = 0.0;
+};
+struct HistogramSnapshot {
+  std::string name;
+  LabelList labels;
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;  ///< non-cumulative, +Inf last
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Name+label interning registry. Registration (Get*) takes a mutex and
+/// is meant for cold paths — call sites cache the returned pointer in a
+/// function-local static. Returned pointers are stable for the process
+/// lifetime. Re-registering the same name+labels returns the same
+/// instance; a name registered as two different metric kinds is a
+/// programming error and returns a process-wide dummy (never exported)
+/// so call sites stay unconditional.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name, LabelList labels = {});
+  Gauge* GetGauge(const std::string& name, LabelList labels = {});
+  /// `bounds` is consulted only on first registration of the series.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          LabelList labels = {});
+
+  RegistrySnapshot Snapshot() const;
+
+  /// All registered series names (with duplicates across label sets),
+  /// for the naming lint.
+  std::vector<std::string> SeriesNames() const;
+
+  /// Zeroes every value but keeps registrations/pointers valid (tests
+  /// share the process-global registry).
+  void ResetValues();
+
+ private:
+  Registry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    Kind kind;
+    std::string name;
+    LabelList labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  static std::string SeriesKey(const std::string& name,
+                               const LabelList& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace lightor::obs
+
+#endif  // LIGHTOR_OBS_METRICS_H_

@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace lightor::obs {
+
+namespace {
+
+std::atomic<uint32_t> g_next_thread_id{0};
+thread_local uint32_t t_thread_id = UINT32_MAX;
+thread_local uint32_t t_span_depth = 0;
+
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - g_process_start)
+          .count());
+}
+
+uint32_t TraceThreadId() {
+  if (t_thread_id == UINT32_MAX) {
+    t_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_id;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  ring_.resize(capacity_);
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.sequence = next_sequence_++;
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+  if (count_ < capacity_) {
+    ++count_;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  // Oldest retained event sits at `next_` once the ring has wrapped.
+  const size_t start = count_ == capacity_ ? next_ : 0;
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+size_t TraceRecorder::capacity() const { return capacity_; }
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > count_ ? total_ - count_ : 0;
+}
+
+uint64_t TraceRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  count_ = 0;
+  total_ = 0;
+  next_sequence_ = 0;
+}
+
+void TraceRecorder::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(capacity, 1);
+  ring_.assign(capacity_, TraceEvent{});
+  next_ = 0;
+  count_ = 0;
+  total_ = 0;
+  next_sequence_ = 0;
+}
+
+std::string TraceRecorder::DumpChromeTrace() const {
+  const std::vector<TraceEvent> events = Events();
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (i) out << ",\n";
+    out << "{\"name\":\"" << JsonEscape(ev.name) << "\",\"cat\":\""
+        << JsonEscape(ev.category) << "\",\"ph\":\"X\",\"ts\":" << ev.start_us
+        << ",\"dur\":" << ev.duration_us << ",\"pid\":1,\"tid\":"
+        << ev.thread_id << ",\"args\":{\"depth\":" << ev.depth << "}}";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+common::Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  return WriteFile(path, DumpChromeTrace());
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category,
+                       TraceRecorder* recorder)
+    : recorder_(recorder != nullptr ? recorder : &TraceRecorder::Global()) {
+  if (!recorder_->enabled()) return;
+  active_ = true;
+  name_ = std::move(name);
+  category_ = std::move(category);
+  depth_ = t_span_depth++;
+  start_us_ = TraceNowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const uint64_t end_us = TraceNowMicros();
+  --t_span_depth;
+  TraceEvent ev;
+  ev.name = std::move(name_);
+  ev.category = std::move(category_);
+  ev.start_us = start_us_;
+  ev.duration_us = end_us - start_us_;
+  ev.thread_id = TraceThreadId();
+  ev.depth = depth_;
+  recorder_->Record(std::move(ev));
+}
+
+}  // namespace lightor::obs

@@ -1,0 +1,125 @@
+#ifndef LIGHTOR_OBS_TRACE_H_
+#define LIGHTOR_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace lightor::obs {
+
+/// One completed span. Times are microseconds on the steady clock,
+/// relative to process start.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  uint32_t thread_id = 0;  ///< dense per-process id, not the OS tid
+  uint32_t depth = 0;      ///< nesting depth at span open (0 = root)
+  uint64_t sequence = 0;   ///< global completion order
+};
+
+/// Lock-protected fixed-capacity ring buffer of completed spans. Spans
+/// are pushed on ScopedSpan destruction, so children always precede
+/// their parent in completion order; the ring overwrites oldest-first,
+/// which drops ancestors before descendants and keeps the nesting
+/// invariant (every retained pair of same-thread overlapping events
+/// still has the deeper one inside the shallower one).
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  explicit TraceRecorder(size_t capacity = 4096);
+
+  void Record(TraceEvent event);
+
+  /// Retained events in completion order (oldest first).
+  std::vector<TraceEvent> Events() const;
+  size_t size() const;
+  size_t capacity() const;
+  /// Spans overwritten (or recorded past capacity) since the last Clear.
+  uint64_t dropped() const;
+  uint64_t total_recorded() const;
+
+  void Clear();
+  /// Clears and reallocates; for tests exercising wrap behavior.
+  void SetCapacity(size_t capacity);
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Chrome `trace_event` JSON (the array form, loadable in
+  /// chrome://tracing and Perfetto): complete ("ph":"X") events.
+  std::string DumpChromeTrace() const;
+  common::Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_;
+  size_t next_ = 0;   ///< ring slot for the next Record
+  size_t count_ = 0;  ///< min(total recorded, capacity_)
+  uint64_t total_ = 0;
+  uint64_t next_sequence_ = 0;
+  bool enabled_ = true;
+};
+
+/// Microseconds since process start on the steady clock.
+uint64_t TraceNowMicros();
+
+/// Dense id of the calling thread (0, 1, 2, ... in first-use order).
+uint32_t TraceThreadId();
+
+/// RAII span: records a TraceEvent into a recorder (the global one by
+/// default) when it goes out of scope. Nesting on one thread is tracked
+/// with a thread-local depth counter, so parent/child structure survives
+/// into the dump. Construction is two clock reads plus a thread-local
+/// bump when tracing is enabled, nothing when disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, std::string category = "lightor",
+                      TraceRecorder* recorder = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::string category_;
+  uint64_t start_us_ = 0;
+  uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+/// RAII latency sampler: observes the elapsed wall time (seconds) into a
+/// histogram on destruction. Tolerates a null histogram (no-op).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    histogram_->Observe(elapsed.count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lightor::obs
+
+#endif  // LIGHTOR_OBS_TRACE_H_

@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace lightor::sim {
 
 namespace {
+
+obs::Counter& ChatMessagesCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("lightor_sim_chat_messages_total");
+  return *counter;
+}
 
 /// Bot advertisement templates: long, near-identical messages. These are
 /// the classic false positives for the "largest message number" heuristic.
@@ -339,6 +347,7 @@ ChatLog ChatSimulator::Generate(const GroundTruthVideo& video,
             [](const ChatMessage& a, const ChatMessage& b) {
               return a.timestamp < b.timestamp;
             });
+  ChatMessagesCounter().Increment(log.size());
   return log;
 }
 

@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace lightor::sim {
+
+namespace {
+
+obs::Counter& VideosBuiltCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("lightor_sim_videos_built_total");
+  return *counter;
+}
+
+}  // namespace
 
 Platform::Platform(Options options) : options_(options) {
   common::Rng rng(options_.seed);
@@ -42,6 +54,7 @@ Platform::Platform(Options options) : options_(options) {
           (150.0 + 4500.0 * channel.popularity) * rng.LogNormal(0.0, 0.25)));
       channel_videos_[channel.name].push_back(id);
       videos_.emplace(id, std::move(rec));
+      VideosBuiltCounter().Increment();
     }
   }
 }

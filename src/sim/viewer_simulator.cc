@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace lightor::sim {
+
+namespace {
+
+obs::Counter& ViewerSessionsCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("lightor_sim_viewer_sessions_total");
+  return *counter;
+}
+
+obs::Counter& InteractionEventsCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_sim_interaction_events_total");
+  return *counter;
+}
+
+}  // namespace
 
 std::vector<InteractionEvent> EventsFromPlays(
     const std::vector<PlayRecord>& plays) {
@@ -239,6 +257,8 @@ ViewerSession ViewerSimulator::SimulateSession(const GroundTruthVideo& video,
   }
 
   session.events = EventsFromPlays(plays);
+  ViewerSessionsCounter().Increment();
+  InteractionEventsCounter().Increment(session.events.size());
   return session;
 }
 

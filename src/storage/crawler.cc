@@ -1,12 +1,37 @@
 #include "storage/crawler.h"
 
+#include "common/logging.h"
+#include "obs/metrics.h"
+
 namespace lightor::storage {
+
+namespace {
+
+obs::Counter& ChatCacheCounter(bool hit) {
+  static obs::Counter* const hits = obs::Registry::Global().GetCounter(
+      "lightor_storage_chat_cache_total", {{"outcome", "hit"}});
+  static obs::Counter* const misses = obs::Registry::Global().GetCounter(
+      "lightor_storage_chat_cache_total", {{"outcome", "miss"}});
+  return hit ? *hits : *misses;
+}
+
+obs::Counter& VideosCrawledCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_storage_videos_crawled_total");
+  return *counter;
+}
+
+}  // namespace
 
 Crawler::Crawler(const sim::Platform* platform, Database* db)
     : platform_(platform), db_(db) {}
 
 common::Result<bool> Crawler::EnsureChat(const std::string& video_id) {
-  if (db_->chat().HasVideo(video_id)) return false;
+  if (db_->chat().HasVideo(video_id)) {
+    ChatCacheCounter(/*hit=*/true).Increment();
+    return false;
+  }
+  ChatCacheCounter(/*hit=*/false).Increment();
   auto chat = platform_->FetchChat(video_id);
   if (!chat.ok()) return chat.status();
   for (const auto& msg : chat.value()) {
@@ -17,6 +42,9 @@ common::Result<bool> Crawler::EnsureChat(const std::string& video_id) {
     rec.text = msg.text;
     LIGHTOR_RETURN_IF_ERROR(db_->PutChat(rec));
   }
+  VideosCrawledCounter().Increment();
+  LIGHTOR_LOG(Debug) << "crawler: fetched " << chat.value().size()
+                     << " chat messages for " << video_id;
   return true;
 }
 

@@ -2,7 +2,30 @@
 
 #include <filesystem>
 
+#include "obs/metrics.h"
+
 namespace lightor::storage {
+
+namespace {
+
+obs::Counter& DbWritesCounter(const char* log) {
+  static obs::Counter* const chat = obs::Registry::Global().GetCounter(
+      "lightor_storage_db_writes_total", {{"log", "chat"}});
+  static obs::Counter* const interactions = obs::Registry::Global().GetCounter(
+      "lightor_storage_db_writes_total", {{"log", "interactions"}});
+  static obs::Counter* const highlights = obs::Registry::Global().GetCounter(
+      "lightor_storage_db_writes_total", {{"log", "highlights"}});
+  switch (log[0]) {
+    case 'c':
+      return *chat;
+    case 'i':
+      return *interactions;
+    default:
+      return *highlights;
+  }
+}
+
+}  // namespace
 
 common::Result<std::unique_ptr<Database>> Database::Open(
     const std::string& directory) {
@@ -98,18 +121,21 @@ common::Result<size_t> Database::CompactHighlights() {
 common::Status Database::PutChat(const ChatRecord& record) {
   LIGHTOR_RETURN_IF_ERROR(chat_log_.Append(record.Encode()));
   chat_.Put(record);
+  DbWritesCounter("chat").Increment();
   return common::Status::OK();
 }
 
 common::Status Database::PutInteraction(const InteractionRecord& record) {
   LIGHTOR_RETURN_IF_ERROR(interaction_log_.Append(record.Encode()));
   interactions_.Put(record);
+  DbWritesCounter("interactions").Increment();
   return common::Status::OK();
 }
 
 common::Status Database::PutHighlight(const HighlightRecord& record) {
   LIGHTOR_RETURN_IF_ERROR(highlight_log_.Append(record.Encode()));
   highlights_.Put(record);
+  DbWritesCounter("highlights").Increment();
   return common::Status::OK();
 }
 

@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace lightor::storage {
+
+namespace {
+
+obs::Counter& DbReadsCounter(const char* store) {
+  static obs::Counter* const chat = obs::Registry::Global().GetCounter(
+      "lightor_storage_db_reads_total", {{"store", "chat"}});
+  static obs::Counter* const interactions = obs::Registry::Global().GetCounter(
+      "lightor_storage_db_reads_total", {{"store", "interactions"}});
+  static obs::Counter* const highlights = obs::Registry::Global().GetCounter(
+      "lightor_storage_db_reads_total", {{"store", "highlights"}});
+  switch (store[0]) {
+    case 'c':
+      return *chat;
+    case 'i':
+      return *interactions;
+    default:
+      return *highlights;
+  }
+}
+
+}  // namespace
 
 const std::vector<ChatRecord> ChatStore::kEmpty;
 
@@ -34,6 +57,7 @@ void ChatStore::EnsureSorted(const std::string& video_id) {
 
 const std::vector<ChatRecord>& ChatStore::GetByVideo(
     const std::string& video_id) {
+  DbReadsCounter("chat").Increment();
   auto it = by_video_.find(video_id);
   if (it == by_video_.end()) return kEmpty;
   EnsureSorted(video_id);
@@ -76,6 +100,7 @@ InteractionStore::SessionsForVideo(const std::string& video_id) const {
 std::map<uint64_t, std::vector<InteractionRecord>>
 InteractionStore::SessionsSince(const std::string& video_id,
                                 uint64_t min_generation) const {
+  DbReadsCounter("interactions").Increment();
   std::map<uint64_t, std::vector<InteractionRecord>> sessions;
   auto it = by_video_.find(video_id);
   if (it == by_video_.end()) return sessions;
@@ -100,6 +125,7 @@ void HighlightStore::Put(HighlightRecord record) {
 
 std::vector<HighlightRecord> HighlightStore::GetLatest(
     const std::string& video_id) const {
+  DbReadsCounter("highlights").Increment();
   std::vector<HighlightRecord> out;
   for (auto it = dots_.lower_bound({video_id, 0});
        it != dots_.end() && it->first.first == video_id; ++it) {

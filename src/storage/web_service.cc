@@ -2,10 +2,71 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
+
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lightor::storage {
 
 namespace {
+
+obs::Histogram& EndpointLatency(const char* endpoint) {
+  static obs::Histogram* const page_visit =
+      obs::Registry::Global().GetHistogram("lightor_web_request_seconds",
+                                           obs::Histogram::LatencyBounds(),
+                                           {{"endpoint", "page_visit"}});
+  static obs::Histogram* const log_session =
+      obs::Registry::Global().GetHistogram("lightor_web_request_seconds",
+                                           obs::Histogram::LatencyBounds(),
+                                           {{"endpoint", "log_session"}});
+  static obs::Histogram* const refine = obs::Registry::Global().GetHistogram(
+      "lightor_web_request_seconds", obs::Histogram::LatencyBounds(),
+      {{"endpoint", "refine"}});
+  if (endpoint == std::string_view("page_visit")) return *page_visit;
+  if (endpoint == std::string_view("log_session")) return *log_session;
+  return *refine;
+}
+
+obs::Counter& PageVisitsCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("lightor_web_page_visits_total");
+  return *counter;
+}
+
+obs::Counter& DotCacheCounter(bool hit) {
+  static obs::Counter* const hits = obs::Registry::Global().GetCounter(
+      "lightor_web_dot_cache_total", {{"outcome", "hit"}});
+  static obs::Counter* const misses = obs::Registry::Global().GetCounter(
+      "lightor_web_dot_cache_total", {{"outcome", "miss"}});
+  return hit ? *hits : *misses;
+}
+
+obs::Counter& SessionsLoggedCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("lightor_web_sessions_logged_total");
+  return *counter;
+}
+
+obs::Counter& InteractionEventsCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_web_interaction_events_total");
+  return *counter;
+}
+
+obs::Counter& RefinePassesCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("lightor_web_refine_passes_total");
+  return *counter;
+}
+
+obs::Counter& DotsUpdatedCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("lightor_web_dots_updated_total");
+  return *counter;
+}
 
 sim::InteractionType ToSimType(StoredInteraction event) {
   switch (event) {
@@ -47,9 +108,14 @@ WebService::WebService(const sim::Platform* platform, Database* db,
 
 common::Result<std::vector<HighlightRecord>> WebService::OnPageVisit(
     const std::string& video_id) {
+  obs::ScopedSpan span("web.OnPageVisit");
+  obs::ScopedTimer timer(&EndpointLatency("page_visit"));
+  PageVisitsCounter().Increment();
   if (db_->highlights().HasVideo(video_id)) {
+    DotCacheCounter(/*hit=*/true).Increment();
     return db_->highlights().GetLatest(video_id);
   }
+  DotCacheCounter(/*hit=*/false).Increment();
   // First visit: make sure the chat is stored (online crawl), then run
   // the Highlight Initializer and persist its red dots.
   auto crawled = crawler_.EnsureChat(video_id);
@@ -91,12 +157,17 @@ common::Result<std::vector<HighlightRecord>> WebService::OnPageVisit(
     LIGHTOR_RETURN_IF_ERROR(db_->PutHighlight(rec));
     records.push_back(std::move(rec));
   }
+  LIGHTOR_LOG(Info) << "web: first visit of " << video_id << " placed "
+                    << records.size() << " red dots";
   return records;
 }
 
 common::Status WebService::LogSession(
     const std::string& video_id, const std::string& user, uint64_t session_id,
     const std::vector<sim::InteractionEvent>& events) {
+  obs::ScopedTimer timer(&EndpointLatency("log_session"));
+  SessionsLoggedCounter().Increment();
+  InteractionEventsCounter().Increment(events.size());
   for (const auto& ev : events) {
     InteractionRecord rec;
     rec.video_id = video_id;
@@ -158,6 +229,9 @@ std::unordered_map<int32_t, std::vector<core::Play>> WebService::PlaysByDot(
 }
 
 common::Result<int> WebService::Refine(const std::string& video_id) {
+  obs::ScopedSpan span("web.Refine");
+  obs::ScopedTimer timer(&EndpointLatency("refine"));
+  RefinePassesCounter().Increment();
   if (!db_->highlights().HasVideo(video_id)) {
     return common::Status::NotFound("Refine: video has no red dots yet: " +
                                     video_id);
@@ -190,7 +264,14 @@ common::Result<int> WebService::Refine(const std::string& video_id) {
     LIGHTOR_RETURN_IF_ERROR(db_->PutHighlight(next));
     ++updated;
   }
+  DotsUpdatedCounter().Increment(static_cast<uint64_t>(updated));
+  LIGHTOR_LOG(Debug) << "web: refine pass on " << video_id << " updated "
+                     << updated << " dots";
   return updated;
+}
+
+std::string WebService::MetricsPage() const {
+  return obs::ExportPrometheus(obs::Registry::Global());
 }
 
 common::Result<std::vector<HighlightRecord>> WebService::GetHighlights(

@@ -47,6 +47,10 @@ class WebService {
   common::Result<std::vector<HighlightRecord>> GetHighlights(
       const std::string& video_id) const;
 
+  /// The `/metrics` endpoint: Prometheus text exposition of the global
+  /// registry (page visits, cache hits, per-endpoint latency, ...).
+  std::string MetricsPage() const;
+
  private:
   /// Rebuilds plays from the logged sessions newer than the video's
   /// refinement watermark and groups them by nearest red dot.

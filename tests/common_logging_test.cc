@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace lightor::common {
+namespace {
+
+/// Restores the global logging configuration around each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = GetLogLevel(); }
+  void TearDown() override {
+    SetLogLevel(saved_level_);
+    ClearComponentLogLevels();
+    EnableStderrLogging(true);
+  }
+
+ private:
+  LogLevel saved_level_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, ParseLogLevel) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  level = LogLevel::kDebug;
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);  // untouched on failure
+  EXPECT_FALSE(ParseLogLevel("", &level));
+}
+
+TEST_F(LoggingTest, SetLogLevelFromString) {
+  EXPECT_TRUE(SetLogLevelFromString("error"));
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  EXPECT_FALSE(SetLogLevelFromString("nope"));
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);  // unchanged
+}
+
+TEST_F(LoggingTest, CaptureLogsSeesEmittedStatements) {
+  SetLogLevel(LogLevel::kInfo);
+  CaptureLogs capture;
+  LIGHTOR_LOG(Info) << "hello " << 42;
+  LIGHTOR_LOG(Warning) << "watch out";
+  ASSERT_EQ(capture.entries().size(), 2u);
+  EXPECT_EQ(capture.entries()[0].message, "hello 42");
+  EXPECT_EQ(capture.entries()[0].level, LogLevel::kInfo);
+  EXPECT_TRUE(capture.Contains("watch out"));
+  EXPECT_FALSE(capture.Contains("absent"));
+}
+
+TEST_F(LoggingTest, BelowThresholdStatementsAreDropped) {
+  SetLogLevel(LogLevel::kWarning);
+  CaptureLogs capture;
+  LIGHTOR_LOG(Debug) << "quiet";
+  LIGHTOR_LOG(Info) << "also quiet";
+  LIGHTOR_LOG(Error) << "loud";
+  ASSERT_EQ(capture.entries().size(), 1u);
+  EXPECT_EQ(capture.entries()[0].level, LogLevel::kError);
+}
+
+// The satellite fix: a below-threshold LIGHTOR_LOG must short-circuit
+// before evaluating its streamed operands.
+TEST_F(LoggingTest, BelowThresholdOperandsAreNeverEvaluated) {
+  SetLogLevel(LogLevel::kWarning);
+  CaptureLogs capture;
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return std::string("costly");
+  };
+  LIGHTOR_LOG(Debug) << expensive();
+  LIGHTOR_LOG(Info) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  LIGHTOR_LOG(Error) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, LogComponentFromPath) {
+  EXPECT_EQ(LogComponentFromPath("/root/repo/src/storage/web_service.cc"),
+            "storage");
+  EXPECT_EQ(LogComponentFromPath("src/core/initializer.cc"), "core");
+  EXPECT_EQ(LogComponentFromPath("/root/repo/tools/obs_dump.cc"), "tools");
+  EXPECT_EQ(LogComponentFromPath("bench/microbench.cc"), "bench");
+}
+
+TEST_F(LoggingTest, ComponentOverrideLowersThreshold) {
+  SetLogLevel(LogLevel::kError);
+  // This file's component is "tests".
+  SetComponentLogLevel("tests", LogLevel::kDebug);
+  CaptureLogs capture;
+  LIGHTOR_LOG(Debug) << "component debug";
+  EXPECT_TRUE(capture.Contains("component debug"));
+}
+
+TEST_F(LoggingTest, ComponentOverrideRaisesThreshold) {
+  SetLogLevel(LogLevel::kDebug);
+  SetComponentLogLevel("tests", LogLevel::kError);
+  CaptureLogs capture;
+  LIGHTOR_LOG(Info) << "suppressed here";
+  EXPECT_FALSE(capture.Contains("suppressed here"));
+  LIGHTOR_LOG(Error) << "still loud";
+  EXPECT_TRUE(capture.Contains("still loud"));
+  ClearComponentLogLevels();
+  LIGHTOR_LOG(Info) << "back to normal";
+  EXPECT_TRUE(capture.Contains("back to normal"));
+}
+
+TEST_F(LoggingTest, EntriesCarrySourceLocation) {
+  SetLogLevel(LogLevel::kInfo);
+  CaptureLogs capture;
+  LIGHTOR_LOG(Info) << "locate me";
+  ASSERT_EQ(capture.entries().size(), 1u);
+  const LogEntry& entry = capture.entries()[0];
+  EXPECT_NE(std::string(entry.file).find("common_logging_test.cc"),
+            std::string::npos);
+  EXPECT_GT(entry.line, 0);
+  EXPECT_EQ(entry.component, "tests");
+}
+
+TEST_F(LoggingTest, MacroIsStatementSafe) {
+  SetLogLevel(LogLevel::kInfo);
+  CaptureLogs capture;
+  // A dangling-else-prone context must compile and behave.
+  if (true)
+    LIGHTOR_LOG(Info) << "then-branch";
+  else
+    LIGHTOR_LOG(Info) << "else-branch";
+  EXPECT_TRUE(capture.Contains("then-branch"));
+  EXPECT_FALSE(capture.Contains("else-branch"));
+}
+
+TEST_F(LoggingTest, LogLevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace lightor::common

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace lightor::obs {
+namespace {
+
+// The registry is process-global; every test uses unique metric names so
+// tests stay independent even though they share the instance.
+
+TEST(ObsMetricsTest, CounterBasics) {
+  Counter* c = Registry::Global().GetCounter("lightor_test_basic_total");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(ObsMetricsTest, RegistryInternsByNameAndLabels) {
+  Counter* a = Registry::Global().GetCounter("lightor_test_intern_total",
+                                             {{"k", "1"}});
+  Counter* b = Registry::Global().GetCounter("lightor_test_intern_total",
+                                             {{"k", "1"}});
+  Counter* c = Registry::Global().GetCounter("lightor_test_intern_total",
+                                             {{"k", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ObsMetricsTest, LabelOrderDoesNotSplitSeries) {
+  Counter* a = Registry::Global().GetCounter(
+      "lightor_test_label_order_total", {{"a", "1"}, {"b", "2"}});
+  Counter* b = Registry::Global().GetCounter(
+      "lightor_test_label_order_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(ObsMetricsTest, KindMismatchReturnsDummyNotCrash) {
+  Counter* c = Registry::Global().GetCounter("lightor_test_mismatch_total");
+  c->Increment();
+  // Re-registering the same series as a gauge is a programming error; it
+  // must not crash and must not clobber the real counter.
+  Gauge* g = Registry::Global().GetGauge("lightor_test_mismatch_total");
+  ASSERT_NE(g, nullptr);
+  g->Set(42.0);
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(ObsMetricsTest, ConcurrentCounterIncrementsSumExactly) {
+  Counter* c = Registry::Global().GetCounter("lightor_test_concurrent_total");
+  constexpr size_t kWorkers = 64;
+  constexpr uint64_t kPerWorker = 10000;
+  common::ParallelFor(kWorkers, [&](size_t) {
+    for (uint64_t i = 0; i < kPerWorker; ++i) c->Increment();
+  });
+  EXPECT_EQ(c->value(), kWorkers * kPerWorker);
+}
+
+TEST(ObsMetricsTest, ConcurrentHistogramObservationsSumExactly) {
+  Histogram* h = Registry::Global().GetHistogram(
+      "lightor_test_concurrent_seconds", {1.0, 2.0, 4.0});
+  constexpr size_t kWorkers = 32;
+  constexpr uint64_t kPerWorker = 5000;
+  common::ParallelFor(kWorkers, [&](size_t w) {
+    for (uint64_t i = 0; i < kPerWorker; ++i) {
+      h->Observe(static_cast<double>(w % 5));  // 0,1,2,3,4 across workers
+    }
+  });
+  EXPECT_EQ(h->count(), kWorkers * kPerWorker);
+  uint64_t bucket_total = 0;
+  for (uint64_t n : h->BucketCounts()) bucket_total += n;
+  EXPECT_EQ(bucket_total, h->count());
+}
+
+TEST(ObsMetricsTest, HistogramBucketBoundariesAreInclusive) {
+  Histogram* h = Registry::Global().GetHistogram(
+      "lightor_test_bounds_seconds", {1.0, 2.0, 4.0});
+  h->Observe(0.5);   // -> le=1
+  h->Observe(1.0);   // boundary is inclusive -> le=1
+  h->Observe(1.001); // -> le=2
+  h->Observe(4.0);   // -> le=4
+  h->Observe(9.0);   // -> +Inf
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.001 + 4.0 + 9.0);
+}
+
+TEST(ObsMetricsTest, HistogramSortsAndDedupsBounds) {
+  Histogram h({4.0, 1.0, 2.0, 2.0});
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+}
+
+TEST(ObsMetricsTest, GaugeSetAndAdd) {
+  Gauge* g = Registry::Global().GetGauge("lightor_test_gauge");
+  g->Set(2.5);
+  g->Add(1.0);
+  g->Add(-0.5);
+  EXPECT_DOUBLE_EQ(g->value(), 3.0);
+}
+
+TEST(ObsMetricsTest, DisabledRegistryDropsMutations) {
+  Counter* c = Registry::Global().GetCounter("lightor_test_disabled_total");
+  Histogram* h = Registry::Global().GetHistogram(
+      "lightor_test_disabled_seconds", Histogram::LatencyBounds());
+  SetMetricsEnabled(false);
+  c->Increment();
+  h->Observe(1.0);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+// ---- exporters -----------------------------------------------------------
+
+RegistrySnapshot ExporterFixture() {
+  RegistrySnapshot snap;
+  snap.counters.push_back({"lightor_test_export_total",
+                           {{"stage", "one"}},
+                           7});
+  snap.gauges.push_back({"lightor_test_export_ratio", {}, 0.5});
+  HistogramSnapshot h;
+  h.name = "lightor_test_export_seconds";
+  h.bounds = {1.0, 2.0};
+  h.bucket_counts = {3, 1, 2};  // non-cumulative, +Inf last
+  h.count = 6;
+  h.sum = 12.5;
+  snap.histograms.push_back(h);
+  return snap;
+}
+
+TEST(ObsExportTest, PrometheusLineFormatParses) {
+  const std::string text = ExportPrometheus(ExporterFixture());
+  std::istringstream in(text);
+  std::string line;
+  int samples = 0;
+  std::map<std::string, double> values;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      // "# TYPE <name> <counter|gauge|histogram>"
+      std::istringstream meta(line.substr(7));
+      std::string name, kind;
+      ASSERT_TRUE(meta >> name >> kind) << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      continue;
+    }
+    // Sample line: "<series> <value>" with the value after the last space.
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    size_t parsed = 0;
+    const double value = std::stod(line.substr(space + 1), &parsed);
+    EXPECT_EQ(parsed, line.size() - space - 1) << line;
+    values[series] = value;
+    ++samples;
+  }
+  // counter + gauge + (2 finite buckets + +Inf + sum + count) = 7 samples.
+  EXPECT_EQ(samples, 7);
+  EXPECT_DOUBLE_EQ(values.at("lightor_test_export_total{stage=\"one\"}"), 7);
+  EXPECT_DOUBLE_EQ(values.at("lightor_test_export_ratio"), 0.5);
+  // Buckets are cumulative in the exposition format.
+  EXPECT_DOUBLE_EQ(
+      values.at("lightor_test_export_seconds_bucket{le=\"1\"}"), 3);
+  EXPECT_DOUBLE_EQ(
+      values.at("lightor_test_export_seconds_bucket{le=\"2\"}"), 4);
+  EXPECT_DOUBLE_EQ(
+      values.at("lightor_test_export_seconds_bucket{le=\"+Inf\"}"), 6);
+  EXPECT_DOUBLE_EQ(values.at("lightor_test_export_seconds_sum"), 12.5);
+  EXPECT_DOUBLE_EQ(values.at("lightor_test_export_seconds_count"), 6);
+}
+
+TEST(ObsExportTest, PrometheusEscapesLabelValues) {
+  RegistrySnapshot snap;
+  snap.counters.push_back({"lightor_test_escape_total",
+                           {{"q", "a\"b\\c\nd"}},
+                           1});
+  const std::string text = ExportPrometheus(snap);
+  EXPECT_NE(text.find("q=\"a\\\"b\\\\c\\nd\""), std::string::npos) << text;
+}
+
+TEST(ObsExportTest, JsonRoundTripsValues) {
+  const std::string json = ExportJson(ExporterFixture());
+  // Spot-check the exact value fragments; the format is stable.
+  EXPECT_NE(json.find("\"name\":\"lightor_test_export_total\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stage\":\"one\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\":12.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":6"), std::string::npos) << json;
+  // Balanced braces/brackets (cheap structural sanity check).
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ObsExportTest, PrometheusAndJsonAgreeOnLiveRegistry) {
+  Counter* c = Registry::Global().GetCounter("lightor_test_agree_total");
+  c->Increment(123);
+  const RegistrySnapshot snap = Registry::Global().Snapshot();
+  const std::string prom = ExportPrometheus(snap);
+  const std::string json = ExportJson(snap);
+  EXPECT_NE(prom.find("lightor_test_agree_total 123"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"lightor_test_agree_total\",\"labels\":{},"
+                      "\"value\":123"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ObsMetricsTest, SnapshotCoversEveryRegisteredSeries) {
+  Registry::Global().GetCounter("lightor_test_snapshot_total");
+  const RegistrySnapshot snap = Registry::Global().Snapshot();
+  bool found = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "lightor_test_snapshot_total") found = true;
+  }
+  EXPECT_TRUE(found);
+  const std::vector<std::string> names = Registry::Global().SeriesNames();
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "lightor_test_snapshot_total"),
+            names.end());
+}
+
+}  // namespace
+}  // namespace lightor::obs

@@ -79,6 +79,16 @@ TEST_F(WebServiceTest, SecondVisitServedFromStore) {
                    first.value()[0].dot_position);
 }
 
+TEST_F(WebServiceTest, MetricsPageReflectsTraffic) {
+  ASSERT_TRUE(service_->OnPageVisit(video_id_).ok());
+  const std::string page = service_->MetricsPage();
+  EXPECT_NE(page.find("# TYPE lightor_web_page_visits_total counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("lightor_web_dot_cache_total{outcome=\"miss\"}"),
+            std::string::npos);
+  EXPECT_NE(page.find("lightor_storage_chat_cache_total"), std::string::npos);
+}
+
 TEST_F(WebServiceTest, UnknownVideoIsNotFound) {
   EXPECT_TRUE(service_->OnPageVisit("missing").status().IsNotFound());
   EXPECT_TRUE(service_->GetHighlights("missing").status().IsNotFound());

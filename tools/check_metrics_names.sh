@@ -1,0 +1,79 @@
+#!/bin/sh
+# Lints metric registration sites for the repo naming convention:
+#
+#   lightor_<layer>_<name>     layer in: core sim storage web text ml
+#                              common bench test(s)
+#   counters end in _total; gauges/histograms must not
+#
+# and flags the same metric name registered as two different kinds
+# (counter vs gauge vs histogram), which the registry resolves to a
+# dummy at runtime. Run from anywhere: paths are relative to the repo
+# root (the directory above this script).
+#
+# Usage: tools/check_metrics_names.sh   (exit 0 = clean, 1 = violations)
+
+set -u
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root" || exit 2
+
+files=$(grep -rlE 'Get(Counter|Gauge|Histogram)\(' src tools bench 2>/dev/null)
+if [ -z "$files" ]; then
+  echo "check_metrics_names: no registration sites found (wrong root?)" >&2
+  exit 2
+fi
+
+# Registration sites as "file kind name". The name is often wrapped onto
+# the line after Get*( by the formatter, so match on the whitespace-
+# collapsed file body rather than line by line.
+parsed=$(for f in $files; do
+  tr '\n' ' ' < "$f" |
+    grep -oE 'Get(Counter|Gauge|Histogram)\( *"[^"]+"' |
+    sed -E "s@^Get(Counter|Gauge|Histogram)\( *\"([^\"]+)\"\$@$f \\1 \\2@"
+done)
+
+status=0
+
+# 1. Naming convention.
+bad=$(printf '%s\n' "$parsed" | awk '
+  {
+    site = $1; kind = $2; name = $3
+    if (name !~ /^lightor_(core|sim|storage|web|text|ml|common|bench|tests?)_[a-z0-9_]+$/) {
+      printf "%s: bad metric name %s (want lightor_<layer>_<name>, lowercase)\n", site, name
+    } else if (kind == "Counter" && name !~ /_total$/) {
+      printf "%s: counter %s must end in _total\n", site, name
+    } else if (kind != "Counter" && name ~ /_total$/) {
+      printf "%s: %s %s must not end in _total (counters only)\n", site, tolower(kind), name
+    }
+  }')
+if [ -n "$bad" ]; then
+  printf '%s\n' "$bad" >&2
+  status=1
+fi
+
+# 2. One kind per name across the whole tree.
+dupes=$(printf '%s\n' "$parsed" | awk '
+  {
+    name = $3; kind = $2
+    if (name in kinds) {
+      if (index(kinds[name], kind) == 0) kinds[name] = kinds[name] "+" kind
+    } else {
+      kinds[name] = kind
+    }
+  }
+  END {
+    for (name in kinds) {
+      if (index(kinds[name], "+") != 0) {
+        printf "metric %s registered as multiple kinds: %s\n", name, kinds[name]
+      }
+    }
+  }')
+if [ -n "$dupes" ]; then
+  printf '%s\n' "$dupes" >&2
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  count=$(printf '%s\n' "$parsed" | awk '{print $3}' | sort -u | wc -l)
+  echo "check_metrics_names: OK ($count metric names, all conventional)"
+fi
+exit "$status"

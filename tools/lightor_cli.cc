@@ -20,7 +20,11 @@
 
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/logging.h"
 #include "common/strings.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/evaluation.h"
 #include "core/model_io.h"
 #include "sim/bridge.h"
@@ -35,8 +39,40 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: lightor <gen|train|detect|eval|extract> [--flags]\n"
-               "run with a command and no flags to see its options\n");
+               "run with a command and no flags to see its options\n"
+               "global flags: --log-level=debug|info|warning|error\n"
+               "              --metrics-out=FILE (Prometheus text)\n"
+               "              --metrics-json-out=FILE --trace-out=FILE\n");
   return 2;
+}
+
+/// Post-command observability dumps, gated on the global flags.
+int DumpObservability(const common::Flags& flags, int exit_code) {
+  if (const std::string path = flags.GetString("metrics-out"); !path.empty()) {
+    if (auto st = obs::WriteFile(
+            path, obs::ExportPrometheus(obs::Registry::Global()));
+        !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
+  if (const std::string path = flags.GetString("metrics-json-out");
+      !path.empty()) {
+    if (auto st =
+            obs::WriteFile(path, obs::ExportJson(obs::Registry::Global()));
+        !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
+  if (const std::string path = flags.GetString("trace-out"); !path.empty()) {
+    if (auto st = obs::TraceRecorder::Global().WriteChromeTrace(path);
+        !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
+  return exit_code;
 }
 
 int Fail(const common::Status& status) {
@@ -243,10 +279,25 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const common::Flags flags = common::Flags::Parse(argc - 1, argv + 1);
-  if (command == "gen") return CmdGen(flags);
-  if (command == "train") return CmdTrain(flags);
-  if (command == "detect") return CmdDetect(flags);
-  if (command == "eval") return CmdEval(flags);
-  if (command == "extract") return CmdExtract(flags);
-  return Usage();
+  if (flags.Has("log-level") &&
+      !common::SetLogLevelFromString(flags.GetString("log-level"))) {
+    std::fprintf(stderr,
+                 "error: bad --log-level (debug|info|warning|error)\n");
+    return 2;
+  }
+  int code;
+  if (command == "gen") {
+    code = CmdGen(flags);
+  } else if (command == "train") {
+    code = CmdTrain(flags);
+  } else if (command == "detect") {
+    code = CmdDetect(flags);
+  } else if (command == "eval") {
+    code = CmdEval(flags);
+  } else if (command == "extract") {
+    code = CmdExtract(flags);
+  } else {
+    return Usage();
+  }
+  return DumpObservability(flags, code);
 }

@@ -1,0 +1,169 @@
+/// obs_dump — end-to-end observability smoke driver.
+///
+/// Runs the full deployment loop on a simulated platform (offline crawl →
+/// page visits → viewer sessions → refinement passes → Lightor::Process)
+/// and dumps the metrics the run produced:
+///
+///   obs_dump [--channels=2] [--videos-per-channel=2] [--visits=4]
+///            [--viewers=8] [--rounds=2] [--seed=7] [--top-k=5]
+///            [--format=prometheus|json]        # stdout format
+///            [--prometheus-out=FILE] [--json-out=FILE] [--trace-out=FILE]
+///            [--log-level=debug|info|warning|error]
+///
+/// The Chrome trace (--trace-out) loads in chrome://tracing / Perfetto;
+/// the JSON export matches the Prometheus text value-for-value.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/viewer_simulator.h"
+#include "storage/web_service.h"
+
+using namespace lightor;  // NOLINT
+
+namespace {
+
+int Fail(const common::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags = common::Flags::Parse(argc, argv);
+  if (flags.Has("log-level") &&
+      !common::SetLogLevelFromString(flags.GetString("log-level"))) {
+    std::fprintf(stderr, "error: bad --log-level (debug|info|warning|error)\n");
+    return 2;
+  }
+
+  sim::Platform::Options popts;
+  popts.num_channels = static_cast<int>(flags.GetInt("channels", 2));
+  popts.videos_per_channel =
+      static_cast<int>(flags.GetInt("videos-per-channel", 2));
+  popts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const int visits = static_cast<int>(flags.GetInt("visits", 4));
+  const int viewers = static_cast<int>(flags.GetInt("viewers", 8));
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 2));
+  const auto top_k = static_cast<size_t>(flags.GetInt("top-k", 5));
+
+  sim::Platform platform(popts);
+
+  const std::string db_dir =
+      (std::filesystem::temp_directory_path() /
+       ("lightor_obs_dump_" + std::to_string(popts.seed)))
+          .string();
+  std::filesystem::remove_all(db_dir);
+  auto db = storage::Database::Open(db_dir);
+  if (!db.ok()) return Fail(db.status());
+
+  // Train on an out-of-platform corpus video, as in deployment.
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1,
+                                      popts.seed + 1000);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  core::LightorOptions lopts;
+  lopts.top_k = top_k;
+  core::Lightor lightor(lopts);
+  if (auto st = lightor.TrainInitializer({tv}); !st.ok()) return Fail(st);
+
+  storage::WebService service(&platform, db.value().get(), &lightor, top_k);
+
+  {
+    obs::ScopedSpan run_span("obs_dump.run");
+
+    // Offline crawl of the most popular channel: later visits to its
+    // videos hit the chat cache, visits elsewhere miss it.
+    storage::Crawler crawler(&platform, db.value().get());
+    if (auto n = crawler.CrawlChannel(platform.channels()[0].name, 2);
+        !n.ok()) {
+      return Fail(n.status());
+    }
+
+    const auto ids = platform.AllVideoIds();
+    sim::ViewerSimulator viewer_sim;
+    common::Rng rng(popts.seed + 1);
+    uint64_t session_id = 0;
+    for (int v = 0; v < visits && v < static_cast<int>(ids.size()); ++v) {
+      const std::string& video_id = ids[static_cast<size_t>(v)];
+      auto dots = service.OnPageVisit(video_id);
+      if (!dots.ok()) return Fail(dots.status());
+      // A second visit is served from the highlight store (cache hit).
+      if (auto again = service.OnPageVisit(video_id); !again.ok()) {
+        return Fail(again.status());
+      }
+      const auto video = platform.GetVideo(video_id);
+      if (!video.ok()) return Fail(video.status());
+      for (int round = 0; round < rounds; ++round) {
+        const auto current = service.GetHighlights(video_id);
+        if (!current.ok()) return Fail(current.status());
+        for (const auto& dot : current.value()) {
+          for (int u = 0; u < viewers; ++u) {
+            const auto session = viewer_sim.SimulateSession(
+                video.value().truth, dot.dot_position, rng,
+                "w" + std::to_string(session_id));
+            if (auto st = service.LogSession(video_id, session.user,
+                                             ++session_id, session.events);
+                !st.ok()) {
+              return Fail(st);
+            }
+          }
+        }
+        if (auto updated = service.Refine(video_id); !updated.ok()) {
+          return Fail(updated.status());
+        }
+      }
+    }
+
+    // The batch path too: Lightor::Process leaves a full span tree
+    // (Process → Initialize / Extract → extractor.Run) in the trace.
+    auto processed = lightor.Process(
+        tv.messages, tv.video_length, [&](const core::RedDot&) {
+          return std::make_unique<sim::SimulatedCrowdProvider>(
+              corpus[0].truth, sim::ViewerSimulator(), viewers, rng.Fork());
+        });
+    if (!processed.ok()) return Fail(processed.status());
+  }
+
+  const obs::RegistrySnapshot snapshot = obs::Registry::Global().Snapshot();
+  const std::string prometheus = obs::ExportPrometheus(snapshot);
+  const std::string json = obs::ExportJson(snapshot);
+
+  if (const std::string path = flags.GetString("prometheus-out");
+      !path.empty()) {
+    if (auto st = obs::WriteFile(path, prometheus); !st.ok()) return Fail(st);
+  }
+  if (const std::string path = flags.GetString("json-out"); !path.empty()) {
+    if (auto st = obs::WriteFile(path, json); !st.ok()) return Fail(st);
+  }
+  if (const std::string path = flags.GetString("trace-out"); !path.empty()) {
+    if (auto st = obs::TraceRecorder::Global().WriteChromeTrace(path);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 obs::TraceRecorder::Global().size(), path.c_str());
+  }
+
+  std::fputs(flags.GetString("format", "prometheus") == "json"
+                 ? json.c_str()
+                 : prometheus.c_str(),
+             stdout);
+
+  std::filesystem::remove_all(db_dir);
+  return 0;
+}
