@@ -4,11 +4,13 @@
 #
 #   ./ci.sh            # fresh configure into build-ci/ and run everything
 #   BUILD_DIR=build ./ci.sh   # reuse an existing tree
+#   SKIP_TSAN=1 ./ci.sh       # skip the ThreadSanitizer stage
 
 set -eu
 cd "$(dirname "$0")"
 
 BUILD_DIR=${BUILD_DIR:-build-ci}
+TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 
 echo "== lint: metric naming convention =="
 sh tools/check_metrics_names.sh
@@ -25,4 +27,17 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 echo "== observability smoke =="
 "$BUILD_DIR"/tools/obs_dump --visits=1 --viewers=2 --rounds=1 \
     --format=json >/dev/null
+
+# The concurrent serving layer and the obs registry it instruments are
+# the multi-threaded parts of the tree: build just their tests with
+# -fsanitize=thread and run them under TSan.
+if [ "${SKIP_TSAN:-0}" != "1" ]; then
+  echo "== thread sanitizer: serving + obs tests ($TSAN_BUILD_DIR) =="
+  cmake -B "$TSAN_BUILD_DIR" -S . -DLIGHTOR_SANITIZE=thread >/dev/null
+  cmake --build "$TSAN_BUILD_DIR" -j --target \
+      serving_server_test serving_stress_test \
+      obs_metrics_test obs_trace_test
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
+      -R '^(serving_|obs_)'
+fi
 echo "ci: OK"

@@ -1,14 +1,19 @@
 /// The Section VI deployment story, end to end: the LIGHTOR browser
-/// extension's backend against a (simulated) live-streaming platform.
+/// extension's backend against a (simulated) live-streaming platform —
+/// served by the concurrent HighlightServer.
 ///
-///   * a user opens a recorded-video page -> the service looks the video
+///   * a user opens a recorded-video page -> the server looks the video
 ///     up, crawls its chat if missing, runs the Highlight Initializer and
-///     stores red dots (all persisted in the write-ahead-logged database);
-///   * viewers interact with the dots -> their raw events are logged;
-///   * the Highlight Extractor periodically refines the dots from the
-///     logged interactions;
+///     publishes red dots as an immutable versioned snapshot (all
+///     persisted in the write-ahead-logged database);
+///   * viewers interact with the dots -> their raw events are logged, and
+///     once a video accumulates a batch of sessions a background worker
+///     refines its dots — page visits never wait for refinement;
+///   * Shutdown() drains the pending batches before the process exits;
 ///   * the database directory survives a process restart (we reopen it
-///     and show the state is still there).
+///     and show the state is still there; the restarted server's
+///     watermarks are seeded from the DB so already-consumed sessions are
+///     not re-fed into refinement).
 
 #include <cstdio>
 #include <filesystem>
@@ -16,9 +21,10 @@
 
 #include "common/strings.h"
 #include "core/lightor.h"
+#include "serving/highlight_server.h"
 #include "sim/bridge.h"
 #include "sim/corpus.h"
-#include "storage/web_service.h"
+#include "storage/database.h"
 
 using namespace lightor;  // NOLINT
 
@@ -64,50 +70,72 @@ int main() {
                    db.status().ToString().c_str());
       return 1;
     }
-    storage::WebService service(&platform, db.value().get(), &lightor, 5);
+
+    // Ownership is explicit in ServerOptions: the platform and pipeline
+    // are borrowed (we keep them alive); the database is handed over.
+    serving::ServerOptions sopts;
+    sopts.platform = serving::Borrow(&platform);
+    sopts.db = std::shared_ptr<storage::Database>(std::move(db.value()));
+    sopts.lightor = serving::Borrow(&lightor);
+    sopts.top_k = 5;
+    sopts.refine_batch_sessions = 12;  // one wave of one dot's viewers
+    auto created = serving::HighlightServer::Create(sopts);
+    if (!created.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    serving::HighlightServer& server = *created.value();
 
     const std::string video_id = platform.AllVideoIds()[0];
     std::printf("user opens video page: %s\n", video_id.c_str());
-    auto dots = service.OnPageVisit(video_id);
-    if (!dots.ok()) {
+    auto visit = server.OnPageVisit({video_id, "reader"});
+    if (!visit.ok()) {
       std::fprintf(stderr, "page visit failed: %s\n",
-                   dots.status().ToString().c_str());
+                   visit.status().ToString().c_str());
       return 1;
     }
-    std::printf("chat crawled (%zu messages stored); %zu red dots "
-                "published:\n",
-                db.value()->chat().GetByVideo(video_id).size(),
-                dots.value().size());
-    for (const auto& dot : dots.value()) {
+    std::printf("chat crawled; %zu red dots published (snapshot v%llu):\n",
+                visit.value().highlights.size(),
+                static_cast<unsigned long long>(
+                    visit.value().snapshot_version));
+    for (const auto& dot : visit.value().highlights) {
       std::printf("  dot #%d at %s (score %.3f)\n", dot.dot_index,
                   common::FormatTimestamp(dot.dot_position).c_str(),
                   dot.score);
     }
 
-    // Viewers arrive in waves; the service refines after each wave.
+    // Viewers arrive in waves; background workers refine whenever a
+    // video's pending-session batch fills up.
     const auto video = platform.GetVideo(video_id).value();
     sim::ViewerSimulator viewers;
     common::Rng rng(77);
     uint64_t session_id = 0;
     for (int wave = 1; wave <= 3; ++wave) {
-      const auto current = service.GetHighlights(video_id).value();
-      for (const auto& dot : current) {
+      const auto current = server.GetHighlights(video_id).value();
+      for (const auto& dot : current.highlights) {
         for (int u = 0; u < 12; ++u) {
           const auto session = viewers.SimulateSession(
               video.truth, dot.dot_position, rng,
               "viewer" + std::to_string(session_id));
-          (void)service.LogSession(video_id, session.user, ++session_id,
-                                   session.events);
+          serving::LogSessionRequest log;
+          log.video_id = video_id;
+          log.user = session.user;
+          log.session_id = ++session_id;
+          log.events = session.events;
+          (void)server.LogSession(log);
         }
       }
-      const auto updated = service.Refine(video_id);
-      std::printf("wave %d: %llu sessions logged so far, %d dots refined\n",
+      std::printf("wave %d: %llu sessions logged so far (snapshot v%llu)\n",
                   wave, static_cast<unsigned long long>(session_id),
-                  updated.value_or(0));
+                  static_cast<unsigned long long>(current.snapshot_version));
     }
 
-    std::printf("\nrefined highlights:\n");
-    const auto refined = service.GetHighlights(video_id).value();
+    // Drain: stop intake, consume every pending batch, join the workers.
+    server.Shutdown();
+
+    std::printf("\nrefined highlights after drain:\n");
+    const auto refined = sopts.db->highlights().GetLatest(video_id);
     for (const auto& rec : refined) {
       std::printf("  #%d [%s .. %s] iteration %d%s\n", rec.dot_index,
                   common::FormatTimestamp(rec.start).c_str(),
@@ -130,12 +158,32 @@ int main() {
               db.value()->chat().TotalRecords(),
               db.value()->interactions().TotalRecords(),
               db.value()->highlights().TotalRecords());
-  std::printf("latest dots for %s after restart:\n", video_id.c_str());
-  for (const auto& rec : db.value()->highlights().GetLatest(video_id)) {
-    std::printf("  #%d [%s .. %s] iteration %d\n", rec.dot_index,
-                common::FormatTimestamp(rec.start).c_str(),
-                common::FormatTimestamp(rec.end).c_str(), rec.iteration);
+
+  // A restarted server seeds its refine watermarks from the recovered
+  // state: a drain right away consumes nothing new.
+  serving::ServerOptions sopts;
+  sopts.platform = serving::Borrow(&platform);
+  sopts.db = std::shared_ptr<storage::Database>(std::move(db.value()));
+  sopts.lightor = serving::Borrow(&lightor);
+  auto restarted = serving::HighlightServer::Create(sopts);
+  if (!restarted.ok()) {
+    std::fprintf(stderr, "restart failed: %s\n",
+                 restarted.status().ToString().c_str());
+    return 1;
   }
+  const auto again = restarted.value()->OnPageVisit({video_id, "reader"});
+  std::printf("dots for %s after restart (snapshot v%llu):\n",
+              video_id.c_str(),
+              static_cast<unsigned long long>(
+                  again.ok() ? again.value().snapshot_version : 0));
+  if (again.ok()) {
+    for (const auto& rec : again.value().highlights) {
+      std::printf("  #%d [%s .. %s] iteration %d\n", rec.dot_index,
+                  common::FormatTimestamp(rec.start).c_str(),
+                  common::FormatTimestamp(rec.end).c_str(), rec.iteration);
+    }
+  }
+  restarted.value()->Shutdown();
   std::filesystem::remove_all(db_dir);
   return 0;
 }

@@ -5,17 +5,24 @@
 ///
 /// This example crawls one channel's recent videos, checks the
 /// applicability thresholds (Fig. 9), and prints a per-video highlight
-/// candidate list for the broadcaster's editing queue.
+/// candidate list for the broadcaster's editing queue. The candidates
+/// come from the single-threaded reference WebService — each dashboard
+/// row is one `OnPageVisit` against the serving API, so the red dots the
+/// broadcaster sees are exactly what viewers get (crawled, initialized
+/// and persisted through the same path).
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 
 #include "common/csv.h"
 #include "common/strings.h"
 #include "core/lightor.h"
+#include "serving/web_service.h"
 #include "sim/bridge.h"
 #include "sim/corpus.h"
 #include "sim/platform.h"
+#include "storage/database.h"
 
 using namespace lightor;  // NOLINT
 
@@ -43,6 +50,24 @@ int main() {
     return 1;
   }
 
+  const std::string db_dir =
+      (std::filesystem::temp_directory_path() / "lightor_dashboard_demo")
+          .string();
+  std::filesystem::remove_all(db_dir);
+  auto db = storage::Database::Open(db_dir);
+  if (!db.ok()) {
+    std::fprintf(stderr, "db open failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  serving::ServerOptions sopts;
+  sopts.platform = serving::Borrow(&platform);
+  sopts.db = std::shared_ptr<storage::Database>(std::move(db.value()));
+  sopts.lightor = serving::Borrow(&lightor);
+  sopts.top_k = 3;
+  serving::WebService service(sopts);
+
   common::TextTable table({"video", "length", "msgs/hour", "viewers",
                            "applicable", "top highlight candidates"});
   const auto ids = platform.ListRecentVideoIds(channel.name, 4).value();
@@ -54,12 +79,11 @@ int main() {
 
     std::string candidates = "-";
     if (applicable) {
-      const auto dots = lightor.Initialize(
-          sim::ToCoreMessages(video.chat), video.truth.meta.length, 3);
-      if (dots.ok()) {
+      const auto visit = service.OnPageVisit({id, channel.name});
+      if (visit.ok()) {
         std::vector<std::string> stamps;
-        for (const auto& dot : dots.value()) {
-          stamps.push_back(common::FormatTimestamp(dot.position));
+        for (const auto& rec : visit.value().highlights) {
+          stamps.push_back(common::FormatTimestamp(rec.dot_position));
         }
         candidates = common::Join(stamps, ", ");
       }
@@ -73,5 +97,6 @@ int main() {
   std::printf(
       "\nthe broadcaster can now jump straight to each candidate and cut "
       "the clip\ninstead of scrubbing through hours of VOD.\n");
+  std::filesystem::remove_all(db_dir);
   return 0;
 }

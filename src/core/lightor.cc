@@ -13,6 +13,12 @@ obs::Histogram& ProcessLatencyHistogram() {
   return *histogram;
 }
 
+obs::Counter& DotFailuresCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_core_process_dot_failures_total");
+  return *counter;
+}
+
 }  // namespace
 
 Lightor::Lightor(LightorOptions options)
@@ -69,8 +75,14 @@ common::Result<std::vector<ExtractedHighlight>> Lightor::Process(
     item.dot = dot;
     std::unique_ptr<PlayProvider> provider = make_provider(dot);
     if (provider == nullptr) {
-      return common::Status::Internal(
-          "Lightor::Process: provider factory returned null");
+      // Per-dot failure: report it on the item and keep extracting the
+      // remaining dots instead of failing the whole batch.
+      item.status = common::Status::Internal(
+          "Lightor::Process: provider factory returned null for dot at " +
+          std::to_string(dot.position));
+      DotFailuresCounter().Increment();
+      out.push_back(std::move(item));
+      continue;
     }
     obs::ScopedSpan extract_span("lightor.Extract");
     item.refined = extractor_.Run(*provider, dot.position);

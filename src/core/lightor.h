@@ -22,6 +22,10 @@ struct LightorOptions {
 struct ExtractedHighlight {
   RedDot dot;             ///< the initializer's red dot
   ExtractResult refined;  ///< the extractor's iterative refinement outcome
+  /// Per-dot outcome: non-OK when this dot's refinement could not run
+  /// (e.g. the provider factory returned null). A failed dot no longer
+  /// fails the whole batch — check `status` before using `refined`.
+  common::Status status;
 };
 
 /// The end-to-end LIGHTOR facade (Fig. 1): Highlight Initializer over chat
@@ -49,7 +53,10 @@ class Lightor {
                         common::Seconds initial_dot) const;
 
   /// End-to-end: Initialize, then Extract each dot. The factory yields
-  /// one PlayProvider per red dot (crowds differ per dot).
+  /// one PlayProvider per red dot (crowds differ per dot). A dot whose
+  /// provider cannot be built is reported with a non-OK
+  /// `ExtractedHighlight::status` instead of failing the whole batch;
+  /// only Initialize-stage errors fail the call.
   using ProviderFactory =
       std::function<std::unique_ptr<PlayProvider>(const RedDot&)>;
   common::Result<std::vector<ExtractedHighlight>> Process(

@@ -1,0 +1,144 @@
+#ifndef LIGHTOR_SERVING_API_H_
+#define LIGHTOR_SERVING_API_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/extractor.h"
+#include "core/lightor.h"
+#include "sim/platform.h"
+#include "sim/viewer.h"
+#include "storage/database.h"
+#include "storage/record.h"
+
+namespace lightor::serving {
+
+/// Wraps a raw pointer in a non-owning `shared_ptr` (no-op deleter). The
+/// serving options hold dependencies as `shared_ptr`s so ownership is
+/// explicit at the call site: pass `Borrow(&db)` to lend an object the
+/// caller keeps alive, or a real `shared_ptr` to hand over ownership.
+template <typename T>
+std::shared_ptr<T> Borrow(T* ptr) {
+  return std::shared_ptr<T>(ptr, [](T*) {});
+}
+
+/// Configuration shared by the concurrent `HighlightServer` and the
+/// single-threaded reference `WebService`. Replaces the old four-argument
+/// raw-pointer constructors.
+struct ServerOptions {
+  /// Dependencies. Either borrowed (`Borrow(&x)`, caller keeps `x` alive
+  /// for the service's lifetime) or owned (a plain `shared_ptr`). The
+  /// `lightor` pipeline must already have a trained initializer.
+  std::shared_ptr<const sim::Platform> platform;
+  std::shared_ptr<storage::Database> db;
+  std::shared_ptr<const core::Lightor> lightor;
+
+  /// Red dots published per video.
+  size_t top_k = 5;
+
+  // --- Concurrency knobs (HighlightServer only; WebService ignores) ---
+
+  /// Striped per-video state shards. Requests for videos on different
+  /// shards never contend on server state.
+  size_t num_shards = 16;
+  /// Background refinement worker threads.
+  size_t num_workers = 2;
+  /// A video's pending-session count that triggers a background
+  /// refinement pass (the watermark-delta threshold). 0 disables
+  /// background refinement (explicit `Refine` / `Flush` only).
+  size_t refine_batch_sessions = 8;
+  /// Bounded refinement task queue. When full, enqueues are dropped (the
+  /// next logged session retries), never blocked on.
+  size_t max_queue_depth = 256;
+
+  /// On construction, mark every video whose stored dots have already
+  /// been refined (iteration > 0) as having consumed all interactions
+  /// currently in the database, so a restarted service does not re-feed
+  /// already-consumed sessions into `Refine`. Trade-off: sessions logged
+  /// after the last pre-restart pass are skipped too (at-most-once
+  /// consumption across restarts).
+  bool seed_watermarks_from_db = true;
+
+  /// Validates the dependency pointers and knob ranges.
+  common::Status Validate() const {
+    if (platform == nullptr)
+      return common::Status::InvalidArgument("ServerOptions: null platform");
+    if (db == nullptr)
+      return common::Status::InvalidArgument("ServerOptions: null db");
+    if (lightor == nullptr)
+      return common::Status::InvalidArgument("ServerOptions: null lightor");
+    if (top_k == 0)
+      return common::Status::InvalidArgument("ServerOptions: top_k == 0");
+    if (num_shards == 0)
+      return common::Status::InvalidArgument("ServerOptions: num_shards == 0");
+    if (max_queue_depth == 0)
+      return common::Status::InvalidArgument(
+          "ServerOptions: max_queue_depth == 0");
+    return common::Status::OK();
+  }
+};
+
+/// A user opened a recorded-video page.
+struct PageVisitRequest {
+  std::string video_id;
+  std::string user;  ///< optional; for logging only
+};
+
+/// The red dots to render on the progress bar.
+struct PageVisitResponse {
+  std::vector<storage::HighlightRecord> highlights;
+  /// True when this visit ran the Highlight Initializer (first visit).
+  bool first_visit = false;
+  /// Version of the served highlight snapshot; strictly increases with
+  /// every refinement pass of the video. 0 when served straight from the
+  /// database (reference WebService).
+  uint64_t snapshot_version = 0;
+};
+
+/// One viewing session's interaction events, uploaded by the frontend.
+struct LogSessionRequest {
+  std::string video_id;
+  std::string user;
+  uint64_t session_id = 0;
+  std::vector<sim::InteractionEvent> events;
+};
+
+/// Current highlights of a video.
+struct GetHighlightsResponse {
+  std::vector<storage::HighlightRecord> highlights;
+  uint64_t snapshot_version = 0;  ///< 0 when served straight from the DB
+};
+
+/// Outcome of one refinement pass for one red dot.
+struct DotRefineOutcome {
+  int32_t dot_index = 0;
+  /// Non-OK when persisting this dot's update failed; the pass continues
+  /// with the remaining dots.
+  common::Status status;
+  /// True when the pass had plays for this dot and re-published it.
+  bool updated = false;
+  core::DotType type = core::DotType::kTypeII;
+  bool enough_plays = false;
+  int plays_used = 0;
+  double old_position = 0.0;
+  double new_position = 0.0;
+  bool converged = false;
+};
+
+/// Result of one Highlight Extractor refinement pass over a video.
+struct RefineReport {
+  std::string video_id;
+  /// Dots whose state was re-published this pass.
+  int dots_updated = 0;
+  /// Sessions consumed from the interaction log (the batch size).
+  size_t sessions_consumed = 0;
+  /// Per-dot outcomes, ordered by dot index (only dots that had plays).
+  std::vector<DotRefineOutcome> dots;
+};
+
+}  // namespace lightor::serving
+
+#endif  // LIGHTOR_SERVING_API_H_

@@ -1,0 +1,401 @@
+#include "serving/highlight_server.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "serving/metrics.h"
+#include "serving/refine.h"
+
+namespace lightor::serving {
+
+namespace {
+constexpr ServerKind kKind = ServerKind::kConcurrent;
+
+common::Status ShuttingDown(const char* endpoint) {
+  return common::Status::FailedPrecondition(
+      std::string("HighlightServer: shutting down, rejected ") + endpoint);
+}
+}  // namespace
+
+common::Result<std::unique_ptr<HighlightServer>> HighlightServer::Create(
+    ServerOptions options) {
+  LIGHTOR_RETURN_IF_ERROR(options.Validate());
+  return std::unique_ptr<HighlightServer>(
+      new HighlightServer(std::move(options)));
+}
+
+HighlightServer::HighlightServer(ServerOptions options)
+    : options_(std::move(options)),
+      crawler_(options_.platform.get(), options_.db.get()) {
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Restart dedupe happens eagerly, before any request can race it:
+  // videos refined in a previous process have consumed everything
+  // currently in the interaction log (see api.h for the trade-off).
+  if (options_.seed_watermarks_from_db) {
+    for (auto& [video_id, watermark] : SeedWatermarksFromDb(*options_.db)) {
+      Shard& shard = ShardFor(video_id);
+      shard.videos[video_id].watermark = watermark;
+    }
+  }
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+HighlightServer::~HighlightServer() { Shutdown(); }
+
+HighlightServer::Shard& HighlightServer::ShardFor(
+    const std::string& video_id) {
+  return *shards_[std::hash<std::string>{}(video_id) % shards_.size()];
+}
+
+std::unique_lock<std::mutex> HighlightServer::LockShard(const Shard& shard) {
+  std::unique_lock<std::mutex> lk(shard.mu, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    ShardContentionCounter().Increment();
+    lk.lock();
+  }
+  return lk;
+}
+
+HighlightServer::VideoState* HighlightServer::FindOrLoadState(
+    Shard& shard, const std::string& video_id,
+    const std::unique_lock<std::mutex>& lk) {
+  (void)lk;  // documents the precondition: shard.mu is held
+  auto it = shard.videos.find(video_id);
+  if (it != shard.videos.end() && it->second.snapshot != nullptr) {
+    return &it->second;
+  }
+  // First touch this process (or only a seeded watermark so far): pull
+  // the published state from the database, if any.
+  std::vector<storage::HighlightRecord> records;
+  {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    if (!options_.db->highlights().HasVideo(video_id)) return nullptr;
+    records = options_.db->highlights().GetLatest(video_id);
+  }
+  VideoState& state = shard.videos[video_id];  // keeps a seeded watermark
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->version = 1;
+  snapshot->records = std::move(records);
+  state.snapshot = std::move(snapshot);
+  return &state;
+}
+
+common::Result<HighlightServer::VideoState*> HighlightServer::InitializeVideo(
+    Shard& shard, const std::string& video_id) {
+  obs::ScopedSpan span("serving.InitializeVideo");
+  std::vector<core::Message> messages;
+  double video_length = 0.0;
+  {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    auto crawled = crawler_.EnsureChat(video_id);
+    if (!crawled.ok()) return crawled.status();
+    const auto& chat = options_.db->chat().GetByVideo(video_id);
+    messages.reserve(chat.size());
+    for (const auto& rec : chat) {
+      core::Message m;
+      m.timestamp = rec.timestamp;
+      m.user = rec.user;
+      m.text = rec.text;
+      video_length = std::max(video_length, rec.timestamp);
+      messages.push_back(std::move(m));
+    }
+  }
+  // The platform knows the true video length; fall back to the last
+  // message when metadata is unavailable. The platform is immutable, so
+  // no lock is needed; the Initializer run happens outside db_mu_ so
+  // first visits on other shards only serialize on the database proper.
+  if (auto video = options_.platform->GetVideo(video_id); video.ok()) {
+    video_length = video.value().truth.meta.length;
+  }
+  auto dots =
+      options_.lightor->Initialize(messages, video_length, options_.top_k);
+  if (!dots.ok()) return dots.status();
+
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->version = 1;
+  const double fallback =
+      options_.lightor->options().extractor.fallback_length;
+  for (size_t i = 0; i < dots.value().size(); ++i) {
+    const core::RedDot& dot = dots.value()[i];
+    storage::HighlightRecord rec;
+    rec.video_id = video_id;
+    rec.dot_index = static_cast<int32_t>(i);
+    rec.dot_position = dot.position;
+    rec.start = dot.position;
+    rec.end = dot.position + fallback;
+    rec.score = dot.score;
+    rec.iteration = 0;
+    rec.converged = false;
+    snapshot->records.push_back(std::move(rec));
+  }
+  {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    for (const auto& rec : snapshot->records) {
+      LIGHTOR_RETURN_IF_ERROR(options_.db->PutHighlight(rec));
+    }
+  }
+  VideoState& state = shard.videos[video_id];
+  state.snapshot = std::move(snapshot);
+  LIGHTOR_LOG(Info) << "serving: first visit of " << video_id << " placed "
+                    << state.snapshot->records.size() << " red dots";
+  return &state;
+}
+
+common::Result<PageVisitResponse> HighlightServer::OnPageVisit(
+    const PageVisitRequest& req) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return ShuttingDown("OnPageVisit");
+  }
+  obs::ScopedSpan span("serving.OnPageVisit");
+  obs::ScopedTimer timer(&RequestLatency("page_visit", kKind));
+  PageVisitsCounter(kKind).Increment();
+
+  Shard& shard = ShardFor(req.video_id);
+  auto lk = LockShard(shard);
+  PageVisitResponse response;
+  if (VideoState* state = FindOrLoadState(shard, req.video_id, lk)) {
+    DotCacheCounter(kKind, /*hit=*/true).Increment();
+    response.highlights = state->snapshot->records;
+    response.snapshot_version = state->snapshot->version;
+    return response;
+  }
+  DotCacheCounter(kKind, /*hit=*/false).Increment();
+  auto initialized = InitializeVideo(shard, req.video_id);
+  if (!initialized.ok()) return initialized.status();
+  response.highlights = initialized.value()->snapshot->records;
+  response.snapshot_version = initialized.value()->snapshot->version;
+  response.first_visit = true;
+  return response;
+}
+
+common::Status HighlightServer::LogSession(const LogSessionRequest& req) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return ShuttingDown("LogSession");
+  }
+  obs::ScopedTimer timer(&RequestLatency("log_session", kKind));
+  SessionsLoggedCounter(kKind).Increment();
+  InteractionEventsCounter(kKind).Increment(req.events.size());
+  {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    for (const auto& ev : req.events) {
+      storage::InteractionRecord rec;
+      rec.video_id = req.video_id;
+      rec.user = req.user;
+      rec.session_id = req.session_id;
+      rec.event = FromSimType(ev.type);
+      rec.wall_time = ev.wall_time;
+      rec.position = ev.position;
+      rec.target = ev.target;
+      LIGHTOR_RETURN_IF_ERROR(options_.db->PutInteraction(rec));
+    }
+  }
+  // Batch accounting. Videos without published dots have nothing to
+  // refine; their sessions stay in the log until the first page visit.
+  Shard& shard = ShardFor(req.video_id);
+  auto lk = LockShard(shard);
+  VideoState* state = FindOrLoadState(shard, req.video_id, lk);
+  if (state == nullptr) return common::Status::OK();
+  ++state->pending_sessions;
+  const size_t threshold = options_.refine_batch_sessions;
+  if (threshold > 0 && state->pending_sessions >= threshold &&
+      !state->refine_queued && !state->refine_inflight) {
+    if (TryEnqueueRefine(req.video_id)) {
+      state->refine_queued = true;
+    } else {
+      EnqueueDroppedCounter().Increment();
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Result<GetHighlightsResponse> HighlightServer::GetHighlights(
+    const std::string& video_id) {
+  obs::ScopedTimer timer(&RequestLatency("get_highlights", kKind));
+  Shard& shard = ShardFor(video_id);
+  auto lk = LockShard(shard);
+  VideoState* state = FindOrLoadState(shard, video_id, lk);
+  if (state == nullptr) {
+    return common::Status::NotFound("no highlights for video: " + video_id);
+  }
+  GetHighlightsResponse response;
+  response.highlights = state->snapshot->records;
+  response.snapshot_version = state->snapshot->version;
+  return response;
+}
+
+common::Result<RefineReport> HighlightServer::Refine(
+    const std::string& video_id) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return ShuttingDown("Refine");
+  }
+  return RefinePass(video_id, "explicit");
+}
+
+common::Result<RefineReport> HighlightServer::RefinePass(
+    const std::string& video_id, const char* trigger) {
+  obs::ScopedSpan span("serving.RefinePass");
+  obs::ScopedTimer timer(&RequestLatency("refine", kKind));
+  obs::ScopedTimer refine_timer(&RefineLatencyHistogram());
+  RefinePassesCounter(kKind).Increment();
+  RefineTriggerCounter(trigger).Increment();
+
+  // Claim the video: one pass at a time per video, so two passes never
+  // consume the same watermark range or publish out of order.
+  Shard& shard = ShardFor(video_id);
+  uint64_t watermark = 0;
+  std::shared_ptr<const Snapshot> snapshot;
+  {
+    auto lk = LockShard(shard);
+    VideoState* state = FindOrLoadState(shard, video_id, lk);
+    if (state == nullptr) {
+      return common::Status::NotFound("Refine: video has no red dots yet: " +
+                                      video_id);
+    }
+    shard.refine_done.wait(lk, [&] { return !state->refine_inflight; });
+    state->refine_inflight = true;
+    state->pending_sessions = 0;
+    watermark = state->watermark;
+    snapshot = state->snapshot;
+  }
+
+  // Read the batch. Generation and session read happen under one db_mu_
+  // hold, so the new watermark covers exactly the sessions consumed.
+  std::map<uint64_t, std::vector<storage::InteractionRecord>> sessions;
+  uint64_t new_watermark = 0;
+  {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    sessions =
+        options_.db->interactions().SessionsSince(video_id, watermark);
+    new_watermark = options_.db->interactions().current_generation() + 1;
+  }
+  RefineBatchSessionsHistogram().Observe(
+      static_cast<double>(sessions.size()));
+
+  // The expensive part — filtering, classification, aggregation — runs
+  // with no lock held; readers keep being served the old snapshot.
+  auto pass =
+      RunRefinePass(*options_.lightor, video_id, snapshot->records, sessions);
+
+  common::Status persist_status = common::Status::OK();
+  {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    for (size_t i = 0; i < pass.updated.size(); ++i) {
+      if (auto st = options_.db->PutHighlight(pass.updated[i]); !st.ok()) {
+        pass.report.dots[i].status = st;
+        persist_status = st;
+      }
+    }
+  }
+
+  // Publish: snapshot-on-write, watermark advance, wake waiters, and
+  // re-arm the batch trigger if sessions piled up during the pass.
+  {
+    auto lk = LockShard(shard);
+    VideoState& state = shard.videos[video_id];
+    auto next = std::make_shared<Snapshot>();
+    next->version = state.snapshot->version + 1;
+    next->records = std::move(pass.all);
+    state.snapshot = std::move(next);
+    state.watermark = new_watermark;
+    state.refine_inflight = false;
+    state.refine_queued = false;
+    const size_t threshold = options_.refine_batch_sessions;
+    if (threshold > 0 && state.pending_sessions >= threshold) {
+      state.refine_queued = TryEnqueueRefine(video_id);
+    }
+  }
+  shard.refine_done.notify_all();
+  DotsUpdatedCounter(kKind).Increment(
+      static_cast<uint64_t>(pass.report.dots_updated));
+  LIGHTOR_LOG(Debug) << "serving: refine pass (" << trigger << ") on "
+                     << video_id << " consumed "
+                     << pass.report.sessions_consumed
+                     << " sessions, updated " << pass.report.dots_updated
+                     << " dots";
+  if (!persist_status.ok()) return persist_status;
+  return std::move(pass.report);
+}
+
+bool HighlightServer::TryEnqueueRefine(const std::string& video_id) {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  if (stop_ || queue_.size() >= options_.max_queue_depth) return false;
+  queue_.push_back(video_id);
+  QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+  queue_cv_.notify_one();
+  return true;
+}
+
+void HighlightServer::WorkerLoop() {
+  for (;;) {
+    std::string video_id;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left: drained
+      video_id = std::move(queue_.front());
+      queue_.pop_front();
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+    }
+    if (auto report = RefinePass(video_id, "batch"); !report.ok()) {
+      LIGHTOR_LOG(Warning) << "serving: background refine of " << video_id
+                           << " failed: " << report.status().ToString();
+    }
+  }
+}
+
+size_t HighlightServer::Flush() {
+  // Collect candidates shard by shard, then refine outside the shard
+  // locks (RefinePass re-locks and serializes on refine_inflight).
+  std::vector<std::string> videos;
+  for (auto& shard : shards_) {
+    auto lk = LockShard(*shard);
+    for (const auto& [video_id, state] : shard->videos) {
+      if (state.snapshot != nullptr &&
+          (state.pending_sessions > 0 || state.refine_queued)) {
+        videos.push_back(video_id);
+      }
+    }
+  }
+  size_t passes = 0;
+  for (const auto& video_id : videos) {
+    if (RefinePass(video_id, "drain").ok()) ++passes;
+  }
+  return passes;
+}
+
+void HighlightServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> g(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  accepting_.store(false, std::memory_order_release);
+  // Drain: synchronously consume accumulated batches, then let the
+  // workers finish whatever is still queued and exit.
+  Flush();
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  LIGHTOR_LOG(Info) << "serving: shut down after drain";
+}
+
+std::string HighlightServer::MetricsPage() const {
+  return obs::ExportPrometheus(obs::Registry::Global());
+}
+
+}  // namespace lightor::serving

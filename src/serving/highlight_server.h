@@ -1,0 +1,177 @@
+#ifndef LIGHTOR_SERVING_HIGHLIGHT_SERVER_H_
+#define LIGHTOR_SERVING_HIGHLIGHT_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "serving/api.h"
+#include "storage/crawler.h"
+
+namespace lightor::serving {
+
+/// Thread-safe concurrent serving layer over the LIGHTOR core pipeline —
+/// the production counterpart of the single-threaded reference
+/// `WebService` (both run the identical refinement core, serving/refine.h,
+/// and are differential-tested against each other).
+///
+/// Architecture:
+///
+///   * **Striped shards.** Per-video state (highlight snapshot, refine
+///     watermark, pending-session count) lives in `num_shards` shards,
+///     each under its own mutex, so requests for videos on different
+///     shards never contend on server state.
+///   * **Snapshot-on-write reads.** `OnPageVisit` / `GetHighlights` serve
+///     an immutable versioned snapshot published by the last refinement
+///     pass; a running refinement never blocks the read path (readers
+///     take the shard mutex only for a pointer copy).
+///   * **Background refinement workers.** `LogSession` appends to the
+///     write-ahead-logged database and bumps the video's pending-session
+///     count; when the count reaches `refine_batch_sessions`, the video
+///     is enqueued on a bounded task queue drained by `num_workers`
+///     threads, which batch everything logged since the watermark into
+///     one `Refine` pass — callers never run refinement synchronously.
+///   * **Graceful shutdown.** `Shutdown()` stops intake, drains pending
+///     refinements (queued tasks and accumulated batches), and joins the
+///     workers; the destructor calls it.
+///
+/// Lock ordering (deadlock-free by construction):
+///   shard mutex → db mutex → queue mutex; never the reverse. The
+///   database itself is guarded by one coarse mutex — the WAL serializes
+///   writes anyway — while the snapshot cache keeps the hot read path off
+///   it entirely.
+class HighlightServer {
+ public:
+  /// Validates `options` and starts the worker pool. The `lightor`
+  /// pipeline must already have a trained initializer.
+  static common::Result<std::unique_ptr<HighlightServer>> Create(
+      ServerOptions options);
+
+  /// Stops intake, drains pending refinements, joins workers.
+  ~HighlightServer();
+
+  HighlightServer(const HighlightServer&) = delete;
+  HighlightServer& operator=(const HighlightServer&) = delete;
+
+  /// A user opened a recorded-video page: serves the current snapshot,
+  /// computing and persisting red dots on the video's first visit
+  /// (crawling the chat if needed). Thread-safe.
+  common::Result<PageVisitResponse> OnPageVisit(const PageVisitRequest& req);
+
+  /// Logs one viewing session and, when the video's batch threshold
+  /// fires, schedules a background refinement pass. Thread-safe; never
+  /// blocks on refinement (a full task queue drops the enqueue and the
+  /// next session retries).
+  common::Status LogSession(const LogSessionRequest& req);
+
+  /// Synchronous on-demand refinement pass (waits for an in-flight
+  /// background pass on the same video to finish first). Thread-safe.
+  common::Result<RefineReport> Refine(const std::string& video_id);
+
+  /// Current highlight snapshot of a video (NotFound before the first
+  /// visit). May populate the snapshot cache from the database, hence
+  /// non-const. Thread-safe.
+  common::Result<GetHighlightsResponse> GetHighlights(
+      const std::string& video_id);
+
+  /// Synchronously refines every video with unconsumed sessions. Returns
+  /// the number of passes run.
+  size_t Flush();
+
+  /// Graceful shutdown with drain semantics: rejects new requests
+  /// (FailedPrecondition), flushes pending refinements, joins the worker
+  /// pool. Idempotent.
+  void Shutdown();
+
+  /// The `/metrics` endpoint. Exports the process-global obs::Registry
+  /// (all servers in the process share it; series are told apart by the
+  /// constant, video_id-free `server` label — see serving/metrics.h).
+  std::string MetricsPage() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  /// Immutable published highlight state; readers copy the shared_ptr
+  /// under the shard mutex and read without it.
+  struct Snapshot {
+    uint64_t version = 0;
+    std::vector<storage::HighlightRecord> records;
+  };
+
+  struct VideoState {
+    std::shared_ptr<const Snapshot> snapshot;
+    /// Interaction generation already consumed by refinement.
+    uint64_t watermark = 0;
+    /// Sessions logged since the last claimed batch.
+    size_t pending_sessions = 0;
+    bool refine_queued = false;
+    bool refine_inflight = false;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Signalled when an in-flight refinement pass completes.
+    std::condition_variable refine_done;
+    /// Values are stable under rehash (node-based map) and never erased.
+    std::unordered_map<std::string, VideoState> videos;
+  };
+
+  explicit HighlightServer(ServerOptions options);
+
+  Shard& ShardFor(const std::string& video_id);
+  /// Locks a shard, counting contention (failed try-lock) into metrics.
+  static std::unique_lock<std::mutex> LockShard(const Shard& shard);
+
+  /// Looks the video up in the shard map, loading its state from the
+  /// database on first touch. Requires `lk` to hold `shard.mu`; takes
+  /// db_mu_ internally. Returns nullptr when the video has no highlights
+  /// anywhere.
+  VideoState* FindOrLoadState(Shard& shard, const std::string& video_id,
+                              const std::unique_lock<std::mutex>& lk);
+
+  /// First-visit path: crawl + initialize + persist. Requires the shard
+  /// mutex held (blocks same-shard videos only).
+  common::Result<VideoState*> InitializeVideo(Shard& shard,
+                                              const std::string& video_id);
+
+  /// One full refinement pass (the worker body and the synchronous
+  /// `Refine`). `trigger` is "batch", "explicit", or "drain".
+  common::Result<RefineReport> RefinePass(const std::string& video_id,
+                                          const char* trigger);
+
+  /// Pushes a refine task unless the queue is full; returns whether the
+  /// task was accepted. Never blocks.
+  bool TryEnqueueRefine(const std::string& video_id);
+
+  void WorkerLoop();
+
+  ServerOptions options_;
+  storage::Crawler crawler_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Coarse database mutex; see the lock-ordering note above.
+  std::mutex db_mu_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::string> queue_;
+  bool stop_ = false;  ///< guarded by queue_mu_
+
+  std::atomic<bool> accepting_{true};
+  bool shut_down_ = false;  ///< guarded by shutdown_mu_
+  std::mutex shutdown_mu_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lightor::serving
+
+#endif  // LIGHTOR_SERVING_HIGHLIGHT_SERVER_H_

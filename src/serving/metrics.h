@@ -1,0 +1,36 @@
+#ifndef LIGHTOR_SERVING_METRICS_H_
+#define LIGHTOR_SERVING_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace lightor::serving {
+
+/// Which serving implementation a sample came from. Metric series shared
+/// by both are labelled `server="reference"|"concurrent"` — a constant,
+/// video_id-free label, so cardinality stays bounded no matter how many
+/// videos a server handles (per-video labels would explode the registry).
+enum class ServerKind { kReference, kConcurrent };
+
+/// Request-path series shared by WebService and HighlightServer
+/// (`lightor_web_*`, as documented in DESIGN.md). Registration is cached
+/// per (family, label) in function-local statics; the hot path is one
+/// relaxed atomic op.
+obs::Histogram& RequestLatency(const char* endpoint, ServerKind kind);
+obs::Counter& PageVisitsCounter(ServerKind kind);
+obs::Counter& DotCacheCounter(ServerKind kind, bool hit);
+obs::Counter& SessionsLoggedCounter(ServerKind kind);
+obs::Counter& InteractionEventsCounter(ServerKind kind);
+obs::Counter& RefinePassesCounter(ServerKind kind);
+obs::Counter& DotsUpdatedCounter(ServerKind kind);
+
+/// Concurrent-server internals (`lightor_serving_*`).
+obs::Gauge& QueueDepthGauge();
+obs::Counter& ShardContentionCounter();
+obs::Counter& EnqueueDroppedCounter();
+obs::Histogram& RefineBatchSessionsHistogram();
+obs::Histogram& RefineLatencyHistogram();
+obs::Counter& RefineTriggerCounter(const char* trigger);
+
+}  // namespace lightor::serving
+
+#endif  // LIGHTOR_SERVING_METRICS_H_

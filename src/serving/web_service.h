@@ -1,0 +1,66 @@
+#ifndef LIGHTOR_SERVING_WEB_SERVICE_H_
+#define LIGHTOR_SERVING_WEB_SERVICE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "serving/api.h"
+#include "storage/crawler.h"
+
+namespace lightor::serving {
+
+/// The browser-extension backend of Section VI-A, end to end:
+///
+///   page visit → extract video id → chat in DB? (crawl if not) →
+///   Highlight Initializer → red dots rendered on the progress bar →
+///   interaction logging → Highlight Extractor refinement → updated dots.
+///
+/// The service is deliberately synchronous and single-threaded — it is
+/// the reference implementation of the serving dataflow, and the
+/// concurrent `HighlightServer` is differential-tested against it (both
+/// run the identical refinement core in serving/refine.h).
+class WebService {
+ public:
+  /// `options` must satisfy `Validate()`; the `lightor` pipeline must
+  /// already have a trained initializer. Concurrency knobs are ignored.
+  explicit WebService(ServerOptions options);
+
+  /// A user opened a recorded-video page: returns the video's current red
+  /// dots, computing and persisting them on first visit (crawling the
+  /// chat if needed).
+  common::Result<PageVisitResponse> OnPageVisit(const PageVisitRequest& req);
+
+  /// The frontend uploads one viewing session's interaction events.
+  common::Status LogSession(const LogSessionRequest& req);
+
+  /// Runs one Highlight Extractor refinement pass over the interactions
+  /// logged since the previous pass.
+  common::Result<RefineReport> Refine(const std::string& video_id);
+
+  /// Current highlights of a video (NotFound before the first visit).
+  common::Result<GetHighlightsResponse> GetHighlights(
+      const std::string& video_id) const;
+
+  /// The `/metrics` endpoint. Note: the exposition covers the
+  /// process-global obs::Registry, not just this instance — two services
+  /// in one process serve the same page, with their series told apart by
+  /// the constant `server` label (see serving/metrics.h; per-video labels
+  /// are deliberately never used, so cardinality stays bounded).
+  std::string MetricsPage() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  ServerOptions options_;
+  storage::Crawler crawler_;
+  /// Per-video interaction-generation watermark consumed by Refine.
+  /// Seeded from the database on construction so a restart does not
+  /// re-consume interactions already fed to pre-restart passes.
+  std::unordered_map<std::string, uint64_t> refine_watermark_;
+};
+
+}  // namespace lightor::serving
+
+#endif  // LIGHTOR_SERVING_WEB_SERVICE_H_

@@ -77,7 +77,44 @@ TEST(LightorTest, ProcessRejectsNullProvider) {
   const auto result = lightor.Process(
       sim::ToCoreMessages(corpus[0].chat), corpus[0].truth.meta.length,
       [](const RedDot&) { return std::unique_ptr<PlayProvider>(); });
-  EXPECT_TRUE(result.status().IsInternal());
+  // A failing provider no longer fails the batch: every dot is reported
+  // with a per-dot Internal status instead.
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().empty());
+  for (const auto& item : result.value()) {
+    EXPECT_TRUE(item.status.IsInternal());
+    EXPECT_EQ(item.refined.iterations, 0);
+  }
+}
+
+TEST(LightorTest, ProcessReportsPerDotFailures) {
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 2, 53);
+  Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({ToTraining(corpus[0])}).ok());
+  const auto& test_video = corpus[1];
+  common::Rng rng(11);
+  // Fail every other dot's provider; the rest refine normally.
+  int calls = 0;
+  const auto result = lightor.Process(
+      sim::ToCoreMessages(test_video.chat), test_video.truth.meta.length,
+      [&](const RedDot&) -> std::unique_ptr<PlayProvider> {
+        if (++calls % 2 == 0) return nullptr;
+        return std::make_unique<sim::SimulatedCrowdProvider>(
+            test_video.truth, sim::ViewerSimulator(), 10, rng.Fork());
+      });
+  ASSERT_TRUE(result.ok());
+  int failed = 0, refined = 0;
+  for (const auto& item : result.value()) {
+    if (item.status.ok()) {
+      ++refined;
+      EXPECT_GE(item.refined.iterations, 1);
+    } else {
+      ++failed;
+      EXPECT_TRUE(item.status.IsInternal());
+    }
+  }
+  EXPECT_GT(refined, 0);
+  EXPECT_GT(failed, 0);
 }
 
 TEST(LightorTest, SetTypeClassifierInstallsModel) {

@@ -1,0 +1,262 @@
+/// Multi-threaded stress test of the concurrent HighlightServer: 8 client
+/// threads drive mixed traffic (page visits, session uploads, snapshot
+/// reads, explicit refines) over 16 videos. Checks afterwards:
+///
+///   * no lost sessions — every interaction event accepted by LogSession
+///     is in the database;
+///   * snapshot-consistent reads — every response is a coherent
+///     highlight set (one video, unique dot indices) with per-video
+///     monotonically non-decreasing versions per client;
+///   * the drain consumes every pending batch before shutdown.
+///
+/// ci.sh also runs this binary under ThreadSanitizer
+/// (-DLIGHTOR_SANITIZE=thread); keep the workload modest so that build
+/// stays fast on small machines.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "serving/highlight_server.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/viewer_simulator.h"
+#include "storage/database.h"
+
+namespace lightor::serving {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kRoundsPerThread = 6;
+
+TEST(ServingStressTest, ConcurrentMixedTrafficIsLossless) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lightor_serving_stress")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  // 4 channels x 4 videos = 16 videos spread over the shards.
+  sim::Platform::Options popts;
+  popts.num_channels = 4;
+  popts.videos_per_channel = 4;
+  popts.seed = 81;
+  const sim::Platform platform(popts);
+
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 82);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  core::Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({tv}).ok());
+
+  auto db = storage::Database::Open(dir);
+  ASSERT_TRUE(db.ok());
+
+  ServerOptions opts;
+  opts.platform = Borrow(&platform);
+  opts.db = Borrow(db.value().get());
+  opts.lightor = Borrow<const core::Lightor>(&lightor);
+  opts.num_shards = 8;
+  opts.num_workers = 2;
+  opts.refine_batch_sessions = 4;
+  opts.max_queue_depth = 32;
+  auto created = HighlightServer::Create(opts);
+  ASSERT_TRUE(created.ok());
+  HighlightServer& server = *created.value();
+
+  const auto ids = platform.AllVideoIds();
+  ASSERT_GE(ids.size(), 16u);
+
+  std::atomic<uint64_t> next_session_id{0};
+  std::atomic<uint64_t> events_logged{0};
+  std::atomic<int> failures{0};
+
+  auto client = [&](int thread_index) {
+    sim::ViewerSimulator viewers;
+    common::Rng rng(1000 + static_cast<uint64_t>(thread_index));
+    // Per-video last-seen snapshot version; reads must never go back.
+    std::unordered_map<std::string, uint64_t> last_version;
+    for (int round = 0; round < kRoundsPerThread; ++round) {
+      const auto& video_id =
+          ids[static_cast<size_t>((thread_index + round * 3)) % ids.size()];
+      const auto visit = server.OnPageVisit({video_id, "stress"});
+      if (!visit.ok()) {
+        ++failures;
+        continue;
+      }
+      const auto video = platform.GetVideo(video_id);
+      if (!video.ok()) {
+        ++failures;
+        continue;
+      }
+
+      // Snapshot consistency of the visit response.
+      std::unordered_set<int32_t> indices;
+      for (const auto& rec : visit.value().highlights) {
+        if (rec.video_id != video_id) ++failures;
+        if (!indices.insert(rec.dot_index).second) ++failures;
+      }
+
+      // Upload a few sessions around the published dots.
+      for (const auto& rec : visit.value().highlights) {
+        const auto session = viewers.SimulateSession(
+            video.value().truth, rec.dot_position, rng,
+            "t" + std::to_string(thread_index));
+        LogSessionRequest log;
+        log.video_id = video_id;
+        log.user = session.user;
+        log.session_id = 1 + next_session_id.fetch_add(1);
+        log.events = session.events;
+        if (server.LogSession(log).ok()) {
+          events_logged.fetch_add(log.events.size());
+        } else {
+          ++failures;
+        }
+      }
+
+      // Mixed read/refine traffic on top of the background workers.
+      if (round % 3 == 2) {
+        if (!server.Refine(video_id).ok()) ++failures;
+      }
+      const auto read = server.GetHighlights(video_id);
+      if (!read.ok()) {
+        ++failures;
+        continue;
+      }
+      indices.clear();
+      for (const auto& rec : read.value().highlights) {
+        if (rec.video_id != video_id) ++failures;
+        if (!indices.insert(rec.dot_index).second) ++failures;
+      }
+      uint64_t& seen = last_version[video_id];
+      if (read.value().snapshot_version < seen) ++failures;
+      seen = read.value().snapshot_version;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(client, t);
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+
+  // Drain everything that is still pending, then stop the workers.
+  server.Shutdown();
+
+  // No lost sessions: every accepted interaction event is in the store.
+  EXPECT_EQ(db.value()->interactions().TotalRecords(), events_logged.load());
+
+  // Every visited video ends with a coherent persisted highlight set.
+  for (const auto& video_id : ids) {
+    const auto read = server.GetHighlights(video_id);
+    if (!read.ok()) continue;  // never visited by any thread
+    std::unordered_set<int32_t> indices;
+    for (const auto& rec : read.value().highlights) {
+      EXPECT_EQ(rec.video_id, video_id);
+      EXPECT_TRUE(indices.insert(rec.dot_index).second);
+    }
+    EXPECT_EQ(db.value()->highlights().GetLatest(video_id).size(),
+              read.value().highlights.size());
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+/// Shutdown while clients are still sending: late requests are rejected
+/// with FailedPrecondition, nothing crashes, and accepted sessions are
+/// still never lost.
+TEST(ServingStressTest, ShutdownRacesWithClients) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       "lightor_serving_stress_shutdown")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  sim::Platform::Options popts;
+  popts.num_channels = 2;
+  popts.videos_per_channel = 2;
+  popts.seed = 91;
+  const sim::Platform platform(popts);
+
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 92);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  core::Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({tv}).ok());
+
+  auto db = storage::Database::Open(dir);
+  ASSERT_TRUE(db.ok());
+
+  ServerOptions opts;
+  opts.platform = Borrow(&platform);
+  opts.db = Borrow(db.value().get());
+  opts.lightor = Borrow<const core::Lightor>(&lightor);
+  opts.refine_batch_sessions = 2;
+  auto created = HighlightServer::Create(opts);
+  ASSERT_TRUE(created.ok());
+  HighlightServer& server = *created.value();
+
+  const auto ids = platform.AllVideoIds();
+  for (const auto& video_id : ids) {
+    ASSERT_TRUE(server.OnPageVisit({video_id, "warm"}).ok());
+  }
+
+  std::atomic<uint64_t> events_accepted{0};
+  std::atomic<bool> saw_rejection{false};
+  auto client = [&](int thread_index) {
+    sim::ViewerSimulator viewers;
+    common::Rng rng(2000 + static_cast<uint64_t>(thread_index));
+    for (int i = 0; i < 40; ++i) {
+      const auto& video_id =
+          ids[static_cast<size_t>(thread_index + i) % ids.size()];
+      const auto video = platform.GetVideo(video_id).value();
+      const auto dots = server.GetHighlights(video_id);
+      if (!dots.ok() || dots.value().highlights.empty()) continue;
+      const auto session = viewers.SimulateSession(
+          video.truth, dots.value().highlights[0].dot_position, rng, "x");
+      LogSessionRequest log;
+      log.video_id = video_id;
+      log.user = session.user;
+      log.session_id = static_cast<uint64_t>(thread_index) * 1000 +
+                       static_cast<uint64_t>(i) + 1;
+      log.events = session.events;
+      const auto status = server.LogSession(log);
+      if (status.ok()) {
+        events_accepted.fetch_add(log.events.size());
+      } else if (status.IsFailedPrecondition()) {
+        saw_rejection.store(true);
+        break;  // server is shutting down; a real client would too
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(client, t);
+  server.Shutdown();  // races with the clients above
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(db.value()->interactions().TotalRecords(),
+            events_accepted.load());
+  (void)saw_rejection;  // timing-dependent; either outcome is valid
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lightor::serving

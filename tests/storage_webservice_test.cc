@@ -4,11 +4,12 @@
 #include <memory>
 
 #include "core/evaluation.h"
+#include "serving/web_service.h"
 #include "sim/bridge.h"
 #include "sim/corpus.h"
-#include "storage/web_service.h"
+#include "storage/database.h"
 
-namespace lightor::storage {
+namespace lightor::serving {
 namespace {
 
 class WebServiceTest : public ::testing::Test {
@@ -28,7 +29,7 @@ class WebServiceTest : public ::testing::Test {
     popts.seed = 61;
     platform_ = std::make_unique<sim::Platform>(popts);
 
-    auto db = Database::Open(dir_);
+    auto db = storage::Database::Open(dir_);
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
 
@@ -43,61 +44,89 @@ class WebServiceTest : public ::testing::Test {
     lightor_ = std::make_unique<core::Lightor>();
     ASSERT_TRUE(lightor_->TrainInitializer({tv}).ok());
 
-    service_ = std::make_unique<WebService>(platform_.get(), db_.get(),
-                                            lightor_.get(), 5);
+    ServerOptions opts;
+    opts.platform = Borrow<const sim::Platform>(platform_.get());
+    opts.db = Borrow(db_.get());
+    opts.lightor = Borrow<const core::Lightor>(lightor_.get());
+    opts.top_k = 5;
+    service_ = std::make_unique<WebService>(opts);
     video_id_ = platform_->AllVideoIds()[0];
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
+  common::Status LogSessionFor(const std::string& user, uint64_t session_id,
+                               std::vector<sim::InteractionEvent> events) {
+    LogSessionRequest req;
+    req.video_id = video_id_;
+    req.user = user;
+    req.session_id = session_id;
+    req.events = std::move(events);
+    return service_->LogSession(req);
+  }
+
   std::string dir_;
   std::unique_ptr<sim::Platform> platform_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<storage::Database> db_;
   std::unique_ptr<core::Lightor> lightor_;
   std::unique_ptr<WebService> service_;
   std::string video_id_;
 };
 
+TEST_F(WebServiceTest, OptionsAreValidated) {
+  ServerOptions opts;
+  EXPECT_TRUE(opts.Validate().IsInvalidArgument());  // null deps
+  opts.platform = Borrow<const sim::Platform>(platform_.get());
+  opts.db = Borrow(db_.get());
+  opts.lightor = Borrow<const core::Lightor>(lightor_.get());
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.top_k = 0;
+  EXPECT_TRUE(opts.Validate().IsInvalidArgument());
+}
+
 TEST_F(WebServiceTest, FirstVisitCrawlsAndInitializes) {
   EXPECT_FALSE(db_->chat().HasVideo(video_id_));
-  auto dots = service_->OnPageVisit(video_id_);
-  ASSERT_TRUE(dots.ok());
-  EXPECT_FALSE(dots.value().empty());
-  EXPECT_LE(dots.value().size(), 5u);
+  auto visit = service_->OnPageVisit({video_id_, "u"});
+  ASSERT_TRUE(visit.ok());
+  EXPECT_TRUE(visit.value().first_visit);
+  EXPECT_FALSE(visit.value().highlights.empty());
+  EXPECT_LE(visit.value().highlights.size(), 5u);
   EXPECT_TRUE(db_->chat().HasVideo(video_id_));
   EXPECT_TRUE(db_->highlights().HasVideo(video_id_));
 }
 
 TEST_F(WebServiceTest, SecondVisitServedFromStore) {
-  auto first = service_->OnPageVisit(video_id_);
+  auto first = service_->OnPageVisit({video_id_, "u"});
   ASSERT_TRUE(first.ok());
   const size_t chat_records = db_->chat().TotalRecords();
-  auto second = service_->OnPageVisit(video_id_);
+  auto second = service_->OnPageVisit({video_id_, "u"});
   ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().first_visit);
   EXPECT_EQ(db_->chat().TotalRecords(), chat_records);  // no re-crawl
-  ASSERT_EQ(second.value().size(), first.value().size());
-  EXPECT_DOUBLE_EQ(second.value()[0].dot_position,
-                   first.value()[0].dot_position);
+  ASSERT_EQ(second.value().highlights.size(), first.value().highlights.size());
+  EXPECT_DOUBLE_EQ(second.value().highlights[0].dot_position,
+                   first.value().highlights[0].dot_position);
 }
 
 TEST_F(WebServiceTest, MetricsPageReflectsTraffic) {
-  ASSERT_TRUE(service_->OnPageVisit(video_id_).ok());
+  ASSERT_TRUE(service_->OnPageVisit({video_id_, "u"}).ok());
   const std::string page = service_->MetricsPage();
   EXPECT_NE(page.find("# TYPE lightor_web_page_visits_total counter"),
             std::string::npos);
-  EXPECT_NE(page.find("lightor_web_dot_cache_total{outcome=\"miss\"}"),
+  EXPECT_NE(page.find("lightor_web_dot_cache_total{outcome=\"miss\","
+                      "server=\"reference\"}"),
             std::string::npos);
   EXPECT_NE(page.find("lightor_storage_chat_cache_total"), std::string::npos);
 }
 
 TEST_F(WebServiceTest, UnknownVideoIsNotFound) {
-  EXPECT_TRUE(service_->OnPageVisit("missing").status().IsNotFound());
+  EXPECT_TRUE(service_->OnPageVisit({"missing", "u"}).status().IsNotFound());
   EXPECT_TRUE(service_->GetHighlights("missing").status().IsNotFound());
   EXPECT_TRUE(service_->Refine("missing").status().IsNotFound());
 }
 
 TEST_F(WebServiceTest, FullDeploymentLoopRefinesDots) {
-  auto dots = service_->OnPageVisit(video_id_);
-  ASSERT_TRUE(dots.ok());
+  auto visit = service_->OnPageVisit({video_id_, "u"});
+  ASSERT_TRUE(visit.ok());
   const auto video = platform_->GetVideo(video_id_).value();
 
   sim::ViewerSimulator viewers;
@@ -107,20 +136,26 @@ TEST_F(WebServiceTest, FullDeploymentLoopRefinesDots) {
   // service refines.
   for (int round = 0; round < 3; ++round) {
     const auto current = service_->GetHighlights(video_id_).value();
-    for (const auto& dot : current) {
+    for (const auto& dot : current.highlights) {
       for (int u = 0; u < 10; ++u) {
         const auto session = viewers.SimulateSession(
             video.truth, dot.dot_position, rng,
             "w" + std::to_string(session_id));
-        ASSERT_TRUE(service_
-                        ->LogSession(video_id_, session.user, ++session_id,
-                                     session.events)
-                        .ok());
+        ASSERT_TRUE(
+            LogSessionFor(session.user, ++session_id, session.events).ok());
       }
     }
-    auto updated = service_->Refine(video_id_);
-    ASSERT_TRUE(updated.ok());
-    EXPECT_GT(updated.value(), 0);
+    auto report = service_->Refine(video_id_);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report.value().dots_updated, 0);
+    EXPECT_GT(report.value().sessions_consumed, 0u);
+    // The per-dot outcomes line up with the updated count.
+    int updated = 0;
+    for (const auto& dot : report.value().dots) {
+      EXPECT_TRUE(dot.status.ok());
+      if (dot.updated) ++updated;
+    }
+    EXPECT_EQ(updated, report.value().dots_updated);
   }
 
   const auto refined = service_->GetHighlights(video_id_).value();
@@ -128,7 +163,7 @@ TEST_F(WebServiceTest, FullDeploymentLoopRefinesDots) {
   for (const auto& h : video.truth.highlights) truth.push_back(h.span);
   std::vector<double> starts;
   int iterations_advanced = 0;
-  for (const auto& dot : refined) {
+  for (const auto& dot : refined.highlights) {
     starts.push_back(dot.start);
     if (dot.iteration > 0) ++iterations_advanced;
   }
@@ -137,24 +172,64 @@ TEST_F(WebServiceTest, FullDeploymentLoopRefinesDots) {
 }
 
 TEST_F(WebServiceTest, RefineConsumesWatermarkedInteractionsOnly) {
-  ASSERT_TRUE(service_->OnPageVisit(video_id_).ok());
+  ASSERT_TRUE(service_->OnPageVisit({video_id_, "u"}).ok());
   const auto video = platform_->GetVideo(video_id_).value();
   sim::ViewerSimulator viewers;
   common::Rng rng(64);
   const auto dots = service_->GetHighlights(video_id_).value();
   for (int u = 0; u < 8; ++u) {
     const auto session = viewers.SimulateSession(
-        video.truth, dots[0].dot_position, rng, "w");
-    ASSERT_TRUE(service_->LogSession(video_id_, "w", 1000 + u,
-                                     session.events)
-                    .ok());
+        video.truth, dots.highlights[0].dot_position, rng, "w");
+    ASSERT_TRUE(LogSessionFor("w", 1000 + u, session.events).ok());
   }
   ASSERT_TRUE(service_->Refine(video_id_).ok());
   // Immediately refining again sees no new interactions: nothing updates.
   auto second = service_->Refine(video_id_);
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(second.value(), 0);
+  EXPECT_EQ(second.value().dots_updated, 0);
+  EXPECT_EQ(second.value().sessions_consumed, 0u);
+}
+
+TEST_F(WebServiceTest, RestartSeedsWatermarkFromDb) {
+  ASSERT_TRUE(service_->OnPageVisit({video_id_, "u"}).ok());
+  const auto video = platform_->GetVideo(video_id_).value();
+  sim::ViewerSimulator viewers;
+  common::Rng rng(65);
+  const auto dots = service_->GetHighlights(video_id_).value();
+  for (int u = 0; u < 8; ++u) {
+    const auto session = viewers.SimulateSession(
+        video.truth, dots.highlights[0].dot_position, rng, "w");
+    ASSERT_TRUE(LogSessionFor("w", 2000 + u, session.events).ok());
+  }
+  ASSERT_TRUE(service_->Refine(video_id_).ok());
+
+  // A "restarted" service over the same database must not re-consume the
+  // sessions the first instance already refined on.
+  ServerOptions opts;
+  opts.platform = Borrow<const sim::Platform>(platform_.get());
+  opts.db = Borrow(db_.get());
+  opts.lightor = Borrow<const core::Lightor>(lightor_.get());
+  WebService restarted(opts);
+  auto report = restarted.Refine(video_id_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().sessions_consumed, 0u);
+  EXPECT_EQ(report.value().dots_updated, 0);
+
+  // New sessions logged after the restart are still picked up.
+  for (int u = 0; u < 8; ++u) {
+    const auto session = viewers.SimulateSession(
+        video.truth, dots.highlights[0].dot_position, rng, "w2");
+    LogSessionRequest req;
+    req.video_id = video_id_;
+    req.user = "w2";
+    req.session_id = 3000 + u;
+    req.events = session.events;
+    ASSERT_TRUE(restarted.LogSession(req).ok());
+  }
+  auto next = restarted.Refine(video_id_);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().sessions_consumed, 8u);
 }
 
 }  // namespace
-}  // namespace lightor::storage
+}  // namespace lightor::serving

@@ -7,14 +7,20 @@
 ///   lightor eval    --corpus=corpus/ --model=m.model --k=5 [--skip=N]
 ///   lightor extract --corpus=corpus/ --model=m.model --video=<id> --k=5
 ///                   [--viewers=10]
+///   lightor serve   --db=DIR [--channels=2 --videos-per-channel=2
+///                   --seed=7 --k=5 --workers=2 --shards=16 --batch=8
+///                   --visits=4 --viewers=8]
 ///
 /// `gen` synthesizes a labelled corpus to disk (CSV traces); `train`
 /// fits the Highlight Initializer on the first N videos and saves the
 /// model; `detect` prints red dots for one video; `eval` scores Video
 /// Precision@K over the corpus; `extract` runs the full two-stage
-/// pipeline with a simulated crowd.
+/// pipeline with a simulated crowd; `serve` runs the concurrent
+/// HighlightServer over a simulated platform, logging sessions until the
+/// background workers refine every visited video.
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -27,10 +33,12 @@
 #include "obs/trace.h"
 #include "core/evaluation.h"
 #include "core/model_io.h"
+#include "serving/highlight_server.h"
 #include "sim/bridge.h"
 #include "sim/corpus.h"
 #include "sim/trace_io.h"
 #include "sim/viewer_simulator.h"
+#include "storage/database.h"
 
 using namespace lightor;  // NOLINT
 
@@ -38,7 +46,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: lightor <gen|train|detect|eval|extract> [--flags]\n"
+               "usage: lightor <gen|train|detect|eval|extract|serve> "
+               "[--flags]\n"
                "run with a command and no flags to see its options\n"
                "global flags: --log-level=debug|info|warning|error\n"
                "              --metrics-out=FILE (Prometheus text)\n"
@@ -273,6 +282,101 @@ int CmdExtract(const common::Flags& flags) {
   return 0;
 }
 
+int CmdServe(const common::Flags& flags) {
+  const std::string db_dir = flags.GetString("db");
+  if (db_dir.empty()) {
+    std::fprintf(stderr,
+                 "serve: --db=DIR required "
+                 "[--channels=2 --videos-per-channel=2 --seed=7 --k=5\n"
+                 "        --workers=2 --shards=16 --batch=8 --visits=4 "
+                 "--viewers=8]\n");
+    return 2;
+  }
+
+  sim::Platform::Options popts;
+  popts.num_channels = static_cast<int>(flags.GetInt("channels", 2));
+  popts.videos_per_channel =
+      static_cast<int>(flags.GetInt("videos-per-channel", 2));
+  popts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const sim::Platform platform(popts);
+
+  auto db = storage::Database::Open(db_dir);
+  if (!db.ok()) return Fail(db.status());
+
+  // Train on an out-of-platform corpus video, as in deployment.
+  const auto corpus =
+      sim::MakeCorpus(sim::GameType::kDota2, 1, popts.seed + 1000);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  core::LightorOptions lopts;
+  lopts.top_k = static_cast<size_t>(flags.GetInt("k", 5));
+  core::Lightor lightor(lopts);
+  if (auto st = lightor.TrainInitializer({tv}); !st.ok()) return Fail(st);
+
+  serving::ServerOptions sopts;
+  sopts.platform = serving::Borrow(&platform);
+  sopts.db = serving::Borrow(db.value().get());
+  sopts.lightor = serving::Borrow(&lightor);
+  sopts.top_k = lopts.top_k;
+  sopts.num_workers = static_cast<size_t>(flags.GetInt("workers", 2));
+  sopts.num_shards = static_cast<size_t>(flags.GetInt("shards", 16));
+  sopts.refine_batch_sessions = static_cast<size_t>(flags.GetInt("batch", 8));
+  auto server = serving::HighlightServer::Create(sopts);
+  if (!server.ok()) return Fail(server.status());
+  serving::HighlightServer& service = *server.value();
+
+  const int visits = static_cast<int>(flags.GetInt("visits", 4));
+  const int viewers = static_cast<int>(flags.GetInt("viewers", 8));
+  const auto ids = platform.AllVideoIds();
+  sim::ViewerSimulator viewer_sim;
+  common::Rng rng(popts.seed + 1);
+  uint64_t session_id = 0;
+  for (int v = 0; v < visits && v < static_cast<int>(ids.size()); ++v) {
+    const std::string& video_id = ids[static_cast<size_t>(v)];
+    const auto visit = service.OnPageVisit({video_id, "cli"});
+    if (!visit.ok()) return Fail(visit.status());
+    std::printf("%s: %zu red dots (snapshot v%llu%s)\n", video_id.c_str(),
+                visit.value().highlights.size(),
+                static_cast<unsigned long long>(visit.value().snapshot_version),
+                visit.value().first_visit ? ", first visit" : "");
+    const auto video = platform.GetVideo(video_id);
+    if (!video.ok()) return Fail(video.status());
+    for (const auto& dot : visit.value().highlights) {
+      for (int u = 0; u < viewers; ++u) {
+        const auto session = viewer_sim.SimulateSession(
+            video.value().truth, dot.dot_position, rng,
+            "viewer" + std::to_string(session_id));
+        serving::LogSessionRequest log;
+        log.video_id = video_id;
+        log.user = session.user;
+        log.session_id = ++session_id;
+        log.events = session.events;
+        if (auto st = service.LogSession(log); !st.ok()) return Fail(st);
+      }
+    }
+  }
+
+  // Drain the background workers, then report the refined state.
+  service.Shutdown();
+  std::printf("\nlogged %llu sessions; refined highlights after drain:\n",
+              static_cast<unsigned long long>(session_id));
+  for (int v = 0; v < visits && v < static_cast<int>(ids.size()); ++v) {
+    const std::string& video_id = ids[static_cast<size_t>(v)];
+    const auto recs = db.value()->highlights().GetLatest(video_id);
+    for (const auto& rec : recs) {
+      std::printf("  %s #%d [%s .. %s] iteration %d%s\n", video_id.c_str(),
+                  rec.dot_index, common::FormatTimestamp(rec.start).c_str(),
+                  common::FormatTimestamp(rec.end).c_str(), rec.iteration,
+                  rec.converged ? " (converged)" : "");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -296,6 +400,8 @@ int main(int argc, char** argv) {
     code = CmdEval(flags);
   } else if (command == "extract") {
     code = CmdExtract(flags);
+  } else if (command == "serve") {
+    code = CmdServe(flags);
   } else {
     return Usage();
   }

@@ -23,10 +23,12 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serving/highlight_server.h"
 #include "sim/bridge.h"
 #include "sim/corpus.h"
 #include "sim/viewer_simulator.h"
-#include "storage/web_service.h"
+#include "storage/crawler.h"
+#include "storage/database.h"
 
 using namespace lightor;  // NOLINT
 
@@ -81,7 +83,19 @@ int main(int argc, char** argv) {
   core::Lightor lightor(lopts);
   if (auto st = lightor.TrainInitializer({tv}); !st.ok()) return Fail(st);
 
-  storage::WebService service(&platform, db.value().get(), &lightor, top_k);
+  // The concurrent server, with background refinement disabled
+  // (refine_batch_sessions = 0) so each round's Refine runs exactly once
+  // and the dump is deterministic. The serving-layer metrics still show
+  // up (shard contention, refine latency, trigger=explicit / drain).
+  serving::ServerOptions sopts;
+  sopts.platform = serving::Borrow(&platform);
+  sopts.db = serving::Borrow(db.value().get());
+  sopts.lightor = serving::Borrow(&lightor);
+  sopts.top_k = top_k;
+  sopts.refine_batch_sessions = 0;
+  auto server = serving::HighlightServer::Create(sopts);
+  if (!server.ok()) return Fail(server.status());
+  serving::HighlightServer& service = *server.value();
 
   {
     obs::ScopedSpan run_span("obs_dump.run");
@@ -100,10 +114,11 @@ int main(int argc, char** argv) {
     uint64_t session_id = 0;
     for (int v = 0; v < visits && v < static_cast<int>(ids.size()); ++v) {
       const std::string& video_id = ids[static_cast<size_t>(v)];
-      auto dots = service.OnPageVisit(video_id);
+      auto dots = service.OnPageVisit({video_id, "visitor"});
       if (!dots.ok()) return Fail(dots.status());
-      // A second visit is served from the highlight store (cache hit).
-      if (auto again = service.OnPageVisit(video_id); !again.ok()) {
+      // A second visit is served from the highlight snapshot (cache hit).
+      if (auto again = service.OnPageVisit({video_id, "visitor"});
+          !again.ok()) {
         return Fail(again.status());
       }
       const auto video = platform.GetVideo(video_id);
@@ -111,23 +126,25 @@ int main(int argc, char** argv) {
       for (int round = 0; round < rounds; ++round) {
         const auto current = service.GetHighlights(video_id);
         if (!current.ok()) return Fail(current.status());
-        for (const auto& dot : current.value()) {
+        for (const auto& dot : current.value().highlights) {
           for (int u = 0; u < viewers; ++u) {
             const auto session = viewer_sim.SimulateSession(
                 video.value().truth, dot.dot_position, rng,
                 "w" + std::to_string(session_id));
-            if (auto st = service.LogSession(video_id, session.user,
-                                             ++session_id, session.events);
-                !st.ok()) {
-              return Fail(st);
-            }
+            serving::LogSessionRequest log;
+            log.video_id = video_id;
+            log.user = session.user;
+            log.session_id = ++session_id;
+            log.events = session.events;
+            if (auto st = service.LogSession(log); !st.ok()) return Fail(st);
           }
         }
-        if (auto updated = service.Refine(video_id); !updated.ok()) {
-          return Fail(updated.status());
+        if (auto report = service.Refine(video_id); !report.ok()) {
+          return Fail(report.status());
         }
       }
     }
+    service.Shutdown();  // drains; trigger="drain" metrics when pending
 
     // The batch path too: Lightor::Process leaves a full span tree
     // (Process → Initialize / Extract → extractor.Run) in the trace.
