@@ -15,6 +15,7 @@
 #include "core/extractor.h"
 #include "core/features.h"
 #include "core/initializer.h"
+#include "core/streaming.h"
 #include "ml/logistic_regression.h"
 #include "ml/lstm.h"
 #include "obs/export.h"
@@ -118,6 +119,61 @@ void BM_InitializerDetect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InitializerDetect);
+
+// Batch one-shot reference for the replay-based Detect above: the gap
+// between the two is the cost of incremental bookkeeping.
+void BM_InitializerDetectBatch(benchmark::State& state) {
+  static core::HighlightInitializer* init = [] {
+    auto* model = new core::HighlightInitializer();
+    const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 3031);
+    (void)model->Train({bench::ToTraining(corpus[0])});
+    return model;
+  }();
+  const auto& messages = BenchMessages();
+  const double length = BenchVideo().truth.meta.length;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(init->DetectBatch(messages, length, 5));
+  }
+}
+BENCHMARK(BM_InitializerDetectBatch);
+
+// Live-ingest throughput: messages/sec through a fresh streaming engine
+// (items_processed), with per-message latency implied by the mean.
+void BM_StreamingIngest(benchmark::State& state) {
+  static core::HighlightInitializer* init = [] {
+    auto* model = new core::HighlightInitializer();
+    const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 3031);
+    (void)model->Train({bench::ToTraining(corpus[0])});
+    return model;
+  }();
+  const auto& messages = BenchMessages();
+  for (auto _ : state) {
+    core::StreamingInitializer engine(init);
+    for (const auto& m : messages) {
+      benchmark::DoNotOptimize(engine.Ingest(m));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(messages.size()));
+}
+BENCHMARK(BM_StreamingIngest);
+
+// Mid-broadcast scoring: what a provisional publish costs after the
+// whole chat has been ingested (worst case — most closed windows).
+void BM_StreamingProvisional(benchmark::State& state) {
+  static core::HighlightInitializer* init = [] {
+    auto* model = new core::HighlightInitializer();
+    const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 3031);
+    (void)model->Train({bench::ToTraining(corpus[0])});
+    return model;
+  }();
+  core::StreamingInitializer engine(init);
+  (void)engine.IngestAll(BenchMessages());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Provisional(5));
+  }
+}
+BENCHMARK(BM_StreamingProvisional);
 
 void BM_ExtractorFilterAndRefine(benchmark::State& state) {
   sim::ViewerSimulator viewers;

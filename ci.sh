@@ -36,6 +36,7 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
   cmake -B "$TSAN_BUILD_DIR" -S . -DLIGHTOR_SANITIZE=thread >/dev/null
   cmake --build "$TSAN_BUILD_DIR" -j --target \
       serving_server_test serving_stress_test \
+      serving_stream_test serving_stream_stress_test \
       obs_metrics_test obs_trace_test
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
       -R '^(serving_|obs_)'

@@ -10,28 +10,56 @@
 
 namespace lightor::core {
 
-BurstFeatures ComputeBurstFeatures(const std::vector<Message>& messages,
-                                   const common::Interval& interval) {
+namespace {
+
+inline common::Seconds BurstTimestampOf(const Message& m) {
+  return m.timestamp;
+}
+inline common::Seconds BurstTimestampOf(common::Seconds t) { return t; }
+
+/// Shared body of both ComputeBurstFeatures overloads — the streaming
+/// engine feeds bare timestamps and must observe the exact doubles the
+/// batch Message path produces.
+template <typename T>
+BurstFeatures ComputeBurstFeaturesImpl(const std::vector<T>& items,
+                                       const common::Interval& interval) {
   BurstFeatures f;
   const auto lo = std::lower_bound(
-      messages.begin(), messages.end(), interval.start,
-      [](const Message& m, common::Seconds v) { return m.timestamp < v; });
+      items.begin(), items.end(), interval.start,
+      [](const T& item, common::Seconds v) {
+        return BurstTimestampOf(item) < v;
+      });
   const auto hi = std::lower_bound(
-      lo, messages.end(), interval.end,
-      [](const Message& m, common::Seconds v) { return m.timestamp < v; });
+      lo, items.end(), interval.end,
+      [](const T& item, common::Seconds v) {
+        return BurstTimestampOf(item) < v;
+      });
   const size_t n = static_cast<size_t>(hi - lo);
   f.message_count = static_cast<double>(n);
   if (n == 0) return f;
   double mean = 0.0;
-  for (auto it = lo; it != hi; ++it) mean += it->timestamp;
+  for (auto it = lo; it != hi; ++it) mean += BurstTimestampOf(*it);
   mean /= static_cast<double>(n);
   double var = 0.0;
   for (auto it = lo; it != hi; ++it) {
-    var += (it->timestamp - mean) * (it->timestamp - mean);
+    var += (BurstTimestampOf(*it) - mean) * (BurstTimestampOf(*it) - mean);
   }
   f.burst_spread = std::sqrt(var / static_cast<double>(n));
-  f.peak_offset = FindMessagePeak(messages, interval) - interval.start;
+  f.peak_offset = FindMessagePeak(items, interval) - interval.start;
   return f;
+}
+
+}  // namespace
+
+BurstFeatures ComputeBurstFeatures(const std::vector<Message>& messages,
+                                   const common::Interval& interval) {
+  return ComputeBurstFeaturesImpl(messages, interval);
+}
+
+BurstFeatures ComputeBurstFeatures(
+    const std::vector<common::Seconds>& timestamps,
+    const common::Interval& interval) {
+  return ComputeBurstFeaturesImpl(timestamps, interval);
 }
 
 AdjustmentModel::AdjustmentModel(AdjustmentOptions options)

@@ -37,6 +37,13 @@ struct BurstFeatures {
 BurstFeatures ComputeBurstFeatures(const std::vector<Message>& messages,
                                    const common::Interval& interval);
 
+/// Timestamp-only overload for the streaming engine (which keeps
+/// timestamps but not texts); bit-identical to the Message overload for
+/// equal timestamp sequences.
+BurstFeatures ComputeBurstFeatures(
+    const std::vector<common::Seconds>& timestamps,
+    const common::Interval& interval);
+
 /// One training observation: the burst's peak time and features, plus the
 /// ground-truth highlight interval.
 struct AdjustmentObservation {

@@ -4,6 +4,7 @@
 
 #include <cassert>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "text/embedding.h"
 #include "text/similarity.h"
@@ -86,9 +87,12 @@ WindowFeatures WindowFeaturizer::Compute(const std::vector<Message>& messages,
 std::vector<WindowFeatures> WindowFeaturizer::ComputeAll(
     const std::vector<Message>& messages,
     const std::vector<SlidingWindow>& windows) const {
-  std::vector<WindowFeatures> out;
-  out.reserve(windows.size());
-  for (const auto& w : windows) out.push_back(Compute(messages, w));
+  // Windows are independent (Compute only reads `messages`), so fan out
+  // across a pool; per-index output slots keep the result deterministic.
+  std::vector<WindowFeatures> out(windows.size());
+  common::ParallelFor(windows.size(), [&](size_t i) {
+    out[i] = Compute(messages, windows[i]);
+  });
   return out;
 }
 

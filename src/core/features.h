@@ -60,6 +60,9 @@ class WindowFeaturizer {
       const std::vector<SlidingWindow>& windows) const;
 
   SimilarityBackend similarity_backend() const { return similarity_backend_; }
+  const text::TokenizerOptions& tokenizer_options() const {
+    return tokenizer_options_;
+  }
 
  private:
   text::TokenizerOptions tokenizer_options_;

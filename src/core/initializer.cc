@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "core/streaming.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -174,22 +175,42 @@ std::vector<SlidingWindow> HighlightInitializer::ScoreWindows(
 
 std::vector<SlidingWindow> HighlightInitializer::TopKWindows(
     std::vector<SlidingWindow> scored, size_t k) const {
-  std::sort(scored.begin(), scored.end(),
-            [](const SlidingWindow& a, const SlidingWindow& b) {
-              if (a.probability != b.probability) {
-                return a.probability > b.probability;
-              }
-              return a.span.start < b.span.start;
-            });
+  const auto cmp = [](const SlidingWindow& a, const SlidingWindow& b) {
+    if (a.probability != b.probability) {
+      return a.probability > b.probability;
+    }
+    return a.span.start < b.span.start;
+  };
+  const size_t n = scored.size();
+  if (k == 0 || n == 0) return {};
+  // Partial selection: we pick k ≈ 5 dots out of thousands of windows and
+  // the δ-separation scan rarely looks past the first few dozen
+  // candidates, so a full sort is wasted work. Sort a prefix, scan it
+  // greedily, and grow the prefix only when separation rejected too many.
+  // The comparator is a strict total order (de-overlapped windows have
+  // unique starts), so each extension continues the one globally-sorted
+  // order and the picks match a full sort exactly.
+  size_t sorted = std::min(n, std::max(k * 8, size_t{32}));
+  std::partial_sort(scored.begin(), scored.begin() + sorted, scored.end(),
+                    cmp);
   std::vector<SlidingWindow> picked;
-  for (const auto& w : scored) {
-    if (picked.size() >= k) break;
+  size_t i = 0;
+  while (picked.size() < k) {
+    if (i == sorted) {
+      if (sorted == n) break;
+      sorted = std::min(n, sorted * 2);
+      std::partial_sort(scored.begin() + i, scored.begin() + sorted,
+                        scored.end(), cmp);
+      continue;
+    }
+    const SlidingWindow& w = scored[i];
     const bool too_close = std::any_of(
         picked.begin(), picked.end(), [&](const SlidingWindow& p) {
           return std::abs(p.span.start - w.span.start) <=
                  options_.min_separation;
         });
     if (!too_close) picked.push_back(w);
+    ++i;
   }
   return picked;
 }
@@ -198,6 +219,33 @@ std::vector<RedDot> HighlightInitializer::Detect(
     const std::vector<Message>& messages, common::Seconds video_length,
     size_t k) const {
   obs::ScopedSpan span("initializer.Detect");
+  assert(MessagesSorted(messages));
+  // Thin replay over the incremental engine — the batch entry point and
+  // the live path share one implementation (proven equivalent to
+  // DetectBatch by the streaming differential test).
+  StreamingInitializer engine(this);
+  for (const auto& m : messages) {
+    // Messages at/after the declared video end fit in no window, but
+    // their timestamps still feed the adjustment stage's burst features.
+    const common::Status st = m.timestamp < video_length
+                                  ? engine.Ingest(m)
+                                  : engine.RecordTailTimestamp(m.timestamp);
+    (void)st;
+    assert(st.ok());
+  }
+  auto dots = engine.Finalize(video_length, k);
+  assert(dots.ok());
+  if (!dots.ok()) return {};
+  LIGHTOR_LOG(Debug) << "initializer: " << dots.value().size()
+                     << " red dots from " << messages.size()
+                     << " messages over " << video_length << "s";
+  return std::move(dots).value();
+}
+
+std::vector<RedDot> HighlightInitializer::DetectBatch(
+    const std::vector<Message>& messages, common::Seconds video_length,
+    size_t k) const {
+  obs::ScopedSpan span("initializer.DetectBatch");
   const auto top = TopKWindows(ScoreWindows(messages, video_length), k);
   std::vector<RedDot> dots;
   dots.reserve(top.size());
@@ -217,9 +265,9 @@ std::vector<RedDot> HighlightInitializer::Detect(
     dots.push_back(dot);
   }
   RedDotsCounter().Increment(dots.size());
-  LIGHTOR_LOG(Debug) << "initializer: " << dots.size() << " red dots from "
-                     << messages.size() << " messages over "
-                     << video_length << "s";
+  LIGHTOR_LOG(Debug) << "initializer (batch): " << dots.size()
+                     << " red dots from " << messages.size()
+                     << " messages over " << video_length << "s";
   return dots;
 }
 

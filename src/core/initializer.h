@@ -82,8 +82,16 @@ class HighlightInitializer {
 
   /// Full Algorithm 1: top-k windows (respecting min_separation), peaks,
   /// and adjusted red-dot positions, ordered by descending score.
+  /// Implemented as a thin replay over the incremental StreamingInitializer
+  /// (core/streaming.h); returns exactly what `DetectBatch` returns.
   std::vector<RedDot> Detect(const std::vector<Message>& messages,
                              common::Seconds video_length, size_t k) const;
+
+  /// The original one-shot batch implementation, kept as the reference the
+  /// streaming replay is differential-tested against.
+  std::vector<RedDot> DetectBatch(const std::vector<Message>& messages,
+                                  common::Seconds video_length,
+                                  size_t k) const;
 
   /// Selects the top-k scored windows subject to the δ-separation rule
   /// (exposed for evaluation of the prediction stage in isolation).
@@ -91,6 +99,7 @@ class HighlightInitializer {
                                          size_t k) const;
 
   bool trained() const { return model_.fitted(); }
+  const WindowFeaturizer& featurizer() const { return featurizer_; }
   double adjustment_c() const { return adjustment_c_; }
   const ml::LogisticRegression& model() const { return model_; }
   /// Mutable model access for deserialization (core/model_io.h).

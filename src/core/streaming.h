@@ -1,0 +1,152 @@
+#ifndef LIGHTOR_CORE_STREAMING_H_
+#define LIGHTOR_CORE_STREAMING_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "core/initializer.h"
+#include "core/message.h"
+#include "text/streaming_similarity.h"
+#include "text/tokenizer.h"
+
+namespace lightor::core {
+
+/// Lifetime counters of one streaming engine.
+struct StreamingStats {
+  size_t messages_ingested = 0;   ///< accepted (windowed) messages
+  size_t messages_rejected = 0;   ///< dropped for decreasing timestamps
+  size_t windows_closed = 0;      ///< candidate windows closed so far
+  common::Seconds watermark = 0.0;  ///< highest accepted timestamp
+};
+
+/// Incremental counterpart of `HighlightInitializer::Detect`: accepts chat
+/// messages one at a time during a live broadcast, maintains rolling
+/// per-window state, and scores windows as they close — so provisional red
+/// dots are available mid-stream and the final dots exactly match what the
+/// batch pipeline computes over the finished log.
+///
+/// How the batch semantics are preserved:
+///
+///   * Candidate window starts are produced by the same repeated
+///     `start += stride` accumulation the batch generator uses, and a
+///     window is only materialized once a message lands inside it (the
+///     batch path drops empty candidates).
+///   * A window closes when a message at/after its end arrives. Count and
+///     word-length aggregates accumulate message by message in arrival
+///     order — the order the batch featurizer iterates — and the
+///     bag-of-words similarity updates incrementally via
+///     `text::StreamingSetSimilarity` instead of re-tokenizing the window.
+///   * Closed windows keep only their span, message range, and raw
+///     features; every message's timestamp is retained (8 bytes each) so
+///     peak finding and the adjustment stage see the batch inputs, while
+///     texts are retained only for the few still-open windows.
+///   * `Finalize` clips still-open windows at the declared video length,
+///     then runs the identical de-overlap → normalize → predict → top-k →
+///     peak → adjustment tail the batch `Detect` runs. Per-video feature
+///     normalization is global, which is why provisional scores are
+///     provisional: they normalize over the windows seen so far.
+///
+/// Not thread-safe; callers (e.g. serving) provide their own striping.
+class StreamingInitializer {
+ public:
+  /// `initializer` supplies the trained window model, options, and
+  /// adjustment; it must stay alive for the engine's lifetime.
+  explicit StreamingInitializer(const HighlightInitializer* initializer);
+
+  /// Feeds one chat message. Timestamps must be non-decreasing: a message
+  /// older than the watermark is rejected with InvalidArgument and leaves
+  /// the engine state untouched. FailedPrecondition once finalized.
+  common::Status Ingest(const Message& message);
+
+  /// Ingests a batch, stopping at the first error.
+  common::Status IngestAll(const std::vector<Message>& messages);
+
+  /// Records the timestamp of a message that lies at/after the video end
+  /// (used by the batch replay): such a message can fall inside no window,
+  /// but its timestamp still feeds the adjustment stage's burst features,
+  /// matching the batch pipeline. No further `Ingest` is accepted after
+  /// the first tail timestamp.
+  common::Status RecordTailTimestamp(common::Seconds timestamp);
+
+  /// Red dots over the windows closed so far, with the learned adjustment
+  /// applied — the mid-broadcast provisional answer. Scores use the
+  /// running per-video normalization, so dots may shift until `Finalize`.
+  std::vector<RedDot> Provisional(size_t k) const;
+
+  /// Closes the remaining windows at `video_length` and returns the final
+  /// red dots; one-shot (FailedPrecondition on reuse). InvalidArgument if
+  /// `video_length` would cut into an already-closed window (it must be at
+  /// least the watermark in live use). Equals `DetectBatch` run over the
+  /// same accepted messages.
+  common::Result<std::vector<RedDot>> Finalize(common::Seconds video_length,
+                                               size_t k);
+
+  const StreamingStats& stats() const { return stats_; }
+  bool finalized() const { return finalized_; }
+  /// Number of candidate windows currently open (rolling state).
+  size_t open_windows() const { return open_.size(); }
+
+ private:
+  /// A message retained while at least one window holding it is open.
+  struct PendingMessage {
+    double word_count = 0.0;
+    std::string text;  ///< retained for non-BoW similarity backends only
+  };
+
+  /// Rolling state of one open candidate window.
+  struct OpenWindow {
+    common::Interval span;       ///< [start, start + size)
+    size_t first_message = 0;    ///< global index of its first message
+    size_t message_count = 0;
+    double total_words = 0.0;
+    text::StreamingSetSimilarity similarity;  ///< BoW backend state
+  };
+
+  /// A closed candidate: span, message range, raw features. Texts gone.
+  struct ClosedWindow {
+    SlidingWindow window;
+    WindowFeatures features;
+  };
+
+  /// Closes every open window whose end is at/before `timestamp`, then
+  /// materializes new windows whose span contains it.
+  void AdvanceWindows(common::Seconds timestamp);
+
+  /// Features of `open` over its first `count` messages; `count` equal to
+  /// the window's full message count uses the rolling aggregates, a
+  /// smaller count (finalize clip) recomputes over the retained prefix.
+  WindowFeatures FeaturesFor(const OpenWindow& open, size_t count) const;
+
+  /// The batch tail (de-overlap, normalize, predict, top-k, peaks,
+  /// adjustment) over closed candidates — byte-for-byte the same
+  /// operations `DetectBatch` performs.
+  std::vector<RedDot> ScoreAndSelect(const std::vector<ClosedWindow>& closed,
+                                     size_t k) const;
+
+  void DropConsumedPending();
+
+  const HighlightInitializer* initializer_;
+  text::Tokenizer tokenizer_;
+  bool bow_backend_ = true;
+
+  double next_start_ = 0.0;  ///< next candidate start (+= stride, as batch)
+  std::deque<OpenWindow> open_;
+  std::vector<ClosedWindow> closed_;
+
+  /// All accepted timestamps (windowed, then tail), for peaks and bursts.
+  std::vector<common::Seconds> timestamps_;
+  /// Messages of still-open windows; global index = pending_base_ + i.
+  std::deque<PendingMessage> pending_;
+  size_t pending_base_ = 0;
+
+  StreamingStats stats_;
+  bool tail_recorded_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace lightor::core
+
+#endif  // LIGHTOR_CORE_STREAMING_H_

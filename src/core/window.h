@@ -57,6 +57,13 @@ std::vector<SlidingWindow> GenerateWindows(const std::vector<Message>& messages,
 common::Seconds FindMessagePeak(const std::vector<Message>& messages,
                                 const common::Interval& span);
 
+/// Timestamp-only overload for the streaming engine, which retains every
+/// message's timestamp but drops texts once a window closes. Shares the
+/// implementation with the Message overload, so the result is
+/// bit-identical for equal timestamp sequences.
+common::Seconds FindMessagePeak(const std::vector<common::Seconds>& timestamps,
+                                const common::Interval& span);
+
 /// Returns true if the messages are sorted by timestamp (a precondition of
 /// every function in this header).
 bool MessagesSorted(const std::vector<Message>& messages);

@@ -54,6 +54,12 @@ struct ServerOptions {
   /// next logged session retries), never blocked on.
   size_t max_queue_depth = 256;
 
+  /// Live ingest: publish a fresh provisional snapshot after this many
+  /// accepted chat messages on a streaming video. Small values re-score
+  /// more often (each publish runs the streaming scorer over the windows
+  /// closed so far); large values serve staler provisional dots.
+  size_t stream_refresh_messages = 64;
+
   /// On construction, mark every video whose stored dots have already
   /// been refined (iteration > 0) as having consumed all interactions
   /// currently in the database, so a restarted service does not re-feed
@@ -77,6 +83,9 @@ struct ServerOptions {
     if (max_queue_depth == 0)
       return common::Status::InvalidArgument(
           "ServerOptions: max_queue_depth == 0");
+    if (stream_refresh_messages == 0)
+      return common::Status::InvalidArgument(
+          "ServerOptions: stream_refresh_messages == 0");
     return common::Status::OK();
   }
 };
@@ -96,6 +105,44 @@ struct PageVisitResponse {
   /// every refinement pass of the video. 0 when served straight from the
   /// database (reference WebService).
   uint64_t snapshot_version = 0;
+  /// True while the video is a live stream: the dots come from the
+  /// incremental engine's rolling scores and will be atomically replaced
+  /// by the batch-exact result when the stream finalizes.
+  bool provisional = false;
+};
+
+/// A batch of live chat messages for a video that is still broadcasting
+/// (the streaming ingest path). Messages must be timestamp-ordered;
+/// stragglers with decreasing timestamps are counted and dropped.
+struct IngestChatRequest {
+  std::string video_id;
+  std::vector<core::Message> messages;
+};
+
+struct IngestChatResponse {
+  size_t accepted = 0;
+  size_t rejected = 0;  ///< out-of-order messages dropped
+  /// True when this batch crossed the refresh threshold and published a
+  /// new provisional snapshot.
+  bool provisional_published = false;
+  /// Version of the currently served snapshot (0 before the first
+  /// provisional publish).
+  uint64_t snapshot_version = 0;
+};
+
+/// Ends a live stream: closes the remaining windows, swaps the
+/// provisional snapshot for the batch-exact result, and persists it.
+struct FinalizeStreamRequest {
+  std::string video_id;
+  /// Authoritative video length. <= 0 means resolve automatically: the
+  /// platform's metadata when available, else the stream's watermark.
+  double video_length = 0.0;
+};
+
+struct FinalizeStreamResponse {
+  std::vector<storage::HighlightRecord> highlights;
+  uint64_t snapshot_version = 0;
+  double video_length = 0.0;  ///< the resolved length actually used
 };
 
 /// One viewing session's interaction events, uploaded by the frontend.
@@ -110,6 +157,7 @@ struct LogSessionRequest {
 struct GetHighlightsResponse {
   std::vector<storage::HighlightRecord> highlights;
   uint64_t snapshot_version = 0;  ///< 0 when served straight from the DB
+  bool provisional = false;       ///< live-stream dots, not yet finalized
 };
 
 /// Outcome of one refinement pass for one red dot.

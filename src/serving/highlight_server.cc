@@ -123,21 +123,7 @@ common::Result<HighlightServer::VideoState*> HighlightServer::InitializeVideo(
 
   auto snapshot = std::make_shared<Snapshot>();
   snapshot->version = 1;
-  const double fallback =
-      options_.lightor->options().extractor.fallback_length;
-  for (size_t i = 0; i < dots.value().size(); ++i) {
-    const core::RedDot& dot = dots.value()[i];
-    storage::HighlightRecord rec;
-    rec.video_id = video_id;
-    rec.dot_index = static_cast<int32_t>(i);
-    rec.dot_position = dot.position;
-    rec.start = dot.position;
-    rec.end = dot.position + fallback;
-    rec.score = dot.score;
-    rec.iteration = 0;
-    rec.converged = false;
-    snapshot->records.push_back(std::move(rec));
-  }
+  snapshot->records = RecordsFromDots(video_id, dots.value());
   {
     std::lock_guard<std::mutex> db_lock(db_mu_);
     for (const auto& rec : snapshot->records) {
@@ -149,6 +135,29 @@ common::Result<HighlightServer::VideoState*> HighlightServer::InitializeVideo(
   LIGHTOR_LOG(Info) << "serving: first visit of " << video_id << " placed "
                     << state.snapshot->records.size() << " red dots";
   return &state;
+}
+
+std::vector<storage::HighlightRecord> HighlightServer::RecordsFromDots(
+    const std::string& video_id,
+    const std::vector<core::RedDot>& dots) const {
+  const double fallback =
+      options_.lightor->options().extractor.fallback_length;
+  std::vector<storage::HighlightRecord> records;
+  records.reserve(dots.size());
+  for (size_t i = 0; i < dots.size(); ++i) {
+    const core::RedDot& dot = dots[i];
+    storage::HighlightRecord rec;
+    rec.video_id = video_id;
+    rec.dot_index = static_cast<int32_t>(i);
+    rec.dot_position = dot.position;
+    rec.start = dot.position;
+    rec.end = dot.position + fallback;
+    rec.score = dot.score;
+    rec.iteration = 0;
+    rec.converged = false;
+    records.push_back(std::move(rec));
+  }
+  return records;
 }
 
 common::Result<PageVisitResponse> HighlightServer::OnPageVisit(
@@ -167,6 +176,14 @@ common::Result<PageVisitResponse> HighlightServer::OnPageVisit(
     DotCacheCounter(kKind, /*hit=*/true).Increment();
     response.highlights = state->snapshot->records;
     response.snapshot_version = state->snapshot->version;
+    response.provisional = state->snapshot->provisional;
+    return response;
+  }
+  if (auto it = shard.videos.find(req.video_id);
+      it != shard.videos.end() && it->second.stream != nullptr) {
+    // Live video before its first provisional publish: nothing to show
+    // yet, and the batch initializer must not run on a moving target.
+    response.provisional = true;
     return response;
   }
   DotCacheCounter(kKind, /*hit=*/false).Increment();
@@ -175,6 +192,125 @@ common::Result<PageVisitResponse> HighlightServer::OnPageVisit(
   response.highlights = initialized.value()->snapshot->records;
   response.snapshot_version = initialized.value()->snapshot->version;
   response.first_visit = true;
+  return response;
+}
+
+common::Result<IngestChatResponse> HighlightServer::IngestChat(
+    const IngestChatRequest& req) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return ShuttingDown("IngestChat");
+  }
+  obs::ScopedSpan span("serving.IngestChat");
+  obs::ScopedTimer timer(&StreamIngestBatchLatency());
+  StreamIngestRequestsCounter().Increment();
+
+  Shard& shard = ShardFor(req.video_id);
+  auto lk = LockShard(shard);
+  if (VideoState* existing = FindOrLoadState(shard, req.video_id, lk);
+      existing != nullptr && existing->stream == nullptr) {
+    return common::Status::FailedPrecondition(
+        "IngestChat: video already has recorded highlights: " + req.video_id);
+  }
+  VideoState& state = shard.videos[req.video_id];
+  if (state.stream == nullptr) {
+    state.stream = std::make_unique<core::StreamingInitializer>(
+        &options_.lightor->initializer());
+    ActiveStreamsGauge().Add(1.0);
+    LIGHTOR_LOG(Info) << "serving: live stream opened for " << req.video_id;
+  }
+  IngestChatResponse response;
+  for (const auto& m : req.messages) {
+    if (state.stream->Ingest(m).ok()) {
+      ++response.accepted;
+    } else {
+      ++response.rejected;
+    }
+  }
+  state.stream_since_publish += response.accepted;
+  if (state.stream_since_publish >= options_.stream_refresh_messages) {
+    state.stream_since_publish = 0;
+    auto snapshot = std::make_shared<Snapshot>();
+    snapshot->version =
+        state.snapshot == nullptr ? 1 : state.snapshot->version + 1;
+    snapshot->provisional = true;
+    snapshot->records =
+        RecordsFromDots(req.video_id, state.stream->Provisional(options_.top_k));
+    state.snapshot = std::move(snapshot);
+    response.provisional_published = true;
+    StreamProvisionalPublishesCounter().Increment();
+  }
+  if (state.snapshot != nullptr) {
+    response.snapshot_version = state.snapshot->version;
+  }
+  return response;
+}
+
+common::Result<FinalizeStreamResponse> HighlightServer::FinalizeStream(
+    const FinalizeStreamRequest& req) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return ShuttingDown("FinalizeStream");
+  }
+  obs::ScopedSpan span("serving.FinalizeStream");
+
+  // Claim the engine: moving it out under the shard lock makes finalize
+  // one-shot and lets the (possibly long) batch tail run without holding
+  // the lock. Readers keep being served the last provisional snapshot.
+  Shard& shard = ShardFor(req.video_id);
+  std::unique_ptr<core::StreamingInitializer> engine;
+  {
+    auto lk = LockShard(shard);
+    auto it = shard.videos.find(req.video_id);
+    if (it == shard.videos.end() || it->second.stream == nullptr) {
+      return common::Status::FailedPrecondition(
+          "FinalizeStream: no active stream for video: " + req.video_id);
+    }
+    engine = std::move(it->second.stream);
+    it->second.stream_since_publish = 0;
+  }
+
+  // Resolve the authoritative length: caller > platform metadata >
+  // stream watermark (the platform is immutable, no lock needed).
+  double video_length = req.video_length;
+  if (video_length <= 0.0) {
+    if (auto video = options_.platform->GetVideo(req.video_id); video.ok()) {
+      video_length = video.value().truth.meta.length;
+    } else {
+      video_length = engine->stats().watermark;
+    }
+  }
+  auto dots = engine->Finalize(video_length, options_.top_k);
+  if (!dots.ok()) {
+    // e.g. a length behind the watermark: hand the engine back so the
+    // caller can retry with a valid length.
+    auto relock = LockShard(shard);
+    shard.videos[req.video_id].stream = std::move(engine);
+    return dots.status();
+  }
+  ActiveStreamsGauge().Add(-1.0);
+  StreamFinalizedCounter().Increment();
+
+  FinalizeStreamResponse response;
+  response.video_length = video_length;
+  response.highlights = RecordsFromDots(req.video_id, dots.value());
+  {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    for (const auto& rec : response.highlights) {
+      LIGHTOR_RETURN_IF_ERROR(options_.db->PutHighlight(rec));
+    }
+  }
+  {
+    auto lk = LockShard(shard);
+    VideoState& state = shard.videos[req.video_id];
+    auto snapshot = std::make_shared<Snapshot>();
+    snapshot->version =
+        state.snapshot == nullptr ? 1 : state.snapshot->version + 1;
+    snapshot->records = response.highlights;
+    state.snapshot = std::move(snapshot);
+    response.snapshot_version = state.snapshot->version;
+  }
+  LIGHTOR_LOG(Info) << "serving: stream " << req.video_id << " finalized at "
+                    << video_length << "s with "
+                    << response.highlights.size() << " red dots";
   return response;
 }
 
@@ -205,6 +341,12 @@ common::Status HighlightServer::LogSession(const LogSessionRequest& req) {
   auto lk = LockShard(shard);
   VideoState* state = FindOrLoadState(shard, req.video_id, lk);
   if (state == nullptr) return common::Status::OK();
+  // Provisional dots move with the stream; refining them would waste a
+  // pass on positions about to be replaced. The sessions stay in the log
+  // and are picked up by the first post-finalize pass.
+  if (state->stream != nullptr || state->snapshot->provisional) {
+    return common::Status::OK();
+  }
   ++state->pending_sessions;
   const size_t threshold = options_.refine_batch_sessions;
   if (threshold > 0 && state->pending_sessions >= threshold &&
@@ -224,12 +366,18 @@ common::Result<GetHighlightsResponse> HighlightServer::GetHighlights(
   Shard& shard = ShardFor(video_id);
   auto lk = LockShard(shard);
   VideoState* state = FindOrLoadState(shard, video_id, lk);
+  GetHighlightsResponse response;
   if (state == nullptr) {
+    if (auto it = shard.videos.find(video_id);
+        it != shard.videos.end() && it->second.stream != nullptr) {
+      response.provisional = true;  // live, nothing published yet
+      return response;
+    }
     return common::Status::NotFound("no highlights for video: " + video_id);
   }
-  GetHighlightsResponse response;
   response.highlights = state->snapshot->records;
   response.snapshot_version = state->snapshot->version;
+  response.provisional = state->snapshot->provisional;
   return response;
 }
 
@@ -260,6 +408,10 @@ common::Result<RefineReport> HighlightServer::RefinePass(
     if (state == nullptr) {
       return common::Status::NotFound("Refine: video has no red dots yet: " +
                                       video_id);
+    }
+    if (state->stream != nullptr || state->snapshot->provisional) {
+      return common::Status::FailedPrecondition(
+          "Refine: video is live — finalize the stream first: " + video_id);
     }
     shard.refine_done.wait(lk, [&] { return !state->refine_inflight; });
     state->refine_inflight = true;
@@ -360,7 +512,8 @@ size_t HighlightServer::Flush() {
   for (auto& shard : shards_) {
     auto lk = LockShard(*shard);
     for (const auto& [video_id, state] : shard->videos) {
-      if (state.snapshot != nullptr &&
+      if (state.snapshot != nullptr && !state.snapshot->provisional &&
+          state.stream == nullptr &&
           (state.pending_sessions > 0 || state.refine_queued)) {
         videos.push_back(video_id);
       }
@@ -390,6 +543,24 @@ void HighlightServer::Shutdown() {
   queue_cv_.notify_all();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
+  }
+  // Live streams cannot be finalized without an authoritative length
+  // decision from the caller; drop them (their chat is lost — the
+  // broadcaster re-ingests or the crawler recovers the recorded chat).
+  size_t dropped = 0;
+  for (auto& shard : shards_) {
+    auto lk = LockShard(*shard);
+    for (auto& [video_id, state] : shard->videos) {
+      if (state.stream != nullptr) {
+        state.stream.reset();
+        ++dropped;
+      }
+    }
+  }
+  if (dropped > 0) {
+    ActiveStreamsGauge().Add(-static_cast<double>(dropped));
+    LIGHTOR_LOG(Warning) << "serving: dropped " << dropped
+                         << " live stream(s) at shutdown";
   }
   LIGHTOR_LOG(Info) << "serving: shut down after drain";
 }

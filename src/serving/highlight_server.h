@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/streaming.h"
 #include "serving/api.h"
 #include "storage/crawler.h"
 
@@ -63,8 +64,25 @@ class HighlightServer {
 
   /// A user opened a recorded-video page: serves the current snapshot,
   /// computing and persisting red dots on the video's first visit
-  /// (crawling the chat if needed). Thread-safe.
+  /// (crawling the chat if needed). Thread-safe. For a video that is
+  /// still live the visit serves the provisional snapshot (possibly
+  /// empty) instead of running the batch initializer.
   common::Result<PageVisitResponse> OnPageVisit(const PageVisitRequest& req);
+
+  /// Live-ingest path: feeds a timestamp-ordered batch of chat messages
+  /// into the video's incremental engine, creating it on first touch.
+  /// Publishes a fresh provisional snapshot every
+  /// `stream_refresh_messages` accepted messages. Fails with
+  /// FailedPrecondition when the video already has recorded (finalized
+  /// or batch-initialized) highlights. Thread-safe.
+  common::Result<IngestChatResponse> IngestChat(const IngestChatRequest& req);
+
+  /// Ends a live stream: finalizes the incremental engine (bit-exact
+  /// with the batch initializer over the same messages), persists the
+  /// result, and atomically swaps the provisional snapshot for it.
+  /// Thread-safe; finalization itself runs outside the shard lock.
+  common::Result<FinalizeStreamResponse> FinalizeStream(
+      const FinalizeStreamRequest& req);
 
   /// Logs one viewing session and, when the video's batch threshold
   /// fires, schedules a background refinement pass. Thread-safe; never
@@ -104,6 +122,9 @@ class HighlightServer {
   struct Snapshot {
     uint64_t version = 0;
     std::vector<storage::HighlightRecord> records;
+    /// Live-stream dots from the incremental engine's rolling scores;
+    /// replaced by the batch-exact result on FinalizeStream.
+    bool provisional = false;
   };
 
   struct VideoState {
@@ -114,6 +135,10 @@ class HighlightServer {
     size_t pending_sessions = 0;
     bool refine_queued = false;
     bool refine_inflight = false;
+    /// Non-null while the video is a live stream being ingested.
+    std::unique_ptr<core::StreamingInitializer> stream;
+    /// Accepted messages since the last provisional publish.
+    size_t stream_since_publish = 0;
   };
 
   struct Shard {
@@ -141,6 +166,12 @@ class HighlightServer {
   /// mutex held (blocks same-shard videos only).
   common::Result<VideoState*> InitializeVideo(Shard& shard,
                                               const std::string& video_id);
+
+  /// Converts red dots to servable highlight records (shared by the
+  /// batch first-visit path, provisional publishes, and finalize).
+  std::vector<storage::HighlightRecord> RecordsFromDots(
+      const std::string& video_id,
+      const std::vector<core::RedDot>& dots) const;
 
   /// One full refinement pass (the worker body and the synchronous
   /// `Refine`). `trigger` is "batch", "explicit", or "drain".

@@ -103,6 +103,36 @@ obs::Counter& DotsUpdatedCounter(ServerKind kind) {
   return kind == ServerKind::kReference ? *ref : *conc;
 }
 
+obs::Counter& StreamIngestRequestsCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_stream_ingest_requests_total");
+  return *counter;
+}
+
+obs::Counter& StreamProvisionalPublishesCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_stream_provisional_publishes_total");
+  return *counter;
+}
+
+obs::Counter& StreamFinalizedCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_stream_finalized_total");
+  return *counter;
+}
+
+obs::Gauge& ActiveStreamsGauge() {
+  static obs::Gauge* const gauge =
+      obs::Registry::Global().GetGauge("lightor_stream_active_streams");
+  return *gauge;
+}
+
+obs::Histogram& StreamIngestBatchLatency() {
+  static obs::Histogram* const histogram = obs::Registry::Global().GetHistogram(
+      "lightor_stream_ingest_batch_seconds", obs::Histogram::LatencyBounds());
+  return *histogram;
+}
+
 obs::Gauge& QueueDepthGauge() {
   static obs::Gauge* const gauge =
       obs::Registry::Global().GetGauge("lightor_serving_queue_depth");

@@ -23,6 +23,14 @@ obs::Counter& InteractionEventsCounter(ServerKind kind);
 obs::Counter& RefinePassesCounter(ServerKind kind);
 obs::Counter& DotsUpdatedCounter(ServerKind kind);
 
+/// Live-ingest path (`lightor_stream_*`, shared prefix with the core
+/// engine's own series in core/streaming.cc).
+obs::Counter& StreamIngestRequestsCounter();
+obs::Counter& StreamProvisionalPublishesCounter();
+obs::Counter& StreamFinalizedCounter();
+obs::Gauge& ActiveStreamsGauge();
+obs::Histogram& StreamIngestBatchLatency();
+
 /// Concurrent-server internals (`lightor_serving_*`).
 obs::Gauge& QueueDepthGauge();
 obs::Counter& ShardContentionCounter();

@@ -1,0 +1,74 @@
+#include "sim/replay.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/bridge.h"
+
+namespace lightor::sim {
+
+ChatReplayDriver::ChatReplayDriver() : ChatReplayDriver(Options{}) {}
+
+ChatReplayDriver::ChatReplayDriver(Options options)
+    : options_(std::move(options)) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+}
+
+void ChatReplayDriver::AddVideo(const std::string& video_id,
+                                const ChatLog& chat) {
+  Feed feed;
+  feed.video_id = video_id;
+  feed.messages = ToCoreMessages(chat);
+  std::stable_sort(feed.messages.begin(), feed.messages.end(),
+                   [](const core::Message& a, const core::Message& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  feeds_.push_back(std::move(feed));
+}
+
+common::Result<ReplayStats> ChatReplayDriver::Run(const Sink& sink) const {
+  ReplayStats stats;
+  stats.videos = feeds_.size();
+
+  std::vector<size_t> next(feeds_.size(), 0);
+  std::vector<core::Message> batch;
+  size_t batch_feed = feeds_.size();  // sentinel: no batch open
+
+  const auto flush = [&]() -> common::Status {
+    if (batch.empty()) return common::Status::OK();
+    ++stats.batches;
+    auto status = sink(feeds_[batch_feed].video_id, std::move(batch));
+    batch.clear();
+    batch_feed = feeds_.size();
+    return status;
+  };
+
+  for (;;) {
+    // Pick the feed with the earliest pending message; ties go to the
+    // earliest-registered feed, so the merge is fully deterministic.
+    size_t best = feeds_.size();
+    for (size_t i = 0; i < feeds_.size(); ++i) {
+      if (next[i] >= feeds_[i].messages.size()) continue;
+      if (best == feeds_.size() ||
+          feeds_[i].messages[next[i]].timestamp <
+              feeds_[best].messages[next[best]].timestamp) {
+        best = i;
+      }
+    }
+    if (best == feeds_.size()) break;  // all feeds drained
+
+    if (batch_feed != feeds_.size() &&
+        (batch_feed != best || batch.size() >= options_.batch_size)) {
+      LIGHTOR_RETURN_IF_ERROR(flush());
+    }
+    const core::Message& m = feeds_[best].messages[next[best]++];
+    stats.horizon = std::max(stats.horizon, m.timestamp);
+    ++stats.messages;
+    batch_feed = best;
+    batch.push_back(m);
+  }
+  LIGHTOR_RETURN_IF_ERROR(flush());
+  return stats;
+}
+
+}  // namespace lightor::sim

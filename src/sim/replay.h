@@ -1,0 +1,66 @@
+#ifndef LIGHTOR_SIM_REPLAY_H_
+#define LIGHTOR_SIM_REPLAY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/message.h"
+#include "sim/chat.h"
+
+namespace lightor::sim {
+
+/// What one `Run` delivered.
+struct ReplayStats {
+  size_t videos = 0;
+  size_t messages = 0;
+  size_t batches = 0;
+  common::Seconds horizon = 0.0;  ///< highest timestamp replayed
+};
+
+/// Replays recorded chat logs as if the broadcasts were happening now:
+/// messages from all registered videos are merged into one global
+/// timestamp-ordered feed (ties break by registration order) and handed
+/// to a sink in small per-video batches — the shape a live ingest
+/// endpoint sees when several channels stream at once.
+///
+/// The sink is a plain callback rather than a serving interface so the
+/// simulator keeps its layering (sim must not depend on serving); wiring
+/// it to `HighlightServer::IngestChat` is a two-line lambda.
+class ChatReplayDriver {
+ public:
+  struct Options {
+    /// Messages per sink call. A video's batch is flushed early whenever
+    /// the merged feed switches to another video, so each delivered batch
+    /// is one contiguous timestamp-ordered run of a single stream.
+    size_t batch_size = 32;
+  };
+
+  /// Delivers one batch; a non-OK status aborts the replay.
+  using Sink = std::function<common::Status(const std::string& video_id,
+                                            std::vector<core::Message> batch)>;
+
+  ChatReplayDriver();
+  explicit ChatReplayDriver(Options options);
+
+  /// Registers a video's chat log. Messages are converted to the core
+  /// type and stably sorted by timestamp (live feeds never rewind).
+  void AddVideo(const std::string& video_id, const ChatLog& chat);
+
+  /// Replays everything registered so far. Repeatable (non-consuming).
+  common::Result<ReplayStats> Run(const Sink& sink) const;
+
+ private:
+  struct Feed {
+    std::string video_id;
+    std::vector<core::Message> messages;
+  };
+
+  Options options_;
+  std::vector<Feed> feeds_;
+};
+
+}  // namespace lightor::sim
+
+#endif  // LIGHTOR_SIM_REPLAY_H_

@@ -1,0 +1,61 @@
+#include "text/streaming_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightor::text {
+
+void StreamingSetSimilarity::AddMessage(
+    const std::vector<std::string>& tokens) {
+  std::vector<int32_t> ids;
+  ids.reserve(tokens.size());
+  for (const auto& token : tokens) ids.push_back(vocabulary_.AddToken(token));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (df_.size() < vocabulary_.size()) df_.resize(vocabulary_.size(), 0.0);
+  for (int32_t id : ids) df_[static_cast<size_t>(id)] += 1.0;
+  vectors_.push_back(std::move(ids));
+}
+
+double StreamingSetSimilarity::PrefixValue(size_t n) const {
+  n = std::min(n, vectors_.size());
+  if (n == 0) return 0.0;
+  int32_t max_index = -1;
+  for (size_t m = 0; m < n; ++m) {
+    if (!vectors_[m].empty()) {
+      max_index = std::max(max_index, vectors_[m].back());
+    }
+  }
+  if (max_index < 0) return 0.0;  // every message tokenized to nothing
+  // Center entry t = df(t) / n — the one-cluster k-means center over
+  // binary vectors. Document frequencies are integer-valued double sums,
+  // so the full-set fast path reads the running df_ table and the clipped
+  // path re-accumulates over the prefix; both match the batch sums.
+  std::vector<double> center(static_cast<size_t>(max_index) + 1, 0.0);
+  if (n == vectors_.size()) {
+    std::copy(df_.begin(), df_.begin() + center.size(), center.begin());
+  } else {
+    for (size_t m = 0; m < n; ++m) {
+      for (int32_t id : vectors_[m]) center[static_cast<size_t>(id)] += 1.0;
+    }
+  }
+  for (double& c : center) c /= static_cast<double>(n);
+  double center_norm = 0.0;
+  for (double c : center) center_norm += c * c;
+  center_norm = std::sqrt(center_norm);
+  if (center_norm <= 0.0) return 0.0;
+  double acc = 0.0;
+  size_t counted = 0;
+  for (size_t m = 0; m < n; ++m) {
+    const auto& ids = vectors_[m];
+    if (ids.empty()) continue;  // zero-norm vector, skipped by batch too
+    const double vnorm = std::sqrt(static_cast<double>(ids.size()));
+    double dot = 0.0;
+    for (int32_t id : ids) dot += center[static_cast<size_t>(id)];
+    acc += dot / (vnorm * center_norm);
+    ++counted;
+  }
+  return counted > 0 ? acc / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace lightor::text

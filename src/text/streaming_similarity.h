@@ -1,0 +1,52 @@
+#ifndef LIGHTOR_TEXT_STREAMING_SIMILARITY_H_
+#define LIGHTOR_TEXT_STREAMING_SIMILARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace lightor::text {
+
+/// Incremental form of the paper's message-similarity feature (binary
+/// bag-of-words, one-cluster k-means center, average cosine to the
+/// center — see MessageSetSimilarity). The batch path re-tokenizes and
+/// re-vectorizes a whole window per scoring call; this class instead
+/// absorbs one message at a time, updating a window-local vocabulary and
+/// per-token document frequencies in O(tokens per message).
+///
+/// Exactness: `Value()` returns the same double `MessageSetSimilarity`
+/// computes over the same messages in the same order. Token ids are
+/// assigned in first-seen order (like BowVectorizer), the center entries
+/// are integer-valued document-frequency sums divided by the message
+/// count, and all reductions run in the same index order as the batch
+/// code — every intermediate is either exact or evaluated identically.
+class StreamingSetSimilarity {
+ public:
+  /// Absorbs one message's tokens (tokenization happens upstream so a
+  /// shared token list can feed both word counting and similarity).
+  void AddMessage(const std::vector<std::string>& tokens);
+
+  /// Similarity over all messages added so far.
+  double Value() const { return PrefixValue(vectors_.size()); }
+
+  /// Similarity over the first `n` messages only. Used when a window is
+  /// clipped at finalize: clipping removes a suffix of its messages, and
+  /// because ids are assigned in first-seen order, the prefix's ids are
+  /// exactly the ids a batch run over just the prefix would assign.
+  double PrefixValue(size_t n) const;
+
+  size_t message_count() const { return vectors_.size(); }
+
+ private:
+  Vocabulary vocabulary_;
+  /// Sorted, de-duplicated token ids of each message (binary BoW).
+  std::vector<std::vector<int32_t>> vectors_;
+  /// Document frequency per token id over all added messages.
+  std::vector<double> df_;
+};
+
+}  // namespace lightor::text
+
+#endif  // LIGHTOR_TEXT_STREAMING_SIMILARITY_H_

@@ -72,10 +72,23 @@ double JaccardSimilarity(const std::vector<std::string>& tokens_a,
 
 double JaccardSetSimilarity(const std::vector<std::string>& messages,
                             const TokenizerOptions& tokenizer_options) {
+  // The pair loop is quadratic; past this many messages (8128 pairs) a
+  // bot-storm window would dominate a whole scoring pass. Fall back to a
+  // deterministic evenly-strided sample and take the exact pairwise mean
+  // over it — same inputs always give the same feature value.
+  constexpr size_t kSampleLimit = 128;
   const Tokenizer tokenizer(tokenizer_options);
+  const size_t n = messages.size();
   std::vector<std::vector<std::string>> tokens;
-  tokens.reserve(messages.size());
-  for (const auto& msg : messages) tokens.push_back(tokenizer.Tokenize(msg));
+  if (n <= kSampleLimit) {
+    tokens.reserve(n);
+    for (const auto& msg : messages) tokens.push_back(tokenizer.Tokenize(msg));
+  } else {
+    tokens.reserve(kSampleLimit);
+    for (size_t i = 0; i < kSampleLimit; ++i) {
+      tokens.push_back(tokenizer.Tokenize(messages[i * n / kSampleLimit]));
+    }
+  }
   if (tokens.size() < 2) return tokens.size() == 1 ? 1.0 : 0.0;
   double acc = 0.0;
   size_t pairs = 0;

@@ -40,7 +40,10 @@ double TfIdfSetSimilarity(const std::vector<std::string>& messages,
 double JaccardSimilarity(const std::vector<std::string>& tokens_a,
                          const std::vector<std::string>& tokens_b);
 
-/// Mean pairwise Jaccard similarity of a message set (O(n²) pairs).
+/// Mean pairwise Jaccard similarity of a message set. The O(n²) pair loop
+/// is capped: above 128 messages the mean is taken over a deterministic
+/// evenly-strided sample, so a bot-storm window cannot blow up a scoring
+/// pass (same inputs always yield the same value).
 double JaccardSetSimilarity(const std::vector<std::string>& messages,
                             const TokenizerOptions& tokenizer_options = {});
 

@@ -1,0 +1,173 @@
+/// Concurrency stress for the live-ingest path, designed to run under
+/// ThreadSanitizer (ci.sh builds it with -DLIGHTOR_SANITIZE=thread): one
+/// ingester streams chat into a live video while reader threads hammer
+/// the snapshot path and ordinary recorded-video traffic runs alongside;
+/// afterwards the finalized result must still match the batch path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serving/highlight_server.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/viewer_simulator.h"
+#include "storage/database.h"
+
+namespace lightor::serving {
+namespace {
+
+TEST(ServingStreamStressTest, ConcurrentIngestReadersAndRecordedTraffic) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lightor_stream_stress")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir + "_ref");
+
+  sim::Platform::Options popts;
+  popts.num_channels = 2;
+  popts.videos_per_channel = 1;
+  popts.seed = 131;
+  const sim::Platform platform(popts);
+
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 132);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  core::Lightor lightor;
+  ASSERT_TRUE(lightor.TrainInitializer({tv}).ok());
+
+  auto db = storage::Database::Open(dir);
+  ASSERT_TRUE(db.ok());
+  ServerOptions opts;
+  opts.platform = Borrow(&platform);
+  opts.db = Borrow(db.value().get());
+  opts.lightor = Borrow<const core::Lightor>(&lightor);
+  opts.num_shards = 4;
+  opts.stream_refresh_messages = 16;  // publish often: maximize swaps
+  auto server = HighlightServer::Create(opts);
+  ASSERT_TRUE(server.ok());
+  HighlightServer& service = *server.value();
+
+  const auto ids = platform.AllVideoIds();
+  ASSERT_GE(ids.size(), 2u);
+  const std::string live_id = ids[0];
+  const std::string recorded_id = ids[1];
+  const auto live_chat =
+      sim::ToCoreMessages(platform.GetVideo(live_id).value().chat);
+  ASSERT_GT(live_chat.size(), 100u);
+
+  std::atomic<bool> ingest_done{false};
+
+  // One ingester: the engine itself is single-writer by design; the
+  // server's shard lock is what the readers race against.
+  std::thread ingester([&] {
+    for (size_t i = 0; i < live_chat.size(); i += 8) {
+      IngestChatRequest req;
+      req.video_id = live_id;
+      const size_t end = std::min(i + 8, live_chat.size());
+      req.messages.assign(live_chat.begin() + static_cast<ptrdiff_t>(i),
+                          live_chat.begin() + static_cast<ptrdiff_t>(end));
+      auto resp = service.IngestChat(req);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      ASSERT_EQ(resp.value().rejected, 0u);
+    }
+    ingest_done.store(true, std::memory_order_release);
+  });
+
+  // Readers on the live video: snapshots must always be coherent
+  // (version monotone per reader, records readable without tearing).
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_version = 0;
+      while (!ingest_done.load(std::memory_order_acquire)) {
+        if (r % 2 == 0) {
+          auto got = service.GetHighlights(live_id);
+          if (!got.ok()) continue;  // not ingested yet
+          EXPECT_GE(got.value().snapshot_version, last_version);
+          last_version = got.value().snapshot_version;
+          for (const auto& rec : got.value().highlights) {
+            EXPECT_EQ(rec.video_id, live_id);
+          }
+        } else {
+          auto visit = service.OnPageVisit({live_id, "reader"});
+          ASSERT_TRUE(visit.ok());
+          EXPECT_FALSE(visit.value().first_visit);
+          EXPECT_TRUE(visit.value().provisional);
+        }
+      }
+    });
+  }
+
+  // Ordinary recorded-video traffic on another shard keeps the batch
+  // initializer, session log, and background refinement in the race.
+  std::thread recorded([&] {
+    auto visit = service.OnPageVisit({recorded_id, "viewer"});
+    ASSERT_TRUE(visit.ok());
+    sim::ViewerSimulator viewer_sim;
+    common::Rng rng(7);
+    const auto truth = platform.GetVideo(recorded_id).value().truth;
+    uint64_t session_id = 0;
+    while (!ingest_done.load(std::memory_order_acquire)) {
+      for (const auto& dot : visit.value().highlights) {
+        const auto session = viewer_sim.SimulateSession(
+            truth, dot.dot_position, rng, "v" + std::to_string(session_id));
+        LogSessionRequest log;
+        log.video_id = recorded_id;
+        log.user = session.user;
+        log.session_id = ++session_id;
+        log.events = session.events;
+        ASSERT_TRUE(service.LogSession(log).ok());
+      }
+    }
+  });
+
+  ingester.join();
+  for (auto& t : readers) t.join();
+  recorded.join();
+
+  FinalizeStreamRequest freq;
+  freq.video_id = live_id;
+  auto fin = service.FinalizeStream(freq);
+  ASSERT_TRUE(fin.ok()) << fin.status().ToString();
+  auto after = service.GetHighlights(live_id);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().provisional);
+  service.Shutdown();
+
+  // Differential: the finalized stream equals the batch path on a fresh
+  // server over the same platform chat.
+  auto ref_db = storage::Database::Open(dir + "_ref");
+  ASSERT_TRUE(ref_db.ok());
+  ServerOptions ref_opts = opts;
+  ref_opts.db = Borrow(ref_db.value().get());
+  auto ref = HighlightServer::Create(ref_opts);
+  ASSERT_TRUE(ref.ok());
+  auto batch = ref.value()->OnPageVisit({live_id, "u"});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(fin.value().highlights.size(), batch.value().highlights.size());
+  for (size_t i = 0; i < batch.value().highlights.size(); ++i) {
+    EXPECT_EQ(fin.value().highlights[i].dot_position,
+              batch.value().highlights[i].dot_position);
+    EXPECT_EQ(fin.value().highlights[i].score,
+              batch.value().highlights[i].score);
+    EXPECT_EQ(fin.value().highlights[i].start,
+              batch.value().highlights[i].start);
+    EXPECT_EQ(fin.value().highlights[i].end, batch.value().highlights[i].end);
+  }
+
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir + "_ref");
+}
+
+}  // namespace
+}  // namespace lightor::serving

@@ -10,6 +10,9 @@
 ///   lightor serve   --db=DIR [--channels=2 --videos-per-channel=2
 ///                   --seed=7 --k=5 --workers=2 --shards=16 --batch=8
 ///                   --visits=4 --viewers=8]
+///   lightor stream  --db=DIR [--channels=2 --videos-per-channel=2
+///                   --seed=7 --k=5 --streams=2 --batch-size=32
+///                   --refresh=64 --shards=16]
 ///
 /// `gen` synthesizes a labelled corpus to disk (CSV traces); `train`
 /// fits the Highlight Initializer on the first N videos and saves the
@@ -17,7 +20,10 @@
 /// Precision@K over the corpus; `extract` runs the full two-stage
 /// pipeline with a simulated crowd; `serve` runs the concurrent
 /// HighlightServer over a simulated platform, logging sessions until the
-/// background workers refine every visited video.
+/// background workers refine every visited video; `stream` replays
+/// recorded chat as interleaved live broadcasts through the server's
+/// ingest path, finalizes each stream, and differential-checks the
+/// result against the batch initializer.
 
 #include <cstdio>
 #include <filesystem>
@@ -36,6 +42,7 @@
 #include "serving/highlight_server.h"
 #include "sim/bridge.h"
 #include "sim/corpus.h"
+#include "sim/replay.h"
 #include "sim/trace_io.h"
 #include "sim/viewer_simulator.h"
 #include "storage/database.h"
@@ -46,7 +53,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: lightor <gen|train|detect|eval|extract|serve> "
+               "usage: lightor <gen|train|detect|eval|extract|serve|stream> "
                "[--flags]\n"
                "run with a command and no flags to see its options\n"
                "global flags: --log-level=debug|info|warning|error\n"
@@ -377,6 +384,119 @@ int CmdServe(const common::Flags& flags) {
   return 0;
 }
 
+int CmdStream(const common::Flags& flags) {
+  const std::string db_dir = flags.GetString("db");
+  if (db_dir.empty()) {
+    std::fprintf(stderr,
+                 "stream: --db=DIR required "
+                 "[--channels=2 --videos-per-channel=2 --seed=7 --k=5\n"
+                 "         --streams=2 --batch-size=32 --refresh=64 "
+                 "--shards=16]\n");
+    return 2;
+  }
+
+  sim::Platform::Options popts;
+  popts.num_channels = static_cast<int>(flags.GetInt("channels", 2));
+  popts.videos_per_channel =
+      static_cast<int>(flags.GetInt("videos-per-channel", 2));
+  popts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const sim::Platform platform(popts);
+
+  auto db = storage::Database::Open(db_dir);
+  if (!db.ok()) return Fail(db.status());
+
+  // Train on an out-of-platform corpus video, as in deployment.
+  const auto corpus =
+      sim::MakeCorpus(sim::GameType::kDota2, 1, popts.seed + 1000);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  core::LightorOptions lopts;
+  lopts.top_k = static_cast<size_t>(flags.GetInt("k", 5));
+  core::Lightor lightor(lopts);
+  if (auto st = lightor.TrainInitializer({tv}); !st.ok()) return Fail(st);
+
+  serving::ServerOptions sopts;
+  sopts.platform = serving::Borrow(&platform);
+  sopts.db = serving::Borrow(db.value().get());
+  sopts.lightor = serving::Borrow(&lightor);
+  sopts.top_k = lopts.top_k;
+  sopts.num_shards = static_cast<size_t>(flags.GetInt("shards", 16));
+  sopts.stream_refresh_messages =
+      static_cast<size_t>(flags.GetInt("refresh", 64));
+  auto server = serving::HighlightServer::Create(sopts);
+  if (!server.ok()) return Fail(server.status());
+  serving::HighlightServer& service = *server.value();
+
+  // Replay recorded chat of the first N videos as interleaved live
+  // broadcasts through the ingest endpoint.
+  const auto ids = platform.AllVideoIds();
+  const size_t streams =
+      std::min(static_cast<size_t>(flags.GetInt("streams", 2)), ids.size());
+  sim::ChatReplayDriver::Options ropts;
+  ropts.batch_size = static_cast<size_t>(flags.GetInt("batch-size", 32));
+  sim::ChatReplayDriver driver(ropts);
+  for (size_t i = 0; i < streams; ++i) {
+    const auto video = platform.GetVideo(ids[i]);
+    if (!video.ok()) return Fail(video.status());
+    driver.AddVideo(ids[i], video.value().chat);
+  }
+  size_t provisional_publishes = 0;
+  const auto run = driver.Run(
+      [&](const std::string& id, std::vector<core::Message> batch) {
+        serving::IngestChatRequest req;
+        req.video_id = id;
+        req.messages = std::move(batch);
+        auto resp = service.IngestChat(req);
+        if (!resp.ok()) return resp.status();
+        if (resp.value().provisional_published) ++provisional_publishes;
+        return common::Status::OK();
+      });
+  if (!run.ok()) return Fail(run.status());
+  std::printf(
+      "replayed %zu messages across %zu stream(s) in %zu batch(es); "
+      "%zu provisional publish(es)\n",
+      run.value().messages, run.value().videos, run.value().batches,
+      provisional_publishes);
+
+  // Finalize each stream and differential-check against the batch path.
+  bool all_match = true;
+  for (size_t i = 0; i < streams; ++i) {
+    serving::FinalizeStreamRequest freq;
+    freq.video_id = ids[i];
+    const auto fin = service.FinalizeStream(freq);
+    if (!fin.ok()) return Fail(fin.status());
+    std::printf("%s: finalized at %s with %zu red dots (snapshot v%llu)\n",
+                ids[i].c_str(),
+                common::FormatTimestamp(fin.value().video_length).c_str(),
+                fin.value().highlights.size(),
+                static_cast<unsigned long long>(fin.value().snapshot_version));
+    for (const auto& rec : fin.value().highlights) {
+      std::printf("  #%d at %s (score %.3f)\n", rec.dot_index,
+                  common::FormatTimestamp(rec.dot_position).c_str(),
+                  rec.score);
+    }
+    const auto video = platform.GetVideo(ids[i]);
+    if (!video.ok()) return Fail(video.status());
+    const auto batch = lightor.Initialize(
+        sim::ToCoreMessages(video.value().chat),
+        video.value().truth.meta.length, lopts.top_k);
+    if (!batch.ok()) return Fail(batch.status());
+    bool match = batch.value().size() == fin.value().highlights.size();
+    for (size_t d = 0; match && d < batch.value().size(); ++d) {
+      match = batch.value()[d].position ==
+              fin.value().highlights[d].dot_position;
+    }
+    std::printf("  matches batch initializer: %s\n", match ? "yes" : "NO");
+    all_match = all_match && match;
+  }
+  service.Shutdown();
+  return all_match ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -402,6 +522,8 @@ int main(int argc, char** argv) {
     code = CmdExtract(flags);
   } else if (command == "serve") {
     code = CmdServe(flags);
+  } else if (command == "stream") {
+    code = CmdStream(flags);
   } else {
     return Usage();
   }
