@@ -18,6 +18,8 @@
 #include "core/streaming.h"
 #include "ml/logistic_regression.h"
 #include "ml/lstm.h"
+#include "net/codec.h"
+#include "net/http.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -324,6 +326,81 @@ void BM_ObsScopedSpan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsScopedSpan);
+
+// --------------------------------------------------------------------------
+// net: HTTP parser and JSON wire codec
+
+std::string BenchHttpRequest() {
+  const std::string body =
+      "{\"video_id\":\"dota2_channel0_v0\",\"user\":\"bench\"}";
+  return "POST /visit HTTP/1.1\r\nhost: localhost\r\n"
+         "content-type: application/json\r\ncontent-length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+void BM_NetRequestParseOneShot(benchmark::State& state) {
+  const std::string wire = BenchHttpRequest();
+  for (auto _ : state) {
+    net::RequestParser parser;
+    parser.Append(wire);
+    benchmark::DoNotOptimize(parser.Parse());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_NetRequestParseOneShot);
+
+void BM_NetRequestParseFragmented(benchmark::State& state) {
+  // Worst-case kernel fragmentation: 16-byte reads, Parse after each.
+  const std::string wire = BenchHttpRequest();
+  for (auto _ : state) {
+    net::RequestParser parser;
+    for (size_t off = 0; off < wire.size(); off += 16) {
+      parser.Append(std::string_view(wire).substr(off, 16));
+      benchmark::DoNotOptimize(parser.Parse());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_NetRequestParseFragmented);
+
+serving::LogSessionRequest BenchSession() {
+  serving::LogSessionRequest request;
+  request.video_id = "dota2_channel0_v0";
+  request.user = "bench";
+  request.session_id = 42;
+  for (int i = 0; i < 64; ++i) {
+    sim::InteractionEvent event;
+    event.wall_time = i * 1.5;
+    event.type = i % 2 == 0 ? sim::InteractionType::kPlay
+                            : sim::InteractionType::kSeekForward;
+    event.position = i * 10.0;
+    event.target = i * 10.0 + 5.0;
+    request.events.push_back(event);
+  }
+  return request;
+}
+
+void BM_NetCodecEncodeSession(benchmark::State& state) {
+  const serving::LogSessionRequest request = BenchSession();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::EncodeJson(request));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(request.events.size()));
+}
+BENCHMARK(BM_NetCodecEncodeSession);
+
+void BM_NetCodecDecodeSession(benchmark::State& state) {
+  const std::string json = net::EncodeJson(BenchSession());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::DecodeLogSessionRequest(json));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(json.size()));
+}
+BENCHMARK(BM_NetCodecDecodeSession);
 
 }  // namespace
 

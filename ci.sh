@@ -28,17 +28,43 @@ echo "== observability smoke =="
 "$BUILD_DIR"/tools/obs_dump --visits=1 --viewers=2 --rounds=1 \
     --format=json >/dev/null
 
-# The concurrent serving layer and the obs registry it instruments are
-# the multi-threaded parts of the tree: build just their tests with
-# -fsanitize=thread and run them under TSan.
+echo "== http smoke: serve-http + healthz + visit + drain =="
+smoke_dir=$(mktemp -d)
+"$BUILD_DIR"/tools/lightor serve-http --db="$smoke_dir/db" --port=0 \
+    --port-file="$smoke_dir/port" --duration=30 > "$smoke_dir/server.log" &
+server_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  [ -s "$smoke_dir/port" ] && { port=$(cat "$smoke_dir/port"); break; }
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "http smoke: server never wrote its port" >&2
+                    cat "$smoke_dir/server.log" >&2; exit 1; }
+"$BUILD_DIR"/tools/lightor curl --port="$port" --target=/healthz
+# First video of the default simulated platform (2 channels x 2 videos).
+"$BUILD_DIR"/tools/lightor curl --port="$port" --target=/visit \
+    --body='{"video_id":"dota2_channel0_v0","user":"ci"}' > /dev/null
+"$BUILD_DIR"/tools/lightor curl --port="$port" --target=/metrics |
+    grep -q lightor_net_requests_total || {
+  echo "http smoke: /metrics is missing net counters" >&2; exit 1; }
+kill -TERM "$server_pid"
+wait "$server_pid"
+grep -q drained "$smoke_dir/server.log" || {
+  echo "http smoke: server did not drain cleanly" >&2; exit 1; }
+rm -rf "$smoke_dir"
+
+# The concurrent serving layer, the net front-end, and the obs registry
+# they instrument are the multi-threaded parts of the tree: build just
+# their tests with -fsanitize=thread and run them under TSan.
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
-  echo "== thread sanitizer: serving + obs tests ($TSAN_BUILD_DIR) =="
+  echo "== thread sanitizer: serving + net + obs tests ($TSAN_BUILD_DIR) =="
   cmake -B "$TSAN_BUILD_DIR" -S . -DLIGHTOR_SANITIZE=thread >/dev/null
   cmake --build "$TSAN_BUILD_DIR" -j --target \
       serving_server_test serving_stress_test \
       serving_stream_test serving_stream_stress_test \
+      net_server_test net_loadgen_test \
       obs_metrics_test obs_trace_test
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
-      -R '^(serving_|obs_)'
+      -R '^(serving_|net_server|net_loadgen|obs_)'
 fi
 echo "ci: OK"

@@ -1,0 +1,151 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace lightor::net {
+
+namespace {
+
+common::Status Errno(const std::string& what) {
+  return common::Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+common::Status HttpClient::Connect() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+
+  if (timeout_seconds_ > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_seconds_);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_seconds_ - std::floor(timeout_seconds_)) * 1e6);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return common::Status::InvalidArgument("HttpClient: bad IPv4 host: " +
+                                           host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const common::Status status =
+        Errno("connect " + host_ + ":" + std::to_string(port_));
+    Disconnect();
+    return status;
+  }
+  return common::Status::OK();
+}
+
+common::Result<HttpResponse> HttpClient::Request(std::string_view method,
+                                                 std::string_view target,
+                                                 std::string_view body) {
+  std::string wire;
+  wire.reserve(128 + body.size());
+  wire.append(method);
+  wire.append(" ");
+  wire.append(target);
+  wire.append(" HTTP/1.1\r\nhost: ");
+  wire.append(host_);
+  wire.append(":");
+  wire.append(std::to_string(port_));
+  wire.append("\r\n");
+  if (!body.empty()) {
+    wire.append("content-type: application/json\r\n");
+  }
+  wire.append("content-length: ");
+  wire.append(std::to_string(body.size()));
+  wire.append("\r\n\r\n");
+  wire.append(body);
+
+  const bool had_connection = fd_ >= 0;
+  if (fd_ < 0) {
+    LIGHTOR_RETURN_IF_ERROR(Connect());
+  }
+  auto result = RoundTrip(wire);
+  if (!result.ok() && had_connection) {
+    // The reused keep-alive connection may have been closed server-side
+    // (idle reap, drain) between requests; one fresh-connection retry is
+    // safe for the idempotent wire schema this client speaks.
+    Disconnect();
+    LIGHTOR_RETURN_IF_ERROR(Connect());
+    result = RoundTrip(wire);
+  }
+  if (!result.ok()) Disconnect();
+  return result;
+}
+
+common::Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+
+  ResponseParser parser;
+  char buf[16384];
+  for (;;) {
+    const ResponseParser::State state = parser.Parse();
+    if (state == ResponseParser::State::kReady) break;
+    if (state == ResponseParser::State::kError) {
+      return common::Status::IoError("HttpClient: bad response: " +
+                                     parser.error());
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      parser.Append(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      if (parser.OnEof() == ResponseParser::State::kReady) break;
+      return common::Status::IoError("HttpClient: connection closed mid-response");
+    }
+    return Errno("recv");
+  }
+
+  HttpResponse response = std::move(parser.response());
+  const std::string* connection = response.FindHeader("connection");
+  if (connection != nullptr && *connection == "close") Disconnect();
+  return response;
+}
+
+}  // namespace lightor::net

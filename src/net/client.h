@@ -1,0 +1,65 @@
+#ifndef LIGHTOR_NET_CLIENT_H_
+#define LIGHTOR_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "net/http.h"
+
+namespace lightor::net {
+
+/// A minimal blocking HTTP/1.1 client over one keep-alive connection —
+/// enough for the load generator, the CLI's `curl` subcommand, and the
+/// smoke tests; not a general-purpose client. Not thread-safe: one
+/// instance per thread (the loadgen gives each worker its own).
+///
+/// The connection is opened lazily on the first request and reopened
+/// transparently when the server closed it (keep-alive races, reaped
+/// idle connections); a failure after reopening is the caller's error.
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One round trip. `target` is the raw request-target ("/visit",
+  /// "/metrics?format=json"); `body` is sent verbatim with
+  /// `content-type: application/json` when non-empty. Any valid HTTP
+  /// response — including 4xx/5xx — is a success at this layer; only
+  /// wire failures (connect, torn response, timeout) are errors.
+  common::Result<HttpResponse> Request(std::string_view method,
+                                       std::string_view target,
+                                       std::string_view body = {});
+
+  common::Result<HttpResponse> Get(std::string_view target) {
+    return Request("GET", target);
+  }
+  common::Result<HttpResponse> Post(std::string_view target,
+                                    std::string_view body) {
+    return Request("POST", target, body);
+  }
+
+  /// Per-round-trip socket timeout (connect + send + receive legs each);
+  /// 0 blocks forever. Applies from the next request.
+  void set_timeout_seconds(double seconds) { timeout_seconds_ = seconds; }
+
+  /// Drops the connection; the next request reconnects.
+  void Disconnect();
+
+ private:
+  common::Status Connect();
+  common::Result<HttpResponse> RoundTrip(const std::string& wire);
+
+  std::string host_;
+  uint16_t port_;
+  double timeout_seconds_ = 30.0;
+  int fd_ = -1;
+};
+
+}  // namespace lightor::net
+
+#endif  // LIGHTOR_NET_CLIENT_H_

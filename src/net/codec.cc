@@ -1,0 +1,377 @@
+#include "net/codec.h"
+
+#include <cmath>
+
+#include "net/json.h"
+
+namespace lightor::net {
+
+namespace {
+
+common::Status FieldError(std::string_view key, std::string_view what) {
+  return common::Status::InvalidArgument("codec: field \"" +
+                                         std::string(key) + "\" " +
+                                         std::string(what));
+}
+
+common::Result<const Json*> Require(const Json& obj, std::string_view key,
+                                    Json::Type type) {
+  const Json* field = obj.Find(key);
+  if (field == nullptr) return FieldError(key, "is missing");
+  if (field->type() != type) return FieldError(key, "has the wrong type");
+  return field;
+}
+
+common::Result<std::string> GetString(const Json& obj, std::string_view key) {
+  LIGHTOR_ASSIGN_OR_RETURN(const Json* field,
+                           Require(obj, key, Json::Type::kString));
+  return field->AsString();
+}
+
+common::Result<double> GetNumber(const Json& obj, std::string_view key) {
+  LIGHTOR_ASSIGN_OR_RETURN(const Json* field,
+                           Require(obj, key, Json::Type::kNumber));
+  return field->AsNumber();
+}
+
+common::Result<bool> GetBool(const Json& obj, std::string_view key) {
+  LIGHTOR_ASSIGN_OR_RETURN(const Json* field,
+                           Require(obj, key, Json::Type::kBool));
+  return field->AsBool();
+}
+
+/// Integral field: a JSON number with no fractional part.
+common::Result<int64_t> GetInt(const Json& obj, std::string_view key) {
+  LIGHTOR_ASSIGN_OR_RETURN(double v, GetNumber(obj, key));
+  if (v != std::floor(v) || std::abs(v) > 9.2e18) {
+    return FieldError(key, "is not an integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+common::Result<Json> ParseObject(std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(Json value, Json::Parse(json));
+  if (!value.is_object()) {
+    return common::Status::InvalidArgument("codec: top-level JSON object "
+                                           "expected");
+  }
+  return value;
+}
+
+const char* InteractionTypeName(sim::InteractionType type) {
+  switch (type) {
+    case sim::InteractionType::kPlay:
+      return "play";
+    case sim::InteractionType::kPause:
+      return "pause";
+    case sim::InteractionType::kSeekForward:
+      return "seek_forward";
+    case sim::InteractionType::kSeekBackward:
+      return "seek_backward";
+  }
+  return "play";
+}
+
+common::Result<sim::InteractionType> InteractionTypeFromName(
+    std::string_view name) {
+  if (name == "play") return sim::InteractionType::kPlay;
+  if (name == "pause") return sim::InteractionType::kPause;
+  if (name == "seek_forward") return sim::InteractionType::kSeekForward;
+  if (name == "seek_backward") return sim::InteractionType::kSeekBackward;
+  return common::Status::InvalidArgument("codec: unknown interaction type \"" +
+                                         std::string(name) + "\"");
+}
+
+Json HighlightToJson(const storage::HighlightRecord& rec) {
+  Json obj = Json::MakeObject();
+  obj.Set("video_id", Json::Str(rec.video_id));
+  obj.Set("dot_index", Json::Int(rec.dot_index));
+  obj.Set("dot_position", Json::Number(rec.dot_position));
+  obj.Set("start", Json::Number(rec.start));
+  obj.Set("end", Json::Number(rec.end));
+  obj.Set("score", Json::Number(rec.score));
+  obj.Set("iteration", Json::Int(rec.iteration));
+  obj.Set("converged", Json::Bool(rec.converged));
+  return obj;
+}
+
+common::Result<storage::HighlightRecord> HighlightFromJson(const Json& obj) {
+  if (!obj.is_object()) {
+    return common::Status::InvalidArgument("codec: highlight must be an "
+                                           "object");
+  }
+  storage::HighlightRecord rec;
+  LIGHTOR_ASSIGN_OR_RETURN(rec.video_id, GetString(obj, "video_id"));
+  LIGHTOR_ASSIGN_OR_RETURN(int64_t index, GetInt(obj, "dot_index"));
+  rec.dot_index = static_cast<int32_t>(index);
+  LIGHTOR_ASSIGN_OR_RETURN(rec.dot_position, GetNumber(obj, "dot_position"));
+  LIGHTOR_ASSIGN_OR_RETURN(rec.start, GetNumber(obj, "start"));
+  LIGHTOR_ASSIGN_OR_RETURN(rec.end, GetNumber(obj, "end"));
+  LIGHTOR_ASSIGN_OR_RETURN(rec.score, GetNumber(obj, "score"));
+  LIGHTOR_ASSIGN_OR_RETURN(int64_t iteration, GetInt(obj, "iteration"));
+  rec.iteration = static_cast<int32_t>(iteration);
+  LIGHTOR_ASSIGN_OR_RETURN(rec.converged, GetBool(obj, "converged"));
+  return rec;
+}
+
+Json HighlightsToJson(const std::vector<storage::HighlightRecord>& records) {
+  Json arr = Json::MakeArray();
+  for (const auto& rec : records) arr.Append(HighlightToJson(rec));
+  return arr;
+}
+
+common::Result<std::vector<storage::HighlightRecord>> HighlightsFromJson(
+    const Json& obj) {
+  LIGHTOR_ASSIGN_OR_RETURN(const Json* arr,
+                           Require(obj, "highlights", Json::Type::kArray));
+  std::vector<storage::HighlightRecord> records;
+  records.reserve(arr->AsArray().size());
+  for (const Json& item : arr->AsArray()) {
+    LIGHTOR_ASSIGN_OR_RETURN(storage::HighlightRecord rec,
+                             HighlightFromJson(item));
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace
+
+std::string EncodeJson(const serving::PageVisitRequest& v) {
+  Json obj = Json::MakeObject();
+  obj.Set("video_id", Json::Str(v.video_id));
+  if (!v.user.empty()) obj.Set("user", Json::Str(v.user));
+  return obj.Dump();
+}
+
+common::Result<serving::PageVisitRequest> DecodePageVisitRequest(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  serving::PageVisitRequest req;
+  LIGHTOR_ASSIGN_OR_RETURN(req.video_id, GetString(obj, "video_id"));
+  if (const Json* user = obj.Find("user")) {
+    if (!user->is_string()) return FieldError("user", "has the wrong type");
+    req.user = user->AsString();
+  }
+  return req;
+}
+
+std::string EncodeJson(const serving::PageVisitResponse& v) {
+  Json obj = Json::MakeObject();
+  obj.Set("highlights", HighlightsToJson(v.highlights));
+  obj.Set("first_visit", Json::Bool(v.first_visit));
+  obj.Set("snapshot_version", Json::Int(static_cast<int64_t>(
+                                  v.snapshot_version)));
+  obj.Set("provisional", Json::Bool(v.provisional));
+  return obj.Dump();
+}
+
+common::Result<serving::PageVisitResponse> DecodePageVisitResponse(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  serving::PageVisitResponse resp;
+  LIGHTOR_ASSIGN_OR_RETURN(resp.highlights, HighlightsFromJson(obj));
+  LIGHTOR_ASSIGN_OR_RETURN(resp.first_visit, GetBool(obj, "first_visit"));
+  LIGHTOR_ASSIGN_OR_RETURN(int64_t version,
+                           GetInt(obj, "snapshot_version"));
+  resp.snapshot_version = static_cast<uint64_t>(version);
+  LIGHTOR_ASSIGN_OR_RETURN(resp.provisional, GetBool(obj, "provisional"));
+  return resp;
+}
+
+std::string EncodeJson(const serving::LogSessionRequest& v) {
+  Json events = Json::MakeArray();
+  for (const auto& event : v.events) {
+    Json e = Json::MakeObject();
+    e.Set("wall_time", Json::Number(event.wall_time));
+    e.Set("type", Json::Str(InteractionTypeName(event.type)));
+    e.Set("position", Json::Number(event.position));
+    e.Set("target", Json::Number(event.target));
+    events.Append(std::move(e));
+  }
+  Json obj = Json::MakeObject();
+  obj.Set("video_id", Json::Str(v.video_id));
+  obj.Set("user", Json::Str(v.user));
+  obj.Set("session_id", Json::Int(static_cast<int64_t>(v.session_id)));
+  obj.Set("events", std::move(events));
+  return obj.Dump();
+}
+
+common::Result<serving::LogSessionRequest> DecodeLogSessionRequest(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  serving::LogSessionRequest req;
+  LIGHTOR_ASSIGN_OR_RETURN(req.video_id, GetString(obj, "video_id"));
+  LIGHTOR_ASSIGN_OR_RETURN(req.user, GetString(obj, "user"));
+  LIGHTOR_ASSIGN_OR_RETURN(int64_t session_id, GetInt(obj, "session_id"));
+  if (session_id < 0) return FieldError("session_id", "is negative");
+  req.session_id = static_cast<uint64_t>(session_id);
+  LIGHTOR_ASSIGN_OR_RETURN(const Json* events,
+                           Require(obj, "events", Json::Type::kArray));
+  req.events.reserve(events->AsArray().size());
+  for (const Json& item : events->AsArray()) {
+    if (!item.is_object()) return FieldError("events", "holds a non-object");
+    sim::InteractionEvent event;
+    LIGHTOR_ASSIGN_OR_RETURN(event.wall_time, GetNumber(item, "wall_time"));
+    LIGHTOR_ASSIGN_OR_RETURN(std::string type, GetString(item, "type"));
+    LIGHTOR_ASSIGN_OR_RETURN(event.type, InteractionTypeFromName(type));
+    LIGHTOR_ASSIGN_OR_RETURN(event.position, GetNumber(item, "position"));
+    LIGHTOR_ASSIGN_OR_RETURN(event.target, GetNumber(item, "target"));
+    req.events.push_back(event);
+  }
+  return req;
+}
+
+std::string EncodeJson(const serving::IngestChatRequest& v) {
+  Json messages = Json::MakeArray();
+  for (const auto& message : v.messages) {
+    Json m = Json::MakeObject();
+    m.Set("timestamp", Json::Number(message.timestamp));
+    m.Set("user", Json::Str(message.user));
+    m.Set("text", Json::Str(message.text));
+    messages.Append(std::move(m));
+  }
+  Json obj = Json::MakeObject();
+  obj.Set("video_id", Json::Str(v.video_id));
+  obj.Set("messages", std::move(messages));
+  return obj.Dump();
+}
+
+common::Result<serving::IngestChatRequest> DecodeIngestChatRequest(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  serving::IngestChatRequest req;
+  LIGHTOR_ASSIGN_OR_RETURN(req.video_id, GetString(obj, "video_id"));
+  LIGHTOR_ASSIGN_OR_RETURN(const Json* messages,
+                           Require(obj, "messages", Json::Type::kArray));
+  req.messages.reserve(messages->AsArray().size());
+  for (const Json& item : messages->AsArray()) {
+    if (!item.is_object()) {
+      return FieldError("messages", "holds a non-object");
+    }
+    core::Message message;
+    LIGHTOR_ASSIGN_OR_RETURN(message.timestamp, GetNumber(item, "timestamp"));
+    LIGHTOR_ASSIGN_OR_RETURN(message.user, GetString(item, "user"));
+    LIGHTOR_ASSIGN_OR_RETURN(message.text, GetString(item, "text"));
+    req.messages.push_back(std::move(message));
+  }
+  return req;
+}
+
+std::string EncodeJson(const serving::IngestChatResponse& v) {
+  Json obj = Json::MakeObject();
+  obj.Set("accepted", Json::Int(static_cast<int64_t>(v.accepted)));
+  obj.Set("rejected", Json::Int(static_cast<int64_t>(v.rejected)));
+  obj.Set("provisional_published", Json::Bool(v.provisional_published));
+  obj.Set("snapshot_version", Json::Int(static_cast<int64_t>(
+                                  v.snapshot_version)));
+  return obj.Dump();
+}
+
+common::Result<serving::IngestChatResponse> DecodeIngestChatResponse(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  serving::IngestChatResponse resp;
+  LIGHTOR_ASSIGN_OR_RETURN(int64_t accepted, GetInt(obj, "accepted"));
+  resp.accepted = static_cast<size_t>(accepted);
+  LIGHTOR_ASSIGN_OR_RETURN(int64_t rejected, GetInt(obj, "rejected"));
+  resp.rejected = static_cast<size_t>(rejected);
+  LIGHTOR_ASSIGN_OR_RETURN(resp.provisional_published,
+                           GetBool(obj, "provisional_published"));
+  LIGHTOR_ASSIGN_OR_RETURN(int64_t version,
+                           GetInt(obj, "snapshot_version"));
+  resp.snapshot_version = static_cast<uint64_t>(version);
+  return resp;
+}
+
+std::string EncodeJson(const serving::FinalizeStreamRequest& v) {
+  Json obj = Json::MakeObject();
+  obj.Set("video_id", Json::Str(v.video_id));
+  if (v.video_length > 0.0) {
+    obj.Set("video_length", Json::Number(v.video_length));
+  }
+  return obj.Dump();
+}
+
+common::Result<serving::FinalizeStreamRequest> DecodeFinalizeStreamRequest(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  serving::FinalizeStreamRequest req;
+  LIGHTOR_ASSIGN_OR_RETURN(req.video_id, GetString(obj, "video_id"));
+  if (const Json* length = obj.Find("video_length")) {
+    if (!length->is_number()) {
+      return FieldError("video_length", "has the wrong type");
+    }
+    req.video_length = length->AsNumber();
+  }
+  return req;
+}
+
+std::string EncodeJson(const serving::FinalizeStreamResponse& v) {
+  Json obj = Json::MakeObject();
+  obj.Set("highlights", HighlightsToJson(v.highlights));
+  obj.Set("snapshot_version", Json::Int(static_cast<int64_t>(
+                                  v.snapshot_version)));
+  obj.Set("video_length", Json::Number(v.video_length));
+  return obj.Dump();
+}
+
+common::Result<serving::FinalizeStreamResponse> DecodeFinalizeStreamResponse(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  serving::FinalizeStreamResponse resp;
+  LIGHTOR_ASSIGN_OR_RETURN(resp.highlights, HighlightsFromJson(obj));
+  LIGHTOR_ASSIGN_OR_RETURN(int64_t version,
+                           GetInt(obj, "snapshot_version"));
+  resp.snapshot_version = static_cast<uint64_t>(version);
+  LIGHTOR_ASSIGN_OR_RETURN(resp.video_length,
+                           GetNumber(obj, "video_length"));
+  return resp;
+}
+
+std::string EncodeJson(const serving::GetHighlightsResponse& v) {
+  Json obj = Json::MakeObject();
+  obj.Set("highlights", HighlightsToJson(v.highlights));
+  obj.Set("snapshot_version", Json::Int(static_cast<int64_t>(
+                                  v.snapshot_version)));
+  obj.Set("provisional", Json::Bool(v.provisional));
+  return obj.Dump();
+}
+
+common::Result<serving::GetHighlightsResponse> DecodeGetHighlightsResponse(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  serving::GetHighlightsResponse resp;
+  LIGHTOR_ASSIGN_OR_RETURN(resp.highlights, HighlightsFromJson(obj));
+  LIGHTOR_ASSIGN_OR_RETURN(int64_t version,
+                           GetInt(obj, "snapshot_version"));
+  resp.snapshot_version = static_cast<uint64_t>(version);
+  LIGHTOR_ASSIGN_OR_RETURN(resp.provisional, GetBool(obj, "provisional"));
+  return resp;
+}
+
+std::string EncodeJson(const serving::RefineReport& v) {
+  Json dots = Json::MakeArray();
+  for (const auto& dot : v.dots) {
+    Json d = Json::MakeObject();
+    d.Set("dot_index", Json::Int(dot.dot_index));
+    d.Set("status", Json::Str(dot.status.ToString()));
+    d.Set("updated", Json::Bool(dot.updated));
+    d.Set("type",
+          Json::Str(dot.type == core::DotType::kTypeI ? "I" : "II"));
+    d.Set("enough_plays", Json::Bool(dot.enough_plays));
+    d.Set("plays_used", Json::Int(dot.plays_used));
+    d.Set("old_position", Json::Number(dot.old_position));
+    d.Set("new_position", Json::Number(dot.new_position));
+    d.Set("converged", Json::Bool(dot.converged));
+    dots.Append(std::move(d));
+  }
+  Json obj = Json::MakeObject();
+  obj.Set("video_id", Json::Str(v.video_id));
+  obj.Set("dots_updated", Json::Int(v.dots_updated));
+  obj.Set("sessions_consumed", Json::Int(static_cast<int64_t>(
+                                   v.sessions_consumed)));
+  obj.Set("dots", std::move(dots));
+  return obj.Dump();
+}
+
+}  // namespace lightor::net

@@ -1,0 +1,136 @@
+#ifndef LIGHTOR_NET_HTTP_H_
+#define LIGHTOR_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lightor::net {
+
+/// Header list; names are stored lowercased (HTTP field names are
+/// case-insensitive) and order-preserving.
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
+/// One parsed HTTP/1.x request.
+struct HttpRequest {
+  std::string method;   ///< uppercase, e.g. "POST"
+  std::string target;   ///< raw request-target, e.g. "/metrics?format=json"
+  std::string path;     ///< target up to '?'
+  std::string query;    ///< after '?', empty when absent
+  int version_minor = 1;  ///< 0 for HTTP/1.0, 1 for HTTP/1.1
+  HeaderList headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+  /// First value of `key` in the query string (percent-decoding is not
+  /// applied — the wire schema never needs it); empty when absent.
+  std::string QueryParam(std::string_view key) const;
+  /// HTTP/1.1 defaults to keep-alive; `Connection: close` (any case)
+  /// or HTTP/1.0 without `Connection: keep-alive` turns it off.
+  bool keep_alive() const;
+};
+
+/// One HTTP response under construction.
+struct HttpResponse {
+  int status = 200;
+  HeaderList headers;  ///< Content-Length / Connection are added on write
+  std::string body;
+
+  void SetHeader(std::string name, std::string value);
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// Serializes status line + headers + body, appending Content-Length
+  /// and `Connection: close|keep-alive`.
+  std::string Serialize(bool keep_alive) const;
+};
+
+/// Canned JSON responses used across the route table.
+HttpResponse JsonResponse(int status, std::string body);
+HttpResponse ErrorResponse(int status, std::string_view message);
+
+/// Reason phrase for `status` ("OK", "Not Found", ...).
+std::string_view StatusReason(int status);
+
+/// Incremental HTTP/1.1 request parser, one instance per connection.
+///
+/// Feed bytes with `Append` as they arrive — in any fragmentation the
+/// kernel produces, including one byte at a time — then call `Parse`
+/// until it stops returning `kReady`. `kReady` means `request()` holds a
+/// complete request whose bytes have been consumed from the buffer;
+/// pipelined requests arriving in one read are handed out one per
+/// `Parse` call. `kNeedMore` leaves the partial request buffered.
+/// `kError` is terminal: `error_status()` is the HTTP status to send
+/// (400 malformed, 413 body too large, 431 headers too large, 501
+/// unsupported transfer-encoding) before closing the connection.
+class RequestParser {
+ public:
+  struct Limits {
+    /// Cap on request line + header block (bytes, incl. CRLFs).
+    size_t max_header_bytes = 8192;
+    /// Cap on the declared Content-Length.
+    size_t max_body_bytes = 1 << 20;
+  };
+
+  enum class State { kNeedMore, kReady, kError };
+
+  RequestParser() = default;
+  explicit RequestParser(Limits limits) : limits_(limits) {}
+
+  void Append(std::string_view bytes) { buffer_ += bytes; }
+
+  State Parse();
+
+  HttpRequest& request() { return request_; }
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (mid-request tail).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  State Fail(int status, std::string message);
+
+  Limits limits_;
+  std::string buffer_;
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_;
+  bool failed_ = false;
+  bool have_head_ = false;     ///< request line + headers parsed
+  size_t content_length_ = 0;  ///< declared body size of the open request
+};
+
+/// Incremental HTTP/1.x response parser (for the blocking client).
+/// Same Append/Parse protocol as RequestParser. Bodies are sized by
+/// Content-Length only; a response without one is read to connection
+/// close (signalled via `OnEof`).
+class ResponseParser {
+ public:
+  enum class State { kNeedMore, kReady, kError };
+
+  void Append(std::string_view bytes) { buffer_ += bytes; }
+  State Parse();
+  /// The peer closed the connection: a length-less body is now complete.
+  State OnEof();
+
+  HttpResponse& response() { return response_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  State Fail(std::string message);
+
+  std::string buffer_;
+  HttpResponse response_;
+  std::string error_;
+  bool failed_ = false;
+  bool have_head_ = false;     ///< status line + headers parsed
+  bool have_length_ = false;   ///< Content-Length present
+  size_t content_length_ = 0;
+};
+
+}  // namespace lightor::net
+
+#endif  // LIGHTOR_NET_HTTP_H_

@@ -1,0 +1,435 @@
+#include "net/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lightor::net {
+
+Json Json::Bool(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::Number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::Str(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::MakeArray(Array items) {
+  Json j;
+  j.type_ = Type::kArray;
+  j.array_ = std::move(items);
+  return j;
+}
+
+Json Json::MakeObject(Object members) {
+  Json j;
+  j.type_ = Type::kObject;
+  j.object_ = std::move(members);
+  return j;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::Append(Json item) {
+  assert(type_ == Type::kArray);
+  array_.push_back(std::move(item));
+}
+
+void Json::Set(std::string key, Json value) {
+  assert(type_ == Type::kObject);
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void AppendJsonString(std::string_view s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 passes through byte-for-byte
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+namespace {
+
+void AppendNumber(double v, std::string& out) {
+  // Integral values within int64 range print exactly (ids, counts);
+  // everything else gets enough digits to round-trip a double.
+  if (v == std::floor(v) && std::abs(v) < 9.2e18) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(number_, out);
+      break;
+    case Type::kString:
+      AppendJsonString(string_, out);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        array_[i].DumpTo(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        AppendJsonString(object_[i].first, out);
+        out.push_back(':');
+        object_[i].second.DumpTo(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a byte cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  common::Result<Json> Run() {
+    SkipSpace();
+    auto value = ParseValue(0);
+    if (!value.ok()) return value.status();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing bytes after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  common::Status Error(const std::string& what) const {
+    return common::Status::InvalidArgument(
+        "json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+
+  bool Consume(char c) {
+    if (!Peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  common::Result<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        auto s = ParseString();
+        if (!s.ok()) return s.status();
+        return Json::Str(std::move(s).value());
+      }
+      case 't':
+        if (ConsumeWord("true")) return Json::Bool(true);
+        return Error("bad literal");
+      case 'f':
+        if (ConsumeWord("false")) return Json::Bool(false);
+        return Error("bad literal");
+      case 'n':
+        if (ConsumeWord("null")) return Json::Null();
+        return Error("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  common::Result<Json> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Json obj = Json::MakeObject();
+    SkipSpace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipSpace();
+      if (!Peek('"')) return Error("expected object key");
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (obj.Find(key.value()) != nullptr) {
+        return Error("duplicate object key \"" + key.value() + "\"");
+      }
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipSpace();
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      obj.Set(std::move(key).value(), std::move(value).value());
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  common::Result<Json> ParseArray(int depth) {
+    ++pos_;  // '['
+    Json arr = Json::MakeArray();
+    SkipSpace();
+    if (Consume(']')) return arr;
+    while (true) {
+      SkipSpace();
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      arr.Append(std::move(value).value());
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  common::Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          auto cp = ParseHex4();
+          if (!cp.ok()) return cp.status();
+          uint32_t code = cp.value();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: require the paired \uXXXX low surrogate.
+            if (!ConsumeWord("\\u")) return Error("lone high surrogate");
+            auto lo = ParseHex4();
+            if (!lo.ok()) return lo.status();
+            if (lo.value() < 0xDC00 || lo.value() > 0xDFFF) {
+              return Error("bad low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (lo.value() - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("lone low surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+  }
+
+  common::Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void AppendUtf8(uint32_t code, std::string& out) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  common::Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (Peek('-')) ++pos_;
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      pos_ = start;
+      return Error("bad number");
+    }
+    // JSON forbids leading zeros ("01").
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      return Error("leading zero in number");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("bad fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Peek('e') || Peek('E')) {
+      ++pos_;
+      if (Peek('+') || Peek('-')) ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("bad exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double v = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(v)) return Error("number out of range");
+    return Json::Number(v);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+common::Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace lightor::net

@@ -1,0 +1,86 @@
+#ifndef LIGHTOR_NET_JSON_H_
+#define LIGHTOR_NET_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightor::net {
+
+/// A dependency-free JSON value for the wire codec and the loadgen
+/// report. Objects preserve insertion order (a sorted-vector map would
+/// buy nothing at the handful-of-keys sizes the wire schema uses) and
+/// duplicate keys are a parse error — wire payloads with ambiguous
+/// fields must not silently pick one.
+///
+/// `Parse` is strict: the entire input must be one JSON value (trailing
+/// bytes are an error), nesting is capped, and numbers must be finite —
+/// exactly the "strict parse errors → 400" contract of the HTTP codec.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() = default;  ///< null
+  static Json Null() { return Json(); }
+  static Json Bool(bool v);
+  static Json Number(double v);
+  static Json Int(int64_t v) { return Number(static_cast<double>(v)); }
+  static Json Str(std::string v);
+  static Json MakeArray(Array items = {});
+  static Json MakeObject(Object members = {});
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; valid only for the matching type.
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  const Object& AsObject() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Appends to an array / object value (no-op on other types is a
+  /// programming error; asserts in debug builds).
+  void Append(Json item);
+  void Set(std::string key, Json value);
+
+  /// Compact serialization (no whitespace), with full string escaping.
+  /// Numbers that hold an integral value within int64 range print
+  /// without a decimal point, so round-trips of ids stay exact.
+  std::string Dump() const;
+  void DumpTo(std::string& out) const;
+
+  /// Strict whole-input parse. Error messages carry a byte offset.
+  static common::Result<Json> Parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escapes `s` into a double-quoted JSON string literal appended to
+/// `out` (exposed for the hand-rolled writers in the loadgen report).
+void AppendJsonString(std::string_view s, std::string& out);
+
+}  // namespace lightor::net
+
+#endif  // LIGHTOR_NET_JSON_H_

@@ -1,0 +1,441 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/codec.h"
+#include "net/json.h"
+#include "serving/highlight_server.h"
+#include "sim/bridge.h"
+#include "sim/viewer_simulator.h"
+
+namespace lightor::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+enum class Op { kVisit, kSession, kRefine, kIngest };
+
+/// Per-thread traffic state and tallies, merged after the join.
+struct ThreadResult {
+  size_t requests = 0;
+  size_t wire_errors = 0;
+  size_t status_2xx = 0;
+  size_t status_4xx = 0;
+  size_t status_5xx = 0;
+  size_t rejected_503 = 0;
+  size_t visits = 0;
+  size_t sessions = 0;
+  size_t refines = 0;
+  size_t ingests = 0;
+  size_t finalizes = 0;
+  std::vector<double> latencies_ms;
+  RecordedTraffic recorded;
+};
+
+class Worker {
+ public:
+  Worker(const LoadGenOptions& options, size_t index)
+      : options_(options),
+        index_(index),
+        rng_(options.seed + index),
+        client_(options.host, options.port) {
+    client_.set_timeout_seconds(options_.timeout_seconds);
+    // Round-robin live-stream ownership: each live video has exactly one
+    // owner thread, so its batch sequence is totally ordered.
+    for (size_t i = index_; i < options_.live_ids.size();
+         i += options_.num_threads) {
+      live_id_ = options_.live_ids[i];
+      break;  // one live video per thread is plenty for the mix
+    }
+    if (!live_id_.empty()) {
+      const auto video = options_.platform->GetVideo(live_id_);
+      if (video.ok()) {
+        live_messages_ = sim::ToCoreMessages(video.value().chat);
+      }
+    }
+  }
+
+  ThreadResult Run() {
+    for (size_t i = 0; i < options_.requests_per_thread; ++i) {
+      switch (DrawOp()) {
+        case Op::kVisit:
+          DoVisit();
+          break;
+        case Op::kSession:
+          DoSession();
+          break;
+        case Op::kRefine:
+          DoRefine();
+          break;
+        case Op::kIngest:
+          DoIngest();
+          break;
+      }
+    }
+    // A partially ingested stream must finalize so its served state is a
+    // finished snapshot the differential check can compare.
+    if (ingested_any_ && !finalized_) DoFinalize();
+    return std::move(result_);
+  }
+
+ private:
+  Op DrawOp() {
+    const bool can_ingest = !live_id_.empty() && !finalized_ &&
+                            live_cursor_ < live_messages_.size();
+    const bool can_recorded = !options_.recorded_ids.empty();
+    int visit_w = can_recorded ? options_.visit_weight : 0;
+    int session_w = can_recorded ? options_.session_weight : 0;
+    int refine_w = can_recorded ? options_.refine_weight : 0;
+    int ingest_w = can_ingest ? options_.ingest_weight : 0;
+    const int total = visit_w + session_w + refine_w + ingest_w;
+    if (total == 0) return Op::kVisit;  // degenerate mix; visit will 4xx
+    auto draw = rng_.UniformInt(1, total);
+    if ((draw -= visit_w) <= 0) return Op::kVisit;
+    if ((draw -= session_w) <= 0) return Op::kSession;
+    if ((draw -= refine_w) <= 0) return Op::kRefine;
+    return Op::kIngest;
+  }
+
+  const std::string& PickRecorded() {
+    return options_.recorded_ids[static_cast<size_t>(rng_.UniformInt(
+        0, static_cast<int64_t>(options_.recorded_ids.size()) - 1))];
+  }
+
+  /// One round trip with bookkeeping; returns the status code, or -1 on
+  /// a wire error.
+  int Send(std::string_view method, std::string_view target,
+           std::string_view body) {
+    const Clock::time_point start = Clock::now();
+    auto response = client_.Request(method, target, body);
+    if (!response.ok()) {
+      ++result_.wire_errors;
+      return -1;
+    }
+    result_.latencies_ms.push_back(MsSince(start));
+    ++result_.requests;
+    const int status = response.value().status;
+    if (status < 400) {
+      ++result_.status_2xx;
+    } else if (status < 500) {
+      ++result_.status_4xx;
+    } else {
+      ++result_.status_5xx;
+      if (status == 503) ++result_.rejected_503;
+    }
+    if (status == 200) last_body_ = std::move(response.value().body);
+    return status;
+  }
+
+  void DoVisit() {
+    ++result_.visits;
+    serving::PageVisitRequest req;
+    req.video_id = PickRecorded();
+    req.user = "loadgen" + std::to_string(index_);
+    if (Send("POST", "/visit", EncodeJson(req)) != 200) return;
+    result_.recorded.visits.push_back(req);
+    auto response = DecodePageVisitResponse(last_body_);
+    if (!response.ok()) return;
+    std::vector<double>& dots = dot_cache_[req.video_id];
+    dots.clear();
+    for (const auto& rec : response.value().highlights) {
+      dots.push_back(rec.dot_position);
+    }
+  }
+
+  void DoSession() {
+    const std::string video_id = PickRecorded();
+    const auto cached = dot_cache_.find(video_id);
+    if (cached == dot_cache_.end() || cached->second.empty()) {
+      DoVisit();  // closed loop: learn the dots before interacting
+      return;
+    }
+    ++result_.sessions;
+    const double dot = cached->second[static_cast<size_t>(rng_.UniformInt(
+        0, static_cast<int64_t>(cached->second.size()) - 1))];
+    const auto video = options_.platform->GetVideo(video_id);
+    if (!video.ok()) return;
+    serving::LogSessionRequest req;
+    req.video_id = video_id;
+    req.session_id = (static_cast<uint64_t>(index_) << 32) | next_session_++;
+    req.user = "viewer" + std::to_string(req.session_id);
+    const auto session = viewer_sim_.SimulateSession(video.value().truth,
+                                                     dot, rng_, req.user);
+    req.events = session.events;
+    if (Send("POST", "/session", EncodeJson(req)) != 200) return;
+    result_.recorded.sessions.push_back(std::move(req));
+  }
+
+  void DoRefine() {
+    ++result_.refines;
+    Json body = Json::MakeObject();
+    body.Set("video_id", Json::Str(PickRecorded()));
+    Send("POST", "/refine", body.Dump());
+  }
+
+  void DoIngest() {
+    ++result_.ingests;
+    const size_t end = std::min(live_cursor_ + options_.ingest_batch_size,
+                                live_messages_.size());
+    serving::IngestChatRequest req;
+    req.video_id = live_id_;
+    req.messages.assign(live_messages_.begin() +
+                            static_cast<ptrdiff_t>(live_cursor_),
+                        live_messages_.begin() + static_cast<ptrdiff_t>(end));
+    if (Send("POST", "/ingest", EncodeJson(req)) != 200) return;
+    // Advance only on acceptance: a 503'd batch is retried by a later
+    // ingest draw, keeping the per-video sequence gap-free.
+    live_cursor_ = end;
+    ingested_any_ = true;
+    result_.recorded.ingests.push_back(std::move(req));
+    if (live_cursor_ >= live_messages_.size()) DoFinalize();
+  }
+
+  void DoFinalize() {
+    ++result_.finalizes;
+    serving::FinalizeStreamRequest req;
+    req.video_id = live_id_;
+    if (Send("POST", "/finalize", EncodeJson(req)) != 200) return;
+    finalized_ = true;
+    result_.recorded.finalizes.push_back(req);
+  }
+
+  const LoadGenOptions& options_;
+  size_t index_;
+  common::Rng rng_;
+  HttpClient client_;
+  sim::ViewerSimulator viewer_sim_;
+  ThreadResult result_;
+  std::string last_body_;
+
+  /// Red-dot positions from this thread's last /visit, per video.
+  std::unordered_map<std::string, std::vector<double>> dot_cache_;
+  uint32_t next_session_ = 1;
+
+  std::string live_id_;
+  std::vector<core::Message> live_messages_;
+  size_t live_cursor_ = 0;
+  bool ingested_any_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace
+
+common::Status LoadGenOptions::Validate() const {
+  if (num_threads == 0)
+    return common::Status::InvalidArgument("loadgen: num_threads == 0");
+  if (requests_per_thread == 0)
+    return common::Status::InvalidArgument(
+        "loadgen: requests_per_thread == 0");
+  if (platform == nullptr)
+    return common::Status::InvalidArgument("loadgen: null platform");
+  if (recorded_ids.empty() && live_ids.empty())
+    return common::Status::InvalidArgument("loadgen: no target videos");
+  if (visit_weight < 0 || session_weight < 0 || refine_weight < 0 ||
+      ingest_weight < 0)
+    return common::Status::InvalidArgument("loadgen: negative weight");
+  if (visit_weight + session_weight + refine_weight + ingest_weight == 0)
+    return common::Status::InvalidArgument("loadgen: all-zero weights");
+  if (ingest_batch_size == 0)
+    return common::Status::InvalidArgument("loadgen: ingest_batch_size == 0");
+  for (const std::string& id : live_ids) {
+    if (std::find(recorded_ids.begin(), recorded_ids.end(), id) !=
+        recorded_ids.end()) {
+      return common::Status::InvalidArgument(
+          "loadgen: video in both recorded_ids and live_ids: " + id);
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
+                                         RecordedTraffic* recorded) {
+  LIGHTOR_RETURN_IF_ERROR(options.Validate());
+
+  std::vector<ThreadResult> results(options.num_threads);
+  const Clock::time_point start = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(options.num_threads);
+    for (size_t t = 0; t < options.num_threads; ++t) {
+      threads.emplace_back([&options, &results, t] {
+        Worker worker(options, t);
+        results[t] = worker.Run();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadGenReport report;
+  report.seconds = seconds;
+  std::vector<double> latencies;
+  for (ThreadResult& r : results) {
+    report.requests += r.requests;
+    report.wire_errors += r.wire_errors;
+    report.status_2xx += r.status_2xx;
+    report.status_4xx += r.status_4xx;
+    report.status_5xx += r.status_5xx;
+    report.rejected_503 += r.rejected_503;
+    report.visits += r.visits;
+    report.sessions += r.sessions;
+    report.refines += r.refines;
+    report.ingests += r.ingests;
+    report.finalizes += r.finalizes;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    if (recorded != nullptr) {
+      auto& out = *recorded;
+      std::move(r.recorded.visits.begin(), r.recorded.visits.end(),
+                std::back_inserter(out.visits));
+      std::move(r.recorded.sessions.begin(), r.recorded.sessions.end(),
+                std::back_inserter(out.sessions));
+      std::move(r.recorded.ingests.begin(), r.recorded.ingests.end(),
+                std::back_inserter(out.ingests));
+      std::move(r.recorded.finalizes.begin(), r.recorded.finalizes.end(),
+                std::back_inserter(out.finalizes));
+    }
+  }
+  report.throughput_rps = seconds > 0.0 ? report.requests / seconds : 0.0;
+  if (!latencies.empty()) {
+    report.p50_ms = common::Quantile(latencies, 0.50);
+    report.p95_ms = common::Quantile(latencies, 0.95);
+    report.p99_ms = common::Quantile(latencies, 0.99);
+    report.max_ms = *std::max_element(latencies.begin(), latencies.end());
+  }
+  return report;
+}
+
+std::string EncodeJson(const LoadGenReport& report) {
+  Json out = Json::MakeObject();
+  out.Set("requests", Json::Int(static_cast<int64_t>(report.requests)));
+  out.Set("wire_errors",
+          Json::Int(static_cast<int64_t>(report.wire_errors)));
+  out.Set("status_2xx", Json::Int(static_cast<int64_t>(report.status_2xx)));
+  out.Set("status_4xx", Json::Int(static_cast<int64_t>(report.status_4xx)));
+  out.Set("status_5xx", Json::Int(static_cast<int64_t>(report.status_5xx)));
+  out.Set("rejected_503",
+          Json::Int(static_cast<int64_t>(report.rejected_503)));
+  Json ops = Json::MakeObject();
+  ops.Set("visit", Json::Int(static_cast<int64_t>(report.visits)));
+  ops.Set("session", Json::Int(static_cast<int64_t>(report.sessions)));
+  ops.Set("refine", Json::Int(static_cast<int64_t>(report.refines)));
+  ops.Set("ingest", Json::Int(static_cast<int64_t>(report.ingests)));
+  ops.Set("finalize", Json::Int(static_cast<int64_t>(report.finalizes)));
+  out.Set("ops", std::move(ops));
+  out.Set("seconds", Json::Number(report.seconds));
+  out.Set("throughput_rps", Json::Number(report.throughput_rps));
+  Json latency = Json::MakeObject();
+  latency.Set("p50_ms", Json::Number(report.p50_ms));
+  latency.Set("p95_ms", Json::Number(report.p95_ms));
+  latency.Set("p99_ms", Json::Number(report.p99_ms));
+  latency.Set("max_ms", Json::Number(report.max_ms));
+  out.Set("latency", std::move(latency));
+  return out.Dump();
+}
+
+common::Status RunDifferentialCheck(const RecordedTraffic& recorded,
+                                    HttpClient& served,
+                                    serving::HighlightServer* reference) {
+  // Replay into the reference: visits deduped (repeat visits are reads),
+  // then the live streams batch-by-batch in recorded order, then every
+  // session. Session-vs-visit interleaving cannot matter — sessions only
+  // append to the interaction log, which nothing reads until Refine.
+  std::set<std::string> visited;
+  for (const auto& visit : recorded.visits) {
+    if (!visited.insert(visit.video_id).second) continue;
+    if (auto r = reference->OnPageVisit(visit); !r.ok()) {
+      return common::Status::Internal("check: reference visit failed: " +
+                                      r.status().ToString());
+    }
+  }
+  for (const auto& ingest : recorded.ingests) {
+    if (auto r = reference->IngestChat(ingest); !r.ok()) {
+      return common::Status::Internal("check: reference ingest failed: " +
+                                      r.status().ToString());
+    }
+  }
+  for (const auto& finalize : recorded.finalizes) {
+    if (auto r = reference->FinalizeStream(finalize); !r.ok()) {
+      return common::Status::Internal("check: reference finalize failed: " +
+                                      r.status().ToString());
+    }
+  }
+  for (const auto& session : recorded.sessions) {
+    if (auto st = reference->LogSession(session); !st.ok()) {
+      return common::Status::Internal("check: reference session failed: " +
+                                      st.ToString());
+    }
+  }
+
+  // One refinement pass per visited video on both sides; the reports
+  // themselves must already agree byte-for-byte.
+  for (const std::string& video_id : visited) {
+    Json body = Json::MakeObject();
+    body.Set("video_id", Json::Str(video_id));
+    auto over_wire = served.Post("/refine", body.Dump());
+    if (!over_wire.ok()) return over_wire.status();
+    if (over_wire.value().status != 200) {
+      return common::Status::Internal(
+          "check: served /refine " + video_id + " returned " +
+          std::to_string(over_wire.value().status) + ": " +
+          over_wire.value().body);
+    }
+    auto local = reference->Refine(video_id);
+    if (!local.ok()) {
+      return common::Status::Internal("check: reference refine failed: " +
+                                      local.status().ToString());
+    }
+    if (const std::string want = EncodeJson(local.value());
+        over_wire.value().body != want) {
+      return common::Status::Internal(
+          "check: refine report mismatch for " + video_id + "\n  served: " +
+          over_wire.value().body + "\n  reference: " + want);
+    }
+  }
+
+  // Final state: every touched video's served highlights must equal the
+  // reference encoding byte-for-byte.
+  std::set<std::string> all_videos = visited;
+  for (const auto& finalize : recorded.finalizes) {
+    all_videos.insert(finalize.video_id);
+  }
+  for (const std::string& video_id : all_videos) {
+    auto over_wire = served.Get("/highlights?video_id=" + video_id);
+    if (!over_wire.ok()) return over_wire.status();
+    if (over_wire.value().status != 200) {
+      return common::Status::Internal(
+          "check: served /highlights " + video_id + " returned " +
+          std::to_string(over_wire.value().status));
+    }
+    auto local = reference->GetHighlights(video_id);
+    if (!local.ok()) {
+      return common::Status::Internal(
+          "check: reference GetHighlights failed: " +
+          local.status().ToString());
+    }
+    if (const std::string want = EncodeJson(local.value());
+        over_wire.value().body != want) {
+      return common::Status::Internal(
+          "check: highlights mismatch for " + video_id + "\n  served: " +
+          over_wire.value().body + "\n  reference: " + want);
+    }
+  }
+  return common::Status::OK();
+}
+
+}  // namespace lightor::net

@@ -1,0 +1,128 @@
+#ifndef LIGHTOR_NET_LOADGEN_H_
+#define LIGHTOR_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/client.h"
+#include "serving/api.h"
+#include "sim/platform.h"
+
+namespace lightor::serving {
+class HighlightServer;
+}
+
+namespace lightor::net {
+
+/// Closed-loop multi-threaded load generator for the wire front-end:
+/// every thread owns one `HttpClient` (one keep-alive connection) and
+/// issues the next request only after the previous response lands, so
+/// offered load tracks server capacity instead of overrunning it.
+///
+/// Traffic mix, drawn per iteration from the weights below:
+///   visit    POST /visit    on a random recorded video
+///   session  POST /session  — a `sim::ViewerSimulator` session around a
+///            red dot from that thread's last /visit of the video (the
+///            paper's implicit-crowdsourcing loop over the wire)
+///   refine   POST /refine   on a random recorded video
+///   ingest   POST /ingest   — the next chat batch of the thread's own
+///            live video (per-thread ownership keeps each live video's
+///            batch order deterministic); exhausted streams finalize
+///
+/// Determinism: thread t derives everything from Rng(seed + t), so two
+/// runs with the same options send the same set of requests — the
+/// differential check (`RunDifferentialCheck`) relies on it only loosely,
+/// though: it replays the *recorded accepted* traffic, so admission 503s
+/// and retries do not break the comparison.
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t num_threads = 8;
+  size_t requests_per_thread = 128;
+  uint64_t seed = 7;
+
+  /// Relative draw weights; a zero weight removes the op from the mix.
+  int visit_weight = 4;
+  int session_weight = 8;
+  int refine_weight = 1;
+  int ingest_weight = 2;
+
+  /// Recorded videos visited/sessioned/refined. Must be disjoint from
+  /// `live_ids` (ingesting a recorded video is a 409 by design).
+  std::vector<std::string> recorded_ids;
+  /// Live videos ingested; assigned round-robin, one owner thread each.
+  std::vector<std::string> live_ids;
+  /// Source of ground truth for session simulation and of chat for the
+  /// ingest stream. Required.
+  const sim::Platform* platform = nullptr;
+
+  size_t ingest_batch_size = 32;
+  double timeout_seconds = 30.0;
+
+  common::Status Validate() const;
+};
+
+/// Aggregate results; `EncodeJson` below is the CLI's report format.
+struct LoadGenReport {
+  size_t requests = 0;     ///< responses received (any status)
+  size_t wire_errors = 0;  ///< connect/send/recv/parse failures
+  size_t status_2xx = 0;
+  size_t status_4xx = 0;
+  size_t status_5xx = 0;
+  size_t rejected_503 = 0;  ///< admission-control rejections seen
+  size_t visits = 0;
+  size_t sessions = 0;
+  size_t refines = 0;
+  size_t ingests = 0;
+  size_t finalizes = 0;
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+std::string EncodeJson(const LoadGenReport& report);
+
+/// The accepted (2xx) requests, for replaying into a reference server.
+/// Per-video ingest order is preserved; everything else is a set.
+struct RecordedTraffic {
+  std::vector<serving::PageVisitRequest> visits;
+  std::vector<serving::LogSessionRequest> sessions;
+  std::vector<serving::IngestChatRequest> ingests;
+  std::vector<serving::FinalizeStreamRequest> finalizes;
+};
+
+/// Runs the load. `recorded`, when non-null, collects accepted traffic
+/// for `RunDifferentialCheck` (the caller should then configure the
+/// served server with `refine_batch_sessions = 0` and a zero
+/// `refine_weight`, so highlight state stays a pure function of the
+/// recorded set — see the check's contract below).
+common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
+                                         RecordedTraffic* recorded = nullptr);
+
+/// Differential check: replays `recorded` into `reference` (visits
+/// deduped, every session, per-video ingest order, finalizes), then for
+/// every recorded video POSTs /refine to the served server and calls
+/// `reference->Refine`, comparing report bodies byte-for-byte; then
+/// fetches GET /highlights for every video touched by the traffic and
+/// compares against `EncodeJson(reference->GetHighlights(...))`, again
+/// byte-for-byte.
+///
+/// Sound because a single refinement pass consumes *all* logged
+/// sessions keyed by session id — the thread interleaving the served
+/// server actually saw cannot affect the outcome, only the accepted
+/// set can, and that is exactly what was recorded. Requires background
+/// refinement disabled on the served server (`refine_batch_sessions=0`)
+/// and no /refine traffic during the run, else served state depends on
+/// pass boundaries the reference cannot reproduce.
+common::Status RunDifferentialCheck(const RecordedTraffic& recorded,
+                                    HttpClient& served,
+                                    serving::HighlightServer* reference);
+
+}  // namespace lightor::net
+
+#endif  // LIGHTOR_NET_LOADGEN_H_

@@ -1,0 +1,112 @@
+#include "net/metrics.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace lightor::net {
+
+namespace {
+
+obs::Counter& SimpleCounter(const char* name) {
+  return *obs::Registry::Global().GetCounter(name, {});
+}
+
+}  // namespace
+
+obs::Counter& RequestsCounter(const char* route) {
+  // Route strings come from the fixed route table (plus "other"), so the
+  // cache stays a handful of entries; the map lock is cheap next to a
+  // socket round trip anyway.
+  static std::mutex mu;
+  static std::unordered_map<std::string, obs::Counter*> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = cache.try_emplace(route, nullptr);
+  if (inserted) {
+    it->second = obs::Registry::Global().GetCounter(
+        "lightor_net_requests_total", {{"route", route}});
+  }
+  return *it->second;
+}
+
+obs::Counter& ResponsesCounter(int status) {
+  static obs::Counter* const c2xx = obs::Registry::Global().GetCounter(
+      "lightor_net_responses_total", {{"class", "2xx"}});
+  static obs::Counter* const c4xx = obs::Registry::Global().GetCounter(
+      "lightor_net_responses_total", {{"class", "4xx"}});
+  static obs::Counter* const c5xx = obs::Registry::Global().GetCounter(
+      "lightor_net_responses_total", {{"class", "5xx"}});
+  if (status < 400) return *c2xx;
+  if (status < 500) return *c4xx;
+  return *c5xx;
+}
+
+obs::Counter& AdmissionRejectedCounter() {
+  static obs::Counter* const counter =
+      &SimpleCounter("lightor_net_admission_rejected_total");
+  return *counter;
+}
+
+obs::Counter& DeadlineExpiredCounter() {
+  static obs::Counter* const counter =
+      &SimpleCounter("lightor_net_deadline_expired_total");
+  return *counter;
+}
+
+obs::Counter& ParseErrorsCounter() {
+  static obs::Counter* const counter =
+      &SimpleCounter("lightor_net_parse_errors_total");
+  return *counter;
+}
+
+obs::Counter& ConnectionsOpenedCounter() {
+  static obs::Counter* const counter =
+      &SimpleCounter("lightor_net_connections_opened_total");
+  return *counter;
+}
+
+obs::Counter& ConnectionsClosedCounter() {
+  static obs::Counter* const counter =
+      &SimpleCounter("lightor_net_connections_closed_total");
+  return *counter;
+}
+
+obs::Counter& IdleReapedCounter() {
+  static obs::Counter* const counter =
+      &SimpleCounter("lightor_net_idle_reaped_total");
+  return *counter;
+}
+
+obs::Gauge& ActiveConnectionsGauge() {
+  static obs::Gauge* const gauge = obs::Registry::Global().GetGauge(
+      "lightor_net_active_connections", {});
+  return *gauge;
+}
+
+obs::Gauge& InFlightRequestsGauge() {
+  static obs::Gauge* const gauge = obs::Registry::Global().GetGauge(
+      "lightor_net_in_flight_requests", {});
+  return *gauge;
+}
+
+obs::Histogram& RequestLatencySeconds() {
+  static obs::Histogram* const histogram =
+      obs::Registry::Global().GetHistogram("lightor_net_request_seconds",
+                                           obs::Histogram::LatencyBounds(),
+                                           {});
+  return *histogram;
+}
+
+obs::Counter& BytesReadCounter() {
+  static obs::Counter* const counter =
+      &SimpleCounter("lightor_net_bytes_read_total");
+  return *counter;
+}
+
+obs::Counter& BytesWrittenCounter() {
+  static obs::Counter* const counter =
+      &SimpleCounter("lightor_net_bytes_written_total");
+  return *counter;
+}
+
+}  // namespace lightor::net

@@ -1,0 +1,40 @@
+#ifndef LIGHTOR_NET_METRICS_H_
+#define LIGHTOR_NET_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace lightor::net {
+
+/// Wire front-end series (`lightor_net_*`). Labels are drawn from small
+/// fixed sets (route names, status classes), never from request data, so
+/// cardinality stays bounded under arbitrary traffic.
+
+/// Requests dispatched to a handler, by route path ("/visit", ...;
+/// "other" for unrouted targets).
+obs::Counter& RequestsCounter(const char* route);
+/// Responses written, by status class ("2xx", "4xx", "5xx").
+obs::Counter& ResponsesCounter(int status);
+/// Requests rejected by admission control (503 + Retry-After).
+obs::Counter& AdmissionRejectedCounter();
+/// Requests whose handler outlived the per-request deadline (504 sent,
+/// late handler result dropped).
+obs::Counter& DeadlineExpiredCounter();
+/// Malformed requests answered with a parser error status.
+obs::Counter& ParseErrorsCounter();
+/// Connection lifecycle.
+obs::Counter& ConnectionsOpenedCounter();
+obs::Counter& ConnectionsClosedCounter();
+obs::Counter& IdleReapedCounter();
+obs::Gauge& ActiveConnectionsGauge();
+/// Handler-occupancy gauge (requests dispatched, response not yet
+/// queued); admission control rejects above NetOptions::max_in_flight.
+obs::Gauge& InFlightRequestsGauge();
+/// Dispatch-to-response-queued wall time, seconds.
+obs::Histogram& RequestLatencySeconds();
+/// Payload bytes moved over the wire.
+obs::Counter& BytesReadCounter();
+obs::Counter& BytesWrittenCounter();
+
+}  // namespace lightor::net
+
+#endif  // LIGHTOR_NET_METRICS_H_

@@ -1,0 +1,126 @@
+#include "net/service.h"
+
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "net/codec.h"
+#include "net/json.h"
+#include "serving/metrics.h"
+
+namespace lightor::net {
+
+namespace {
+
+int HttpStatusFor(const common::Status& status) {
+  switch (status.code()) {
+    case common::StatusCode::kInvalidArgument:
+      return 400;
+    case common::StatusCode::kNotFound:
+      return 404;
+    case common::StatusCode::kAlreadyExists:
+    case common::StatusCode::kFailedPrecondition:
+      return 409;
+    default:
+      return 500;
+  }
+}
+
+HttpResponse FromStatus(const common::Status& status) {
+  return ErrorResponse(HttpStatusFor(status), status.ToString());
+}
+
+/// Decode -> call -> encode, with decode failures always a 400 (a bad
+/// body is the client's fault even when the backend would 500 on it).
+template <typename Decode, typename Call>
+HttpResponse JsonRoute(const HttpRequest& request, Decode decode,
+                       Call call) {
+  auto decoded = decode(request.body);
+  if (!decoded.ok()) {
+    return ErrorResponse(400, decoded.status().ToString());
+  }
+  auto result = call(std::move(decoded).value());
+  if (!result.ok()) return FromStatus(result.status());
+  return JsonResponse(200, EncodeJson(result.value()));
+}
+
+}  // namespace
+
+Router BuildRoutes(serving::HighlightServer* server) {
+  Router router;
+
+  router.Handle("POST", "/visit", [server](const HttpRequest& request) {
+    return JsonRoute(request, DecodePageVisitRequest,
+                     [server](serving::PageVisitRequest req) {
+                       return server->OnPageVisit(req);
+                     });
+  });
+
+  router.Handle("POST", "/session", [server](const HttpRequest& request) {
+    auto decoded = DecodeLogSessionRequest(request.body);
+    if (!decoded.ok()) {
+      return ErrorResponse(400, decoded.status().ToString());
+    }
+    if (auto st = server->LogSession(decoded.value()); !st.ok()) {
+      return FromStatus(st);
+    }
+    return JsonResponse(200, "{\"ok\":true}");
+  });
+
+  router.Handle("POST", "/refine", [server](const HttpRequest& request) {
+    auto parsed = Json::Parse(request.body);
+    if (!parsed.ok()) {
+      return ErrorResponse(400, parsed.status().ToString());
+    }
+    const Json* video_id = parsed.value().Find("video_id");
+    if (video_id == nullptr || !video_id->is_string()) {
+      return ErrorResponse(400, "refine: missing string field \"video_id\"");
+    }
+    auto report = server->Refine(video_id->AsString());
+    if (!report.ok()) return FromStatus(report.status());
+    return JsonResponse(200, EncodeJson(report.value()));
+  });
+
+  router.Handle("POST", "/ingest", [server](const HttpRequest& request) {
+    return JsonRoute(request, DecodeIngestChatRequest,
+                     [server](serving::IngestChatRequest req) {
+                       return server->IngestChat(req);
+                     });
+  });
+
+  router.Handle("POST", "/finalize", [server](const HttpRequest& request) {
+    return JsonRoute(request, DecodeFinalizeStreamRequest,
+                     [server](serving::FinalizeStreamRequest req) {
+                       return server->FinalizeStream(req);
+                     });
+  });
+
+  router.Handle("GET", "/highlights", [server](const HttpRequest& request) {
+    const std::string video_id = request.QueryParam("video_id");
+    if (video_id.empty()) {
+      return ErrorResponse(400, "highlights: missing query param video_id");
+    }
+    auto highlights = server->GetHighlights(video_id);
+    if (!highlights.ok()) return FromStatus(highlights.status());
+    return JsonResponse(200, EncodeJson(highlights.value()));
+  });
+
+  router.Handle("GET", "/metrics", [](const HttpRequest& request) {
+    const std::string format = request.QueryParam("format");
+    HttpResponse response;
+    response.body = serving::ExportMetricsPage(
+        format.empty() ? "prometheus" : std::string_view(format));
+    response.SetHeader("content-type", format == "json"
+                                           ? "application/json"
+                                           : "text/plain; version=0.0.4");
+    return response;
+  });
+
+  router.Handle("GET", "/healthz", [](const HttpRequest&) {
+    return JsonResponse(200, "{\"status\":\"ok\"}");
+  });
+
+  return router;
+}
+
+}  // namespace lightor::net

@@ -1,0 +1,29 @@
+#ifndef LIGHTOR_NET_SERVICE_H_
+#define LIGHTOR_NET_SERVICE_H_
+
+#include "net/server.h"
+#include "serving/highlight_server.h"
+
+namespace lightor::net {
+
+/// Builds the wire route table over a `HighlightServer` (non-owning; the
+/// caller keeps it alive past `HttpServer::Shutdown()`):
+///
+///   POST /visit     PageVisitRequest      -> PageVisitResponse
+///   POST /session   LogSessionRequest     -> {"ok":true}
+///   POST /refine    {"video_id"}          -> RefineReport
+///   POST /ingest    IngestChatRequest     -> IngestChatResponse
+///   POST /finalize  FinalizeStreamRequest -> FinalizeStreamResponse
+///   GET  /highlights?video_id=X           -> GetHighlightsResponse
+///   GET  /metrics[?format=json]           -> exposition text
+///   GET  /healthz                         -> {"status":"ok"}
+///
+/// Backend errors map onto HTTP statuses: InvalidArgument -> 400,
+/// NotFound -> 404, FailedPrecondition (draining server, live-stream
+/// conflicts) -> 409, everything else -> 500. Codec decode errors are
+/// always 400.
+Router BuildRoutes(serving::HighlightServer* server);
+
+}  // namespace lightor::net
+
+#endif  // LIGHTOR_NET_SERVICE_H_

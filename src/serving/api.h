@@ -60,6 +60,14 @@ struct ServerOptions {
   /// closed so far); large values serve staler provisional dots.
   size_t stream_refresh_messages = 64;
 
+  /// Batch the interaction-log flushes on the session-logging path:
+  /// `LogSession` appends without an fsync-style flush, and the server
+  /// flushes before every refinement pass consumes a batch and at
+  /// shutdown. Keeps the per-record flush default (zero-loss recovery)
+  /// for everything else; a crash loses at most the sessions logged
+  /// since the last refinement pass. HighlightServer only.
+  bool batched_session_flush = false;
+
   /// On construction, mark every video whose stored dots have already
   /// been refined (iteration > 0) as having consumed all interactions
   /// currently in the database, so a restarted service does not re-feed

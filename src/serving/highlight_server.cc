@@ -35,6 +35,9 @@ HighlightServer::HighlightServer(ServerOptions options)
   for (size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (options_.batched_session_flush) {
+    options_.db->SetInteractionFlushEachAppend(false);
+  }
   // Restart dedupe happens eagerly, before any request can race it:
   // videos refined in a previous process have consumed everything
   // currently in the interaction log (see api.h for the trade-off).
@@ -426,6 +429,12 @@ common::Result<RefineReport> HighlightServer::RefinePass(
   uint64_t new_watermark = 0;
   {
     std::lock_guard<std::mutex> db_lock(db_mu_);
+    // In batched-flush mode the consumed sessions must be durable before
+    // the watermark advances past them, or a crash could lose records a
+    // restarted server will never re-consume.
+    if (options_.batched_session_flush) {
+      if (auto st = options_.db->FlushInteractions(); !st.ok()) return st;
+    }
     sessions =
         options_.db->interactions().SessionsSince(video_id, watermark);
     new_watermark = options_.db->interactions().current_generation() + 1;
@@ -544,6 +553,14 @@ void HighlightServer::Shutdown() {
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  if (options_.batched_session_flush) {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    if (auto st = options_.db->FlushInteractions(); !st.ok()) {
+      LIGHTOR_LOG(Warning) << "serving: interaction-log flush at shutdown "
+                              "failed: "
+                           << st.ToString();
+    }
+  }
   // Live streams cannot be finalized without an authoritative length
   // decision from the caller; drop them (their chat is lost — the
   // broadcaster re-ingests or the crawler recovers the recorded chat).
@@ -566,7 +583,7 @@ void HighlightServer::Shutdown() {
 }
 
 std::string HighlightServer::MetricsPage() const {
-  return obs::ExportPrometheus(obs::Registry::Global());
+  return ExportMetricsPage();
 }
 
 }  // namespace lightor::serving

@@ -2,7 +2,15 @@
 
 #include <string_view>
 
+#include "obs/export.h"
+
 namespace lightor::serving {
+
+std::string ExportMetricsPage(std::string_view format) {
+  const obs::RegistrySnapshot snapshot = obs::Registry::Global().Snapshot();
+  if (format == "json") return obs::ExportJson(snapshot);
+  return obs::ExportPrometheus(snapshot);
+}
 
 namespace {
 

@@ -1,9 +1,20 @@
 #ifndef LIGHTOR_SERVING_METRICS_H_
 #define LIGHTOR_SERVING_METRICS_H_
 
+#include <string>
+#include <string_view>
+
 #include "obs/metrics.h"
 
 namespace lightor::serving {
+
+/// The one `/metrics` export path: a snapshot of the process-global
+/// obs::Registry rendered as Prometheus text (the default) or as the
+/// exporter JSON when `format == "json"`. Shared by
+/// `WebService::MetricsPage`, `HighlightServer::MetricsPage`, and the
+/// HTTP front-end's `GET /metrics?format=json`; unknown formats fall
+/// back to Prometheus so the endpoint never errors on a typo.
+std::string ExportMetricsPage(std::string_view format = "prometheus");
 
 /// Which serving implementation a sample came from. Metric series shared
 /// by both are labelled `server="reference"|"concurrent"` — a constant,

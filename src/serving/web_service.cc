@@ -137,7 +137,7 @@ common::Result<RefineReport> WebService::Refine(const std::string& video_id) {
 }
 
 std::string WebService::MetricsPage() const {
-  return obs::ExportPrometheus(obs::Registry::Global());
+  return ExportMetricsPage();
 }
 
 common::Result<GetHighlightsResponse> WebService::GetHighlights(

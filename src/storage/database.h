@@ -29,6 +29,15 @@ class Database {
   common::Status PutInteraction(const InteractionRecord& record);
   common::Status PutHighlight(const HighlightRecord& record);
 
+  /// Batched-flush mode for the interaction log (the write-heavy session
+  /// path): `PutInteraction` stops flushing per record and durability
+  /// moves to `FlushInteractions()` calls. Per-record flush stays the
+  /// default; see AppendLog::set_flush_each_append for the trade-off.
+  void SetInteractionFlushEachAppend(bool flush_each) {
+    interaction_log_.set_flush_each_append(flush_each);
+  }
+  common::Status FlushInteractions() { return interaction_log_.Flush(); }
+
   /// Aggregate counters plus on-disk log sizes.
   struct Stats {
     size_t chat_records = 0;

@@ -35,6 +35,16 @@ common::Status AppendLog::Append(const std::vector<uint8_t>& payload) {
            payload.size())) {
     return common::Status::IoError("write failed: " + path_);
   }
+  if (flush_each_ && std::fflush(file_) != 0) {
+    return common::Status::IoError("flush failed: " + path_);
+  }
+  return common::Status::OK();
+}
+
+common::Status AppendLog::Flush() {
+  if (file_ == nullptr) {
+    return common::Status::FailedPrecondition("AppendLog: not open");
+  }
   if (std::fflush(file_) != 0) {
     return common::Status::IoError("flush failed: " + path_);
   }

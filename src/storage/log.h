@@ -29,10 +29,23 @@ class AppendLog {
   /// Opens (creating if needed) the log at `path` for appending.
   common::Status Open(const std::string& path);
 
-  /// Appends one framed record and flushes.
+  /// Appends one framed record. Flushes immediately in the default
+  /// per-record mode; in batched mode (`set_flush_each_append(false)`)
+  /// the record sits in the stdio buffer until `Flush()` or `Close()`.
   common::Status Append(const std::vector<uint8_t>& payload);
 
-  /// Closes the file (idempotent).
+  /// Pushes buffered appends to the OS (no-op when nothing is pending).
+  common::Status Flush();
+
+  /// Batched-flush toggle. Per-record flush (the default) bounds loss to
+  /// zero records on crash; batched mode trades that for one syscall per
+  /// batch on write-heavy paths (the HTTP server's session logging) and
+  /// bounds loss to the records since the last `Flush()` — recovery
+  /// itself is unchanged, the torn tail just starts earlier.
+  void set_flush_each_append(bool flush_each) { flush_each_ = flush_each; }
+  bool flush_each_append() const { return flush_each_; }
+
+  /// Closes the file (idempotent); flushes via fclose.
   void Close();
 
   bool is_open() const { return file_ != nullptr; }
@@ -54,6 +67,7 @@ class AppendLog {
  private:
   std::FILE* file_ = nullptr;
   std::string path_;
+  bool flush_each_ = true;
 };
 
 }  // namespace lightor::storage

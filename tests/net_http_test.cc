@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/http.h"
+
+namespace lightor::net {
+namespace {
+
+constexpr std::string_view kPostVisit =
+    "POST /visit HTTP/1.1\r\n"
+    "Host: localhost\r\n"
+    "Content-Type: application/json\r\n"
+    "Content-Length: 20\r\n"
+    "\r\n"
+    "{\"video_id\":\"vid-1\"}";
+
+HttpRequest MustParse(std::string_view wire) {
+  RequestParser parser;
+  parser.Append(wire);
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kReady);
+  return std::move(parser.request());
+}
+
+TEST(RequestParserTest, CompleteRequestInOneRead) {
+  const HttpRequest req = MustParse(kPostVisit);
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.path, "/visit");
+  EXPECT_EQ(req.version_minor, 1);
+  EXPECT_EQ(req.body, "{\"video_id\":\"vid-1\"}");
+  ASSERT_NE(req.FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*req.FindHeader("Content-Type"), "application/json");
+}
+
+// Satellite requirement: the parser must produce the identical request
+// no matter where the kernel tears the read — split at EVERY byte
+// boundary and compare against the one-shot parse.
+TEST(RequestParserTest, SplitAtEveryByteBoundary) {
+  const HttpRequest reference = MustParse(kPostVisit);
+  for (size_t split = 0; split <= kPostVisit.size(); ++split) {
+    RequestParser parser;
+    parser.Append(kPostVisit.substr(0, split));
+    const auto first = parser.Parse();
+    if (split < kPostVisit.size()) {
+      ASSERT_EQ(first, RequestParser::State::kNeedMore) << "split " << split;
+      parser.Append(kPostVisit.substr(split));
+      ASSERT_EQ(parser.Parse(), RequestParser::State::kReady)
+          << "split " << split;
+    } else {
+      ASSERT_EQ(first, RequestParser::State::kReady) << "split " << split;
+    }
+    const HttpRequest& req = parser.request();
+    EXPECT_EQ(req.method, reference.method) << "split " << split;
+    EXPECT_EQ(req.target, reference.target) << "split " << split;
+    EXPECT_EQ(req.headers, reference.headers) << "split " << split;
+    EXPECT_EQ(req.body, reference.body) << "split " << split;
+    EXPECT_EQ(parser.buffered_bytes(), 0u) << "split " << split;
+  }
+}
+
+TEST(RequestParserTest, OneByteAtATime) {
+  RequestParser parser;
+  for (size_t i = 0; i < kPostVisit.size(); ++i) {
+    parser.Append(kPostVisit.substr(i, 1));
+    const auto state = parser.Parse();
+    if (i + 1 < kPostVisit.size()) {
+      ASSERT_EQ(state, RequestParser::State::kNeedMore) << "byte " << i;
+    } else {
+      ASSERT_EQ(state, RequestParser::State::kReady);
+    }
+  }
+  EXPECT_EQ(parser.request().body, "{\"video_id\":\"vid-1\"}");
+}
+
+TEST(RequestParserTest, TwoPipelinedRequestsInOneRead) {
+  RequestParser parser;
+  parser.Append(
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "POST /refine HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}");
+  ASSERT_EQ(parser.Parse(), RequestParser::State::kReady);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().path, "/healthz");
+  EXPECT_GT(parser.buffered_bytes(), 0u);  // second request still queued
+  ASSERT_EQ(parser.Parse(), RequestParser::State::kReady);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().path, "/refine");
+  EXPECT_EQ(parser.request().body, "{}");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kNeedMore);
+}
+
+TEST(RequestParserTest, MissingContentLengthMeansEmptyBody) {
+  const HttpRequest req = MustParse("GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(req.body, "");
+}
+
+TEST(RequestParserTest, ConnectionClosedMidBodyStaysNeedMore) {
+  RequestParser parser;
+  parser.Append(
+      "POST /visit HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial body");
+  // There is no more data coming; the parser simply never reaches kReady.
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kNeedMore);
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kNeedMore);
+  EXPECT_GT(parser.buffered_bytes(), 0u);
+}
+
+TEST(RequestParserTest, HeaderBlockOverCapIs431) {
+  RequestParser parser(RequestParser::Limits{.max_header_bytes = 64,
+                                             .max_body_bytes = 1024});
+  parser.Append("GET / HTTP/1.1\r\nX-Big: " + std::string(100, 'a') +
+                "\r\n\r\n");
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParserTest, HeaderOverCapDetectedBeforeTerminator) {
+  // The cap must fire even when the terminating blank line never arrives,
+  // or a slow-loris peer could grow the buffer forever.
+  RequestParser parser(RequestParser::Limits{.max_header_bytes = 64,
+                                             .max_body_bytes = 1024});
+  parser.Append("GET / HTTP/1.1\r\nX-Drip: " + std::string(200, 'b'));
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParserTest, ContentLengthOverCapIs413) {
+  RequestParser parser(RequestParser::Limits{.max_header_bytes = 8192,
+                                             .max_body_bytes = 16});
+  parser.Append("POST /visit HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParserTest, MalformedContentLengthIs400) {
+  for (const char* bad : {"abc", "-1", "1x", "", " 5 5"}) {
+    RequestParser parser;
+    parser.Append(std::string("POST / HTTP/1.1\r\nContent-Length: ") + bad +
+                  "\r\n\r\n");
+    EXPECT_EQ(parser.Parse(), RequestParser::State::kError) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(RequestParserTest, OverlongContentLengthIs413) {
+  RequestParser parser;
+  parser.Append(
+      "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n");
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParserTest, ConflictingContentLengthsIs400) {
+  RequestParser parser;
+  parser.Append(
+      "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n");
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParserTest, TransferEncodingIs501) {
+  RequestParser parser;
+  parser.Append("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(RequestParserTest, MalformedRequestLineIs400) {
+  for (const char* bad :
+       {"GET\r\n\r\n", "GET /\r\n\r\n", "GET / HTTP/1.1 extra\r\n\r\n",
+        "get / HTTP/1.1\r\n\r\n", "/ GET HTTP/1.1\r\n\r\n"}) {
+    RequestParser parser;
+    parser.Append(bad);
+    EXPECT_EQ(parser.Parse(), RequestParser::State::kError) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(RequestParserTest, UnsupportedVersionIs505) {
+  RequestParser parser;
+  parser.Append("GET / HTTP/2.0\r\n\r\n");
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(RequestParserTest, ObsoleteLineFoldingIs400) {
+  RequestParser parser;
+  parser.Append("GET / HTTP/1.1\r\nX-A: one\r\n two\r\n\r\n");
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParserTest, SpaceBeforeColonIs400) {
+  RequestParser parser;
+  parser.Append("GET / HTTP/1.1\r\nX-A : v\r\n\r\n");
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParserTest, ErrorStateIsTerminal) {
+  RequestParser parser;
+  parser.Append("BOGUS\r\n\r\n");
+  ASSERT_EQ(parser.Parse(), RequestParser::State::kError);
+  // A valid request appended afterwards must not resurrect the parser.
+  parser.Append("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(parser.Parse(), RequestParser::State::kError);
+}
+
+TEST(RequestParserTest, QueryParsing) {
+  const HttpRequest req =
+      MustParse("GET /metrics?format=json&video_id=v-1 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(req.path, "/metrics");
+  EXPECT_EQ(req.query, "format=json&video_id=v-1");
+  EXPECT_EQ(req.QueryParam("format"), "json");
+  EXPECT_EQ(req.QueryParam("video_id"), "v-1");
+  EXPECT_EQ(req.QueryParam("missing"), "");
+}
+
+TEST(RequestParserTest, KeepAliveSemantics) {
+  EXPECT_TRUE(MustParse("GET / HTTP/1.1\r\n\r\n").keep_alive());
+  EXPECT_FALSE(
+      MustParse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+  EXPECT_FALSE(
+      MustParse("GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n").keep_alive());
+  EXPECT_FALSE(MustParse("GET / HTTP/1.0\r\n\r\n").keep_alive());
+  EXPECT_TRUE(
+      MustParse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+          .keep_alive());
+}
+
+TEST(HttpResponseTest, SerializeAppendsFramingHeaders) {
+  HttpResponse resp = JsonResponse(200, "{\"ok\":true}");
+  const std::string wire = resp.Serialize(/*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("content-length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 11), "{\"ok\":true}");
+
+  const std::string closed = resp.Serialize(/*keep_alive=*/false);
+  EXPECT_NE(closed.find("connection: close\r\n"), std::string::npos);
+}
+
+TEST(HttpResponseTest, ErrorResponseCarriesJsonBody) {
+  const HttpResponse resp = ErrorResponse(404, "unknown video");
+  EXPECT_EQ(resp.status, 404);
+  EXPECT_EQ(resp.body, "{\"error\":\"unknown video\"}");
+}
+
+TEST(ResponseParserTest, ParsesAcrossSplitsAndReportsClose) {
+  const std::string wire =
+      "HTTP/1.1 503 Service Unavailable\r\n"
+      "retry-after: 1\r\n"
+      "content-length: 5\r\n"
+      "connection: close\r\n"
+      "\r\n"
+      "busy!";
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    ResponseParser parser;
+    parser.Append(wire.substr(0, split));
+    auto state = parser.Parse();
+    if (split < wire.size()) {
+      ASSERT_EQ(state, ResponseParser::State::kNeedMore) << split;
+      parser.Append(wire.substr(split));
+      state = parser.Parse();
+    }
+    ASSERT_EQ(state, ResponseParser::State::kReady) << split;
+    EXPECT_EQ(parser.response().status, 503);
+    EXPECT_EQ(parser.response().body, "busy!");
+    ASSERT_NE(parser.response().FindHeader("Retry-After"), nullptr);
+    EXPECT_EQ(*parser.response().FindHeader("retry-after"), "1");
+  }
+}
+
+TEST(ResponseParserTest, LengthlessBodyCompletesOnEof) {
+  ResponseParser parser;
+  parser.Append("HTTP/1.0 200 OK\r\n\r\npartial strea");
+  EXPECT_EQ(parser.Parse(), ResponseParser::State::kNeedMore);
+  parser.Append("m");
+  EXPECT_EQ(parser.Parse(), ResponseParser::State::kNeedMore);
+  EXPECT_EQ(parser.OnEof(), ResponseParser::State::kReady);
+  EXPECT_EQ(parser.response().body, "partial stream");
+}
+
+TEST(ResponseParserTest, EofMidSizedBodyIsError) {
+  ResponseParser parser;
+  parser.Append("HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nhalf");
+  EXPECT_EQ(parser.Parse(), ResponseParser::State::kNeedMore);
+  EXPECT_EQ(parser.OnEof(), ResponseParser::State::kError);
+}
+
+}  // namespace
+}  // namespace lightor::net

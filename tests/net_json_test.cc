@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/codec.h"
+#include "net/json.h"
+#include "sim/viewer.h"
+
+namespace lightor::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json parser strictness
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Json::Parse("null").value().is_null());
+  EXPECT_TRUE(Json::Parse("true").value().AsBool());
+  EXPECT_FALSE(Json::Parse("false").value().AsBool());
+  EXPECT_DOUBLE_EQ(Json::Parse("123").value().AsNumber(), 123.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("-0.5").value().AsNumber(), -0.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3").value().AsNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5E-1").value().AsNumber(), 0.25);
+  EXPECT_EQ(Json::Parse("\"hi\"").value().AsString(), "hi");
+}
+
+TEST(JsonParseTest, WholeInputRequired) {
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("{} extra").ok());
+  EXPECT_FALSE(Json::Parse("[1,2]]").ok());
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_TRUE(Json::Parse("  [1]  ").ok());  // surrounding ws is fine
+}
+
+TEST(JsonParseTest, StrictNumbers) {
+  EXPECT_FALSE(Json::Parse("012").ok());   // leading zero
+  EXPECT_FALSE(Json::Parse("+1").ok());    // explicit plus
+  EXPECT_FALSE(Json::Parse("1.").ok());    // bare decimal point
+  EXPECT_FALSE(Json::Parse(".5").ok());
+  EXPECT_FALSE(Json::Parse("NaN").ok());
+  EXPECT_FALSE(Json::Parse("Infinity").ok());
+  EXPECT_FALSE(Json::Parse("1e999").ok());  // overflows to inf
+  EXPECT_TRUE(Json::Parse("0").ok());
+  EXPECT_TRUE(Json::Parse("-0").ok());
+  EXPECT_TRUE(Json::Parse("0.125").ok());
+}
+
+TEST(JsonParseTest, DuplicateObjectKeysRejected) {
+  EXPECT_FALSE(Json::Parse("{\"a\":1,\"a\":2}").ok());
+  EXPECT_TRUE(Json::Parse("{\"a\":1,\"b\":2}").ok());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(Json::Parse("\"a\\nb\"").value().AsString(), "a\nb");
+  EXPECT_EQ(Json::Parse("\"\\\"\\\\\\/\"").value().AsString(), "\"\\/");
+  EXPECT_EQ(Json::Parse("\"\\u0041\"").value().AsString(), "A");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(Json::Parse("\"\\uD83D\\uDE00\"").value().AsString(),
+            "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(Json::Parse("\"\\uD83D\"").ok());   // lone high surrogate
+  EXPECT_FALSE(Json::Parse("\"\\x41\"").ok());     // unknown escape
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("\"raw\x01control\"").ok());
+}
+
+TEST(JsonParseTest, DepthCapped) {
+  std::string deep_ok, deep_bad;
+  for (int i = 0; i < 30; ++i) deep_ok += '[';
+  deep_ok += "1";
+  for (int i = 0; i < 30; ++i) deep_ok += ']';
+  for (int i = 0; i < 80; ++i) deep_bad += '[';
+  deep_bad += "1";
+  for (int i = 0; i < 80; ++i) deep_bad += ']';
+  EXPECT_TRUE(Json::Parse(deep_ok).ok());
+  EXPECT_FALSE(Json::Parse(deep_bad).ok());
+}
+
+TEST(JsonDumpTest, RoundTripPreservesOrderAndIntegers) {
+  Json obj = Json::MakeObject();
+  obj.Set("zeta", Json::Int(5));
+  obj.Set("alpha", Json::Number(0.5));
+  Json arr = Json::MakeArray();
+  arr.Append(Json::Bool(true));
+  arr.Append(Json::Null());
+  arr.Append(Json::Str("x\"y"));
+  obj.Set("list", std::move(arr));
+  const std::string dumped = obj.Dump();
+  // Insertion order kept; integral doubles print without a decimal point.
+  EXPECT_EQ(dumped, "{\"zeta\":5,\"alpha\":0.5,\"list\":[true,null,\"x\\\"y\"]}");
+  auto back = Json::Parse(dumped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().Dump(), dumped);
+}
+
+TEST(JsonDumpTest, FindOnObjects) {
+  auto parsed = Json::Parse("{\"a\":1,\"b\":\"two\"}");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed.value().Find("b"), nullptr);
+  EXPECT_EQ(parsed.value().Find("b")->AsString(), "two");
+  EXPECT_EQ(parsed.value().Find("missing"), nullptr);
+  EXPECT_EQ(Json::Int(3).Find("a"), nullptr);  // non-object
+}
+
+TEST(JsonDumpTest, AppendJsonStringEscapesControls) {
+  std::string out;
+  AppendJsonString(std::string("a\"b\\c\n\t\x01z", 9), out);
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\t\\u0001z\"");
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec round trips
+
+storage::HighlightRecord MakeRecord(int index) {
+  storage::HighlightRecord rec;
+  rec.video_id = "vid-1";
+  rec.dot_index = index;
+  rec.dot_position = 10.5 * (index + 1);
+  rec.start = rec.dot_position - 5.0;
+  rec.end = rec.dot_position + 5.0;
+  rec.score = 0.25 * (index + 1);
+  rec.iteration = index;
+  rec.converged = index % 2 == 0;
+  return rec;
+}
+
+TEST(CodecTest, PageVisitRoundTrip) {
+  serving::PageVisitRequest req;
+  req.video_id = "vid-1";
+  req.user = "alice";
+  auto req_back = DecodePageVisitRequest(EncodeJson(req));
+  ASSERT_TRUE(req_back.ok());
+  EXPECT_EQ(req_back.value().video_id, "vid-1");
+  EXPECT_EQ(req_back.value().user, "alice");
+
+  serving::PageVisitResponse resp;
+  resp.highlights = {MakeRecord(0), MakeRecord(1)};
+  resp.first_visit = true;
+  resp.snapshot_version = 7;
+  resp.provisional = false;
+  auto resp_back = DecodePageVisitResponse(EncodeJson(resp));
+  ASSERT_TRUE(resp_back.ok());
+  EXPECT_EQ(resp_back.value().highlights, resp.highlights);
+  EXPECT_TRUE(resp_back.value().first_visit);
+  EXPECT_EQ(resp_back.value().snapshot_version, 7u);
+}
+
+TEST(CodecTest, LogSessionRoundTripAllEventTypes) {
+  serving::LogSessionRequest req;
+  req.video_id = "vid-2";
+  req.user = "bob";
+  req.session_id = (uint64_t{3} << 32) | 9;
+  const sim::InteractionType types[] = {
+      sim::InteractionType::kPlay, sim::InteractionType::kPause,
+      sim::InteractionType::kSeekForward, sim::InteractionType::kSeekBackward};
+  double t = 0.0;
+  for (const auto type : types) {
+    sim::InteractionEvent event;
+    event.wall_time = (t += 1.5);
+    event.type = type;
+    event.position = t * 10;
+    event.target = t * 20;
+    req.events.push_back(event);
+  }
+  auto back = DecodeLogSessionRequest(EncodeJson(req));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().video_id, "vid-2");
+  EXPECT_EQ(back.value().session_id, req.session_id);
+  ASSERT_EQ(back.value().events.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.value().events[i].type, req.events[i].type) << i;
+    EXPECT_DOUBLE_EQ(back.value().events[i].wall_time,
+                     req.events[i].wall_time);
+    EXPECT_DOUBLE_EQ(back.value().events[i].position, req.events[i].position);
+    EXPECT_DOUBLE_EQ(back.value().events[i].target, req.events[i].target);
+  }
+}
+
+TEST(CodecTest, IngestAndFinalizeRoundTrip) {
+  serving::IngestChatRequest req;
+  req.video_id = "live-1";
+  core::Message m;
+  m.timestamp = 12.25;
+  m.user = "chatter";
+  m.text = "gg \"wp\"";
+  req.messages.push_back(m);
+  auto req_back = DecodeIngestChatRequest(EncodeJson(req));
+  ASSERT_TRUE(req_back.ok());
+  ASSERT_EQ(req_back.value().messages.size(), 1u);
+  EXPECT_EQ(req_back.value().messages[0].text, "gg \"wp\"");
+  EXPECT_DOUBLE_EQ(req_back.value().messages[0].timestamp, 12.25);
+
+  serving::IngestChatResponse resp;
+  resp.accepted = 31;
+  resp.rejected = 1;
+  resp.provisional_published = true;
+  resp.snapshot_version = 2;
+  auto resp_back = DecodeIngestChatResponse(EncodeJson(resp));
+  ASSERT_TRUE(resp_back.ok());
+  EXPECT_EQ(resp_back.value().accepted, 31u);
+  EXPECT_EQ(resp_back.value().rejected, 1u);
+  EXPECT_TRUE(resp_back.value().provisional_published);
+
+  serving::FinalizeStreamRequest freq;
+  freq.video_id = "live-1";
+  freq.video_length = 600.0;
+  auto freq_back = DecodeFinalizeStreamRequest(EncodeJson(freq));
+  ASSERT_TRUE(freq_back.ok());
+  EXPECT_DOUBLE_EQ(freq_back.value().video_length, 600.0);
+
+  serving::FinalizeStreamResponse fresp;
+  fresp.highlights = {MakeRecord(2)};
+  fresp.snapshot_version = 4;
+  fresp.video_length = 601.5;
+  auto fresp_back = DecodeFinalizeStreamResponse(EncodeJson(fresp));
+  ASSERT_TRUE(fresp_back.ok());
+  EXPECT_EQ(fresp_back.value().highlights, fresp.highlights);
+  EXPECT_DOUBLE_EQ(fresp_back.value().video_length, 601.5);
+}
+
+TEST(CodecTest, GetHighlightsRoundTrip) {
+  serving::GetHighlightsResponse resp;
+  resp.highlights = {MakeRecord(0)};
+  resp.snapshot_version = 9;
+  resp.provisional = true;
+  auto back = DecodeGetHighlightsResponse(EncodeJson(resp));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().highlights, resp.highlights);
+  EXPECT_TRUE(back.value().provisional);
+}
+
+TEST(CodecTest, StrictDecodeErrors) {
+  // Malformed JSON, missing required field, wrong type: all errors.
+  EXPECT_FALSE(DecodePageVisitRequest("not json").ok());
+  EXPECT_FALSE(DecodePageVisitRequest("{}").ok());
+  EXPECT_FALSE(DecodePageVisitRequest("{\"video_id\":7}").ok());
+  EXPECT_FALSE(DecodeLogSessionRequest(
+                   "{\"video_id\":\"v\",\"user\":\"u\",\"session_id\":1,"
+                   "\"events\":[{\"wall_time\":0,\"type\":\"warp\","
+                   "\"position\":0,\"target\":0}]}")
+                   .ok());  // unknown event type
+  // Unknown top-level fields are tolerated.
+  EXPECT_TRUE(DecodePageVisitRequest(
+                  "{\"video_id\":\"v\",\"future_field\":true}")
+                  .ok());
+}
+
+TEST(CodecTest, EncodingIsCanonical) {
+  // The differential check depends on stable byte-for-byte encodings.
+  serving::GetHighlightsResponse resp;
+  resp.highlights = {MakeRecord(0)};
+  resp.snapshot_version = 1;
+  EXPECT_EQ(EncodeJson(resp), EncodeJson(resp));
+  EXPECT_EQ(
+      EncodeJson(resp),
+      "{\"highlights\":[{\"video_id\":\"vid-1\",\"dot_index\":0,"
+      "\"dot_position\":10.5,\"start\":5.5,\"end\":15.5,\"score\":0.25,"
+      "\"iteration\":0,\"converged\":true}],\"snapshot_version\":1,"
+      "\"provisional\":false}");
+}
+
+}  // namespace
+}  // namespace lightor::net

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/lightor.h"
+#include "net/client.h"
+#include "net/loadgen.h"
+#include "net/server.h"
+#include "net/service.h"
+#include "serving/highlight_server.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/platform.h"
+#include "storage/database.h"
+
+namespace lightor::net {
+namespace {
+
+/// In-process replica of the CLI's `loadgen --check` stack: a served
+/// HighlightServer behind the HTTP front-end plus an independent
+/// reference server the recorded traffic is replayed into.
+struct Stack {
+  std::unique_ptr<sim::Platform> platform;
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<core::Lightor> lightor;
+  std::unique_ptr<serving::HighlightServer> server;
+};
+
+Stack MakeStack(const sim::Platform::Options& popts,
+                const std::string& db_dir, bool batched_flush) {
+  Stack stack;
+  stack.platform = std::make_unique<sim::Platform>(popts);
+  auto db = storage::Database::Open(db_dir);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  stack.db = std::move(db).value();
+
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 1007);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  stack.lightor = std::make_unique<core::Lightor>(core::LightorOptions{});
+  EXPECT_TRUE(stack.lightor->TrainInitializer({tv}).ok());
+
+  serving::ServerOptions sopts;
+  sopts.platform = serving::Borrow(
+      static_cast<const sim::Platform*>(stack.platform.get()));
+  sopts.db = serving::Borrow(stack.db.get());
+  sopts.lightor = serving::Borrow(
+      static_cast<const core::Lightor*>(stack.lightor.get()));
+  sopts.num_workers = 2;
+  // Background refinement off: the differential check requires served
+  // state to be a pure function of the accepted traffic.
+  sopts.refine_batch_sessions = 0;
+  sopts.batched_session_flush = batched_flush;
+  auto server = serving::HighlightServer::Create(sopts);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  stack.server = std::move(server).value();
+  return stack;
+}
+
+class LoadGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lightor_loadgen_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+LoadGenOptions MixOptions(const sim::Platform& platform, uint16_t port) {
+  LoadGenOptions options;
+  options.port = port;
+  options.platform = &platform;
+  options.refine_weight = 0;  // differential-check contract
+  const auto ids = platform.AllVideoIds();
+  options.recorded_ids.assign(ids.begin(), ids.begin() + 2);
+  options.live_ids.assign(ids.begin() + 2, ids.begin() + 4);
+  return options;
+}
+
+// The ISSUE's acceptance run: >= 1k mixed requests across >= 8 threads
+// with zero wire-level errors, and the state the HTTP server ends up
+// serving is byte-identical to an in-process reference HighlightServer
+// fed the same accepted traffic.
+TEST_F(LoadGenTest, ThousandMixedRequestsAndDifferentialCheck) {
+  sim::Platform::Options popts;
+  popts.num_channels = 2;
+  popts.videos_per_channel = 2;
+  popts.seed = 7;
+
+  Stack served = MakeStack(popts, (dir_ / "served").string(),
+                           /*batched_flush=*/true);
+  Stack reference = MakeStack(popts, (dir_ / "reference").string(),
+                              /*batched_flush=*/false);
+  auto http =
+      HttpServer::Create(NetOptions{}, BuildRoutes(served.server.get()));
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+
+  LoadGenOptions options = MixOptions(*served.platform, http.value()->port());
+  options.num_threads = 8;
+  options.requests_per_thread = 128;
+
+  RecordedTraffic recorded;
+  auto report = RunLoadGen(options, &recorded);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report.value().requests, 1024u);
+  EXPECT_EQ(report.value().wire_errors, 0u);
+  EXPECT_GT(report.value().status_2xx, 0u);
+  EXPECT_GT(report.value().visits, 0u);
+  EXPECT_GT(report.value().sessions, 0u);
+  EXPECT_GT(report.value().ingests, 0u);
+  EXPECT_GT(report.value().throughput_rps, 0.0);
+  EXPECT_GT(report.value().p50_ms, 0.0);
+  EXPECT_LE(report.value().p50_ms, report.value().p95_ms);
+  EXPECT_LE(report.value().p95_ms, report.value().p99_ms);
+  EXPECT_LE(report.value().p99_ms, report.value().max_ms);
+
+  HttpClient client("127.0.0.1", http.value()->port());
+  EXPECT_TRUE(
+      RunDifferentialCheck(recorded, client, reference.server.get()).ok());
+
+  http.value()->Shutdown();
+  served.server->Shutdown();
+  reference.server->Shutdown();
+}
+
+// At in-flight capacity 1 a closed loop of 8 clients must trip
+// admission control: the report counts well-formed 503s, not wire
+// errors.
+TEST_F(LoadGenTest, SaturationSurfacesAdmission503s) {
+  sim::Platform::Options popts;
+  popts.num_channels = 2;
+  popts.videos_per_channel = 2;
+  popts.seed = 7;
+  Stack served = MakeStack(popts, (dir_ / "served").string(),
+                           /*batched_flush=*/true);
+
+  NetOptions nopts;
+  nopts.max_in_flight = 1;
+  auto http =
+      HttpServer::Create(std::move(nopts), BuildRoutes(served.server.get()));
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+
+  LoadGenOptions options = MixOptions(*served.platform, http.value()->port());
+  options.num_threads = 8;
+  options.requests_per_thread = 32;
+
+  auto report = RunLoadGen(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().wire_errors, 0u);
+  EXPECT_GE(report.value().rejected_503, 1u);
+  EXPECT_EQ(report.value().status_5xx, report.value().rejected_503);
+
+  http.value()->Shutdown();
+  served.server->Shutdown();
+}
+
+TEST(LoadGenOptionsTest, ValidateRejectsBadConfigs) {
+  sim::Platform::Options popts;
+  const sim::Platform platform(popts);
+
+  LoadGenOptions no_platform;
+  no_platform.recorded_ids = {"v"};
+  EXPECT_FALSE(no_platform.Validate().ok());
+
+  LoadGenOptions no_videos;
+  no_videos.platform = &platform;
+  EXPECT_FALSE(no_videos.Validate().ok());
+
+  LoadGenOptions no_threads;
+  no_threads.platform = &platform;
+  no_threads.recorded_ids = {"v"};
+  no_threads.num_threads = 0;
+  EXPECT_FALSE(no_threads.Validate().ok());
+
+  LoadGenOptions zero_mix;
+  zero_mix.platform = &platform;
+  zero_mix.recorded_ids = {"v"};
+  zero_mix.visit_weight = 0;
+  zero_mix.session_weight = 0;
+  zero_mix.refine_weight = 0;
+  zero_mix.ingest_weight = 0;
+  EXPECT_FALSE(zero_mix.Validate().ok());
+}
+
+}  // namespace
+}  // namespace lightor::net

@@ -153,6 +153,48 @@ TEST_F(LogTest, RecoverMissingFileIsZero) {
   EXPECT_EQ(recovered.value(), 0u);
 }
 
+TEST_F(LogTest, BatchedFlushModeReplaysEverythingAfterFlush) {
+  AppendLog log;
+  ASSERT_TRUE(log.Open(path_).ok());
+  EXPECT_TRUE(log.flush_each_append());
+  log.set_flush_each_append(false);
+  EXPECT_FALSE(log.flush_each_append());
+  ASSERT_TRUE(log.Append(Bytes("one")).ok());
+  ASSERT_TRUE(log.Append(Bytes("two")).ok());
+  ASSERT_TRUE(log.Flush().ok());
+
+  // The log is still open (no Close), yet a concurrent reader of the
+  // file must see both records — Flush is the durability point.
+  std::vector<std::string> seen;
+  ASSERT_TRUE(AppendLog::ReplayFile(path_, [&](const std::vector<uint8_t>& p) {
+                seen.emplace_back(p.begin(), p.end());
+              }).ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "one");
+  EXPECT_EQ(seen[1], "two");
+  log.Close();
+}
+
+TEST_F(LogTest, FlushWithoutOpenFails) {
+  AppendLog log;
+  EXPECT_TRUE(log.Flush().IsFailedPrecondition());
+}
+
+TEST_F(LogTest, CloseFlushesBatchedAppends) {
+  {
+    AppendLog log;
+    ASSERT_TRUE(log.Open(path_).ok());
+    log.set_flush_each_append(false);
+    ASSERT_TRUE(log.Append(Bytes("buffered")).ok());
+    log.Close();  // close must not lose the unflushed tail
+  }
+  int count = 0;
+  ASSERT_TRUE(AppendLog::ReplayFile(path_, [&](const std::vector<uint8_t>&) {
+                ++count;
+              }).ok());
+  EXPECT_EQ(count, 1);
+}
+
 TEST_F(LogTest, LargePayloadRoundTrip) {
   std::vector<uint8_t> big(1 << 20);
   for (size_t i = 0; i < big.size(); ++i) {

@@ -13,6 +13,11 @@
 ///   lightor stream  --db=DIR [--channels=2 --videos-per-channel=2
 ///                   --seed=7 --k=5 --streams=2 --batch-size=32
 ///                   --refresh=64 --shards=16]
+///   lightor serve-http --db=DIR [--port=0 --port-file=FILE --duration=S
+///                   --net-workers=4 --max-in-flight=64 --deadline=10]
+///   lightor loadgen --port=N | --check --db=DIR
+///                   [--threads=8 --requests=128 --recorded=2 --live=2]
+///   lightor curl    --port=N [--target=/healthz --method=GET --body=JSON]
 ///
 /// `gen` synthesizes a labelled corpus to disk (CSV traces); `train`
 /// fits the Highlight Initializer on the first N videos and saves the
@@ -23,12 +28,23 @@
 /// background workers refine every visited video; `stream` replays
 /// recorded chat as interleaved live broadcasts through the server's
 /// ingest path, finalizes each stream, and differential-checks the
-/// result against the batch initializer.
+/// result against the batch initializer; `serve-http` exposes the
+/// HighlightServer over the src/net wire front-end; `loadgen` drives a
+/// closed-loop multi-threaded traffic mix against it (`--check` hosts
+/// the whole stack in-process and byte-compares the served state with an
+/// independent reference server); `curl` is a one-shot HTTP client for
+/// smoke tests.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/flags.h"
@@ -39,6 +55,10 @@
 #include "obs/trace.h"
 #include "core/evaluation.h"
 #include "core/model_io.h"
+#include "net/client.h"
+#include "net/loadgen.h"
+#include "net/server.h"
+#include "net/service.h"
 #include "serving/highlight_server.h"
 #include "sim/bridge.h"
 #include "sim/corpus.h"
@@ -53,8 +73,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: lightor <gen|train|detect|eval|extract|serve|stream> "
-               "[--flags]\n"
+               "usage: lightor <gen|train|detect|eval|extract|serve|stream|"
+               "serve-http|loadgen|curl> [--flags]\n"
                "run with a command and no flags to see its options\n"
                "global flags: --log-level=debug|info|warning|error\n"
                "              --metrics-out=FILE (Prometheus text)\n"
@@ -497,6 +517,258 @@ int CmdStream(const common::Flags& flags) {
   return all_match ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Wire front-end commands: serve-http / loadgen / curl
+
+std::atomic<bool> g_stop{false};
+void OnSignal(int) { g_stop.store(true); }
+
+/// A fully wired in-process serving stack (platform + DB + trained
+/// pipeline + HighlightServer). Heap-held so the Borrow()'d pointers in
+/// ServerOptions stay stable when the stack moves.
+struct ServingStack {
+  std::unique_ptr<sim::Platform> platform;
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<core::Lightor> lightor;
+  std::unique_ptr<serving::HighlightServer> server;
+};
+
+common::Result<ServingStack> MakeServingStack(const common::Flags& flags,
+                                              const std::string& db_dir,
+                                              size_t refine_batch,
+                                              bool batched_flush) {
+  ServingStack stack;
+  sim::Platform::Options popts;
+  popts.num_channels = static_cast<int>(flags.GetInt("channels", 2));
+  popts.videos_per_channel =
+      static_cast<int>(flags.GetInt("videos-per-channel", 2));
+  popts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  stack.platform = std::make_unique<sim::Platform>(popts);
+
+  LIGHTOR_ASSIGN_OR_RETURN(stack.db, storage::Database::Open(db_dir));
+
+  // Train on an out-of-platform corpus video, as in deployment.
+  const auto corpus =
+      sim::MakeCorpus(sim::GameType::kDota2, 1, popts.seed + 1000);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  core::LightorOptions lopts;
+  lopts.top_k = static_cast<size_t>(flags.GetInt("k", 5));
+  stack.lightor = std::make_unique<core::Lightor>(lopts);
+  if (auto st = stack.lightor->TrainInitializer({tv}); !st.ok()) return st;
+
+  serving::ServerOptions sopts;
+  sopts.platform = serving::Borrow(
+      static_cast<const sim::Platform*>(stack.platform.get()));
+  sopts.db = serving::Borrow(stack.db.get());
+  sopts.lightor = serving::Borrow(
+      static_cast<const core::Lightor*>(stack.lightor.get()));
+  sopts.top_k = lopts.top_k;
+  sopts.num_workers = static_cast<size_t>(flags.GetInt("workers", 2));
+  sopts.num_shards = static_cast<size_t>(flags.GetInt("shards", 16));
+  sopts.refine_batch_sessions = refine_batch;
+  sopts.batched_session_flush = batched_flush;
+  LIGHTOR_ASSIGN_OR_RETURN(stack.server,
+                           serving::HighlightServer::Create(sopts));
+  return stack;
+}
+
+net::NetOptions NetOptionsFromFlags(const common::Flags& flags) {
+  net::NetOptions nopts;
+  nopts.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  nopts.num_workers = static_cast<size_t>(flags.GetInt("net-workers", 4));
+  nopts.max_in_flight =
+      static_cast<size_t>(flags.GetInt("max-in-flight", 64));
+  nopts.request_deadline_seconds = flags.GetDouble("deadline", 10.0);
+  nopts.idle_timeout_seconds = flags.GetDouble("idle-timeout", 60.0);
+  nopts.use_epoll = !flags.GetBool("poll", false);
+  return nopts;
+}
+
+int CmdServeHttp(const common::Flags& flags) {
+  const std::string db_dir = flags.GetString("db");
+  if (db_dir.empty()) {
+    std::fprintf(stderr,
+                 "serve-http: --db=DIR required "
+                 "[--port=0 --port-file=FILE --duration=SECONDS\n"
+                 "            --channels=2 --videos-per-channel=2 --seed=7 "
+                 "--k=5 --workers=2\n"
+                 "            --shards=16 --batch=8 --net-workers=4 "
+                 "--max-in-flight=64\n"
+                 "            --deadline=10 --idle-timeout=60 --poll "
+                 "--batched-flush=true]\n");
+    return 2;
+  }
+  auto stack = MakeServingStack(
+      flags, db_dir, static_cast<size_t>(flags.GetInt("batch", 8)),
+      flags.GetBool("batched-flush", true));
+  if (!stack.ok()) return Fail(stack.status());
+
+  auto http = net::HttpServer::Create(
+      NetOptionsFromFlags(flags), net::BuildRoutes(stack.value().server.get()));
+  if (!http.ok()) return Fail(http.status());
+  std::printf("listening on %s:%u\n", http.value()->options().host.c_str(),
+              http.value()->port());
+  std::fflush(stdout);
+  if (const std::string path = flags.GetString("port-file"); !path.empty()) {
+    std::ofstream out(path, std::ios::trunc);
+    out << http.value()->port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  const double duration = flags.GetDouble("duration", 0.0);
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    if (duration > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= duration) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  http.value()->Shutdown();
+  stack.value().server->Shutdown();
+  std::printf("drained\n");
+  return 0;
+}
+
+int CmdLoadgen(const common::Flags& flags) {
+  const bool check = flags.GetBool("check", false);
+  if (!check && !flags.Has("port")) {
+    std::fprintf(stderr,
+                 "loadgen: --port=N required (or --check --db=DIR for the "
+                 "self-hosted differential mode)\n"
+                 "  [--host=127.0.0.1 --threads=8 --requests=128 --seed=7\n"
+                 "   --recorded=2 --live=2 --batch-size=32 --channels=2\n"
+                 "   --videos-per-channel=2 --visit-w=4 --session-w=8 "
+                 "--refine-w=1 --ingest-w=2]\n");
+    return 2;
+  }
+
+  // The traffic shape comes from the same simulated platform the server
+  // was built over (same --channels/--videos-per-channel/--seed).
+  sim::Platform::Options popts;
+  popts.num_channels = static_cast<int>(flags.GetInt("channels", 2));
+  popts.videos_per_channel =
+      static_cast<int>(flags.GetInt("videos-per-channel", 2));
+  popts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const sim::Platform platform(popts);
+  const auto ids = platform.AllVideoIds();
+
+  net::LoadGenOptions lgopts;
+  lgopts.host = flags.GetString("host", "127.0.0.1");
+  lgopts.num_threads = static_cast<size_t>(flags.GetInt("threads", 8));
+  lgopts.requests_per_thread =
+      static_cast<size_t>(flags.GetInt("requests", 128));
+  lgopts.seed = popts.seed;
+  lgopts.visit_weight = static_cast<int>(flags.GetInt("visit-w", 4));
+  lgopts.session_weight = static_cast<int>(flags.GetInt("session-w", 8));
+  lgopts.refine_weight =
+      check ? 0 : static_cast<int>(flags.GetInt("refine-w", 1));
+  lgopts.ingest_weight = static_cast<int>(flags.GetInt("ingest-w", 2));
+  lgopts.ingest_batch_size =
+      static_cast<size_t>(flags.GetInt("batch-size", 32));
+  lgopts.platform = &platform;
+  const size_t recorded = std::min(
+      static_cast<size_t>(flags.GetInt("recorded", 2)), ids.size());
+  const size_t live = std::min(static_cast<size_t>(flags.GetInt("live", 2)),
+                               ids.size() - recorded);
+  lgopts.recorded_ids.assign(ids.begin(),
+                             ids.begin() + static_cast<ptrdiff_t>(recorded));
+  lgopts.live_ids.assign(
+      ids.begin() + static_cast<ptrdiff_t>(recorded),
+      ids.begin() + static_cast<ptrdiff_t>(recorded + live));
+
+  // --check hosts the full socket stack in-process: a served
+  // HighlightServer behind HttpServer, and an independent reference
+  // HighlightServer the recorded traffic is replayed into. Background
+  // refinement is off on both (refine_batch=0) and /refine is out of the
+  // mix, so final state is a pure function of the accepted traffic.
+  ServingStack served;
+  ServingStack reference;
+  std::unique_ptr<net::HttpServer> http;
+  if (check) {
+    const std::string db_dir = flags.GetString("db");
+    if (db_dir.empty()) {
+      std::fprintf(stderr, "loadgen: --check requires --db=DIR\n");
+      return 2;
+    }
+    auto s = MakeServingStack(flags, db_dir + "/served", 0, true);
+    if (!s.ok()) return Fail(s.status());
+    served = std::move(s).value();
+    auto r = MakeServingStack(flags, db_dir + "/reference", 0, false);
+    if (!r.ok()) return Fail(r.status());
+    reference = std::move(r).value();
+    net::NetOptions nopts = NetOptionsFromFlags(flags);
+    nopts.port = 0;
+    auto create = net::HttpServer::Create(
+        nopts, net::BuildRoutes(served.server.get()));
+    if (!create.ok()) return Fail(create.status());
+    http = std::move(create).value();
+    lgopts.host = "127.0.0.1";
+    lgopts.port = http->port();
+  } else {
+    lgopts.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  }
+
+  net::RecordedTraffic recorded_traffic;
+  auto report =
+      net::RunLoadGen(lgopts, check ? &recorded_traffic : nullptr);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s\n", net::EncodeJson(report.value()).c_str());
+
+  int code = report.value().wire_errors == 0 ? 0 : 1;
+  if (check) {
+    net::HttpClient client(lgopts.host, lgopts.port);
+    if (auto st = net::RunDifferentialCheck(recorded_traffic, client,
+                                            reference.server.get());
+        !st.ok()) {
+      std::fprintf(stderr, "differential check FAILED: %s\n",
+                   st.ToString().c_str());
+      code = 1;
+    } else {
+      std::printf("differential check: OK\n");
+    }
+    http->Shutdown();
+    served.server->Shutdown();
+    reference.server->Shutdown();
+  }
+  return code;
+}
+
+int CmdCurl(const common::Flags& flags) {
+  if (!flags.Has("port")) {
+    std::fprintf(stderr,
+                 "curl: --port=N required [--host=127.0.0.1 "
+                 "--target=/healthz --method=GET --body=JSON]\n");
+    return 2;
+  }
+  const std::string body = flags.GetString("body");
+  const std::string method =
+      flags.GetString("method", body.empty() ? "GET" : "POST");
+  net::HttpClient client(flags.GetString("host", "127.0.0.1"),
+                         static_cast<uint16_t>(flags.GetInt("port", 0)));
+  auto response =
+      client.Request(method, flags.GetString("target", "/healthz"), body);
+  if (!response.ok()) return Fail(response.status());
+  std::fprintf(stderr, "%d %s\n", response.value().status,
+               std::string(net::StatusReason(response.value().status))
+                   .c_str());
+  std::printf("%s\n", response.value().body.c_str());
+  return response.value().status < 400 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -524,6 +796,12 @@ int main(int argc, char** argv) {
     code = CmdServe(flags);
   } else if (command == "stream") {
     code = CmdStream(flags);
+  } else if (command == "serve-http") {
+    code = CmdServeHttp(flags);
+  } else if (command == "loadgen") {
+    code = CmdLoadgen(flags);
+  } else if (command == "curl") {
+    code = CmdCurl(flags);
   } else {
     return Usage();
   }
