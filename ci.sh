@@ -5,12 +5,14 @@
 #   ./ci.sh            # fresh configure into build-ci/ and run everything
 #   BUILD_DIR=build ./ci.sh   # reuse an existing tree
 #   SKIP_TSAN=1 ./ci.sh       # skip the ThreadSanitizer stage
+#   SKIP_ASAN=1 ./ci.sh       # skip the Address+UBSanitizer stage
 
 set -eu
 cd "$(dirname "$0")"
 
 BUILD_DIR=${BUILD_DIR:-build-ci}
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
+ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 
 echo "== lint: metric naming convention =="
 sh tools/check_metrics_names.sh
@@ -62,9 +64,25 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
   cmake --build "$TSAN_BUILD_DIR" -j --target \
       serving_server_test serving_stress_test \
       serving_stream_test serving_stream_stress_test \
+      serving_recovery_test \
       net_server_test net_loadgen_test \
       obs_metrics_test obs_trace_test
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
       -R '^(serving_|net_server|net_loadgen|obs_)'
+fi
+
+# The storage engine and the fault-injection suite do the pointer- and
+# buffer-heavy work (log framing, torn-tail truncation, crash-point
+# enumeration): run their tests under AddressSanitizer + UBSan.
+if [ "${SKIP_ASAN:-0}" != "1" ]; then
+  echo "== address+ub sanitizer: storage + fault + recovery tests ($ASAN_BUILD_DIR) =="
+  cmake -B "$ASAN_BUILD_DIR" -S . -DLIGHTOR_SANITIZE=address,undefined \
+      >/dev/null
+  cmake --build "$ASAN_BUILD_DIR" -j --target \
+      storage_serialize_test storage_log_test storage_stores_test \
+      storage_database_test storage_compaction_test \
+      storage_faults_test serving_recovery_test property_test
+  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure \
+      -R '^(storage_|serving_recovery|property)'
 fi
 echo "ci: OK"

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cerrno>
+#include <cstring>
+
 namespace lightor::common {
 
 std::string_view StatusCodeName(StatusCode code) {
@@ -26,6 +29,24 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
   }
   return "Unknown";
+}
+
+Status ErrnoToStatus(int errno_value, std::string context) {
+  context += ": ";
+  context += std::strerror(errno_value);
+  switch (errno_value) {
+    case ENOENT:
+      return Status::NotFound(std::move(context));
+    default:
+      return Status::IoError(std::move(context));
+  }
+}
+
+bool IsRetryable(const Status& status) {
+  // Disk-full, interrupted calls, and other transient I/O conditions all
+  // surface as IoError here; corruption and precondition failures do not
+  // heal by retrying.
+  return status.IsIoError();
 }
 
 std::string Status::ToString() const {

@@ -101,6 +101,16 @@ class Status {
   std::string message_;
 };
 
+/// Maps an `errno` value onto a Status: ENOENT -> NotFound, everything
+/// else -> IoError. The message is "<context>: <strerror(errno_value)>".
+/// The storage Env uses this so every syscall failure carries both the
+/// operation and the OS reason.
+Status ErrnoToStatus(int errno_value, std::string context);
+
+/// True for errors a caller may retry after backing off (disk-full and
+/// interrupted-call flavours); false for corruption and logic errors.
+bool IsRetryable(const Status& status);
+
 }  // namespace lightor::common
 
 /// Evaluates `expr` (a Status expression) and returns it from the enclosing

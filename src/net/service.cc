@@ -21,13 +21,23 @@ int HttpStatusFor(const common::Status& status) {
     case common::StatusCode::kAlreadyExists:
     case common::StatusCode::kFailedPrecondition:
       return 409;
+    case common::StatusCode::kIoError:
+      // Storage write failure (disk full, wedged log). The record was NOT
+      // accepted — tell the client to retry rather than silently losing a
+      // viewer session the crowd can never re-supply.
+      return 503;
     default:
       return 500;
   }
 }
 
 HttpResponse FromStatus(const common::Status& status) {
-  return ErrorResponse(HttpStatusFor(status), status.ToString());
+  HttpResponse response =
+      ErrorResponse(HttpStatusFor(status), status.ToString());
+  if (response.status == 503) {
+    response.SetHeader("retry-after", "1");
+  }
+  return response;
 }
 
 /// Decode -> call -> encode, with decode failures always a 400 (a bad

@@ -20,8 +20,9 @@ namespace lightor::net {
 ///
 /// Backend errors map onto HTTP statuses: InvalidArgument -> 400,
 /// NotFound -> 404, FailedPrecondition (draining server, live-stream
-/// conflicts) -> 409, everything else -> 500. Codec decode errors are
-/// always 400.
+/// conflicts) -> 409, IoError (storage write failure: the record was NOT
+/// accepted, retry) -> 503 + Retry-After, everything else -> 500. Codec
+/// decode errors are always 400.
 Router BuildRoutes(serving::HighlightServer* server);
 
 }  // namespace lightor::net

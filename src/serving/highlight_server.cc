@@ -427,17 +427,33 @@ common::Result<RefineReport> HighlightServer::RefinePass(
   // hold, so the new watermark covers exactly the sessions consumed.
   std::map<uint64_t, std::vector<storage::InteractionRecord>> sessions;
   uint64_t new_watermark = 0;
+  common::Status flush_status = common::Status::OK();
   {
     std::lock_guard<std::mutex> db_lock(db_mu_);
     // In batched-flush mode the consumed sessions must be durable before
     // the watermark advances past them, or a crash could lose records a
     // restarted server will never re-consume.
     if (options_.batched_session_flush) {
-      if (auto st = options_.db->FlushInteractions(); !st.ok()) return st;
+      flush_status = options_.db->FlushInteractions();
     }
-    sessions =
-        options_.db->interactions().SessionsSince(video_id, watermark);
-    new_watermark = options_.db->interactions().current_generation() + 1;
+    if (flush_status.ok()) {
+      sessions =
+          options_.db->interactions().SessionsSince(video_id, watermark);
+      new_watermark = options_.db->interactions().current_generation() + 1;
+    }
+  }
+  if (!flush_status.ok()) {
+    // Release the claim before bailing (outside db_mu_, respecting the
+    // shard -> db lock order) or every later pass on this video would
+    // wait on refine_inflight forever.
+    {
+      auto lk = LockShard(shard);
+      VideoState& state = shard.videos[video_id];
+      state.refine_inflight = false;
+      state.refine_queued = false;
+    }
+    shard.refine_done.notify_all();
+    return flush_status;
   }
   RefineBatchSessionsHistogram().Observe(
       static_cast<double>(sessions.size()));

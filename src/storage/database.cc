@@ -1,7 +1,5 @@
 #include "storage/database.h"
 
-#include <filesystem>
-
 #include "obs/metrics.h"
 
 namespace lightor::storage {
@@ -25,17 +23,35 @@ obs::Counter& DbWritesCounter(const char* log) {
   }
 }
 
+/// Appends that failed (and whose record therefore never reached the
+/// in-memory index). The serving layer surfaces these as 503s; a non-zero
+/// rate here means viewer interactions are being refused, not silently
+/// dropped.
+obs::Counter& DbWriteErrorsCounter(const char* log) {
+  static obs::Counter* const chat = obs::Registry::Global().GetCounter(
+      "lightor_storage_write_errors_total", {{"log", "chat"}});
+  static obs::Counter* const interactions = obs::Registry::Global().GetCounter(
+      "lightor_storage_write_errors_total", {{"log", "interactions"}});
+  static obs::Counter* const highlights = obs::Registry::Global().GetCounter(
+      "lightor_storage_write_errors_total", {{"log", "highlights"}});
+  switch (log[0]) {
+    case 'c':
+      return *chat;
+    case 'i':
+      return *interactions;
+    default:
+      return *highlights;
+  }
+}
+
 }  // namespace
 
 common::Result<std::unique_ptr<Database>> Database::Open(
-    const std::string& directory) {
-  std::error_code ec;
-  std::filesystem::create_directories(directory, ec);
-  if (ec) {
-    return common::Status::IoError("create_directories failed: " +
-                                   directory + ": " + ec.message());
-  }
+    const std::string& directory, const OpenOptions& options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  LIGHTOR_RETURN_IF_ERROR(env->CreateDirs(directory));
   std::unique_ptr<Database> db(new Database());
+  db->env_ = env;
   db->directory_ = directory;
   const std::string chat_path = directory + "/chat.log";
   const std::string interaction_path = directory + "/interactions.log";
@@ -43,34 +59,45 @@ common::Result<std::unique_ptr<Database>> Database::Open(
 
   // Truncate torn tails, then replay.
   for (const auto& path : {chat_path, interaction_path, highlight_path}) {
-    auto recovered = AppendLog::Recover(path);
+    auto recovered = AppendLog::Recover(path, env);
     if (!recovered.ok()) return recovered.status();
   }
 
   common::Status replay_status = common::Status::OK();
   LIGHTOR_RETURN_IF_ERROR(AppendLog::ReplayFile(
-      chat_path, [&](const std::vector<uint8_t>& bytes) {
+      chat_path,
+      [&](const std::vector<uint8_t>& bytes) {
         auto rec = ChatRecord::Decode(bytes);
         if (rec.ok()) db->chat_.Put(std::move(rec).value());
         else if (replay_status.ok()) replay_status = rec.status();
-      }));
+      },
+      nullptr, env));
   LIGHTOR_RETURN_IF_ERROR(AppendLog::ReplayFile(
-      interaction_path, [&](const std::vector<uint8_t>& bytes) {
+      interaction_path,
+      [&](const std::vector<uint8_t>& bytes) {
         auto rec = InteractionRecord::Decode(bytes);
         if (rec.ok()) db->interactions_.Put(std::move(rec).value());
         else if (replay_status.ok()) replay_status = rec.status();
-      }));
+      },
+      nullptr, env));
   LIGHTOR_RETURN_IF_ERROR(AppendLog::ReplayFile(
-      highlight_path, [&](const std::vector<uint8_t>& bytes) {
+      highlight_path,
+      [&](const std::vector<uint8_t>& bytes) {
         auto rec = HighlightRecord::Decode(bytes);
         if (rec.ok()) db->highlights_.Put(std::move(rec).value());
         else if (replay_status.ok()) replay_status = rec.status();
-      }));
+      },
+      nullptr, env));
   if (!replay_status.ok()) return replay_status;
 
-  LIGHTOR_RETURN_IF_ERROR(db->chat_log_.Open(chat_path));
-  LIGHTOR_RETURN_IF_ERROR(db->interaction_log_.Open(interaction_path));
-  LIGHTOR_RETURN_IF_ERROR(db->highlight_log_.Open(highlight_path));
+  LIGHTOR_RETURN_IF_ERROR(db->chat_log_.Open(chat_path, env));
+  LIGHTOR_RETURN_IF_ERROR(db->interaction_log_.Open(interaction_path, env));
+  LIGHTOR_RETURN_IF_ERROR(db->highlight_log_.Open(highlight_path, env));
+  if (options.sync_on_flush) {
+    db->chat_log_.set_sync_on_flush(true);
+    db->interaction_log_.set_sync_on_flush(true);
+    db->highlight_log_.set_sync_on_flush(true);
+  }
   return db;
 }
 
@@ -80,16 +107,12 @@ Database::Stats Database::GetStats() const {
   stats.interaction_records = interactions_.TotalRecords();
   stats.highlight_records = highlights_.TotalRecords();
   stats.highlight_dots = highlights_.NumDots();
-  std::error_code ec;
   stats.chat_log_bytes =
-      std::filesystem::file_size(directory_ + "/chat.log", ec);
-  if (ec) stats.chat_log_bytes = 0;
+      env_->GetFileSize(directory_ + "/chat.log").value_or(0);
   stats.interaction_log_bytes =
-      std::filesystem::file_size(directory_ + "/interactions.log", ec);
-  if (ec) stats.interaction_log_bytes = 0;
+      env_->GetFileSize(directory_ + "/interactions.log").value_or(0);
   stats.highlight_log_bytes =
-      std::filesystem::file_size(directory_ + "/highlights.log", ec);
-  if (ec) stats.highlight_log_bytes = 0;
+      env_->GetFileSize(directory_ + "/highlights.log").value_or(0);
   return stats;
 }
 
@@ -99,41 +122,48 @@ common::Result<size_t> Database::CompactHighlights() {
   std::vector<HighlightRecord> latest = highlights_.AllLatest();
   {
     AppendLog tmp;
-    LIGHTOR_RETURN_IF_ERROR(tmp.Open(tmp_path));
+    LIGHTOR_RETURN_IF_ERROR(tmp.Open(tmp_path, env_));
     for (const auto& rec : latest) {
       LIGHTOR_RETURN_IF_ERROR(tmp.Append(rec.Encode()));
     }
   }
   highlight_log_.Close();
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec) {
+  if (auto st = env_->RenameFile(tmp_path, path); !st.ok()) {
     // Try to keep serving: reopen the old log.
-    (void)highlight_log_.Open(path);
+    (void)highlight_log_.Open(path, env_);
     return common::Status::IoError("compaction rename failed: " +
-                                   ec.message());
+                                   st.message());
   }
-  LIGHTOR_RETURN_IF_ERROR(highlight_log_.Open(path));
+  LIGHTOR_RETURN_IF_ERROR(highlight_log_.Open(path, env_));
   highlights_.ResetFrom(std::move(latest));
   return highlights_.TotalRecords();
 }
 
 common::Status Database::PutChat(const ChatRecord& record) {
-  LIGHTOR_RETURN_IF_ERROR(chat_log_.Append(record.Encode()));
+  if (auto st = chat_log_.Append(record.Encode()); !st.ok()) {
+    DbWriteErrorsCounter("chat").Increment();
+    return st;
+  }
   chat_.Put(record);
   DbWritesCounter("chat").Increment();
   return common::Status::OK();
 }
 
 common::Status Database::PutInteraction(const InteractionRecord& record) {
-  LIGHTOR_RETURN_IF_ERROR(interaction_log_.Append(record.Encode()));
+  if (auto st = interaction_log_.Append(record.Encode()); !st.ok()) {
+    DbWriteErrorsCounter("interactions").Increment();
+    return st;
+  }
   interactions_.Put(record);
   DbWritesCounter("interactions").Increment();
   return common::Status::OK();
 }
 
 common::Status Database::PutHighlight(const HighlightRecord& record) {
-  LIGHTOR_RETURN_IF_ERROR(highlight_log_.Append(record.Encode()));
+  if (auto st = highlight_log_.Append(record.Encode()); !st.ok()) {
+    DbWriteErrorsCounter("highlights").Increment();
+    return st;
+  }
   highlights_.Put(record);
   DbWritesCounter("highlights").Increment();
   return common::Status::OK();

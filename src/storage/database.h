@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "storage/env.h"
 #include "storage/log.h"
 #include "storage/stores.h"
 
@@ -13,13 +14,27 @@ namespace lightor::storage {
 /// The LIGHTOR backend database (Section VI): three append-only logs
 /// (chat, interactions, highlights) with in-memory indexes rebuilt on
 /// open. Every Put appends to the WAL first, then updates the index, so
-/// the in-memory state is always recoverable.
+/// the in-memory state is always recoverable. All file I/O goes through a
+/// `storage::Env` (see env.h for the crash model; tests inject faults via
+/// `testing::FaultEnv`).
 class Database {
  public:
+  struct OpenOptions {
+    /// File I/O environment; null means `Env::Default()` (real POSIX).
+    Env* env = nullptr;
+    /// fsync at every log flush point: records survive power loss, not
+    /// just process crashes. See AppendLog::set_sync_on_flush.
+    bool sync_on_flush = false;
+  };
+
   /// Opens (creating if needed) the database under `directory`, recovers
   /// torn log tails, and replays all records into the in-memory stores.
   static common::Result<std::unique_ptr<Database>> Open(
-      const std::string& directory);
+      const std::string& directory, const OpenOptions& options);
+  static common::Result<std::unique_ptr<Database>> Open(
+      const std::string& directory) {
+    return Open(directory, OpenOptions());
+  }
 
   ~Database() = default;
   Database(const Database&) = delete;
@@ -62,10 +77,12 @@ class Database {
   HighlightStore& highlights() { return highlights_; }
 
   const std::string& directory() const { return directory_; }
+  Env* env() const { return env_; }
 
  private:
   Database() = default;
 
+  Env* env_ = nullptr;
   std::string directory_;
   AppendLog chat_log_;
   AppendLog interaction_log_;

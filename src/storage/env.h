@@ -1,0 +1,105 @@
+#ifndef LIGHTOR_STORAGE_ENV_H_
+#define LIGHTOR_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lightor::storage {
+
+/// The storage I/O seam (the LevelDB `Env` idiom): every file operation
+/// the storage layer performs — log appends, flushes, syncs, replay
+/// reads, recovery truncation, compaction renames — goes through an `Env`
+/// so tests can substitute a deterministic fault-injecting implementation
+/// (`testing::FaultEnv`) for the real POSIX one.
+///
+/// Crash model vocabulary, used consistently across the layer:
+///
+///   * `Append` puts bytes in the **application buffer** — lost on any
+///     crash.
+///   * `Flush` pushes the application buffer to the **kernel** (the
+///     `fflush`/`write(2)` durability point) — survives a process crash,
+///     lost on power failure.
+///   * `Sync` additionally reaches the **platter** (`fsync`) — survives
+///     power failure.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Buffers `size` bytes at the end of the file. May spill the buffer to
+  /// the kernel when it fills, so even `Append` can surface I/O errors.
+  virtual common::Status Append(const uint8_t* data, size_t size) = 0;
+  common::Status Append(const std::vector<uint8_t>& bytes) {
+    return Append(bytes.data(), bytes.size());
+  }
+
+  /// Drains the application buffer to the kernel (retrying interrupted
+  /// and short writes internally; those are not errors).
+  virtual common::Status Flush() = 0;
+
+  /// Flush + fsync: bytes survive power loss on return.
+  virtual common::Status Sync() = 0;
+
+  /// Flush + close. Idempotent; errors on the final flush are reported.
+  virtual common::Status Close() = 0;
+
+  /// Drops bytes still sitting in the application buffer without writing
+  /// them. Called after a failed write: the buffered tail belongs to a
+  /// record that already failed, and flushing it later (from `Close` or
+  /// the destructor) would bury subsequent appends behind a torn frame
+  /// that tail recovery has already truncated.
+  virtual void DiscardBuffered() = 0;
+};
+
+/// Forward-only reader used by log replay.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `size` bytes into `buf`. Returns the number of bytes
+  /// actually read; 0 means end of file.
+  virtual common::Result<size_t> Read(uint8_t* buf, size_t size) = 0;
+};
+
+/// Filesystem operations the storage layer needs. Implementations must be
+/// safe to share across threads (the POSIX one is stateless; FaultEnv
+/// locks internally).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never null, never destroyed).
+  static Env* Default();
+
+  /// Opens `path` for appending, creating it if needed.
+  virtual common::Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` for sequential reading.
+  virtual common::Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual common::Result<uint64_t> GetFileSize(const std::string& path) = 0;
+
+  /// Shrinks `path` to `size` bytes (log-tail recovery).
+  virtual common::Status TruncateFile(const std::string& path,
+                                      uint64_t size) = 0;
+
+  /// Atomically replaces `to` with `from` (compaction publish).
+  virtual common::Status RenameFile(const std::string& from,
+                                    const std::string& to) = 0;
+
+  virtual common::Status RemoveFile(const std::string& path) = 0;
+
+  /// Recursively creates `path` (and parents); existing is OK.
+  virtual common::Status CreateDirs(const std::string& path) = 0;
+};
+
+}  // namespace lightor::storage
+
+#endif  // LIGHTOR_STORAGE_ENV_H_

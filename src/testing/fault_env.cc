@@ -1,0 +1,443 @@
+#include "testing/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace lightor::testing {
+
+namespace {
+
+obs::Counter& FaultsInjectedCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_testing_faults_injected_total", {});
+  return *counter;
+}
+
+common::Status Injected(const char* what, const std::string& path) {
+  return common::Status::IoError(std::string("injected ") + what + ": " +
+                                 path);
+}
+
+/// Reader over a point-in-time copy of the kernel view (log replay opens,
+/// drains, and closes immediately, so snapshot semantics are exact).
+class MemSequentialFile final : public storage::SequentialFile {
+ public:
+  explicit MemSequentialFile(std::vector<uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  common::Result<size_t> Read(uint8_t* buf, size_t size) override {
+    const size_t take = std::min(size, bytes_.size() - pos_);
+    std::copy(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+              bytes_.begin() + static_cast<ptrdiff_t>(pos_ + take), buf);
+    pos_ += take;
+    return take;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+/// The writable handle: an application buffer (`pending_`) over the env's
+/// kernel view, each mutating call consuming one I/O point under the env
+/// mutex. A handle from before a crash (stale epoch) fails every call.
+class FaultWritableFile final : public storage::WritableFile {
+ public:
+  FaultWritableFile(FaultEnv* env, std::string path, uint64_t epoch)
+      : env_(env), path_(std::move(path)), epoch_(epoch) {}
+
+  ~FaultWritableFile() override { (void)Close(); }
+
+  common::Status Append(const uint8_t* data, size_t size) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    LIGHTOR_RETURN_IF_ERROR(CheckAlive());
+    const auto fault = env_->NextFault();
+    if (fault.has_value()) {
+      switch (*fault) {
+        case FaultKind::kCrash:
+          return Crash();
+        case FaultKind::kEnospc:
+        case FaultKind::kFlushFail: {
+          // A forced buffer spill that failed partway: half the bytes are
+          // buffered, the rest vanish — exactly the torn-frame shape the
+          // log's wedge-and-recover path must absorb.
+          Count(*fault);
+          pending_.insert(pending_.end(), data, data + size / 2);
+          return Injected(*fault == FaultKind::kEnospc ? "ENOSPC on append"
+                                                       : "append failure",
+                          path_);
+        }
+        case FaultKind::kShortWrite:
+        case FaultKind::kEintr:
+          Count(*fault);  // transparent: retried below this level
+          break;
+        default:
+          break;  // inapplicable to an append
+      }
+    }
+    pending_.insert(pending_.end(), data, data + size);
+    return common::Status::OK();
+  }
+
+  common::Status Flush() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    LIGHTOR_RETURN_IF_ERROR(CheckAlive());
+    return FlushLocked();
+  }
+
+  common::Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    LIGHTOR_RETURN_IF_ERROR(CheckAlive());
+    const auto fault = env_->NextFault();
+    if (fault.has_value()) {
+      switch (*fault) {
+        case FaultKind::kCrash:
+          return Crash();
+        case FaultKind::kEnospc:
+        case FaultKind::kFlushFail:
+          Count(*fault);
+          MoveToKernel(pending_.size() / 2);
+          return Injected("flush failure during sync", path_);
+        case FaultKind::kSyncFail:
+          // The flush half succeeded: bytes reached the kernel and will
+          // survive a process crash, but not power loss.
+          Count(*fault);
+          MoveToKernel(pending_.size());
+          return Injected("fsync failure", path_);
+        default:
+          Count(*fault);
+          break;  // transparent
+      }
+    }
+    MoveToKernel(pending_.size());
+    auto& state = env_->files_[path_];
+    state.synced = state.contents;  // copy-on-write platter snapshot
+    return common::Status::OK();
+  }
+
+  common::Status Close() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (closed_) return common::Status::OK();
+    LIGHTOR_RETURN_IF_ERROR(CheckAlive());
+    const auto fault = env_->NextFault();
+    if (fault.has_value()) {
+      switch (*fault) {
+        case FaultKind::kCrash:
+          return Crash();
+        case FaultKind::kCloseFail:
+        case FaultKind::kEnospc:
+        case FaultKind::kFlushFail:
+          // fclose hazard: the buffered tail is gone.
+          Count(*fault);
+          pending_.clear();
+          closed_ = true;
+          return Injected("close failure (buffered tail lost)", path_);
+        default:
+          Count(*fault);
+          break;  // transparent
+      }
+    }
+    MoveToKernel(pending_.size());
+    closed_ = true;
+    return common::Status::OK();
+  }
+
+  void DiscardBuffered() override {
+    // Purely in-process: no bytes move, so no I/O point is consumed.
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    pending_.clear();
+  }
+
+ private:
+  /// Requires env_->mu_ held.
+  common::Status CheckAlive() {
+    if (closed_) {
+      return common::Status::FailedPrecondition("write to closed file: " +
+                                                path_);
+    }
+    if (epoch_ != env_->epoch_) {
+      return common::Status::IoError("stale file handle (crashed): " + path_);
+    }
+    if (env_->crashed_) return env_->CrashedStatus();
+    return common::Status::OK();
+  }
+
+  common::Status Crash() {
+    env_->crashed_ = true;
+    ++env_->stats_.crashes;
+    FaultsInjectedCounter().Increment();
+    return Injected("crash", path_);
+  }
+
+  void Count(FaultKind kind) {
+    switch (kind) {
+      case FaultKind::kShortWrite:
+        ++env_->stats_.short_writes;
+        break;
+      case FaultKind::kEintr:
+        ++env_->stats_.eintrs;
+        break;
+      case FaultKind::kEnospc:
+        ++env_->stats_.enospcs;
+        break;
+      case FaultKind::kFlushFail:
+        ++env_->stats_.flush_fails;
+        break;
+      case FaultKind::kSyncFail:
+        ++env_->stats_.sync_fails;
+        break;
+      case FaultKind::kCloseFail:
+        ++env_->stats_.close_fails;
+        break;
+      case FaultKind::kCrash:
+        ++env_->stats_.crashes;
+        break;
+    }
+    FaultsInjectedCounter().Increment();
+  }
+
+  /// Moves the first `n` pending bytes into the kernel view.
+  void MoveToKernel(size_t n) {
+    auto& contents = env_->files_[path_].contents;
+    contents.insert(contents.end(), pending_.begin(),
+                    pending_.begin() + static_cast<ptrdiff_t>(n));
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(n));
+  }
+
+  common::Status FlushLocked() {
+    const auto fault = env_->NextFault();
+    if (fault.has_value()) {
+      switch (*fault) {
+        case FaultKind::kCrash:
+          return Crash();
+        case FaultKind::kShortWrite:
+          // One chunk lands short; the loop advances and finishes.
+          Count(*fault);
+          MoveToKernel(pending_.size() / 2);
+          MoveToKernel(pending_.size());
+          return common::Status::OK();
+        case FaultKind::kEintr:
+          Count(*fault);  // interrupted, retried
+          MoveToKernel(pending_.size());
+          return common::Status::OK();
+        case FaultKind::kEnospc:
+          Count(*fault);
+          MoveToKernel(pending_.size() / 2);
+          return Injected("ENOSPC", path_);
+        case FaultKind::kFlushFail:
+          Count(*fault);
+          MoveToKernel(pending_.size() / 2);
+          return Injected("flush failure", path_);
+        default:
+          Count(*fault);
+          break;  // sync/close kinds: inapplicable here
+      }
+    }
+    MoveToKernel(pending_.size());
+    return common::Status::OK();
+  }
+
+  FaultEnv* const env_;
+  const std::string path_;
+  const uint64_t epoch_;
+  std::vector<uint8_t> pending_;  ///< application buffer: lost on crash
+  bool closed_ = false;
+};
+
+FaultEnv::FaultEnv() = default;
+FaultEnv::~FaultEnv() = default;
+
+void FaultEnv::InjectAt(uint64_t io_point, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_[io_point] = kind;
+}
+
+void FaultEnv::SeedRandomFaults(uint64_t seed, double p_transient,
+                                double p_error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.emplace(seed);
+  p_transient_ = p_transient;
+  p_error_ = p_error;
+}
+
+void FaultEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_.clear();
+  rng_.reset();
+}
+
+uint64_t FaultEnv::io_points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_counter_;
+}
+
+bool FaultEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+FaultStats FaultEnv::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<uint8_t> FaultEnv::ReadFileBytes(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? std::vector<uint8_t>() : it->second.contents;
+}
+
+void FaultEnv::RecoverAfterCrash(CrashModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;  // every open handle is now stale: its buffered bytes are gone
+  crashed_ = false;
+  if (model == CrashModel::kPowerLoss) {
+    for (auto& [path, state] : files_) {
+      state.contents = state.synced;
+    }
+  }
+}
+
+std::optional<FaultKind> FaultEnv::NextFault() {
+  const uint64_t op = op_counter_++;
+  if (auto it = schedule_.find(op); it != schedule_.end()) {
+    return it->second;
+  }
+  if (rng_.has_value()) {
+    const double u = rng_->NextDouble();
+    if (u < p_transient_) {
+      return rng_->Bernoulli(0.5) ? FaultKind::kShortWrite
+                                  : FaultKind::kEintr;
+    }
+    if (u < p_transient_ + p_error_) {
+      return rng_->Bernoulli(0.5) ? FaultKind::kEnospc
+                                  : FaultKind::kFlushFail;
+    }
+  }
+  return std::nullopt;
+}
+
+common::Status FaultEnv::CrashedStatus() const {
+  return common::Status::IoError("FaultEnv: crashed (injected)");
+}
+
+common::Result<std::unique_ptr<storage::WritableFile>>
+FaultEnv::NewAppendableFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  const auto fault = NextFault();
+  if (fault.has_value()) {
+    switch (*fault) {
+      case FaultKind::kCrash:
+        crashed_ = true;
+        ++stats_.crashes;
+        FaultsInjectedCounter().Increment();
+        return Injected("crash", path);
+      case FaultKind::kEnospc:
+      case FaultKind::kFlushFail:
+      case FaultKind::kCloseFail:
+        ++stats_.enospcs;
+        FaultsInjectedCounter().Increment();
+        return Injected("open failure", path);
+      default:
+        break;  // transparent kinds: open succeeds
+    }
+  }
+  files_[path];  // create if absent
+  return std::unique_ptr<storage::WritableFile>(
+      new FaultWritableFile(this, path, epoch_));
+}
+
+common::Result<std::unique_ptr<storage::SequentialFile>>
+FaultEnv::NewSequentialFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return common::Status::NotFound("no such file: " + path);
+  }
+  return std::unique_ptr<storage::SequentialFile>(
+      new MemSequentialFile(it->second.contents));
+}
+
+bool FaultEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+common::Result<uint64_t> FaultEnv::GetFileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return common::Status::NotFound("no such file: " + path);
+  }
+  return static_cast<uint64_t>(it->second.contents.size());
+}
+
+common::Status FaultEnv::TruncateFile(const std::string& path,
+                                      uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  const auto fault = NextFault();
+  if (fault.has_value() && *fault == FaultKind::kCrash) {
+    crashed_ = true;
+    ++stats_.crashes;
+    FaultsInjectedCounter().Increment();
+    return Injected("crash", path);
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return common::Status::NotFound("no such file: " + path);
+  }
+  if (it->second.contents.size() > size) it->second.contents.resize(size);
+  if (it->second.synced.size() > size) it->second.synced.resize(size);
+  return common::Status::OK();
+}
+
+common::Status FaultEnv::RenameFile(const std::string& from,
+                                    const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  const auto fault = NextFault();
+  if (fault.has_value() && *fault == FaultKind::kCrash) {
+    crashed_ = true;
+    ++stats_.crashes;
+    FaultsInjectedCounter().Increment();
+    return Injected("crash", from);
+  }
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return common::Status::NotFound("no such file: " + from);
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return common::Status::OK();
+}
+
+common::Status FaultEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  const auto fault = NextFault();
+  if (fault.has_value() && *fault == FaultKind::kCrash) {
+    crashed_ = true;
+    ++stats_.crashes;
+    FaultsInjectedCounter().Increment();
+    return Injected("crash", path);
+  }
+  if (files_.erase(path) == 0) {
+    return common::Status::NotFound("no such file: " + path);
+  }
+  return common::Status::OK();
+}
+
+common::Status FaultEnv::CreateDirs(const std::string&) {
+  // Directories are not modeled; creation always succeeds (and is not an
+  // I/O point: no bytes can be lost in it).
+  return common::Status::OK();
+}
+
+}  // namespace lightor::testing

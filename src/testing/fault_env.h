@@ -1,0 +1,184 @@
+#ifndef LIGHTOR_TESTING_FAULT_ENV_H_
+#define LIGHTOR_TESTING_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace lightor::testing {
+
+/// What a scheduled fault does to the I/O point it fires at.
+///
+/// Transparent faults (a correct caller absorbs them; the test asserts no
+/// data was harmed):
+///   * `kShortWrite` — one write chunk moves fewer bytes than asked; the
+///     write loop advances and retries.
+///   * `kEintr`      — one chunk is interrupted; the loop retries.
+///
+/// Surfaced faults (the operation fails; the test asserts the error
+/// propagates and recovery still works):
+///   * `kEnospc`     — disk full after partial progress.
+///   * `kFlushFail`  — generic flush failure after partial progress.
+///   * `kSyncFail`   — fsync fails (bytes reached the kernel, not the
+///                     platter).
+///   * `kCloseFail`  — close fails and the buffered tail is lost (the
+///                     fclose hazard).
+///   * `kCrash`      — the process "dies" at this point: this operation
+///                     and every later one fails until
+///                     `RecoverAfterCrash` simulates the restart.
+enum class FaultKind {
+  kShortWrite,
+  kEintr,
+  kEnospc,
+  kFlushFail,
+  kSyncFail,
+  kCloseFail,
+  kCrash,
+};
+
+/// What survives a simulated crash (see the durability tiers in
+/// storage/env.h).
+enum class CrashModel {
+  /// Process crash (SIGKILL): kernel-buffered bytes survive, application
+  /// buffers are lost.
+  kProcess,
+  /// Power failure: only synced bytes survive. Deliberately conservative —
+  /// bytes flushed but not fsynced are all dropped, never "some pages".
+  kPowerLoss,
+};
+
+/// Counts of injected events, by kind.
+struct FaultStats {
+  uint64_t short_writes = 0;
+  uint64_t eintrs = 0;
+  uint64_t enospcs = 0;
+  uint64_t flush_fails = 0;
+  uint64_t sync_fails = 0;
+  uint64_t close_fails = 0;
+  uint64_t crashes = 0;
+};
+
+/// A deterministic, memory-backed `storage::Env` that injects faults at
+/// chosen I/O points. Nothing touches the real filesystem, so a whole
+/// crash-point enumeration (crash after every single I/O point of a
+/// workload, reopen, verify) runs in milliseconds and is bit-reproducible.
+///
+/// **I/O points.** Every mutating operation — file `Append`/`Flush`/
+/// `Sync`/`Close`, `NewAppendableFile`, `TruncateFile`, `RenameFile`,
+/// `RemoveFile` — consumes one point from a global monotonic counter
+/// (reads are free: they cannot lose data). A fault scheduled at point
+/// `k` fires when the counter reaches `k`. Replaying the same workload
+/// against a fresh `FaultEnv` visits the same points in the same order,
+/// so **one integer** (a crash point or a random-schedule seed) fully
+/// reproduces any failure.
+///
+/// **Crash simulation.** Each file tracks two byte images: the kernel
+/// view (what `Flush` reached) and the platter view (a copy-on-write
+/// snapshot taken at each `Sync`). `kCrash` freezes the environment —
+/// every later operation fails — until `RecoverAfterCrash(model)` applies
+/// the loss model (drop application buffers; power loss also rewinds each
+/// file to its synced snapshot), invalidates all open handles, and lets
+/// the "restarted process" reopen the surviving bytes.
+///
+/// Thread-safe (one internal mutex), so a concurrent `HighlightServer`
+/// can run on top of it.
+class FaultEnv final : public storage::Env {
+ public:
+  FaultEnv();
+  ~FaultEnv() override;
+
+  // --- Fault scheduling -------------------------------------------------
+
+  /// Schedules `kind` to fire at the I/O point with index `io_point`
+  /// (0-based, compared against the running counter).
+  void InjectAt(uint64_t io_point, FaultKind kind);
+
+  /// Shorthand: simulate a crash at `io_point`.
+  void CrashAt(uint64_t io_point) { InjectAt(io_point, FaultKind::kCrash); }
+
+  /// Seeded random schedule: at every I/O point, with probability
+  /// `p_transient` inject a transparent fault (short write / EINTR,
+  /// alternating by draw) and with probability `p_error` a surfaced one
+  /// (ENOSPC / flush failure). The whole schedule — and therefore every
+  /// failure it produces — replays from `seed` alone.
+  void SeedRandomFaults(uint64_t seed, double p_transient, double p_error);
+
+  /// Drops all scheduled and random faults (does not reset the counter).
+  void ClearFaults();
+
+  // --- Introspection ----------------------------------------------------
+
+  /// Mutating I/O points consumed so far. Run a workload once against a
+  /// clean env to learn its point count, then enumerate crashes 0..N-1.
+  uint64_t io_points() const;
+
+  bool crashed() const;
+  FaultStats stats() const;
+
+  /// Kernel-view bytes of `path` (empty if absent) — for asserting on
+  /// exact on-"disk" state.
+  std::vector<uint8_t> ReadFileBytes(const std::string& path) const;
+
+  // --- Crash recovery ---------------------------------------------------
+
+  /// Simulates the machine coming back up: applies `model`'s loss rules
+  /// to every file, invalidates all open handles (their later operations
+  /// fail), clears the crashed flag, and resumes normal service for
+  /// files opened afterwards. Also callable when not crashed ("kill -9
+  /// right now").
+  void RecoverAfterCrash(CrashModel model);
+
+  // --- storage::Env -----------------------------------------------------
+
+  common::Result<std::unique_ptr<storage::WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  common::Result<std::unique_ptr<storage::SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  common::Result<uint64_t> GetFileSize(const std::string& path) override;
+  common::Status TruncateFile(const std::string& path,
+                              uint64_t size) override;
+  common::Status RenameFile(const std::string& from,
+                            const std::string& to) override;
+  common::Status RemoveFile(const std::string& path) override;
+  common::Status CreateDirs(const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  struct FileState {
+    std::vector<uint8_t> contents;  ///< kernel view (survives SIGKILL)
+    std::vector<uint8_t> synced;    ///< platter view (survives power loss)
+  };
+
+  /// Consumes one I/O point and returns the fault to apply, if any.
+  /// Requires `mu_` held.
+  std::optional<FaultKind> NextFault();
+  /// Requires `mu_` held.
+  common::Status CrashedStatus() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  std::map<uint64_t, FaultKind> schedule_;
+  std::optional<common::Rng> rng_;
+  double p_transient_ = 0.0;
+  double p_error_ = 0.0;
+  uint64_t op_counter_ = 0;
+  /// Bumped by RecoverAfterCrash; handles from older epochs are dead.
+  uint64_t epoch_ = 0;
+  bool crashed_ = false;
+  FaultStats stats_;
+};
+
+}  // namespace lightor::testing
+
+#endif  // LIGHTOR_TESTING_FAULT_ENV_H_

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/codec.h"
+#include "net/service.h"
+#include "obs/metrics.h"
+#include "serving/highlight_server.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/viewer_simulator.h"
+#include "storage/database.h"
+#include "testing/fault_env.h"
+
+namespace lightor::serving {
+namespace {
+
+namespace ft = lightor::testing;
+
+/// Shared fixture: one simulated platform and trained pipeline over a
+/// memory-backed FaultEnv, so "the machine dies" is one call and restarts
+/// reopen the surviving bytes. Mirrors the serving_server_test setup.
+class ServingRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::Platform::Options popts;
+    popts.num_channels = 2;
+    popts.videos_per_channel = 2;
+    popts.seed = 71;
+    platform_ = std::make_unique<sim::Platform>(popts);
+
+    const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 72);
+    core::TrainingVideo tv;
+    tv.messages = sim::ToCoreMessages(corpus[0].chat);
+    tv.video_length = corpus[0].truth.meta.length;
+    for (const auto& h : corpus[0].truth.highlights) {
+      tv.highlights.push_back(h.span);
+    }
+    lightor_ = std::make_unique<core::Lightor>();
+    ASSERT_TRUE(lightor_->TrainInitializer({tv}).ok());
+
+    video_id_ = platform_->AllVideoIds()[0];
+  }
+
+  std::unique_ptr<storage::Database> OpenDb() {
+    storage::Database::OpenOptions options;
+    options.env = &env_;
+    auto db = storage::Database::Open("db", options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(db).value();
+  }
+
+  std::unique_ptr<HighlightServer> MakeServer(storage::Database* db,
+                                              ServerOptions opts = {}) {
+    opts.platform = Borrow<const sim::Platform>(platform_.get());
+    opts.db = Borrow(db);
+    opts.lightor = Borrow<const core::Lightor>(lightor_.get());
+    opts.refine_batch_sessions = 0;  // explicit refinement: deterministic
+    auto server = HighlightServer::Create(opts);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(server).value();
+  }
+
+  /// Logs `per_dot` simulated viewer sessions around every current dot.
+  /// Returns the number of sessions whose LogSession was acked.
+  uint64_t LogSessions(HighlightServer* server, int per_dot,
+                       uint64_t rng_seed) {
+    const auto video = platform_->GetVideo(video_id_).value();
+    const auto dots = server->GetHighlights(video_id_).value();
+    sim::ViewerSimulator viewers;
+    common::Rng rng(rng_seed);
+    uint64_t acked = 0;
+    for (const auto& dot : dots.highlights) {
+      for (int u = 0; u < per_dot; ++u) {
+        const auto session = viewers.SimulateSession(
+            video.truth, dot.dot_position, rng, "w" + std::to_string(u));
+        LogSessionRequest req;
+        req.video_id = video_id_;
+        req.user = session.user;
+        req.session_id = ++next_session_id_;
+        req.events = session.events;
+        if (server->LogSession(req).ok()) ++acked;
+      }
+    }
+    return acked;
+  }
+
+  /// The /highlights payload with the snapshot version normalized away
+  /// (restarts reset the version counter; the dots must not change).
+  static std::string ContentBytes(GetHighlightsResponse response) {
+    response.snapshot_version = 0;
+    return net::EncodeJson(response);
+  }
+
+  ft::FaultEnv env_;
+  std::unique_ptr<sim::Platform> platform_;
+  std::unique_ptr<core::Lightor> lightor_;
+  std::string video_id_;
+  uint64_t next_session_id_ = 0;
+};
+
+// The cold-restart differential: initialize, refine, SIGKILL, reopen.
+// Two independent recovered servers must serve byte-identical /highlights
+// payloads, the recovered dots must equal the pre-crash refined dots, and
+// refinement must keep working after the restart.
+TEST_F(ServingRecoveryTest, ColdRestartServesByteIdenticalHighlights) {
+  std::string pre_crash_content;
+  {
+    auto db = OpenDb();
+    auto server = MakeServer(db.get());
+    ASSERT_TRUE(server->OnPageVisit({video_id_, "u"}).ok());
+    const uint64_t acked = LogSessions(server.get(), 10, 73);
+    ASSERT_GT(acked, 0u);
+    auto report = server->Refine(video_id_);
+    ASSERT_TRUE(report.ok());
+    ASSERT_GT(report.value().dots_updated, 0);
+    pre_crash_content = ContentBytes(server->GetHighlights(video_id_).value());
+
+    // SIGKILL: no destructor gets to save anything. The zombie teardown
+    // below runs against dead file handles.
+    env_.RecoverAfterCrash(ft::CrashModel::kProcess);
+  }
+
+  // Restart twice from the same surviving bytes: the responses must match
+  // byte for byte (including the snapshot version both reset to 1).
+  std::string restarted_bytes;
+  std::string restarted_content;
+  {
+    auto db = OpenDb();
+    auto server = MakeServer(db.get());
+    auto got = server->GetHighlights(video_id_);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value().snapshot_version, 1u);
+    restarted_bytes = net::EncodeJson(got.value());
+    restarted_content = ContentBytes(got.value());
+  }
+  {
+    auto db = OpenDb();
+    auto server = MakeServer(db.get());
+    auto got = server->GetHighlights(video_id_);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(net::EncodeJson(got.value()), restarted_bytes);
+  }
+  EXPECT_EQ(restarted_content, pre_crash_content);
+
+  // The recovered server is not read-only: new sessions refine further.
+  auto db = OpenDb();
+  auto server = MakeServer(db.get());
+  const uint64_t acked = LogSessions(server.get(), 10, 74);
+  ASSERT_GT(acked, 0u);
+  auto report = server->Refine(video_id_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().sessions_consumed, acked);
+  EXPECT_GT(report.value().dots_updated, 0);
+  EXPECT_GT(server->GetHighlights(video_id_).value().snapshot_version, 1u);
+}
+
+// Sessions logged but never refined before the crash replay from the log
+// and feed the first post-restart refinement pass: implicit crowdsourcing
+// signals survive the restart.
+TEST_F(ServingRecoveryTest, ReplayedSessionsFeedPostRestartRefinement) {
+  uint64_t acked = 0;
+  {
+    auto db = OpenDb();
+    auto server = MakeServer(db.get());
+    ASSERT_TRUE(server->OnPageVisit({video_id_, "u"}).ok());
+    acked = LogSessions(server.get(), 10, 75);
+    ASSERT_GT(acked, 0u);
+    env_.RecoverAfterCrash(ft::CrashModel::kProcess);  // SIGKILL, no refine
+  }
+
+  auto db = OpenDb();
+  // Per-record flush: every acked session must have been replayed.
+  uint64_t replayed_sessions =
+      db->interactions().SessionsForVideo(video_id_).size();
+  EXPECT_EQ(replayed_sessions, acked);
+
+  auto server = MakeServer(db.get());
+  auto report = server->Refine(video_id_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().sessions_consumed, acked);
+  EXPECT_GT(report.value().dots_updated, 0);
+}
+
+// Batched session flushes trade the zero-loss guarantee for throughput: a
+// crash mid-burst loses at most the sessions since the last flush (the
+// refinement pass flushes), never anything older, and never corrupts the
+// database.
+TEST_F(ServingRecoveryTest, BatchedFlushCrashMidBurstKeepsFlushedPrefix) {
+  uint64_t flushed_sessions = 0;
+  {
+    auto db = OpenDb();
+    ServerOptions opts;
+    opts.batched_session_flush = true;
+    auto server = MakeServer(db.get(), opts);
+    ASSERT_TRUE(server->OnPageVisit({video_id_, "u"}).ok());
+
+    flushed_sessions = LogSessions(server.get(), 3, 76);
+    ASSERT_TRUE(server->Refine(video_id_).ok());  // flushes the batch
+
+    // Crash partway through the next burst.
+    env_.CrashAt(env_.io_points() + 7);
+    LogSessions(server.get(), 3, 77);  // some acked, then the crash
+    EXPECT_TRUE(env_.crashed());
+    env_.RecoverAfterCrash(ft::CrashModel::kProcess);
+  }
+
+  auto db = OpenDb();  // recovery must succeed, torn tail or not
+  const auto sessions = db->interactions().SessionsForVideo(video_id_);
+  // Everything flushed before the crash survived; the unflushed burst is
+  // allowed to be (partially) gone.
+  EXPECT_GE(sessions.size(), flushed_sessions);
+
+  auto server = MakeServer(db.get());
+  EXPECT_TRUE(server->GetHighlights(video_id_).ok());
+  EXPECT_TRUE(server->Refine(video_id_).ok());
+}
+
+// Graceful degradation end to end: when the interaction log cannot accept
+// a write, /session answers 503 + Retry-After (the record was NOT taken,
+// the client should retry) and the write-error metric counts it.
+TEST_F(ServingRecoveryTest, SessionLoggingFailureMaps503OnTheWire) {
+  auto* counter = obs::Registry::Global().GetCounter(
+      "lightor_storage_write_errors_total", {{"log", "interactions"}});
+
+  auto db = OpenDb();
+  auto server = MakeServer(db.get());
+  ASSERT_TRUE(server->OnPageVisit({video_id_, "u"}).ok());
+  net::Router routes = net::BuildRoutes(server.get());
+  int error_status = 0;
+  const net::HttpHandler* handler =
+      routes.Find("POST", "/session", &error_status);
+  ASSERT_NE(handler, nullptr);
+
+  const auto video = platform_->GetVideo(video_id_).value();
+  const auto dots = server->GetHighlights(video_id_).value();
+  sim::ViewerSimulator viewers;
+  common::Rng rng(78);
+  const auto session = viewers.SimulateSession(
+      video.truth, dots.highlights[0].dot_position, rng, "w0");
+  LogSessionRequest req;
+  req.video_id = video_id_;
+  req.user = session.user;
+  req.session_id = 1;
+  req.events = session.events;
+
+  net::HttpRequest wire;
+  wire.method = "POST";
+  wire.path = "/session";
+  wire.body = net::EncodeJson(req);
+
+  // Healthy path first: 200.
+  EXPECT_EQ((*handler)(wire).status, 200);
+
+  const uint64_t errors_before = counter->value();
+  env_.InjectAt(env_.io_points(), ft::FaultKind::kEnospc);
+  wire.body = net::EncodeJson(req);  // same session again, new attempt
+  net::HttpResponse response = (*handler)(wire);
+  EXPECT_EQ(response.status, 503);
+  const std::string* retry = response.FindHeader("retry-after");
+  ASSERT_NE(retry, nullptr);
+  EXPECT_EQ(*retry, "1");
+  EXPECT_GT(counter->value(), errors_before);
+}
+
+}  // namespace
+}  // namespace lightor::serving
