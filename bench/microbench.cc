@@ -22,7 +22,11 @@
 #include "net/http.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "serving/highlight_server.h"
+#include "sim/platform.h"
 #include "sim/viewer_simulator.h"
 #include "storage/database.h"
 #include "text/similarity.h"
@@ -326,6 +330,129 @@ void BM_ObsScopedSpan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsScopedSpan);
+
+// ---- request tracing overhead (/highlights hot path) ---------------------
+// Acceptance bar: the full per-request telemetry pipeline — generated
+// trace context, span collector, handler stage timing, wide-event emit
+// under default tail sampling — must cost < 5% of a /highlights request.
+// Compare BM_ServingGetHighlightsTraced against BM_ServingGetHighlights;
+// BM_ObsRequestTelemetryOnly is the absolute cost of the machinery alone.
+
+struct ServingBench {
+  serving::HighlightServer* server;
+  std::string video_id;
+};
+
+const ServingBench& BenchServing() {
+  static const ServingBench* bench = [] {
+    sim::Platform::Options popts;
+    popts.num_channels = 1;
+    popts.videos_per_channel = 1;
+    popts.seed = 3033;
+    auto* platform = new sim::Platform(popts);
+    const auto dir =
+        std::filesystem::temp_directory_path() / "lightor_bench_serving_db";
+    std::filesystem::remove_all(dir);
+    auto* db = new std::unique_ptr<storage::Database>(
+        storage::Database::Open(dir.string()).value());
+    const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 3031);
+    auto* lightor = new core::Lightor(core::LightorOptions{});
+    (void)lightor->TrainInitializer({bench::ToTraining(corpus[0])});
+    serving::ServerOptions sopts;
+    sopts.platform =
+        serving::Borrow(static_cast<const sim::Platform*>(platform));
+    sopts.db = serving::Borrow(db->get());
+    sopts.lightor = serving::Borrow(static_cast<const core::Lightor*>(lightor));
+    sopts.refine_batch_sessions = 0;
+    auto server = serving::HighlightServer::Create(sopts);
+    const std::string video_id = platform->AllVideoIds()[0];
+    // Prime the snapshot: the benchmark measures the cached hot path the
+    // HTTP front-end serves, not first-visit initialization.
+    (void)server.value()->OnPageVisit({video_id, "bench"});
+    return new ServingBench{server.value().release(), video_id};
+  }();
+  return *bench;
+}
+
+// One /highlights request as the IO thread runs it, minus the socket:
+// parse the wire bytes, run the handler (snapshot read + JSON encode),
+// serialize the response.
+std::string HighlightsWire(const std::string& video_id) {
+  return "GET /highlights?video_id=" + video_id +
+         " HTTP/1.1\r\nhost: localhost\r\n\r\n";
+}
+
+void HighlightsRequestOnce(const ServingBench& sb, const std::string& wire) {
+  net::RequestParser parser;
+  parser.Append(wire);
+  (void)parser.Parse();
+  const net::HttpRequest& request = parser.request();
+  auto highlights = sb.server->GetHighlights(request.QueryParam("video_id"));
+  net::HttpResponse response =
+      net::JsonResponse(200, net::EncodeJson(highlights.value()));
+  benchmark::DoNotOptimize(response.Serialize(/*keep_alive=*/true));
+}
+
+void BM_HighlightsRequestPath(benchmark::State& state) {
+  const ServingBench& sb = BenchServing();
+  const std::string wire = HighlightsWire(sb.video_id);
+  for (auto _ : state) {
+    HighlightsRequestOnce(sb, wire);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HighlightsRequestPath);
+
+void BM_HighlightsRequestPathTraced(benchmark::State& state) {
+  const ServingBench& sb = BenchServing();
+  const std::string wire = HighlightsWire(sb.video_id);
+  for (auto _ : state) {
+    const obs::TraceContext ctx = obs::GenerateTraceContext();
+    obs::SpanCollector collector;
+    const uint64_t start_us = obs::TraceNowMicros();
+    {
+      obs::ScopedTraceContext guard(ctx, &collector);
+      obs::ScopedStage stage(obs::Stage::kHandler);
+      HighlightsRequestOnce(sb, wire);
+    }
+    obs::WideEvent event;
+    event.trace_hi = ctx.trace_hi;
+    event.trace_lo = ctx.trace_lo;
+    event.span_id = ctx.span_id;
+    event.route = "/highlights";
+    event.method = "GET";
+    event.status = 200;
+    event.start_us = start_us;
+    event.total_us = obs::TraceNowMicros() - start_us;
+    obs::RequestLog::Global().Emit(std::move(event), &collector);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HighlightsRequestPathTraced);
+
+void BM_ObsRequestTelemetryOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    const obs::TraceContext ctx = obs::GenerateTraceContext();
+    obs::SpanCollector collector;
+    const uint64_t start_us = obs::TraceNowMicros();
+    {
+      obs::ScopedTraceContext guard(ctx, &collector);
+      obs::ScopedStage stage(obs::Stage::kHandler);
+    }
+    obs::WideEvent event;
+    event.trace_hi = ctx.trace_hi;
+    event.trace_lo = ctx.trace_lo;
+    event.span_id = ctx.span_id;
+    event.route = "/highlights";
+    event.method = "GET";
+    event.status = 200;
+    event.start_us = start_us;
+    event.total_us = obs::TraceNowMicros() - start_us;
+    obs::RequestLog::Global().Emit(std::move(event), &collector);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRequestTelemetryOnly);
 
 // --------------------------------------------------------------------------
 // net: HTTP parser and JSON wire codec

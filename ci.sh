@@ -49,6 +49,22 @@ done
 "$BUILD_DIR"/tools/lightor curl --port="$port" --target=/metrics |
     grep -q lightor_net_requests_total || {
   echo "http smoke: /metrics is missing net counters" >&2; exit 1; }
+
+echo "== trace smoke: traceparent -> /debug/requests + /debug/trace =="
+trace_id=4bf92f3577b34da6a3ce929d0e0e4736
+"$BUILD_DIR"/tools/lightor curl --port="$port" --target=/visit \
+    --body='{"video_id":"dota2_channel0_v0","user":"ci"}' \
+    --traceparent="00-$trace_id-00f067aa0ba902b7-01" > /dev/null
+"$BUILD_DIR"/tools/lightor curl --port="$port" \
+    --target="/debug/requests?route=/visit" | grep -q "$trace_id" || {
+  echo "trace smoke: trace id missing from /debug/requests" >&2; exit 1; }
+"$BUILD_DIR"/tools/lightor curl --port="$port" \
+    --target="/debug/trace?trace_id=$trace_id" > "$smoke_dir/trace.json"
+grep -q "$trace_id" "$smoke_dir/trace.json" || {
+  echo "trace smoke: Chrome trace dump is missing the trace id" >&2; exit 1; }
+grep -q "request /visit" "$smoke_dir/trace.json" || {
+  echo "trace smoke: Chrome trace dump is missing the root span" >&2; exit 1; }
+
 kill -TERM "$server_pid"
 wait "$server_pid"
 grep -q drained "$smoke_dir/server.log" || {
@@ -65,10 +81,10 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
       serving_server_test serving_stress_test \
       serving_stream_test serving_stream_stress_test \
       serving_recovery_test \
-      net_server_test net_loadgen_test \
-      obs_metrics_test obs_trace_test
+      net_server_test net_loadgen_test net_trace_test \
+      obs_metrics_test obs_trace_test obs_trace_context_test
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
-      -R '^(serving_|net_server|net_loadgen|obs_)'
+      -R '^(serving_|net_server|net_loadgen|net_trace|obs_)'
 fi
 
 # The storage engine and the fault-injection suite do the pointer- and

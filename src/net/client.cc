@@ -37,6 +37,22 @@ void HttpClient::Disconnect() {
   }
 }
 
+void HttpClient::set_header(std::string_view name, std::string_view value) {
+  for (auto it = extra_headers_.begin(); it != extra_headers_.end(); ++it) {
+    if (it->first == name) {
+      if (value.empty()) {
+        extra_headers_.erase(it);
+      } else {
+        it->second = std::string(value);
+      }
+      return;
+    }
+  }
+  if (!value.empty()) {
+    extra_headers_.emplace_back(std::string(name), std::string(value));
+  }
+}
+
 common::Status HttpClient::Connect() {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Errno("socket");
@@ -82,6 +98,12 @@ common::Result<HttpResponse> HttpClient::Request(std::string_view method,
   wire.append(":");
   wire.append(std::to_string(port_));
   wire.append("\r\n");
+  for (const auto& [name, value] : extra_headers_) {
+    wire.append(name);
+    wire.append(": ");
+    wire.append(value);
+    wire.append("\r\n");
+  }
   if (!body.empty()) {
     wire.append("content-type: application/json\r\n");
   }

@@ -47,6 +47,11 @@ class HttpClient {
   /// 0 blocks forever. Applies from the next request.
   void set_timeout_seconds(double seconds) { timeout_seconds_ = seconds; }
 
+  /// Extra header sent with every subsequent request (the `traceparent`
+  /// propagation hook; also handy for tests). Setting the same name
+  /// again replaces the value; an empty value removes the header.
+  void set_header(std::string_view name, std::string_view value);
+
   /// Drops the connection; the next request reconnects.
   void Disconnect();
 
@@ -57,6 +62,7 @@ class HttpClient {
   std::string host_;
   uint16_t port_;
   double timeout_seconds_ = 30.0;
+  HeaderList extra_headers_;
   int fd_ = -1;
 };
 

@@ -325,12 +325,15 @@ RequestParser::State RequestParser::Parse() {
 
     buffer_.erase(0, head_len);
     have_head_ = true;
+    pending_request_bytes_ = head_len;
   }
 
   if (buffer_.size() < content_length_) return State::kNeedMore;
   request_.body = buffer_.substr(0, content_length_);
   buffer_.erase(0, content_length_);
   have_head_ = false;
+  last_request_bytes_ = pending_request_bytes_ + content_length_;
+  pending_request_bytes_ = 0;
   content_length_ = 0;
   return State::kReady;
 }

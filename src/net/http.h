@@ -90,6 +90,10 @@ class RequestParser {
   /// Bytes buffered but not yet consumed (mid-request tail).
   size_t buffered_bytes() const { return buffer_.size(); }
 
+  /// Wire size (head + body bytes) of the request most recently
+  /// returned via `kReady`; feeds the wide-event `bytes_in` field.
+  size_t last_request_bytes() const { return last_request_bytes_; }
+
  private:
   State Fail(int status, std::string message);
 
@@ -101,6 +105,8 @@ class RequestParser {
   bool failed_ = false;
   bool have_head_ = false;     ///< request line + headers parsed
   size_t content_length_ = 0;  ///< declared body size of the open request
+  size_t pending_request_bytes_ = 0;  ///< head bytes of the open request
+  size_t last_request_bytes_ = 0;
 };
 
 /// Incremental HTTP/1.x response parser (for the blocking client).

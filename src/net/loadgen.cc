@@ -12,6 +12,7 @@
 #include "common/stats.h"
 #include "net/codec.h"
 #include "net/json.h"
+#include "obs/trace_context.h"
 #include "serving/highlight_server.h"
 #include "sim/bridge.h"
 #include "sim/viewer_simulator.h"
@@ -43,6 +44,9 @@ struct ThreadResult {
   size_t ingests = 0;
   size_t finalizes = 0;
   std::vector<double> latencies_ms;
+  /// One row per round trip (wire errors included, status -1): feeds the
+  /// slowest-N table, the per-op percentiles, and the SLO verdicts.
+  std::vector<SlowRequest> samples;
   RecordedTraffic recorded;
 };
 
@@ -52,6 +56,9 @@ class Worker {
       : options_(options),
         index_(index),
         rng_(options.seed + index),
+        // Separate stream for trace ids: the traffic mix drawn from rng_
+        // must not shift when tracing changes.
+        trace_rng_((options.seed ^ 0x9e3779b97f4a7c15ULL) + index),
         client_(options.host, options.port) {
     client_.set_timeout_seconds(options_.timeout_seconds);
     // Round-robin live-stream ownership: each live video has exactly one
@@ -116,16 +123,33 @@ class Worker {
   }
 
   /// One round trip with bookkeeping; returns the status code, or -1 on
-  /// a wire error.
-  int Send(std::string_view method, std::string_view target,
+  /// a wire error. Every request carries a deterministic, per-thread
+  /// unique `traceparent` (unsampled: the server's tail sampler decides
+  /// what to keep — slow outliers survive, which is exactly what the
+  /// slowest-N table points at).
+  int Send(const char* op, std::string_view method, std::string_view target,
            std::string_view body) {
+    obs::TraceContext ctx;
+    ctx.trace_hi = trace_rng_.Next64();
+    ctx.trace_lo = trace_rng_.Next64() | 1;  // the all-zero id is invalid
+    ctx.span_id = trace_rng_.Next64() | 1;
+    client_.set_header("traceparent", obs::FormatTraceparent(ctx));
+
     const Clock::time_point start = Clock::now();
     auto response = client_.Request(method, target, body);
+    SlowRequest sample;
+    sample.ms = MsSince(start);
+    sample.op = op;
+    sample.trace_id = obs::FormatTraceId(ctx.trace_hi, ctx.trace_lo);
     if (!response.ok()) {
       ++result_.wire_errors;
+      sample.status = -1;
+      result_.samples.push_back(std::move(sample));
       return -1;
     }
-    result_.latencies_ms.push_back(MsSince(start));
+    sample.status = response.value().status;
+    result_.latencies_ms.push_back(sample.ms);
+    result_.samples.push_back(std::move(sample));
     ++result_.requests;
     const int status = response.value().status;
     if (status < 400) {
@@ -145,7 +169,7 @@ class Worker {
     serving::PageVisitRequest req;
     req.video_id = PickRecorded();
     req.user = "loadgen" + std::to_string(index_);
-    if (Send("POST", "/visit", EncodeJson(req)) != 200) return;
+    if (Send("visit", "POST", "/visit", EncodeJson(req)) != 200) return;
     result_.recorded.visits.push_back(req);
     auto response = DecodePageVisitResponse(last_body_);
     if (!response.ok()) return;
@@ -175,7 +199,7 @@ class Worker {
     const auto session = viewer_sim_.SimulateSession(video.value().truth,
                                                      dot, rng_, req.user);
     req.events = session.events;
-    if (Send("POST", "/session", EncodeJson(req)) != 200) return;
+    if (Send("session", "POST", "/session", EncodeJson(req)) != 200) return;
     result_.recorded.sessions.push_back(std::move(req));
   }
 
@@ -183,7 +207,7 @@ class Worker {
     ++result_.refines;
     Json body = Json::MakeObject();
     body.Set("video_id", Json::Str(PickRecorded()));
-    Send("POST", "/refine", body.Dump());
+    Send("refine", "POST", "/refine", body.Dump());
   }
 
   void DoIngest() {
@@ -195,7 +219,7 @@ class Worker {
     req.messages.assign(live_messages_.begin() +
                             static_cast<ptrdiff_t>(live_cursor_),
                         live_messages_.begin() + static_cast<ptrdiff_t>(end));
-    if (Send("POST", "/ingest", EncodeJson(req)) != 200) return;
+    if (Send("ingest", "POST", "/ingest", EncodeJson(req)) != 200) return;
     // Advance only on acceptance: a 503'd batch is retried by a later
     // ingest draw, keeping the per-video sequence gap-free.
     live_cursor_ = end;
@@ -208,7 +232,7 @@ class Worker {
     ++result_.finalizes;
     serving::FinalizeStreamRequest req;
     req.video_id = live_id_;
-    if (Send("POST", "/finalize", EncodeJson(req)) != 200) return;
+    if (Send("finalize", "POST", "/finalize", EncodeJson(req)) != 200) return;
     finalized_ = true;
     result_.recorded.finalizes.push_back(req);
   }
@@ -216,6 +240,7 @@ class Worker {
   const LoadGenOptions& options_;
   size_t index_;
   common::Rng rng_;
+  common::Rng trace_rng_;
   HttpClient client_;
   sim::ViewerSimulator viewer_sim_;
   ThreadResult result_;
@@ -258,6 +283,20 @@ common::Status LoadGenOptions::Validate() const {
           "loadgen: video in both recorded_ids and live_ids: " + id);
     }
   }
+  for (const SloTarget& target : slo_targets) {
+    static constexpr const char* kOps[] = {"visit",  "session",  "refine",
+                                           "ingest", "finalize", "all"};
+    if (std::find_if(std::begin(kOps), std::end(kOps), [&](const char* op) {
+          return target.op == op;
+        }) == std::end(kOps)) {
+      return common::Status::InvalidArgument("loadgen: unknown SLO op: " +
+                                             target.op);
+    }
+    if (target.p99_ms <= 0.0) {
+      return common::Status::InvalidArgument(
+          "loadgen: SLO p99_ms must be positive for op: " + target.op);
+    }
+  }
   return common::Status::OK();
 }
 
@@ -284,7 +323,10 @@ common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
   LoadGenReport report;
   report.seconds = seconds;
   std::vector<double> latencies;
+  std::vector<SlowRequest> samples;
   for (ThreadResult& r : results) {
+    std::move(r.samples.begin(), r.samples.end(),
+              std::back_inserter(samples));
     report.requests += r.requests;
     report.wire_errors += r.wire_errors;
     report.status_2xx += r.status_2xx;
@@ -317,6 +359,55 @@ common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
     report.p99_ms = common::Quantile(latencies, 0.99);
     report.max_ms = *std::max_element(latencies.begin(), latencies.end());
   }
+
+  // Slowest-N table, worst first. Wire errors (often timeouts — the very
+  // worst tail) are included; their trace ids were still sent upstream.
+  if (options.slowest_n > 0 && !samples.empty()) {
+    const size_t n = std::min(options.slowest_n, samples.size());
+    std::partial_sort(samples.begin(),
+                      samples.begin() + static_cast<ptrdiff_t>(n),
+                      samples.end(),
+                      [](const SlowRequest& a, const SlowRequest& b) {
+                        return a.ms > b.ms;
+                      });
+    report.slowest.assign(std::make_move_iterator(samples.begin()),
+                          std::make_move_iterator(samples.begin() +
+                                                  static_cast<ptrdiff_t>(n)));
+  }
+
+  // Per-op percentiles over completed responses, then the SLO verdicts
+  // ("all" reads the whole-mix p99 computed above).
+  std::unordered_map<std::string, std::vector<double>> per_op;
+  for (const SlowRequest& sample : samples) {
+    if (sample.status >= 0) per_op[sample.op].push_back(sample.ms);
+  }
+  for (const char* op : {"visit", "session", "refine", "ingest", "finalize"}) {
+    auto it = per_op.find(op);
+    if (it == per_op.end() || it->second.empty()) continue;
+    OpLatency lat;
+    lat.op = op;
+    lat.count = it->second.size();
+    lat.p50_ms = common::Quantile(it->second, 0.50);
+    lat.p99_ms = common::Quantile(it->second, 0.99);
+    report.op_latency.push_back(std::move(lat));
+  }
+  for (const LoadGenOptions::SloTarget& target : options.slo_targets) {
+    SloResult verdict;
+    verdict.op = target.op;
+    verdict.target_p99_ms = target.p99_ms;
+    if (target.op == "all") {
+      verdict.actual_p99_ms = report.p99_ms;
+    } else {
+      auto it = per_op.find(target.op);
+      verdict.actual_p99_ms =
+          (it == per_op.end() || it->second.empty())
+              ? 0.0
+              : common::Quantile(it->second, 0.99);
+    }
+    verdict.ok = verdict.actual_p99_ms <= target.p99_ms;
+    if (!verdict.ok) report.slo_ok = false;
+    report.slo.push_back(std::move(verdict));
+  }
   return report;
 }
 
@@ -345,6 +436,38 @@ std::string EncodeJson(const LoadGenReport& report) {
   latency.Set("p99_ms", Json::Number(report.p99_ms));
   latency.Set("max_ms", Json::Number(report.max_ms));
   out.Set("latency", std::move(latency));
+  Json slowest = Json::MakeArray();
+  for (const SlowRequest& row : report.slowest) {
+    Json entry = Json::MakeObject();
+    entry.Set("ms", Json::Number(row.ms));
+    entry.Set("op", Json::Str(row.op));
+    entry.Set("trace_id", Json::Str(row.trace_id));
+    entry.Set("status", Json::Int(row.status));
+    slowest.Append(std::move(entry));
+  }
+  out.Set("slowest", std::move(slowest));
+  Json op_latency = Json::MakeObject();
+  for (const OpLatency& lat : report.op_latency) {
+    Json entry = Json::MakeObject();
+    entry.Set("count", Json::Int(static_cast<int64_t>(lat.count)));
+    entry.Set("p50_ms", Json::Number(lat.p50_ms));
+    entry.Set("p99_ms", Json::Number(lat.p99_ms));
+    op_latency.Set(lat.op, std::move(entry));
+  }
+  out.Set("op_latency", std::move(op_latency));
+  Json slo = Json::MakeObject();
+  slo.Set("ok", Json::Bool(report.slo_ok));
+  Json targets = Json::MakeArray();
+  for (const SloResult& verdict : report.slo) {
+    Json entry = Json::MakeObject();
+    entry.Set("op", Json::Str(verdict.op));
+    entry.Set("target_p99_ms", Json::Number(verdict.target_p99_ms));
+    entry.Set("actual_p99_ms", Json::Number(verdict.actual_p99_ms));
+    entry.Set("ok", Json::Bool(verdict.ok));
+    targets.Append(std::move(entry));
+  }
+  slo.Set("targets", std::move(targets));
+  out.Set("slo", std::move(slo));
   return out.Dump();
 }
 

@@ -61,7 +61,48 @@ struct LoadGenOptions {
   size_t ingest_batch_size = 32;
   double timeout_seconds = 30.0;
 
+  /// Rows kept in the report's slowest-requests table (0 disables it).
+  /// Each row carries the request's trace id, so a tail outlier can be
+  /// pulled straight from the server's `/debug/trace` endpoint.
+  size_t slowest_n = 8;
+
+  /// Per-op p99 ceiling asserted after the run; `op` is one of "visit",
+  /// "session", "refine", "ingest", "finalize", or "all" for the whole
+  /// mix. A violated target flips `LoadGenReport::slo_ok` (the run
+  /// itself still succeeds — enforcement is the caller's call).
+  struct SloTarget {
+    std::string op;
+    double p99_ms = 0.0;
+  };
+  std::vector<SloTarget> slo_targets;
+
   common::Status Validate() const;
+};
+
+/// One row of the slowest-requests table: enough to chase the outlier
+/// through the server's wide-event log and span ring.
+struct SlowRequest {
+  double ms = 0.0;
+  std::string op;
+  std::string trace_id;  ///< 32 lowercase hex chars, as sent upstream
+  int status = 0;        ///< -1 on a wire error
+};
+
+/// Per-op latency summary (ops with zero completed responses are
+/// omitted).
+struct OpLatency {
+  std::string op;
+  size_t count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Verdict for one `LoadGenOptions::SloTarget`.
+struct SloResult {
+  std::string op;
+  double target_p99_ms = 0.0;
+  double actual_p99_ms = 0.0;
+  bool ok = true;
 };
 
 /// Aggregate results; `EncodeJson` below is the CLI's report format.
@@ -83,6 +124,13 @@ struct LoadGenReport {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  /// Slowest completed requests across all threads, worst first (at most
+  /// `LoadGenOptions::slowest_n` rows).
+  std::vector<SlowRequest> slowest;
+  std::vector<OpLatency> op_latency;
+  std::vector<SloResult> slo;
+  /// False iff any `slo_targets` entry was violated.
+  bool slo_ok = true;
 };
 
 std::string EncodeJson(const LoadGenReport& report);

@@ -89,12 +89,22 @@ obs::Gauge& InFlightRequestsGauge() {
   return *gauge;
 }
 
-obs::Histogram& RequestLatencySeconds() {
-  static obs::Histogram* const histogram =
-      obs::Registry::Global().GetHistogram("lightor_net_request_seconds",
-                                           obs::Histogram::LatencyBounds(),
-                                           {});
-  return *histogram;
+obs::Histogram& RequestLatencySeconds(const char* route, int status) {
+  // Route × status-class label sets stay small (fixed route table times
+  // three classes); same cached-pointer pattern as RequestsCounter.
+  static std::mutex mu;
+  static std::unordered_map<std::string, obs::Histogram*> cache;
+  const char* status_class =
+      status < 400 ? "2xx" : (status < 500 ? "4xx" : "5xx");
+  std::string key = std::string(route) + "\x1f" + status_class;
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = cache.try_emplace(std::move(key), nullptr);
+  if (inserted) {
+    it->second = obs::Registry::Global().GetHistogram(
+        "lightor_net_request_seconds", obs::Histogram::LatencyBounds(),
+        {{"route", route}, {"class", status_class}});
+  }
+  return *it->second;
 }
 
 obs::Counter& BytesReadCounter() {

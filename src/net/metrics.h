@@ -29,8 +29,9 @@ obs::Gauge& ActiveConnectionsGauge();
 /// Handler-occupancy gauge (requests dispatched, response not yet
 /// queued); admission control rejects above NetOptions::max_in_flight.
 obs::Gauge& InFlightRequestsGauge();
-/// Dispatch-to-response-queued wall time, seconds.
-obs::Histogram& RequestLatencySeconds();
+/// Handler wall time, seconds, by route × status class — so a slow
+/// `/highlights` is distinguishable from a failing `/session`.
+obs::Histogram& RequestLatencySeconds(const char* route, int status);
 /// Payload bytes moved over the wire.
 obs::Counter& BytesReadCounter();
 obs::Counter& BytesWrittenCounter();

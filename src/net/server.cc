@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -19,7 +20,9 @@
 
 #include "common/logging.h"
 #include "net/metrics.h"
+#include "obs/request_log.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0
@@ -255,6 +258,28 @@ std::unique_ptr<Poller> MakePoller(bool use_epoll) {
 // ---------------------------------------------------------------------------
 // Connection / queue plumbing
 
+/// One request's tracing state. The IO thread owns the wide-event
+/// fields (status, byte counts, write clock); the worker handling the
+/// request only touches the collector, whose stage slots are atomics
+/// and whose span list is mutex-guarded — so a deadline-expired request
+/// can be finalized on the IO thread while its stranded handler is
+/// still running (the sealed collector drops the late spans).
+struct RequestTelemetry {
+  obs::TraceContext ctx;        ///< server context; span_id = root span
+  uint64_t parent_span_id = 0;  ///< caller's span id from traceparent
+  bool sampled_in = false;      ///< incoming sampled flag (forces keep)
+  obs::SpanCollector collector;
+  uint64_t start_us = 0;  ///< request start (first parse), TraceNowMicros
+  std::string route;      ///< Router::RouteLabel
+  std::string method;
+  uint64_t bytes_in = 0;
+  double retry_after_seconds = 0.0;
+  // IO-thread-only response bookkeeping:
+  int status = 0;  ///< 0 until a response is queued
+  uint64_t bytes_out = 0;
+  uint64_t write_start_us = 0;
+};
+
 struct HttpServer::Conn {
   explicit Conn(const RequestParser::Limits& limits) : parser(limits) {}
 
@@ -274,6 +299,11 @@ struct HttpServer::Conn {
   bool want_write = false;
   TimePoint last_active;
   TimePoint deadline;
+  /// Parse wall time accumulated across reads for the request currently
+  /// being assembled; charged to its telemetry when it becomes ready.
+  uint64_t parse_accum_us = 0;
+  /// Telemetry of the request currently dispatched or being answered.
+  std::shared_ptr<RequestTelemetry> pending;
 };
 
 struct HttpServer::Job {
@@ -283,6 +313,9 @@ struct HttpServer::Job {
   HttpRequest request;
   const HttpHandler* handler = nullptr;
   bool keep_alive = true;
+  const char* route = "other";  ///< stable label from the route table
+  uint64_t dispatch_us = 0;     ///< queue-wait clock start
+  std::shared_ptr<RequestTelemetry> telemetry;
 };
 
 struct HttpServer::Completion {
@@ -291,6 +324,7 @@ struct HttpServer::Completion {
   uint64_t req_serial = 0;
   std::string bytes;  ///< fully serialized response
   bool keep_alive = true;
+  int status = 200;
 };
 
 // ---------------------------------------------------------------------------
@@ -409,9 +443,21 @@ void HttpServer::WorkerLoop() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
+    RequestTelemetry* telemetry = job.telemetry.get();
+    if (telemetry != nullptr) {
+      telemetry->collector.AddStageMicros(
+          obs::Stage::kQueue, obs::TraceNowMicros() - job.dispatch_us);
+    }
+    // Handler (and serialization below) run under the request's trace
+    // context: spans opened inside land in its collector, tagged with
+    // the trace id and parented to the request's root span.
+    obs::ScopedTraceContext trace_guard(
+        telemetry != nullptr ? telemetry->ctx : obs::TraceContext{},
+        telemetry != nullptr ? &telemetry->collector : nullptr);
     HttpResponse response;
+    const uint64_t handler_start_us = obs::TraceNowMicros();
     {
-      obs::ScopedTimer timer(&RequestLatencySeconds());
+      obs::ScopedStage stage(obs::Stage::kHandler);
       try {
         response = (*job.handler)(job.request);
       } catch (const std::exception& e) {
@@ -420,13 +466,21 @@ void HttpServer::WorkerLoop() {
         response = ErrorResponse(500, "handler raised");
       }
     }
+    RequestLatencySeconds(job.route, response.status)
+        .Observe(static_cast<double>(obs::TraceNowMicros() -
+                                     handler_start_us) *
+                 1e-6);
     ResponsesCounter(response.status).Increment();
     Completion completion;
     completion.fd = job.fd;
     completion.conn_serial = job.conn_serial;
     completion.req_serial = job.req_serial;
     completion.keep_alive = job.keep_alive;
-    completion.bytes = response.Serialize(job.keep_alive);
+    completion.status = response.status;
+    {
+      obs::ScopedStage stage(obs::Stage::kSerialize);
+      completion.bytes = response.Serialize(job.keep_alive);
+    }
     {
       std::lock_guard<std::mutex> lock(completion_mu_);
       completions_.push_back(std::move(completion));
@@ -589,12 +643,76 @@ void HttpServer::ReadFrom(Conn& conn) {
   UpdateInterest(conn);
 }
 
+std::shared_ptr<RequestTelemetry> HttpServer::StartTelemetry(
+    Conn& conn, const HttpRequest* request) {
+  auto telemetry = std::make_shared<RequestTelemetry>();
+  const uint64_t now = obs::TraceNowMicros();
+  // Charge the bytes-to-request assembly time and anchor the request
+  // start before the first parse attempt began.
+  telemetry->start_us = now - std::min(conn.parse_accum_us, now);
+  telemetry->collector.AddStageMicros(obs::Stage::kParse,
+                                      conn.parse_accum_us);
+  conn.parse_accum_us = 0;
+  if (request != nullptr) {
+    telemetry->method = request->method;
+    telemetry->route = router_.RouteLabel(request->path);
+    telemetry->bytes_in = conn.parser.last_request_bytes();
+    if (const std::string* header = request->FindHeader("traceparent")) {
+      obs::TraceContext incoming;
+      if (obs::ParseTraceparent(*header, &incoming)) {
+        telemetry->ctx.trace_hi = incoming.trace_hi;
+        telemetry->ctx.trace_lo = incoming.trace_lo;
+        telemetry->ctx.sampled = incoming.sampled;
+        telemetry->parent_span_id = incoming.span_id;
+        telemetry->sampled_in = incoming.sampled;
+      }
+    }
+  } else {
+    telemetry->route = "other";  // parse error: no request to attribute
+  }
+  if (!telemetry->ctx.valid()) {
+    telemetry->ctx = obs::GenerateTraceContext();
+  } else {
+    telemetry->ctx.span_id = obs::GenerateSpanId();  // server root span
+  }
+  return telemetry;
+}
+
+void HttpServer::EmitTelemetry(Conn& conn) {
+  std::shared_ptr<RequestTelemetry> telemetry = std::move(conn.pending);
+  conn.pending.reset();
+  if (telemetry == nullptr || telemetry->status == 0) return;
+  const uint64_t now = obs::TraceNowMicros();
+  if (telemetry->write_start_us != 0) {
+    telemetry->collector.AddStageMicros(obs::Stage::kWrite,
+                                        now - telemetry->write_start_us);
+  }
+  obs::WideEvent event;
+  event.trace_hi = telemetry->ctx.trace_hi;
+  event.trace_lo = telemetry->ctx.trace_lo;
+  event.span_id = telemetry->ctx.span_id;
+  event.parent_span_id = telemetry->parent_span_id;
+  event.route = telemetry->route;
+  event.method = telemetry->method;
+  event.status = telemetry->status;
+  event.bytes_in = telemetry->bytes_in;
+  event.bytes_out = telemetry->bytes_out;
+  event.start_us = telemetry->start_us;
+  event.total_us = now - telemetry->start_us;
+  event.retry_after_seconds = telemetry->retry_after_seconds;
+  event.sampled_in = telemetry->sampled_in;
+  obs::RequestLog::Global().Emit(std::move(event), &telemetry->collector);
+}
+
 void HttpServer::TryAdvance(Conn& conn) {
   while (!conn.handling && conn.outbuf.empty() && !conn.close_after) {
+    const uint64_t parse_start_us = obs::TraceNowMicros();
     const RequestParser::State state = conn.parser.Parse();
+    conn.parse_accum_us += obs::TraceNowMicros() - parse_start_us;
     if (state == RequestParser::State::kNeedMore) return;
     if (state == RequestParser::State::kError) {
       ParseErrorsCounter().Increment();
+      conn.pending = StartTelemetry(conn, nullptr);
       QueueResponse(
           conn,
           ErrorResponse(conn.parser.error_status(), conn.parser.error()),
@@ -603,10 +721,12 @@ void HttpServer::TryAdvance(Conn& conn) {
     }
 
     HttpRequest request = std::move(conn.parser.request());
+    conn.pending = StartTelemetry(conn, &request);
     const bool keep_alive = request.keep_alive() && !io_draining_;
     if (io_draining_) {
       // Late pipelined request on a connection kept open for an
       // in-flight flush; intake is closed.
+      conn.pending->retry_after_seconds = 1.0;
       HttpResponse response = ErrorResponse(503, "server is draining");
       response.SetHeader("retry-after", "1");
       QueueResponse(conn, response, false);
@@ -625,10 +745,12 @@ void HttpServer::TryAdvance(Conn& conn) {
                     keep_alive);
       continue;
     }
-    RequestsCounter(router_.RouteLabel(request.path)).Increment();
+    const char* route = router_.RouteLabel(request.path);
+    RequestsCounter(route).Increment();
 
     if (in_flight_ >= options_.max_in_flight) {
       AdmissionRejectedCounter().Increment();
+      conn.pending->retry_after_seconds = options_.retry_after_seconds;
       HttpResponse response = ErrorResponse(503, "server at capacity");
       response.SetHeader(
           "retry-after",
@@ -653,6 +775,9 @@ void HttpServer::TryAdvance(Conn& conn) {
     job.request = std::move(request);
     job.handler = handler;
     job.keep_alive = keep_alive;
+    job.route = route;
+    job.dispatch_us = obs::TraceNowMicros();
+    job.telemetry = conn.pending;
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       jobs_.push_back(std::move(job));
@@ -668,6 +793,11 @@ void HttpServer::QueueResponse(Conn& conn, const HttpResponse& response,
   conn.outbuf = response.Serialize(keep_alive);
   conn.out_off = 0;
   if (!keep_alive) conn.close_after = true;
+  if (conn.pending != nullptr) {
+    conn.pending->status = response.status;
+    conn.pending->bytes_out = conn.outbuf.size();
+    conn.pending->write_start_us = obs::TraceNowMicros();
+  }
   UpdateInterest(conn);  // level-triggered EPOLLOUT fires right away
 }
 
@@ -690,6 +820,7 @@ void HttpServer::FlushWrites(Conn& conn) {
   if (conn.out_off == conn.outbuf.size()) {
     conn.outbuf.clear();
     conn.out_off = 0;
+    EmitTelemetry(conn);  // response fully on the wire: the wide event
     if (conn.close_after) {
       CloseConn(conn.fd);
       return;
@@ -713,6 +844,10 @@ void HttpServer::UpdateInterest(Conn& conn) {
 void HttpServer::CloseConn(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  // A queued-but-unflushed response still gets its wide event (the
+  // telemetry of a request whose response was never queued does not —
+  // there is no status to report).
+  EmitTelemetry(it->second);
   poller_->Remove(fd);
   ::close(fd);
   conns_.erase(it);
@@ -766,6 +901,11 @@ void HttpServer::ProcessCompletions() {
     conn.handling = false;
     conn.outbuf = std::move(completion.bytes);
     conn.out_off = 0;
+    if (conn.pending != nullptr) {
+      conn.pending->status = completion.status;
+      conn.pending->bytes_out = conn.outbuf.size();
+      conn.pending->write_start_us = obs::TraceNowMicros();
+    }
     if (!completion.keep_alive || io_draining_) conn.close_after = true;
     UpdateInterest(conn);
   }

@@ -87,6 +87,11 @@ struct NetOptions {
 /// Internal event backend (epoll / poll); defined in server.cc.
 class Poller;
 
+/// Per-request tracing state (trace context, span collector, stage
+/// clocks, wide-event fields); defined in server.cc. Shared between the
+/// IO thread and the worker handling the request.
+struct RequestTelemetry;
+
 /// A minimal dependency-free HTTP/1.1 server:
 ///
 ///   * **One event-loop thread** (epoll, poll fallback) owns every
@@ -145,6 +150,13 @@ class HttpServer {
   void QueueResponse(Conn& conn, const HttpResponse& response,
                      bool keep_alive);
   void FlushWrites(Conn& conn);
+  /// Builds the request's telemetry: parses (or generates) the W3C
+  /// trace context and charges the accumulated parse time.
+  std::shared_ptr<RequestTelemetry> StartTelemetry(Conn& conn,
+                                                   const HttpRequest* request);
+  /// Finalizes and emits the pending request's wide event (no-op when
+  /// none is pending or no response was ever queued).
+  void EmitTelemetry(Conn& conn);
   void UpdateInterest(Conn& conn);
   void CloseConn(int fd);
   void CheckTimers();

@@ -1,11 +1,16 @@
 #include "net/service.h"
 
+#include <cstdlib>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "net/codec.h"
 #include "net/json.h"
+#include "obs/request_log.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "serving/metrics.h"
 
 namespace lightor::net {
@@ -128,6 +133,67 @@ Router BuildRoutes(serving::HighlightServer* server) {
 
   router.Handle("GET", "/healthz", [](const HttpRequest&) {
     return JsonResponse(200, "{\"status\":\"ok\"}");
+  });
+
+  router.Handle("GET", "/debug/requests", [](const HttpRequest& request) {
+    // Filters: ?min_ms= (total duration floor), ?status= (exact code or
+    // a class like "5xx"), ?route= (exact label), ?limit= (row cap).
+    const std::string min_ms_param = request.QueryParam("min_ms");
+    const std::string status_param = request.QueryParam("status");
+    const std::string route_param = request.QueryParam("route");
+    const std::string limit_param = request.QueryParam("limit");
+    const double min_ms =
+        min_ms_param.empty() ? 0.0 : std::atof(min_ms_param.c_str());
+    const size_t limit =
+        limit_param.empty()
+            ? 100
+            : static_cast<size_t>(std::atoll(limit_param.c_str()));
+    int status_exact = 0;
+    char status_class = 0;
+    if (!status_param.empty()) {
+      if (status_param.size() == 3 && status_param[1] == 'x' &&
+          status_param[2] == 'x') {
+        status_class = status_param[0];
+      } else {
+        status_exact = std::atoi(status_param.c_str());
+      }
+    }
+
+    std::string body = "{\"requests\":[";
+    size_t emitted = 0;
+    for (const obs::WideEvent& event : obs::RequestLog::Global().Recent()) {
+      if (static_cast<double>(event.total_us) * 1e-3 < min_ms) continue;
+      if (status_exact != 0 && event.status != status_exact) continue;
+      if (status_class != 0 && '0' + event.status / 100 != status_class) {
+        continue;
+      }
+      if (!route_param.empty() && event.route != route_param) continue;
+      if (emitted == limit) break;
+      if (emitted++) body += ",";
+      body += EncodeWideEventJson(event);
+    }
+    body += "]}";
+    return JsonResponse(200, std::move(body));
+  });
+
+  router.Handle("GET", "/debug/trace", [](const HttpRequest& request) {
+    const std::string trace_id = request.QueryParam("trace_id");
+    uint64_t trace_hi = 0, trace_lo = 0;
+    if (!obs::ParseTraceId(trace_id, &trace_hi, &trace_lo)) {
+      return ErrorResponse(
+          400, "debug/trace: trace_id must be 32 hex chars, non-zero");
+    }
+    const std::vector<obs::TraceEvent> events =
+        obs::TraceRecorder::Global().EventsForTrace(trace_hi, trace_lo);
+    if (events.empty()) {
+      return ErrorResponse(404, "debug/trace: no retained spans for " +
+                                    trace_id +
+                                    " (dropped, or not tail-sampled)");
+    }
+    HttpResponse response;
+    response.body = obs::ChromeTraceJson(events);
+    response.SetHeader("content-type", "application/json");
+    return response;
   });
 
   return router;

@@ -17,6 +17,12 @@ namespace lightor::net {
 ///   GET  /highlights?video_id=X           -> GetHighlightsResponse
 ///   GET  /metrics[?format=json]           -> exposition text
 ///   GET  /healthz                         -> {"status":"ok"}
+///   GET  /debug/requests[?min_ms=&status=&route=&limit=]
+///                                         -> recent wide events (newest
+///                                            first; status takes "503"
+///                                            or a class like "5xx")
+///   GET  /debug/trace?trace_id=<32 hex>   -> Chrome-trace JSON of the
+///                                            retained spans of one trace
 ///
 /// Backend errors map onto HTTP statuses: InvalidArgument -> 400,
 /// NotFound -> 404, FailedPrecondition (draining server, live-stream

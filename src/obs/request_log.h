@@ -1,0 +1,113 @@
+#ifndef LIGHTOR_OBS_REQUEST_LOG_H_
+#define LIGHTOR_OBS_REQUEST_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+
+namespace lightor::obs {
+
+/// One structured record per completed request — the "wide event": every
+/// fact the front-end knows about the request in a single flat row, so
+/// one grep (or one CSV load) answers "where did this request spend its
+/// time" without joining log streams.
+struct WideEvent {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;         ///< the server's root span for the request
+  uint64_t parent_span_id = 0;  ///< caller's span id from traceparent
+  std::string route;            ///< route label ("/session", "other", ...)
+  std::string method;
+  int status = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t start_us = 0;  ///< TraceNowMicros at request start
+  uint64_t total_us = 0;  ///< first byte parsed → response flushed
+  uint64_t stage_us[kNumStages] = {};  ///< indexed by Stage
+  int shard = -1;                ///< serving shard touched, -1 if none
+  double retry_after_seconds = 0.0;  ///< nonzero on admission 503s
+  bool sampled_in = false;  ///< incoming traceparent sampled flag
+  bool kept = false;        ///< tail-sampling verdict for the span tree
+  std::string keep_reason;  ///< "flag" | "error" | "slow" | "random" | ""
+
+  uint64_t StageUs(Stage stage) const {
+    return stage_us[static_cast<size_t>(stage)];
+  }
+  std::string TraceId() const { return FormatTraceId(trace_hi, trace_lo); }
+};
+
+/// Single-line flat JSON object (no trailing newline).
+std::string EncodeWideEventJson(const WideEvent& event);
+/// CSV row matching WideEventCsvHeader(); no trailing newline.
+std::string WideEventCsvHeader();
+std::string EncodeWideEventCsv(const WideEvent& event);
+
+/// Tail-sampling policy: the decision whether a request's span tree is
+/// flushed into the global TraceRecorder ring is taken *after* the
+/// request completes, when status and latency are known — so the 4k ring
+/// retains the interesting traces instead of whatever came last.
+struct TailSamplingOptions {
+  /// Requests at or above this duration always keep their spans.
+  uint64_t slow_threshold_us = 250'000;
+  /// Keep span trees for status >= 500 responses.
+  bool keep_errors = true;
+  /// Keep ~1/denominator of the remaining traffic (by trace-id hash, so
+  /// the verdict is deterministic per trace id). 0 disables the
+  /// probabilistic tier entirely.
+  uint32_t probabilistic_denominator = 64;
+};
+
+/// Bounded in-memory ring of wide events with a pluggable sink, plus the
+/// tail sampler and the per-stage latency histogram family
+/// (`lightor_obs_request_stage_seconds{stage=...}`). `Emit` is the
+/// single finalization point for a request's telemetry.
+class RequestLog {
+ public:
+  static RequestLog& Global();
+
+  explicit RequestLog(size_t capacity = 1024);
+
+  /// Finalizes a request: copies stage/shard data out of `collector`
+  /// (when given), takes the tail-sampling decision, observes the stage
+  /// histograms, appends to the ring, invokes the sink, and — when the
+  /// trace is kept — flushes the span tree (root span, synthesized
+  /// IO-thread stage spans, collected handler spans) into `recorder`
+  /// (the global one when null). Returns the keep verdict.
+  bool Emit(WideEvent event, SpanCollector* collector,
+            TraceRecorder* recorder = nullptr);
+
+  /// Retained events, newest first, at most `limit` when nonzero.
+  std::vector<WideEvent> Recent(size_t limit = 0) const;
+
+  /// Called once per completed request with the finalized event (e.g. a
+  /// file-backed JSONL writer). Invoked outside the ring lock.
+  void SetSink(std::function<void(const WideEvent&)> sink);
+
+  void set_options(const TailSamplingOptions& options);
+  TailSamplingOptions options() const;
+
+  size_t size() const;
+  size_t capacity() const;
+  uint64_t total_emitted() const;
+  void Clear();
+  void SetCapacity(size_t capacity);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<WideEvent> ring_;
+  size_t capacity_;
+  size_t next_ = 0;
+  size_t count_ = 0;
+  uint64_t total_ = 0;
+  TailSamplingOptions options_;
+  std::function<void(const WideEvent&)> sink_;
+};
+
+}  // namespace lightor::obs
+
+#endif  // LIGHTOR_OBS_REQUEST_LOG_H_

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/export.h"
+#include "obs/trace_context.h"
 
 namespace lightor::obs {
 
@@ -49,8 +50,21 @@ uint32_t TraceThreadId() {
 }
 
 TraceRecorder& TraceRecorder::Global() {
-  static TraceRecorder* recorder = new TraceRecorder();
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    r->EnableHealthMetrics();
+    return r;
+  }();
   return *recorder;
+}
+
+void TraceRecorder::EnableHealthMetrics() {
+  Registry& registry = Registry::Global();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_counter_ = registry.GetCounter("lightor_obs_trace_events_total");
+  dropped_counter_ = registry.GetCounter("lightor_obs_trace_dropped_total");
+  capacity_gauge_ = registry.GetGauge("lightor_obs_trace_ring_capacity");
+  capacity_gauge_->Set(static_cast<double>(capacity_));
 }
 
 TraceRecorder::TraceRecorder(size_t capacity)
@@ -66,7 +80,22 @@ void TraceRecorder::Record(TraceEvent event) {
   ++total_;
   if (count_ < capacity_) {
     ++count_;
+  } else if (dropped_counter_ != nullptr) {
+    dropped_counter_->Increment();  // overwrote the oldest retained span
   }
+  if (events_counter_ != nullptr) events_counter_->Increment();
+}
+
+std::vector<TraceEvent> TraceRecorder::EventsForTrace(
+    uint64_t trace_hi, uint64_t trace_lo) const {
+  std::vector<TraceEvent> out;
+  if ((trace_hi | trace_lo) == 0) return out;
+  for (TraceEvent& ev : Events()) {
+    if (ev.trace_hi == trace_hi && ev.trace_lo == trace_lo) {
+      out.push_back(std::move(ev));
+    }
+  }
+  return out;
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
@@ -114,10 +143,12 @@ void TraceRecorder::SetCapacity(size_t capacity) {
   count_ = 0;
   total_ = 0;
   next_sequence_ = 0;
+  if (capacity_gauge_ != nullptr) {
+    capacity_gauge_->Set(static_cast<double>(capacity_));
+  }
 }
 
-std::string TraceRecorder::DumpChromeTrace() const {
-  const std::vector<TraceEvent> events = Events();
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
   std::ostringstream out;
   out << "[";
   for (size_t i = 0; i < events.size(); ++i) {
@@ -126,10 +157,21 @@ std::string TraceRecorder::DumpChromeTrace() const {
     out << "{\"name\":\"" << JsonEscape(ev.name) << "\",\"cat\":\""
         << JsonEscape(ev.category) << "\",\"ph\":\"X\",\"ts\":" << ev.start_us
         << ",\"dur\":" << ev.duration_us << ",\"pid\":1,\"tid\":"
-        << ev.thread_id << ",\"args\":{\"depth\":" << ev.depth << "}}";
+        << ev.thread_id << ",\"args\":{\"depth\":" << ev.depth;
+    if ((ev.trace_hi | ev.trace_lo) != 0) {
+      out << ",\"trace_id\":\"" << FormatTraceId(ev.trace_hi, ev.trace_lo)
+          << "\",\"span_id\":\"" << FormatSpanId(ev.span_id)
+          << "\",\"parent_span_id\":\"" << FormatSpanId(ev.parent_span_id)
+          << "\"";
+    }
+    out << "}}";
   }
   out << "]\n";
   return out.str();
+}
+
+std::string TraceRecorder::DumpChromeTrace() const {
+  return ChromeTraceJson(Events());
 }
 
 common::Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
@@ -139,11 +181,19 @@ common::Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
 ScopedSpan::ScopedSpan(std::string name, std::string category,
                        TraceRecorder* recorder)
     : recorder_(recorder != nullptr ? recorder : &TraceRecorder::Global()) {
-  if (!recorder_->enabled()) return;
+  if (recorder == nullptr) collector_ = CurrentSpanCollector();
+  if (collector_ == nullptr && !recorder_->enabled()) return;
   active_ = true;
   name_ = std::move(name);
   category_ = std::move(category);
   depth_ = t_span_depth++;
+  const TraceContext& ctx = CurrentTraceContext();
+  if (ctx.valid()) {
+    trace_hi_ = ctx.trace_hi;
+    trace_lo_ = ctx.trace_lo;
+    span_id_ = GenerateSpanId();
+    parent_span_id_ = internal::ExchangeCurrentSpanId(span_id_);
+  }
   start_us_ = TraceNowMicros();
 }
 
@@ -151,6 +201,7 @@ ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   const uint64_t end_us = TraceNowMicros();
   --t_span_depth;
+  if (span_id_ != 0) internal::ExchangeCurrentSpanId(parent_span_id_);
   TraceEvent ev;
   ev.name = std::move(name_);
   ev.category = std::move(category_);
@@ -158,7 +209,15 @@ ScopedSpan::~ScopedSpan() {
   ev.duration_us = end_us - start_us_;
   ev.thread_id = TraceThreadId();
   ev.depth = depth_;
-  recorder_->Record(std::move(ev));
+  ev.trace_hi = trace_hi_;
+  ev.trace_lo = trace_lo_;
+  ev.span_id = span_id_;
+  ev.parent_span_id = parent_span_id_;
+  if (collector_ != nullptr) {
+    collector_->Add(std::move(ev));
+  } else {
+    recorder_->Record(std::move(ev));
+  }
 }
 
 }  // namespace lightor::obs

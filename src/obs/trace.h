@@ -22,7 +22,18 @@ struct TraceEvent {
   uint32_t thread_id = 0;  ///< dense per-process id, not the OS tid
   uint32_t depth = 0;      ///< nesting depth at span open (0 = root)
   uint64_t sequence = 0;   ///< global completion order
+  /// Request attribution (all zero outside a traced request): the
+  /// 128-bit W3C trace id, this span's id, and its parent span's id.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
+
+/// Chrome `trace_event` JSON (the array form, loadable in
+/// chrome://tracing and Perfetto) for an arbitrary event list: complete
+/// ("ph":"X") events; traced events carry trace/span ids in `args`.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
 
 /// Lock-protected fixed-capacity ring buffer of completed spans. Spans
 /// are pushed on ScopedSpan destruction, so children always precede
@@ -40,6 +51,9 @@ class TraceRecorder {
 
   /// Retained events in completion order (oldest first).
   std::vector<TraceEvent> Events() const;
+  /// Retained events belonging to one trace, completion order.
+  std::vector<TraceEvent> EventsForTrace(uint64_t trace_hi,
+                                         uint64_t trace_lo) const;
   size_t size() const;
   size_t capacity() const;
   /// Spans overwritten (or recorded past capacity) since the last Clear.
@@ -52,6 +66,11 @@ class TraceRecorder {
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
+
+  /// Registers `lightor_obs_trace_*` health series (event/drop counters,
+  /// capacity gauge) and keeps them updated. Called once on the global
+  /// recorder; private test recorders stay out of /metrics.
+  void EnableHealthMetrics();
 
   /// Chrome `trace_event` JSON (the array form, loadable in
   /// chrome://tracing and Perfetto): complete ("ph":"X") events.
@@ -67,6 +86,9 @@ class TraceRecorder {
   uint64_t total_ = 0;
   uint64_t next_sequence_ = 0;
   bool enabled_ = true;
+  Counter* events_counter_ = nullptr;   ///< set by EnableHealthMetrics
+  Counter* dropped_counter_ = nullptr;
+  Gauge* capacity_gauge_ = nullptr;
 };
 
 /// Microseconds since process start on the steady clock.
@@ -75,11 +97,18 @@ uint64_t TraceNowMicros();
 /// Dense id of the calling thread (0, 1, 2, ... in first-use order).
 uint32_t TraceThreadId();
 
+class SpanCollector;  // per-request sink, see trace_context.h
+
 /// RAII span: records a TraceEvent into a recorder (the global one by
 /// default) when it goes out of scope. Nesting on one thread is tracked
 /// with a thread-local depth counter, so parent/child structure survives
-/// into the dump. Construction is two clock reads plus a thread-local
-/// bump when tracing is enabled, nothing when disabled.
+/// into the dump. When the thread has an active TraceContext (see
+/// trace_context.h) the event is tagged with the trace id, parented to
+/// the enclosing span, and — when the context carries a per-request
+/// SpanCollector and no recorder was passed explicitly — delivered to
+/// that collector instead of the ring. Construction is two clock reads
+/// plus thread-local bumps when tracing is enabled, nothing when
+/// disabled.
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string name, std::string category = "lightor",
@@ -91,11 +120,16 @@ class ScopedSpan {
 
  private:
   TraceRecorder* recorder_;
+  SpanCollector* collector_ = nullptr;
   std::string name_;
   std::string category_;
   uint64_t start_us_ = 0;
   uint32_t depth_ = 0;
   bool active_ = false;
+  uint64_t trace_hi_ = 0;
+  uint64_t trace_lo_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
 };
 
 /// RAII latency sampler: observes the elapsed wall time (seconds) into a

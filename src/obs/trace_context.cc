@@ -1,0 +1,231 @@
+#include "obs/trace_context.h"
+
+#include <random>
+
+namespace lightor::obs {
+
+namespace {
+
+struct ActiveTrace {
+  TraceContext ctx;
+  SpanCollector* collector = nullptr;
+};
+
+thread_local ActiveTrace t_active;
+thread_local uint64_t t_current_span_id = 0;
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool ParseHex64(std::string_view text, uint64_t* out) {
+  if (text.size() != 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    const int v = HexValue(c);
+    if (v < 0) return false;
+    value = (value << 4) | static_cast<uint64_t>(v);
+  }
+  *out = value;
+  return true;
+}
+
+void AppendHex64(uint64_t value, std::string& out) {
+  static const char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kHex[(value >> shift) & 0xF];
+  }
+}
+
+uint64_t SplitMix64Next(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t NextRandom64() {
+  thread_local uint64_t state = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd() ^
+           (reinterpret_cast<uintptr_t>(&state) << 1);
+  }();
+  return SplitMix64Next(state);
+}
+
+}  // namespace
+
+bool ParseTraceparent(std::string_view header, TraceContext* out) {
+  // version "-" trace-id "-" parent-id "-" flags, all lowercase hex per
+  // spec; hex case is accepted leniently, field widths are not.
+  if (header.size() != 55) return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return false;
+  }
+  // Only version 00 is understood; "ff" is forbidden by the spec.
+  if (header[0] != '0' || header[1] != '0') return false;
+  uint64_t hi = 0, lo = 0, span = 0;
+  if (!ParseHex64(header.substr(3, 16), &hi)) return false;
+  if (!ParseHex64(header.substr(19, 16), &lo)) return false;
+  if (!ParseHex64(header.substr(36, 16), &span)) return false;
+  const int f0 = HexValue(header[53]);
+  const int f1 = HexValue(header[54]);
+  if (f0 < 0 || f1 < 0) return false;
+  if ((hi | lo) == 0) return false;  // all-zero trace id is reserved
+  if (span == 0) return false;       // likewise the parent id
+  out->trace_hi = hi;
+  out->trace_lo = lo;
+  out->span_id = span;
+  out->sampled = ((static_cast<unsigned>(f0) * 16u +
+                   static_cast<unsigned>(f1)) &
+                  0x01u) != 0;
+  return true;
+}
+
+std::string FormatTraceparent(const TraceContext& ctx) {
+  std::string out;
+  out.reserve(55);
+  out += "00-";
+  AppendHex64(ctx.trace_hi, out);
+  AppendHex64(ctx.trace_lo, out);
+  out += '-';
+  AppendHex64(ctx.span_id, out);
+  out += ctx.sampled ? "-01" : "-00";
+  return out;
+}
+
+std::string FormatTraceId(uint64_t trace_hi, uint64_t trace_lo) {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(trace_hi, out);
+  AppendHex64(trace_lo, out);
+  return out;
+}
+
+bool ParseTraceId(std::string_view text, uint64_t* trace_hi,
+                  uint64_t* trace_lo) {
+  if (text.size() != 32) return false;
+  uint64_t hi = 0, lo = 0;
+  if (!ParseHex64(text.substr(0, 16), &hi)) return false;
+  if (!ParseHex64(text.substr(16, 16), &lo)) return false;
+  if ((hi | lo) == 0) return false;
+  *trace_hi = hi;
+  *trace_lo = lo;
+  return true;
+}
+
+std::string FormatSpanId(uint64_t span_id) {
+  std::string out;
+  out.reserve(16);
+  AppendHex64(span_id, out);
+  return out;
+}
+
+uint64_t GenerateSpanId() {
+  uint64_t id;
+  do {
+    id = NextRandom64();
+  } while (id == 0);
+  return id;
+}
+
+TraceContext GenerateTraceContext(bool sampled) {
+  TraceContext ctx;
+  do {
+    ctx.trace_hi = NextRandom64();
+    ctx.trace_lo = NextRandom64();
+  } while ((ctx.trace_hi | ctx.trace_lo) == 0);
+  ctx.span_id = GenerateSpanId();
+  ctx.sampled = sampled;
+  return ctx;
+}
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kQueue:
+      return "queue";
+    case Stage::kHandler:
+      return "handler";
+    case Stage::kStorageFlush:
+      return "storage_flush";
+    case Stage::kSerialize:
+      return "serialize";
+    case Stage::kWrite:
+      return "write";
+  }
+  return "unknown";
+}
+
+void SpanCollector::Add(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  spans_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> SpanCollector::TakeAndClose() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  return std::move(spans_);
+}
+
+const TraceContext& CurrentTraceContext() { return t_active.ctx; }
+
+SpanCollector* CurrentSpanCollector() { return t_active.collector; }
+
+void SetCurrentTraceShard(int shard) {
+  if (t_active.collector != nullptr) t_active.collector->set_shard(shard);
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx,
+                                       SpanCollector* collector)
+    : saved_ctx_(t_active.ctx),
+      saved_collector_(t_active.collector),
+      saved_span_id_(t_current_span_id) {
+  t_active.ctx = ctx;
+  t_active.collector = collector;
+  t_current_span_id = ctx.span_id;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_active.ctx = saved_ctx_;
+  t_active.collector = saved_collector_;
+  t_current_span_id = saved_span_id_;
+}
+
+ScopedStage::ScopedStage(Stage stage)
+    : stage_(stage), start_us_(TraceNowMicros()) {}
+
+ScopedStage::~ScopedStage() {
+  const uint64_t elapsed = TraceNowMicros() - start_us_;
+  SpanCollector* collector = t_active.collector;
+  if (collector == nullptr) return;
+  collector->AddStageMicros(stage_, elapsed);
+  TraceEvent ev;
+  ev.name = std::string("stage.") + StageName(stage_);
+  ev.category = "stage";
+  ev.start_us = start_us_;
+  ev.duration_us = elapsed;
+  ev.thread_id = TraceThreadId();
+  ev.trace_hi = t_active.ctx.trace_hi;
+  ev.trace_lo = t_active.ctx.trace_lo;
+  ev.span_id = GenerateSpanId();
+  ev.parent_span_id = t_current_span_id;
+  collector->Add(std::move(ev));
+}
+
+namespace internal {
+
+uint64_t ExchangeCurrentSpanId(uint64_t span_id) {
+  const uint64_t previous = t_current_span_id;
+  t_current_span_id = span_id;
+  return previous;
+}
+
+}  // namespace internal
+
+}  // namespace lightor::obs

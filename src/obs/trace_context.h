@@ -1,0 +1,158 @@
+#ifndef LIGHTOR_OBS_TRACE_CONTEXT_H_
+#define LIGHTOR_OBS_TRACE_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace lightor::obs {
+
+/// W3C Trace Context identity for one request: a 128-bit trace id, the
+/// 64-bit id of the span the caller attributed the request to, and the
+/// `sampled` flag from the traceparent flags byte. A context with an
+/// all-zero trace id is invalid (the spec reserves it), and `valid()`
+/// gates every tagging path, so untraced code pays only a thread-local
+/// read.
+struct TraceContext {
+  uint64_t trace_hi = 0;  ///< high 64 bits of the 128-bit trace id
+  uint64_t trace_lo = 0;  ///< low 64 bits
+  uint64_t span_id = 0;   ///< current span (parent for child spans)
+  bool sampled = false;   ///< traceparent flags bit 0 (forced keep)
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+};
+
+/// Parses a `traceparent` header value (`00-<32 hex>-<16 hex>-<2 hex>`,
+/// case-insensitive hex). Returns false — leaving `out` untouched — for
+/// unsupported versions, wrong field widths, non-hex bytes, or the
+/// reserved all-zero trace/span ids.
+bool ParseTraceparent(std::string_view header, TraceContext* out);
+
+/// Formats `ctx` as a version-00 traceparent header value.
+std::string FormatTraceparent(const TraceContext& ctx);
+
+/// 32-char lowercase hex trace id.
+std::string FormatTraceId(uint64_t trace_hi, uint64_t trace_lo);
+/// Parses a 32-char hex trace id (as printed by FormatTraceId).
+bool ParseTraceId(std::string_view text, uint64_t* trace_hi,
+                  uint64_t* trace_lo);
+/// 16-char lowercase hex span id.
+std::string FormatSpanId(uint64_t span_id);
+
+/// Fresh non-zero random ids (thread-local SplitMix64 seeded from
+/// std::random_device; no locking).
+uint64_t GenerateSpanId();
+TraceContext GenerateTraceContext(bool sampled = false);
+
+/// Per-request pipeline stages, in wire order. `kStorageFlush` nests
+/// inside `kHandler`; the rest partition the request's wall time.
+enum class Stage {
+  kParse = 0,    ///< bytes → HttpRequest (header + body parse)
+  kQueue,        ///< dispatch → worker pickup (admission/queue wait)
+  kHandler,      ///< route handler execution
+  kStorageFlush, ///< WAL flush inside the handler (serving layer)
+  kSerialize,    ///< HttpResponse → wire bytes
+  kWrite,        ///< response queued → fully flushed to the socket
+};
+inline constexpr size_t kNumStages = 6;
+const char* StageName(Stage stage);
+
+/// Thread-safe per-request span and stage-duration sink. The IO thread
+/// and the worker handling the request write concurrently (stages are
+/// atomics, spans are mutex-guarded); `TakeAndClose` seals the collector
+/// so spans finishing after the request's wide event was emitted (e.g. a
+/// handler stranded past its deadline) are dropped instead of leaking
+/// into the next request's trace.
+class SpanCollector {
+ public:
+  SpanCollector() = default;
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Adds a completed span; ignored once closed.
+  void Add(TraceEvent event);
+
+  /// Accumulates elapsed time into a stage (stages may be split across
+  /// calls, e.g. parse resumed over several socket reads).
+  void AddStageMicros(Stage stage, uint64_t micros) {
+    stage_us_[static_cast<size_t>(stage)].fetch_add(
+        micros, std::memory_order_relaxed);
+  }
+  uint64_t StageMicros(Stage stage) const {
+    return stage_us_[static_cast<size_t>(stage)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Shard the request touched (serving layer), -1 if none.
+  void set_shard(int shard) {
+    shard_.store(shard, std::memory_order_relaxed);
+  }
+  int shard() const { return shard_.load(std::memory_order_relaxed); }
+
+  /// Returns the collected spans and seals the collector.
+  std::vector<TraceEvent> TakeAndClose();
+
+ private:
+  mutable std::mutex mu_;
+  bool closed_ = false;
+  std::vector<TraceEvent> spans_;
+  std::atomic<uint64_t> stage_us_[kNumStages] = {};
+  std::atomic<int> shard_{-1};
+};
+
+/// The calling thread's active trace (invalid context when none).
+const TraceContext& CurrentTraceContext();
+/// The active request's span collector, or nullptr outside a request.
+SpanCollector* CurrentSpanCollector();
+/// Records the shard on the active request's collector; no-op otherwise.
+void SetCurrentTraceShard(int shard);
+
+/// RAII: installs `ctx` (and optionally a per-request collector) as the
+/// calling thread's active trace; restores the previous one on exit.
+/// ScopedSpans opened underneath tag their events with the trace id,
+/// parent to `ctx.span_id`, and deliver to the collector when present.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx,
+                              SpanCollector* collector = nullptr);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_ctx_;
+  SpanCollector* saved_collector_;
+  uint64_t saved_span_id_;
+};
+
+/// RAII: times a pipeline stage — accumulates the elapsed micros into
+/// the active request's collector (no-op without one) and records a
+/// span named `stage.<name>` so the stage shows up in the trace tree.
+class ScopedStage {
+ public:
+  explicit ScopedStage(Stage stage);
+  ~ScopedStage();
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  Stage stage_;
+  uint64_t start_us_;
+};
+
+namespace internal {
+/// Swaps the thread-local "current parent span" id; used by ScopedSpan
+/// to build the parent chain. Returns the previous value.
+uint64_t ExchangeCurrentSpanId(uint64_t span_id);
+}  // namespace internal
+
+}  // namespace lightor::obs
+
+#endif  // LIGHTOR_OBS_TRACE_CONTEXT_H_

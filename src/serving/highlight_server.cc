@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "serving/metrics.h"
 #include "serving/refine.h"
 
@@ -55,9 +56,16 @@ HighlightServer::HighlightServer(ServerOptions options)
 
 HighlightServer::~HighlightServer() { Shutdown(); }
 
+size_t HighlightServer::ShardIndexFor(const std::string& video_id) const {
+  return std::hash<std::string>{}(video_id) % shards_.size();
+}
+
 HighlightServer::Shard& HighlightServer::ShardFor(
     const std::string& video_id) {
-  return *shards_[std::hash<std::string>{}(video_id) % shards_.size()];
+  const size_t index = ShardIndexFor(video_id);
+  // Annotates the in-flight request's wide event (no-op outside one).
+  obs::SetCurrentTraceShard(static_cast<int>(index));
+  return *shards_[index];
 }
 
 std::unique_lock<std::mutex> HighlightServer::LockShard(const Shard& shard) {
@@ -325,6 +333,9 @@ common::Status HighlightServer::LogSession(const LogSessionRequest& req) {
   SessionsLoggedCounter(kKind).Increment();
   InteractionEventsCounter(kKind).Increment(req.events.size());
   {
+    // The durable write is the dominant cost of this endpoint; charge it
+    // to the storage_flush stage of the in-flight request's trace.
+    obs::ScopedStage stage(obs::Stage::kStorageFlush);
     std::lock_guard<std::mutex> db_lock(db_mu_);
     for (const auto& ev : req.events) {
       storage::InteractionRecord rec;
@@ -506,7 +517,7 @@ common::Result<RefineReport> HighlightServer::RefinePass(
 bool HighlightServer::TryEnqueueRefine(const std::string& video_id) {
   std::lock_guard<std::mutex> lk(queue_mu_);
   if (stop_ || queue_.size() >= options_.max_queue_depth) return false;
-  queue_.push_back(video_id);
+  queue_.push_back(RefineTask{video_id, obs::CurrentTraceContext()});
   QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   queue_cv_.notify_one();
   return true;
@@ -514,17 +525,22 @@ bool HighlightServer::TryEnqueueRefine(const std::string& video_id) {
 
 void HighlightServer::WorkerLoop() {
   for (;;) {
-    std::string video_id;
+    RefineTask task;
     {
       std::unique_lock<std::mutex> lk(queue_mu_);
       queue_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left: drained
-      video_id = std::move(queue_.front());
+      task = std::move(queue_.front());
       queue_.pop_front();
       QueueDepthGauge().Set(static_cast<double>(queue_.size()));
     }
-    if (auto report = RefinePass(video_id, "batch"); !report.ok()) {
-      LIGHTOR_LOG(Warning) << "serving: background refine of " << video_id
+    // Run under the enqueuing request's trace context (no collector: the
+    // request has long since completed, so the pass's spans go straight
+    // to the global ring, tagged with that trace id).
+    obs::ScopedTraceContext trace_guard(task.ctx, nullptr);
+    if (auto report = RefinePass(task.video_id, "batch"); !report.ok()) {
+      LIGHTOR_LOG(Warning) << "serving: background refine of "
+                           << task.video_id
                            << " failed: " << report.status().ToString();
     }
   }

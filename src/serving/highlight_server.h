@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "core/streaming.h"
+#include "obs/trace_context.h"
 #include "serving/api.h"
 #include "storage/crawler.h"
 
@@ -149,8 +150,17 @@ class HighlightServer {
     std::unordered_map<std::string, VideoState> videos;
   };
 
+  /// A queued background refinement. Carries the trace context of the
+  /// `LogSession` that tripped the batch threshold, so the asynchronous
+  /// pass stays attributable to the request that caused it.
+  struct RefineTask {
+    std::string video_id;
+    obs::TraceContext ctx;
+  };
+
   explicit HighlightServer(ServerOptions options);
 
+  size_t ShardIndexFor(const std::string& video_id) const;
   Shard& ShardFor(const std::string& video_id);
   /// Locks a shard, counting contention (failed try-lock) into metrics.
   static std::unique_lock<std::mutex> LockShard(const Shard& shard);
@@ -193,7 +203,7 @@ class HighlightServer {
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<std::string> queue_;
+  std::deque<RefineTask> queue_;
   bool stop_ = false;  ///< guarded by queue_mu_
 
   std::atomic<bool> accepting_{true};

@@ -1,7 +1,10 @@
 #include "storage/log.h"
 
+#include <optional>
 #include <utility>
 
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "storage/serialize.h"
 
 namespace lightor::storage {
@@ -85,6 +88,12 @@ common::Status AppendLog::Flush() {
         "AppendLog: wedged by an earlier I/O error, reopen to recover: " +
         path_);
   }
+  // Span only when a request trace is active: every append can flush
+  // (flush_each_), and untraced flushes would churn the global ring.
+  std::optional<obs::ScopedSpan> span;
+  if (obs::CurrentTraceContext().valid()) {
+    span.emplace("storage.AppendLog.Flush");
+  }
   if (auto st = sync_on_flush_ ? file_->Sync() : file_->Flush(); !st.ok()) {
     return Wedge(std::move(st));
   }
@@ -99,6 +108,10 @@ common::Status AppendLog::Sync() {
     return common::Status::IoError(
         "AppendLog: wedged by an earlier I/O error, reopen to recover: " +
         path_);
+  }
+  std::optional<obs::ScopedSpan> span;
+  if (obs::CurrentTraceContext().valid()) {
+    span.emplace("storage.AppendLog.Sync");
   }
   if (auto st = file_->Sync(); !st.ok()) return Wedge(std::move(st));
   return common::Status::OK();

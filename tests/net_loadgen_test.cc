@@ -110,6 +110,9 @@ TEST_F(LoadGenTest, ThousandMixedRequestsAndDifferentialCheck) {
   LoadGenOptions options = MixOptions(*served.platform, http.value()->port());
   options.num_threads = 8;
   options.requests_per_thread = 128;
+  // Generous targets: the run must pass them and report the verdicts.
+  options.slo_targets.push_back({"all", 60'000.0});
+  options.slo_targets.push_back({"visit", 60'000.0});
 
   RecordedTraffic recorded;
   auto report = RunLoadGen(options, &recorded);
@@ -125,6 +128,35 @@ TEST_F(LoadGenTest, ThousandMixedRequestsAndDifferentialCheck) {
   EXPECT_LE(report.value().p50_ms, report.value().p95_ms);
   EXPECT_LE(report.value().p95_ms, report.value().p99_ms);
   EXPECT_LE(report.value().p99_ms, report.value().max_ms);
+
+  // Slowest-N table: descending latency, every entry traceable.
+  ASSERT_FALSE(report.value().slowest.empty());
+  EXPECT_LE(report.value().slowest.size(), options.slowest_n);
+  for (size_t i = 0; i < report.value().slowest.size(); ++i) {
+    const SlowRequest& slow = report.value().slowest[i];
+    EXPECT_EQ(slow.trace_id.size(), 32u) << slow.trace_id;
+    EXPECT_EQ(slow.trace_id.find_first_not_of("0123456789abcdef"),
+              std::string::npos)
+        << slow.trace_id;
+    EXPECT_FALSE(slow.op.empty());
+    if (i > 0) {
+      EXPECT_LE(slow.ms, report.value().slowest[i - 1].ms);
+    }
+  }
+
+  // Per-op latency rows exist for every op the mix exercised.
+  ASSERT_FALSE(report.value().op_latency.empty());
+  for (const OpLatency& op : report.value().op_latency) {
+    EXPECT_GT(op.count, 0u);
+    EXPECT_LE(op.p50_ms, op.p99_ms);
+  }
+
+  // Both SLO targets were generous: the run passes them.
+  EXPECT_TRUE(report.value().slo_ok);
+  ASSERT_EQ(report.value().slo.size(), 2u);
+  for (const SloResult& verdict : report.value().slo) {
+    EXPECT_TRUE(verdict.ok) << verdict.op;
+  }
 
   HttpClient client("127.0.0.1", http.value()->port());
   EXPECT_TRUE(
@@ -155,12 +187,20 @@ TEST_F(LoadGenTest, SaturationSurfacesAdmission503s) {
   LoadGenOptions options = MixOptions(*served.platform, http.value()->port());
   options.num_threads = 8;
   options.requests_per_thread = 32;
+  // Unmeetable target: the verdict must flag the violation, while the
+  // run itself still completes.
+  options.slo_targets.push_back({"all", 0.0001});
 
   auto report = RunLoadGen(options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report.value().wire_errors, 0u);
   EXPECT_GE(report.value().rejected_503, 1u);
   EXPECT_EQ(report.value().status_5xx, report.value().rejected_503);
+  EXPECT_FALSE(report.value().slo_ok);
+  ASSERT_EQ(report.value().slo.size(), 1u);
+  EXPECT_FALSE(report.value().slo[0].ok);
+  EXPECT_GT(report.value().slo[0].actual_p99_ms,
+            report.value().slo[0].target_p99_ms);
 
   http.value()->Shutdown();
   served.server->Shutdown();
@@ -192,6 +232,18 @@ TEST(LoadGenOptionsTest, ValidateRejectsBadConfigs) {
   zero_mix.refine_weight = 0;
   zero_mix.ingest_weight = 0;
   EXPECT_FALSE(zero_mix.Validate().ok());
+
+  LoadGenOptions unknown_slo_op;
+  unknown_slo_op.platform = &platform;
+  unknown_slo_op.recorded_ids = {"v"};
+  unknown_slo_op.slo_targets = {{"bogus", 5.0}};
+  EXPECT_FALSE(unknown_slo_op.Validate().ok());
+
+  LoadGenOptions zero_slo_target;
+  zero_slo_target.platform = &platform;
+  zero_slo_target.recorded_ids = {"v"};
+  zero_slo_target.slo_targets = {{"visit", 0.0}};
+  EXPECT_FALSE(zero_slo_target.Validate().ok());
 }
 
 }  // namespace

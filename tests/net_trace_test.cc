@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/lightor.h"
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/server.h"
+#include "net/service.h"
+#include "obs/request_log.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "serving/highlight_server.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/platform.h"
+#include "storage/database.h"
+
+namespace lightor::net {
+namespace {
+
+/// Served HighlightServer behind the HTTP front-end, with per-append WAL
+/// flushes (batched_session_flush off) so /session exercises the
+/// storage-flush span path end to end.
+struct Stack {
+  std::unique_ptr<sim::Platform> platform;
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<core::Lightor> lightor;
+  std::unique_ptr<serving::HighlightServer> server;
+};
+
+Stack MakeStack(const std::string& db_dir) {
+  Stack stack;
+  sim::Platform::Options popts;
+  popts.num_channels = 2;
+  popts.videos_per_channel = 2;
+  popts.seed = 7;
+  stack.platform = std::make_unique<sim::Platform>(popts);
+  auto db = storage::Database::Open(db_dir);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  stack.db = std::move(db).value();
+
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 1007);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  stack.lightor = std::make_unique<core::Lightor>(core::LightorOptions{});
+  EXPECT_TRUE(stack.lightor->TrainInitializer({tv}).ok());
+
+  serving::ServerOptions sopts;
+  sopts.platform = serving::Borrow(
+      static_cast<const sim::Platform*>(stack.platform.get()));
+  sopts.db = serving::Borrow(stack.db.get());
+  sopts.lightor = serving::Borrow(
+      static_cast<const core::Lightor*>(stack.lightor.get()));
+  sopts.num_workers = 2;
+  sopts.refine_batch_sessions = 0;
+  sopts.batched_session_flush = false;
+  auto server = serving::HighlightServer::Create(sopts);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  stack.server = std::move(server).value();
+  return stack;
+}
+
+class NetTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lightor_net_trace_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+std::string SessionBody(const Stack& stack) {
+  serving::LogSessionRequest req;
+  req.video_id = stack.platform->AllVideoIds()[0];
+  req.user = "tracer";
+  req.session_id = 42;
+  sim::InteractionEvent play;
+  play.wall_time = 0.0;
+  play.type = sim::InteractionType::kPlay;
+  play.position = 10.0;
+  req.events.push_back(play);
+  sim::InteractionEvent pause;
+  pause.wall_time = 5.0;
+  pause.type = sim::InteractionType::kPause;
+  pause.position = 15.0;
+  req.events.push_back(pause);
+  return EncodeJson(req);
+}
+
+// The ISSUE's acceptance path: a traced POST /session must surface the
+// caller's trace id in the wide-event log, yield >= 4 distinct spans
+// (storage flush included) via /debug/trace, and feed the per-stage and
+// per-route histogram families visible in /metrics.
+TEST_F(NetTraceTest, TraceparentPropagatesEndToEnd) {
+  Stack stack = MakeStack((dir_ / "db").string());
+  auto http = HttpServer::Create(NetOptions{}, BuildRoutes(stack.server.get()));
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+  HttpClient client("127.0.0.1", http.value()->port());
+
+  // sampled=01: tail sampling must keep this trace unconditionally.
+  const std::string trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+  client.set_header("traceparent",
+                    "00-" + trace_id + "-00f067aa0ba902b7-01");
+  auto response = client.Post("/session", SessionBody(stack));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response.value().status, 200) << response.value().body;
+  client.set_header("traceparent", "");
+
+  // Wide event: same trace id, the /session route, handler time charged.
+  auto requests = client.Get("/debug/requests?route=/session");
+  ASSERT_TRUE(requests.ok());
+  ASSERT_EQ(requests.value().status, 200);
+  const std::string& rows = requests.value().body;
+  EXPECT_NE(rows.find("\"trace_id\":\"" + trace_id + "\""), std::string::npos)
+      << rows;
+  EXPECT_NE(rows.find("\"route\":\"/session\""), std::string::npos);
+  EXPECT_NE(rows.find("\"keep_reason\":\"flag\""), std::string::npos);
+  EXPECT_NE(rows.find("\"parent_span_id\":\"00f067aa0ba902b7\""),
+            std::string::npos)
+      << rows;
+
+  // Span tree: root + handler/serialize/storage_flush stage spans + the
+  // WAL flush span — >= 4 distinct names including the storage flush.
+  auto trace = client.Get("/debug/trace?trace_id=" + trace_id);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace.value().status, 200) << trace.value().body;
+  const std::string& spans = trace.value().body;
+  size_t distinct = 0;
+  for (const char* name :
+       {"request /session", "stage.handler", "stage.serialize",
+        "stage.storage_flush", "storage.AppendLog.Flush"}) {
+    if (spans.find(name) != std::string::npos) ++distinct;
+    EXPECT_NE(spans.find(name), std::string::npos)
+        << "missing span " << name << " in " << spans;
+  }
+  EXPECT_GE(distinct, 4u);
+  EXPECT_NE(spans.find(trace_id), std::string::npos);
+
+  // /metrics: per-stage family, per-route x status-class wire latency,
+  // trace-ring health series, wide-event counter.
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  const std::string& text = metrics.value().body;
+  EXPECT_NE(text.find("lightor_obs_request_stage_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage=\"handler\""), std::string::npos);
+  EXPECT_NE(text.find("stage=\"storage_flush\""), std::string::npos);
+  EXPECT_NE(text.find("lightor_net_request_seconds"), std::string::npos);
+  EXPECT_NE(text.find("route=\"/session\""), std::string::npos);
+  EXPECT_NE(text.find("class=\"2xx\""), std::string::npos);
+  EXPECT_NE(text.find("lightor_obs_trace_events_total"), std::string::npos);
+  EXPECT_NE(text.find("lightor_obs_trace_ring_capacity"), std::string::npos);
+  EXPECT_NE(text.find("lightor_obs_wide_events_total"), std::string::npos);
+
+  http.value()->Shutdown();
+  stack.server->Shutdown();
+}
+
+TEST_F(NetTraceTest, GeneratesContextWhenHeaderMissingOrInvalid) {
+  Stack stack = MakeStack((dir_ / "db").string());
+  auto http = HttpServer::Create(NetOptions{}, BuildRoutes(stack.server.get()));
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+  HttpClient client("127.0.0.1", http.value()->port());
+
+  auto response = client.Get("/healthz");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().status, 200);
+  auto requests = client.Get("/debug/requests?route=/healthz&limit=1");
+  ASSERT_TRUE(requests.ok());
+  std::string rows = requests.value().body;
+  // A trace id was generated: non-zero, and no parent (no caller span).
+  EXPECT_EQ(rows.find("\"trace_id\":\"00000000000000000000000000000000\""),
+            std::string::npos)
+      << rows;
+  EXPECT_NE(rows.find("\"parent_span_id\":\"0000000000000000\""),
+            std::string::npos)
+      << rows;
+
+  // A malformed traceparent is ignored, not an error.
+  client.set_header("traceparent", "00-garbage-bad-01");
+  response = client.Get("/healthz");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 200);
+
+  http.value()->Shutdown();
+  stack.server->Shutdown();
+}
+
+TEST_F(NetTraceTest, TraceparentHeaderNameIsCaseInsensitive) {
+  Stack stack = MakeStack((dir_ / "db").string());
+  auto http = HttpServer::Create(NetOptions{}, BuildRoutes(stack.server.get()));
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+  HttpClient client("127.0.0.1", http.value()->port());
+
+  const std::string trace_id = "aaaabbbbccccdddd0123456789abcdef";
+  client.set_header("TrAcEpArEnT", "00-" + trace_id + "-00f067aa0ba902b7-01");
+  auto response = client.Get("/healthz");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().status, 200);
+  auto requests = client.Get("/debug/requests?route=/healthz");
+  ASSERT_TRUE(requests.ok());
+  EXPECT_NE(requests.value().body.find(trace_id), std::string::npos)
+      << requests.value().body;
+
+  http.value()->Shutdown();
+  stack.server->Shutdown();
+}
+
+TEST_F(NetTraceTest, DebugTraceRejectsBadAndUnknownIds) {
+  Stack stack = MakeStack((dir_ / "db").string());
+  auto http = HttpServer::Create(NetOptions{}, BuildRoutes(stack.server.get()));
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+  HttpClient client("127.0.0.1", http.value()->port());
+
+  auto bad = client.Get("/debug/trace?trace_id=nothex");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().status, 400);
+
+  auto unknown =
+      client.Get("/debug/trace?trace_id=ffffffffffffffffffffffffffffffff");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown.value().status, 404);
+
+  http.value()->Shutdown();
+  stack.server->Shutdown();
+}
+
+TEST_F(NetTraceTest, DebugRequestsFiltersByStatusClass) {
+  Stack stack = MakeStack((dir_ / "db").string());
+  auto http = HttpServer::Create(NetOptions{}, BuildRoutes(stack.server.get()));
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+  HttpClient client("127.0.0.1", http.value()->port());
+
+  // One 2xx and one 4xx on distinct routes.
+  ASSERT_TRUE(client.Get("/healthz").ok());
+  auto missing = client.Get("/highlights?video_id=no_such_video");
+  ASSERT_TRUE(missing.ok());
+  ASSERT_EQ(missing.value().status, 404);
+
+  auto only_4xx = client.Get("/debug/requests?status=4xx");
+  ASSERT_TRUE(only_4xx.ok());
+  EXPECT_NE(only_4xx.value().body.find("\"status\":404"), std::string::npos);
+  EXPECT_EQ(only_4xx.value().body.find("\"status\":200"), std::string::npos);
+
+  auto exact = client.Get("/debug/requests?status=404&route=/highlights");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NE(exact.value().body.find("\"route\":\"/highlights\""),
+            std::string::npos);
+
+  http.value()->Shutdown();
+  stack.server->Shutdown();
+}
+
+}  // namespace
+}  // namespace lightor::net

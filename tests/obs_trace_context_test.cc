@@ -1,0 +1,349 @@
+#include "obs/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/request_log.h"
+#include "obs/trace.h"
+
+namespace lightor::obs {
+namespace {
+
+constexpr char kTraceparent[] =
+    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+
+TEST(ParseTraceparentTest, ParsesCanonicalHeader) {
+  TraceContext ctx;
+  ASSERT_TRUE(ParseTraceparent(kTraceparent, &ctx));
+  EXPECT_EQ(ctx.trace_hi, 0x4bf92f3577b34da6u);
+  EXPECT_EQ(ctx.trace_lo, 0xa3ce929d0e0e4736u);
+  EXPECT_EQ(ctx.span_id, 0x00f067aa0ba902b7u);
+  EXPECT_TRUE(ctx.sampled);
+  EXPECT_TRUE(ctx.valid());
+}
+
+TEST(ParseTraceparentTest, SampledFlagIsBitZero) {
+  TraceContext ctx;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", &ctx));
+  EXPECT_FALSE(ctx.sampled);
+  ASSERT_TRUE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-ff", &ctx));
+  EXPECT_TRUE(ctx.sampled);
+  // Bit 0 clear in an otherwise-set byte: not sampled.
+  ASSERT_TRUE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-fe", &ctx));
+  EXPECT_FALSE(ctx.sampled);
+}
+
+TEST(ParseTraceparentTest, HexCaseInsensitive) {
+  TraceContext ctx;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01", &ctx));
+  EXPECT_EQ(ctx.trace_hi, 0x4bf92f3577b34da6u);
+  EXPECT_EQ(ctx.span_id, 0x00f067aa0ba902b7u);
+}
+
+TEST(ParseTraceparentTest, RejectsBadVersion) {
+  TraceContext ctx;
+  EXPECT_FALSE(ParseTraceparent(
+      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &ctx));
+  EXPECT_FALSE(ParseTraceparent(
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &ctx));
+  EXPECT_FALSE(ParseTraceparent(
+      "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &ctx));
+}
+
+TEST(ParseTraceparentTest, RejectsWrongWidthsAndShapes) {
+  TraceContext ctx;
+  EXPECT_FALSE(ParseTraceparent("", &ctx));
+  EXPECT_FALSE(ParseTraceparent("00", &ctx));
+  // Short trace id.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01", &ctx));
+  // Short span id.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01", &ctx));
+  // Dashes in the wrong places (right length, shifted fields).
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e47361-0f067aa0ba902b7-01", &ctx));
+  // Trailing garbage.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", &ctx));
+  // Non-hex byte inside the trace id.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92g3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &ctx));
+}
+
+TEST(ParseTraceparentTest, RejectsReservedAllZeroIds) {
+  TraceContext ctx;
+  EXPECT_FALSE(ParseTraceparent(
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01", &ctx));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", &ctx));
+}
+
+TEST(ParseTraceparentTest, RejectsGarbageFlags) {
+  TraceContext ctx;
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", &ctx));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0", &ctx));
+}
+
+TEST(ParseTraceparentTest, FailureLeavesOutputUntouched) {
+  TraceContext ctx;
+  ctx.trace_hi = 1;
+  ctx.trace_lo = 2;
+  ctx.span_id = 3;
+  ctx.sampled = true;
+  EXPECT_FALSE(ParseTraceparent("garbage", &ctx));
+  EXPECT_EQ(ctx.trace_hi, 1u);
+  EXPECT_EQ(ctx.trace_lo, 2u);
+  EXPECT_EQ(ctx.span_id, 3u);
+  EXPECT_TRUE(ctx.sampled);
+}
+
+TEST(ParseTraceparentTest, FormatRoundTrips) {
+  TraceContext ctx;
+  ctx.trace_hi = 0x4bf92f3577b34da6u;
+  ctx.trace_lo = 0xa3ce929d0e0e4736u;
+  ctx.span_id = 0x00f067aa0ba902b7u;
+  ctx.sampled = true;
+  EXPECT_EQ(FormatTraceparent(ctx), kTraceparent);
+  TraceContext parsed;
+  ASSERT_TRUE(ParseTraceparent(FormatTraceparent(ctx), &parsed));
+  EXPECT_EQ(parsed.trace_hi, ctx.trace_hi);
+  EXPECT_EQ(parsed.trace_lo, ctx.trace_lo);
+  EXPECT_EQ(parsed.span_id, ctx.span_id);
+  EXPECT_EQ(parsed.sampled, ctx.sampled);
+}
+
+TEST(TraceIdTest, FormatAndParseRoundTrip) {
+  const std::string text = FormatTraceId(0x4bf92f3577b34da6u,
+                                         0xa3ce929d0e0e4736u);
+  EXPECT_EQ(text, "4bf92f3577b34da6a3ce929d0e0e4736");
+  uint64_t hi = 0, lo = 0;
+  ASSERT_TRUE(ParseTraceId(text, &hi, &lo));
+  EXPECT_EQ(hi, 0x4bf92f3577b34da6u);
+  EXPECT_EQ(lo, 0xa3ce929d0e0e4736u);
+  EXPECT_FALSE(ParseTraceId("deadbeef", &hi, &lo));           // short
+  EXPECT_FALSE(ParseTraceId(std::string(32, '0'), &hi, &lo));  // reserved
+  EXPECT_FALSE(ParseTraceId(std::string(32, 'g'), &hi, &lo));  // non-hex
+}
+
+TEST(TraceIdTest, GeneratedIdsAreNonZeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t id = GenerateSpanId();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 64u);
+  const TraceContext ctx = GenerateTraceContext(/*sampled=*/true);
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_NE(ctx.span_id, 0u);
+  EXPECT_TRUE(ctx.sampled);
+}
+
+TEST(ScopedTraceContextTest, InstallsAndRestores) {
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  EXPECT_EQ(CurrentSpanCollector(), nullptr);
+  SpanCollector collector;
+  {
+    TraceContext ctx;
+    ctx.trace_hi = 7;
+    ctx.trace_lo = 9;
+    ctx.span_id = 11;
+    ScopedTraceContext guard(ctx, &collector);
+    EXPECT_EQ(CurrentTraceContext().trace_hi, 7u);
+    EXPECT_EQ(CurrentSpanCollector(), &collector);
+    {
+      ScopedTraceContext inner(GenerateTraceContext());
+      EXPECT_NE(CurrentTraceContext().trace_hi, 7u);
+      EXPECT_EQ(CurrentSpanCollector(), nullptr);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_hi, 7u);
+    EXPECT_EQ(CurrentSpanCollector(), &collector);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  EXPECT_EQ(CurrentSpanCollector(), nullptr);
+}
+
+TEST(SpanCollectorTest, SealedAfterTakeAndClose) {
+  SpanCollector collector;
+  TraceEvent event;
+  event.name = "a";
+  collector.Add(event);
+  collector.AddStageMicros(Stage::kHandler, 10);
+  collector.AddStageMicros(Stage::kHandler, 5);
+  EXPECT_EQ(collector.StageMicros(Stage::kHandler), 15u);
+  const auto spans = collector.TakeAndClose();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "a");
+  // Late spans (stranded handler past its deadline) are dropped.
+  collector.Add(event);
+  EXPECT_TRUE(collector.TakeAndClose().empty());
+}
+
+TEST(ScopedStageTest, ChargesCollectorAndRecordsSpan) {
+  SpanCollector collector;
+  TraceContext ctx = GenerateTraceContext();
+  {
+    ScopedTraceContext guard(ctx, &collector);
+    ScopedStage stage(Stage::kStorageFlush);
+  }
+  auto spans = collector.TakeAndClose();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "stage.storage_flush");
+  EXPECT_EQ(spans[0].trace_hi, ctx.trace_hi);
+  EXPECT_NE(spans[0].span_id, 0u);
+}
+
+TEST(ScopedStageTest, NoOpWithoutCollector) {
+  ScopedStage stage(Stage::kHandler);  // must not crash or leak anywhere
+}
+
+WideEvent MakeEvent(uint64_t trace_lo, int status, uint64_t total_us) {
+  WideEvent event;
+  event.trace_hi = 0x1111111111111111u;
+  event.trace_lo = trace_lo;
+  event.span_id = 0x2222u;
+  event.route = "session";
+  event.method = "POST";
+  event.status = status;
+  event.total_us = total_us;
+  return event;
+}
+
+TEST(RequestLogTest, TailSamplingKeepOrder) {
+  RequestLog log(/*capacity=*/16);
+  TailSamplingOptions options;
+  options.slow_threshold_us = 1000;
+  options.probabilistic_denominator = 0;  // isolate the rule tiers
+  log.set_options(options);
+  TraceRecorder recorder(64);
+
+  // Errors always kept.
+  EXPECT_TRUE(log.Emit(MakeEvent(1, 500, 10), nullptr, &recorder));
+  // Slow requests always kept.
+  EXPECT_TRUE(log.Emit(MakeEvent(2, 200, 5000), nullptr, &recorder));
+  // Fast 2xx with no flag and no probabilistic tier: dropped.
+  EXPECT_FALSE(log.Emit(MakeEvent(3, 200, 10), nullptr, &recorder));
+  // The sampled flag forces a keep even for a fast 2xx.
+  WideEvent flagged = MakeEvent(4, 200, 10);
+  flagged.sampled_in = true;
+  EXPECT_TRUE(log.Emit(std::move(flagged), nullptr, &recorder));
+
+  const auto recent = log.Recent();
+  ASSERT_EQ(recent.size(), 4u);  // every event rides the ring, kept or not
+  EXPECT_EQ(recent[0].keep_reason, "flag");
+  EXPECT_EQ(recent[1].keep_reason, "");
+  EXPECT_FALSE(recent[1].kept);
+  EXPECT_EQ(recent[2].keep_reason, "slow");
+  EXPECT_EQ(recent[3].keep_reason, "error");
+
+  // Kept traces have a root span in the recorder; dropped ones do not.
+  EXPECT_FALSE(recorder.EventsForTrace(0x1111111111111111u, 1).empty());
+  EXPECT_TRUE(recorder.EventsForTrace(0x1111111111111111u, 3).empty());
+}
+
+TEST(RequestLogTest, ProbabilisticTierIsDeterministicPerTraceId) {
+  RequestLog log(/*capacity=*/16);
+  TailSamplingOptions options;
+  options.slow_threshold_us = 1'000'000;
+  options.keep_errors = true;
+  options.probabilistic_denominator = 1;  // keep everything
+  log.set_options(options);
+  TraceRecorder recorder(64);
+  EXPECT_TRUE(log.Emit(MakeEvent(5, 200, 10), nullptr, &recorder));
+  EXPECT_EQ(log.Recent()[0].keep_reason, "random");
+}
+
+TEST(RequestLogTest, RingWrapKeepsNewestAndRetentionInvariants) {
+  RequestLog log(/*capacity=*/8);
+  TailSamplingOptions options;
+  options.slow_threshold_us = 1'000'000;
+  options.probabilistic_denominator = 0;
+  log.set_options(options);
+  TraceRecorder recorder(1024);
+
+  // 3x capacity: every 5th request errors (and is therefore kept).
+  for (uint64_t i = 1; i <= 24; ++i) {
+    log.Emit(MakeEvent(i, i % 5 == 0 ? 503 : 200, 10), nullptr, &recorder);
+  }
+  EXPECT_EQ(log.size(), 8u);
+  EXPECT_EQ(log.total_emitted(), 24u);
+
+  // Newest first, exactly the last `capacity` events.
+  const auto recent = log.Recent();
+  ASSERT_EQ(recent.size(), 8u);
+  for (size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].trace_lo, 24u - i);
+  }
+  const auto limited = log.Recent(/*limit=*/3);
+  ASSERT_EQ(limited.size(), 3u);
+  EXPECT_EQ(limited[0].trace_lo, 24u);
+
+  // Retention invariant under wrap: every error's span tree survives in
+  // the recorder even after its wide event fell off the ring.
+  for (uint64_t i = 5; i <= 20; i += 5) {
+    EXPECT_FALSE(recorder.EventsForTrace(0x1111111111111111u, i).empty())
+        << "error trace " << i << " lost";
+  }
+}
+
+TEST(RequestLogTest, EmitCopiesStagesAndShardFromCollector) {
+  RequestLog log(/*capacity=*/4);
+  TailSamplingOptions options;
+  options.probabilistic_denominator = 0;
+  log.set_options(options);
+  TraceRecorder recorder(64);
+
+  SpanCollector collector;
+  collector.AddStageMicros(Stage::kHandler, 123);
+  collector.AddStageMicros(Stage::kStorageFlush, 45);
+  collector.set_shard(3);
+  log.Emit(MakeEvent(9, 500, 10), &collector, &recorder);
+
+  const auto recent = log.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].StageUs(Stage::kHandler), 123u);
+  EXPECT_EQ(recent[0].StageUs(Stage::kStorageFlush), 45u);
+  EXPECT_EQ(recent[0].shard, 3);
+  // Emit sealed the collector: the stranded-worker contract.
+  TraceEvent late;
+  late.name = "late";
+  collector.Add(late);
+  EXPECT_TRUE(collector.TakeAndClose().empty());
+}
+
+TEST(RequestLogTest, SinkSeesEveryEventAndJsonIsFlat) {
+  RequestLog log(/*capacity=*/4);
+  std::vector<std::string> routes;
+  log.SetSink([&](const WideEvent& event) { routes.push_back(event.route); });
+  log.Emit(MakeEvent(1, 200, 10), nullptr, nullptr);
+  log.Emit(MakeEvent(2, 503, 10), nullptr, nullptr);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(routes[0], "session");
+
+  const std::string json = EncodeWideEventJson(log.Recent()[0]);
+  EXPECT_NE(json.find("\"trace_id\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"route\":\"session\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":503"), std::string::npos);
+
+  const std::string csv = EncodeWideEventCsv(log.Recent()[0]);
+  // Header and row have the same number of fields.
+  const auto count = [](const std::string& s) {
+    size_t n = 1;
+    for (char c : s) n += c == ',';
+    return n;
+  };
+  EXPECT_EQ(count(WideEventCsvHeader()), count(csv));
+}
+
+}  // namespace
+}  // namespace lightor::obs

@@ -16,8 +16,10 @@
 ///   lightor serve-http --db=DIR [--port=0 --port-file=FILE --duration=S
 ///                   --net-workers=4 --max-in-flight=64 --deadline=10]
 ///   lightor loadgen --port=N | --check --db=DIR
-///                   [--threads=8 --requests=128 --recorded=2 --live=2]
-///   lightor curl    --port=N [--target=/healthz --method=GET --body=JSON]
+///                   [--threads=8 --requests=128 --recorded=2 --live=2
+///                   --slowest=8 --slo=all:50,session:80]
+///   lightor curl    --port=N [--target=/healthz --method=GET --body=JSON
+///                   --traceparent=00-...-...-01]
 ///
 /// `gen` synthesizes a labelled corpus to disk (CSV traces); `train`
 /// fits the Highlight Initializer on the first N videos and saves the
@@ -39,6 +41,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -652,7 +655,10 @@ int CmdLoadgen(const common::Flags& flags) {
                  "  [--host=127.0.0.1 --threads=8 --requests=128 --seed=7\n"
                  "   --recorded=2 --live=2 --batch-size=32 --channels=2\n"
                  "   --videos-per-channel=2 --visit-w=4 --session-w=8 "
-                 "--refine-w=1 --ingest-w=2]\n");
+                 "--refine-w=1 --ingest-w=2\n"
+                 "   --slowest=8 --slo=op:p99_ms,... (ops: visit session "
+                 "refine ingest finalize all;\n"
+                 "   a violated target exits 1)]\n");
     return 2;
   }
 
@@ -679,6 +685,27 @@ int CmdLoadgen(const common::Flags& flags) {
   lgopts.ingest_weight = static_cast<int>(flags.GetInt("ingest-w", 2));
   lgopts.ingest_batch_size =
       static_cast<size_t>(flags.GetInt("batch-size", 32));
+  lgopts.slowest_n = static_cast<size_t>(flags.GetInt("slowest", 8));
+  // --slo=all:50,session:80 — comma-separated op:p99_ms pairs.
+  if (const std::string slo = flags.GetString("slo"); !slo.empty()) {
+    size_t pos = 0;
+    while (pos < slo.size()) {
+      size_t comma = slo.find(',', pos);
+      if (comma == std::string::npos) comma = slo.size();
+      const std::string pair = slo.substr(pos, comma - pos);
+      const size_t colon = pair.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "loadgen: bad --slo entry (want op:p99_ms): %s\n",
+                     pair.c_str());
+        return 2;
+      }
+      net::LoadGenOptions::SloTarget target;
+      target.op = pair.substr(0, colon);
+      target.p99_ms = std::atof(pair.c_str() + colon + 1);
+      lgopts.slo_targets.push_back(std::move(target));
+      pos = comma + 1;
+    }
+  }
   lgopts.platform = &platform;
   const size_t recorded = std::min(
       static_cast<size_t>(flags.GetInt("recorded", 2)), ids.size());
@@ -729,6 +756,10 @@ int CmdLoadgen(const common::Flags& flags) {
   std::printf("%s\n", net::EncodeJson(report.value()).c_str());
 
   int code = report.value().wire_errors == 0 ? 0 : 1;
+  if (!report.value().slo_ok) {
+    std::fprintf(stderr, "loadgen: SLO violated (see report \"slo\")\n");
+    code = 1;
+  }
   if (check) {
     net::HttpClient client(lgopts.host, lgopts.port);
     if (auto st = net::RunDifferentialCheck(recorded_traffic, client,
@@ -751,7 +782,8 @@ int CmdCurl(const common::Flags& flags) {
   if (!flags.Has("port")) {
     std::fprintf(stderr,
                  "curl: --port=N required [--host=127.0.0.1 "
-                 "--target=/healthz --method=GET --body=JSON]\n");
+                 "--target=/healthz --method=GET --body=JSON\n"
+                 "      --traceparent=00-<32hex>-<16hex>-01]\n");
     return 2;
   }
   const std::string body = flags.GetString("body");
@@ -759,6 +791,9 @@ int CmdCurl(const common::Flags& flags) {
       flags.GetString("method", body.empty() ? "GET" : "POST");
   net::HttpClient client(flags.GetString("host", "127.0.0.1"),
                          static_cast<uint16_t>(flags.GetInt("port", 0)));
+  if (const std::string tp = flags.GetString("traceparent"); !tp.empty()) {
+    client.set_header("traceparent", tp);
+  }
   auto response =
       client.Request(method, flags.GetString("target", "/healthz"), body);
   if (!response.ok()) return Fail(response.status());

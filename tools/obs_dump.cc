@@ -8,10 +8,15 @@
 ///            [--viewers=8] [--rounds=2] [--seed=7] [--top-k=5]
 ///            [--format=prometheus|json]        # stdout format
 ///            [--prometheus-out=FILE] [--json-out=FILE] [--trace-out=FILE]
+///            [--trace-id=32HEX] [--requests-csv=FILE]
 ///            [--log-level=debug|info|warning|error]
 ///
 /// The Chrome trace (--trace-out) loads in chrome://tracing / Perfetto;
-/// the JSON export matches the Prometheus text value-for-value.
+/// --trace-id narrows it to one request's spans. The service calls run
+/// as traced requests (sampled, so every one is retained), and
+/// --requests-csv dumps the resulting wide-event request log — the same
+/// rows `GET /debug/requests` serves — as CSV. The JSON export matches
+/// the Prometheus text value-for-value.
 
 #include <cstdio>
 #include <filesystem>
@@ -22,7 +27,9 @@
 #include "common/logging.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "serving/highlight_server.h"
 #include "sim/bridge.h"
 #include "sim/corpus.h"
@@ -37,6 +44,35 @@ namespace {
 int Fail(const common::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Runs one service call as a traced request — generated trace context
+/// (sampled, so tail sampling always retains it) and a span collector
+/// installed for the call's duration, one wide event emitted after — the
+/// same shape the HTTP front-end produces, so --requests-csv and
+/// --trace-id work without a running server.
+template <typename Fn>
+auto TracedCall(const char* route, Fn&& fn) {
+  const obs::TraceContext ctx = obs::GenerateTraceContext(/*sampled=*/true);
+  obs::SpanCollector collector;
+  const uint64_t start_us = obs::TraceNowMicros();
+  auto result = [&] {
+    obs::ScopedTraceContext guard(ctx, &collector);
+    obs::ScopedStage stage(obs::Stage::kHandler);
+    return fn();
+  }();
+  obs::WideEvent event;
+  event.trace_hi = ctx.trace_hi;
+  event.trace_lo = ctx.trace_lo;
+  event.span_id = ctx.span_id;
+  event.route = route;
+  event.method = "CALL";
+  event.status = result.ok() ? 200 : 500;
+  event.start_us = start_us;
+  event.total_us = obs::TraceNowMicros() - start_us;
+  event.sampled_in = true;
+  obs::RequestLog::Global().Emit(std::move(event), &collector);
+  return result;
 }
 
 }  // namespace
@@ -114,17 +150,22 @@ int main(int argc, char** argv) {
     uint64_t session_id = 0;
     for (int v = 0; v < visits && v < static_cast<int>(ids.size()); ++v) {
       const std::string& video_id = ids[static_cast<size_t>(v)];
-      auto dots = service.OnPageVisit({video_id, "visitor"});
+      auto dots = TracedCall("visit", [&] {
+        return service.OnPageVisit({video_id, "visitor"});
+      });
       if (!dots.ok()) return Fail(dots.status());
       // A second visit is served from the highlight snapshot (cache hit).
-      if (auto again = service.OnPageVisit({video_id, "visitor"});
+      if (auto again = TracedCall("visit", [&] {
+            return service.OnPageVisit({video_id, "visitor"});
+          });
           !again.ok()) {
         return Fail(again.status());
       }
       const auto video = platform.GetVideo(video_id);
       if (!video.ok()) return Fail(video.status());
       for (int round = 0; round < rounds; ++round) {
-        const auto current = service.GetHighlights(video_id);
+        const auto current = TracedCall(
+            "highlights", [&] { return service.GetHighlights(video_id); });
         if (!current.ok()) return Fail(current.status());
         for (const auto& dot : current.value().highlights) {
           for (int u = 0; u < viewers; ++u) {
@@ -136,10 +177,16 @@ int main(int argc, char** argv) {
             log.user = session.user;
             log.session_id = ++session_id;
             log.events = session.events;
-            if (auto st = service.LogSession(log); !st.ok()) return Fail(st);
+            if (auto st = TracedCall("session",
+                                     [&] { return service.LogSession(log); });
+                !st.ok()) {
+              return Fail(st);
+            }
           }
         }
-        if (auto report = service.Refine(video_id); !report.ok()) {
+        if (auto report = TracedCall(
+                "refine", [&] { return service.Refine(video_id); });
+            !report.ok()) {
           return Fail(report.status());
         }
       }
@@ -168,12 +215,43 @@ int main(int argc, char** argv) {
     if (auto st = obs::WriteFile(path, json); !st.ok()) return Fail(st);
   }
   if (const std::string path = flags.GetString("trace-out"); !path.empty()) {
-    if (auto st = obs::TraceRecorder::Global().WriteChromeTrace(path);
-        !st.ok()) {
-      return Fail(st);
+    if (const std::string trace_id = flags.GetString("trace-id");
+        !trace_id.empty()) {
+      uint64_t trace_hi = 0, trace_lo = 0;
+      if (!obs::ParseTraceId(trace_id, &trace_hi, &trace_lo)) {
+        std::fprintf(stderr,
+                     "error: --trace-id must be 32 hex chars, non-zero\n");
+        return 2;
+      }
+      const auto events =
+          obs::TraceRecorder::Global().EventsForTrace(trace_hi, trace_lo);
+      if (auto st = obs::WriteFile(path, obs::ChromeTraceJson(events));
+          !st.ok()) {
+        return Fail(st);
+      }
+      std::fprintf(stderr, "wrote %zu trace events for %s to %s\n",
+                   events.size(), trace_id.c_str(), path.c_str());
+    } else {
+      if (auto st = obs::TraceRecorder::Global().WriteChromeTrace(path);
+          !st.ok()) {
+        return Fail(st);
+      }
+      std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                   obs::TraceRecorder::Global().size(), path.c_str());
     }
-    std::fprintf(stderr, "wrote %zu trace events to %s\n",
-                 obs::TraceRecorder::Global().size(), path.c_str());
+  }
+  if (const std::string path = flags.GetString("requests-csv");
+      !path.empty()) {
+    // Recent() is newest-first; the CSV reads better oldest-first.
+    auto events = obs::RequestLog::Global().Recent();
+    std::string csv = obs::WideEventCsvHeader() + "\n";
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+      csv += obs::EncodeWideEventCsv(*it);
+      csv += "\n";
+    }
+    if (auto st = obs::WriteFile(path, csv); !st.ok()) return Fail(st);
+    std::fprintf(stderr, "wrote %zu wide events to %s\n", events.size(),
+                 path.c_str());
   }
 
   std::fputs(flags.GetString("format", "prometheus") == "json"
