@@ -354,7 +354,7 @@ const ServingBench& BenchServing() {
         std::filesystem::temp_directory_path() / "lightor_bench_serving_db";
     std::filesystem::remove_all(dir);
     auto* db = new std::unique_ptr<storage::Database>(
-        storage::Database::Open(dir.string()).value());
+        std::move(storage::DB::Open(storage::OpenOptions(dir.string())).value().db));
     const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 3031);
     auto* lightor = new core::Lightor(core::LightorOptions{});
     (void)lightor->TrainInitializer({bench::ToTraining(corpus[0])});

@@ -1,0 +1,244 @@
+/// Recovery-time benchmark: seconds to a cold restart's first highlights
+/// read after a SIGKILL, at increasing logged-session scales, with and
+/// without a checkpoint. Emits BENCH_recovery.json (see ROADMAP item 3:
+/// checked-in perf trajectory; tools/check_bench_regression.sh compares
+/// runs and flags >10% regressions).
+///
+/// Per scale, a forked child builds the database and dies by SIGKILL —
+/// no destructor gets to tidy anything, exactly like a production kill:
+///
+///   full: N consumed sessions + tail unconsumed sessions, no checkpoint
+///         -> restart replays every record ever logged
+///   ckpt: identical data, but one checkpoint after the N consumed
+///         sessions -> restart loads the live-state image (dots + chat;
+///         consumed interactions are dropped by the default policy) and
+///         replays only the tail
+///
+/// The parent then times storage::DB::Open + the first GetLatest read of
+/// every video (the storage share of "first /highlights"). The headline
+/// claim this guards: checkpointed restart cost is proportional to live
+/// state, not history — >= 10x faster than full replay at 1M sessions.
+///
+///   recovery_bench [--scales=10000,100000,1000000] [--tail=1000]
+///                  [--out=BENCH_recovery.json] [--dir=/tmp/...]
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "storage/database.h"
+
+namespace lightor::bench {
+namespace {
+
+constexpr int kVideos = 4;
+
+std::string VideoId(int v) { return "video_" + std::to_string(v); }
+
+/// Builds the database a recovering process would face: per-video dots
+/// (refined once, so the logged sessions count as consumed), a slice of
+/// chat, N consumed sessions, optionally a checkpoint, then `tail`
+/// post-checkpoint sessions. Ends with SIGKILL — never returns.
+[[noreturn]] void BuildAndDie(const std::string& dir, uint64_t sessions,
+                              uint64_t tail, bool checkpoint) {
+  auto opened = storage::DB::Open(storage::OpenOptions(dir));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "child: open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(3);
+  }
+  auto db = std::move(opened.value().db);
+  // Batched appends: the bench populates history fast, flushing at the
+  // checkpoints a serving process would (durability is not under test
+  // here — recovery time is).
+  db->SetInteractionFlushEachAppend(false);
+
+  auto die = [](const char* what, const common::Status& st) {
+    std::fprintf(stderr, "child: %s failed: %s\n", what,
+                 st.ToString().c_str());
+    std::exit(3);
+  };
+
+  for (int v = 0; v < kVideos; ++v) {
+    for (int d = 0; d < 5; ++d) {
+      storage::HighlightRecord dot;
+      dot.video_id = VideoId(v);
+      dot.dot_index = d;
+      dot.iteration = 1;  // refined: logged sessions below are consumed
+      dot.dot_position = 60.0 * (d + 1);
+      dot.start = dot.dot_position - 10.0;
+      dot.end = dot.dot_position + 10.0;
+      dot.score = 0.9 - 0.1 * d;
+      if (auto st = db->PutHighlight(dot); !st.ok()) die("PutHighlight", st);
+    }
+    for (int c = 0; c < 50; ++c) {
+      storage::ChatRecord chat;
+      chat.video_id = VideoId(v);
+      chat.timestamp = 2.0 * c;
+      chat.user = "chatter";
+      chat.text = "gg wp #" + std::to_string(c);
+      if (auto st = db->PutChat(chat); !st.ok()) die("PutChat", st);
+    }
+  }
+
+  auto log_sessions = [&](uint64_t n, uint64_t base_id) {
+    for (uint64_t i = 0; i < n; ++i) {
+      storage::InteractionRecord rec;
+      rec.video_id = VideoId(static_cast<int>(i % kVideos));
+      rec.user = "w" + std::to_string(i % 997);
+      rec.session_id = base_id + i;
+      rec.event = storage::StoredInteraction::kPlay;
+      rec.wall_time = static_cast<double>(i);
+      rec.position = 55.0;
+      rec.target = 60.0;
+      if (auto st = db->PutInteraction(rec); !st.ok()) {
+        die("PutInteraction", st);
+      }
+    }
+    if (auto st = db->FlushInteractions(); !st.ok()) {
+      die("FlushInteractions", st);
+    }
+  };
+
+  log_sessions(sessions, 1);
+  if (checkpoint) {
+    auto stats = db->Checkpoint();
+    if (!stats.ok()) die("Checkpoint", stats.status());
+  }
+  log_sessions(tail, sessions + 1);
+
+  raise(SIGKILL);  // the whole point: no clean shutdown
+  std::abort();    // unreachable
+}
+
+/// Forks the builder, waits for its SIGKILL death, then times the
+/// restart: Open + first highlights read per video.
+struct Timing {
+  double open_plus_read_s = 0.0;
+  storage::RecoveryStats stats;
+};
+
+Timing TimeRestart(const std::string& dir, uint64_t sessions, uint64_t tail,
+                   bool checkpoint) {
+  std::filesystem::remove_all(dir);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(2);
+  }
+  if (pid == 0) BuildAndDie(dir, sessions, tail, checkpoint);
+  int wstatus = 0;
+  if (waitpid(pid, &wstatus, 0) < 0) {
+    std::perror("waitpid");
+    std::exit(2);
+  }
+  if (!WIFSIGNALED(wstatus) || WTERMSIG(wstatus) != SIGKILL) {
+    std::fprintf(stderr, "builder child did not die by SIGKILL (status %d)\n",
+                 wstatus);
+    std::exit(2);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto opened = storage::DB::Open(storage::OpenOptions(dir));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "restart open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(2);
+  }
+  size_t dots = 0;
+  for (int v = 0; v < kVideos; ++v) {
+    dots += opened.value().db->highlights().GetLatest(VideoId(v)).size();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (dots != static_cast<size_t>(kVideos) * 5) {
+    std::fprintf(stderr, "restart lost dots: got %zu\n", dots);
+    std::exit(2);
+  }
+
+  Timing timing;
+  timing.open_plus_read_s = std::chrono::duration<double>(t1 - t0).count();
+  timing.stats = opened.value().stats;
+  std::filesystem::remove_all(dir);
+  return timing;
+}
+
+int Main(int argc, char** argv) {
+  const common::Flags flags = InitBenchEnv(argc, argv);
+  std::vector<uint64_t> scales;
+  {
+    const std::string spec =
+        flags.GetString("scales", "10000,100000,1000000");
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      scales.push_back(
+          std::strtoull(spec.substr(pos, comma - pos).c_str(), nullptr, 10));
+      pos = comma + 1;
+    }
+  }
+  const auto tail = static_cast<uint64_t>(flags.GetInt("tail", 1000));
+  const std::string out_path =
+      flags.GetString("out", "BENCH_recovery.json");
+  const std::string base =
+      flags.GetString("dir", (std::filesystem::temp_directory_path() /
+                              "lightor_recovery_bench")
+                                 .string());
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"recovery\",\"metric\":\"seconds to Open + "
+               "first highlights read after SIGKILL\",\"tail_sessions\":%llu,"
+               "\"scales\":[\n",
+               static_cast<unsigned long long>(tail));
+
+  for (size_t i = 0; i < scales.size(); ++i) {
+    const uint64_t n = scales[i];
+    std::fprintf(stderr, "scale %llu: full replay...\n",
+                 static_cast<unsigned long long>(n));
+    const Timing full = TimeRestart(base + "/full", n, tail, false);
+    std::fprintf(stderr, "scale %llu: checkpointed...\n",
+                 static_cast<unsigned long long>(n));
+    const Timing ckpt = TimeRestart(base + "/ckpt", n, tail, true);
+    const double speedup =
+        ckpt.open_plus_read_s > 0.0
+            ? full.open_plus_read_s / ckpt.open_plus_read_s
+            : 0.0;
+    // One scale per line: trivially greppable/awkable by the regression
+    // checker without a JSON parser.
+    std::fprintf(
+        out,
+        "{\"sessions\":%llu,\"full_open_s\":%.6f,\"ckpt_open_s\":%.6f,"
+        "\"speedup\":%.2f,\"full_replayed\":%zu,\"ckpt_replayed\":%zu,"
+        "\"ckpt_image_records\":%zu}%s\n",
+        static_cast<unsigned long long>(n), full.open_plus_read_s,
+        ckpt.open_plus_read_s, speedup, full.stats.records_replayed,
+        ckpt.stats.records_replayed, ckpt.stats.checkpoint_records,
+        i + 1 < scales.size() ? "," : "");
+    std::fprintf(stderr,
+                 "scale %llu: full %.3fs vs ckpt %.3fs (%.1fx)\n",
+                 static_cast<unsigned long long>(n), full.open_plus_read_s,
+                 ckpt.open_plus_read_s, speedup);
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace lightor::bench
+
+int main(int argc, char** argv) { return lightor::bench::Main(argc, argv); }

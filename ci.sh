@@ -71,6 +71,83 @@ grep -q drained "$smoke_dir/server.log" || {
   echo "http smoke: server did not drain cleanly" >&2; exit 1; }
 rm -rf "$smoke_dir"
 
+echo "== recovery smoke: SIGKILL mid-burst -> restart -> differential /highlights =="
+# A server with background refinement off (--batch=0) serves dots that are
+# a pure function of the database: capture /highlights, checkpoint, SIGKILL
+# it mid-loadgen-burst, restart over the same directory, and the recovered
+# payload must match byte for byte (modulo the restart-reset snapshot
+# version). /healthz must surface the recovery the restart performed.
+rsmoke_dir=$(mktemp -d)
+start_recovery_server() {
+  "$BUILD_DIR"/tools/lightor serve-http --db="$rsmoke_dir/db" --port=0 \
+      --batch=0 --checkpoint-sessions=50 \
+      --port-file="$rsmoke_dir/port" --duration=60 > "$rsmoke_dir/$1" &
+  server_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    [ -s "$rsmoke_dir/port" ] && { port=$(cat "$rsmoke_dir/port"); break; }
+    sleep 0.1
+  done
+  rm -f "$rsmoke_dir/port"
+  [ -n "$port" ] || { echo "recovery smoke: server never wrote its port" >&2
+                      cat "$rsmoke_dir/$1" >&2; exit 1; }
+}
+start_recovery_server server1.log
+"$BUILD_DIR"/tools/lightor curl --port="$port" --target=/visit \
+    --body='{"video_id":"dota2_channel0_v0","user":"ci"}' > /dev/null
+"$BUILD_DIR"/tools/lightor curl --port="$port" \
+    --target="/highlights?video_id=dota2_channel0_v0" \
+    > "$rsmoke_dir/pre.json"
+"$BUILD_DIR"/tools/lightor curl --port="$port" --method=POST \
+    --target=/debug/checkpoint | grep -q '"gen":' || {
+  echo "recovery smoke: /debug/checkpoint did not run" >&2; exit 1; }
+# Burst in the background, then SIGKILL the server mid-flight: no
+# destructor, no drain — the restart sees whatever bytes survived.
+"$BUILD_DIR"/tools/lightor loadgen --port="$port" --threads=4 \
+    --requests=64 --refine-w=0 > "$rsmoke_dir/loadgen.log" 2>&1 &
+loadgen_pid=$!
+sleep 0.4
+kill -9 "$server_pid"
+wait "$loadgen_pid" || true  # wire errors expected once the server dies
+wait "$server_pid" || true
+start_recovery_server server2.log
+"$BUILD_DIR"/tools/lightor curl --port="$port" --target=/healthz \
+    > "$rsmoke_dir/healthz.json"
+grep -q '"bootstrapped":true' "$rsmoke_dir/healthz.json" || {
+  echo "recovery smoke: /healthz has no recovery stats" >&2
+  cat "$rsmoke_dir/healthz.json" >&2; exit 1; }
+grep -q '"checkpoint_gen":[1-9]' "$rsmoke_dir/healthz.json" || {
+  echo "recovery smoke: restart did not load the checkpoint" >&2
+  cat "$rsmoke_dir/healthz.json" >&2; exit 1; }
+"$BUILD_DIR"/tools/lightor curl --port="$port" \
+    --target="/highlights?video_id=dota2_channel0_v0" \
+    > "$rsmoke_dir/post.json"
+for f in pre post; do
+  sed 's/"snapshot_version":[0-9]*//' "$rsmoke_dir/$f.json" \
+      > "$rsmoke_dir/$f.norm"
+done
+cmp -s "$rsmoke_dir/pre.norm" "$rsmoke_dir/post.norm" || {
+  echo "recovery smoke: /highlights diverged across the SIGKILL restart" >&2
+  diff "$rsmoke_dir/pre.norm" "$rsmoke_dir/post.norm" >&2 || true; exit 1; }
+kill -TERM "$server_pid"
+wait "$server_pid"
+grep -q drained "$rsmoke_dir/server2.log" || {
+  echo "recovery smoke: restarted server did not drain cleanly" >&2; exit 1; }
+rm -rf "$rsmoke_dir"
+
+echo "== bench regression: checkpointed recovery time =="
+# The committed BENCH_recovery.json is the baseline trajectory; CI re-runs
+# the cheapest scale and flags a >10% regression in checkpointed restart
+# time (tools/check_bench_regression.sh; full refresh: run recovery_bench
+# with no --scales filter and commit the new JSON).
+bench_tmp=$(mktemp -d)
+"$BUILD_DIR"/bench/recovery_bench --scales=10000 \
+    --out="$bench_tmp/BENCH_recovery.json" --dir="$bench_tmp/db" \
+    2> /dev/null
+sh tools/check_bench_regression.sh "$bench_tmp/BENCH_recovery.json" \
+    BENCH_recovery.json
+rm -rf "$bench_tmp"
+
 # The concurrent serving layer, the net front-end, and the obs registry
 # they instrument are the multi-threaded parts of the tree: build just
 # their tests with -fsanitize=thread and run them under TSan.
@@ -97,7 +174,8 @@ if [ "${SKIP_ASAN:-0}" != "1" ]; then
   cmake --build "$ASAN_BUILD_DIR" -j --target \
       storage_serialize_test storage_log_test storage_stores_test \
       storage_database_test storage_compaction_test \
-      storage_faults_test serving_recovery_test property_test
+      storage_webservice_test storage_faults_test storage_checkpoint_test \
+      serving_recovery_test property_test
   ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure \
       -R '^(storage_|serving_recovery|property)'
 fi

@@ -64,7 +64,7 @@ int main() {
   }
 
   {
-    auto db = storage::Database::Open(db_dir);
+    auto db = storage::DB::Open(storage::OpenOptions(db_dir));
     if (!db.ok()) {
       std::fprintf(stderr, "db open failed: %s\n",
                    db.status().ToString().c_str());
@@ -75,7 +75,7 @@ int main() {
     // are borrowed (we keep them alive); the database is handed over.
     serving::ServerOptions sopts;
     sopts.platform = serving::Borrow(&platform);
-    sopts.db = std::shared_ptr<storage::Database>(std::move(db.value()));
+    sopts.db = std::shared_ptr<storage::Database>(std::move(db.value().db));
     sopts.lightor = serving::Borrow(&lightor);
     sopts.top_k = 5;
     sopts.refine_batch_sessions = 12;  // one wave of one dot's viewers
@@ -146,24 +146,29 @@ int main() {
 
   // Simulate a backend restart: everything must come back from the logs.
   std::printf("\nrestarting the backend (reopening %s)...\n", db_dir.c_str());
-  auto db = storage::Database::Open(db_dir);
+  auto db = storage::DB::Open(storage::OpenOptions(db_dir));
   if (!db.ok()) {
     std::fprintf(stderr, "reopen failed: %s\n",
                  db.status().ToString().c_str());
     return 1;
   }
+  std::printf("recovered %zu records (%zu from checkpoint) in %.3fs\n",
+              db.value().stats.records_replayed +
+                  db.value().stats.checkpoint_records,
+              db.value().stats.checkpoint_records,
+              db.value().stats.wall_seconds);
   const std::string video_id = platform.AllVideoIds()[0];
   std::printf("recovered: %zu chat records, %zu interaction records, "
               "%zu highlight versions\n",
-              db.value()->chat().TotalRecords(),
-              db.value()->interactions().TotalRecords(),
-              db.value()->highlights().TotalRecords());
+              db.value().db->chat().TotalRecords(),
+              db.value().db->interactions().TotalRecords(),
+              db.value().db->highlights().TotalRecords());
 
   // A restarted server seeds its refine watermarks from the recovered
   // state: a drain right away consumes nothing new.
   serving::ServerOptions sopts;
   sopts.platform = serving::Borrow(&platform);
-  sopts.db = std::shared_ptr<storage::Database>(std::move(db.value()));
+  sopts.db = std::shared_ptr<storage::Database>(std::move(db.value().db));
   sopts.lightor = serving::Borrow(&lightor);
   auto restarted = serving::HighlightServer::Create(sopts);
   if (!restarted.ok()) {

@@ -54,7 +54,7 @@ int main() {
       (std::filesystem::temp_directory_path() / "lightor_dashboard_demo")
           .string();
   std::filesystem::remove_all(db_dir);
-  auto db = storage::Database::Open(db_dir);
+  auto db = storage::DB::Open(storage::OpenOptions(db_dir));
   if (!db.ok()) {
     std::fprintf(stderr, "db open failed: %s\n",
                  db.status().ToString().c_str());
@@ -63,7 +63,7 @@ int main() {
 
   serving::ServerOptions sopts;
   sopts.platform = serving::Borrow(&platform);
-  sopts.db = std::shared_ptr<storage::Database>(std::move(db.value()));
+  sopts.db = std::shared_ptr<storage::Database>(std::move(db.value().db));
   sopts.lightor = serving::Borrow(&lightor);
   sopts.top_k = 3;
   serving::WebService service(sopts);

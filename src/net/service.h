@@ -16,7 +16,11 @@ namespace lightor::net {
 ///   POST /finalize  FinalizeStreamRequest -> FinalizeStreamResponse
 ///   GET  /highlights?video_id=X           -> GetHighlightsResponse
 ///   GET  /metrics[?format=json]           -> exposition text
-///   GET  /healthz                         -> {"status":"ok"}
+///   GET  /healthz                         -> {"status":"ok","recovery":
+///                                            {...}} — the RecoveryStats
+///                                            recorded by Bootstrap
+///   POST /debug/checkpoint                -> CheckpointStats JSON (runs
+///                                            a storage checkpoint now)
 ///   GET  /debug/requests[?min_ms=&status=&route=&limit=]
 ///                                         -> recent wide events (newest
 ///                                            first; status takes "503"

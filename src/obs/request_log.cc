@@ -59,6 +59,9 @@ Histogram& StageHistogram(Stage stage) {
       Registry::Global().GetHistogram("lightor_obs_request_stage_seconds",
                                       Histogram::LatencyBounds(),
                                       {{"stage", "write"}}),
+      Registry::Global().GetHistogram("lightor_obs_request_stage_seconds",
+                                      Histogram::LatencyBounds(),
+                                      {{"stage", "checkpoint"}}),
   };
   return *histograms[static_cast<size_t>(stage)];
 }

@@ -157,6 +157,8 @@ const char* StageName(Stage stage) {
       return "serialize";
     case Stage::kWrite:
       return "write";
+    case Stage::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }

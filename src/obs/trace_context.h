@@ -58,8 +58,9 @@ enum class Stage {
   kStorageFlush, ///< WAL flush inside the handler (serving layer)
   kSerialize,    ///< HttpResponse → wire bytes
   kWrite,        ///< response queued → fully flushed to the socket
+  kCheckpoint,   ///< storage checkpoint inside the handler (admin path)
 };
-inline constexpr size_t kNumStages = 6;
+inline constexpr size_t kNumStages = 7;
 const char* StageName(Stage stage);
 
 /// Thread-safe per-request span and stage-duration sink. The IO thread

@@ -68,6 +68,16 @@ struct ServerOptions {
   /// since the last refinement pass. HighlightServer only.
   bool batched_session_flush = false;
 
+  // --- Background checkpointing (HighlightServer only) ---
+
+  /// Run a storage checkpoint (snapshot live state, rotate and truncate
+  /// the logs — see storage/checkpoint.h) after this many logged
+  /// sessions. 0 disables the session-count trigger.
+  size_t checkpoint_every_sessions = 0;
+  /// Also checkpoint on a timer: every this many seconds, when records
+  /// were written since the last checkpoint. 0 disables the timer.
+  double checkpoint_interval_seconds = 0.0;
+
   /// On construction, mark every video whose stored dots have already
   /// been refined (iteration > 0) as having consumed all interactions
   /// currently in the database, so a restarted service does not re-feed

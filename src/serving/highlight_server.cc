@@ -1,6 +1,7 @@
 #include "serving/highlight_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <utility>
 
@@ -52,9 +53,91 @@ HighlightServer::HighlightServer(ServerOptions options)
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  // "Clean" for checkpoint purposes means: no records since this point.
+  last_checkpoint_lsn_ = options_.db->lsn();
+  if (options_.checkpoint_every_sessions > 0 ||
+      options_.checkpoint_interval_seconds > 0.0) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
 }
 
 HighlightServer::~HighlightServer() { Shutdown(); }
+
+void HighlightServer::Bootstrap(const storage::RecoveryStats& stats) {
+  std::lock_guard<std::mutex> lk(recovery_mu_);
+  recovery_.bootstrapped = true;
+  recovery_.stats = stats;
+  LIGHTOR_LOG(Info) << "serving: bootstrapped from recovery (checkpoint gen "
+                    << stats.checkpoint_gen << ", lsn " << stats.checkpoint_lsn
+                    << ", " << stats.records_replayed << " records replayed in "
+                    << stats.wall_seconds << "s)";
+}
+
+HighlightServer::RecoveryInfo HighlightServer::recovery_info() const {
+  std::lock_guard<std::mutex> lk(recovery_mu_);
+  return recovery_;
+}
+
+common::Result<storage::CheckpointStats> HighlightServer::Checkpoint() {
+  return CheckpointPass("explicit", /*skip_if_clean=*/false);
+}
+
+common::Result<storage::CheckpointStats> HighlightServer::CheckpointPass(
+    const char* trigger, bool skip_if_clean) {
+  std::lock_guard<std::mutex> db_lock(db_mu_);
+  if (skip_if_clean && options_.db->lsn() == last_checkpoint_lsn_) {
+    return common::Status::FailedPrecondition(
+        "checkpoint skipped: no records since the last one");
+  }
+  // In batched mode buffered interactions must hit the kernel before the
+  // image snapshots them and the old log generation is dropped.
+  if (options_.batched_session_flush) {
+    LIGHTOR_RETURN_IF_ERROR(options_.db->FlushInteractions());
+  }
+  auto result = options_.db->Checkpoint();
+  if (!result.ok()) {
+    LIGHTOR_LOG(Warning) << "serving: checkpoint (" << trigger
+                         << ") failed: " << result.status().ToString();
+    return result.status();
+  }
+  last_checkpoint_lsn_ = result.value().lsn;
+  sessions_since_checkpoint_.store(0, std::memory_order_relaxed);
+  CheckpointTriggerCounter(trigger).Increment();
+  LIGHTOR_LOG(Info) << "serving: checkpoint (" << trigger << ") wrote gen "
+                    << result.value().gen << " at lsn " << result.value().lsn
+                    << ", truncated " << result.value().log_bytes_truncated
+                    << " log bytes";
+  return result;
+}
+
+void HighlightServer::RequestCheckpoint() {
+  {
+    std::lock_guard<std::mutex> lk(ckpt_mu_);
+    ckpt_requested_ = true;
+  }
+  ckpt_cv_.notify_one();
+}
+
+void HighlightServer::CheckpointLoop() {
+  const double interval = options_.checkpoint_interval_seconds;
+  std::unique_lock<std::mutex> lk(ckpt_mu_);
+  for (;;) {
+    const auto woken = [&] { return ckpt_stop_ || ckpt_requested_; };
+    if (interval > 0.0) {
+      ckpt_cv_.wait_for(lk, std::chrono::duration<double>(interval), woken);
+    } else {
+      ckpt_cv_.wait(lk, woken);
+    }
+    if (ckpt_stop_) return;
+    const bool requested = ckpt_requested_;
+    ckpt_requested_ = false;
+    lk.unlock();
+    // Timer ticks with nothing new skip quietly (FailedPrecondition).
+    (void)CheckpointPass(requested ? "sessions" : "interval",
+                         /*skip_if_clean=*/true);
+    lk.lock();
+  }
+}
 
 size_t HighlightServer::ShardIndexFor(const std::string& video_id) const {
   return std::hash<std::string>{}(video_id) % shards_.size();
@@ -349,6 +432,11 @@ common::Status HighlightServer::LogSession(const LogSessionRequest& req) {
       LIGHTOR_RETURN_IF_ERROR(options_.db->PutInteraction(rec));
     }
   }
+  if (options_.checkpoint_every_sessions > 0 &&
+      sessions_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          options_.checkpoint_every_sessions) {
+    RequestCheckpoint();
+  }
   // Batch accounting. Videos without published dots have nothing to
   // refine; their sessions stay in the log until the first page visit.
   Shard& shard = ShardFor(req.video_id);
@@ -592,6 +680,17 @@ void HighlightServer::Shutdown() {
                               "failed: "
                            << st.ToString();
     }
+  }
+  if (checkpoint_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(ckpt_mu_);
+      ckpt_stop_ = true;
+    }
+    ckpt_cv_.notify_all();
+    checkpoint_thread_.join();
+    // Final checkpoint so the next open replays nothing (skipped when no
+    // records landed since the last one).
+    (void)CheckpointPass("shutdown", /*skip_if_clean=*/true);
   }
   // Live streams cannot be finalized without an authoritative length
   // decision from the caller; drop them (their chat is lost — the

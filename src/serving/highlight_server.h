@@ -16,7 +16,9 @@
 #include "core/streaming.h"
 #include "obs/trace_context.h"
 #include "serving/api.h"
+#include "storage/checkpoint.h"
 #include "storage/crawler.h"
+#include "storage/database.h"
 
 namespace lightor::serving {
 
@@ -59,6 +61,28 @@ class HighlightServer {
 
   /// Stops intake, drains pending refinements, joins workers.
   ~HighlightServer();
+
+  /// Explicit lifecycle (PR 7 API redesign): `Bootstrap` records what
+  /// the `storage::DB::Open` that produced this server's database
+  /// recovered, making recovery state observable by callers and the
+  /// `/healthz` endpoint instead of implicit in construction.
+  /// Idempotent (last call wins); thread-safe.
+  void Bootstrap(const storage::RecoveryStats& stats);
+
+  /// Recovery state recorded by `Bootstrap`, if any.
+  struct RecoveryInfo {
+    bool bootstrapped = false;
+    storage::RecoveryStats stats;
+  };
+  RecoveryInfo recovery_info() const;
+
+  /// Checkpoints the database now: snapshots live state, rotates to a
+  /// fresh log generation, and truncates the history (the full protocol
+  /// lives in storage/checkpoint.h). The background trigger
+  /// (`checkpoint_every_sessions` / `checkpoint_interval_seconds` in
+  /// ServerOptions) runs the same pass. Thread-safe; holds the db mutex
+  /// for the duration, so writes stall while the image is written.
+  common::Result<storage::CheckpointStats> Checkpoint();
 
   HighlightServer(const HighlightServer&) = delete;
   HighlightServer& operator=(const HighlightServer&) = delete;
@@ -194,6 +218,16 @@ class HighlightServer {
 
   void WorkerLoop();
 
+  /// One checkpoint run; `trigger` labels the metric ("explicit",
+  /// "sessions", "interval", "shutdown"). With `skip_if_clean`, a run
+  /// with no records since the last checkpoint is skipped (the timer
+  /// must not churn empty generations).
+  common::Result<storage::CheckpointStats> CheckpointPass(
+      const char* trigger, bool skip_if_clean);
+  /// Wakes the checkpoint thread (session-count trigger fired).
+  void RequestCheckpoint();
+  void CheckpointLoop();
+
   ServerOptions options_;
   storage::Crawler crawler_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -211,6 +245,19 @@ class HighlightServer {
   std::mutex shutdown_mu_;
 
   std::vector<std::thread> workers_;
+
+  mutable std::mutex recovery_mu_;
+  RecoveryInfo recovery_;  ///< guarded by recovery_mu_
+
+  /// Sessions logged since the last checkpoint (trigger accounting).
+  std::atomic<size_t> sessions_since_checkpoint_{0};
+  uint64_t last_checkpoint_lsn_ = 0;  ///< guarded by db_mu_
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_requested_ = false;  ///< guarded by ckpt_mu_
+  bool ckpt_stop_ = false;       ///< guarded by ckpt_mu_
+  /// Runs CheckpointLoop when either background trigger is enabled.
+  std::thread checkpoint_thread_;
 };
 
 }  // namespace lightor::serving

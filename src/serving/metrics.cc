@@ -187,4 +187,20 @@ obs::Counter& RefineTriggerCounter(const char* trigger) {
   return *explicit_;
 }
 
+obs::Counter& CheckpointTriggerCounter(const char* trigger) {
+  static obs::Counter* const explicit_ = obs::Registry::Global().GetCounter(
+      "lightor_serving_checkpoint_trigger_total", {{"trigger", "explicit"}});
+  static obs::Counter* const sessions = obs::Registry::Global().GetCounter(
+      "lightor_serving_checkpoint_trigger_total", {{"trigger", "sessions"}});
+  static obs::Counter* const interval = obs::Registry::Global().GetCounter(
+      "lightor_serving_checkpoint_trigger_total", {{"trigger", "interval"}});
+  static obs::Counter* const shutdown = obs::Registry::Global().GetCounter(
+      "lightor_serving_checkpoint_trigger_total", {{"trigger", "shutdown"}});
+  const std::string_view t(trigger);
+  if (t == "sessions") return *sessions;
+  if (t == "interval") return *interval;
+  if (t == "shutdown") return *shutdown;
+  return *explicit_;
+}
+
 }  // namespace lightor::serving

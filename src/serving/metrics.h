@@ -49,6 +49,9 @@ obs::Counter& EnqueueDroppedCounter();
 obs::Histogram& RefineBatchSessionsHistogram();
 obs::Histogram& RefineLatencyHistogram();
 obs::Counter& RefineTriggerCounter(const char* trigger);
+/// Checkpoint passes by what fired them: "explicit" (API / admin
+/// endpoint), "sessions", "interval", "shutdown".
+obs::Counter& CheckpointTriggerCounter(const char* trigger);
 
 }  // namespace lightor::serving
 

@@ -1,6 +1,10 @@
 #include "storage/database.h"
 
+#include <chrono>
+
+#include "common/logging.h"
 #include "obs/metrics.h"
+#include "storage/checkpoint.h"
 
 namespace lightor::storage {
 
@@ -44,61 +48,179 @@ obs::Counter& DbWriteErrorsCounter(const char* log) {
   }
 }
 
+/// True when `name` is `<base>.log` (gen 0) or `<base>.<n>.log` for one
+/// of the three log bases; `gen` receives the generation.
+bool ParseLogName(const std::string& name, uint64_t* gen) {
+  for (const char* base : {"chat", "interactions", "highlights"}) {
+    const std::string prefix = std::string(base) + ".";
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    std::string rest = name.substr(prefix.size());
+    if (rest == "log") {
+      *gen = 0;
+      return true;
+    }
+    const size_t dot = rest.find('.');
+    if (dot == std::string::npos || rest.substr(dot + 1) != "log") continue;
+    const std::string digits = rest.substr(0, dot);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    *gen = std::stoull(digits);
+    return true;
+  }
+  return false;
+}
+
+/// True when `name` is `ckpt.<n>`; `gen` receives n.
+bool ParseCheckpointName(const std::string& name, uint64_t* gen) {
+  const std::string prefix = "ckpt.";
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  const std::string digits = name.substr(prefix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *gen = std::stoull(digits);
+  return true;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 }  // namespace
 
-common::Result<std::unique_ptr<Database>> Database::Open(
-    const std::string& directory, const OpenOptions& options) {
+common::Result<Database::OpenResult> Database::Open(
+    const OpenOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
   Env* env = options.env != nullptr ? options.env : Env::Default();
-  LIGHTOR_RETURN_IF_ERROR(env->CreateDirs(directory));
+  LIGHTOR_RETURN_IF_ERROR(env->CreateDirs(options.directory));
   std::unique_ptr<Database> db(new Database());
   db->env_ = env;
-  db->directory_ = directory;
-  const std::string chat_path = directory + "/chat.log";
-  const std::string interaction_path = directory + "/interactions.log";
-  const std::string highlight_path = directory + "/highlights.log";
+  db->directory_ = options.directory;
+  db->options_ = options;
+  RecoveryStats stats;
 
-  // Truncate torn tails, then replay.
-  for (const auto& path : {chat_path, interaction_path, highlight_path}) {
-    auto recovered = AppendLog::Recover(path, env);
-    if (!recovered.ok()) return recovered.status();
+  LIGHTOR_ASSIGN_OR_RETURN(const auto manifest_opt,
+                           ReadManifest(env, options.directory));
+  const Manifest manifest = manifest_opt.value_or(Manifest{});
+  db->log_gen_ = manifest.log_gen;
+  stats.log_gen = manifest.log_gen;
+
+  if (manifest.checkpoint_gen > 0) {
+    LIGHTOR_ASSIGN_OR_RETURN(
+        const auto image,
+        LoadCheckpointImage(
+            env, CheckpointFilePath(options.directory, manifest.checkpoint_gen),
+            db->chat_, db->interactions_, db->highlights_));
+    if (image.lsn != manifest.checkpoint_lsn) {
+      return common::Status::Corruption(
+          "checkpoint LSN disagrees with MANIFEST: " + options.directory);
+    }
+    stats.checkpoint_gen = manifest.checkpoint_gen;
+    stats.checkpoint_lsn = image.lsn;
+    stats.checkpoint_records = image.records;
+    db->lsn_ = image.lsn;
   }
 
-  common::Status replay_status = common::Status::OK();
-  LIGHTOR_RETURN_IF_ERROR(AppendLog::ReplayFile(
-      chat_path,
-      [&](const std::vector<uint8_t>& bytes) {
-        auto rec = ChatRecord::Decode(bytes);
-        if (rec.ok()) db->chat_.Put(std::move(rec).value());
-        else if (replay_status.ok()) replay_status = rec.status();
-      },
-      nullptr, env));
-  LIGHTOR_RETURN_IF_ERROR(AppendLog::ReplayFile(
-      interaction_path,
-      [&](const std::vector<uint8_t>& bytes) {
-        auto rec = InteractionRecord::Decode(bytes);
-        if (rec.ok()) db->interactions_.Put(std::move(rec).value());
-        else if (replay_status.ok()) replay_status = rec.status();
-      },
-      nullptr, env));
-  LIGHTOR_RETURN_IF_ERROR(AppendLog::ReplayFile(
-      highlight_path,
-      [&](const std::vector<uint8_t>& bytes) {
-        auto rec = HighlightRecord::Decode(bytes);
-        if (rec.ok()) db->highlights_.Put(std::move(rec).value());
-        else if (replay_status.ok()) replay_status = rec.status();
-      },
-      nullptr, env));
-  if (!replay_status.ok()) return replay_status;
+  db->chat_path_ = LogFilePath(options.directory, "chat", db->log_gen_);
+  db->interaction_path_ =
+      LogFilePath(options.directory, "interactions", db->log_gen_);
+  db->highlight_path_ =
+      LogFilePath(options.directory, "highlights", db->log_gen_);
 
-  LIGHTOR_RETURN_IF_ERROR(db->chat_log_.Open(chat_path, env));
-  LIGHTOR_RETURN_IF_ERROR(db->interaction_log_.Open(interaction_path, env));
-  LIGHTOR_RETURN_IF_ERROR(db->highlight_log_.Open(highlight_path, env));
+  // Truncate torn tails, replay the suffix, and open — one call per log.
+  common::Status replay_status = common::Status::OK();
+  const struct {
+    AppendLog& log;
+    const std::string& path;
+    std::function<void(const std::vector<uint8_t>&)> visit;
+  } logs[] = {
+      {db->chat_log_, db->chat_path_,
+       [&](const std::vector<uint8_t>& bytes) {
+         auto rec = ChatRecord::Decode(bytes);
+         if (rec.ok()) db->chat_.Put(std::move(rec).value());
+         else if (replay_status.ok()) replay_status = rec.status();
+       }},
+      {db->interaction_log_, db->interaction_path_,
+       [&](const std::vector<uint8_t>& bytes) {
+         auto rec = InteractionRecord::Decode(bytes);
+         if (rec.ok()) db->interactions_.Put(std::move(rec).value());
+         else if (replay_status.ok()) replay_status = rec.status();
+       }},
+      {db->highlight_log_, db->highlight_path_,
+       [&](const std::vector<uint8_t>& bytes) {
+         auto rec = HighlightRecord::Decode(bytes);
+         if (rec.ok()) db->highlights_.Put(std::move(rec).value());
+         else if (replay_status.ok()) replay_status = rec.status();
+       }},
+  };
+  for (const auto& entry : logs) {
+    LIGHTOR_ASSIGN_OR_RETURN(const auto replayed,
+                             entry.log.OpenAndReplay(entry.path, entry.visit,
+                                                     env));
+    stats.records_replayed += replayed.records;
+    stats.torn_bytes_truncated += replayed.torn_bytes;
+  }
+  if (!replay_status.ok()) return replay_status;
+  db->lsn_ += stats.records_replayed;
+
   if (options.sync_on_flush) {
     db->chat_log_.set_sync_on_flush(true);
     db->interaction_log_.set_sync_on_flush(true);
     db->highlight_log_.set_sync_on_flush(true);
   }
-  return db;
+
+  db->SweepStaleFiles(manifest.checkpoint_gen);
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  db->recovery_stats_ = stats;
+  OpenResult result;
+  result.db = std::move(db);
+  result.stats = stats;
+  return result;
+}
+
+common::Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& directory, const OpenOptions& options) {
+  OpenOptions resolved = options;
+  resolved.directory = directory;
+  LIGHTOR_ASSIGN_OR_RETURN(auto opened, Open(resolved));
+  return std::move(opened.db);
+}
+
+common::Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& directory) {
+  OpenOptions options;
+  options.directory = directory;
+  LIGHTOR_ASSIGN_OR_RETURN(auto opened, Open(options));
+  return std::move(opened.db);
+}
+
+void Database::SweepStaleFiles(uint64_t checkpoint_gen) {
+  auto names = env_->ListDir(directory_);
+  if (!names.ok()) return;  // best-effort
+  for (const std::string& name : names.value()) {
+    bool stale = false;
+    uint64_t gen = 0;
+    if (EndsWith(name, ".tmp") || EndsWith(name, ".compact")) {
+      stale = true;  // torn temp from an interrupted checkpoint/compaction
+    } else if (ParseLogName(name, &gen)) {
+      stale = gen != log_gen_;
+    } else if (ParseCheckpointName(name, &gen)) {
+      stale = gen != checkpoint_gen;
+    }
+    if (!stale) continue;
+    if (auto st = env_->RemoveFile(directory_ + "/" + name); !st.ok()) {
+      LIGHTOR_LOG(Warning)
+          << "storage: sweep of stale file failed (will retry next open): "
+          << name << ": " << st.message();
+    }
+  }
 }
 
 Database::Stats Database::GetStats() const {
@@ -107,17 +229,15 @@ Database::Stats Database::GetStats() const {
   stats.interaction_records = interactions_.TotalRecords();
   stats.highlight_records = highlights_.TotalRecords();
   stats.highlight_dots = highlights_.NumDots();
-  stats.chat_log_bytes =
-      env_->GetFileSize(directory_ + "/chat.log").value_or(0);
+  stats.chat_log_bytes = env_->GetFileSize(chat_path_).value_or(0);
   stats.interaction_log_bytes =
-      env_->GetFileSize(directory_ + "/interactions.log").value_or(0);
-  stats.highlight_log_bytes =
-      env_->GetFileSize(directory_ + "/highlights.log").value_or(0);
+      env_->GetFileSize(interaction_path_).value_or(0);
+  stats.highlight_log_bytes = env_->GetFileSize(highlight_path_).value_or(0);
   return stats;
 }
 
 common::Result<size_t> Database::CompactHighlights() {
-  const std::string path = directory_ + "/highlights.log";
+  const std::string& path = highlight_path_;
   const std::string tmp_path = path + ".compact";
   std::vector<HighlightRecord> latest = highlights_.AllLatest();
   {
@@ -145,6 +265,7 @@ common::Status Database::PutChat(const ChatRecord& record) {
     return st;
   }
   chat_.Put(record);
+  ++lsn_;
   DbWritesCounter("chat").Increment();
   return common::Status::OK();
 }
@@ -155,6 +276,7 @@ common::Status Database::PutInteraction(const InteractionRecord& record) {
     return st;
   }
   interactions_.Put(record);
+  ++lsn_;
   DbWritesCounter("interactions").Increment();
   return common::Status::OK();
 }
@@ -165,6 +287,7 @@ common::Status Database::PutHighlight(const HighlightRecord& record) {
     return st;
   }
   highlights_.Put(record);
+  ++lsn_;
   DbWritesCounter("highlights").Increment();
   return common::Status::OK();
 }

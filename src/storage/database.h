@@ -3,13 +3,46 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/result.h"
+#include "storage/checkpoint.h"
 #include "storage/env.h"
 #include "storage/log.h"
 #include "storage/stores.h"
 
 namespace lightor::storage {
+
+/// Everything `DB::Open` needs, in one struct (PR 7 API redesign: the
+/// old two-arg `Open(directory, options)` form is deprecated below).
+struct OpenOptions {
+  OpenOptions() = default;
+  /// Shorthand for the common "defaults except the directory" case.
+  explicit OpenOptions(std::string dir) : directory(std::move(dir)) {}
+
+  /// Directory holding the logs / MANIFEST / checkpoint files. Created
+  /// (recursively) if absent.
+  std::string directory;
+  /// File I/O environment; null means `Env::Default()` (real POSIX).
+  Env* env = nullptr;
+  /// fsync at every log flush point: records survive power loss, not
+  /// just process crashes. See AppendLog::set_sync_on_flush.
+  bool sync_on_flush = false;
+  /// Policy applied by `Checkpoint()` runs against this database.
+  CheckpointPolicy checkpoint;
+};
+
+/// What `DB::Open` recovered — typed, so callers (serving bootstrap,
+/// tools, tests) can observe the recovery instead of inferring it.
+struct RecoveryStats {
+  uint64_t checkpoint_gen = 0;   ///< checkpoint loaded (0 = none)
+  uint64_t checkpoint_lsn = 0;   ///< LSN that checkpoint covered
+  uint64_t log_gen = 0;          ///< live log generation
+  size_t checkpoint_records = 0; ///< records restored from the image
+  size_t records_replayed = 0;   ///< log-suffix records replayed
+  uint64_t torn_bytes_truncated = 0;  ///< torn tail bytes cut off
+  double wall_seconds = 0.0;     ///< end-to-end recovery wall time
+};
 
 /// The LIGHTOR backend database (Section VI): three append-only logs
 /// (chat, interactions, highlights) with in-memory indexes rebuilt on
@@ -17,24 +50,43 @@ namespace lightor::storage {
 /// the in-memory state is always recoverable. All file I/O goes through a
 /// `storage::Env` (see env.h for the crash model; tests inject faults via
 /// `testing::FaultEnv`).
+///
+/// With checkpointing (see checkpoint.h for the on-disk layout and the
+/// crash-safety argument), Open loads the newest checkpoint the MANIFEST
+/// names and replays only the current log generation — a cold restart is
+/// O(live state + suffix), not O(history). A directory without a
+/// MANIFEST is the legacy single-generation layout and opens exactly as
+/// before.
+///
+/// Not internally synchronized: callers serialize access (the serving
+/// layer holds one db mutex around every call, including `Checkpoint`).
 class Database {
  public:
-  struct OpenOptions {
-    /// File I/O environment; null means `Env::Default()` (real POSIX).
-    Env* env = nullptr;
-    /// fsync at every log flush point: records survive power loss, not
-    /// just process crashes. See AppendLog::set_sync_on_flush.
-    bool sync_on_flush = false;
+  /// Nested alias so pre-redesign call sites that spelled
+  /// `Database::OpenOptions` keep compiling against the new struct.
+  using OpenOptions = storage::OpenOptions;
+
+  /// An opened database plus what recovering it involved.
+  struct OpenResult {
+    std::unique_ptr<Database> db;
+    RecoveryStats stats;
   };
 
-  /// Opens (creating if needed) the database under `directory`, recovers
-  /// torn log tails, and replays all records into the in-memory stores.
+  /// Opens (creating if needed) the database at `options.directory`:
+  /// loads the checkpoint named by the MANIFEST (if any), recovers torn
+  /// log tails, replays the log suffix into the in-memory stores, and
+  /// sweeps files no generation references.
+  static common::Result<OpenResult> Open(const OpenOptions& options);
+
+  /// Deprecated pre-checkpoint forms (directory passed separately, no
+  /// RecoveryStats). `options.directory` is ignored in favour of the
+  /// explicit argument.
+  [[deprecated("use DB::Open(OpenOptions) and read its RecoveryStats")]]
   static common::Result<std::unique_ptr<Database>> Open(
       const std::string& directory, const OpenOptions& options);
+  [[deprecated("use DB::Open(OpenOptions) and read its RecoveryStats")]]
   static common::Result<std::unique_ptr<Database>> Open(
-      const std::string& directory) {
-    return Open(directory, OpenOptions());
-  }
+      const std::string& directory);
 
   ~Database() = default;
   Database(const Database&) = delete;
@@ -53,6 +105,13 @@ class Database {
   }
   common::Status FlushInteractions() { return interaction_log_.Flush(); }
 
+  /// Snapshots the live state and rotates to a fresh log generation (the
+  /// full protocol lives in checkpoint.h). Uses the policy from
+  /// OpenOptions. Callers must hold whatever lock serializes writers.
+  common::Result<CheckpointStats> Checkpoint() {
+    return Checkpointer(this).Run(options_.checkpoint);
+  }
+
   /// Aggregate counters plus on-disk log sizes.
   struct Stats {
     size_t chat_records = 0;
@@ -69,7 +128,8 @@ class Database {
   /// to its latest record (the log grows one record per Refine pass, so a
   /// long-lived deployment compacts periodically). Crash-safe: the new
   /// log is written to a temp file and renamed over the old one. Returns
-  /// the number of records kept.
+  /// the number of records kept. A `Checkpoint()` subsumes this (the
+  /// image stores latest-per-dot only).
   common::Result<size_t> CompactHighlights();
 
   ChatStore& chat() { return chat_; }
@@ -79,11 +139,34 @@ class Database {
   const std::string& directory() const { return directory_; }
   Env* env() const { return env_; }
 
+  /// Log sequence number: records recoverable right now (checkpoint base
+  /// + live log records). Each successful Put advances it; the manifest
+  /// records the LSN each checkpoint covers.
+  uint64_t lsn() const { return lsn_; }
+  /// Live log generation (0 until the first checkpoint).
+  uint64_t log_gen() const { return log_gen_; }
+  /// What the Open that produced this database recovered.
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
  private:
+  friend class Checkpointer;
+
   Database() = default;
+
+  /// Removes files no generation references: `*.tmp`, `*.compact`,
+  /// off-generation `ckpt.*` and logs. Best-effort (errors ignored);
+  /// called from Open, after the manifest has been read.
+  void SweepStaleFiles(uint64_t checkpoint_gen);
 
   Env* env_ = nullptr;
   std::string directory_;
+  OpenOptions options_;
+  uint64_t lsn_ = 0;
+  uint64_t log_gen_ = 0;
+  RecoveryStats recovery_stats_;
+  std::string chat_path_;
+  std::string interaction_path_;
+  std::string highlight_path_;
   AppendLog chat_log_;
   AppendLog interaction_log_;
   AppendLog highlight_log_;
@@ -91,6 +174,9 @@ class Database {
   InteractionStore interactions_;
   HighlightStore highlights_;
 };
+
+/// The redesigned entry point reads as `storage::DB::Open(options)`.
+using DB = Database;
 
 }  // namespace lightor::storage
 

@@ -173,6 +173,23 @@ class PosixEnv final : public Env {
     }
     return common::Status::OK();
   }
+
+  common::Result<std::vector<std::string>> ListDir(
+      const std::string& path) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(path, ec);
+    if (ec) {
+      if (ec == std::errc::no_such_file_or_directory) return names;
+      return common::Status::IoError("list " + path + ": " + ec.message());
+    }
+    for (const auto& entry : it) {
+      if (entry.is_regular_file(ec)) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    return names;
+  }
 };
 
 }  // namespace

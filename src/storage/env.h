@@ -98,6 +98,13 @@ class Env {
 
   /// Recursively creates `path` (and parents); existing is OK.
   virtual common::Status CreateDirs(const std::string& path) = 0;
+
+  /// Names (not full paths) of the regular files directly under `path`,
+  /// in unspecified order. A missing directory is an empty listing, not
+  /// an error (recovery uses this to sweep stale checkpoint/log
+  /// generations and must work on a first boot).
+  virtual common::Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
 };
 
 }  // namespace lightor::storage

@@ -55,6 +55,32 @@ common::Status AppendLog::Open(const std::string& path, Env* env) {
   return common::Status::OK();
 }
 
+common::Result<AppendLog::ReplayStats> AppendLog::OpenAndReplay(
+    const std::string& path,
+    const std::function<void(const std::vector<uint8_t>&)>& visitor,
+    Env* env) {
+  Env* e = OrDefault(env);
+  ReplayStats stats;
+  size_t valid_bytes = 0;
+  LIGHTOR_RETURN_IF_ERROR(ReplayFile(
+      path,
+      [&](const std::vector<uint8_t>& payload) {
+        ++stats.records;
+        if (visitor) visitor(payload);
+      },
+      &valid_bytes, e));
+  if (e->FileExists(path)) {
+    auto size = e->GetFileSize(path);
+    if (!size.ok()) return size.status();
+    if (size.value() > valid_bytes) {
+      stats.torn_bytes = size.value() - valid_bytes;
+      LIGHTOR_RETURN_IF_ERROR(e->TruncateFile(path, valid_bytes));
+    }
+  }
+  LIGHTOR_RETURN_IF_ERROR(Open(path, e));
+  return stats;
+}
+
 common::Status AppendLog::Append(const std::vector<uint8_t>& payload) {
   if (file_ == nullptr) {
     return common::Status::FailedPrecondition("AppendLog: not open");

@@ -41,9 +41,9 @@ namespace lightor::storage {
 /// After any write, flush, or sync error the log is **wedged**: the file
 /// may end in a torn frame, so appending more records would bury them
 /// behind garbage that replay can never reach. Every subsequent operation
-/// fails with IoError until the log is recovered and reopened —
-/// `Recover()` then `Open()`, as `Database::Open` does — which truncates
-/// the torn tail.
+/// fails with IoError until the log is recovered and reopened — one
+/// `OpenAndReplay()` call, as `Database::Open` does — which truncates the
+/// torn tail.
 class AppendLog {
  public:
   AppendLog() = default;
@@ -53,8 +53,27 @@ class AppendLog {
   AppendLog& operator=(const AppendLog&) = delete;
 
   /// Opens (creating if needed) the log at `path` for appending through
-  /// `env` (null = `Env::Default()`). Clears a wedged state.
+  /// `env` (null = `Env::Default()`). Clears a wedged state. Does NOT
+  /// recover a torn tail — use `OpenAndReplay` on any log that may have
+  /// seen a crash.
   common::Status Open(const std::string& path, Env* env = nullptr);
+
+  /// What `OpenAndReplay` found on disk.
+  struct ReplayStats {
+    size_t records = 0;        ///< valid records replayed
+    uint64_t torn_bytes = 0;   ///< torn/corrupt tail bytes truncated away
+  };
+
+  /// Recover + replay + open in one call: truncates the log at `path` to
+  /// its longest valid prefix, replays every surviving record through
+  /// `visitor` (null skips replay), then opens the log for appending.
+  /// This replaces the historical `Recover()`-then-`Open()` dance, where
+  /// every caller had to remember the truncation step or risk appending
+  /// behind a torn frame that replay can never pass.
+  common::Result<ReplayStats> OpenAndReplay(
+      const std::string& path,
+      const std::function<void(const std::vector<uint8_t>&)>& visitor,
+      Env* env = nullptr);
 
   /// Appends one framed record. Flushes immediately in the default
   /// per-record mode; in batched mode (`set_flush_each_append(false)`)
@@ -102,7 +121,9 @@ class AppendLog {
       size_t* valid_bytes = nullptr, Env* env = nullptr);
 
   /// Truncates the log at `path` to its longest valid prefix. Returns the
-  /// number of records that survived.
+  /// number of records that survived. Prefer `OpenAndReplay`, which folds
+  /// this into the open; `Recover` stays for tests that inspect recovery
+  /// without opening.
   static common::Result<size_t> Recover(const std::string& path,
                                         Env* env = nullptr);
 

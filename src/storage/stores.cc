@@ -86,10 +86,44 @@ std::vector<std::string> ChatStore::VideoIds() const {
   return ids;
 }
 
+void ChatStore::ForEach(
+    const std::function<void(const ChatRecord&)>& fn) const {
+  std::vector<std::string> ids = VideoIds();
+  for (const auto& id : ids) {
+    auto it = by_video_.find(id);
+    for (const auto& rec : it->second) fn(rec);
+  }
+}
+
 void InteractionStore::Put(InteractionRecord record) {
   Entry entry{std::move(record), ++generation_};
   by_video_[entry.record.video_id].push_back(std::move(entry));
   ++total_;
+}
+
+void InteractionStore::ForEach(
+    const std::function<void(const InteractionRecord&, uint64_t)>& fn) const {
+  std::vector<std::string> ids;
+  ids.reserve(by_video_.size());
+  for (const auto& [id, _] : by_video_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const auto& id : ids) {
+    for (const auto& entry : by_video_.at(id)) {
+      fn(entry.record, entry.generation);
+    }
+  }
+}
+
+void InteractionStore::RestoreEntry(InteractionRecord record,
+                                    uint64_t generation) {
+  if (generation > generation_) generation_ = generation;
+  Entry entry{std::move(record), generation};
+  by_video_[entry.record.video_id].push_back(std::move(entry));
+  ++total_;
+}
+
+void InteractionStore::AdvanceGeneration(uint64_t generation) {
+  if (generation > generation_) generation_ = generation;
 }
 
 std::map<uint64_t, std::vector<InteractionRecord>>

@@ -1,6 +1,7 @@
 #ifndef LIGHTOR_STORAGE_STORES_H_
 #define LIGHTOR_STORAGE_STORES_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -28,6 +29,13 @@ class ChatStore {
 
   size_t TotalRecords() const { return total_; }
   std::vector<std::string> VideoIds() const;
+
+  /// Visits every record grouped by video id (ids sorted, records in
+  /// stored order) — the deterministic iteration checkpoint encoding
+  /// needs. Stored order is arrival order until a read sorts the video;
+  /// either way `GetByVideo` yields the same stable-sorted result after a
+  /// round trip.
+  void ForEach(const std::function<void(const ChatRecord&)>& fn) const;
 
  private:
   void EnsureSorted(const std::string& video_id);
@@ -57,6 +65,23 @@ class InteractionStore {
 
   uint64_t current_generation() const { return generation_; }
   size_t TotalRecords() const { return total_; }
+
+  /// Visits every entry with its generation, grouped by video id (ids
+  /// sorted, entries in arrival order) — deterministic iteration for
+  /// checkpoint encoding.
+  void ForEach(const std::function<void(const InteractionRecord&,
+                                        uint64_t generation)>& fn) const;
+
+  /// Checkpoint load: inserts an entry keeping its original generation
+  /// (so `SessionsSince` watermarks survive a restart) and advances the
+  /// generation counter to at least `generation`. New `Put`s then
+  /// continue numbering after the restored high-water mark.
+  void RestoreEntry(InteractionRecord record, uint64_t generation);
+
+  /// Raises the generation counter to at least `generation` — restores
+  /// the counter across a checkpoint even when every entry it numbered
+  /// was dropped as consumed.
+  void AdvanceGeneration(uint64_t generation);
 
  private:
   struct Entry {

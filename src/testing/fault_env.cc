@@ -440,4 +440,24 @@ common::Status FaultEnv::CreateDirs(const std::string&) {
   return common::Status::OK();
 }
 
+common::Result<std::vector<std::string>> FaultEnv::ListDir(
+    const std::string& path) {
+  // A read: consumes no I/O point (it cannot lose data). Directories are
+  // flat path prefixes here, so "directly under" means one more `/`
+  // segment and nothing after it.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  const std::string prefix = path + "/";
+  std::vector<std::string> names;
+  for (const auto& [file_path, _] : files_) {
+    if (file_path.size() <= prefix.size() ||
+        file_path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string name = file_path.substr(prefix.size());
+    if (name.find('/') == std::string::npos) names.push_back(name);
+  }
+  return names;
+}
+
 }  // namespace lightor::testing

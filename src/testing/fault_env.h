@@ -151,6 +151,8 @@ class FaultEnv final : public storage::Env {
                             const std::string& to) override;
   common::Status RemoveFile(const std::string& path) override;
   common::Status CreateDirs(const std::string& path) override;
+  common::Result<std::vector<std::string>> ListDir(
+      const std::string& path) override;
 
  private:
   friend class FaultWritableFile;

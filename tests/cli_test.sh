@@ -21,6 +21,13 @@ VIDEO=$(sed -n '2p' "$TMP/corpus/corpus.index")
 "$LIGHTOR" extract --corpus="$TMP/corpus" --model="$TMP/m.model" \
     --video="$VIDEO" --k=2 --viewers=8 | grep -q "converged"
 
+# Storage maintenance subcommands: a fresh directory reports the legacy
+# layout, a checkpoint rotates it to generation 1, and inspect-manifest
+# reads the MANIFEST back without opening the database.
+"$LIGHTOR" inspect-manifest --db="$TMP/db" | grep -q "no MANIFEST"
+"$LIGHTOR" checkpoint --db="$TMP/db" | grep -q "checkpoint gen 1"
+"$LIGHTOR" inspect-manifest --db="$TMP/db" | grep -q "log_gen        1"
+
 # Error paths exit non-zero.
 if "$LIGHTOR" detect --corpus="$TMP/corpus" --model="$TMP/m.model" \
     --video=does-not-exist 2>/dev/null; then

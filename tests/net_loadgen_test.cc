@@ -34,9 +34,9 @@ Stack MakeStack(const sim::Platform::Options& popts,
                 const std::string& db_dir, bool batched_flush) {
   Stack stack;
   stack.platform = std::make_unique<sim::Platform>(popts);
-  auto db = storage::Database::Open(db_dir);
+  auto db = storage::DB::Open(storage::OpenOptions(db_dir));
   EXPECT_TRUE(db.ok()) << db.status().ToString();
-  stack.db = std::move(db).value();
+  stack.db = std::move(db.value().db);
 
   const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 1007);
   core::TrainingVideo tv;

@@ -39,9 +39,9 @@ Stack MakeStack(const std::string& db_dir) {
   popts.videos_per_channel = 2;
   popts.seed = 7;
   stack.platform = std::make_unique<sim::Platform>(popts);
-  auto db = storage::Database::Open(db_dir);
+  auto db = storage::DB::Open(storage::OpenOptions(db_dir));
   EXPECT_TRUE(db.ok()) << db.status().ToString();
-  stack.db = std::move(db).value();
+  stack.db = std::move(db.value().db);
 
   const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 1007);
   core::TrainingVideo tv;

@@ -53,9 +53,9 @@ class HighlightServerTest : public ::testing::Test {
   }
 
   std::unique_ptr<storage::Database> OpenDb(const std::string& dir) {
-    auto db = storage::Database::Open(dir);
+    auto db = storage::DB::Open(storage::OpenOptions(dir));
     EXPECT_TRUE(db.ok()) << db.status().ToString();
-    return std::move(db).value();
+    return std::move(db.value().db);
   }
 
   ServerOptions BaseOptions(storage::Database* db) {

@@ -45,11 +45,12 @@ TEST(ServingStreamStressTest, ConcurrentIngestReadersAndRecordedTraffic) {
   core::Lightor lightor;
   ASSERT_TRUE(lightor.TrainInitializer({tv}).ok());
 
-  auto db = storage::Database::Open(dir);
-  ASSERT_TRUE(db.ok());
+  auto opened = storage::DB::Open(storage::OpenOptions(dir));
+  ASSERT_TRUE(opened.ok());
+  auto db = std::move(opened.value().db);
   ServerOptions opts;
   opts.platform = Borrow(&platform);
-  opts.db = Borrow(db.value().get());
+  opts.db = Borrow(db.get());
   opts.lightor = Borrow<const core::Lightor>(&lightor);
   opts.num_shards = 4;
   opts.stream_refresh_messages = 16;  // publish often: maximize swaps
@@ -146,10 +147,11 @@ TEST(ServingStreamStressTest, ConcurrentIngestReadersAndRecordedTraffic) {
 
   // Differential: the finalized stream equals the batch path on a fresh
   // server over the same platform chat.
-  auto ref_db = storage::Database::Open(dir + "_ref");
-  ASSERT_TRUE(ref_db.ok());
+  auto ref_opened = storage::DB::Open(storage::OpenOptions(dir + "_ref"));
+  ASSERT_TRUE(ref_opened.ok());
+  auto ref_db = std::move(ref_opened.value().db);
   ServerOptions ref_opts = opts;
-  ref_opts.db = Borrow(ref_db.value().get());
+  ref_opts.db = Borrow(ref_db.get());
   auto ref = HighlightServer::Create(ref_opts);
   ASSERT_TRUE(ref.ok());
   auto batch = ref.value()->OnPageVisit({live_id, "u"});

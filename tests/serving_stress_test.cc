@@ -60,12 +60,13 @@ TEST(ServingStressTest, ConcurrentMixedTrafficIsLossless) {
   core::Lightor lightor;
   ASSERT_TRUE(lightor.TrainInitializer({tv}).ok());
 
-  auto db = storage::Database::Open(dir);
-  ASSERT_TRUE(db.ok());
+  auto opened = storage::DB::Open(storage::OpenOptions(dir));
+  ASSERT_TRUE(opened.ok());
+  auto db = std::move(opened.value().db);
 
   ServerOptions opts;
   opts.platform = Borrow(&platform);
-  opts.db = Borrow(db.value().get());
+  opts.db = Borrow(db.get());
   opts.lightor = Borrow<const core::Lightor>(&lightor);
   opts.num_shards = 8;
   opts.num_workers = 2;
@@ -156,7 +157,7 @@ TEST(ServingStressTest, ConcurrentMixedTrafficIsLossless) {
   server.Shutdown();
 
   // No lost sessions: every accepted interaction event is in the store.
-  EXPECT_EQ(db.value()->interactions().TotalRecords(), events_logged.load());
+  EXPECT_EQ(db->interactions().TotalRecords(), events_logged.load());
 
   // Every visited video ends with a coherent persisted highlight set.
   for (const auto& video_id : ids) {
@@ -167,7 +168,7 @@ TEST(ServingStressTest, ConcurrentMixedTrafficIsLossless) {
       EXPECT_EQ(rec.video_id, video_id);
       EXPECT_TRUE(indices.insert(rec.dot_index).second);
     }
-    EXPECT_EQ(db.value()->highlights().GetLatest(video_id).size(),
+    EXPECT_EQ(db->highlights().GetLatest(video_id).size(),
               read.value().highlights.size());
   }
 
@@ -200,12 +201,13 @@ TEST(ServingStressTest, ShutdownRacesWithClients) {
   core::Lightor lightor;
   ASSERT_TRUE(lightor.TrainInitializer({tv}).ok());
 
-  auto db = storage::Database::Open(dir);
-  ASSERT_TRUE(db.ok());
+  auto opened = storage::DB::Open(storage::OpenOptions(dir));
+  ASSERT_TRUE(opened.ok());
+  auto db = std::move(opened.value().db);
 
   ServerOptions opts;
   opts.platform = Borrow(&platform);
-  opts.db = Borrow(db.value().get());
+  opts.db = Borrow(db.get());
   opts.lightor = Borrow<const core::Lightor>(&lightor);
   opts.refine_batch_sessions = 2;
   auto created = HighlightServer::Create(opts);
@@ -251,7 +253,7 @@ TEST(ServingStressTest, ShutdownRacesWithClients) {
   server.Shutdown();  // races with the clients above
   for (auto& thread : threads) thread.join();
 
-  EXPECT_EQ(db.value()->interactions().TotalRecords(),
+  EXPECT_EQ(db->interactions().TotalRecords(),
             events_accepted.load());
   (void)saw_rejection;  // timing-dependent; either outcome is valid
 

@@ -32,27 +32,33 @@ class CompactionTest : public ::testing::Test {
     return rec;
   }
 
+  /// Opens via the redesigned entry point and unwraps the database.
+  std::unique_ptr<Database> MustOpen() {
+    auto opened = DB::Open(OpenOptions(dir_));
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    return std::move(opened.value().db);
+  }
+
   std::string dir_;
 };
 
 TEST_F(CompactionTest, KeepsOnlyLatestVersions) {
-  auto db = Database::Open(dir_);
-  ASSERT_TRUE(db.ok());
+  auto db = MustOpen();
   for (int iter = 0; iter < 5; ++iter) {
-    ASSERT_TRUE(db.value()->PutHighlight(Dot("v", 0, iter)).ok());
-    ASSERT_TRUE(db.value()->PutHighlight(Dot("v", 1, iter)).ok());
+    ASSERT_TRUE(db->PutHighlight(Dot("v", 0, iter)).ok());
+    ASSERT_TRUE(db->PutHighlight(Dot("v", 1, iter)).ok());
   }
-  EXPECT_EQ(db.value()->highlights().TotalRecords(), 10u);
-  const auto before_bytes = db.value()->GetStats().highlight_log_bytes;
+  EXPECT_EQ(db->highlights().TotalRecords(), 10u);
+  const auto before_bytes = db->GetStats().highlight_log_bytes;
 
-  auto kept = db.value()->CompactHighlights();
+  auto kept = db->CompactHighlights();
   ASSERT_TRUE(kept.ok());
   EXPECT_EQ(kept.value(), 2u);
-  EXPECT_EQ(db.value()->highlights().TotalRecords(), 2u);
-  EXPECT_LT(db.value()->GetStats().highlight_log_bytes, before_bytes);
+  EXPECT_EQ(db->highlights().TotalRecords(), 2u);
+  EXPECT_LT(db->GetStats().highlight_log_bytes, before_bytes);
 
   // Latest state preserved.
-  const auto latest = db.value()->highlights().GetLatest("v");
+  const auto latest = db->highlights().GetLatest("v");
   ASSERT_EQ(latest.size(), 2u);
   EXPECT_EQ(latest[0].iteration, 4);
   EXPECT_EQ(latest[1].iteration, 4);
@@ -60,43 +66,39 @@ TEST_F(CompactionTest, KeepsOnlyLatestVersions) {
 
 TEST_F(CompactionTest, StateSurvivesReopenAfterCompaction) {
   {
-    auto db = Database::Open(dir_);
-    ASSERT_TRUE(db.ok());
+    auto db = MustOpen();
     for (int iter = 0; iter < 3; ++iter) {
-      ASSERT_TRUE(db.value()->PutHighlight(Dot("v", 0, iter)).ok());
+      ASSERT_TRUE(db->PutHighlight(Dot("v", 0, iter)).ok());
     }
-    ASSERT_TRUE(db.value()->CompactHighlights().ok());
+    ASSERT_TRUE(db->CompactHighlights().ok());
     // Writable after compaction.
-    ASSERT_TRUE(db.value()->PutHighlight(Dot("v", 0, 3)).ok());
+    ASSERT_TRUE(db->PutHighlight(Dot("v", 0, 3)).ok());
   }
-  auto db = Database::Open(dir_);
-  ASSERT_TRUE(db.ok());
-  const auto latest = db.value()->highlights().GetLatest("v");
+  auto db = MustOpen();
+  const auto latest = db->highlights().GetLatest("v");
   ASSERT_EQ(latest.size(), 1u);
   EXPECT_EQ(latest[0].iteration, 3);
   // History: compacted record + post-compaction append.
-  EXPECT_EQ(db.value()->highlights().GetHistory("v", 0).size(), 2u);
+  EXPECT_EQ(db->highlights().GetHistory("v", 0).size(), 2u);
 }
 
 TEST_F(CompactionTest, EmptyDatabaseCompactsToZero) {
-  auto db = Database::Open(dir_);
-  ASSERT_TRUE(db.ok());
-  auto kept = db.value()->CompactHighlights();
+  auto db = MustOpen();
+  auto kept = db->CompactHighlights();
   ASSERT_TRUE(kept.ok());
   EXPECT_EQ(kept.value(), 0u);
 }
 
 TEST_F(CompactionTest, StatsReflectStores) {
-  auto db = Database::Open(dir_);
-  ASSERT_TRUE(db.ok());
+  auto db = MustOpen();
   ChatRecord chat;
   chat.video_id = "v";
   chat.timestamp = 1.0;
   chat.user = "u";
   chat.text = "hi";
-  ASSERT_TRUE(db.value()->PutChat(chat).ok());
-  ASSERT_TRUE(db.value()->PutHighlight(Dot("v", 0, 0)).ok());
-  const auto stats = db.value()->GetStats();
+  ASSERT_TRUE(db->PutChat(chat).ok());
+  ASSERT_TRUE(db->PutHighlight(Dot("v", 0, 0)).ok());
+  const auto stats = db->GetStats();
   EXPECT_EQ(stats.chat_records, 1u);
   EXPECT_EQ(stats.highlight_records, 1u);
   EXPECT_EQ(stats.highlight_dots, 1u);

@@ -21,6 +21,14 @@ class DatabaseTest : public ::testing::Test {
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
+  /// Opens via the redesigned entry point and unwraps the database,
+  /// asserting success (most tests here don't care about the stats).
+  std::unique_ptr<Database> MustOpen() {
+    auto opened = DB::Open(OpenOptions(dir_));
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    return std::move(opened.value().db);
+  }
+
   std::string dir_;
 };
 
@@ -34,25 +42,28 @@ ChatRecord Chat(double t) {
 }
 
 TEST_F(DatabaseTest, OpenCreatesDirectory) {
-  auto db = Database::Open(dir_);
-  ASSERT_TRUE(db.ok());
+  auto opened = DB::Open(OpenOptions(dir_));
+  ASSERT_TRUE(opened.ok());
   EXPECT_TRUE(std::filesystem::exists(dir_));
-  EXPECT_EQ(db.value()->directory(), dir_);
+  EXPECT_EQ(opened.value().db->directory(), dir_);
+  // A fresh directory recovers nothing.
+  EXPECT_EQ(opened.value().stats.checkpoint_gen, 0u);
+  EXPECT_EQ(opened.value().stats.records_replayed, 0u);
+  EXPECT_EQ(opened.value().stats.torn_bytes_truncated, 0u);
 }
 
 TEST_F(DatabaseTest, PutsVisibleInMemory) {
-  auto db = Database::Open(dir_);
-  ASSERT_TRUE(db.ok());
-  ASSERT_TRUE(db.value()->PutChat(Chat(1.0)).ok());
-  ASSERT_TRUE(db.value()->PutChat(Chat(2.0)).ok());
-  EXPECT_EQ(db.value()->chat().GetByVideo("v").size(), 2u);
+  auto db = MustOpen();
+  ASSERT_TRUE(db->PutChat(Chat(1.0)).ok());
+  ASSERT_TRUE(db->PutChat(Chat(2.0)).ok());
+  EXPECT_EQ(db->chat().GetByVideo("v").size(), 2u);
+  EXPECT_EQ(db->lsn(), 2u);
 }
 
 TEST_F(DatabaseTest, StateSurvivesReopen) {
   {
-    auto db = Database::Open(dir_);
-    ASSERT_TRUE(db.ok());
-    ASSERT_TRUE(db.value()->PutChat(Chat(1.0)).ok());
+    auto db = MustOpen();
+    ASSERT_TRUE(db->PutChat(Chat(1.0)).ok());
 
     InteractionRecord ir;
     ir.video_id = "v";
@@ -60,42 +71,45 @@ TEST_F(DatabaseTest, StateSurvivesReopen) {
     ir.session_id = 1;
     ir.event = StoredInteraction::kPlay;
     ir.position = 100.0;
-    ASSERT_TRUE(db.value()->PutInteraction(ir).ok());
+    ASSERT_TRUE(db->PutInteraction(ir).ok());
 
     HighlightRecord hr;
     hr.video_id = "v";
     hr.dot_index = 0;
     hr.start = 100.0;
     hr.end = 120.0;
-    ASSERT_TRUE(db.value()->PutHighlight(hr).ok());
+    ASSERT_TRUE(db->PutHighlight(hr).ok());
   }
-  auto db = Database::Open(dir_);
-  ASSERT_TRUE(db.ok());
-  EXPECT_EQ(db.value()->chat().GetByVideo("v").size(), 1u);
-  EXPECT_EQ(db.value()->interactions().SessionsForVideo("v").size(), 1u);
-  const auto dots = db.value()->highlights().GetLatest("v");
+  auto opened = DB::Open(OpenOptions(dir_));
+  ASSERT_TRUE(opened.ok());
+  auto& db = opened.value().db;
+  EXPECT_EQ(opened.value().stats.records_replayed, 3u);
+  EXPECT_EQ(db->lsn(), 3u);
+  EXPECT_EQ(db->chat().GetByVideo("v").size(), 1u);
+  EXPECT_EQ(db->interactions().SessionsForVideo("v").size(), 1u);
+  const auto dots = db->highlights().GetLatest("v");
   ASSERT_EQ(dots.size(), 1u);
   EXPECT_DOUBLE_EQ(dots[0].end, 120.0);
 }
 
 TEST_F(DatabaseTest, RecoversFromTornChatLog) {
   {
-    auto db = Database::Open(dir_);
-    ASSERT_TRUE(db.ok());
-    ASSERT_TRUE(db.value()->PutChat(Chat(1.0)).ok());
+    auto db = MustOpen();
+    ASSERT_TRUE(db->PutChat(Chat(1.0)).ok());
   }
   {
     std::ofstream out(dir_ + "/chat.log", std::ios::binary | std::ios::app);
     out.write("\x99\x00\x00\x00torn", 8);  // bogus frame
   }
-  auto db = Database::Open(dir_);
-  ASSERT_TRUE(db.ok());
-  EXPECT_EQ(db.value()->chat().GetByVideo("v").size(), 1u);
+  auto opened = DB::Open(OpenOptions(dir_));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value().stats.torn_bytes_truncated, 8u);
+  auto db = std::move(opened.value().db);
+  EXPECT_EQ(db->chat().GetByVideo("v").size(), 1u);
   // The database is writable again after recovery.
-  ASSERT_TRUE(db.value()->PutChat(Chat(2.0)).ok());
-  auto reopened = Database::Open(dir_);
-  ASSERT_TRUE(reopened.ok());
-  EXPECT_EQ(reopened.value()->chat().GetByVideo("v").size(), 2u);
+  ASSERT_TRUE(db->PutChat(Chat(2.0)).ok());
+  auto reopened = MustOpen();
+  EXPECT_EQ(reopened->chat().GetByVideo("v").size(), 2u);
 }
 
 TEST_F(DatabaseTest, HighlightHistoryAccumulatesAcrossReopens) {
@@ -103,17 +117,15 @@ TEST_F(DatabaseTest, HighlightHistoryAccumulatesAcrossReopens) {
   hr.video_id = "v";
   hr.dot_index = 0;
   {
-    auto db = Database::Open(dir_);
-    ASSERT_TRUE(db.ok());
+    auto db = MustOpen();
     hr.iteration = 0;
-    ASSERT_TRUE(db.value()->PutHighlight(hr).ok());
+    ASSERT_TRUE(db->PutHighlight(hr).ok());
     hr.iteration = 1;
-    ASSERT_TRUE(db.value()->PutHighlight(hr).ok());
+    ASSERT_TRUE(db->PutHighlight(hr).ok());
   }
-  auto db = Database::Open(dir_);
-  ASSERT_TRUE(db.ok());
-  EXPECT_EQ(db.value()->highlights().GetHistory("v", 0).size(), 2u);
-  EXPECT_EQ(db.value()->highlights().GetLatest("v")[0].iteration, 1);
+  auto db = MustOpen();
+  EXPECT_EQ(db->highlights().GetHistory("v", 0).size(), 2u);
+  EXPECT_EQ(db->highlights().GetLatest("v")[0].iteration, 1);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <utility>
 #include <map>
 #include <string>
 #include <vector>
@@ -294,13 +295,14 @@ void EnumerateCrashPoints(bool batched) {
   uint64_t total_points = 0;
   {
     ft::FaultEnv env;
-    Database::OpenOptions options;
+    OpenOptions options;
+    options.directory = "db";
     options.env = &env;
-    auto db = Database::Open("db", options);
+    auto db = DB::Open(options);
     ASSERT_TRUE(db.ok()) << db.status().ToString();
     Tracker t;
-    RunWorkload(db.value().get(), batched, &t);
-    db.value().reset();  // clean shutdown consumes the close points too
+    RunWorkload(db.value().db.get(), batched, &t);
+    db.value().db.reset();  // clean shutdown consumes the close points too
     total_points = env.io_points();
     ASSERT_EQ(t.interactions.size(), 6u);  // fault-free run acks everything
   }
@@ -309,21 +311,22 @@ void EnumerateCrashPoints(bool batched) {
   for (uint64_t k = 0; k < total_points; ++k) {
     ft::FaultEnv env;
     env.CrashAt(k);
-    Database::OpenOptions options;
+    OpenOptions options;
+    options.directory = "db";
     options.env = &env;
     Tracker t;
     {
-      auto db = Database::Open("db", options);
-      if (db.ok()) RunWorkload(db.value().get(), batched, &t);
+      auto db = DB::Open(options);
+      if (db.ok()) RunWorkload(db.value().db.get(), batched, &t);
       // A crash mid-open leaves nothing acked; the contract still holds.
     }
     ASSERT_TRUE(env.crashed()) << "point " << k << " was never reached";
 
     env.RecoverAfterCrash(ft::CrashModel::kProcess);
-    auto reopened = Database::Open("db", options);
+    auto reopened = DB::Open(options);
     ASSERT_TRUE(reopened.ok())
         << "crash@" << k << ": " << reopened.status().ToString();
-    CheckContract(reopened.value().get(), t, k);
+    CheckContract(reopened.value().db.get(), t, k);
   }
 }
 
@@ -339,18 +342,19 @@ TEST(CrashPointEnumeration, BatchedFlushBoundsLossToLastFlush) {
 // every flush point, even pulling the plug loses nothing acked on the
 // per-record logs.
 TEST(CrashPointEnumeration, SyncOnFlushSurvivesPowerLossAtEveryPoint) {
-  Database::OpenOptions options;
+  OpenOptions options;
+  options.directory = "db";
   options.sync_on_flush = true;
 
   uint64_t total_points = 0;
   {
     ft::FaultEnv env;
     options.env = &env;
-    auto db = Database::Open("db", options);
+    auto db = DB::Open(options);
     ASSERT_TRUE(db.ok()) << db.status().ToString();
     Tracker t;
-    RunWorkload(db.value().get(), /*batched=*/false, &t);
-    db.value().reset();
+    RunWorkload(db.value().db.get(), /*batched=*/false, &t);
+    db.value().db.reset();
     total_points = env.io_points();
   }
 
@@ -360,16 +364,16 @@ TEST(CrashPointEnumeration, SyncOnFlushSurvivesPowerLossAtEveryPoint) {
     options.env = &env;
     Tracker t;
     {
-      auto db = Database::Open("db", options);
-      if (db.ok()) RunWorkload(db.value().get(), /*batched=*/false, &t);
+      auto db = DB::Open(options);
+      if (db.ok()) RunWorkload(db.value().db.get(), /*batched=*/false, &t);
     }
     ASSERT_TRUE(env.crashed()) << "point " << k << " was never reached";
 
     env.RecoverAfterCrash(ft::CrashModel::kPowerLoss);
-    auto reopened = Database::Open("db", options);
+    auto reopened = DB::Open(options);
     ASSERT_TRUE(reopened.ok())
         << "crash@" << k << ": " << reopened.status().ToString();
-    CheckContract(reopened.value().get(), t, k);
+    CheckContract(reopened.value().db.get(), t, k);
   }
 }
 
@@ -383,20 +387,22 @@ TEST(DatabaseFaults, FailedPutSurfacesErrorAndCountsMetric) {
   const uint64_t before = counter->value();
 
   ft::FaultEnv env;
-  Database::OpenOptions options;
+  OpenOptions options;
+  options.directory = "db";
   options.env = &env;
-  auto db = Database::Open("db", options);
-  ASSERT_TRUE(db.ok());
+  auto opened = DB::Open(options);
+  ASSERT_TRUE(opened.ok());
+  auto db = std::move(opened.value().db);
 
-  ASSERT_TRUE(db.value()->PutInteraction(MakeInteraction(1)).ok());
+  ASSERT_TRUE(db->PutInteraction(MakeInteraction(1)).ok());
   // Next interaction append fails at its header-append point.
   env.InjectAt(env.io_points(), ft::FaultKind::kEnospc);
-  auto st = db.value()->PutInteraction(MakeInteraction(2));
+  auto st = db->PutInteraction(MakeInteraction(2));
   EXPECT_TRUE(st.IsIoError()) << st.ToString();
   EXPECT_EQ(counter->value(), before + 1);
 
   // The store was not polluted with the rejected record.
-  EXPECT_EQ(db.value()->interactions().SessionsForVideo("v").size(), 1u);
+  EXPECT_EQ(db->interactions().SessionsForVideo("v").size(), 1u);
 }
 
 }  // namespace

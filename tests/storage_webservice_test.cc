@@ -29,9 +29,9 @@ class WebServiceTest : public ::testing::Test {
     popts.seed = 61;
     platform_ = std::make_unique<sim::Platform>(popts);
 
-    auto db = storage::Database::Open(dir_);
+    auto db = storage::DB::Open(storage::OpenOptions(dir_));
     ASSERT_TRUE(db.ok());
-    db_ = std::move(db).value();
+    db_ = std::move(db.value().db);
 
     // Train the pipeline on an out-of-platform corpus video.
     const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 62);

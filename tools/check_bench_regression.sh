@@ -1,0 +1,68 @@
+#!/bin/sh
+# Compares a fresh bench run against the committed baseline and fails on
+# a >10% regression (plus a small absolute epsilon so millisecond-scale
+# noise doesn't flake CI).
+#
+#   sh tools/check_bench_regression.sh NEW.json BASELINE.json [max_pct]
+#
+# Works on the one-scale-per-line format recovery_bench emits: each scale
+# line carries "sessions", "full_open_s", "ckpt_open_s" and "speedup".
+# Checks, per scale present in BOTH files:
+#   - ckpt_open_s must not regress by more than max_pct (default 10%)
+#   - speedup at >=1M sessions must stay >= 10x (the PR acceptance bar)
+
+set -eu
+
+new=${1:?usage: check_bench_regression.sh NEW.json BASELINE.json [max_pct]}
+base=${2:?usage: check_bench_regression.sh NEW.json BASELINE.json [max_pct]}
+max_pct=${3:-10}
+eps_s=0.005  # absolute slack: ignore sub-5ms wobble
+
+[ -f "$new" ] || { echo "check_bench_regression: missing $new" >&2; exit 2; }
+[ -f "$base" ] || { echo "check_bench_regression: missing $base" >&2; exit 2; }
+
+# "sessions ckpt_open_s speedup" per scale line.
+extract() {
+  awk -F'[:,]' '/"sessions"/ {
+    sessions = ""; ckpt = ""; speedup = ""
+    for (i = 1; i < NF; ++i) {
+      if ($i ~ /"sessions"/) sessions = $(i + 1)
+      if ($i ~ /"ckpt_open_s"/) ckpt = $(i + 1)
+      if ($i ~ /"speedup"/) speedup = $(i + 1)
+    }
+    if (sessions != "" && ckpt != "") print sessions, ckpt, speedup
+  }' "$1"
+}
+
+extract "$new" > "${new}.scales.tmp"
+extract "$base" > "${base}.scales.tmp"
+
+fail=0
+while read -r sessions new_ckpt new_speedup; do
+  base_line=$(awk -v s="$sessions" '$1 == s' "${base}.scales.tmp")
+  if [ -z "$base_line" ]; then
+    echo "check_bench_regression: scale $sessions not in baseline; skipped"
+    continue
+  fi
+  base_ckpt=$(echo "$base_line" | awk '{print $2}')
+  verdict=$(awk -v n="$new_ckpt" -v b="$base_ckpt" -v p="$max_pct" \
+                -v e="$eps_s" -v sp="$new_speedup" -v s="$sessions" '
+    BEGIN {
+      limit = b * (1 + p / 100) + e
+      if (n > limit) {
+        printf "REGRESSION scale %s: ckpt restart %.4fs vs baseline %.4fs (>%s%% + %.3fs slack)\n", s, n, b, p, e
+      }
+      if (s + 0 >= 1000000 && sp != "" && sp + 0 < 10) {
+        printf "REGRESSION scale %s: speedup %.1fx is below the 10x bar\n", s, sp
+      }
+    }')
+  if [ -n "$verdict" ]; then
+    echo "$verdict" >&2
+    fail=1
+  else
+    echo "ok scale $sessions: ckpt ${new_ckpt}s (baseline ${base_ckpt}s)"
+  fi
+done < "${new}.scales.tmp"
+
+rm -f "${new}.scales.tmp" "${base}.scales.tmp"
+exit "$fail"

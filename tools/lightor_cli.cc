@@ -20,6 +20,8 @@
 ///                   --slowest=8 --slo=all:50,session:80]
 ///   lightor curl    --port=N [--target=/healthz --method=GET --body=JSON
 ///                   --traceparent=00-...-...-01]
+///   lightor checkpoint --db=DIR [--keep-consumed]
+///   lightor inspect-manifest --db=DIR
 ///
 /// `gen` synthesizes a labelled corpus to disk (CSV traces); `train`
 /// fits the Highlight Initializer on the first N videos and saves the
@@ -77,7 +79,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: lightor <gen|train|detect|eval|extract|serve|stream|"
-               "serve-http|loadgen|curl> [--flags]\n"
+               "serve-http|loadgen|curl|checkpoint|inspect-manifest> "
+               "[--flags]\n"
                "run with a command and no flags to see its options\n"
                "global flags: --log-level=debug|info|warning|error\n"
                "              --metrics-out=FILE (Prometheus text)\n"
@@ -330,8 +333,9 @@ int CmdServe(const common::Flags& flags) {
   popts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   const sim::Platform platform(popts);
 
-  auto db = storage::Database::Open(db_dir);
-  if (!db.ok()) return Fail(db.status());
+  auto opened = storage::DB::Open(storage::OpenOptions(db_dir));
+  if (!opened.ok()) return Fail(opened.status());
+  auto db = std::move(opened.value().db);
 
   // Train on an out-of-platform corpus video, as in deployment.
   const auto corpus =
@@ -349,7 +353,7 @@ int CmdServe(const common::Flags& flags) {
 
   serving::ServerOptions sopts;
   sopts.platform = serving::Borrow(&platform);
-  sopts.db = serving::Borrow(db.value().get());
+  sopts.db = serving::Borrow(db.get());
   sopts.lightor = serving::Borrow(&lightor);
   sopts.top_k = lopts.top_k;
   sopts.num_workers = static_cast<size_t>(flags.GetInt("workers", 2));
@@ -396,7 +400,7 @@ int CmdServe(const common::Flags& flags) {
               static_cast<unsigned long long>(session_id));
   for (int v = 0; v < visits && v < static_cast<int>(ids.size()); ++v) {
     const std::string& video_id = ids[static_cast<size_t>(v)];
-    const auto recs = db.value()->highlights().GetLatest(video_id);
+    const auto recs = db->highlights().GetLatest(video_id);
     for (const auto& rec : recs) {
       std::printf("  %s #%d [%s .. %s] iteration %d%s\n", video_id.c_str(),
                   rec.dot_index, common::FormatTimestamp(rec.start).c_str(),
@@ -425,8 +429,9 @@ int CmdStream(const common::Flags& flags) {
   popts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   const sim::Platform platform(popts);
 
-  auto db = storage::Database::Open(db_dir);
-  if (!db.ok()) return Fail(db.status());
+  auto opened = storage::DB::Open(storage::OpenOptions(db_dir));
+  if (!opened.ok()) return Fail(opened.status());
+  auto db = std::move(opened.value().db);
 
   // Train on an out-of-platform corpus video, as in deployment.
   const auto corpus =
@@ -444,7 +449,7 @@ int CmdStream(const common::Flags& flags) {
 
   serving::ServerOptions sopts;
   sopts.platform = serving::Borrow(&platform);
-  sopts.db = serving::Borrow(db.value().get());
+  sopts.db = serving::Borrow(db.get());
   sopts.lightor = serving::Borrow(&lightor);
   sopts.top_k = lopts.top_k;
   sopts.num_shards = static_cast<size_t>(flags.GetInt("shards", 16));
@@ -534,6 +539,8 @@ struct ServingStack {
   std::unique_ptr<storage::Database> db;
   std::unique_ptr<core::Lightor> lightor;
   std::unique_ptr<serving::HighlightServer> server;
+  /// What opening `db` recovered; fed to HighlightServer::Bootstrap.
+  storage::RecoveryStats recovery;
 };
 
 common::Result<ServingStack> MakeServingStack(const common::Flags& flags,
@@ -548,7 +555,10 @@ common::Result<ServingStack> MakeServingStack(const common::Flags& flags,
   popts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   stack.platform = std::make_unique<sim::Platform>(popts);
 
-  LIGHTOR_ASSIGN_OR_RETURN(stack.db, storage::Database::Open(db_dir));
+  LIGHTOR_ASSIGN_OR_RETURN(auto opened,
+                           storage::DB::Open(storage::OpenOptions(db_dir)));
+  stack.db = std::move(opened.db);
+  stack.recovery = opened.stats;
 
   // Train on an out-of-platform corpus video, as in deployment.
   const auto corpus =
@@ -575,8 +585,13 @@ common::Result<ServingStack> MakeServingStack(const common::Flags& flags,
   sopts.num_shards = static_cast<size_t>(flags.GetInt("shards", 16));
   sopts.refine_batch_sessions = refine_batch;
   sopts.batched_session_flush = batched_flush;
+  sopts.checkpoint_every_sessions =
+      static_cast<size_t>(flags.GetInt("checkpoint-sessions", 0));
+  sopts.checkpoint_interval_seconds =
+      flags.GetDouble("checkpoint-interval", 0.0);
   LIGHTOR_ASSIGN_OR_RETURN(stack.server,
                            serving::HighlightServer::Create(sopts));
+  stack.server->Bootstrap(stack.recovery);
   return stack;
 }
 
@@ -603,7 +618,9 @@ int CmdServeHttp(const common::Flags& flags) {
                  "            --shards=16 --batch=8 --net-workers=4 "
                  "--max-in-flight=64\n"
                  "            --deadline=10 --idle-timeout=60 --poll "
-                 "--batched-flush=true]\n");
+                 "--batched-flush=true\n"
+                 "            --checkpoint-sessions=0 "
+                 "--checkpoint-interval=0]\n");
     return 2;
   }
   auto stack = MakeServingStack(
@@ -778,6 +795,71 @@ int CmdLoadgen(const common::Flags& flags) {
   return code;
 }
 
+int CmdCheckpoint(const common::Flags& flags) {
+  const std::string db_dir = flags.GetString("db");
+  if (db_dir.empty()) {
+    std::fprintf(stderr,
+                 "checkpoint: --db=DIR required [--keep-consumed]\n"
+                 "snapshots live state into a checkpoint file, rotates the "
+                 "logs, and\nprints the resulting CheckpointStats\n");
+    return 2;
+  }
+  storage::OpenOptions options;
+  options.directory = db_dir;
+  options.checkpoint.drop_consumed_interactions =
+      !flags.GetBool("keep-consumed", false);
+  auto opened = storage::DB::Open(options);
+  if (!opened.ok()) return Fail(opened.status());
+  auto& db = opened.value().db;
+  std::printf("opened %s: checkpoint gen %llu (lsn %llu), replayed %zu "
+              "records in %.3fs\n",
+              db_dir.c_str(),
+              static_cast<unsigned long long>(
+                  opened.value().stats.checkpoint_gen),
+              static_cast<unsigned long long>(
+                  opened.value().stats.checkpoint_lsn),
+              opened.value().stats.records_replayed,
+              opened.value().stats.wall_seconds);
+  auto stats = db->Checkpoint();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("checkpoint gen %llu at lsn %llu: %zu records, %llu bytes; "
+              "truncated %llu log bytes in %.3fs\n",
+              static_cast<unsigned long long>(stats.value().gen),
+              static_cast<unsigned long long>(stats.value().lsn),
+              stats.value().records_written,
+              static_cast<unsigned long long>(stats.value().checkpoint_bytes),
+              static_cast<unsigned long long>(
+                  stats.value().log_bytes_truncated),
+              stats.value().wall_seconds);
+  return 0;
+}
+
+int CmdInspectManifest(const common::Flags& flags) {
+  const std::string db_dir = flags.GetString("db");
+  if (db_dir.empty()) {
+    std::fprintf(stderr,
+                 "inspect-manifest: --db=DIR required\nprints the MANIFEST "
+                 "(generations + checkpoint LSN) without opening the "
+                 "database\n");
+    return 2;
+  }
+  auto manifest = storage::ReadManifest(storage::Env::Default(), db_dir);
+  if (!manifest.ok()) return Fail(manifest.status());
+  if (!manifest.value().has_value()) {
+    std::printf("%s: no MANIFEST (legacy single-generation layout)\n",
+                db_dir.c_str());
+    return 0;
+  }
+  const storage::Manifest& m = *manifest.value();
+  std::printf("%s:\n  log_gen        %llu\n  checkpoint_gen %llu%s\n"
+              "  checkpoint_lsn %llu\n",
+              db_dir.c_str(), static_cast<unsigned long long>(m.log_gen),
+              static_cast<unsigned long long>(m.checkpoint_gen),
+              m.checkpoint_gen == 0 ? " (no checkpoint)" : "",
+              static_cast<unsigned long long>(m.checkpoint_lsn));
+  return 0;
+}
+
 int CmdCurl(const common::Flags& flags) {
   if (!flags.Has("port")) {
     std::fprintf(stderr,
@@ -837,6 +919,10 @@ int main(int argc, char** argv) {
     code = CmdLoadgen(flags);
   } else if (command == "curl") {
     code = CmdCurl(flags);
+  } else if (command == "checkpoint") {
+    code = CmdCheckpoint(flags);
+  } else if (command == "inspect-manifest") {
+    code = CmdInspectManifest(flags);
   } else {
     return Usage();
   }

@@ -102,8 +102,9 @@ int main(int argc, char** argv) {
        ("lightor_obs_dump_" + std::to_string(popts.seed)))
           .string();
   std::filesystem::remove_all(db_dir);
-  auto db = storage::Database::Open(db_dir);
-  if (!db.ok()) return Fail(db.status());
+  auto opened = storage::DB::Open(storage::OpenOptions(db_dir));
+  if (!opened.ok()) return Fail(opened.status());
+  auto db = std::move(opened.value().db);
 
   // Train on an out-of-platform corpus video, as in deployment.
   const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1,
@@ -125,7 +126,7 @@ int main(int argc, char** argv) {
   // up (shard contention, refine latency, trigger=explicit / drain).
   serving::ServerOptions sopts;
   sopts.platform = serving::Borrow(&platform);
-  sopts.db = serving::Borrow(db.value().get());
+  sopts.db = serving::Borrow(db.get());
   sopts.lightor = serving::Borrow(&lightor);
   sopts.top_k = top_k;
   sopts.refine_batch_sessions = 0;
@@ -138,7 +139,7 @@ int main(int argc, char** argv) {
 
     // Offline crawl of the most popular channel: later visits to its
     // videos hit the chat cache, visits elsewhere miss it.
-    storage::Crawler crawler(&platform, db.value().get());
+    storage::Crawler crawler(&platform, db.get());
     if (auto n = crawler.CrawlChannel(platform.channels()[0].name, 2);
         !n.ok()) {
       return Fail(n.status());
