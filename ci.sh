@@ -49,6 +49,14 @@ done
 "$BUILD_DIR"/tools/lightor curl --port="$port" --target=/metrics |
     grep -q lightor_net_requests_total || {
   echo "http smoke: /metrics is missing net counters" >&2; exit 1; }
+# Ingest SLO gate: a short mixed burst (ingest on by default) whose
+# ingest p99 must stay under a generous loopback bound; a violated
+# target makes loadgen itself exit non-zero.
+"$BUILD_DIR"/tools/lightor loadgen --port="$port" --threads=4 \
+    --requests=32 --refine-w=0 --slo=ingest:250 \
+    > "$smoke_dir/loadgen.log" 2>&1 || {
+  echo "http smoke: loadgen ingest p99 SLO violated" >&2
+  cat "$smoke_dir/loadgen.log" >&2; exit 1; }
 
 echo "== trace smoke: traceparent -> /debug/requests + /debug/trace =="
 trace_id=4bf92f3577b34da6a3ce929d0e0e4736
@@ -148,6 +156,24 @@ sh tools/check_bench_regression.sh "$bench_tmp/BENCH_recovery.json" \
     BENCH_recovery.json
 rm -rf "$bench_tmp"
 
+echo "== bench smoke: zero-copy hot path trajectory =="
+# BENCH_core.json / BENCH_net.json freeze the interned-token hot path's
+# throughput trajectory. CI re-runs the frozen suite in quick mode —
+# which also exercises the in-binary differential gates against the
+# legacy string path — and flags a throughput drop. Quick mode is noisy,
+# hence the looser 40% gate here; the 10% default applies when comparing
+# full runs (refresh: run hotpath_bench without --quick and commit both
+# files).
+hp_tmp=$(mktemp -d)
+"$BUILD_DIR"/bench/hotpath_bench --quick \
+    --out-core="$hp_tmp/BENCH_core.json" \
+    --out-net="$hp_tmp/BENCH_net.json" > /dev/null
+sh tools/check_bench_regression.sh "$hp_tmp/BENCH_core.json" \
+    BENCH_core.json 40
+sh tools/check_bench_regression.sh "$hp_tmp/BENCH_net.json" \
+    BENCH_net.json 40
+rm -rf "$hp_tmp"
+
 # The concurrent serving layer, the net front-end, and the obs registry
 # they instrument are the multi-threaded parts of the tree: build just
 # their tests with -fsanitize=thread and run them under TSan.
@@ -159,9 +185,10 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
       serving_stream_test serving_stream_stress_test \
       serving_recovery_test \
       net_server_test net_loadgen_test net_trace_test \
-      obs_metrics_test obs_trace_test obs_trace_context_test
+      obs_metrics_test obs_trace_test obs_trace_context_test \
+      hotpath_diff_test
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
-      -R '^(serving_|net_server|net_loadgen|net_trace|obs_)'
+      -R '^(serving_|net_server|net_loadgen|net_trace|obs_|hotpath_diff)'
 fi
 
 # The storage engine and the fault-injection suite do the pointer- and
@@ -175,8 +202,8 @@ if [ "${SKIP_ASAN:-0}" != "1" ]; then
       storage_serialize_test storage_log_test storage_stores_test \
       storage_database_test storage_compaction_test \
       storage_webservice_test storage_faults_test storage_checkpoint_test \
-      serving_recovery_test property_test
+      serving_recovery_test property_test hotpath_diff_test
   ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure \
-      -R '^(storage_|serving_recovery|property)'
+      -R '^(storage_|serving_recovery|property|hotpath_diff)'
 fi
 echo "ci: OK"

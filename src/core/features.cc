@@ -8,6 +8,7 @@
 #include "common/stats.h"
 #include "text/embedding.h"
 #include "text/similarity.h"
+#include "text/streaming_similarity.h"
 #include "text/tfidf.h"
 #include "text/vectorizer.h"
 
@@ -84,15 +85,57 @@ WindowFeatures WindowFeaturizer::Compute(const std::vector<Message>& messages,
   return f;
 }
 
+text::TokenizedMessages WindowFeaturizer::TokenizeAll(
+    const std::vector<Message>& messages) const {
+  const text::Tokenizer tokenizer(tokenizer_options_);
+  text::TokenizedMessages tokenized;
+  for (const Message& m : messages) tokenized.Add(tokenizer, m.text);
+  return tokenized;
+}
+
+WindowFeatures WindowFeaturizer::ComputeFromIds(
+    const text::TokenizedMessages& tokenized,
+    const SlidingWindow& window) const {
+  assert(similarity_backend_ == SimilarityBackend::kBagOfWords);
+  WindowFeatures f;
+  const size_t n = window.message_count();
+  f.message_number = static_cast<double>(n);
+  if (n == 0) return f;
+  // Same arrival-order sum of per-message whitespace word counts as the
+  // string path, so the mean is the same double.
+  double total_words = 0.0;
+  for (size_t i = window.first_message; i < window.last_message; ++i) {
+    total_words += tokenized.word_count(i);
+  }
+  f.message_length = total_words / static_cast<double>(n);
+  if (n < 2) return f;
+  text::StreamingSetSimilarity similarity;
+  for (size_t i = window.first_message; i < window.last_message; ++i) {
+    similarity.AddMessage(tokenized.ids(i));
+  }
+  f.message_similarity = similarity.Value();
+  return f;
+}
+
 std::vector<WindowFeatures> WindowFeaturizer::ComputeAll(
     const std::vector<Message>& messages,
     const std::vector<SlidingWindow>& windows) const {
-  // Windows are independent (Compute only reads `messages`), so fan out
-  // across a pool; per-index output slots keep the result deterministic.
+  // Windows are independent, so fan out across a pool; per-index output
+  // slots keep the result deterministic. For the bag-of-words backend the
+  // whole log is tokenized and interned once up front and the workers
+  // share the read-only id arrays; other backends re-tokenize per window
+  // through the legacy string path.
   std::vector<WindowFeatures> out(windows.size());
-  common::ParallelFor(windows.size(), [&](size_t i) {
-    out[i] = Compute(messages, windows[i]);
-  });
+  if (similarity_backend_ == SimilarityBackend::kBagOfWords) {
+    const text::TokenizedMessages tokenized = TokenizeAll(messages);
+    common::ParallelFor(windows.size(), [&](size_t i) {
+      out[i] = ComputeFromIds(tokenized, windows[i]);
+    });
+  } else {
+    common::ParallelFor(windows.size(), [&](size_t i) {
+      out[i] = Compute(messages, windows[i]);
+    });
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "core/message.h"
 #include "core/window.h"
 #include "ml/scaler.h"
+#include "text/token_ids.h"
 #include "text/tokenizer.h"
 
 namespace lightor::core {
@@ -50,11 +51,29 @@ class WindowFeaturizer {
                             SimilarityBackend similarity_backend =
                                 SimilarityBackend::kBagOfWords);
 
-  /// Features of one window over its message range.
+  /// Features of one window over its message range. Legacy string path:
+  /// re-tokenizes the window's messages on every call. Kept as the
+  /// reference implementation for the id path's differential tests and as
+  /// the fallback for non-BoW similarity backends.
   WindowFeatures Compute(const std::vector<Message>& messages,
                          const SlidingWindow& window) const;
 
-  /// Features of every window.
+  /// Tokenizes and interns every message exactly once into a per-video
+  /// vocabulary. Windows overlap (stride < size), so the legacy path
+  /// tokenized most messages at least twice — this is the shared input
+  /// the id-path Compute consumes instead.
+  text::TokenizedMessages TokenizeAll(
+      const std::vector<Message>& messages) const;
+
+  /// Features of one window over pre-tokenized ids. Bit-exact with the
+  /// string Compute for the bag-of-words backend (window-local first-seen
+  /// id order and every reduction order are preserved); requires
+  /// similarity_backend() == kBagOfWords.
+  WindowFeatures ComputeFromIds(const text::TokenizedMessages& tokenized,
+                                const SlidingWindow& window) const;
+
+  /// Features of every window. Uses the interned id path for the
+  /// bag-of-words backend and the legacy string path otherwise.
   std::vector<WindowFeatures> ComputeAll(
       const std::vector<Message>& messages,
       const std::vector<SlidingWindow>& windows) const;

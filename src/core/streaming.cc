@@ -108,16 +108,22 @@ common::Status StreamingInitializer::Ingest(const Message& message) {
   }
   AdvanceWindows(message.timestamp);
   PendingMessage pm;
-  pm.word_count = static_cast<double>(tokenizer_.CountWords(message.text));
   if (!bow_backend_) pm.text = message.text;
   if (bow_backend_ && !open_.empty()) {
-    const std::vector<std::string> tokens = tokenizer_.Tokenize(message.text);
+    // One pass: whitespace word count and interned ids together. The ids
+    // land in a reused scratch buffer and every open window consumes the
+    // same span — no per-window tokenization, hashing, or string copies.
+    token_scratch_.clear();
+    pm.word_count = static_cast<double>(
+        tokenizer_.TokenizeToIds(message.text, vocabulary_, token_scratch_));
+    const text::TokenSpan tokens(token_scratch_);
     for (auto& open : open_) {
       ++open.message_count;
       open.total_words += pm.word_count;
       open.similarity.AddMessage(tokens);
     }
   } else {
+    pm.word_count = static_cast<double>(tokenizer_.CountWords(message.text));
     for (auto& open : open_) {
       ++open.message_count;
       open.total_words += pm.word_count;

@@ -10,7 +10,9 @@
 #include "core/initializer.h"
 #include "core/message.h"
 #include "text/streaming_similarity.h"
+#include "text/token_ids.h"
 #include "text/tokenizer.h"
+#include "text/vocabulary.h"
 
 namespace lightor::core {
 
@@ -131,6 +133,13 @@ class StreamingInitializer {
   const HighlightInitializer* initializer_;
   text::Tokenizer tokenizer_;
   bool bow_backend_ = true;
+
+  /// Per-video vocabulary: each message is tokenized and interned exactly
+  /// once; open windows consume TokenSpan views of the shared id scratch,
+  /// so the per-message cost is one tokenizer pass regardless of how many
+  /// windows overlap the message.
+  text::Vocabulary vocabulary_;
+  std::vector<uint32_t> token_scratch_;
 
   double next_start_ = 0.0;  ///< next candidate start (+= stride, as batch)
   std::deque<OpenWindow> open_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "net/json.h"
+#include "net/json_arena.h"
 
 namespace lightor::net {
 
@@ -14,34 +15,40 @@ common::Status FieldError(std::string_view key, std::string_view what) {
                                          std::string(what));
 }
 
-common::Result<const Json*> Require(const Json& obj, std::string_view key,
-                                    Json::Type type) {
-  const Json* field = obj.Find(key);
-  if (field == nullptr) return FieldError(key, "is missing");
-  if (field->type() != type) return FieldError(key, "has the wrong type");
+// Decoders run on the arena document (JsonDoc): field payloads stay
+// string_views into the request body until the moment they are assigned
+// into the decoded struct — the one materialization a message gets on its
+// way from wire bytes to the engines.
+
+common::Result<JsonDoc::Ref> Require(JsonDoc::Ref obj, std::string_view key,
+                                     JsonDoc::Type type) {
+  const JsonDoc::Ref field = obj.Find(key);
+  if (!field) return FieldError(key, "is missing");
+  if (field.type() != type) return FieldError(key, "has the wrong type");
   return field;
 }
 
-common::Result<std::string> GetString(const Json& obj, std::string_view key) {
-  LIGHTOR_ASSIGN_OR_RETURN(const Json* field,
-                           Require(obj, key, Json::Type::kString));
-  return field->AsString();
+common::Result<std::string> GetString(JsonDoc::Ref obj,
+                                      std::string_view key) {
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc::Ref field,
+                           Require(obj, key, JsonDoc::Type::kString));
+  return std::string(field.AsString());
 }
 
-common::Result<double> GetNumber(const Json& obj, std::string_view key) {
-  LIGHTOR_ASSIGN_OR_RETURN(const Json* field,
-                           Require(obj, key, Json::Type::kNumber));
-  return field->AsNumber();
+common::Result<double> GetNumber(JsonDoc::Ref obj, std::string_view key) {
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc::Ref field,
+                           Require(obj, key, JsonDoc::Type::kNumber));
+  return field.AsNumber();
 }
 
-common::Result<bool> GetBool(const Json& obj, std::string_view key) {
-  LIGHTOR_ASSIGN_OR_RETURN(const Json* field,
-                           Require(obj, key, Json::Type::kBool));
-  return field->AsBool();
+common::Result<bool> GetBool(JsonDoc::Ref obj, std::string_view key) {
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc::Ref field,
+                           Require(obj, key, JsonDoc::Type::kBool));
+  return field.AsBool();
 }
 
 /// Integral field: a JSON number with no fractional part.
-common::Result<int64_t> GetInt(const Json& obj, std::string_view key) {
+common::Result<int64_t> GetInt(JsonDoc::Ref obj, std::string_view key) {
   LIGHTOR_ASSIGN_OR_RETURN(double v, GetNumber(obj, key));
   if (v != std::floor(v) || std::abs(v) > 9.2e18) {
     return FieldError(key, "is not an integer");
@@ -49,13 +56,13 @@ common::Result<int64_t> GetInt(const Json& obj, std::string_view key) {
   return static_cast<int64_t>(v);
 }
 
-common::Result<Json> ParseObject(std::string_view json) {
-  LIGHTOR_ASSIGN_OR_RETURN(Json value, Json::Parse(json));
-  if (!value.is_object()) {
+common::Result<JsonDoc> ParseObject(std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, JsonDoc::Parse(json));
+  if (!doc.root().is_object()) {
     return common::Status::InvalidArgument("codec: top-level JSON object "
                                            "expected");
   }
-  return value;
+  return doc;
 }
 
 const char* InteractionTypeName(sim::InteractionType type) {
@@ -95,7 +102,7 @@ Json HighlightToJson(const storage::HighlightRecord& rec) {
   return obj;
 }
 
-common::Result<storage::HighlightRecord> HighlightFromJson(const Json& obj) {
+common::Result<storage::HighlightRecord> HighlightFromJson(JsonDoc::Ref obj) {
   if (!obj.is_object()) {
     return common::Status::InvalidArgument("codec: highlight must be an "
                                            "object");
@@ -121,12 +128,13 @@ Json HighlightsToJson(const std::vector<storage::HighlightRecord>& records) {
 }
 
 common::Result<std::vector<storage::HighlightRecord>> HighlightsFromJson(
-    const Json& obj) {
-  LIGHTOR_ASSIGN_OR_RETURN(const Json* arr,
-                           Require(obj, "highlights", Json::Type::kArray));
+    JsonDoc::Ref obj) {
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc::Ref arr,
+                           Require(obj, "highlights", JsonDoc::Type::kArray));
   std::vector<storage::HighlightRecord> records;
-  records.reserve(arr->AsArray().size());
-  for (const Json& item : arr->AsArray()) {
+  records.reserve(arr.size());
+  for (JsonDoc::Ref item = arr.first_child(); item;
+       item = item.next_sibling()) {
     LIGHTOR_ASSIGN_OR_RETURN(storage::HighlightRecord rec,
                              HighlightFromJson(item));
     records.push_back(std::move(rec));
@@ -145,12 +153,13 @@ std::string EncodeJson(const serving::PageVisitRequest& v) {
 
 common::Result<serving::PageVisitRequest> DecodePageVisitRequest(
     std::string_view json) {
-  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
+  const JsonDoc::Ref obj = doc.root();
   serving::PageVisitRequest req;
   LIGHTOR_ASSIGN_OR_RETURN(req.video_id, GetString(obj, "video_id"));
-  if (const Json* user = obj.Find("user")) {
-    if (!user->is_string()) return FieldError("user", "has the wrong type");
-    req.user = user->AsString();
+  if (const JsonDoc::Ref user = obj.Find("user")) {
+    if (!user.is_string()) return FieldError("user", "has the wrong type");
+    req.user = std::string(user.AsString());
   }
   return req;
 }
@@ -167,7 +176,8 @@ std::string EncodeJson(const serving::PageVisitResponse& v) {
 
 common::Result<serving::PageVisitResponse> DecodePageVisitResponse(
     std::string_view json) {
-  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
+  const JsonDoc::Ref obj = doc.root();
   serving::PageVisitResponse resp;
   LIGHTOR_ASSIGN_OR_RETURN(resp.highlights, HighlightsFromJson(obj));
   LIGHTOR_ASSIGN_OR_RETURN(resp.first_visit, GetBool(obj, "first_visit"));
@@ -198,22 +208,26 @@ std::string EncodeJson(const serving::LogSessionRequest& v) {
 
 common::Result<serving::LogSessionRequest> DecodeLogSessionRequest(
     std::string_view json) {
-  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
+  const JsonDoc::Ref obj = doc.root();
   serving::LogSessionRequest req;
   LIGHTOR_ASSIGN_OR_RETURN(req.video_id, GetString(obj, "video_id"));
   LIGHTOR_ASSIGN_OR_RETURN(req.user, GetString(obj, "user"));
   LIGHTOR_ASSIGN_OR_RETURN(int64_t session_id, GetInt(obj, "session_id"));
   if (session_id < 0) return FieldError("session_id", "is negative");
   req.session_id = static_cast<uint64_t>(session_id);
-  LIGHTOR_ASSIGN_OR_RETURN(const Json* events,
-                           Require(obj, "events", Json::Type::kArray));
-  req.events.reserve(events->AsArray().size());
-  for (const Json& item : events->AsArray()) {
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc::Ref events,
+                           Require(obj, "events", JsonDoc::Type::kArray));
+  req.events.reserve(events.size());
+  for (JsonDoc::Ref item = events.first_child(); item;
+       item = item.next_sibling()) {
     if (!item.is_object()) return FieldError("events", "holds a non-object");
     sim::InteractionEvent event;
     LIGHTOR_ASSIGN_OR_RETURN(event.wall_time, GetNumber(item, "wall_time"));
-    LIGHTOR_ASSIGN_OR_RETURN(std::string type, GetString(item, "type"));
-    LIGHTOR_ASSIGN_OR_RETURN(event.type, InteractionTypeFromName(type));
+    LIGHTOR_ASSIGN_OR_RETURN(JsonDoc::Ref type,
+                             Require(item, "type", JsonDoc::Type::kString));
+    LIGHTOR_ASSIGN_OR_RETURN(event.type,
+                             InteractionTypeFromName(type.AsString()));
     LIGHTOR_ASSIGN_OR_RETURN(event.position, GetNumber(item, "position"));
     LIGHTOR_ASSIGN_OR_RETURN(event.target, GetNumber(item, "target"));
     req.events.push_back(event);
@@ -238,16 +252,21 @@ std::string EncodeJson(const serving::IngestChatRequest& v) {
 
 common::Result<serving::IngestChatRequest> DecodeIngestChatRequest(
     std::string_view json) {
-  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
+  const JsonDoc::Ref obj = doc.root();
   serving::IngestChatRequest req;
   LIGHTOR_ASSIGN_OR_RETURN(req.video_id, GetString(obj, "video_id"));
-  LIGHTOR_ASSIGN_OR_RETURN(const Json* messages,
-                           Require(obj, "messages", Json::Type::kArray));
-  req.messages.reserve(messages->AsArray().size());
-  for (const Json& item : messages->AsArray()) {
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc::Ref messages,
+                           Require(obj, "messages", JsonDoc::Type::kArray));
+  req.messages.reserve(messages.size());
+  for (JsonDoc::Ref item = messages.first_child(); item;
+       item = item.next_sibling()) {
     if (!item.is_object()) {
       return FieldError("messages", "holds a non-object");
     }
+    // The one materialization on the ingest path: wire bytes flow as
+    // views through parser and doc, and become owned strings only here,
+    // directly inside the core::Message handed to the engines.
     core::Message message;
     LIGHTOR_ASSIGN_OR_RETURN(message.timestamp, GetNumber(item, "timestamp"));
     LIGHTOR_ASSIGN_OR_RETURN(message.user, GetString(item, "user"));
@@ -269,7 +288,8 @@ std::string EncodeJson(const serving::IngestChatResponse& v) {
 
 common::Result<serving::IngestChatResponse> DecodeIngestChatResponse(
     std::string_view json) {
-  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
+  const JsonDoc::Ref obj = doc.root();
   serving::IngestChatResponse resp;
   LIGHTOR_ASSIGN_OR_RETURN(int64_t accepted, GetInt(obj, "accepted"));
   resp.accepted = static_cast<size_t>(accepted);
@@ -294,14 +314,15 @@ std::string EncodeJson(const serving::FinalizeStreamRequest& v) {
 
 common::Result<serving::FinalizeStreamRequest> DecodeFinalizeStreamRequest(
     std::string_view json) {
-  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
+  const JsonDoc::Ref obj = doc.root();
   serving::FinalizeStreamRequest req;
   LIGHTOR_ASSIGN_OR_RETURN(req.video_id, GetString(obj, "video_id"));
-  if (const Json* length = obj.Find("video_length")) {
-    if (!length->is_number()) {
+  if (const JsonDoc::Ref length = obj.Find("video_length")) {
+    if (!length.is_number()) {
       return FieldError("video_length", "has the wrong type");
     }
-    req.video_length = length->AsNumber();
+    req.video_length = length.AsNumber();
   }
   return req;
 }
@@ -317,7 +338,8 @@ std::string EncodeJson(const serving::FinalizeStreamResponse& v) {
 
 common::Result<serving::FinalizeStreamResponse> DecodeFinalizeStreamResponse(
     std::string_view json) {
-  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
+  const JsonDoc::Ref obj = doc.root();
   serving::FinalizeStreamResponse resp;
   LIGHTOR_ASSIGN_OR_RETURN(resp.highlights, HighlightsFromJson(obj));
   LIGHTOR_ASSIGN_OR_RETURN(int64_t version,
@@ -339,7 +361,8 @@ std::string EncodeJson(const serving::GetHighlightsResponse& v) {
 
 common::Result<serving::GetHighlightsResponse> DecodeGetHighlightsResponse(
     std::string_view json) {
-  LIGHTOR_ASSIGN_OR_RETURN(Json obj, ParseObject(json));
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
+  const JsonDoc::Ref obj = doc.root();
   serving::GetHighlightsResponse resp;
   LIGHTOR_ASSIGN_OR_RETURN(resp.highlights, HighlightsFromJson(obj));
   LIGHTOR_ASSIGN_OR_RETURN(int64_t version,

@@ -38,11 +38,12 @@ std::string_view TrimOws(std::string_view s) {
   return s;
 }
 
-const std::string* FindIn(const HeaderList& headers, std::string_view name) {
+template <typename List>
+auto* FindIn(const List& headers, std::string_view name) {
   for (const auto& [k, v] : headers) {
     if (EqualsIgnoreCase(k, name)) return &v;
   }
-  return nullptr;
+  return static_cast<decltype(&headers.front().second)>(nullptr);
 }
 
 /// Parses the `name: value` lines of `head` (which excludes the start
@@ -103,7 +104,7 @@ bool ParseContentLength(std::string_view value, size_t cap, size_t* out,
 
 }  // namespace
 
-const std::string* HttpRequest::FindHeader(std::string_view name) const {
+const std::string_view* HttpRequest::FindHeader(std::string_view name) const {
   return FindIn(headers, name);
 }
 
@@ -126,7 +127,7 @@ std::string HttpRequest::QueryParam(std::string_view key) const {
 }
 
 bool HttpRequest::keep_alive() const {
-  const std::string* connection = FindHeader("connection");
+  const std::string_view* connection = FindHeader("connection");
   if (connection != nullptr) {
     if (EqualsIgnoreCase(*connection, "close")) return false;
     if (EqualsIgnoreCase(*connection, "keep-alive")) return true;
@@ -229,28 +230,44 @@ RequestParser::State RequestParser::Fail(int status, std::string message) {
   return State::kError;
 }
 
+void RequestParser::MaybeCompact() {
+  // Never move bytes while a parsed head's offsets are in flight. Outside
+  // that window the consumed prefix is dropped in one go — usually the
+  // tail is empty (no pipelining) and the erase is a plain size reset, so
+  // the per-request memmove the old parser paid is gone entirely.
+  if (!have_head_ && pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+void RequestParser::Append(std::string_view bytes) {
+  MaybeCompact();
+  buffer_.append(bytes.data(), bytes.size());
+}
+
 RequestParser::State RequestParser::Parse() {
   if (failed_) return State::kError;
+  MaybeCompact();
 
   if (!have_head_) {
-    const size_t head_end = buffer_.find("\r\n\r\n");
+    const size_t head_end = buffer_.find("\r\n\r\n", pos_);
     if (head_end == std::string::npos) {
-      if (buffer_.size() > limits_.max_header_bytes) {
+      if (buffer_.size() - pos_ > limits_.max_header_bytes) {
         return Fail(431, "header block exceeds " +
                              std::to_string(limits_.max_header_bytes) +
                              " bytes");
       }
       return State::kNeedMore;
     }
-    const size_t head_len = head_end + 4;
+    const size_t head_len = head_end + 4 - pos_;
     if (head_len > limits_.max_header_bytes) {
       return Fail(431, "header block exceeds " +
                            std::to_string(limits_.max_header_bytes) +
                            " bytes");
     }
 
-    request_ = HttpRequest{};
-    const std::string_view head(buffer_.data(), head_end);
+    const std::string_view head(buffer_.data() + pos_, head_end - pos_);
     const size_t line_end = head.find("\r\n");
     const std::string_view start_line =
         line_end == std::string_view::npos ? head : head.substr(0, line_end);
@@ -273,46 +290,82 @@ RequestParser::State RequestParser::Parse() {
       if (c < 'A' || c > 'Z') return Fail(400, "malformed method");
     }
     if (version == "HTTP/1.1") {
-      request_.version_minor = 1;
+      version_minor_ = 1;
     } else if (version == "HTTP/1.0") {
-      request_.version_minor = 0;
+      version_minor_ = 0;
     } else {
       return Fail(505, "unsupported HTTP version");
     }
-    request_.method = std::string(method);
-    request_.target = std::string(target);
+    // Field positions are staged as buffer offsets (the body may still be
+    // in flight and later Appends may reallocate); views materialize once
+    // the whole request is present.
+    const auto range_of = [&](std::string_view part) {
+      return Range{static_cast<uint32_t>(part.data() - buffer_.data()),
+                   static_cast<uint32_t>(part.size())};
+    };
+    method_r_ = range_of(method);
+    target_r_ = range_of(target);
     const size_t qmark = target.find('?');
     if (qmark == std::string_view::npos) {
-      request_.path = std::string(target);
+      path_r_ = range_of(target);
+      query_r_ = Range{};
     } else {
-      request_.path = std::string(target.substr(0, qmark));
-      request_.query = std::string(target.substr(qmark + 1));
+      path_r_ = range_of(target.substr(0, qmark));
+      query_r_ = range_of(target.substr(qmark + 1));
     }
 
-    const std::string_view header_lines =
-        line_end == std::string_view::npos
-            ? std::string_view()
-            : head.substr(line_end + 2);
-    std::string error;
-    if (!ParseHeaderLines(header_lines, request_.headers, error)) {
-      return Fail(400, std::move(error));
+    // `name: value` header lines. Names are lowercased in place in the
+    // buffer (offsets don't move), values are OWS-trimmed ranges.
+    header_ranges_.clear();
+    std::string_view header_lines =
+        line_end == std::string_view::npos ? std::string_view()
+                                           : head.substr(line_end + 2);
+    size_t lpos = 0;
+    while (lpos < header_lines.size()) {
+      size_t eol = header_lines.find("\r\n", lpos);
+      if (eol == std::string_view::npos) eol = header_lines.size();
+      const std::string_view line = header_lines.substr(lpos, eol - lpos);
+      lpos = eol + 2;
+      if (line.empty()) continue;
+      if (line.front() == ' ' || line.front() == '\t') {
+        return Fail(400, "obsolete header line folding");
+      }
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        return Fail(400, "malformed header line");
+      }
+      const std::string_view name = line.substr(0, colon);
+      // RFC 7230: no whitespace between field name and colon.
+      if (name.back() == ' ' || name.back() == '\t') {
+        return Fail(400, "whitespace before header colon");
+      }
+      const Range name_r = range_of(name);
+      char* p = buffer_.data() + name_r.off;
+      for (uint32_t i = 0; i < name_r.len; ++i) {
+        p[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(p[i])));
+      }
+      header_ranges_.emplace_back(name_r, range_of(TrimOws(line.substr(colon + 1))));
     }
 
-    if (request_.FindHeader("transfer-encoding") != nullptr) {
-      return Fail(501, "transfer-encoding is not supported");
+    for (const auto& kv : header_ranges_) {
+      if (ViewOf(kv.first) == "transfer-encoding") {
+        return Fail(501, "transfer-encoding is not supported");
+      }
     }
     content_length_ = 0;
-    const std::string* first_length = nullptr;
-    for (const auto& [k, v] : request_.headers) {
-      if (k != "content-length") continue;
-      if (first_length != nullptr && *first_length != v) {
+    bool have_length = false;
+    Range first_length{};
+    for (const auto& [k, v] : header_ranges_) {
+      if (ViewOf(k) != "content-length") continue;
+      if (have_length && ViewOf(first_length) != ViewOf(v)) {
         return Fail(400, "conflicting content-length headers");
       }
-      first_length = &v;
+      first_length = v;
+      have_length = true;
     }
-    if (first_length != nullptr) {
+    if (have_length) {
       bool overflow = false;
-      if (!ParseContentLength(*first_length, limits_.max_body_bytes,
+      if (!ParseContentLength(ViewOf(first_length), limits_.max_body_bytes,
                               &content_length_, &overflow)) {
         return Fail(400, "malformed content-length");
       }
@@ -323,14 +376,23 @@ RequestParser::State RequestParser::Parse() {
       }
     }
 
-    buffer_.erase(0, head_len);
+    pos_ += head_len;
     have_head_ = true;
     pending_request_bytes_ = head_len;
   }
 
-  if (buffer_.size() < content_length_) return State::kNeedMore;
-  request_.body = buffer_.substr(0, content_length_);
-  buffer_.erase(0, content_length_);
+  if (buffer_.size() - pos_ < content_length_) return State::kNeedMore;
+  request_.method = ViewOf(method_r_);
+  request_.target = ViewOf(target_r_);
+  request_.path = ViewOf(path_r_);
+  request_.query = ViewOf(query_r_);
+  request_.version_minor = version_minor_;
+  request_.headers.clear();
+  for (const auto& [k, v] : header_ranges_) {
+    request_.headers.emplace_back(ViewOf(k), ViewOf(v));
+  }
+  request_.body = std::string_view(buffer_.data() + pos_, content_length_);
+  pos_ += content_length_;
   have_head_ = false;
   last_request_bytes_ = pending_request_bytes_ + content_length_;
   pending_request_bytes_ = 0;

@@ -2,6 +2,7 @@
 #define LIGHTOR_NET_HTTP_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -13,18 +14,26 @@ namespace lightor::net {
 /// case-insensitive) and order-preserving.
 using HeaderList = std::vector<std::pair<std::string, std::string>>;
 
-/// One parsed HTTP/1.x request.
+/// Request-side header list: zero-copy views into the connection's parse
+/// buffer. Names are lowercased in place by the parser.
+using HeaderViewList = std::vector<std::pair<std::string_view, std::string_view>>;
+
+/// One parsed HTTP/1.x request. All fields are views into the owning
+/// `RequestParser`'s buffer — nothing is copied off the wire. They remain
+/// valid until the parser's next `Append` or `Parse` call (the server's
+/// one-request-in-flight-per-connection invariant guarantees neither
+/// happens while a handler runs).
 struct HttpRequest {
-  std::string method;   ///< uppercase, e.g. "POST"
-  std::string target;   ///< raw request-target, e.g. "/metrics?format=json"
-  std::string path;     ///< target up to '?'
-  std::string query;    ///< after '?', empty when absent
-  int version_minor = 1;  ///< 0 for HTTP/1.0, 1 for HTTP/1.1
-  HeaderList headers;
-  std::string body;
+  std::string_view method;  ///< uppercase, e.g. "POST"
+  std::string_view target;  ///< raw request-target, e.g. "/metrics?format=json"
+  std::string_view path;    ///< target up to '?'
+  std::string_view query;   ///< after '?', empty when absent
+  int version_minor = 1;    ///< 0 for HTTP/1.0, 1 for HTTP/1.1
+  HeaderViewList headers;
+  std::string_view body;
 
   /// Case-insensitive header lookup; nullptr when absent.
-  const std::string* FindHeader(std::string_view name) const;
+  const std::string_view* FindHeader(std::string_view name) const;
   /// First value of `key` in the query string (percent-decoding is not
   /// applied — the wire schema never needs it); empty when absent.
   std::string QueryParam(std::string_view key) const;
@@ -59,12 +68,20 @@ std::string_view StatusReason(int status);
 /// Feed bytes with `Append` as they arrive — in any fragmentation the
 /// kernel produces, including one byte at a time — then call `Parse`
 /// until it stops returning `kReady`. `kReady` means `request()` holds a
-/// complete request whose bytes have been consumed from the buffer;
-/// pipelined requests arriving in one read are handed out one per
-/// `Parse` call. `kNeedMore` leaves the partial request buffered.
-/// `kError` is terminal: `error_status()` is the HTTP status to send
-/// (400 malformed, 413 body too large, 431 headers too large, 501
-/// unsupported transfer-encoding) before closing the connection.
+/// complete request; pipelined requests arriving in one read are handed
+/// out one per `Parse` call. `kNeedMore` leaves the partial request
+/// buffered. `kError` is terminal: `error_status()` is the HTTP status
+/// to send (400 malformed, 413 body too large, 431 headers too large,
+/// 501 unsupported transfer-encoding) before closing the connection.
+///
+/// Zero-copy contract: `request()`'s fields are string_views into the
+/// parser's internal buffer. Consumed requests are not memmoved out;
+/// instead a consume offset advances, and the buffer compacts lazily at
+/// the next `Append`/`Parse` when no partially parsed head is in flight.
+/// Views are therefore valid from `kReady` until the next `Append` or
+/// `Parse` call on this parser. While a head is parsed but its body is
+/// incomplete, field positions are tracked as offsets (not pointers), so
+/// intervening `Append`s may grow or reallocate the buffer freely.
 class RequestParser {
  public:
   struct Limits {
@@ -79,26 +96,39 @@ class RequestParser {
   RequestParser() = default;
   explicit RequestParser(Limits limits) : limits_(limits) {}
 
-  void Append(std::string_view bytes) { buffer_ += bytes; }
+  void Append(std::string_view bytes);
 
   State Parse();
 
   HttpRequest& request() { return request_; }
+  const HttpRequest& request() const { return request_; }
   int error_status() const { return error_status_; }
   const std::string& error() const { return error_; }
 
   /// Bytes buffered but not yet consumed (mid-request tail).
-  size_t buffered_bytes() const { return buffer_.size(); }
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
 
   /// Wire size (head + body bytes) of the request most recently
   /// returned via `kReady`; feeds the wide-event `bytes_in` field.
   size_t last_request_bytes() const { return last_request_bytes_; }
 
  private:
+  /// Byte range in `buffer_`; ranges survive buffer reallocation and are
+  /// only turned into views once the whole request is present.
+  struct Range {
+    uint32_t off = 0;
+    uint32_t len = 0;
+  };
+
   State Fail(int status, std::string message);
+  void MaybeCompact();
+  std::string_view ViewOf(Range r) const {
+    return std::string_view(buffer_.data() + r.off, r.len);
+  }
 
   Limits limits_;
   std::string buffer_;
+  size_t pos_ = 0;  ///< consume offset: buffer_[pos_..) is unparsed
   HttpRequest request_;
   int error_status_ = 0;
   std::string error_;
@@ -107,6 +137,11 @@ class RequestParser {
   size_t content_length_ = 0;  ///< declared body size of the open request
   size_t pending_request_bytes_ = 0;  ///< head bytes of the open request
   size_t last_request_bytes_ = 0;
+  // Offset-based staging of the open request's head (views materialize
+  // at kReady). The header vector's capacity is reused across requests.
+  Range method_r_, target_r_, path_r_, query_r_;
+  int version_minor_ = 1;
+  std::vector<std::pair<Range, Range>> header_ranges_;
 };
 
 /// Incremental HTTP/1.x response parser (for the blocking client).

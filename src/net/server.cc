@@ -60,8 +60,7 @@ void Router::Handle(std::string method, std::string path,
       Route{std::move(method), std::move(path), std::move(handler)});
 }
 
-const HttpHandler* Router::Find(const std::string& method,
-                                const std::string& path,
+const HttpHandler* Router::Find(std::string_view method, std::string_view path,
                                 int* error_status) const {
   bool path_known = false;
   for (const Route& route : routes_) {
@@ -73,7 +72,7 @@ const HttpHandler* Router::Find(const std::string& method,
   return nullptr;
 }
 
-const char* Router::RouteLabel(const std::string& path) const {
+const char* Router::RouteLabel(std::string_view path) const {
   for (const Route& route : routes_) {
     if (route.path == path) return route.path.c_str();
   }
@@ -294,6 +293,11 @@ struct HttpServer::Conn {
   /// Bumped per dispatch and on deadline expiry; a completion whose
   /// req_serial mismatches is a late result and is dropped.
   uint64_t req_serial = 0;
+  /// A worker may still hold string_views into `parser`'s buffer. Unlike
+  /// `handling` (cleared early on deadline expiry) this stays set until the
+  /// worker's completion arrives, so CloseConn knows it must not destroy
+  /// the connection yet.
+  bool worker_outstanding = false;
   bool close_after = false;
   bool want_read = true;
   bool want_write = false;
@@ -654,10 +658,10 @@ std::shared_ptr<RequestTelemetry> HttpServer::StartTelemetry(
                                       conn.parse_accum_us);
   conn.parse_accum_us = 0;
   if (request != nullptr) {
-    telemetry->method = request->method;
+    telemetry->method = std::string(request->method);
     telemetry->route = router_.RouteLabel(request->path);
     telemetry->bytes_in = conn.parser.last_request_bytes();
-    if (const std::string* header = request->FindHeader("traceparent")) {
+    if (const std::string_view* header = request->FindHeader("traceparent")) {
       obs::TraceContext incoming;
       if (obs::ParseTraceparent(*header, &incoming)) {
         telemetry->ctx.trace_hi = incoming.trace_hi;
@@ -763,6 +767,7 @@ void HttpServer::TryAdvance(Conn& conn) {
     ++in_flight_;
     InFlightRequestsGauge().Set(static_cast<double>(in_flight_));
     conn.handling = true;
+    conn.worker_outstanding = true;
     ++conn.req_serial;
     if (options_.request_deadline_seconds > 0.0) {
       conn.deadline =
@@ -850,7 +855,14 @@ void HttpServer::CloseConn(int fd) {
   EmitTelemetry(it->second);
   poller_->Remove(fd);
   ::close(fd);
-  conns_.erase(it);
+  if (it->second.worker_outstanding) {
+    // A worker thread may still read the request's string_views, which
+    // point into this connection's parser buffer. Park the node until its
+    // completion arrives (ProcessCompletions reaps it by conn serial).
+    zombie_conns_.push_back(conns_.extract(it));
+  } else {
+    conns_.erase(it);
+  }
   ConnectionsClosedCounter().Increment();
   ActiveConnectionsGauge().Set(static_cast<double>(conns_.size()));
 }
@@ -891,9 +903,18 @@ void HttpServer::ProcessCompletions() {
   }
   for (Completion& completion : batch) {
     --in_flight_;
+    // The worker is done with this request's buffers: release any parked
+    // connection that was closed while the handler ran.
+    zombie_conns_.erase(
+        std::remove_if(zombie_conns_.begin(), zombie_conns_.end(),
+                       [&](const ConnNode& node) {
+                         return node.mapped().serial == completion.conn_serial;
+                       }),
+        zombie_conns_.end());
     auto it = conns_.find(completion.fd);
     if (it == conns_.end()) continue;  // connection died mid-handling
     Conn& conn = it->second;
+    if (conn.serial == completion.conn_serial) conn.worker_outstanding = false;
     if (conn.serial != completion.conn_serial ||
         conn.req_serial != completion.req_serial || !conn.handling) {
       continue;  // stale (deadline already answered, or fd reused)

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -30,11 +31,11 @@ class Router {
   void Handle(std::string method, std::string path, HttpHandler handler);
 
   /// nullptr on miss, with `*error_status` set to 404 or 405.
-  const HttpHandler* Find(const std::string& method, const std::string& path,
+  const HttpHandler* Find(std::string_view method, std::string_view path,
                           int* error_status) const;
 
   /// The registered path for metrics labels, or "other" when unrouted.
-  const char* RouteLabel(const std::string& path) const;
+  const char* RouteLabel(std::string_view path) const;
 
  private:
   struct Route {
@@ -174,6 +175,12 @@ class HttpServer {
 
   std::unique_ptr<Poller> poller_;
   std::unordered_map<int, Conn> conns_;  ///< IO thread only
+  /// Closed connections whose dispatched request may still be running: a
+  /// worker can hold string_views into the parser buffer, so the Conn is
+  /// parked here until its completion arrives (IO thread only). Any
+  /// leftovers die in ~HttpServer, after Shutdown() has joined the workers.
+  using ConnNode = std::unordered_map<int, Conn>::node_type;
+  std::vector<ConnNode> zombie_conns_;
   uint64_t next_serial_ = 1;             ///< IO thread only
   size_t in_flight_ = 0;                 ///< IO thread only
   bool io_draining_ = false;             ///< IO thread only

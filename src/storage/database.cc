@@ -185,22 +185,6 @@ common::Result<Database::OpenResult> Database::Open(
   return result;
 }
 
-common::Result<std::unique_ptr<Database>> Database::Open(
-    const std::string& directory, const OpenOptions& options) {
-  OpenOptions resolved = options;
-  resolved.directory = directory;
-  LIGHTOR_ASSIGN_OR_RETURN(auto opened, Open(resolved));
-  return std::move(opened.db);
-}
-
-common::Result<std::unique_ptr<Database>> Database::Open(
-    const std::string& directory) {
-  OpenOptions options;
-  options.directory = directory;
-  LIGHTOR_ASSIGN_OR_RETURN(auto opened, Open(options));
-  return std::move(opened.db);
-}
-
 void Database::SweepStaleFiles(uint64_t checkpoint_gen) {
   auto names = env_->ListDir(directory_);
   if (!names.ok()) return;  // best-effort

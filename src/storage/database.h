@@ -78,16 +78,6 @@ class Database {
   /// sweeps files no generation references.
   static common::Result<OpenResult> Open(const OpenOptions& options);
 
-  /// Deprecated pre-checkpoint forms (directory passed separately, no
-  /// RecoveryStats). `options.directory` is ignored in favour of the
-  /// explicit argument.
-  [[deprecated("use DB::Open(OpenOptions) and read its RecoveryStats")]]
-  static common::Result<std::unique_ptr<Database>> Open(
-      const std::string& directory, const OpenOptions& options);
-  [[deprecated("use DB::Open(OpenOptions) and read its RecoveryStats")]]
-  static common::Result<std::unique_ptr<Database>> Open(
-      const std::string& directory);
-
   ~Database() = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;

@@ -5,8 +5,106 @@
 
 namespace lightor::text {
 
-void StreamingSetSimilarity::AddMessage(
-    const std::vector<std::string>& tokens) {
+void StreamingSetSimilarity::AddMessage(TokenSpan global_ids) {
+  const size_t tail = ids_.size();
+  if (!global_ids.empty()) {
+    // Grow the remap tables once per message, not once per token.
+    TokenId max_global = 0;
+    for (TokenId g : global_ids) max_global = std::max(max_global, g);
+    if (max_global >= local_of_global_.size()) {
+      local_of_global_.resize(max_global + 1, 0);
+      epoch_of_global_.resize(max_global + 1, 0);
+    }
+    ids_.resize(tail + global_ids.size);
+    uint32_t* dst = ids_.data() + tail;
+    for (TokenId g : global_ids) {
+      if (epoch_of_global_[g] != epoch_) {
+        epoch_of_global_[g] = epoch_;
+        local_of_global_[g] = local_count_++;
+      }
+      *dst++ = local_of_global_[g];
+    }
+    // Sort + dedup the tail segment in place. Chat messages hold a
+    // handful of tokens, so insertion sort beats std::sort's dispatch.
+    uint32_t* const base = ids_.data() + tail;
+    const size_t n = global_ids.size;
+    for (size_t i = 1; i < n; ++i) {
+      const uint32_t v = base[i];
+      size_t j = i;
+      for (; j > 0 && base[j - 1] > v; --j) base[j] = base[j - 1];
+      base[j] = v;
+    }
+    size_t kept = 1;
+    for (size_t i = 1; i < n; ++i) {
+      if (base[i] != base[kept - 1]) base[kept++] = base[i];
+    }
+    ids_.resize(tail + kept);
+    if (df_.size() < local_count_) df_.resize(local_count_, 0.0);
+    for (size_t k = tail; k < ids_.size(); ++k) df_[ids_[k]] += 1.0;
+  }
+  offsets_.push_back(static_cast<uint32_t>(ids_.size()));
+}
+
+void StreamingSetSimilarity::Reset() {
+  ++epoch_;
+  local_count_ = 0;
+  ids_.clear();
+  offsets_.assign(1, 0);
+  df_.clear();
+}
+
+double StreamingSetSimilarity::PrefixValue(size_t n) const {
+  n = std::min(n, message_count());
+  if (n == 0) return 0.0;
+  // Local ids are sorted per message, so each message's max is its last
+  // entry; the prefix max bounds the center length exactly as the legacy
+  // path's per-window vocabulary size did.
+  int64_t max_index = -1;
+  for (size_t m = 0; m < n; ++m) {
+    if (offsets_[m + 1] > offsets_[m]) {
+      max_index = std::max(max_index,
+                           static_cast<int64_t>(ids_[offsets_[m + 1] - 1]));
+    }
+  }
+  if (max_index < 0) return 0.0;  // every message tokenized to nothing
+  // Center entry t = df(t) / n — the one-cluster k-means center over
+  // binary vectors. Document frequencies are integer-valued double sums,
+  // so the full-set fast path reads the running df_ table and the clipped
+  // path re-accumulates over the prefix; both match the batch sums.
+  std::vector<double> center(static_cast<size_t>(max_index) + 1, 0.0);
+  if (n == message_count()) {
+    std::copy(df_.begin(), df_.begin() + center.size(), center.begin());
+  } else {
+    for (size_t m = 0; m < n; ++m) {
+      for (uint32_t k = offsets_[m]; k < offsets_[m + 1]; ++k) {
+        center[ids_[k]] += 1.0;
+      }
+    }
+  }
+  for (double& c : center) c /= static_cast<double>(n);
+  double center_norm = 0.0;
+  for (double c : center) center_norm += c * c;
+  center_norm = std::sqrt(center_norm);
+  if (center_norm <= 0.0) return 0.0;
+  double acc = 0.0;
+  size_t counted = 0;
+  for (size_t m = 0; m < n; ++m) {
+    const uint32_t begin = offsets_[m];
+    const uint32_t end = offsets_[m + 1];
+    if (begin == end) continue;  // zero-norm vector, skipped by batch too
+    const double vnorm = std::sqrt(static_cast<double>(end - begin));
+    double dot = 0.0;
+    for (uint32_t k = begin; k < end; ++k) dot += center[ids_[k]];
+    acc += dot / (vnorm * center_norm);
+    ++counted;
+  }
+  return counted > 0 ? acc / static_cast<double>(counted) : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// StringSetSimilarity: the frozen pre-interning implementation, verbatim.
+
+void StringSetSimilarity::AddMessage(const std::vector<std::string>& tokens) {
   std::vector<int32_t> ids;
   ids.reserve(tokens.size());
   for (const auto& token : tokens) ids.push_back(vocabulary_.AddToken(token));
@@ -17,7 +115,7 @@ void StreamingSetSimilarity::AddMessage(
   vectors_.push_back(std::move(ids));
 }
 
-double StreamingSetSimilarity::PrefixValue(size_t n) const {
+double StringSetSimilarity::PrefixValue(size_t n) const {
   n = std::min(n, vectors_.size());
   if (n == 0) return 0.0;
   int32_t max_index = -1;
@@ -27,10 +125,6 @@ double StreamingSetSimilarity::PrefixValue(size_t n) const {
     }
   }
   if (max_index < 0) return 0.0;  // every message tokenized to nothing
-  // Center entry t = df(t) / n — the one-cluster k-means center over
-  // binary vectors. Document frequencies are integer-valued double sums,
-  // so the full-set fast path reads the running df_ table and the clipped
-  // path re-accumulates over the prefix; both match the batch sums.
   std::vector<double> center(static_cast<size_t>(max_index) + 1, 0.0);
   if (n == vectors_.size()) {
     std::copy(df_.begin(), df_.begin() + center.size(), center.begin());

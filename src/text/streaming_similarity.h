@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "text/token_ids.h"
 #include "text/vocabulary.h"
 
 namespace lightor::text {
@@ -12,38 +14,92 @@ namespace lightor::text {
 /// Incremental form of the paper's message-similarity feature (binary
 /// bag-of-words, one-cluster k-means center, average cosine to the
 /// center — see MessageSetSimilarity). The batch path re-tokenizes and
-/// re-vectorizes a whole window per scoring call; this class instead
-/// absorbs one message at a time, updating a window-local vocabulary and
-/// per-token document frequencies in O(tokens per message).
+/// re-vectorizes a whole window per scoring call; this class absorbs one
+/// message at a time as a span of globally interned token ids, remapping
+/// them to window-local first-seen ids and updating per-token document
+/// frequencies in O(tokens per message) — no hashing and no string
+/// compares in the loop.
 ///
 /// Exactness: `Value()` returns the same double `MessageSetSimilarity`
-/// computes over the same messages in the same order. Token ids are
-/// assigned in first-seen order (like BowVectorizer), the center entries
-/// are integer-valued document-frequency sums divided by the message
-/// count, and all reductions run in the same index order as the batch
-/// code — every intermediate is either exact or evaluated identically.
+/// computes over the same messages in the same order. Global ids arrive
+/// in occurrence order (TokenizeToIds keeps duplicates), so assigning
+/// window-local ids at first sight reproduces exactly the ids a
+/// window-local Vocabulary would assign; center entries are
+/// integer-valued document-frequency sums divided by the message count,
+/// and all reductions run in the same index order as the batch code —
+/// every intermediate is either exact or evaluated identically.
 class StreamingSetSimilarity {
  public:
-  /// Absorbs one message's tokens (tokenization happens upstream so a
-  /// shared token list can feed both word counting and similarity).
-  void AddMessage(const std::vector<std::string>& tokens);
+  /// Absorbs one message's interned token ids (occurrence order,
+  /// duplicates preserved — exactly what Tokenizer::TokenizeToIds emits).
+  void AddMessage(TokenSpan global_ids);
 
   /// Similarity over all messages added so far.
-  double Value() const { return PrefixValue(vectors_.size()); }
+  double Value() const { return PrefixValue(message_count()); }
 
   /// Similarity over the first `n` messages only. Used when a window is
   /// clipped at finalize: clipping removes a suffix of its messages, and
-  /// because ids are assigned in first-seen order, the prefix's ids are
-  /// exactly the ids a batch run over just the prefix would assign.
+  /// because local ids are assigned in first-seen order, the prefix's ids
+  /// are exactly the ids a batch run over just the prefix would assign.
   double PrefixValue(size_t n) const;
 
+  size_t message_count() const { return offsets_.size() - 1; }
+
+  /// Clears all window state in O(1) amortized: the global→local remap is
+  /// invalidated by an epoch bump instead of a table wipe, so a scorer can
+  /// be reused across windows without re-zeroing O(vocabulary) memory.
+  void Reset();
+
+ private:
+  // Window-local id of each global id, valid only when the epoch matches.
+  std::vector<uint32_t> local_of_global_;
+  std::vector<uint32_t> epoch_of_global_;
+  uint32_t epoch_ = 1;
+  uint32_t local_count_ = 0;
+
+  // Sorted, de-duplicated window-local ids of each message (binary BoW),
+  // flat SoA: one contiguous id array plus per-message offsets.
+  std::vector<uint32_t> ids_;
+  std::vector<uint32_t> offsets_{0};
+  /// Document frequency per local id over all added messages.
+  std::vector<double> df_;
+};
+
+/// The pre-interning token table, verbatim: a string-keyed hash map that
+/// constructs a std::string per lookup. Kept only so StringSetSimilarity
+/// measures what the old code actually did — do not use elsewhere.
+class LegacyVocabulary {
+ public:
+  int32_t AddToken(std::string_view token) {
+    auto it = ids_.find(std::string(token));
+    if (it != ids_.end()) return it->second;
+    const int32_t id = static_cast<int32_t>(tokens_.size());
+    tokens_.emplace_back(token);
+    ids_.emplace(tokens_.back(), id);
+    return id;
+  }
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> tokens_;
+};
+
+/// The pre-interning reference implementation: window-local string-keyed
+/// vocabulary over raw token strings, kept verbatim as (a) the
+/// differential oracle for the id path's bit-exactness property tests and
+/// (b) the in-binary legacy baseline the hot-path benchmarks measure
+/// speedups against. Not used on any production path.
+class StringSetSimilarity {
+ public:
+  void AddMessage(const std::vector<std::string>& tokens);
+  double Value() const { return PrefixValue(vectors_.size()); }
+  double PrefixValue(size_t n) const;
   size_t message_count() const { return vectors_.size(); }
 
  private:
-  Vocabulary vocabulary_;
-  /// Sorted, de-duplicated token ids of each message (binary BoW).
+  LegacyVocabulary vocabulary_;
   std::vector<std::vector<int32_t>> vectors_;
-  /// Document frequency per token id over all added messages.
   std::vector<double> df_;
 };
 

@@ -1,0 +1,75 @@
+#ifndef LIGHTOR_TEXT_TOKEN_IDS_H_
+#define LIGHTOR_TEXT_TOKEN_IDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace lightor::text {
+
+/// Dense token id in a per-video `Vocabulary`. Interning happens once per
+/// message at ingest; every stage downstream (window similarity, document
+/// frequencies) works on these ids and never touches token bytes again.
+using TokenId = uint32_t;
+
+/// Non-owning view of one message's token ids — the hot-path currency the
+/// featurizer and similarity kernels consume. Ids are in occurrence order
+/// (not sorted, not deduplicated): window-local structures derive their
+/// own first-seen ordering from it, which is what keeps the id path
+/// bit-exact with the legacy string-set path.
+struct TokenSpan {
+  const TokenId* data = nullptr;
+  size_t size = 0;
+
+  TokenSpan() = default;
+  TokenSpan(const TokenId* d, size_t n) : data(d), size(n) {}
+  explicit TokenSpan(const std::vector<TokenId>& ids)
+      : data(ids.data()), size(ids.size()) {}
+
+  const TokenId* begin() const { return data; }
+  const TokenId* end() const { return data + size; }
+  bool empty() const { return size == 0; }
+};
+
+/// A chat log tokenized exactly once: flat SoA storage (one contiguous id
+/// array plus per-message offsets — no per-message vector headers) over a
+/// shared per-video vocabulary, with the whitespace word count the
+/// message-length feature needs captured in the same pass.
+class TokenizedMessages {
+ public:
+  /// Tokenizes and interns one message; returns its index.
+  size_t Add(const Tokenizer& tokenizer, std::string_view text) {
+    const size_t words = tokenizer.TokenizeToIds(text, vocabulary_, ids_);
+    offsets_.push_back(static_cast<uint32_t>(ids_.size()));
+    word_counts_.push_back(static_cast<double>(words));
+    return word_counts_.size() - 1;
+  }
+
+  TokenSpan ids(size_t i) const {
+    return TokenSpan(ids_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+  double word_count(size_t i) const { return word_counts_[i]; }
+  size_t size() const { return word_counts_.size(); }
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  /// Bytes held by the flat id arena (SoA storage), for capacity metrics.
+  size_t arena_bytes() const {
+    return ids_.capacity() * sizeof(TokenId) +
+           offsets_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  Vocabulary vocabulary_;
+  std::vector<TokenId> ids_;
+  std::vector<uint32_t> offsets_{0};
+  std::vector<double> word_counts_;
+};
+
+}  // namespace lightor::text
+
+#endif  // LIGHTOR_TEXT_TOKEN_IDS_H_

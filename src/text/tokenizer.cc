@@ -1,15 +1,41 @@
 #include "text/tokenizer.h"
 
-#include <cctype>
-
 #include "common/strings.h"
 
 namespace lightor::text {
 
 namespace {
 
-bool IsPunct(char c) {
-  return std::ispunct(static_cast<unsigned char>(c)) != 0;
+/// C-locale character classes as constexpr tables. The libc is*/tolower
+/// functions cost an indirect (locale-aware) call per character, which
+/// dominates the per-token budget on the ingest hot path; these tables
+/// are bit-identical to <cctype> in the "C" locale the repo runs under.
+struct CharTables {
+  bool space[256] = {};
+  bool punct[256] = {};
+  unsigned char lower[256] = {};
+  constexpr CharTables() {
+    for (int c = 0; c < 256; ++c) lower[c] = static_cast<unsigned char>(c);
+    for (int c = 'A'; c <= 'Z'; ++c) {
+      lower[c] = static_cast<unsigned char>(c - 'A' + 'a');
+    }
+    space[' '] = space['\t'] = space['\n'] = space['\v'] = space['\f'] =
+        space['\r'] = true;
+    for (int c = 33; c < 127; ++c) {
+      const bool alnum = (c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z') ||
+                         (c >= 'a' && c <= 'z');
+      punct[c] = !alnum;
+    }
+  }
+};
+constexpr CharTables kTables;
+
+bool IsPunct(char c) { return kTables.punct[static_cast<unsigned char>(c)]; }
+
+bool IsSpace(char c) { return kTables.space[static_cast<unsigned char>(c)]; }
+
+char ToLowerCh(char c) {
+  return static_cast<char>(kTables.lower[static_cast<unsigned char>(c)]);
 }
 
 std::string_view StripPunct(std::string_view token) {
@@ -36,8 +62,58 @@ std::vector<std::string> Tokenizer::Tokenize(std::string_view message) const {
   return out;
 }
 
+size_t Tokenizer::TokenizeToIds(std::string_view message,
+                                Vocabulary& vocabulary,
+                                std::vector<uint32_t>& out) const {
+  size_t words = 0;
+  size_t i = 0;
+  const size_t n = message.size();
+  // Chat tokens are short; lowercase into a stack buffer so the common
+  // case does zero heap work. Longer tokens fall back to a std::string.
+  char buf[128];
+  while (i < n) {
+    while (i < n && IsSpace(message[i])) ++i;
+    if (i >= n) break;
+    const size_t begin = i;
+    while (i < n && !IsSpace(message[i])) ++i;
+    ++words;
+    std::string_view token = message.substr(begin, i - begin);
+    if (options_.strip_punctuation) token = StripPunct(token);
+    if (token.size() < options_.min_token_length) continue;
+    if (options_.lowercase) {
+      if (token.size() <= sizeof(buf)) {
+        // Lowercase and hash in one pass over the (L1-resident) token.
+        uint64_t hash = Vocabulary::kFnvBasis;
+        for (size_t k = 0; k < token.size(); ++k) {
+          const char c = ToLowerCh(token[k]);
+          buf[k] = c;
+          hash ^= static_cast<unsigned char>(c);
+          hash *= Vocabulary::kFnvPrime;
+        }
+        out.push_back(static_cast<uint32_t>(vocabulary.AddTokenHashed(
+            std::string_view(buf, token.size()), hash)));
+      } else {
+        const std::string fallback = common::ToLower(token);
+        out.push_back(static_cast<uint32_t>(vocabulary.AddToken(fallback)));
+      }
+    } else {
+      out.push_back(static_cast<uint32_t>(vocabulary.AddToken(token)));
+    }
+  }
+  return words;
+}
+
 size_t Tokenizer::CountWords(std::string_view message) const {
-  return common::SplitWhitespace(message).size();
+  size_t words = 0;
+  size_t i = 0;
+  const size_t n = message.size();
+  while (i < n) {
+    while (i < n && IsSpace(message[i])) ++i;
+    if (i >= n) break;
+    while (i < n && !IsSpace(message[i])) ++i;
+    ++words;
+  }
+  return words;
 }
 
 }  // namespace lightor::text

@@ -1,9 +1,12 @@
 #ifndef LIGHTOR_TEXT_TOKENIZER_H_
 #define LIGHTOR_TEXT_TOKENIZER_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "text/vocabulary.h"
 
 namespace lightor::text {
 
@@ -27,8 +30,17 @@ class Tokenizer {
  public:
   explicit Tokenizer(TokenizerOptions options = {});
 
-  /// Tokenizes one message.
+  /// Tokenizes one message. Legacy string path; the hot path uses
+  /// TokenizeToIds. Both apply the identical split/strip/filter/lowercase
+  /// pipeline, so AddToken(Tokenize(m)[k]) == TokenizeToIds(m, ...)[k].
   std::vector<std::string> Tokenize(std::string_view message) const;
+
+  /// Tokenizes one message directly into interned ids appended to `out`
+  /// (occurrence order, duplicates kept), in a single pass with no heap
+  /// allocation per token. Returns the whitespace word count of the whole
+  /// message (== CountWords), so ingest gets both features in one scan.
+  size_t TokenizeToIds(std::string_view message, Vocabulary& vocabulary,
+                       std::vector<uint32_t>& out) const;
 
   /// Number of word tokens in `message` (the paper's message-length
   /// definition: "the number of words in the message").

@@ -2,30 +2,99 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "obs/metrics.h"
 
 namespace lightor::text {
 
-int32_t Vocabulary::AddToken(std::string_view token) {
-  auto it = ids_.find(std::string(token));
-  if (it != ids_.end()) {
-    ++counts_[static_cast<size_t>(it->second)];
-    return it->second;
+namespace {
+
+obs::Counter& VocabTokensInternedCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_text_vocab_tokens_interned_total");
+  return *counter;
+}
+
+obs::Counter& VocabArenaBytesCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_text_vocab_arena_bytes_total");
+  return *counter;
+}
+
+constexpr size_t kInitialSlots = 16;  // must stay a power of two
+
+}  // namespace
+
+void Vocabulary::Rehash(size_t min_slots) {
+  size_t n = kInitialSlots;
+  while (n < min_slots) n *= 2;
+  std::vector<Slot> slots(n);
+  const size_t mask = n - 1;
+  for (const Slot& s : slots_) {
+    if (s.id == -1) continue;
+    size_t i = static_cast<size_t>(s.hash) & mask;
+    while (slots[i].id != -1) i = (i + 1) & mask;
+    slots[i] = s;
   }
-  const int32_t id = static_cast<int32_t>(tokens_.size());
-  tokens_.emplace_back(token);
+  slots_ = std::move(slots);
+}
+
+int32_t Vocabulary::AddTokenHashed(std::string_view token, uint64_t hash) {
+  // Grow at 3/4 load so probe chains stay short.
+  if (slots_.empty() || (counts_.size() + 1) * 4 > slots_.size() * 3) {
+    Rehash(slots_.empty() ? kInitialSlots : slots_.size() * 2);
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (true) {
+    const Slot& s = slots_[i];
+    if (s.id == -1) break;
+    if (s.hash == hash) {
+      // Inline byte compare: tokens are a handful of bytes, so a loop
+      // beats the memcmp call a string_view comparison would make.
+      const size_t b = starts_[static_cast<size_t>(s.id)];
+      const size_t len = starts_[static_cast<size_t>(s.id) + 1] - b;
+      if (len == token.size()) {
+        const char* p = bytes_.data() + b;
+        size_t k = 0;
+        while (k < len && p[k] == token[k]) ++k;
+        if (k == len) {
+          ++counts_[static_cast<size_t>(s.id)];
+          return s.id;
+        }
+      }
+    }
+    i = (i + 1) & mask;
+  }
+  const int32_t id = static_cast<int32_t>(counts_.size());
+  bytes_.insert(bytes_.end(), token.begin(), token.end());
+  starts_.push_back(static_cast<uint32_t>(bytes_.size()));
   counts_.push_back(1);
-  ids_.emplace(tokens_.back(), id);
+  slots_[i] = Slot{hash, id};
+  VocabTokensInternedCounter().Increment();
+  VocabArenaBytesCounter().Increment(token.size());
   return id;
 }
 
 int32_t Vocabulary::Lookup(std::string_view token) const {
-  auto it = ids_.find(std::string(token));
-  return it == ids_.end() ? kUnknown : it->second;
+  if (slots_.empty()) return kUnknown;
+  const uint64_t hash = HashOf(token);
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (true) {
+    const Slot& s = slots_[i];
+    if (s.id == -1) return kUnknown;
+    if (s.hash == hash && TokenOf(s.id) == token) return s.id;
+    i = (i + 1) & mask;
+  }
 }
 
-const std::string& Vocabulary::TokenOf(int32_t id) const {
-  assert(id >= 0 && static_cast<size_t>(id) < tokens_.size());
-  return tokens_[static_cast<size_t>(id)];
+std::string_view Vocabulary::TokenOf(int32_t id) const {
+  assert(id >= 0 && static_cast<size_t>(id) + 1 < starts_.size());
+  const size_t b = starts_[static_cast<size_t>(id)];
+  return std::string_view(bytes_.data() + b,
+                          starts_[static_cast<size_t>(id) + 1] - b);
 }
 
 int64_t Vocabulary::CountOf(int32_t id) const {
@@ -34,7 +103,7 @@ int64_t Vocabulary::CountOf(int32_t id) const {
 }
 
 std::vector<int32_t> Vocabulary::TopKByFrequency(size_t k) const {
-  std::vector<int32_t> ids(tokens_.size());
+  std::vector<int32_t> ids(size());
   for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
   std::sort(ids.begin(), ids.end(), [&](int32_t a, int32_t b) {
     const int64_t ca = counts_[static_cast<size_t>(a)];
@@ -43,6 +112,13 @@ std::vector<int32_t> Vocabulary::TopKByFrequency(size_t k) const {
   });
   ids.resize(std::min(k, ids.size()));
   return ids;
+}
+
+size_t Vocabulary::arena_bytes() const {
+  return bytes_.capacity() * sizeof(char) +
+         starts_.capacity() * sizeof(uint32_t) +
+         counts_.capacity() * sizeof(int64_t) +
+         slots_.capacity() * sizeof(Slot);
 }
 
 }  // namespace lightor::text

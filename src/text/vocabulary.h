@@ -2,9 +2,7 @@
 #define LIGHTOR_TEXT_VOCABULARY_H_
 
 #include <cstdint>
-#include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace lightor::text {
@@ -12,31 +10,72 @@ namespace lightor::text {
 /// Token id space for bag-of-words vectors. Ids are dense and assigned in
 /// first-seen order; id 0 is valid (there is no reserved sentinel — lookup
 /// misses are reported via kUnknown).
+///
+/// Storage is a byte arena: all token bytes live in one contiguous buffer
+/// addressed by per-token offsets, and the id table is an open-addressing
+/// probe over cached hashes. Interning a seen token is a hash, a probe,
+/// and one memcmp — no per-lookup std::string construction, no per-token
+/// node allocations. `TokenOf` views stay valid for the vocabulary's
+/// lifetime (the arena only grows; views are offset-stable because they
+/// are re-derived from offsets, not raw pointers).
 class Vocabulary {
  public:
   static constexpr int32_t kUnknown = -1;
 
+  /// FNV-1a over `token` — the hash the id table probes with. Exposed so
+  /// single-pass callers (TokenizeToIds) can fuse hashing into their own
+  /// byte loop and intern via AddTokenHashed.
+  static constexpr uint64_t HashOf(std::string_view token) {
+    uint64_t h = kFnvBasis;
+    for (char c : token) {
+      h ^= static_cast<unsigned char>(c);
+      h *= kFnvPrime;
+    }
+    return h;
+  }
+  static constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+  static constexpr uint64_t kFnvPrime = 1099511628211ull;
+
   /// Returns the id of `token`, inserting it if absent.
-  int32_t AddToken(std::string_view token);
+  int32_t AddToken(std::string_view token) {
+    return AddTokenHashed(token, HashOf(token));
+  }
+
+  /// AddToken for callers that already hold `HashOf(token)`.
+  int32_t AddTokenHashed(std::string_view token, uint64_t hash);
 
   /// Returns the id of `token`, or kUnknown.
   int32_t Lookup(std::string_view token) const;
 
-  /// Returns the token for `id`. Requires 0 <= id < size().
-  const std::string& TokenOf(int32_t id) const;
+  /// Returns the token for `id`. Requires 0 <= id < size(). The view
+  /// points into the arena and remains valid while the vocabulary lives.
+  std::string_view TokenOf(int32_t id) const;
 
   /// Number of occurrences recorded via AddToken.
   int64_t CountOf(int32_t id) const;
 
-  size_t size() const { return tokens_.size(); }
+  size_t size() const { return starts_.size() - 1; }
 
   /// Returns ids of the `k` most frequent tokens (ties broken by id).
   std::vector<int32_t> TopKByFrequency(size_t k) const;
 
+  /// Bytes currently reserved by the token arena and side tables.
+  size_t arena_bytes() const;
+
  private:
-  std::unordered_map<std::string, int32_t> ids_;
-  std::vector<std::string> tokens_;
-  std::vector<int64_t> counts_;
+  void Rehash(size_t min_slots);
+
+  /// Open-addressing entry: the hash is cached beside the id so a probe
+  /// is one 16-byte load — no second indirection before the byte compare.
+  struct Slot {
+    uint64_t hash = 0;
+    int32_t id = -1;  // -1 = empty
+  };
+
+  std::vector<char> bytes_;        // token arena, tokens back to back
+  std::vector<uint32_t> starts_{0};  // size()+1 offsets into bytes_
+  std::vector<int64_t> counts_;    // occurrences per id
+  std::vector<Slot> slots_;        // open-addressing table, pow-2 sized
 };
 
 }  // namespace lightor::text

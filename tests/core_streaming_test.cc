@@ -213,8 +213,12 @@ TEST(StreamingSimilarityTest, MatchesBatchBitForBit) {
       "nice one gg", "clap clap clap"};
   text::StreamingSetSimilarity streaming;
   const text::Tokenizer tokenizer{text::TokenizerOptions{}};
+  text::Vocabulary vocabulary;
+  std::vector<text::TokenId> ids;
   for (size_t n = 0; n < messages.size(); ++n) {
-    streaming.AddMessage(tokenizer.Tokenize(messages[n]));
+    ids.clear();
+    tokenizer.TokenizeToIds(messages[n], vocabulary, ids);
+    streaming.AddMessage(text::TokenSpan(ids));
     const std::vector<std::string> prefix(messages.begin(),
                                           messages.begin() + n + 1);
     EXPECT_EQ(streaming.Value(), text::MessageSetSimilarity(prefix))

@@ -15,28 +15,37 @@ constexpr std::string_view kPostVisit =
     "\r\n"
     "{\"video_id\":\"vid-1\"}";
 
-HttpRequest MustParse(std::string_view wire) {
-  RequestParser parser;
-  parser.Append(wire);
-  EXPECT_EQ(parser.Parse(), RequestParser::State::kReady);
-  return std::move(parser.request());
-}
+/// Owns the parser for the lifetime of the parsed request: the request's
+/// string_view fields borrow from the parser's buffer (the zero-copy
+/// contract), so handing the request out by value would dangle.
+class MustParse {
+ public:
+  explicit MustParse(std::string_view wire) {
+    parser_.Append(wire);
+    EXPECT_EQ(parser_.Parse(), RequestParser::State::kReady);
+  }
+  const HttpRequest* operator->() const { return &parser_.request(); }
+  const HttpRequest& operator*() const { return parser_.request(); }
+
+ private:
+  RequestParser parser_;
+};
 
 TEST(RequestParserTest, CompleteRequestInOneRead) {
-  const HttpRequest req = MustParse(kPostVisit);
-  EXPECT_EQ(req.method, "POST");
-  EXPECT_EQ(req.path, "/visit");
-  EXPECT_EQ(req.version_minor, 1);
-  EXPECT_EQ(req.body, "{\"video_id\":\"vid-1\"}");
-  ASSERT_NE(req.FindHeader("content-type"), nullptr);
-  EXPECT_EQ(*req.FindHeader("Content-Type"), "application/json");
+  const MustParse req(kPostVisit);
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->path, "/visit");
+  EXPECT_EQ(req->version_minor, 1);
+  EXPECT_EQ(req->body, "{\"video_id\":\"vid-1\"}");
+  ASSERT_NE(req->FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*req->FindHeader("Content-Type"), "application/json");
 }
 
 // Satellite requirement: the parser must produce the identical request
 // no matter where the kernel tears the read — split at EVERY byte
 // boundary and compare against the one-shot parse.
 TEST(RequestParserTest, SplitAtEveryByteBoundary) {
-  const HttpRequest reference = MustParse(kPostVisit);
+  const MustParse reference(kPostVisit);
   for (size_t split = 0; split <= kPostVisit.size(); ++split) {
     RequestParser parser;
     parser.Append(kPostVisit.substr(0, split));
@@ -50,10 +59,10 @@ TEST(RequestParserTest, SplitAtEveryByteBoundary) {
       ASSERT_EQ(first, RequestParser::State::kReady) << "split " << split;
     }
     const HttpRequest& req = parser.request();
-    EXPECT_EQ(req.method, reference.method) << "split " << split;
-    EXPECT_EQ(req.target, reference.target) << "split " << split;
-    EXPECT_EQ(req.headers, reference.headers) << "split " << split;
-    EXPECT_EQ(req.body, reference.body) << "split " << split;
+    EXPECT_EQ(req.method, reference->method) << "split " << split;
+    EXPECT_EQ(req.target, reference->target) << "split " << split;
+    EXPECT_EQ(req.headers, reference->headers) << "split " << split;
+    EXPECT_EQ(req.body, reference->body) << "split " << split;
     EXPECT_EQ(parser.buffered_bytes(), 0u) << "split " << split;
   }
 }
@@ -90,8 +99,7 @@ TEST(RequestParserTest, TwoPipelinedRequestsInOneRead) {
 }
 
 TEST(RequestParserTest, MissingContentLengthMeansEmptyBody) {
-  const HttpRequest req = MustParse("GET /metrics HTTP/1.1\r\n\r\n");
-  EXPECT_EQ(req.body, "");
+  EXPECT_EQ(MustParse("GET /metrics HTTP/1.1\r\n\r\n")->body, "");
 }
 
 TEST(RequestParserTest, ConnectionClosedMidBodyStaysNeedMore) {
@@ -206,25 +214,24 @@ TEST(RequestParserTest, ErrorStateIsTerminal) {
 }
 
 TEST(RequestParserTest, QueryParsing) {
-  const HttpRequest req =
-      MustParse("GET /metrics?format=json&video_id=v-1 HTTP/1.1\r\n\r\n");
-  EXPECT_EQ(req.path, "/metrics");
-  EXPECT_EQ(req.query, "format=json&video_id=v-1");
-  EXPECT_EQ(req.QueryParam("format"), "json");
-  EXPECT_EQ(req.QueryParam("video_id"), "v-1");
-  EXPECT_EQ(req.QueryParam("missing"), "");
+  const MustParse req("GET /metrics?format=json&video_id=v-1 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(req->path, "/metrics");
+  EXPECT_EQ(req->query, "format=json&video_id=v-1");
+  EXPECT_EQ(req->QueryParam("format"), "json");
+  EXPECT_EQ(req->QueryParam("video_id"), "v-1");
+  EXPECT_EQ(req->QueryParam("missing"), "");
 }
 
 TEST(RequestParserTest, KeepAliveSemantics) {
-  EXPECT_TRUE(MustParse("GET / HTTP/1.1\r\n\r\n").keep_alive());
+  EXPECT_TRUE(MustParse("GET / HTTP/1.1\r\n\r\n")->keep_alive());
   EXPECT_FALSE(
-      MustParse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+      MustParse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")->keep_alive());
   EXPECT_FALSE(
-      MustParse("GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n").keep_alive());
-  EXPECT_FALSE(MustParse("GET / HTTP/1.0\r\n\r\n").keep_alive());
+      MustParse("GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n")->keep_alive());
+  EXPECT_FALSE(MustParse("GET / HTTP/1.0\r\n\r\n")->keep_alive());
   EXPECT_TRUE(
       MustParse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
-          .keep_alive());
+          ->keep_alive());
 }
 
 TEST(HttpResponseTest, SerializeAppendsFramingHeaders) {

@@ -31,7 +31,7 @@ Router TestRoutes() {
     return JsonResponse(200, "{\"pong\":true}");
   });
   router.Handle("POST", "/echo", [](const HttpRequest& req) {
-    return JsonResponse(200, req.body);
+    return JsonResponse(200, std::string(req.body));
   });
   router.Handle("GET", "/slow", [](const HttpRequest& req) {
     const std::string ms = req.QueryParam("ms");

@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "text/vocabulary.h"
 
 namespace lightor::obs {
 namespace {
@@ -236,6 +237,25 @@ TEST(ObsExportTest, PrometheusAndJsonAgreeOnLiveRegistry) {
                       "\"value\":123"),
             std::string::npos)
       << json;
+}
+
+TEST(ObsMetricsTest, VocabularyInterningRegistersArenaCounters) {
+  // The text layer registers its interning counters lazily on first use;
+  // interning two distinct tokens (one of them twice) must bump the
+  // intern count by exactly 2 and the arena bytes by exactly the distinct
+  // token bytes — repeat lookups are free.
+  Counter* interned = Registry::Global().GetCounter(
+      "lightor_text_vocab_tokens_interned_total");
+  Counter* arena_bytes = Registry::Global().GetCounter(
+      "lightor_text_vocab_arena_bytes_total");
+  const uint64_t interned_before = interned->value();
+  const uint64_t arena_before = arena_bytes->value();
+  text::Vocabulary vocabulary;
+  EXPECT_EQ(vocabulary.AddToken("pogchamp"), 0);
+  EXPECT_EQ(vocabulary.AddToken("gg"), 1);
+  EXPECT_EQ(vocabulary.AddToken("pogchamp"), 0);  // hit: no new interning
+  EXPECT_EQ(interned->value(), interned_before + 2);
+  EXPECT_EQ(arena_bytes->value(), arena_before + 10);  // "pogchamp"+"gg"
 }
 
 TEST(ObsMetricsTest, SnapshotCoversEveryRegisteredSeries) {

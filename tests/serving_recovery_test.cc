@@ -250,17 +250,19 @@ TEST_F(ServingRecoveryTest, SessionLoggingFailureMaps503OnTheWire) {
   req.session_id = 1;
   req.events = session.events;
 
+  // The request's fields are views; the encoded body must outlive it.
+  const std::string body = net::EncodeJson(req);
   net::HttpRequest wire;
   wire.method = "POST";
   wire.path = "/session";
-  wire.body = net::EncodeJson(req);
+  wire.body = body;
 
   // Healthy path first: 200.
   EXPECT_EQ((*handler)(wire).status, 200);
 
   const uint64_t errors_before = counter->value();
   env_.InjectAt(env_.io_points(), ft::FaultKind::kEnospc);
-  wire.body = net::EncodeJson(req);  // same session again, new attempt
+  wire.body = body;  // same session again, new attempt
   net::HttpResponse response = (*handler)(wire);
   EXPECT_EQ(response.status, 503);
   const std::string* retry = response.FindHeader("retry-after");

@@ -67,19 +67,38 @@ TEST(ServingStreamStressTest, ConcurrentIngestReadersAndRecordedTraffic) {
   ASSERT_GT(live_chat.size(), 100u);
 
   std::atomic<bool> ingest_done{false};
+  std::atomic<bool> ingest_ok{true};
+
+  // Bootstrap the live stream before any reader runs: a reader's first
+  // OnPageVisit must not beat the first IngestChat, or the server would
+  // bootstrap the video as recorded and every later ingest would fail.
+  {
+    IngestChatRequest req;
+    req.video_id = live_id;
+    req.messages.assign(live_chat.begin(), live_chat.begin() + 8);
+    auto resp = service.IngestChat(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp.value().rejected, 0u);
+  }
 
   // One ingester: the engine itself is single-writer by design; the
-  // server's shard lock is what the readers race against.
+  // server's shard lock is what the readers race against. On failure it
+  // records the error and still sets ingest_done — an early return that
+  // skipped the store would leave the readers spinning forever.
   std::thread ingester([&] {
-    for (size_t i = 0; i < live_chat.size(); i += 8) {
+    for (size_t i = 8; i < live_chat.size(); i += 8) {
       IngestChatRequest req;
       req.video_id = live_id;
       const size_t end = std::min(i + 8, live_chat.size());
       req.messages.assign(live_chat.begin() + static_cast<ptrdiff_t>(i),
                           live_chat.begin() + static_cast<ptrdiff_t>(end));
       auto resp = service.IngestChat(req);
-      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
-      ASSERT_EQ(resp.value().rejected, 0u);
+      if (!resp.ok() || resp.value().rejected != 0) {
+        ADD_FAILURE() << "IngestChat failed at message " << i << ": "
+                      << resp.status().ToString();
+        ingest_ok.store(false, std::memory_order_relaxed);
+        break;
+      }
     }
     ingest_done.store(true, std::memory_order_release);
   });
@@ -135,6 +154,7 @@ TEST(ServingStreamStressTest, ConcurrentIngestReadersAndRecordedTraffic) {
   ingester.join();
   for (auto& t : readers) t.join();
   recorded.join();
+  ASSERT_TRUE(ingest_ok.load(std::memory_order_relaxed));
 
   FinalizeStreamRequest freq;
   freq.video_id = live_id;

@@ -5,11 +5,18 @@
 #
 #   sh tools/check_bench_regression.sh NEW.json BASELINE.json [max_pct]
 #
-# Works on the one-scale-per-line format recovery_bench emits: each scale
-# line carries "sessions", "full_open_s", "ckpt_open_s" and "speedup".
-# Checks, per scale present in BOTH files:
-#   - ckpt_open_s must not regress by more than max_pct (default 10%)
-#   - speedup at >=1M sessions must stay >= 10x (the PR acceptance bar)
+# Works on two formats, auto-detected from the new file:
+#
+#  - recovery_bench scale lines ("sessions", "ckpt_open_s", "speedup"):
+#    per scale present in BOTH files, ckpt_open_s must not regress by more
+#    than max_pct (default 10%), and speedup at >=1M sessions must stay
+#    >= 10x (the PR acceptance bar).
+#
+#  - hotpath_bench entry lines ('"entries"' header, then one
+#    {"name",...,"value",...} per line): values are throughputs
+#    (higher is better); per name present in BOTH files, value must not
+#    drop by more than max_pct, and streaming_ingest's speedup over the
+#    in-binary legacy path must stay >= 5x (the PR acceptance bar).
 
 set -eu
 
@@ -20,6 +27,55 @@ eps_s=0.005  # absolute slack: ignore sub-5ms wobble
 
 [ -f "$new" ] || { echo "check_bench_regression: missing $new" >&2; exit 2; }
 [ -f "$base" ] || { echo "check_bench_regression: missing $base" >&2; exit 2; }
+
+if grep -q '"entries"' "$new"; then
+  # hotpath_bench mode: "name value speedup" per entry line.
+  extract_entries() {
+    awk -F'[:,]' '/"name"/ {
+      name = ""; value = ""; speedup = ""
+      for (i = 1; i < NF; ++i) {
+        if ($i ~ /"name"/) { name = $(i + 1); gsub(/[" }\]]/, "", name) }
+        if ($i ~ /"value"/) { value = $(i + 1); gsub(/[" }\]]/, "", value) }
+        if ($i ~ /"speedup"/) { speedup = $(i + 1)
+                                gsub(/[" }\]]/, "", speedup) }
+      }
+      if (name != "" && value != "") print name, value, speedup
+    }' "$1"
+  }
+
+  extract_entries "$new" > "${new}.entries.tmp"
+  extract_entries "$base" > "${base}.entries.tmp"
+
+  fail=0
+  while read -r name new_value new_speedup; do
+    base_line=$(awk -v n="$name" '$1 == n' "${base}.entries.tmp")
+    if [ -z "$base_line" ]; then
+      echo "check_bench_regression: entry $name not in baseline; skipped"
+      continue
+    fi
+    base_value=$(echo "$base_line" | awk '{print $2}')
+    verdict=$(awk -v n="$new_value" -v b="$base_value" -v p="$max_pct" \
+                  -v sp="$new_speedup" -v name="$name" '
+      BEGIN {
+        floor = b * (1 - p / 100)
+        if (n < floor) {
+          printf "REGRESSION %s: %.0f vs baseline %.0f (>%s%% throughput drop)\n", name, n, b, p
+        }
+        if (name == "streaming_ingest" && sp != "" && sp + 0 < 5) {
+          printf "REGRESSION %s: speedup %.2fx is below the 5x bar\n", name, sp
+        }
+      }')
+    if [ -n "$verdict" ]; then
+      echo "$verdict" >&2
+      fail=1
+    else
+      echo "ok entry $name: $new_value (baseline $base_value)"
+    fi
+  done < "${new}.entries.tmp"
+
+  rm -f "${new}.entries.tmp" "${base}.entries.tmp"
+  exit "$fail"
+fi
 
 # "sessions ckpt_open_s speedup" per scale line.
 extract() {
