@@ -143,6 +143,27 @@ grep -q drained "$rsmoke_dir/server2.log" || {
   echo "recovery smoke: restarted server did not drain cleanly" >&2; exit 1; }
 rm -rf "$rsmoke_dir"
 
+echo "== cluster smoke: 3 backends + router, SIGKILL mid-burst -> differential /highlights =="
+# Real-process cluster behind the consistent-hash router
+# (tools/cluster_up): the loadgen burst must survive a SIGKILL+restart
+# of one backend with zero failed requests (router retries ride out the
+# owner's restart), the /highlights bytes must match a single-process
+# reference, and the whole-mix p99 — including the stalled requests —
+# must stay inside a generous SLO.
+sh tests/cluster_smoke_test.sh "$BUILD_DIR/tools/lightor" all:2500
+
+echo "== bench regression: router overhead vs direct backend =="
+# BENCH_cluster.json freezes the router's latency tax: the loaded
+# whole-mix p99 through a one-backend router must stay within 20% of
+# hitting the backend directly (serial per-hop cost is tracked but
+# ungated). Loaded p99s wobble, hence the loose 40% trajectory gate.
+cb_tmp=$(mktemp -d)
+"$BUILD_DIR"/bench/cluster_bench --out="$cb_tmp/BENCH_cluster.json" \
+    --dir="$cb_tmp/db" 2> /dev/null
+sh tools/check_bench_regression.sh "$cb_tmp/BENCH_cluster.json" \
+    BENCH_cluster.json 40
+rm -rf "$cb_tmp"
+
 echo "== bench regression: checkpointed recovery time =="
 # The committed BENCH_recovery.json is the baseline trajectory; CI re-runs
 # the cheapest scale and flags a >10% regression in checkpointed restart

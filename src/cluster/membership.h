@@ -1,0 +1,81 @@
+#ifndef LIGHTOR_CLUSTER_MEMBERSHIP_H_
+#define LIGHTOR_CLUSTER_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/ring.h"
+#include "common/result.h"
+
+namespace lightor::cluster {
+
+/// What the health checker last learned about a backend. `kDraining`
+/// mirrors the backend's own `/healthz` `"state":"draining"` lame-duck
+/// announcement: the backend still serves, but the router prefers other
+/// candidates for failover and the operator should follow up with a
+/// membership update (the deterministic re-hash) before hard shutdown.
+enum class BackendHealth { kUnknown, kHealthy, kDraining, kDown };
+const char* BackendHealthName(BackendHealth health);
+
+struct BackendStatus {
+  std::string address;  ///< "host:port"
+  BackendHealth health = BackendHealth::kUnknown;
+};
+
+/// Splits "host:port" (IPv4 literal host, 1-65535 port).
+common::Result<std::pair<std::string, uint16_t>> SplitAddress(
+    std::string_view address);
+
+/// Parses the membership document `{"backends":["host:port",...]}` —
+/// the shape shared by the static config file and the body of
+/// `POST /admin/membership`. Every address is validated; at least the
+/// empty list is legal (an operator may drain the whole fleet).
+common::Result<std::vector<std::string>> ParseMembership(
+    std::string_view json);
+
+/// Reads and parses a membership config file.
+common::Result<std::vector<std::string>> LoadMembershipFile(
+    const std::string& path);
+
+/// Thread-safe membership + health view the router consults per request:
+/// a consistent-hash ring over the current members plus the last-known
+/// health of each. Membership changes (`Update`) rebuild the ring
+/// deterministically and bump a version counter; health changes touch
+/// only the per-backend state, never key ownership.
+class Fleet {
+ public:
+  explicit Fleet(size_t vnodes = HashRing::kDefaultVnodes);
+
+  /// Replaces the membership (validating every address first). Health
+  /// entries of surviving members are kept; new members start kUnknown.
+  common::Status Update(std::vector<std::string> backends);
+
+  std::vector<std::string> Members() const;
+  std::vector<BackendStatus> Statuses() const;
+  size_t NumMembers() const;
+  /// Monotonic; bumped by every successful Update.
+  uint64_t Version() const;
+
+  /// Ring lookups (ownership is membership-only; health never moves
+  /// keys). Owner fails closed (Unavailable) on an empty ring.
+  common::Result<std::string> Owner(std::string_view key) const;
+  std::vector<std::string> Candidates(std::string_view key, size_t n) const;
+
+  BackendHealth HealthOf(const std::string& address) const;
+  void SetHealth(const std::string& address, BackendHealth health);
+
+ private:
+  mutable std::mutex mu_;
+  HashRing ring_;
+  std::unordered_map<std::string, BackendHealth> health_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace lightor::cluster
+
+#endif  // LIGHTOR_CLUSTER_MEMBERSHIP_H_

@@ -1,0 +1,192 @@
+#include "cluster/metrics.h"
+
+#include <utility>
+
+#include "net/json.h"
+
+namespace lightor::cluster {
+
+namespace {
+
+obs::Registry& Reg() { return obs::Registry::Global(); }
+
+}  // namespace
+
+obs::Counter& RouterRequestsCounter(const std::string& backend) {
+  return *Reg().GetCounter("lightor_cluster_requests_total",
+                           {{"backend", backend}});
+}
+
+obs::Counter& RouterErrorsCounter(const std::string& backend) {
+  return *Reg().GetCounter("lightor_cluster_errors_total",
+                           {{"backend", backend}});
+}
+
+obs::Counter& RouterRetriesCounter(const std::string& backend) {
+  return *Reg().GetCounter("lightor_cluster_retries_total",
+                           {{"backend", backend}});
+}
+
+obs::Counter& RouterFailoversCounter() {
+  static obs::Counter* const counter =
+      Reg().GetCounter("lightor_cluster_failovers_total");
+  return *counter;
+}
+
+obs::Counter& RouterRejectedCounter() {
+  static obs::Counter* const counter =
+      Reg().GetCounter("lightor_cluster_rejected_total");
+  return *counter;
+}
+
+obs::Gauge& RingSizeGauge() {
+  static obs::Gauge* const gauge =
+      Reg().GetGauge("lightor_cluster_ring_size");
+  return *gauge;
+}
+
+obs::Gauge& MembershipVersionGauge() {
+  static obs::Gauge* const gauge =
+      Reg().GetGauge("lightor_cluster_membership_version");
+  return *gauge;
+}
+
+obs::Gauge& BackendHealthGauge(const std::string& backend) {
+  return *Reg().GetGauge("lightor_cluster_backend_health",
+                         {{"backend", backend}});
+}
+
+obs::Counter& ScrapesCounter(bool ok) {
+  static obs::Counter* const succeeded = Reg().GetCounter(
+      "lightor_cluster_scrapes_total", {{"outcome", "ok"}});
+  static obs::Counter* const failed = Reg().GetCounter(
+      "lightor_cluster_scrapes_total", {{"outcome", "error"}});
+  return ok ? *succeeded : *failed;
+}
+
+obs::Histogram& UpstreamLatency(const std::string& backend) {
+  return *Reg().GetHistogram("lightor_cluster_upstream_seconds",
+                             obs::Histogram::LatencyBounds(),
+                             {{"backend", backend}});
+}
+
+namespace {
+
+common::Result<obs::LabelList> ParseLabels(const net::Json& entry) {
+  obs::LabelList labels;
+  const net::Json* obj = entry.Find("labels");
+  if (obj == nullptr) return labels;  // label-less series
+  if (!obj->is_object()) {
+    return common::Status::InvalidArgument(
+        "metrics json: \"labels\" must be an object");
+  }
+  for (const auto& [key, value] : obj->AsObject()) {
+    if (!value.is_string()) {
+      return common::Status::InvalidArgument(
+          "metrics json: label values must be strings");
+    }
+    labels.emplace_back(key, value.AsString());
+  }
+  return labels;
+}
+
+common::Result<double> GetNumber(const net::Json& entry, const char* field) {
+  const net::Json* value = entry.Find(field);
+  if (value == nullptr || !value->is_number()) {
+    return common::Status::InvalidArgument(
+        std::string("metrics json: missing number field \"") + field + "\"");
+  }
+  return value->AsNumber();
+}
+
+common::Result<std::string> GetName(const net::Json& entry) {
+  const net::Json* name = entry.Find("name");
+  if (name == nullptr || !name->is_string()) {
+    return common::Status::InvalidArgument(
+        "metrics json: series entry missing string \"name\"");
+  }
+  return name->AsString();
+}
+
+}  // namespace
+
+common::Result<obs::RegistrySnapshot> ParseMetricsJson(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(net::Json doc, net::Json::Parse(json));
+  if (!doc.is_object()) {
+    return common::Status::InvalidArgument(
+        "metrics json: document must be an object");
+  }
+  obs::RegistrySnapshot snapshot;
+
+  if (const net::Json* counters = doc.Find("counters")) {
+    if (!counters->is_array()) {
+      return common::Status::InvalidArgument(
+          "metrics json: \"counters\" must be an array");
+    }
+    for (const net::Json& entry : counters->AsArray()) {
+      obs::CounterSnapshot c;
+      LIGHTOR_ASSIGN_OR_RETURN(c.name, GetName(entry));
+      LIGHTOR_ASSIGN_OR_RETURN(c.labels, ParseLabels(entry));
+      LIGHTOR_ASSIGN_OR_RETURN(const double value, GetNumber(entry, "value"));
+      c.value = static_cast<uint64_t>(value);
+      snapshot.counters.push_back(std::move(c));
+    }
+  }
+
+  if (const net::Json* gauges = doc.Find("gauges")) {
+    if (!gauges->is_array()) {
+      return common::Status::InvalidArgument(
+          "metrics json: \"gauges\" must be an array");
+    }
+    for (const net::Json& entry : gauges->AsArray()) {
+      obs::GaugeSnapshot g;
+      LIGHTOR_ASSIGN_OR_RETURN(g.name, GetName(entry));
+      LIGHTOR_ASSIGN_OR_RETURN(g.labels, ParseLabels(entry));
+      LIGHTOR_ASSIGN_OR_RETURN(g.value, GetNumber(entry, "value"));
+      snapshot.gauges.push_back(std::move(g));
+    }
+  }
+
+  if (const net::Json* histograms = doc.Find("histograms")) {
+    if (!histograms->is_array()) {
+      return common::Status::InvalidArgument(
+          "metrics json: \"histograms\" must be an array");
+    }
+    for (const net::Json& entry : histograms->AsArray()) {
+      obs::HistogramSnapshot h;
+      LIGHTOR_ASSIGN_OR_RETURN(h.name, GetName(entry));
+      LIGHTOR_ASSIGN_OR_RETURN(h.labels, ParseLabels(entry));
+      const net::Json* buckets = entry.Find("buckets");
+      if (buckets == nullptr || !buckets->is_array()) {
+        return common::Status::InvalidArgument(
+            "metrics json: histogram missing \"buckets\" array");
+      }
+      for (const net::Json& bucket : buckets->AsArray()) {
+        // "le" is a number for finite bounds and the string "+Inf" for
+        // the overflow bucket (which carries no bound entry).
+        const net::Json* le = bucket.Find("le");
+        if (le == nullptr) {
+          return common::Status::InvalidArgument(
+              "metrics json: bucket missing \"le\"");
+        }
+        if (le->is_number()) h.bounds.push_back(le->AsNumber());
+        LIGHTOR_ASSIGN_OR_RETURN(const double count,
+                                 GetNumber(bucket, "count"));
+        h.bucket_counts.push_back(static_cast<uint64_t>(count));
+      }
+      if (h.bucket_counts.size() != h.bounds.size() + 1) {
+        return common::Status::InvalidArgument(
+            "metrics json: histogram must end with one +Inf bucket");
+      }
+      LIGHTOR_ASSIGN_OR_RETURN(h.sum, GetNumber(entry, "sum"));
+      LIGHTOR_ASSIGN_OR_RETURN(const double count, GetNumber(entry, "count"));
+      h.count = static_cast<uint64_t>(count);
+      snapshot.histograms.push_back(std::move(h));
+    }
+  }
+
+  return snapshot;
+}
+
+}  // namespace lightor::cluster

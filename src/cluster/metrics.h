@@ -1,0 +1,41 @@
+#ifndef LIGHTOR_CLUSTER_METRICS_H_
+#define LIGHTOR_CLUSTER_METRICS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace lightor::cluster {
+
+/// Router-side series (`lightor_cluster_*`; naming linted by
+/// tools/check_metrics_names.sh). Backend label values are dynamic
+/// (host:port from membership), so these go through the registry's
+/// interning lookup per call rather than a function-local static —
+/// a mutexed map find, noise next to the upstream round-trip each
+/// call site performs.
+obs::Counter& RouterRequestsCounter(const std::string& backend);
+obs::Counter& RouterErrorsCounter(const std::string& backend);
+obs::Counter& RouterRetriesCounter(const std::string& backend);
+obs::Counter& RouterFailoversCounter();
+/// Requests answered 503 by the router itself (empty ring, retry budget
+/// exhausted across every candidate).
+obs::Counter& RouterRejectedCounter();
+obs::Gauge& RingSizeGauge();
+obs::Gauge& MembershipVersionGauge();
+/// 1 healthy, 0.5 draining, 0 down/unknown — one gauge per backend.
+obs::Gauge& BackendHealthGauge(const std::string& backend);
+obs::Counter& ScrapesCounter(bool ok);
+obs::Histogram& UpstreamLatency(const std::string& backend);
+
+/// Parses a backend's `/metrics?format=json` export (the
+/// obs::ExportJson shape) back into a RegistrySnapshot so the router
+/// can aggregate the fleet with obs::MergeSnapshotInto. Lives here, not
+/// in obs, because obs cannot depend on the net JSON parser.
+common::Result<obs::RegistrySnapshot> ParseMetricsJson(
+    std::string_view json);
+
+}  // namespace lightor::cluster
+
+#endif  // LIGHTOR_CLUSTER_METRICS_H_

@@ -1,0 +1,92 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+
+namespace lightor::cluster {
+
+HashRing::HashRing(size_t vnodes) : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+uint64_t HashRing::Hash(std::string_view s) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+namespace {
+
+/// Ring positions are Mix(Hash(s)): raw FNV-1a has weak avalanche on
+/// the near-identical strings a ring hashes ("10.0.0.2:8080#17" vs
+/// "#18"), which clusters a member's points and skews ownership badly
+/// (measured: one member of five owning 38% of 10k keys). The
+/// SplitMix64 finalizer restores uniform placement; it is fixed-constant
+/// and seedless, so positions stay deterministic fleet-wide.
+uint64_t Mix(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+void HashRing::SetMembers(std::vector<std::string> members) {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  members_ = std::move(members);
+
+  points_.clear();
+  points_.reserve(members_.size() * vnodes_);
+  for (uint32_t m = 0; m < members_.size(); ++m) {
+    for (size_t v = 0; v < vnodes_; ++v) {
+      points_.push_back(
+          {Mix(Hash(members_[m] + "#" + std::to_string(v))), m});
+    }
+  }
+  // Ties (two vnodes hashing identically) break by member index, itself
+  // deterministic via the sorted membership — no iteration-order leaks.
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.member < b.member;
+            });
+}
+
+common::Result<std::string> HashRing::Owner(std::string_view key) const {
+  if (points_.empty()) {
+    return common::Status::Unavailable("ring: no members");
+  }
+  const uint64_t h = Mix(Hash(key));
+  auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                             [](const Point& p, uint64_t hash) {
+                               return p.hash < hash;
+                             });
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return members_[it->member];
+}
+
+std::vector<std::string> HashRing::Candidates(std::string_view key,
+                                              size_t n) const {
+  std::vector<std::string> out;
+  if (points_.empty() || n == 0) return out;
+  const size_t want = std::min(n, members_.size());
+  const uint64_t h = Mix(Hash(key));
+  auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                             [](const Point& p, uint64_t hash) {
+                               return p.hash < hash;
+                             });
+  size_t idx = static_cast<size_t>(it - points_.begin()) % points_.size();
+  std::vector<bool> seen(members_.size(), false);
+  for (size_t walked = 0; walked < points_.size() && out.size() < want;
+       ++walked) {
+    const uint32_t m = points_[(idx + walked) % points_.size()].member;
+    if (!seen[m]) {
+      seen[m] = true;
+      out.push_back(members_[m]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lightor::cluster

@@ -1,0 +1,67 @@
+#ifndef LIGHTOR_CLUSTER_RING_H_
+#define LIGHTOR_CLUSTER_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lightor::cluster {
+
+/// Consistent-hash ring with virtual nodes: every member contributes
+/// `vnodes` points at FNV-1a("<member>#<i>") on a 64-bit circle, and a
+/// key is owned by the first point clockwise of FNV-1a(key). Ownership
+/// is a pure function of the membership set — not of health — so every
+/// router instance (and a restarted one) maps the same video id to the
+/// same backend, and adding or removing one member remaps only the keys
+/// whose nearest point changed (~1/N of the keyspace; see
+/// cluster_ring_test).
+class HashRing {
+ public:
+  explicit HashRing(size_t vnodes = kDefaultVnodes);
+
+  /// Replaces the membership. Members are deduplicated and sorted before
+  /// hashing, so the ring is deterministic in the set, not the order, of
+  /// the input. An empty vector empties the ring (every lookup then
+  /// fails closed).
+  void SetMembers(std::vector<std::string> members);
+
+  /// The current membership, sorted.
+  const std::vector<std::string>& members() const { return members_; }
+  size_t num_members() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// The member owning `key`; Unavailable on an empty ring (callers
+  /// surface it as a fail-closed 503, never a guess).
+  common::Result<std::string> Owner(std::string_view key) const;
+
+  /// Up to `n` distinct members in ring order starting at `key`'s owner:
+  /// the owner first, then the failover candidates a router walks when
+  /// the owner stays unreachable.
+  std::vector<std::string> Candidates(std::string_view key, size_t n) const;
+
+  /// FNV-1a 64-bit — stable across platforms and process restarts (no
+  /// seed, no pointer mixing), which is what makes ring lookups
+  /// deterministic fleet-wide. Ring positions additionally pass through
+  /// a fixed-constant SplitMix64 finalizer (see ring.cc) so that
+  /// near-identical vnode labels spread uniformly.
+  static uint64_t Hash(std::string_view s);
+
+  static constexpr size_t kDefaultVnodes = 64;
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t member;  ///< index into members_
+  };
+
+  size_t vnodes_;
+  std::vector<std::string> members_;  ///< sorted, unique
+  std::vector<Point> points_;         ///< sorted by hash
+};
+
+}  // namespace lightor::cluster
+
+#endif  // LIGHTOR_CLUSTER_RING_H_

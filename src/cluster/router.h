@@ -1,0 +1,157 @@
+#ifndef LIGHTOR_CLUSTER_ROUTER_H_
+#define LIGHTOR_CLUSTER_ROUTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/membership.h"
+#include "common/result.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace lightor::cluster {
+
+struct RouterOptions {
+  /// Listen socket of the router itself.
+  net::NetOptions net;
+
+  /// Initial membership ("host:port" each). When `membership_file` is
+  /// set it is loaded instead and this list is ignored.
+  std::vector<std::string> backends;
+  std::string membership_file;
+
+  /// Virtual nodes per backend on the hash ring.
+  size_t vnodes = HashRing::kDefaultVnodes;
+
+  /// `/healthz` poll cadence; 0 disables the checker (tests drive
+  /// health by hand through fleet()).
+  double health_check_interval_seconds = 0.5;
+
+  /// Per-upstream-round-trip socket deadline.
+  double upstream_timeout_seconds = 5.0;
+  /// Keep-alive connections pooled per backend; also the per-backend
+  /// in-flight cap — an acquisition past it counts as backend-busy and
+  /// goes through the same backoff as a connect failure.
+  size_t upstream_pool_size = 8;
+
+  /// Retry policy. A failed upstream attempt (Unavailable, deadline, or
+  /// backend 503) is retried with jittered exponential backoff against
+  /// the key's owner until `retry_budget_seconds` is spent; only then —
+  /// when `failover` is on — does the router walk the next ring
+  /// candidates once each. Owner-first-for-the-whole-budget is what
+  /// keeps a SIGKILL+restart invisible: per-video state is sticky to
+  /// the owner, so waiting out a fast restart preserves the cluster's
+  /// byte-identical differential, while failover keeps keyspace slices
+  /// available when an owner stays dead.
+  double retry_budget_seconds = 8.0;
+  double retry_backoff_seconds = 0.05;  ///< base; doubles, jittered, capped
+  double retry_backoff_max_seconds = 1.0;
+  bool failover = true;
+  uint64_t jitter_seed = 0x5eed;
+
+  common::Status Validate() const;
+};
+
+/// The cluster front door: one HTTP process owning a consistent-hash
+/// ring over HighlightServer backends. Every data route
+/// (/visit /session /refine /ingest /finalize /highlights) is forwarded
+/// verbatim — body bytes untouched in both directions, so a cluster
+/// answers byte-identically to a single process — to the backend owning
+/// the request's video id. Adds:
+///
+///   * `/healthz`            — router liveness + per-backend health
+///   * `GET  /admin/membership`  — current ring membership + health
+///   * `POST /admin/membership`  — replace membership (deterministic
+///                                 re-hash), body {"backends":[...]}
+///   * `GET  /metrics`       — fleet aggregate: scrapes every live
+///                             backend's JSON export, merges (counters
+///                             and gauges sum, histograms merge
+///                             bucket-wise), adds `lightor_cluster_*`
+///                             router series
+///
+/// Upstream I/O runs on the worker threads of the embedded HttpServer
+/// over pooled keep-alive connections (the server has no async handoff;
+/// see net/server.h), with per-backend in-flight caps and per-attempt
+/// deadlines. The active trace context is forwarded as `traceparent`,
+/// so router→backend hops stay in one trace. Size `net.num_workers`
+/// well above the expected concurrent client load: a request whose
+/// owner is down parks on its worker for up to `retry_budget_seconds`,
+/// and with a backend-sized pool a few such requests starve /healthz,
+/// /metrics, and every healthy video's traffic (the `route` CLI
+/// defaults to 16 for this reason).
+class HighlightRouter {
+ public:
+  static common::Result<std::unique_ptr<HighlightRouter>> Create(
+      RouterOptions options);
+  ~HighlightRouter();
+
+  HighlightRouter(const HighlightRouter&) = delete;
+  HighlightRouter& operator=(const HighlightRouter&) = delete;
+
+  uint16_t port() const { return http_->port(); }
+  const RouterOptions& options() const { return options_; }
+  Fleet& fleet() { return fleet_; }
+
+  /// Stops the health checker and drains the HTTP front-end. Idempotent.
+  void Shutdown();
+
+ private:
+  explicit HighlightRouter(RouterOptions options);
+
+  net::Router BuildRoutes();
+  /// The forwarding core: ring lookup on `key`, retry/failover loop,
+  /// response passthrough.
+  net::HttpResponse Forward(const net::HttpRequest& request,
+                            const std::string& key);
+  /// One upstream attempt. A valid HTTP response — any status — is ok;
+  /// wire failures keep their typed status.
+  common::Result<net::HttpResponse> TryBackend(
+      const std::string& backend, const net::HttpRequest& request);
+
+  net::HttpResponse HandleMetrics(const net::HttpRequest& request);
+  net::HttpResponse HandleHealthz();
+  net::HttpResponse HandleGetMembership();
+  net::HttpResponse HandlePostMembership(const net::HttpRequest& request);
+  void RefreshMembershipGauges();
+
+  void HealthCheckLoop();
+  /// Interruptible sleep; returns false when shutting down.
+  bool SleepFor(double seconds);
+
+  /// Pooled keep-alive upstream connections, per backend.
+  struct Upstream {
+    std::mutex mu;
+    std::vector<std::unique_ptr<net::HttpClient>> idle;
+    size_t in_flight = 0;
+  };
+  /// nullptr when the backend is at its in-flight cap.
+  std::unique_ptr<net::HttpClient> AcquireClient(const std::string& backend);
+  void ReleaseClient(const std::string& backend,
+                     std::unique_ptr<net::HttpClient> client, bool reusable);
+
+  RouterOptions options_;
+  Fleet fleet_;
+
+  std::mutex pool_mu_;  ///< guards the map; each Upstream has its own mu
+  std::unordered_map<std::string, std::unique_ptr<Upstream>> pool_;
+
+  std::mutex jitter_mu_;
+  uint64_t jitter_state_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;  ///< guarded by stop_mu_
+
+  std::unique_ptr<net::HttpServer> http_;
+  std::thread health_thread_;
+};
+
+}  // namespace lightor::cluster
+
+#endif  // LIGHTOR_CLUSTER_ROUTER_H_

@@ -27,6 +27,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -44,9 +48,10 @@ Status ErrnoToStatus(int errno_value, std::string context) {
 
 bool IsRetryable(const Status& status) {
   // Disk-full, interrupted calls, and other transient I/O conditions all
-  // surface as IoError here; corruption and precondition failures do not
-  // heal by retrying.
-  return status.IsIoError();
+  // surface as IoError here; a dead or slow peer may come back too.
+  // Corruption and precondition failures do not heal by retrying.
+  return status.IsIoError() || status.IsUnavailable() ||
+         status.IsDeadlineExceeded();
 }
 
 std::string Status::ToString() const {

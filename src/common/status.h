@@ -21,6 +21,12 @@ enum class StatusCode {
   kIoError,
   kNotSupported,
   kInternal,
+  /// The peer is down or unreachable (connection refused/reset before a
+  /// response). Distinct from kDeadlineExceeded so cluster retry logic
+  /// can tell "backend dead, fail over now" from "backend slow, back off".
+  kUnavailable,
+  /// The operation ran out of time budget (connect/read/write timeout).
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -67,6 +73,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +97,10 @@ class Status {
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -19,8 +19,32 @@ namespace lightor::net {
 
 namespace {
 
+/// Classifies a socket errno so callers (the cluster router's retry
+/// policy in particular) can tell a dead peer from a slow one:
+///   * refused/reset/unreachable/broken-pipe -> Unavailable — the
+///     backend is down; retrying the same connection is pointless.
+///   * EAGAIN/EWOULDBLOCK/ETIMEDOUT -> DeadlineExceeded — SO_RCVTIMEO /
+///     SO_SNDTIMEO expired; the backend may just be slow.
+///   * everything else stays IoError.
 common::Status Errno(const std::string& what) {
-  return common::Status::IoError(what + ": " + std::strerror(errno));
+  const int err = errno;
+  const std::string msg = what + ": " + std::strerror(err);
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+    case EPIPE:
+      return common::Status::Unavailable(msg);
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ETIMEDOUT:
+      return common::Status::DeadlineExceeded(msg);
+    default:
+      return common::Status::IoError(msg);
+  }
 }
 
 }  // namespace
@@ -159,7 +183,10 @@ common::Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
     if (n < 0 && errno == EINTR) continue;
     if (n == 0) {
       if (parser.OnEof() == ResponseParser::State::kReady) break;
-      return common::Status::IoError("HttpClient: connection closed mid-response");
+      // The peer hung up with an incomplete response in flight — the
+      // same "backend died" shape as a reset, so type it that way.
+      return common::Status::Unavailable(
+          "HttpClient: connection closed mid-response");
     }
     return Errno("recv");
   }

@@ -30,7 +30,10 @@ class HttpClient {
   /// "/metrics?format=json"); `body` is sent verbatim with
   /// `content-type: application/json` when non-empty. Any valid HTTP
   /// response — including 4xx/5xx — is a success at this layer; only
-  /// wire failures (connect, torn response, timeout) are errors.
+  /// wire failures are errors, typed for retry policy: refused/reset
+  /// connections surface as Unavailable ("backend down"), socket
+  /// timeouts as DeadlineExceeded ("backend slow"), everything else
+  /// as IoError.
   common::Result<HttpResponse> Request(std::string_view method,
                                        std::string_view target,
                                        std::string_view body = {});

@@ -38,6 +38,7 @@ struct ThreadResult {
   size_t status_4xx = 0;
   size_t status_5xx = 0;
   size_t rejected_503 = 0;
+  size_t retries = 0;
   size_t visits = 0;
   size_t sessions = 0;
   size_t refines = 0;
@@ -137,6 +138,28 @@ class Worker {
 
     const Clock::time_point start = Clock::now();
     auto response = client_.Request(method, target, body);
+    // Cluster mode: absorb transient failures instead of tallying them.
+    // Only visit/session/refine may retry a *wire* error — they are
+    // idempotent upstream (sessions dedup by id); a died-mid-response
+    // ingest or finalize may already have been applied. A 503 response
+    // means the request was NOT accepted, so any op may retry it.
+    if (options_.retry_503) {
+      const bool wire_retryable = std::string_view(op) == "visit" ||
+                                  std::string_view(op) == "session" ||
+                                  std::string_view(op) == "refine";
+      double backoff_ms = options_.retry_backoff_ms;
+      while ((response.ok() && response.value().status == 503) ||
+             (!response.ok() && wire_retryable &&
+              common::IsRetryable(response.status()))) {
+        if (MsSince(start) / 1000.0 >= options_.retry_budget_seconds) break;
+        ++result_.retries;
+        const double jitter = 0.5 + trace_rng_.NextDouble();  // [0.5, 1.5)
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            backoff_ms * jitter));
+        backoff_ms = std::min(backoff_ms * 2.0, 1000.0);
+        response = client_.Request(method, target, body);
+      }
+    }
     SlowRequest sample;
     sample.ms = MsSince(start);
     sample.op = op;
@@ -276,6 +299,9 @@ common::Status LoadGenOptions::Validate() const {
     return common::Status::InvalidArgument("loadgen: all-zero weights");
   if (ingest_batch_size == 0)
     return common::Status::InvalidArgument("loadgen: ingest_batch_size == 0");
+  if (retry_503 && (retry_budget_seconds <= 0.0 || retry_backoff_ms <= 0.0))
+    return common::Status::InvalidArgument(
+        "loadgen: retry_503 needs positive budget and backoff");
   for (const std::string& id : live_ids) {
     if (std::find(recorded_ids.begin(), recorded_ids.end(), id) !=
         recorded_ids.end()) {
@@ -333,6 +359,7 @@ common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
     report.status_4xx += r.status_4xx;
     report.status_5xx += r.status_5xx;
     report.rejected_503 += r.rejected_503;
+    report.retries += r.retries;
     report.visits += r.visits;
     report.sessions += r.sessions;
     report.refines += r.refines;
@@ -421,6 +448,7 @@ std::string EncodeJson(const LoadGenReport& report) {
   out.Set("status_5xx", Json::Int(static_cast<int64_t>(report.status_5xx)));
   out.Set("rejected_503",
           Json::Int(static_cast<int64_t>(report.rejected_503)));
+  out.Set("retries", Json::Int(static_cast<int64_t>(report.retries)));
   Json ops = Json::MakeObject();
   ops.Set("visit", Json::Int(static_cast<int64_t>(report.visits)));
   ops.Set("session", Json::Int(static_cast<int64_t>(report.sessions)));

@@ -61,6 +61,19 @@ struct LoadGenOptions {
   size_t ingest_batch_size = 32;
   double timeout_seconds = 30.0;
 
+  /// Cluster mode: when true, a 503 response (router with every ring
+  /// candidate down, backend admission control) is retried with jittered
+  /// backoff until `retry_budget_seconds` is spent instead of counting
+  /// as a failure, and wire errors on the *idempotent* ops (visit,
+  /// session, refine — sessions are deduplicated server-side by id) are
+  /// retried the same way. This is what lets a SIGKILL'd-and-restarted
+  /// backend pass through a run with zero failed client requests.
+  /// Non-idempotent ops (ingest, finalize) never retry on a wire error:
+  /// the request may have been applied before the connection died.
+  bool retry_503 = false;
+  double retry_budget_seconds = 10.0;
+  double retry_backoff_ms = 20.0;
+
   /// Rows kept in the report's slowest-requests table (0 disables it).
   /// Each row carries the request's trace id, so a tail outlier can be
   /// pulled straight from the server's `/debug/trace` endpoint.
@@ -113,6 +126,9 @@ struct LoadGenReport {
   size_t status_4xx = 0;
   size_t status_5xx = 0;
   size_t rejected_503 = 0;  ///< admission-control rejections seen
+  /// Extra attempts spent absorbing 503s/wire errors (`retry_503` mode);
+  /// only the final attempt of each request is tallied above.
+  size_t retries = 0;
   size_t visits = 0;
   size_t sessions = 0;
   size_t refines = 0;

@@ -27,10 +27,14 @@ int HttpStatusFor(const common::Status& status) {
     case common::StatusCode::kFailedPrecondition:
       return 409;
     case common::StatusCode::kIoError:
-      // Storage write failure (disk full, wedged log). The record was NOT
-      // accepted — tell the client to retry rather than silently losing a
-      // viewer session the crowd can never re-supply.
+    case common::StatusCode::kUnavailable:
+      // Storage write failure (disk full, wedged log) or an unreachable
+      // upstream. The record was NOT accepted — tell the client to retry
+      // rather than silently losing a viewer session the crowd can never
+      // re-supply.
       return 503;
+    case common::StatusCode::kDeadlineExceeded:
+      return 504;
     default:
       return 500;
   }
@@ -133,7 +137,11 @@ Router BuildRoutes(serving::HighlightServer* server) {
 
   router.Handle("GET", "/healthz", [server](const HttpRequest&) {
     const auto recovery = server->recovery_info();
-    std::string body = "{\"status\":\"ok\",\"recovery\":{\"bootstrapped\":";
+    // "draining" is the lame-duck announcement: still serving, but a
+    // router should stop sending new work here (see BeginDrain()).
+    std::string body = "{\"status\":\"ok\",\"state\":\"";
+    body += server->draining() ? "draining" : "ok";
+    body += "\",\"recovery\":{\"bootstrapped\":";
     body += recovery.bootstrapped ? "true" : "false";
     if (recovery.bootstrapped) {
       const storage::RecoveryStats& s = recovery.stats;

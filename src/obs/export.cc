@@ -206,6 +206,48 @@ std::string ExportJson(const Registry& registry) {
   return ExportJson(registry.Snapshot());
 }
 
+void MergeSnapshotInto(RegistrySnapshot* into, const RegistrySnapshot& from) {
+  for (const auto& c : from.counters) {
+    bool merged = false;
+    for (auto& existing : into->counters) {
+      if (existing.name == c.name && existing.labels == c.labels) {
+        existing.value += c.value;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) into->counters.push_back(c);
+  }
+  for (const auto& g : from.gauges) {
+    bool merged = false;
+    for (auto& existing : into->gauges) {
+      if (existing.name == g.name && existing.labels == g.labels) {
+        existing.value += g.value;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) into->gauges.push_back(g);
+  }
+  for (const auto& h : from.histograms) {
+    bool merged = false;
+    for (auto& existing : into->histograms) {
+      if (existing.name != h.name || existing.labels != h.labels) continue;
+      if (existing.bounds == h.bounds &&
+          existing.bucket_counts.size() == h.bucket_counts.size()) {
+        for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+          existing.bucket_counts[i] += h.bucket_counts[i];
+        }
+        existing.count += h.count;
+        existing.sum += h.sum;
+      }
+      merged = true;  // bound mismatch: matched but unmergeable, skip
+      break;
+    }
+    if (!merged) into->histograms.push_back(h);
+  }
+}
+
 common::Status WriteFile(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {

@@ -21,6 +21,15 @@ std::string ExportPrometheus(const Registry& registry);
 std::string ExportJson(const RegistrySnapshot& snapshot);
 std::string ExportJson(const Registry& registry);
 
+/// Fleet aggregation: folds `from` into `into`, matching series by
+/// (name, labels). Counters and gauges sum; histograms with identical
+/// bounds merge bucket-wise (counts and sums add). A histogram whose
+/// bounds differ from the already-merged series is skipped — two
+/// processes disagreeing on bucket layout cannot be summed meaningfully.
+/// Series absent from `into` are appended. The cluster router uses this
+/// to serve one fleet-wide /metrics from per-backend scrapes.
+void MergeSnapshotInto(RegistrySnapshot* into, const RegistrySnapshot& from);
+
 /// Writes `content` to `path` (parent directories are not created).
 common::Status WriteFile(const std::string& path, const std::string& content);
 

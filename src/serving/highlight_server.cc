@@ -420,7 +420,22 @@ common::Status HighlightServer::LogSession(const LogSessionRequest& req) {
     // to the storage_flush stage of the in-flight request's trace.
     obs::ScopedStage stage(obs::Stage::kStorageFlush);
     std::lock_guard<std::mutex> db_lock(db_mu_);
-    for (const auto& ev : req.events) {
+    // Idempotence: a router may resend a session whose ack was lost in a
+    // backend crash after some durable writes. Events are separate log
+    // records, so a crash can persist a strict *prefix* of the session;
+    // dedup therefore works at event granularity. Retries carry the
+    // identical body (session ids are unique per video), so events
+    // [0, have) are exactly the ones already logged — append only the
+    // missing suffix, and ack without writing when nothing is missing.
+    const size_t have = options_.db->interactions().SessionEventCount(
+        req.video_id, req.session_id);
+    if (have >= req.events.size()) {
+      DuplicateSessionsCounter(kKind).Increment();
+      return common::Status::OK();
+    }
+    if (have > 0) DuplicateSessionsCounter(kKind).Increment();
+    for (size_t i = have; i < req.events.size(); ++i) {
+      const auto& ev = req.events[i];
       storage::InteractionRecord rec;
       rec.video_id = req.video_id;
       rec.user = req.user;
@@ -661,6 +676,7 @@ void HighlightServer::Shutdown() {
     if (shut_down_) return;
     shut_down_ = true;
   }
+  draining_.store(true, std::memory_order_relaxed);
   accepting_.store(false, std::memory_order_release);
   // Drain: synchronously consume accumulated batches, then let the
   // workers finish whatever is still queued and exit.

@@ -134,6 +134,14 @@ class HighlightServer {
   /// pool. Idempotent.
   void Shutdown();
 
+  /// Lame-duck announcement: marks the server as draining (visible in
+  /// `/healthz` as `"state":"draining"`) WITHOUT rejecting anything —
+  /// requests keep succeeding so a cluster router can eject this
+  /// backend from its ring before the hard drain starts 503ing.
+  /// Idempotent; `Shutdown()` implies it.
+  void BeginDrain() { draining_.store(true, std::memory_order_relaxed); }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
   /// The `/metrics` endpoint. Exports the process-global obs::Registry
   /// (all servers in the process share it; series are told apart by the
   /// constant, video_id-free `server` label — see serving/metrics.h).
@@ -241,6 +249,8 @@ class HighlightServer {
   bool stop_ = false;  ///< guarded by queue_mu_
 
   std::atomic<bool> accepting_{true};
+  /// Lame-duck flag: announce-only; set by BeginDrain() and Shutdown().
+  std::atomic<bool> draining_{false};
   bool shut_down_ = false;  ///< guarded by shutdown_mu_
   std::mutex shutdown_mu_;
 

@@ -87,6 +87,14 @@ obs::Counter& SessionsLoggedCounter(ServerKind kind) {
   return kind == ServerKind::kReference ? *ref : *conc;
 }
 
+obs::Counter& DuplicateSessionsCounter(ServerKind kind) {
+  static obs::Counter* const ref = &ServerCounter(
+      "lightor_web_sessions_duplicate_total", ServerKind::kReference);
+  static obs::Counter* const conc = &ServerCounter(
+      "lightor_web_sessions_duplicate_total", ServerKind::kConcurrent);
+  return kind == ServerKind::kReference ? *ref : *conc;
+}
+
 obs::Counter& InteractionEventsCounter(ServerKind kind) {
   static obs::Counter* const ref = &ServerCounter(
       "lightor_web_interaction_events_total", ServerKind::kReference);

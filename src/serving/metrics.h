@@ -30,6 +30,9 @@ obs::Histogram& RequestLatency(const char* endpoint, ServerKind kind);
 obs::Counter& PageVisitsCounter(ServerKind kind);
 obs::Counter& DotCacheCounter(ServerKind kind, bool hit);
 obs::Counter& SessionsLoggedCounter(ServerKind kind);
+/// Sessions acked without logging because their id was already stored
+/// (router retry after an ack-lost crash; see LogSession idempotence).
+obs::Counter& DuplicateSessionsCounter(ServerKind kind);
 obs::Counter& InteractionEventsCounter(ServerKind kind);
 obs::Counter& RefinePassesCounter(ServerKind kind);
 obs::Counter& DotsUpdatedCounter(ServerKind kind);

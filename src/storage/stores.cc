@@ -97,8 +97,22 @@ void ChatStore::ForEach(
 
 void InteractionStore::Put(InteractionRecord record) {
   Entry entry{std::move(record), ++generation_};
+  ++session_ids_[entry.record.video_id][entry.record.session_id];
   by_video_[entry.record.video_id].push_back(std::move(entry));
   ++total_;
+}
+
+bool InteractionStore::HasSession(const std::string& video_id,
+                                  uint64_t session_id) const {
+  return SessionEventCount(video_id, session_id) > 0;
+}
+
+size_t InteractionStore::SessionEventCount(const std::string& video_id,
+                                           uint64_t session_id) const {
+  auto it = session_ids_.find(video_id);
+  if (it == session_ids_.end()) return 0;
+  auto sit = it->second.find(session_id);
+  return sit == it->second.end() ? 0 : sit->second;
 }
 
 void InteractionStore::ForEach(
@@ -118,6 +132,7 @@ void InteractionStore::RestoreEntry(InteractionRecord record,
                                     uint64_t generation) {
   if (generation > generation_) generation_ = generation;
   Entry entry{std::move(record), generation};
+  ++session_ids_[entry.record.video_id][entry.record.session_id];
   by_video_[entry.record.video_id].push_back(std::move(entry));
   ++total_;
 }

@@ -63,6 +63,21 @@ class InteractionStore {
   std::map<uint64_t, std::vector<InteractionRecord>> SessionsSince(
       const std::string& video_id, uint64_t min_generation) const;
 
+  /// Whether any event of `session_id` has been logged for `video_id`.
+  /// O(1): backed by a per-video session-id event-count index maintained
+  /// by `Put` and `RestoreEntry` (so it survives checkpoint recovery).
+  /// The cluster router retries `/session` after an ack-lost crash; this
+  /// is the dedup that makes that retry exactly-once.
+  bool HasSession(const std::string& video_id, uint64_t session_id) const;
+
+  /// Events logged so far for (`video_id`, `session_id`); 0 when unseen.
+  /// A crash can persist a strict prefix of a session's events (they are
+  /// separate log records), so dedup must be per *event*, not per
+  /// session: the serving layer compares this count against the retried
+  /// request and appends only the missing suffix.
+  size_t SessionEventCount(const std::string& video_id,
+                           uint64_t session_id) const;
+
   uint64_t current_generation() const { return generation_; }
   size_t TotalRecords() const { return total_; }
 
@@ -89,6 +104,10 @@ class InteractionStore {
     uint64_t generation;
   };
   std::unordered_map<std::string, std::vector<Entry>> by_video_;
+  /// Events logged per (video, session id) — the `HasSession` /
+  /// `SessionEventCount` index.
+  std::unordered_map<std::string, std::unordered_map<uint64_t, size_t>>
+      session_ids_;
   uint64_t generation_ = 0;
   size_t total_ = 0;
 };

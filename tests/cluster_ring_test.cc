@@ -1,0 +1,209 @@
+#include "cluster/ring.h"
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/membership.h"
+
+namespace lightor::cluster {
+namespace {
+
+std::vector<std::string> FleetOf(size_t n) {
+  std::vector<std::string> members;
+  members.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    members.push_back("10.0.0." + std::to_string(i + 1) + ":8080");
+  }
+  return members;
+}
+
+std::vector<std::string> VideoIds(size_t n) {
+  std::vector<std::string> ids;
+  ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back("video-" + std::to_string(i));
+  }
+  return ids;
+}
+
+TEST(HashRingTest, EmptyRingFailsClosed) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  auto owner = ring.Owner("video-1");
+  ASSERT_FALSE(owner.ok());
+  EXPECT_TRUE(owner.status().IsUnavailable());
+  EXPECT_TRUE(ring.Candidates("video-1", 3).empty());
+
+  // Emptying a populated ring fails closed too.
+  ring.SetMembers(FleetOf(3));
+  ASSERT_TRUE(ring.Owner("video-1").ok());
+  ring.SetMembers({});
+  EXPECT_FALSE(ring.Owner("video-1").ok());
+}
+
+TEST(HashRingTest, OwnershipIsDeterministicAcrossInstances) {
+  // Two independently built rings (simulating a router restart, or two
+  // routers fronting the same fleet) must agree on every key — and the
+  // input order of the membership list must not matter.
+  HashRing a, b;
+  a.SetMembers(FleetOf(5));
+  std::vector<std::string> reversed = FleetOf(5);
+  std::reverse(reversed.begin(), reversed.end());
+  reversed.push_back(reversed.front());  // duplicates are deduplicated
+  b.SetMembers(reversed);
+
+  ASSERT_EQ(a.num_members(), 5u);
+  ASSERT_EQ(b.num_members(), 5u);
+  for (const auto& id : VideoIds(1000)) {
+    ASSERT_EQ(a.Owner(id).value(), b.Owner(id).value()) << id;
+  }
+}
+
+TEST(HashRingTest, AllMembersOwnSomeKeys) {
+  HashRing ring;
+  ring.SetMembers(FleetOf(4));
+  std::unordered_map<std::string, size_t> per_member;
+  const auto ids = VideoIds(10000);
+  for (const auto& id : ids) {
+    ++per_member[ring.Owner(id).value()];
+  }
+  ASSERT_EQ(per_member.size(), 4u);
+  // With 64 vnodes the split is coarse but every member must carry a
+  // real share — a degenerate ring (one member owning ~everything)
+  // would defeat the scale-out entirely.
+  for (const auto& [member, count] : per_member) {
+    EXPECT_GT(count, ids.size() / 20) << member;  // > 5% each
+  }
+}
+
+TEST(HashRingTest, AddingOneMemberRemapsAboutOneNth) {
+  // The consistent-hashing contract: going from N to N+1 members moves
+  // only the keys the new member takes over — about 1/(N+1) of the
+  // keyspace — and every moved key moves TO the new member.
+  const size_t kIds = 10000;
+  const auto ids = VideoIds(kIds);
+
+  HashRing before, after;
+  before.SetMembers(FleetOf(4));
+  after.SetMembers(FleetOf(5));
+  const std::string added = FleetOf(5).back();
+
+  size_t moved = 0;
+  for (const auto& id : ids) {
+    const std::string old_owner = before.Owner(id).value();
+    const std::string new_owner = after.Owner(id).value();
+    if (old_owner != new_owner) {
+      ++moved;
+      EXPECT_EQ(new_owner, added) << id << " moved between survivors";
+    }
+  }
+  // Expect ~1/5 = 2000 moved; allow a wide band for vnode placement
+  // noise, but well under the ~8000 a modulo-hash rebuild would move.
+  EXPECT_GT(moved, kIds / 10);      // > 10%
+  EXPECT_LT(moved, kIds * 35 / 100);  // < 35%
+}
+
+TEST(HashRingTest, RemovingOneMemberOnlyRemapsItsKeys) {
+  const auto ids = VideoIds(10000);
+  HashRing before, after;
+  before.SetMembers(FleetOf(5));
+  std::vector<std::string> survivors = FleetOf(5);
+  const std::string removed = survivors.back();
+  survivors.pop_back();
+  after.SetMembers(survivors);
+
+  for (const auto& id : ids) {
+    const std::string old_owner = before.Owner(id).value();
+    if (old_owner != removed) {
+      // Keys not owned by the departed member must not move at all.
+      ASSERT_EQ(after.Owner(id).value(), old_owner) << id;
+    }
+  }
+}
+
+TEST(HashRingTest, CandidatesAreDistinctAndStartAtOwner) {
+  HashRing ring;
+  ring.SetMembers(FleetOf(4));
+  for (const auto& id : VideoIds(100)) {
+    const auto candidates = ring.Candidates(id, 4);
+    ASSERT_EQ(candidates.size(), 4u);
+    EXPECT_EQ(candidates.front(), ring.Owner(id).value());
+    std::set<std::string> distinct(candidates.begin(), candidates.end());
+    EXPECT_EQ(distinct.size(), 4u) << id;
+  }
+  // Asking for more candidates than members caps at the membership.
+  EXPECT_EQ(ring.Candidates("video-1", 99).size(), 4u);
+}
+
+TEST(HashRingTest, HashIsStableFnv1a) {
+  // Pin the hash function: these constants are the FNV-1a test vectors.
+  // If they change, every deployed router disagrees about ownership
+  // after a rolling restart — treat this as an ABI break.
+  EXPECT_EQ(HashRing::Hash(""), 14695981039346656037ull);
+  EXPECT_EQ(HashRing::Hash("a"), 12638187200555641996ull);
+  EXPECT_EQ(HashRing::Hash("foobar"), 9625390261332436968ull);
+}
+
+TEST(FleetTest, UpdatePreservesSurvivorHealthAndBumpsVersion) {
+  Fleet fleet(/*vnodes=*/8);
+  ASSERT_TRUE(fleet.Update(FleetOf(3)).ok());
+  const uint64_t v1 = fleet.Version();
+  fleet.SetHealth("10.0.0.1:8080", BackendHealth::kDown);
+  fleet.SetHealth("10.0.0.2:8080", BackendHealth::kHealthy);
+
+  // Drop .3, add .4: survivors keep their health, the newcomer is
+  // unknown, and the version moves so observers can detect the change.
+  ASSERT_TRUE(
+      fleet
+          .Update({"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.4:8080"})
+          .ok());
+  EXPECT_GT(fleet.Version(), v1);
+  EXPECT_EQ(fleet.HealthOf("10.0.0.1:8080"), BackendHealth::kDown);
+  EXPECT_EQ(fleet.HealthOf("10.0.0.2:8080"), BackendHealth::kHealthy);
+  EXPECT_EQ(fleet.HealthOf("10.0.0.4:8080"), BackendHealth::kUnknown);
+  // Departed members are unknown and SetHealth on them is a no-op.
+  fleet.SetHealth("10.0.0.3:8080", BackendHealth::kHealthy);
+  EXPECT_EQ(fleet.HealthOf("10.0.0.3:8080"), BackendHealth::kUnknown);
+}
+
+TEST(FleetTest, UpdateRejectsBadAddressesAtomically) {
+  Fleet fleet;
+  ASSERT_TRUE(fleet.Update(FleetOf(2)).ok());
+  const uint64_t version = fleet.Version();
+  EXPECT_FALSE(fleet.Update({"10.0.0.9:8080", "no-port"}).ok());
+  // A rejected update must not half-apply.
+  EXPECT_EQ(fleet.Version(), version);
+  EXPECT_EQ(fleet.NumMembers(), 2u);
+}
+
+TEST(MembershipTest, ParseAndSplit) {
+  auto parsed =
+      ParseMembership(R"({"backends":["a:1","b:65535"]})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+
+  EXPECT_TRUE(ParseMembership(R"({"backends":[]})").ok());
+  EXPECT_FALSE(ParseMembership(R"({"backends":["a"]})").ok());
+  EXPECT_FALSE(ParseMembership(R"({"backends":["a:0"]})").ok());
+  EXPECT_FALSE(ParseMembership(R"({"backends":["a:65536"]})").ok());
+  EXPECT_FALSE(ParseMembership(R"({"backends":[":80"]})").ok());
+  EXPECT_FALSE(ParseMembership(R"({"nodes":[]})").ok());
+  EXPECT_FALSE(ParseMembership("[]").ok());
+
+  auto split = SplitAddress("host:8080");
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split.value().first, "host");
+  EXPECT_EQ(split.value().second, 8080);
+  // IPv6-ish / multi-colon: the last colon wins.
+  auto v6 = SplitAddress("::1:9090");
+  ASSERT_TRUE(v6.ok());
+  EXPECT_EQ(v6.value().first, "::1");
+  EXPECT_EQ(v6.value().second, 9090);
+}
+
+}  // namespace
+}  // namespace lightor::cluster

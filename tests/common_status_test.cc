@@ -32,6 +32,8 @@ TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
   EXPECT_TRUE(Status::IoError("x").IsIoError());
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -45,6 +47,17 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
   EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DeadlineExceeded");
+}
+
+TEST(StatusTest, RetryableCoversTransientPeerFailures) {
+  EXPECT_TRUE(IsRetryable(Status::IoError("disk full")));
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("refused")));
+  EXPECT_TRUE(IsRetryable(Status::DeadlineExceeded("timeout")));
+  EXPECT_FALSE(IsRetryable(Status::Corruption("bad record")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("bad arg")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
 }
 
 Status FailIfNegative(int x) {

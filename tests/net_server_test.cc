@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -16,6 +17,8 @@
 #include "net/client.h"
 #include "net/http.h"
 #include "net/server.h"
+#include "net/service.h"
+#include "test_stack.h"
 
 namespace lightor::net {
 namespace {
@@ -284,6 +287,72 @@ TEST(HttpServerTest, IdleConnectionsAreReaped) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   EXPECT_LT(waited, 3.0);
+  server->Shutdown();
+}
+
+TEST(HttpServerTest, HealthzReportsDrainingDuringLameDuck) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("lightor_net_server_drain_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+  auto stack = testutil::MakeServingStack(dir + "/db");
+  auto http = HttpServer::Create(NetOptions{}, BuildRoutes(stack.server.get()));
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+  HttpClient client("127.0.0.1", http.value()->port());
+
+  auto before = client.Get("/healthz");
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  ASSERT_EQ(before.value().status, 200);
+  EXPECT_NE(before.value().body.find("\"state\":\"ok\""), std::string::npos)
+      << before.value().body;
+
+  // Lame duck: announced as draining while requests still succeed.
+  stack.server->BeginDrain();
+  auto during = client.Get("/healthz");
+  ASSERT_TRUE(during.ok()) << during.status().ToString();
+  ASSERT_EQ(during.value().status, 200);
+  EXPECT_NE(during.value().body.find("\"state\":\"draining\""),
+            std::string::npos)
+      << during.value().body;
+  const std::string video_id = stack.platform->AllVideoIds()[0];
+  auto visit = client.Post("/visit", "{\"video_id\":\"" + video_id +
+                                         "\",\"user\":\"u1\"}");
+  ASSERT_TRUE(visit.ok()) << visit.status().ToString();
+  EXPECT_EQ(visit.value().status, 200) << visit.value().body;
+
+  http.value()->Shutdown();
+  stack.server->Shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HttpClientTest, ConnectRefusedIsUnavailable) {
+  // Grab a port that was just listening and no longer is: connecting to
+  // it gets a deterministic ECONNREFUSED rather than a hang.
+  auto server = MustStart(NetOptions{});
+  const uint16_t dead_port = server->port();
+  server->Shutdown();
+  server.reset();
+
+  HttpClient client("127.0.0.1", dead_port);
+  client.set_timeout_seconds(2.0);
+  auto resp = client.Get("/ping");
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsUnavailable()) << resp.status().ToString();
+}
+
+TEST(HttpClientTest, ReadTimeoutIsDeadlineExceeded) {
+  // The server-side request deadline must not fire first, so give the
+  // server a long deadline and the client a short socket timeout.
+  NetOptions options;
+  options.request_deadline_seconds = 10.0;
+  auto server = MustStart(std::move(options));
+
+  HttpClient client("127.0.0.1", server->port());
+  client.set_timeout_seconds(0.3);
+  auto resp = client.Get("/slow?ms=2000");
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsDeadlineExceeded()) << resp.status().ToString();
   server->Shutdown();
 }
 

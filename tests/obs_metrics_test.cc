@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/metrics.h"
 #include "common/parallel.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -256,6 +257,73 @@ TEST(ObsMetricsTest, VocabularyInterningRegistersArenaCounters) {
   EXPECT_EQ(vocabulary.AddToken("pogchamp"), 0);  // hit: no new interning
   EXPECT_EQ(interned->value(), interned_before + 2);
   EXPECT_EQ(arena_bytes->value(), arena_before + 10);  // "pogchamp"+"gg"
+}
+
+// ---- fleet aggregation ---------------------------------------------------
+
+TEST(ObsExportTest, MergeSnapshotSumsMatchingSeries) {
+  RegistrySnapshot into = ExporterFixture();
+  RegistrySnapshot from = ExporterFixture();
+  MergeSnapshotInto(&into, from);
+  // Same (name, labels) → values sum; histograms merge bucket-wise.
+  ASSERT_EQ(into.counters.size(), 1u);
+  EXPECT_EQ(into.counters[0].value, 14u);
+  ASSERT_EQ(into.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(into.gauges[0].value, 1.0);
+  ASSERT_EQ(into.histograms.size(), 1u);
+  EXPECT_EQ(into.histograms[0].count, 12u);
+  EXPECT_DOUBLE_EQ(into.histograms[0].sum, 25.0);
+  EXPECT_EQ(into.histograms[0].bucket_counts,
+            (std::vector<uint64_t>{6, 2, 4}));
+}
+
+TEST(ObsExportTest, MergeSnapshotAppendsUnmatchedSeries) {
+  RegistrySnapshot into = ExporterFixture();
+  RegistrySnapshot from;
+  from.counters.push_back({"lightor_test_export_total",
+                           {{"stage", "two"}},  // different labels
+                           5});
+  from.counters.push_back({"lightor_test_other_total", {}, 3});
+  MergeSnapshotInto(&into, from);
+  ASSERT_EQ(into.counters.size(), 3u);
+  EXPECT_EQ(into.counters[0].value, 7u);  // original untouched
+  EXPECT_EQ(into.counters[1].value, 5u);
+  EXPECT_EQ(into.counters[2].value, 3u);
+}
+
+TEST(ObsExportTest, MergeSnapshotSkipsBoundMismatchedHistograms) {
+  RegistrySnapshot into = ExporterFixture();
+  RegistrySnapshot from = ExporterFixture();
+  from.histograms[0].bounds = {1.0, 4.0};  // incompatible buckets
+  MergeSnapshotInto(&into, from);
+  // The mismatched histogram must neither sum nor duplicate — a merge
+  // of incompatible buckets would fabricate latencies.
+  ASSERT_EQ(into.histograms.size(), 1u);
+  EXPECT_EQ(into.histograms[0].count, 6u);
+}
+
+TEST(ObsMetricsTest, ClusterSeriesFollowNamingConvention) {
+  // The router's fleet series (registered in cluster/metrics.cc) must
+  // land in the shared registry under lightor_cluster_* names — the
+  // contract check_metrics_names.sh lints and dashboards key on.
+  cluster::RouterRequestsCounter("127.0.0.1:1").Increment();
+  cluster::RouterRetriesCounter("127.0.0.1:1").Increment();
+  cluster::RouterFailoversCounter().Increment();
+  cluster::RouterRejectedCounter().Increment();
+  cluster::RingSizeGauge().Set(3);
+  cluster::BackendHealthGauge("127.0.0.1:1").Set(1.0);
+  cluster::ScrapesCounter(true).Increment();
+  cluster::UpstreamLatency("127.0.0.1:1").Observe(0.01);
+
+  const std::vector<std::string> names = Registry::Global().SeriesNames();
+  for (const char* want :
+       {"lightor_cluster_requests_total", "lightor_cluster_retries_total",
+        "lightor_cluster_failovers_total", "lightor_cluster_rejected_total",
+        "lightor_cluster_ring_size", "lightor_cluster_backend_health",
+        "lightor_cluster_scrapes_total", "lightor_cluster_upstream_seconds"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+        << want;
+  }
 }
 
 TEST(ObsMetricsTest, SnapshotCoversEveryRegisteredSeries) {

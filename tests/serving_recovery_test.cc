@@ -260,9 +260,17 @@ TEST_F(ServingRecoveryTest, SessionLoggingFailureMaps503OnTheWire) {
   // Healthy path first: 200.
   EXPECT_EQ((*handler)(wire).status, 200);
 
-  const uint64_t errors_before = counter->value();
+  // A resend of the same session id is deduplicated — acked 200 without
+  // touching storage, even with every subsequent write poisoned. This is
+  // what makes a router retry after a lost ack exactly-once.
   env_.InjectAt(env_.io_points(), ft::FaultKind::kEnospc);
-  wire.body = body;  // same session again, new attempt
+  wire.body = body;
+  EXPECT_EQ((*handler)(wire).status, 200);
+
+  const uint64_t errors_before = counter->value();
+  req.session_id = 2;  // a fresh session must reach the poisoned log
+  const std::string body2 = net::EncodeJson(req);
+  wire.body = body2;
   net::HttpResponse response = (*handler)(wire);
   EXPECT_EQ(response.status, 503);
   const std::string* retry = response.FindHeader("retry-after");

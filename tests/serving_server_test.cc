@@ -159,6 +159,35 @@ TEST_F(HighlightServerTest, ExplicitRefineAdvancesSnapshotVersion) {
   EXPECT_EQ(empty.value().dots_updated, 0);
 }
 
+TEST_F(HighlightServerTest, LogSessionIsIdempotentPerSessionId) {
+  auto db = OpenDb(dir_);
+  ServerOptions opts = BaseOptions(db.get());
+  opts.refine_batch_sessions = 0;
+  auto server = HighlightServer::Create(opts);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.value()->OnPageVisit({video_id_, "u"}).ok());
+
+  const auto video = platform_->GetVideo(video_id_).value();
+  sim::ViewerSimulator viewers;
+  common::Rng rng(74);
+  const auto dots = server.value()->GetHighlights(video_id_).value();
+  const auto session = viewers.SimulateSession(
+      video.truth, dots.highlights[0].dot_position, rng, "w0");
+  const LogSessionRequest req = MakeLog(video_id_, session, 7);
+  ASSERT_TRUE(server.value()->LogSession(req).ok());
+  const size_t logged_once = db->interactions().TotalRecords();
+  EXPECT_GT(logged_once, 0u);
+
+  // A router retry resends the identical session after a lost ack: it
+  // must be acked OK without double-logging any event.
+  ASSERT_TRUE(server.value()->LogSession(req).ok());
+  EXPECT_EQ(db->interactions().TotalRecords(), logged_once);
+
+  // A different session id from the same user still lands.
+  ASSERT_TRUE(server.value()->LogSession(MakeLog(video_id_, session, 8)).ok());
+  EXPECT_EQ(db->interactions().TotalRecords(), 2 * logged_once);
+}
+
 TEST_F(HighlightServerTest, BackgroundWorkersRefineOnBatchThreshold) {
   auto db = OpenDb(dir_);
   ServerOptions opts = BaseOptions(db.get());

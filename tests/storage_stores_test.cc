@@ -100,6 +100,35 @@ TEST(InteractionStoreTest, UnknownVideoEmpty) {
   EXPECT_TRUE(store.SessionsForVideo("none").empty());
 }
 
+TEST(InteractionStoreTest, HasSessionTracksPutAndRestore) {
+  InteractionStore store;
+  EXPECT_FALSE(store.HasSession("v", 1));
+  store.Put(Interaction("v", 1, 0.0, StoredInteraction::kPlay));
+  EXPECT_TRUE(store.HasSession("v", 1));
+  EXPECT_FALSE(store.HasSession("v", 2));
+  EXPECT_FALSE(store.HasSession("other", 1));  // scoped per video
+  // Checkpoint load path must keep the index dedup-correct after a
+  // restart.
+  store.RestoreEntry(Interaction("w", 9, 0.0, StoredInteraction::kPlay), 5);
+  EXPECT_TRUE(store.HasSession("w", 9));
+}
+
+TEST(InteractionStoreTest, SessionEventCountIsPerEvent) {
+  // A crash can persist a strict prefix of a session's events, so the
+  // dedup index counts events, not just session presence — the serving
+  // layer resumes a torn session by appending from this count.
+  InteractionStore store;
+  EXPECT_EQ(store.SessionEventCount("v", 1), 0u);
+  store.Put(Interaction("v", 1, 0.0, StoredInteraction::kPlay));
+  store.Put(Interaction("v", 1, 1.0, StoredInteraction::kPause));
+  EXPECT_EQ(store.SessionEventCount("v", 1), 2u);
+  EXPECT_EQ(store.SessionEventCount("v", 2), 0u);
+  EXPECT_EQ(store.SessionEventCount("other", 1), 0u);  // scoped per video
+  // Checkpoint load accumulates the same counts as the original Puts.
+  store.RestoreEntry(Interaction("v", 1, 2.0, StoredInteraction::kPlay), 7);
+  EXPECT_EQ(store.SessionEventCount("v", 1), 3u);
+}
+
 HighlightRecord Dot(const std::string& video, int32_t index, int32_t iter,
                     double start = 100.0) {
   HighlightRecord rec;

@@ -1,0 +1,68 @@
+#ifndef LIGHTOR_TESTS_TEST_STACK_H_
+#define LIGHTOR_TESTS_TEST_STACK_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/lightor.h"
+#include "serving/highlight_server.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/platform.h"
+#include "storage/database.h"
+
+namespace lightor::testutil {
+
+/// A self-contained HighlightServer stack for HTTP-level tests: small
+/// deterministic platform (2 channels x 2 videos, seed 7), fresh
+/// database in `db_dir`, corpus-trained Lightor, per-append WAL flushes
+/// (batched_session_flush off) so every /session is durable on ack —
+/// the property cluster crash tests rely on.
+struct ServingStack {
+  std::unique_ptr<sim::Platform> platform;
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<core::Lightor> lightor;
+  std::unique_ptr<serving::HighlightServer> server;
+};
+
+inline ServingStack MakeServingStack(const std::string& db_dir) {
+  ServingStack stack;
+  sim::Platform::Options popts;
+  popts.num_channels = 2;
+  popts.videos_per_channel = 2;
+  popts.seed = 7;
+  stack.platform = std::make_unique<sim::Platform>(popts);
+  auto db = storage::DB::Open(storage::OpenOptions(db_dir));
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  stack.db = std::move(db.value().db);
+
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 1007);
+  core::TrainingVideo tv;
+  tv.messages = sim::ToCoreMessages(corpus[0].chat);
+  tv.video_length = corpus[0].truth.meta.length;
+  for (const auto& h : corpus[0].truth.highlights) {
+    tv.highlights.push_back(h.span);
+  }
+  stack.lightor = std::make_unique<core::Lightor>(core::LightorOptions{});
+  EXPECT_TRUE(stack.lightor->TrainInitializer({tv}).ok());
+
+  serving::ServerOptions sopts;
+  sopts.platform = serving::Borrow(
+      static_cast<const sim::Platform*>(stack.platform.get()));
+  sopts.db = serving::Borrow(stack.db.get());
+  sopts.lightor = serving::Borrow(
+      static_cast<const core::Lightor*>(stack.lightor.get()));
+  sopts.num_workers = 2;
+  sopts.refine_batch_sessions = 0;
+  sopts.batched_session_flush = false;
+  auto server = serving::HighlightServer::Create(sopts);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  stack.server = std::move(server).value();
+  return stack;
+}
+
+}  // namespace lightor::testutil
+
+#endif  // LIGHTOR_TESTS_TEST_STACK_H_

@@ -5,12 +5,20 @@
 #
 #   sh tools/check_bench_regression.sh NEW.json BASELINE.json [max_pct]
 #
-# Works on two formats, auto-detected from the new file:
+# Works on three formats, auto-detected from the new file:
 #
 #  - recovery_bench scale lines ("sessions", "ckpt_open_s", "speedup"):
 #    per scale present in BOTH files, ckpt_open_s must not regress by more
 #    than max_pct (default 10%), and speedup at >=1M sessions must stay
 #    >= 10x (the PR acceptance bar).
+#
+#  - cluster_bench entry lines (an "overhead_p99_pct" key anywhere):
+#    latencies, lower is better. Per name present in BOTH files,
+#    router_p99 must not regress by more than max_pct plus an absolute
+#    slack (loopback p99s wobble), and any entry carrying
+#    overhead_p99_pct must keep it <= 20 (the router-overhead acceptance
+#    bar) unless the absolute gap router_p99 - direct_p99 is inside the
+#    slack.
 #
 #  - hotpath_bench entry lines ('"entries"' header, then one
 #    {"name",...,"value",...} per line): values are throughputs
@@ -27,6 +35,62 @@ eps_s=0.005  # absolute slack: ignore sub-5ms wobble
 
 [ -f "$new" ] || { echo "check_bench_regression: missing $new" >&2; exit 2; }
 [ -f "$base" ] || { echo "check_bench_regression: missing $base" >&2; exit 2; }
+
+if grep -q '"overhead_p99_pct"' "$new"; then
+  # cluster_bench mode: "name router_p99 direct_p99 overhead" per entry.
+  eps_ms=0.5  # absolute slack: loaded loopback p99s wobble by fractions of a ms
+  overhead_bar=20
+
+  extract_cluster() {
+    awk -F'[:,]' '/"name"/ {
+      name = ""; router = ""; direct = ""; overhead = ""
+      for (i = 1; i < NF; ++i) {
+        if ($i ~ /"name"/) { name = $(i + 1); gsub(/[" }\]]/, "", name) }
+        if ($i ~ /"router_p99"/) { router = $(i + 1)
+                                   gsub(/[" }\]]/, "", router) }
+        if ($i ~ /"direct_p99"/) { direct = $(i + 1)
+                                   gsub(/[" }\]]/, "", direct) }
+        if ($i ~ /"overhead_p99_pct"/) { overhead = $(i + 1)
+                                         gsub(/[" }\]]/, "", overhead) }
+      }
+      if (name != "" && router != "") print name, router, direct, overhead
+    }' "$1"
+  }
+
+  extract_cluster "$new" > "${new}.cluster.tmp"
+  extract_cluster "$base" > "${base}.cluster.tmp"
+
+  fail=0
+  while read -r name new_router new_direct new_overhead; do
+    base_line=$(awk -v n="$name" '$1 == n' "${base}.cluster.tmp")
+    if [ -z "$base_line" ]; then
+      echo "check_bench_regression: entry $name not in baseline; skipped"
+      continue
+    fi
+    base_router=$(echo "$base_line" | awk '{print $2}')
+    verdict=$(awk -v n="$new_router" -v b="$base_router" -v p="$max_pct" \
+                  -v e="$eps_ms" -v d="$new_direct" -v ov="$new_overhead" \
+                  -v bar="$overhead_bar" -v name="$name" '
+      BEGIN {
+        limit = b * (1 + p / 100) + e
+        if (n > limit) {
+          printf "REGRESSION %s: router p99 %.3fms vs baseline %.3fms (>%s%% + %.1fms slack)\n", name, n, b, p, e
+        }
+        if (ov != "" && ov + 0 > bar && n - d > e) {
+          printf "REGRESSION %s: router overhead %.1f%% p99 is above the %d%% bar\n", name, ov, bar
+        }
+      }')
+    if [ -n "$verdict" ]; then
+      echo "$verdict" >&2
+      fail=1
+    else
+      echo "ok entry $name: router p99 ${new_router}ms (baseline ${base_router}ms${new_overhead:+, overhead ${new_overhead}%})"
+    fi
+  done < "${new}.cluster.tmp"
+
+  rm -f "${new}.cluster.tmp" "${base}.cluster.tmp"
+  exit "$fail"
+fi
 
 if grep -q '"entries"' "$new"; then
   # hotpath_bench mode: "name value speedup" per entry line.

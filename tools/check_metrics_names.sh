@@ -2,8 +2,8 @@
 # Lints metric registration sites for the repo naming convention:
 #
 #   lightor_<layer>_<name>     layer in: core sim storage serving web
-#                              stream net obs text ml common bench
-#                              test(s) testing
+#                              stream net cluster obs text ml common
+#                              bench test(s) testing
 #   counters end in _total; gauges/histograms must not
 #
 # and flags the same metric name registered as two different kinds
@@ -38,7 +38,7 @@ status=0
 bad=$(printf '%s\n' "$parsed" | awk '
   {
     site = $1; kind = $2; name = $3
-    if (name !~ /^lightor_(core|sim|storage|serving|stream|web|net|obs|text|ml|common|bench|tests?|testing)_[a-z0-9_]+$/) {
+    if (name !~ /^lightor_(core|sim|storage|serving|stream|web|net|cluster|obs|text|ml|common|bench|tests?|testing)_[a-z0-9_]+$/) {
       printf "%s: bad metric name %s (want lightor_<layer>_<name>, lowercase)\n", site, name
     } else if (kind == "Counter" && name !~ /_total$/) {
       printf "%s: counter %s must end in _total\n", site, name

@@ -14,10 +14,14 @@
 ///                   --seed=7 --k=5 --streams=2 --batch-size=32
 ///                   --refresh=64 --shards=16]
 ///   lightor serve-http --db=DIR [--port=0 --port-file=FILE --duration=S
-///                   --net-workers=4 --max-in-flight=64 --deadline=10]
-///   lightor loadgen --port=N | --check --db=DIR
+///                   --net-workers=4 --max-in-flight=64 --deadline=10
+///                   --drain-grace=0]
+///   lightor route   --backends=H:P,H:P,... | --membership-file=F
+///                   [--port=0 --port-file=FILE --duration=S --vnodes=64
+///                   --health-interval=0.5 --retry-budget=8]
+///   lightor loadgen --port=N | --check --db=DIR [--port=N]
 ///                   [--threads=8 --requests=128 --recorded=2 --live=2
-///                   --slowest=8 --slo=all:50,session:80]
+///                   --slowest=8 --slo=all:50,session:80 --retry-503]
 ///   lightor curl    --port=N [--target=/healthz --method=GET --body=JSON
 ///                   --traceparent=00-...-...-01]
 ///   lightor checkpoint --db=DIR [--keep-consumed]
@@ -33,11 +37,13 @@
 /// recorded chat as interleaved live broadcasts through the server's
 /// ingest path, finalizes each stream, and differential-checks the
 /// result against the batch initializer; `serve-http` exposes the
-/// HighlightServer over the src/net wire front-end; `loadgen` drives a
-/// closed-loop multi-threaded traffic mix against it (`--check` hosts
-/// the whole stack in-process and byte-compares the served state with an
-/// independent reference server); `curl` is a one-shot HTTP client for
-/// smoke tests.
+/// HighlightServer over the src/net wire front-end; `route` runs the
+/// cluster front door (`src/cluster`) over a fleet of serve-http
+/// backends; `loadgen` drives a closed-loop multi-threaded traffic mix
+/// against it (`--check` byte-compares the served state with an
+/// independent reference server — self-hosting the stack in-process, or
+/// against an external `--port`, e.g. a router fronting a cluster);
+/// `curl` is a one-shot HTTP client for smoke tests.
 
 #include <atomic>
 #include <chrono>
@@ -51,6 +57,7 @@
 #include <string>
 #include <thread>
 
+#include "cluster/router.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/logging.h"
@@ -79,7 +86,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: lightor <gen|train|detect|eval|extract|serve|stream|"
-               "serve-http|loadgen|curl|checkpoint|inspect-manifest> "
+               "serve-http|route|loadgen|curl|checkpoint|inspect-manifest> "
                "[--flags]\n"
                "run with a command and no flags to see its options\n"
                "global flags: --log-level=debug|info|warning|error\n"
@@ -620,7 +627,7 @@ int CmdServeHttp(const common::Flags& flags) {
                  "            --deadline=10 --idle-timeout=60 --poll "
                  "--batched-flush=true\n"
                  "            --checkpoint-sessions=0 "
-                 "--checkpoint-interval=0]\n");
+                 "--checkpoint-interval=0 --drain-grace=0]\n");
     return 2;
   }
   auto stack = MakeServingStack(
@@ -657,6 +664,15 @@ int CmdServeHttp(const common::Flags& flags) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  // Lame duck: announce draining via /healthz for the grace period while
+  // still serving, so a cluster router can eject this backend from
+  // failover choices before the listener actually goes away.
+  if (const double grace = flags.GetDouble("drain-grace", 0.0); grace > 0.0) {
+    stack.value().server->BeginDrain();
+    std::printf("draining (%.1fs grace)\n", grace);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(grace));
+  }
   http.value()->Shutdown();
   stack.value().server->Shutdown();
   std::printf("drained\n");
@@ -668,14 +684,18 @@ int CmdLoadgen(const common::Flags& flags) {
   if (!check && !flags.Has("port")) {
     std::fprintf(stderr,
                  "loadgen: --port=N required (or --check --db=DIR for the "
-                 "self-hosted differential mode)\n"
+                 "self-hosted differential mode;\n"
+                 "  --check --db=DIR --port=N differential-checks an "
+                 "external server, e.g. a cluster router)\n"
                  "  [--host=127.0.0.1 --threads=8 --requests=128 --seed=7\n"
                  "   --recorded=2 --live=2 --batch-size=32 --channels=2\n"
                  "   --videos-per-channel=2 --visit-w=4 --session-w=8 "
                  "--refine-w=1 --ingest-w=2\n"
                  "   --slowest=8 --slo=op:p99_ms,... (ops: visit session "
                  "refine ingest finalize all;\n"
-                 "   a violated target exits 1)]\n");
+                 "   a violated target exits 1)\n"
+                 "   --retry-503 --retry-budget=10 (cluster mode: absorb "
+                 "503s/transient wire errors)]\n");
     return 2;
   }
 
@@ -723,6 +743,8 @@ int CmdLoadgen(const common::Flags& flags) {
       pos = comma + 1;
     }
   }
+  lgopts.retry_503 = flags.GetBool("retry-503", false);
+  lgopts.retry_budget_seconds = flags.GetDouble("retry-budget", 10.0);
   lgopts.platform = &platform;
   const size_t recorded = std::min(
       static_cast<size_t>(flags.GetInt("recorded", 2)), ids.size());
@@ -734,34 +756,41 @@ int CmdLoadgen(const common::Flags& flags) {
       ids.begin() + static_cast<ptrdiff_t>(recorded),
       ids.begin() + static_cast<ptrdiff_t>(recorded + live));
 
-  // --check hosts the full socket stack in-process: a served
-  // HighlightServer behind HttpServer, and an independent reference
+  // --check compares served state against an independent reference
   // HighlightServer the recorded traffic is replayed into. Background
-  // refinement is off on both (refine_batch=0) and /refine is out of the
-  // mix, so final state is a pure function of the accepted traffic.
+  // refinement must be off on the served side (refine_batch=0) and
+  // /refine is out of the mix, so final state is a pure function of the
+  // accepted traffic. Without --port the full socket stack is hosted
+  // in-process; with --port the served side is external — typically a
+  // cluster router, making this the fleet-vs-one-process differential.
   ServingStack served;
   ServingStack reference;
   std::unique_ptr<net::HttpServer> http;
+  const bool external_check = check && flags.Has("port");
   if (check) {
     const std::string db_dir = flags.GetString("db");
     if (db_dir.empty()) {
       std::fprintf(stderr, "loadgen: --check requires --db=DIR\n");
       return 2;
     }
-    auto s = MakeServingStack(flags, db_dir + "/served", 0, true);
-    if (!s.ok()) return Fail(s.status());
-    served = std::move(s).value();
     auto r = MakeServingStack(flags, db_dir + "/reference", 0, false);
     if (!r.ok()) return Fail(r.status());
     reference = std::move(r).value();
-    net::NetOptions nopts = NetOptionsFromFlags(flags);
-    nopts.port = 0;
-    auto create = net::HttpServer::Create(
-        nopts, net::BuildRoutes(served.server.get()));
-    if (!create.ok()) return Fail(create.status());
-    http = std::move(create).value();
-    lgopts.host = "127.0.0.1";
-    lgopts.port = http->port();
+    if (external_check) {
+      lgopts.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+    } else {
+      auto s = MakeServingStack(flags, db_dir + "/served", 0, true);
+      if (!s.ok()) return Fail(s.status());
+      served = std::move(s).value();
+      net::NetOptions nopts = NetOptionsFromFlags(flags);
+      nopts.port = 0;
+      auto create = net::HttpServer::Create(
+          nopts, net::BuildRoutes(served.server.get()));
+      if (!create.ok()) return Fail(create.status());
+      http = std::move(create).value();
+      lgopts.host = "127.0.0.1";
+      lgopts.port = http->port();
+    }
   } else {
     lgopts.port = static_cast<uint16_t>(flags.GetInt("port", 0));
   }
@@ -788,8 +817,8 @@ int CmdLoadgen(const common::Flags& flags) {
     } else {
       std::printf("differential check: OK\n");
     }
-    http->Shutdown();
-    served.server->Shutdown();
+    if (http != nullptr) http->Shutdown();
+    if (served.server != nullptr) served.server->Shutdown();
     reference.server->Shutdown();
   }
   return code;
@@ -860,6 +889,81 @@ int CmdInspectManifest(const common::Flags& flags) {
   return 0;
 }
 
+int CmdRoute(const common::Flags& flags) {
+  const std::string backends = flags.GetString("backends");
+  const std::string membership_file = flags.GetString("membership-file");
+  if (backends.empty() && membership_file.empty()) {
+    std::fprintf(
+        stderr,
+        "route: --backends=HOST:PORT,... or --membership-file=FILE "
+        "required\n"
+        "  [--port=0 --port-file=FILE --duration=SECONDS --vnodes=64\n"
+        "   --health-interval=0.5 --upstream-timeout=5 --pool-size=8\n"
+        "   --retry-budget=8 --retry-backoff=0.05 --no-failover\n"
+        "   --net-workers=16 --max-in-flight=64 --deadline=10]\n"
+        "runs the cluster front door: consistent-hash routing of every "
+        "data route\nto serve-http backends, with retry/failover, "
+        "membership admin, and fleet\n/metrics aggregation\n");
+    return 2;
+  }
+
+  cluster::RouterOptions ropts;
+  ropts.net = NetOptionsFromFlags(flags);
+  // A request whose owner is down parks on a router worker for up to the
+  // whole retry budget, so the router needs far more workers than a
+  // backend: with a backend-sized pool a few in-flight requests to a dead
+  // owner starve /healthz, /metrics, and every other video's traffic
+  // (and a starved control plane delays the restart that the retry
+  // budget is waiting for).
+  ropts.net.num_workers = static_cast<size_t>(flags.GetInt("net-workers", 16));
+  ropts.membership_file = membership_file;
+  for (const std::string& address : common::Split(backends, ',')) {
+    if (!address.empty()) ropts.backends.push_back(address);
+  }
+  ropts.vnodes = static_cast<size_t>(flags.GetInt("vnodes", 64));
+  ropts.health_check_interval_seconds =
+      flags.GetDouble("health-interval", 0.5);
+  ropts.upstream_timeout_seconds = flags.GetDouble("upstream-timeout", 5.0);
+  ropts.upstream_pool_size =
+      static_cast<size_t>(flags.GetInt("pool-size", 8));
+  ropts.retry_budget_seconds = flags.GetDouble("retry-budget", 8.0);
+  ropts.retry_backoff_seconds = flags.GetDouble("retry-backoff", 0.05);
+  ropts.failover = !flags.GetBool("no-failover", false);
+
+  auto router = cluster::HighlightRouter::Create(std::move(ropts));
+  if (!router.ok()) return Fail(router.status());
+  std::printf("routing on %s:%u over %zu backend(s)\n",
+              router.value()->options().net.host.c_str(),
+              router.value()->port(), router.value()->fleet().NumMembers());
+  std::fflush(stdout);
+  if (const std::string path = flags.GetString("port-file"); !path.empty()) {
+    std::ofstream out(path, std::ios::trunc);
+    out << router.value()->port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  const double duration = flags.GetDouble("duration", 0.0);
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    if (duration > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= duration) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  router.value()->Shutdown();
+  std::printf("drained\n");
+  return 0;
+}
+
 int CmdCurl(const common::Flags& flags) {
   if (!flags.Has("port")) {
     std::fprintf(stderr,
@@ -915,6 +1019,8 @@ int main(int argc, char** argv) {
     code = CmdStream(flags);
   } else if (command == "serve-http") {
     code = CmdServeHttp(flags);
+  } else if (command == "route") {
+    code = CmdRoute(flags);
   } else if (command == "loadgen") {
     code = CmdLoadgen(flags);
   } else if (command == "curl") {
