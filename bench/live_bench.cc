@@ -1,0 +1,299 @@
+/// Live multi-channel ingest benchmark: over-the-wire msgs/sec into a
+/// `HighlightServer` running the fair-share ingest scheduler, at 1k/4k/
+/// 10k concurrent channels, single frames vs chunked batch frames.
+/// Emits BENCH_live.json; tools/check_bench_regression.sh compares runs
+/// against the committed baseline and flags >10% throughput drops.
+///
+/// Entries (unit msgs_per_sec, higher is better):
+///
+///   live_single_<C>   one message per POST /ingest, C channels round-
+///                     robin — the naive client every chat relay starts
+///                     with
+///   live_batch_<C>    chunked frames: 32 channels x 8 messages per
+///                     POST, decoded through the arena JsonDoc path.
+///                     Carries the single-frame number as
+///                     `baseline_legacy`, so the committed file *is* the
+///                     batching evidence; the run aborts if batching
+///                     does not deliver at least 2x (the PR acceptance
+///                     bar)
+///
+/// The top-level `provisional_p99_ms` field is the p99 over channels of
+/// the worst provisional-snapshot staleness observed while the batch
+/// run drained — informational (scale- and machine-dependent), not
+/// gated here; the flash-crowd loadgen scenario gates its own SLO.
+///
+///   bench/live_bench [--quick] [--threads=8] [--msgs-per-channel=8]
+///                    [--out=BENCH_live.json] [--dir=/tmp/...]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/lightor.h"
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/server.h"
+#include "net/service.h"
+#include "serving/highlight_server.h"
+#include "sim/bridge.h"
+#include "sim/corpus.h"
+#include "sim/platform.h"
+#include "storage/database.h"
+
+namespace lightor::bench {
+namespace {
+
+constexpr size_t kFrameChannels = 32;  ///< channels per batch frame
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The test_stack.h serving stack, minus gtest, plus the live-ingest
+/// scheduler: 2 drain workers, provisional snapshots every 16 messages,
+/// 50ms publish-delay bound for cold channels. No admission budget —
+/// this measures throughput, not throttling.
+struct Stack {
+  std::unique_ptr<sim::Platform> platform;
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<core::Lightor> lightor;
+  std::unique_ptr<serving::HighlightServer> server;
+};
+
+Stack MakeStack(const std::string& db_dir) {
+  Stack stack;
+  sim::Platform::Options popts;
+  popts.num_channels = 2;
+  popts.videos_per_channel = 2;
+  popts.seed = 7;
+  stack.platform = std::make_unique<sim::Platform>(popts);
+  auto db = storage::DB::Open(storage::OpenOptions(db_dir));
+  if (!db.ok()) {
+    std::fprintf(stderr, "db open: %s\n", db.status().ToString().c_str());
+    std::exit(2);
+  }
+  stack.db = std::move(db.value().db);
+
+  const auto corpus = sim::MakeCorpus(sim::GameType::kDota2, 1, 1007);
+  core::TrainingVideo tv = ToTraining(corpus[0]);
+  stack.lightor = std::make_unique<core::Lightor>(core::LightorOptions{});
+  if (!stack.lightor->TrainInitializer({tv}).ok()) {
+    std::fprintf(stderr, "initializer training failed\n");
+    std::exit(2);
+  }
+
+  serving::ServerOptions sopts;
+  sopts.platform = serving::Borrow(
+      static_cast<const sim::Platform*>(stack.platform.get()));
+  sopts.db = serving::Borrow(stack.db.get());
+  sopts.lightor = serving::Borrow(
+      static_cast<const core::Lightor*>(stack.lightor.get()));
+  sopts.num_workers = 2;
+  sopts.refine_batch_sessions = 0;
+  sopts.batched_session_flush = false;
+  sopts.ingest_workers = 2;
+  sopts.ingest_quantum_messages = 256;
+  sopts.ingest_queue_messages = 1 << 20;
+  sopts.stream_refresh_messages = 16;
+  sopts.stream_publish_max_delay_seconds = 0.05;
+  auto server = serving::HighlightServer::Create(sopts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    std::exit(2);
+  }
+  stack.server = std::move(server).value();
+  return stack;
+}
+
+std::string ChannelId(size_t round, size_t index) {
+  return "live-" + std::to_string(round) + "-" + std::to_string(index);
+}
+
+serving::IngestChatRequest MakeBatch(const std::string& video_id,
+                                     size_t count, double start_ts) {
+  serving::IngestChatRequest req;
+  req.video_id = video_id;
+  req.messages.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::Message m;
+    m.timestamp = start_ts + static_cast<double>(i);
+    m.user = "u" + std::to_string(i % 7);
+    m.text = "live chat message " + std::to_string(i);
+    req.messages.push_back(std::move(m));
+  }
+  return req;
+}
+
+void Die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "live_bench: %s: %s\n", what, detail.c_str());
+  std::exit(2);
+}
+
+/// Drives `channels` channels x `msgs_per_channel` messages from
+/// `threads` keep-alive connections; channel i belongs to thread
+/// i % threads (monotone timestamps per channel without coordination).
+/// Returns msgs/sec over the whole wall-clock window.
+double RunIngest(uint16_t port, size_t round, size_t channels,
+                 size_t msgs_per_channel, size_t threads, bool batched) {
+  const double t0 = NowSeconds();
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([=] {
+      net::HttpClient client("127.0.0.1", port);
+      std::vector<serving::IngestChatRequest> frame;
+      for (size_t c = t; c < channels; c += threads) {
+        if (batched) {
+          frame.push_back(MakeBatch(ChannelId(round, c), msgs_per_channel,
+                                    1.0));
+          if (frame.size() == kFrameChannels || c + threads >= channels) {
+            auto resp = client.Post("/ingest",
+                                    net::EncodeIngestBatchRequest(frame));
+            if (!resp.ok()) Die("batch frame", resp.status().ToString());
+            if (resp.value().status != 200) {
+              Die("batch frame", "HTTP " +
+                                     std::to_string(resp.value().status) +
+                                     " " + resp.value().body);
+            }
+            frame.clear();
+          }
+        } else {
+          for (size_t m = 0; m < msgs_per_channel; ++m) {
+            auto resp = client.Post(
+                "/ingest", net::EncodeJson(MakeBatch(
+                               ChannelId(round, c), 1,
+                               1.0 + static_cast<double>(m))));
+            if (!resp.ok()) Die("single frame", resp.status().ToString());
+            if (resp.value().status != 200) {
+              Die("single frame",
+                  "HTTP " + std::to_string(resp.value().status));
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double seconds = NowSeconds() - t0;
+  return static_cast<double>(channels * msgs_per_channel) /
+         std::max(1e-9, seconds);
+}
+
+/// p99 over channels of the worst provisional-snapshot staleness each
+/// channel saw, in ms. Flushes first so every queued batch has drained
+/// and published.
+double ProvisionalP99Ms(serving::HighlightServer* server) {
+  server->FlushIngest();
+  std::vector<double> staleness;
+  for (const auto& channel : server->ChannelsSnapshot()) {
+    if (channel.publishes == 0) continue;
+    staleness.push_back(channel.max_staleness_seconds * 1000.0);
+  }
+  if (staleness.empty()) return 0.0;
+  std::sort(staleness.begin(), staleness.end());
+  const size_t idx = std::min(
+      staleness.size() - 1,
+      static_cast<size_t>(0.99 * static_cast<double>(staleness.size())));
+  return staleness[idx];
+}
+
+struct Entry {
+  std::string name;
+  double value = 0.0;
+  double baseline_legacy = 0.0;  ///< single-frame twin (0 = none)
+};
+
+int Run(int argc, char** argv) {
+  common::Flags flags = InitBenchEnv(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const size_t threads = static_cast<size_t>(
+      std::clamp<int64_t>(flags.GetInt("threads", 8), 1, 64));
+  const size_t msgs_per_channel = static_cast<size_t>(
+      std::clamp<int64_t>(flags.GetInt("msgs-per-channel", 8), 1, 1024));
+  const std::string out_path = flags.GetString("out", "BENCH_live.json");
+  const std::string dir = flags.GetString(
+      "dir", (std::filesystem::temp_directory_path() / "lightor_live_bench")
+                 .string());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  Stack stack = MakeStack(dir + "/db");
+  auto http = net::HttpServer::Create(net::NetOptions{},
+                                      net::BuildRoutes(stack.server.get()));
+  if (!http.ok()) Die("http server", http.status().ToString());
+  const uint16_t port = http.value()->port();
+
+  const std::vector<size_t> scales =
+      quick ? std::vector<size_t>{1000} : std::vector<size_t>{1000, 4000,
+                                                              10000};
+  std::vector<Entry> entries;
+  double worst_p99 = 0.0;
+  size_t round = 0;
+  for (const size_t channels : scales) {
+    // Fresh channel ids per round so earlier rounds' streams don't
+    // dilute the staleness scrape or the per-channel accounting.
+    Entry single{"live_single_" + std::to_string(channels)};
+    single.value =
+        RunIngest(port, round++, channels, msgs_per_channel, threads,
+                  /*batched=*/false);
+    Entry batch{"live_batch_" + std::to_string(channels)};
+    batch.value = RunIngest(port, round++, channels, msgs_per_channel,
+                            threads, /*batched=*/true);
+    batch.baseline_legacy = single.value;
+    worst_p99 = std::max(worst_p99, ProvisionalP99Ms(stack.server.get()));
+
+    std::fprintf(stderr,
+                 "%6zu channels: single %10.0f msgs/s, batch %10.0f msgs/s "
+                 "(%.1fx), provisional p99 %.1f ms\n",
+                 channels, single.value, batch.value,
+                 batch.value / single.value, worst_p99);
+    if (batch.value < 2.0 * single.value) {
+      std::fprintf(stderr,
+                   "FATAL: batched frames only %.2fx single frames at %zu "
+                   "channels (acceptance bar is 2x)\n",
+                   batch.value / single.value, channels);
+      return 1;
+    }
+    entries.push_back(std::move(single));
+    entries.push_back(std::move(batch));
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) Die("open output", out_path);
+  // One entry per line: greppable/awkable by the regression checker
+  // without a JSON parser (same convention as BENCH_net.json). The
+  // provisional p99 rides on the header line — no "name" key, so the
+  // checker's entry scan skips it.
+  std::fprintf(out, "{\"bench\":\"live\",\"provisional_p99_ms\":%.1f,"
+                    "\"entries\":[\n", worst_p99);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(out, "{\"name\":\"%s\",\"unit\":\"msgs_per_sec\","
+                      "\"value\":%.0f", e.name.c_str(), e.value);
+    if (e.baseline_legacy > 0.0) {
+      std::fprintf(out, ",\"baseline_legacy\":%.0f,\"speedup\":%.2f",
+                   e.baseline_legacy, e.value / e.baseline_legacy);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+  http.value()->Shutdown();
+  stack.server->Shutdown();
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lightor::bench
+
+int main(int argc, char** argv) { return lightor::bench::Run(argc, argv); }

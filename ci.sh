@@ -143,6 +143,44 @@ grep -q drained "$rsmoke_dir/server2.log" || {
   echo "recovery smoke: restarted server did not drain cleanly" >&2; exit 1; }
 rm -rf "$rsmoke_dir"
 
+echo "== live smoke: flash crowd — 1k channels, one spiking 100x =="
+# Fair-share admission gauntlet: a server with per-channel token buckets
+# and async drain workers takes 1000 cold channels on chunked batch
+# frames while one hot channel spikes 100x into its budget. Every cold
+# delivery must land (loadgen exits non-zero on any cold failure), the
+# hot overflow must actually surface as 429s, and the cold channels'
+# worst provisional-snapshot staleness p99 must stay inside a generous
+# loopback SLO.
+live_dir=$(mktemp -d)
+"$BUILD_DIR"/tools/lightor serve-http --db="$live_dir/db" --port=0 \
+    --port-file="$live_dir/port" --duration=120 \
+    --refresh=16 --ingest-workers=2 --ingest-rate=400 --ingest-burst=800 \
+    --ingest-queue=200000 --ingest-quantum=64 --publish-delay=0.05 \
+    --log-level=warning > "$live_dir/server.log" 2>&1 &
+server_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  [ -s "$live_dir/port" ] && { port=$(cat "$live_dir/port"); break; }
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "live smoke: server never wrote its port" >&2
+                    cat "$live_dir/server.log" >&2; exit 1; }
+"$BUILD_DIR"/tools/lightor loadgen --port="$port" --threads=4 \
+    --requests=2 --scenario=flash-crowd --flash-channels=1000 \
+    --hot-mult=100 --slo=provisional_p99:2000 \
+    > "$live_dir/loadgen.log" 2>&1 || {
+  echo "live smoke: flash-crowd gauntlet failed" >&2
+  cat "$live_dir/loadgen.log" >&2; exit 1; }
+grep -q '"flash_cold_failures":0' "$live_dir/loadgen.log" || {
+  echo "live smoke: cold-channel deliveries failed under the hot spike" >&2
+  cat "$live_dir/loadgen.log" >&2; exit 1; }
+grep -q '"throttled_429":[1-9]' "$live_dir/loadgen.log" || {
+  echo "live smoke: the hot channel was never throttled (429)" >&2
+  cat "$live_dir/loadgen.log" >&2; exit 1; }
+kill -TERM "$server_pid"
+wait "$server_pid"
+rm -rf "$live_dir"
+
 echo "== cluster smoke: 3 backends + router, SIGKILL mid-burst -> differential /highlights =="
 # Real-process cluster behind the consistent-hash router
 # (tools/cluster_up): the loadgen burst must survive a SIGKILL+restart
@@ -195,6 +233,20 @@ sh tools/check_bench_regression.sh "$hp_tmp/BENCH_net.json" \
     BENCH_net.json 40
 rm -rf "$hp_tmp"
 
+echo "== bench smoke: live multi-channel ingest trajectory =="
+# BENCH_live.json freezes over-the-wire ingest throughput at scale:
+# msgs/sec at 1k/4k/10k channels, chunked batch frames vs single frames
+# (the committed speedup is the >=2x batching evidence — live_bench
+# aborts below that bar). CI re-runs the 1k-channel quick mode with the
+# loose 40% gate; refresh by running live_bench without --quick and
+# committing the new JSON.
+lb_tmp=$(mktemp -d)
+"$BUILD_DIR"/bench/live_bench --quick --log-level=warning \
+    --out="$lb_tmp/BENCH_live.json" --dir="$lb_tmp/db" 2> /dev/null
+sh tools/check_bench_regression.sh "$lb_tmp/BENCH_live.json" \
+    BENCH_live.json 40
+rm -rf "$lb_tmp"
+
 # The concurrent serving layer, the net front-end, and the obs registry
 # they instrument are the multi-threaded parts of the tree: build just
 # their tests with -fsanitize=thread and run them under TSan.
@@ -204,7 +256,7 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
   cmake --build "$TSAN_BUILD_DIR" -j --target \
       serving_server_test serving_stress_test \
       serving_stream_test serving_stream_stress_test \
-      serving_recovery_test \
+      serving_recovery_test serving_fairness_test \
       net_server_test net_loadgen_test net_trace_test \
       obs_metrics_test obs_trace_test obs_trace_context_test \
       hotpath_diff_test

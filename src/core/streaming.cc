@@ -146,6 +146,22 @@ common::Status StreamingInitializer::IngestAll(
   return common::Status::OK();
 }
 
+common::Result<IngestCounts> StreamingInitializer::IngestBatch(
+    const std::vector<Message>& messages) {
+  IngestCounts counts;
+  for (const auto& m : messages) {
+    const common::Status status = Ingest(m);
+    if (status.ok()) {
+      ++counts.accepted;
+    } else if (status.code() == common::StatusCode::kInvalidArgument) {
+      ++counts.rejected;
+    } else {
+      return status;
+    }
+  }
+  return counts;
+}
+
 common::Status StreamingInitializer::RecordTailTimestamp(
     common::Seconds timestamp) {
   if (finalized_) {

@@ -16,6 +16,12 @@
 
 namespace lightor::core {
 
+/// Per-batch accept/reject tally returned by `IngestBatch`.
+struct IngestCounts {
+  size_t accepted = 0;
+  size_t rejected = 0;  ///< out-of-order timestamps, engine untouched
+};
+
 /// Lifetime counters of one streaming engine.
 struct StreamingStats {
   size_t messages_ingested = 0;   ///< accepted (windowed) messages
@@ -65,6 +71,14 @@ class StreamingInitializer {
 
   /// Ingests a batch, stopping at the first error.
   common::Status IngestAll(const std::vector<Message>& messages);
+
+  /// Ingests a batch, counting instead of stopping: an out-of-order
+  /// message is tallied as rejected (the per-message `Ingest` contract)
+  /// and the rest proceed, so the tally equals what per-message calls
+  /// would report. Only a terminal engine state (finalized / tail
+  /// recorded) aborts the batch, surfacing that FailedPrecondition.
+  common::Result<IngestCounts> IngestBatch(
+      const std::vector<Message>& messages);
 
   /// Records the timestamp of a message that lies at/after the video end
   /// (used by the batch replay): such a message can fall inside no window,

@@ -9,6 +9,7 @@
 
 #include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #ifndef MSG_NOSIGNAL
@@ -48,6 +49,18 @@ common::Status Errno(const std::string& what) {
 }
 
 }  // namespace
+
+double HttpClient::RetryAfterSeconds(const HttpResponse& response,
+                                     double fallback) {
+  const std::string* header = response.FindHeader("retry-after");
+  if (header == nullptr || header->empty()) return fallback;
+  char* end = nullptr;
+  const double seconds = std::strtod(header->c_str(), &end);
+  if (end == header->c_str() || seconds < 0.0 || !std::isfinite(seconds)) {
+    return fallback;
+  }
+  return seconds;
+}
 
 HttpClient::HttpClient(std::string host, uint16_t port)
     : host_(std::move(host)), port_(port) {}

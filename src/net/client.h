@@ -58,6 +58,22 @@ class HttpClient {
   /// Drops the connection; the next request reconnects.
   void Disconnect();
 
+  /// Retry-policy classification shared by the loadgen, the cluster
+  /// router, and the CLI: statuses where the request was refused whole
+  /// (nothing applied server-side) and a delayed retry is the correct
+  /// move — 429 (per-channel ingest budget exhausted) and 503 (storage
+  /// wedged / draining). 4xx like 400/409 are NOT retryable: resending
+  /// the same frame cannot succeed.
+  static bool IsRetryableAfterDelay(int status) {
+    return status == 429 || status == 503;
+  }
+
+  /// Parses the response's `Retry-After` header (delta-seconds form
+  /// only, which is all this codebase emits); `fallback` when the
+  /// header is absent or not a number.
+  static double RetryAfterSeconds(const HttpResponse& response,
+                                  double fallback);
+
  private:
   common::Status Connect();
   common::Result<HttpResponse> RoundTrip(const std::string& wire);

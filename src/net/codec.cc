@@ -127,6 +127,32 @@ Json HighlightsToJson(const std::vector<storage::HighlightRecord>& records) {
   return arr;
 }
 
+/// Decodes one {"video_id","messages":[...]} entry on the arena doc —
+/// shared by the single ingest frame and each element of a batch frame.
+common::Result<serving::IngestChatRequest> IngestChatRequestFromJson(
+    JsonDoc::Ref obj) {
+  serving::IngestChatRequest req;
+  LIGHTOR_ASSIGN_OR_RETURN(req.video_id, GetString(obj, "video_id"));
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc::Ref messages,
+                           Require(obj, "messages", JsonDoc::Type::kArray));
+  req.messages.reserve(messages.size());
+  for (JsonDoc::Ref item = messages.first_child(); item;
+       item = item.next_sibling()) {
+    if (!item.is_object()) {
+      return FieldError("messages", "holds a non-object");
+    }
+    // The one materialization on the ingest path: wire bytes flow as
+    // views through parser and doc, and become owned strings only here,
+    // directly inside the core::Message handed to the engines.
+    core::Message message;
+    LIGHTOR_ASSIGN_OR_RETURN(message.timestamp, GetNumber(item, "timestamp"));
+    LIGHTOR_ASSIGN_OR_RETURN(message.user, GetString(item, "user"));
+    LIGHTOR_ASSIGN_OR_RETURN(message.text, GetString(item, "text"));
+    req.messages.push_back(std::move(message));
+  }
+  return req;
+}
+
 common::Result<std::vector<storage::HighlightRecord>> HighlightsFromJson(
     JsonDoc::Ref obj) {
   LIGHTOR_ASSIGN_OR_RETURN(JsonDoc::Ref arr,
@@ -253,43 +279,25 @@ std::string EncodeJson(const serving::IngestChatRequest& v) {
 common::Result<serving::IngestChatRequest> DecodeIngestChatRequest(
     std::string_view json) {
   LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
-  const JsonDoc::Ref obj = doc.root();
-  serving::IngestChatRequest req;
-  LIGHTOR_ASSIGN_OR_RETURN(req.video_id, GetString(obj, "video_id"));
-  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc::Ref messages,
-                           Require(obj, "messages", JsonDoc::Type::kArray));
-  req.messages.reserve(messages.size());
-  for (JsonDoc::Ref item = messages.first_child(); item;
-       item = item.next_sibling()) {
-    if (!item.is_object()) {
-      return FieldError("messages", "holds a non-object");
-    }
-    // The one materialization on the ingest path: wire bytes flow as
-    // views through parser and doc, and become owned strings only here,
-    // directly inside the core::Message handed to the engines.
-    core::Message message;
-    LIGHTOR_ASSIGN_OR_RETURN(message.timestamp, GetNumber(item, "timestamp"));
-    LIGHTOR_ASSIGN_OR_RETURN(message.user, GetString(item, "user"));
-    LIGHTOR_ASSIGN_OR_RETURN(message.text, GetString(item, "text"));
-    req.messages.push_back(std::move(message));
-  }
-  return req;
+  return IngestChatRequestFromJson(doc.root());
 }
 
-std::string EncodeJson(const serving::IngestChatResponse& v) {
+namespace {
+
+Json IngestChatResponseToJson(const serving::IngestChatResponse& v) {
   Json obj = Json::MakeObject();
   obj.Set("accepted", Json::Int(static_cast<int64_t>(v.accepted)));
   obj.Set("rejected", Json::Int(static_cast<int64_t>(v.rejected)));
   obj.Set("provisional_published", Json::Bool(v.provisional_published));
   obj.Set("snapshot_version", Json::Int(static_cast<int64_t>(
                                   v.snapshot_version)));
-  return obj.Dump();
+  obj.Set("throttled", Json::Bool(v.throttled));
+  obj.Set("retry_after_seconds", Json::Number(v.retry_after_seconds));
+  return obj;
 }
 
-common::Result<serving::IngestChatResponse> DecodeIngestChatResponse(
-    std::string_view json) {
-  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
-  const JsonDoc::Ref obj = doc.root();
+common::Result<serving::IngestChatResponse> IngestChatResponseFromJson(
+    JsonDoc::Ref obj) {
   serving::IngestChatResponse resp;
   LIGHTOR_ASSIGN_OR_RETURN(int64_t accepted, GetInt(obj, "accepted"));
   resp.accepted = static_cast<size_t>(accepted);
@@ -300,7 +308,121 @@ common::Result<serving::IngestChatResponse> DecodeIngestChatResponse(
   LIGHTOR_ASSIGN_OR_RETURN(int64_t version,
                            GetInt(obj, "snapshot_version"));
   resp.snapshot_version = static_cast<uint64_t>(version);
+  // Optional for wire compatibility with pre-admission servers.
+  if (const JsonDoc::Ref throttled = obj.Find("throttled")) {
+    if (!throttled.is_bool()) {
+      return FieldError("throttled", "has the wrong type");
+    }
+    resp.throttled = throttled.AsBool();
+  }
+  if (const JsonDoc::Ref retry = obj.Find("retry_after_seconds")) {
+    if (!retry.is_number()) {
+      return FieldError("retry_after_seconds", "has the wrong type");
+    }
+    resp.retry_after_seconds = retry.AsNumber();
+  }
   return resp;
+}
+
+}  // namespace
+
+std::string EncodeJson(const serving::IngestChatResponse& v) {
+  return IngestChatResponseToJson(v).Dump();
+}
+
+common::Result<serving::IngestChatResponse> DecodeIngestChatResponse(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
+  return IngestChatResponseFromJson(doc.root());
+}
+
+std::string EncodeIngestBatchRequest(
+    const std::vector<serving::IngestChatRequest>& batches) {
+  Json arr = Json::MakeArray();
+  for (const auto& batch : batches) {
+    Json messages = Json::MakeArray();
+    for (const auto& message : batch.messages) {
+      Json m = Json::MakeObject();
+      m.Set("timestamp", Json::Number(message.timestamp));
+      m.Set("user", Json::Str(message.user));
+      m.Set("text", Json::Str(message.text));
+      messages.Append(std::move(m));
+    }
+    Json obj = Json::MakeObject();
+    obj.Set("video_id", Json::Str(batch.video_id));
+    obj.Set("messages", std::move(messages));
+    arr.Append(std::move(obj));
+  }
+  return arr.Dump();
+}
+
+common::Result<std::vector<serving::IngestChatRequest>>
+DecodeIngestBatchRequest(std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, JsonDoc::Parse(json));
+  if (!doc.root().is_array()) {
+    return common::Status::InvalidArgument(
+        "codec: batch ingest frame must be a top-level JSON array");
+  }
+  std::vector<serving::IngestChatRequest> batches;
+  batches.reserve(doc.root().size());
+  for (JsonDoc::Ref item = doc.root().first_child(); item;
+       item = item.next_sibling()) {
+    if (!item.is_object()) {
+      return common::Status::InvalidArgument(
+          "codec: batch ingest frame holds a non-object entry");
+    }
+    LIGHTOR_ASSIGN_OR_RETURN(serving::IngestChatRequest req,
+                             IngestChatRequestFromJson(item));
+    batches.push_back(std::move(req));
+  }
+  return batches;
+}
+
+std::string EncodeIngestBatchResponse(
+    const std::vector<IngestBatchEntry>& entries) {
+  Json arr = Json::MakeArray();
+  for (const auto& entry : entries) {
+    Json obj = entry.status == 200 || entry.status == 429
+                   ? IngestChatResponseToJson(entry.response)
+                   : Json::MakeObject();
+    obj.Set("video_id", Json::Str(entry.video_id));
+    obj.Set("status", Json::Int(entry.status));
+    if (!entry.error.empty()) obj.Set("error", Json::Str(entry.error));
+    arr.Append(std::move(obj));
+  }
+  Json root = Json::MakeObject();
+  root.Set("entries", std::move(arr));
+  return root.Dump();
+}
+
+common::Result<std::vector<IngestBatchEntry>> DecodeIngestBatchResponse(
+    std::string_view json) {
+  LIGHTOR_ASSIGN_OR_RETURN(JsonDoc doc, ParseObject(json));
+  LIGHTOR_ASSIGN_OR_RETURN(
+      JsonDoc::Ref arr,
+      Require(doc.root(), "entries", JsonDoc::Type::kArray));
+  std::vector<IngestBatchEntry> entries;
+  entries.reserve(arr.size());
+  for (JsonDoc::Ref item = arr.first_child(); item;
+       item = item.next_sibling()) {
+    if (!item.is_object()) {
+      return FieldError("entries", "holds a non-object");
+    }
+    IngestBatchEntry entry;
+    LIGHTOR_ASSIGN_OR_RETURN(entry.video_id, GetString(item, "video_id"));
+    LIGHTOR_ASSIGN_OR_RETURN(int64_t status, GetInt(item, "status"));
+    entry.status = static_cast<int>(status);
+    if (const JsonDoc::Ref error = item.Find("error")) {
+      if (!error.is_string()) return FieldError("error", "has the wrong type");
+      entry.error = std::string(error.AsString());
+    }
+    if (entry.status == 200 || entry.status == 429) {
+      LIGHTOR_ASSIGN_OR_RETURN(entry.response,
+                               IngestChatResponseFromJson(item));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 std::string EncodeJson(const serving::FinalizeStreamRequest& v) {

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "serving/api.h"
@@ -28,7 +29,14 @@ namespace lightor::net {
 ///   IngestChatRequest     {"video_id","messages":[{"timestamp","user",
 ///                                                  "text"}]}
 ///   IngestChatResponse    {"accepted","rejected","provisional_published",
-///                          "snapshot_version"}
+///                          "snapshot_version","throttled",
+///                          "retry_after_seconds"}
+///   IngestBatchRequest    [IngestChatRequest, ...]   (chunked frame: one
+///                          POST /ingest carrying many channels; the
+///                          route sniffs `[` vs `{`)
+///   IngestBatchResponse   {"entries":[IngestChatResponse + {"video_id",
+///                          "status","error"?}]}  (per-entry HTTP-style
+///                          status: 200, 429 throttled, 409 recorded)
 ///   FinalizeStreamRequest {"video_id","video_length"?}
 ///   FinalizeStreamResponse{"highlights":[Highlight],"snapshot_version",
 ///                          "video_length"}
@@ -68,6 +76,26 @@ common::Result<serving::FinalizeStreamRequest> DecodeFinalizeStreamRequest(
 common::Result<serving::FinalizeStreamResponse> DecodeFinalizeStreamResponse(
     std::string_view json);
 common::Result<serving::GetHighlightsResponse> DecodeGetHighlightsResponse(
+    std::string_view json);
+
+/// One channel's outcome inside a batch ingest frame. `status` follows
+/// the single-frame HTTP mapping (200 applied, 429 throttled, 409
+/// recorded video, ...); `response` is meaningful for 200/429 and
+/// `error` carries the status message otherwise.
+struct IngestBatchEntry {
+  std::string video_id;
+  int status = 200;
+  std::string error;
+  serving::IngestChatResponse response;
+};
+
+std::string EncodeIngestBatchRequest(
+    const std::vector<serving::IngestChatRequest>& batches);
+common::Result<std::vector<serving::IngestChatRequest>>
+DecodeIngestBatchRequest(std::string_view json);
+std::string EncodeIngestBatchResponse(
+    const std::vector<IngestBatchEntry>& entries);
+common::Result<std::vector<IngestBatchEntry>> DecodeIngestBatchResponse(
     std::string_view json);
 
 }  // namespace lightor::net

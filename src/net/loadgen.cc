@@ -38,6 +38,8 @@ struct ThreadResult {
   size_t status_4xx = 0;
   size_t status_5xx = 0;
   size_t rejected_503 = 0;
+  size_t throttled_429 = 0;
+  size_t flash_cold_failures = 0;
   size_t retries = 0;
   size_t visits = 0;
   size_t sessions = 0;
@@ -179,6 +181,7 @@ class Worker {
       ++result_.status_2xx;
     } else if (status < 500) {
       ++result_.status_4xx;
+      if (status == 429) ++result_.throttled_429;
     } else {
       ++result_.status_5xx;
       if (status == 503) ++result_.rejected_503;
@@ -280,6 +283,271 @@ class Worker {
   bool finalized_ = false;
 };
 
+/// Flash-crowd scenario worker. Thread t owns the cold channels
+/// {i : i mod num_threads == t} ("flash-cold-<i>"); thread 0 also owns
+/// the hot channel ("flash-hot"). Each round delivers one
+/// `ingest_batch_size`-message batch per owned cold channel, packed
+/// into chunked frames of `flash_frame_channels` channels, then thread
+/// 0 offers `flash_hot_multiplier` hot single frames — far past the hot
+/// channel's budget, so the server sheds the excess with 429s while the
+/// cold frames must all land.
+class FlashWorker {
+ public:
+  FlashWorker(const LoadGenOptions& options, size_t index)
+      : options_(options),
+        index_(index),
+        trace_rng_((options.seed ^ 0x9e3779b97f4a7c15ULL) + index),
+        client_(options.host, options.port) {
+    client_.set_timeout_seconds(options.timeout_seconds);
+    for (size_t i = index; i < options.flash_channels;
+         i += options.num_threads) {
+      cold_.push_back(i);
+    }
+    cold_cursor_.assign(cold_.size(), 0);
+  }
+
+  ThreadResult Run() {
+    for (size_t round = 0; round < options_.requests_per_thread; ++round) {
+      ColdRound();
+      if (index_ == 0) HotBurst();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  serving::IngestChatRequest MakeCold(size_t slot) {
+    serving::IngestChatRequest req;
+    req.video_id = "flash-cold-" + std::to_string(cold_[slot]);
+    req.messages.reserve(options_.ingest_batch_size);
+    for (size_t m = 0; m < options_.ingest_batch_size; ++m) {
+      core::Message msg;
+      msg.timestamp = static_cast<double>(cold_cursor_[slot] + m);
+      msg.user = "crowd";
+      msg.text = "flash";
+      req.messages.push_back(std::move(msg));
+    }
+    return req;
+  }
+
+  void ColdRound() {
+    for (size_t base = 0; base < cold_.size();
+         base += options_.flash_frame_channels) {
+      const size_t end =
+          std::min(base + options_.flash_frame_channels, cold_.size());
+      std::vector<serving::IngestChatRequest> frame;
+      frame.reserve(end - base);
+      for (size_t slot = base; slot < end; ++slot) {
+        frame.push_back(MakeCold(slot));
+      }
+      SendColdFrame(base, frame);
+    }
+  }
+
+  void SendColdFrame(size_t base,
+                     const std::vector<serving::IngestChatRequest>& frame) {
+    ++result_.ingests;
+    const std::string body = EncodeIngestBatchRequest(frame);
+    const Clock::time_point start = Clock::now();
+    int status = Send("ingest_batch", body);
+    // A non-200 frame-level response (503 storage hiccup, 413 never —
+    // frames are sized under the cap) refused the frame whole, so
+    // resending it cannot double-apply anything.
+    while (status >= 0 && status != 200 &&
+           HttpClient::IsRetryableAfterDelay(status) &&
+           MsSince(start) / 1000.0 < options_.retry_budget_seconds) {
+      ++result_.retries;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::max(last_retry_after_, options_.retry_backoff_ms / 1000.0)));
+      status = Send("ingest_batch", body);
+    }
+    if (status != 200) {
+      result_.flash_cold_failures += frame.size();
+      return;
+    }
+    auto decoded = DecodeIngestBatchResponse(last_body_);
+    if (!decoded.ok() || decoded.value().size() != frame.size()) {
+      result_.flash_cold_failures += frame.size();
+      return;
+    }
+    for (size_t k = 0; k < frame.size(); ++k) {
+      const IngestBatchEntry& entry = decoded.value()[k];
+      if (entry.status == 200) {
+        cold_cursor_[base + k] += frame[k].messages.size();
+        continue;
+      }
+      if (entry.status == 429) {
+        // Entry-level throttles never touch the engine ("a throttled
+        // batch leaves no trace"), so the channel's batch retries whole
+        // as a single frame after the advertised delay.
+        ++result_.throttled_429;
+        if (RetrySingle(base + k, frame[k],
+                        entry.response.retry_after_seconds, start)) {
+          continue;
+        }
+      }
+      ++result_.flash_cold_failures;
+    }
+  }
+
+  bool RetrySingle(size_t slot, const serving::IngestChatRequest& req,
+                   double retry_after, Clock::time_point start) {
+    const std::string body = EncodeJson(req);
+    double delay = retry_after;
+    while (MsSince(start) / 1000.0 < options_.retry_budget_seconds) {
+      ++result_.retries;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::max(delay, options_.retry_backoff_ms / 1000.0)));
+      const int status = Send("ingest", body);
+      if (status == 200) {
+        cold_cursor_[slot] += req.messages.size();
+        return true;
+      }
+      // A wire error may have applied the batch server-side; resending
+      // could duplicate messages, so the delivery counts as failed.
+      if (status < 0 || !HttpClient::IsRetryableAfterDelay(status)) {
+        return false;
+      }
+      delay = last_retry_after_;
+    }
+    return false;
+  }
+
+  void HotBurst() {
+    for (size_t k = 0; k < options_.flash_hot_multiplier; ++k) {
+      serving::IngestChatRequest req;
+      req.video_id = "flash-hot";
+      req.messages.reserve(options_.ingest_batch_size);
+      for (size_t m = 0; m < options_.ingest_batch_size; ++m) {
+        core::Message msg;
+        msg.timestamp = static_cast<double>(hot_cursor_ + m);
+        msg.user = "crowd";
+        msg.text = "flash";
+        req.messages.push_back(std::move(msg));
+      }
+      ++result_.ingests;
+      // 429 here is the scenario working: the hot channel's offered
+      // load exceeds its budget and the excess is shed, never retried.
+      // The cursor advances only on acceptance so the hot stream's
+      // timestamps stay monotone across throttles.
+      if (Send("ingest_hot", EncodeJson(req)) == 200) {
+        hot_cursor_ += options_.ingest_batch_size;
+      }
+    }
+  }
+
+  int Send(const char* op, std::string_view body) {
+    obs::TraceContext ctx;
+    ctx.trace_hi = trace_rng_.Next64();
+    ctx.trace_lo = trace_rng_.Next64() | 1;
+    ctx.span_id = trace_rng_.Next64() | 1;
+    client_.set_header("traceparent", obs::FormatTraceparent(ctx));
+    const Clock::time_point start = Clock::now();
+    auto response = client_.Request("POST", "/ingest", body);
+    SlowRequest sample;
+    sample.ms = MsSince(start);
+    sample.op = op;
+    sample.trace_id = obs::FormatTraceId(ctx.trace_hi, ctx.trace_lo);
+    if (!response.ok()) {
+      ++result_.wire_errors;
+      sample.status = -1;
+      result_.samples.push_back(std::move(sample));
+      return -1;
+    }
+    sample.status = response.value().status;
+    result_.latencies_ms.push_back(sample.ms);
+    result_.samples.push_back(std::move(sample));
+    ++result_.requests;
+    const int status = response.value().status;
+    if (status < 400) {
+      ++result_.status_2xx;
+    } else if (status < 500) {
+      ++result_.status_4xx;
+      if (status == 429) ++result_.throttled_429;
+    } else {
+      ++result_.status_5xx;
+      if (status == 503) ++result_.rejected_503;
+    }
+    last_retry_after_ = HttpClient::RetryAfterSeconds(
+        response.value(), options_.retry_backoff_ms / 1000.0);
+    last_body_ = std::move(response.value().body);
+    return status;
+  }
+
+  const LoadGenOptions& options_;
+  size_t index_;
+  common::Rng trace_rng_;
+  HttpClient client_;
+  ThreadResult result_;
+  std::string last_body_;
+  double last_retry_after_ = 0.0;
+
+  std::vector<size_t> cold_;         ///< owned cold channel numbers
+  std::vector<size_t> cold_cursor_;  ///< messages delivered per slot
+  size_t hot_cursor_ = 0;
+};
+
+/// Polls GET /debug/channels until every cold channel with admitted
+/// messages has an empty queue and at least one provisional publish (or
+/// the settle window passes), then returns the p99 across cold channels
+/// of each channel's worst provisional staleness, in ms. On timeout the
+/// result is floored at the elapsed wait so an SLO gate cannot pass on
+/// a wedged scheduler.
+common::Result<double> SettleAndScrapeStaleness(
+    const LoadGenOptions& options) {
+  HttpClient probe(options.host, options.port);
+  probe.set_timeout_seconds(options.timeout_seconds);
+  const Clock::time_point start = Clock::now();
+  const double settle_seconds = std::max(10.0, options.retry_budget_seconds);
+  std::vector<double> staleness_ms;
+  bool settled = false;
+  for (;;) {
+    auto response = probe.Get("/debug/channels");
+    if (!response.ok()) return response.status();
+    if (response.value().status != 200) {
+      return common::Status::Internal(
+          "loadgen: /debug/channels returned " +
+          std::to_string(response.value().status));
+    }
+    auto parsed = Json::Parse(response.value().body);
+    if (!parsed.ok()) return parsed.status();
+    const Json* channels = parsed.value().Find("channels");
+    if (channels == nullptr || !channels->is_array()) {
+      return common::Status::Internal(
+          "loadgen: /debug/channels missing \"channels\" array");
+    }
+    staleness_ms.clear();
+    settled = true;
+    for (const Json& entry : channels->AsArray()) {
+      const Json* id = entry.Find("video_id");
+      if (id == nullptr || !id->is_string() ||
+          id->AsString().rfind("flash-cold-", 0) != 0) {
+        continue;  // the hot channel's staleness is not the SLO's
+      }
+      const Json* admitted = entry.Find("admitted_messages");
+      const Json* queued = entry.Find("queued_messages");
+      const Json* publishes = entry.Find("publishes");
+      const Json* max_staleness = entry.Find("max_staleness_seconds");
+      if (admitted == nullptr || queued == nullptr || publishes == nullptr ||
+          max_staleness == nullptr) {
+        return common::Status::Internal(
+            "loadgen: /debug/channels entry missing fields");
+      }
+      if (admitted->AsNumber() <= 0.0) continue;  // nothing ever landed
+      if (queued->AsNumber() > 0.0 || publishes->AsNumber() <= 0.0) {
+        settled = false;
+        break;
+      }
+      staleness_ms.push_back(max_staleness->AsNumber() * 1000.0);
+    }
+    if (settled || MsSince(start) / 1000.0 >= settle_seconds) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (staleness_ms.empty()) staleness_ms.push_back(0.0);
+  double p99_ms = common::Quantile(staleness_ms, 0.99);
+  if (!settled) p99_ms = std::max(p99_ms, MsSince(start));
+  return p99_ms;
+}
+
 }  // namespace
 
 common::Status LoadGenOptions::Validate() const {
@@ -288,15 +556,29 @@ common::Status LoadGenOptions::Validate() const {
   if (requests_per_thread == 0)
     return common::Status::InvalidArgument(
         "loadgen: requests_per_thread == 0");
-  if (platform == nullptr)
-    return common::Status::InvalidArgument("loadgen: null platform");
-  if (recorded_ids.empty() && live_ids.empty())
-    return common::Status::InvalidArgument("loadgen: no target videos");
-  if (visit_weight < 0 || session_weight < 0 || refine_weight < 0 ||
-      ingest_weight < 0)
-    return common::Status::InvalidArgument("loadgen: negative weight");
-  if (visit_weight + session_weight + refine_weight + ingest_weight == 0)
-    return common::Status::InvalidArgument("loadgen: all-zero weights");
+  if (!scenario.empty() && scenario != "mix" && scenario != "flash-crowd")
+    return common::Status::InvalidArgument("loadgen: unknown scenario: " +
+                                           scenario);
+  const bool flash = scenario == "flash-crowd";
+  if (flash) {
+    // Flash-crowd synthesizes its own chat and channel names, so the
+    // platform/video plumbing of the mix scenario is not required.
+    if (flash_channels == 0)
+      return common::Status::InvalidArgument("loadgen: flash_channels == 0");
+    if (flash_frame_channels == 0)
+      return common::Status::InvalidArgument(
+          "loadgen: flash_frame_channels == 0");
+  } else {
+    if (platform == nullptr)
+      return common::Status::InvalidArgument("loadgen: null platform");
+    if (recorded_ids.empty() && live_ids.empty())
+      return common::Status::InvalidArgument("loadgen: no target videos");
+    if (visit_weight < 0 || session_weight < 0 || refine_weight < 0 ||
+        ingest_weight < 0)
+      return common::Status::InvalidArgument("loadgen: negative weight");
+    if (visit_weight + session_weight + refine_weight + ingest_weight == 0)
+      return common::Status::InvalidArgument("loadgen: all-zero weights");
+  }
   if (ingest_batch_size == 0)
     return common::Status::InvalidArgument("loadgen: ingest_batch_size == 0");
   if (retry_503 && (retry_budget_seconds <= 0.0 || retry_backoff_ms <= 0.0))
@@ -310,8 +592,10 @@ common::Status LoadGenOptions::Validate() const {
     }
   }
   for (const SloTarget& target : slo_targets) {
-    static constexpr const char* kOps[] = {"visit",  "session",  "refine",
-                                           "ingest", "finalize", "all"};
+    static constexpr const char* kOps[] = {
+        "visit",        "session",    "refine",         "ingest",
+        "finalize",     "ingest_batch", "ingest_hot",
+        "provisional_p99", "all"};
     if (std::find_if(std::begin(kOps), std::end(kOps), [&](const char* op) {
           return target.op == op;
         }) == std::end(kOps)) {
@@ -326,26 +610,15 @@ common::Status LoadGenOptions::Validate() const {
   return common::Status::OK();
 }
 
-common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
-                                         RecordedTraffic* recorded) {
-  LIGHTOR_RETURN_IF_ERROR(options.Validate());
+namespace {
 
-  std::vector<ThreadResult> results(options.num_threads);
-  const Clock::time_point start = Clock::now();
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(options.num_threads);
-    for (size_t t = 0; t < options.num_threads; ++t) {
-      threads.emplace_back([&options, &results, t] {
-        Worker worker(options, t);
-        results[t] = worker.Run();
-      });
-    }
-    for (std::thread& thread : threads) thread.join();
-  }
-  const double seconds =
-      std::chrono::duration<double>(Clock::now() - start).count();
-
+/// Merges per-thread tallies into the report: totals, whole-mix and
+/// per-op percentiles, the slowest-N table. SLO verdicts are evaluated
+/// separately (`EvaluateSlos`) because the flash-crowd scenario adds a
+/// post-run scrape between aggregation and the verdicts.
+LoadGenReport BuildReport(std::vector<ThreadResult>& results, double seconds,
+                          const LoadGenOptions& options,
+                          RecordedTraffic* recorded) {
   LoadGenReport report;
   report.seconds = seconds;
   std::vector<double> latencies;
@@ -359,6 +632,8 @@ common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
     report.status_4xx += r.status_4xx;
     report.status_5xx += r.status_5xx;
     report.rejected_503 += r.rejected_503;
+    report.throttled_429 += r.throttled_429;
+    report.flash_cold_failures += r.flash_cold_failures;
     report.retries += r.retries;
     report.visits += r.visits;
     report.sessions += r.sessions;
@@ -402,13 +677,14 @@ common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
                                                   static_cast<ptrdiff_t>(n)));
   }
 
-  // Per-op percentiles over completed responses, then the SLO verdicts
-  // ("all" reads the whole-mix p99 computed above).
+  // Per-op percentiles over completed responses ("all" and the SLO
+  // verdicts read these later).
   std::unordered_map<std::string, std::vector<double>> per_op;
   for (const SlowRequest& sample : samples) {
     if (sample.status >= 0) per_op[sample.op].push_back(sample.ms);
   }
-  for (const char* op : {"visit", "session", "refine", "ingest", "finalize"}) {
+  for (const char* op : {"visit", "session", "refine", "ingest", "finalize",
+                         "ingest_batch", "ingest_hot"}) {
     auto it = per_op.find(op);
     if (it == per_op.end() || it->second.empty()) continue;
     OpLatency lat;
@@ -418,23 +694,76 @@ common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
     lat.p99_ms = common::Quantile(it->second, 0.99);
     report.op_latency.push_back(std::move(lat));
   }
+  return report;
+}
+
+void EvaluateSlos(const LoadGenOptions& options, LoadGenReport& report) {
   for (const LoadGenOptions::SloTarget& target : options.slo_targets) {
     SloResult verdict;
     verdict.op = target.op;
     verdict.target_p99_ms = target.p99_ms;
     if (target.op == "all") {
       verdict.actual_p99_ms = report.p99_ms;
+    } else if (target.op == "provisional_p99") {
+      verdict.actual_p99_ms = report.provisional_p99_ms;
     } else {
-      auto it = per_op.find(target.op);
-      verdict.actual_p99_ms =
-          (it == per_op.end() || it->second.empty())
-              ? 0.0
-              : common::Quantile(it->second, 0.99);
+      for (const OpLatency& lat : report.op_latency) {
+        if (lat.op == target.op) verdict.actual_p99_ms = lat.p99_ms;
+      }
     }
     verdict.ok = verdict.actual_p99_ms <= target.p99_ms;
     if (!verdict.ok) report.slo_ok = false;
     report.slo.push_back(std::move(verdict));
   }
+}
+
+common::Result<LoadGenReport> RunFlashCrowd(const LoadGenOptions& options) {
+  std::vector<ThreadResult> results(options.num_threads);
+  const Clock::time_point start = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(options.num_threads);
+    for (size_t t = 0; t < options.num_threads; ++t) {
+      threads.emplace_back([&options, &results, t] {
+        FlashWorker worker(options, t);
+        results[t] = worker.Run();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  LoadGenReport report = BuildReport(results, seconds, options, nullptr);
+  LIGHTOR_ASSIGN_OR_RETURN(report.provisional_p99_ms,
+                           SettleAndScrapeStaleness(options));
+  EvaluateSlos(options, report);
+  return report;
+}
+
+}  // namespace
+
+common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options,
+                                         RecordedTraffic* recorded) {
+  LIGHTOR_RETURN_IF_ERROR(options.Validate());
+  if (options.scenario == "flash-crowd") return RunFlashCrowd(options);
+
+  std::vector<ThreadResult> results(options.num_threads);
+  const Clock::time_point start = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(options.num_threads);
+    for (size_t t = 0; t < options.num_threads; ++t) {
+      threads.emplace_back([&options, &results, t] {
+        Worker worker(options, t);
+        results[t] = worker.Run();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  LoadGenReport report = BuildReport(results, seconds, options, recorded);
+  EvaluateSlos(options, report);
   return report;
 }
 
@@ -448,6 +777,10 @@ std::string EncodeJson(const LoadGenReport& report) {
   out.Set("status_5xx", Json::Int(static_cast<int64_t>(report.status_5xx)));
   out.Set("rejected_503",
           Json::Int(static_cast<int64_t>(report.rejected_503)));
+  out.Set("throttled_429",
+          Json::Int(static_cast<int64_t>(report.throttled_429)));
+  out.Set("flash_cold_failures",
+          Json::Int(static_cast<int64_t>(report.flash_cold_failures)));
   out.Set("retries", Json::Int(static_cast<int64_t>(report.retries)));
   Json ops = Json::MakeObject();
   ops.Set("visit", Json::Int(static_cast<int64_t>(report.visits)));
@@ -464,6 +797,7 @@ std::string EncodeJson(const LoadGenReport& report) {
   latency.Set("p99_ms", Json::Number(report.p99_ms));
   latency.Set("max_ms", Json::Number(report.max_ms));
   out.Set("latency", std::move(latency));
+  out.Set("provisional_p99_ms", Json::Number(report.provisional_p99_ms));
   Json slowest = Json::MakeArray();
   for (const SlowRequest& row : report.slowest) {
     Json entry = Json::MakeObject();

@@ -61,6 +61,28 @@ struct LoadGenOptions {
   size_t ingest_batch_size = 32;
   double timeout_seconds = 30.0;
 
+  /// Scenario selector. "" (or "mix") runs the closed-loop traffic mix
+  /// above. "flash-crowd" runs the multi-channel live-ingest gauntlet
+  /// instead: `flash_channels` cold channels stream steadily via chunked
+  /// batch frames while one hot channel ("flash-hot", owned by thread 0)
+  /// offers `flash_hot_multiplier`x a cold channel's load as single
+  /// frames. Hot-channel 429s are expected (tallied in `throttled_429`,
+  /// dropped, never retried — that is the backpressure working); any
+  /// cold-channel delivery that ultimately fails counts in
+  /// `flash_cold_failures`. After the run the generator polls
+  /// GET /debug/channels until every cold queue drains and publishes
+  /// land, then reports the cold channels' provisional-staleness p99
+  /// (`provisional_p99_ms`, gateable via SLO op "provisional_p99").
+  /// Synthetic chat is generated in-process: `platform`, `recorded_ids`
+  /// and `live_ids` are not used.
+  std::string scenario;
+  size_t flash_channels = 1000;
+  size_t flash_hot_multiplier = 100;
+  /// Cold channels packed into one chunked /ingest frame. Keep at or
+  /// below the server's RouteOptions::max_batch_channels or every frame
+  /// is a 413.
+  size_t flash_frame_channels = 32;
+
   /// Cluster mode: when true, a 503 response (router with every ring
   /// candidate down, backend admission control) is retried with jittered
   /// backoff until `retry_budget_seconds` is spent instead of counting
@@ -80,9 +102,12 @@ struct LoadGenOptions {
   size_t slowest_n = 8;
 
   /// Per-op p99 ceiling asserted after the run; `op` is one of "visit",
-  /// "session", "refine", "ingest", "finalize", or "all" for the whole
-  /// mix. A violated target flips `LoadGenReport::slo_ok` (the run
-  /// itself still succeeds — enforcement is the caller's call).
+  /// "session", "refine", "ingest", "finalize", "ingest_batch",
+  /// "ingest_hot", "provisional_p99" (flash-crowd: cold-channel
+  /// provisional-staleness p99, not a request latency), or "all" for
+  /// the whole mix. A violated target flips `LoadGenReport::slo_ok`
+  /// (the run itself still succeeds — enforcement is the caller's
+  /// call).
   struct SloTarget {
     std::string op;
     double p99_ms = 0.0;
@@ -126,6 +151,10 @@ struct LoadGenReport {
   size_t status_4xx = 0;
   size_t status_5xx = 0;
   size_t rejected_503 = 0;  ///< admission-control rejections seen
+  size_t throttled_429 = 0;  ///< per-channel ingest budget rejections seen
+  /// Flash-crowd only: cold-channel deliveries that failed for good
+  /// (after retries). The scenario's pass criterion is this staying 0.
+  size_t flash_cold_failures = 0;
   /// Extra attempts spent absorbing 503s/wire errors (`retry_503` mode);
   /// only the final attempt of each request is tallied above.
   size_t retries = 0;
@@ -140,6 +169,11 @@ struct LoadGenReport {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  /// Flash-crowd only: p99 over cold channels of each channel's worst
+  /// provisional-snapshot staleness, scraped from /debug/channels after
+  /// the queues settle. When settling times out this is floored at the
+  /// elapsed wait, so a "provisional_p99" SLO target cannot pass vacuously.
+  double provisional_p99_ms = 0.0;
   /// Slowest completed requests across all threads, worst first (at most
   /// `LoadGenOptions::slowest_n` rows).
   std::vector<SlowRequest> slowest;

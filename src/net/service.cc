@@ -1,5 +1,7 @@
 #include "net/service.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 #include <utility>
@@ -63,9 +65,78 @@ HttpResponse JsonRoute(const HttpRequest& request, Decode decode,
   return JsonResponse(200, EncodeJson(result.value()));
 }
 
+/// Retry-After is whole seconds on the wire; round the bucket's refill
+/// estimate up so a compliant client never retries early, floor at 1.
+std::string RetryAfterHeader(double retry_after_seconds) {
+  const double ceiled = std::ceil(std::max(0.0, retry_after_seconds));
+  return std::to_string(std::max<long long>(1, static_cast<long long>(ceiled)));
+}
+
+HttpResponse ThrottledResponse(const serving::IngestChatResponse& response) {
+  HttpResponse http = JsonResponse(429, EncodeJson(response));
+  http.SetHeader("retry-after", RetryAfterHeader(response.retry_after_seconds));
+  return http;
+}
+
+/// Chunked multi-channel frame: a top-level JSON array of single-frame
+/// requests. The frame itself is HTTP 200 once it parses and fits the
+/// caps; each channel reports its own outcome per entry so one spiking
+/// channel's 429 cannot fail its neighbours' deliveries.
+HttpResponse BatchIngestRoute(serving::HighlightServer* server,
+                              const RouteOptions& options,
+                              const HttpRequest& request) {
+  auto decoded = DecodeIngestBatchRequest(request.body);
+  if (!decoded.ok()) {
+    return ErrorResponse(400, decoded.status().ToString());
+  }
+  const std::vector<serving::IngestChatRequest>& batches = decoded.value();
+  if (batches.size() > options.max_batch_channels) {
+    return ErrorResponse(
+        413, "ingest: batch frame carries " + std::to_string(batches.size()) +
+                 " channels, cap is " +
+                 std::to_string(options.max_batch_channels));
+  }
+  size_t total_messages = 0;
+  for (const serving::IngestChatRequest& batch : batches) {
+    total_messages += batch.messages.size();
+  }
+  if (total_messages > options.max_batch_messages) {
+    return ErrorResponse(
+        413, "ingest: batch frame carries " + std::to_string(total_messages) +
+                 " messages, cap is " +
+                 std::to_string(options.max_batch_messages));
+  }
+
+  std::vector<IngestBatchEntry> entries;
+  entries.reserve(batches.size());
+  double max_retry_after = 0.0;
+  for (const serving::IngestChatRequest& batch : batches) {
+    IngestBatchEntry entry;
+    entry.video_id = batch.video_id;
+    auto result = server->IngestChat(batch);
+    if (!result.ok()) {
+      entry.status = HttpStatusFor(result.status());
+      entry.error = result.status().ToString();
+    } else if (result.value().throttled) {
+      entry.status = 429;
+      entry.response = result.value();
+      max_retry_after =
+          std::max(max_retry_after, result.value().retry_after_seconds);
+    } else {
+      entry.response = result.value();
+    }
+    entries.push_back(std::move(entry));
+  }
+  HttpResponse http = JsonResponse(200, EncodeIngestBatchResponse(entries));
+  if (max_retry_after > 0.0) {
+    http.SetHeader("retry-after", RetryAfterHeader(max_retry_after));
+  }
+  return http;
+}
+
 }  // namespace
 
-Router BuildRoutes(serving::HighlightServer* server) {
+Router BuildRoutes(serving::HighlightServer* server, RouteOptions options) {
   Router router;
 
   router.Handle("POST", "/visit", [server](const HttpRequest& request) {
@@ -100,11 +171,23 @@ Router BuildRoutes(serving::HighlightServer* server) {
     return JsonResponse(200, EncodeJson(report.value()));
   });
 
-  router.Handle("POST", "/ingest", [server](const HttpRequest& request) {
-    return JsonRoute(request, DecodeIngestChatRequest,
-                     [server](serving::IngestChatRequest req) {
-                       return server->IngestChat(req);
-                     });
+  router.Handle("POST", "/ingest",
+                [server, options](const HttpRequest& request) {
+    // Sniff the frame shape on the first non-whitespace byte: `[` is a
+    // chunked multi-channel batch, anything else decodes as the classic
+    // single-channel object (whose decoder produces the 400 on garbage).
+    const size_t first = request.body.find_first_not_of(" \t\r\n");
+    if (first != std::string_view::npos && request.body[first] == '[') {
+      return BatchIngestRoute(server, options, request);
+    }
+    auto decoded = DecodeIngestChatRequest(request.body);
+    if (!decoded.ok()) {
+      return ErrorResponse(400, decoded.status().ToString());
+    }
+    auto result = server->IngestChat(decoded.value());
+    if (!result.ok()) return FromStatus(result.status());
+    if (result.value().throttled) return ThrottledResponse(result.value());
+    return JsonResponse(200, EncodeJson(result.value()));
   });
 
   router.Handle("POST", "/finalize", [server](const HttpRequest& request) {
@@ -236,6 +319,37 @@ Router BuildRoutes(serving::HighlightServer* server) {
     response.body = obs::ChromeTraceJson(events);
     response.SetHeader("content-type", "application/json");
     return response;
+  });
+
+  // Per-channel live-ingest accounting. This is the cardinality-safe
+  // home for per-channel detail: the /metrics histograms stay unlabeled
+  // while operators (and the flash-crowd loadgen SLO gate) read exact
+  // per-channel queues and staleness here.
+  router.Handle("GET", "/debug/channels", [server](const HttpRequest&) {
+    Json array = Json::MakeArray();
+    for (const auto& channel : server->ChannelsSnapshot()) {
+      Json entry = Json::MakeObject();
+      entry.Set("video_id", Json::Str(channel.video_id));
+      entry.Set("queued_messages", Json::Int(static_cast<int64_t>(
+                                       channel.queued_messages)));
+      entry.Set("admitted_messages", Json::Int(static_cast<int64_t>(
+                                         channel.admitted_messages)));
+      entry.Set("throttled_batches", Json::Int(static_cast<int64_t>(
+                                         channel.throttled_batches)));
+      entry.Set("rejected_messages", Json::Int(static_cast<int64_t>(
+                                         channel.rejected_messages)));
+      entry.Set("publishes",
+                Json::Int(static_cast<int64_t>(channel.publishes)));
+      entry.Set("last_staleness_seconds",
+                Json::Number(channel.last_staleness_seconds));
+      entry.Set("max_staleness_seconds",
+                Json::Number(channel.max_staleness_seconds));
+      entry.Set("closed", Json::Bool(channel.closed));
+      array.Append(std::move(entry));
+    }
+    Json root = Json::MakeObject();
+    root.Set("channels", std::move(array));
+    return JsonResponse(200, root.Dump());
   });
 
   return router;

@@ -12,7 +12,12 @@ namespace lightor::net {
 ///   POST /visit     PageVisitRequest      -> PageVisitResponse
 ///   POST /session   LogSessionRequest     -> {"ok":true}
 ///   POST /refine    {"video_id"}          -> RefineReport
-///   POST /ingest    IngestChatRequest     -> IngestChatResponse
+///   POST /ingest    IngestChatRequest     -> IngestChatResponse, or a
+///                   chunked batch frame [IngestChatRequest,...] ->
+///                   {"entries":[...]} (sniffed on the first body byte;
+///                   oversized frames are 413, a throttled single frame
+///                   is 429 + Retry-After from the channel's token
+///                   bucket, throttled batch entries carry status 429)
 ///   POST /finalize  FinalizeStreamRequest -> FinalizeStreamResponse
 ///   GET  /highlights?video_id=X           -> GetHighlightsResponse
 ///   GET  /metrics[?format=json]           -> exposition text
@@ -27,13 +32,27 @@ namespace lightor::net {
 ///                                            or a class like "5xx")
 ///   GET  /debug/trace?trace_id=<32 hex>   -> Chrome-trace JSON of the
 ///                                            retained spans of one trace
+///   GET  /debug/channels                  -> per-channel live-ingest
+///                                            accounting (queues,
+///                                            budgets, staleness)
 ///
 /// Backend errors map onto HTTP statuses: InvalidArgument -> 400,
 /// NotFound -> 404, FailedPrecondition (draining server, live-stream
 /// conflicts) -> 409, IoError (storage write failure: the record was NOT
 /// accepted, retry) -> 503 + Retry-After, everything else -> 500. Codec
 /// decode errors are always 400.
-Router BuildRoutes(serving::HighlightServer* server);
+
+/// Wire-level knobs of the route table.
+struct RouteOptions {
+  /// Caps on one chunked /ingest batch frame; a frame exceeding either
+  /// is refused whole with 413 (nothing applied). Per-message body size
+  /// is separately bounded by NetOptions' parser limits.
+  size_t max_batch_channels = 256;
+  size_t max_batch_messages = 8192;
+};
+
+Router BuildRoutes(serving::HighlightServer* server,
+                   RouteOptions options = {});
 
 }  // namespace lightor::net
 

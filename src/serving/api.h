@@ -2,6 +2,7 @@
 #define LIGHTOR_SERVING_API_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,6 +61,35 @@ struct ServerOptions {
   /// closed so far); large values serve staler provisional dots.
   size_t stream_refresh_messages = 64;
 
+  // --- Multi-channel live ingest (HighlightServer only) ---
+
+  /// Ingest drain worker threads. 0 (the default) keeps the synchronous
+  /// path: `IngestChat` feeds the engine before returning. > 0 switches
+  /// to the fair-share tier: admitted batches land in per-channel queues
+  /// drained deficit-round-robin, so one flash-crowd channel cannot
+  /// starve a thousand cold ones (see serving/channel_scheduler.h).
+  size_t ingest_workers = 0;
+  /// Per-channel admission budget: token-bucket refill rate in
+  /// messages/second. 0 disables admission control. A batch exceeding
+  /// the available tokens is refused whole — the response carries
+  /// `throttled` plus a Retry-After delay, and nothing is ingested.
+  double ingest_rate_messages_per_sec = 0.0;
+  /// Token-bucket capacity (burst allowance); 0 defaults to 4× the
+  /// rate. Must exceed the largest batch clients send.
+  double ingest_burst_messages = 0.0;
+  /// Per-channel queued-message cap in async mode; overflow throttles.
+  size_t ingest_queue_messages = 8192;
+  /// DRR quantum: messages drained per channel per scheduler visit.
+  size_t ingest_quantum_messages = 256;
+  /// Async mode: publish a provisional snapshot for a channel whose
+  /// oldest unpublished message is older than this, even below the
+  /// refresh threshold — bounds cold-channel staleness. 0 disables the
+  /// age trigger (threshold-only publishes, the synchronous behavior).
+  double stream_publish_max_delay_seconds = 0.0;
+  /// Test seam: monotonic clock (seconds) for admission budgets and
+  /// staleness accounting. Null uses the steady clock.
+  std::function<double()> ingest_clock;
+
   /// Batch the interaction-log flushes on the session-logging path:
   /// `LogSession` appends without an fsync-style flush, and the server
   /// flushes before every refinement pass consumes a batch and at
@@ -104,6 +134,18 @@ struct ServerOptions {
     if (stream_refresh_messages == 0)
       return common::Status::InvalidArgument(
           "ServerOptions: stream_refresh_messages == 0");
+    if (ingest_rate_messages_per_sec < 0.0 || ingest_burst_messages < 0.0)
+      return common::Status::InvalidArgument(
+          "ServerOptions: negative ingest budget");
+    if (ingest_workers > 0 && ingest_queue_messages == 0)
+      return common::Status::InvalidArgument(
+          "ServerOptions: ingest_queue_messages == 0 with ingest workers");
+    if (ingest_workers > 0 && ingest_quantum_messages == 0)
+      return common::Status::InvalidArgument(
+          "ServerOptions: ingest_quantum_messages == 0 with ingest workers");
+    if (stream_publish_max_delay_seconds < 0.0)
+      return common::Status::InvalidArgument(
+          "ServerOptions: negative stream_publish_max_delay_seconds");
     return common::Status::OK();
   }
 };
@@ -141,11 +183,20 @@ struct IngestChatResponse {
   size_t accepted = 0;
   size_t rejected = 0;  ///< out-of-order messages dropped
   /// True when this batch crossed the refresh threshold and published a
-  /// new provisional snapshot.
+  /// new provisional snapshot. Always false on the asynchronous ingest
+  /// path (accepted messages are queued; publishes happen on drain).
   bool provisional_published = false;
   /// Version of the currently served snapshot (0 before the first
   /// provisional publish).
   uint64_t snapshot_version = 0;
+  /// The channel's admission budget refused this batch whole: nothing
+  /// was ingested or queued (accepted == rejected == 0), and the client
+  /// should retry after `retry_after_seconds`. The HTTP layer turns
+  /// this into 429 + Retry-After.
+  bool throttled = false;
+  /// Seconds until the channel's token bucket has refilled enough for a
+  /// batch of this size. 0 unless `throttled`.
+  double retry_after_seconds = 0.0;
 };
 
 /// Ends a live stream: closes the remaining windows, swaps the

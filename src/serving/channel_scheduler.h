@@ -1,0 +1,218 @@
+#ifndef LIGHTOR_SERVING_CHANNEL_SCHEDULER_H_
+#define LIGHTOR_SERVING_CHANNEL_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/message.h"
+
+namespace lightor::serving {
+
+/// Per-channel admission + fair-share drain tier in front of the shard
+/// engines — the live-at-scale half of the serving layer. Two concerns,
+/// one per-channel bookkeeping map:
+///
+///   * **Admission budgets.** Each channel owns a token bucket
+///     (`rate_messages_per_sec` refill, `burst_messages` capacity). A
+///     batch whose message count exceeds the available tokens is refused
+///     with a retry delay derived from the bucket's refill time — the
+///     transport layer turns that into HTTP 429 + Retry-After — so a
+///     channel spiking 100× throttles itself instead of monopolizing net
+///     workers and engine time. Refusal happens before anything is
+///     queued or ingested: a throttled batch is never partially applied,
+///     which is what makes "200-acked implies ingested" a hard property.
+///   * **Deficit-round-robin draining.** With `num_workers > 0` admitted
+///     batches land in a per-channel FIFO and worker threads drain
+///     channels round-robin, each visit moving up to `quantum_messages`
+///     (always at least one whole batch, so oversized batches cannot
+///     stall a channel). Service per round is bounded per channel, so a
+///     hot channel's backlog cannot starve cold channels: a cold
+///     channel's queue delay is bounded by (active channels × quantum),
+///     independent of how deep the hot queue is.
+///
+/// The scheduler owns queues and budgets only; it never touches engines.
+/// The server supplies a `DrainFn` that feeds a channel's batches into
+/// its shard engine (taking the shard lock itself), and reports
+/// provisional publishes back via `RecordPublish` so per-channel
+/// staleness shows up in `Snapshot()` / the `/debug/channels` endpoint.
+///
+/// Lock ordering: callers may invoke `Admit`/`Offer` (which take the
+/// scheduler mutex) while holding a shard mutex; the scheduler never
+/// holds its mutex across `DrainFn`/`IdleFn` callbacks, so the shard →
+/// scheduler order is acyclic. `FlushChannel`/`CloseChannel`/`FlushAll`
+/// block on drain workers and must be called WITHOUT any shard lock.
+class ChannelScheduler {
+ public:
+  struct Options {
+    /// Drain worker threads. 0 = admission-only mode: `Offer` is not
+    /// allowed, callers ingest synchronously after `Admit`.
+    size_t num_workers = 0;
+    /// Token-bucket refill rate per channel, messages/second. 0 disables
+    /// admission control (every batch admitted).
+    double rate_messages_per_sec = 0.0;
+    /// Bucket capacity (burst allowance). 0 defaults to 4× the rate.
+    /// Must exceed the largest batch a client may send, or that batch
+    /// can never be admitted.
+    double burst_messages = 0.0;
+    /// Per-channel queued-message cap (async mode). A batch that would
+    /// overflow it is refused like a throttle.
+    size_t max_queue_messages = 8192;
+    /// DRR quantum: messages moved per channel per scheduler visit.
+    size_t quantum_messages = 256;
+    /// When > 0 and the queues are idle, invoke `IdleFn` at most every
+    /// this many seconds (the server uses it to publish age-triggered
+    /// provisional snapshots for channels that went quiet mid-batch).
+    double idle_scan_seconds = 0.0;
+    /// Test seam: monotonic clock in seconds. Defaults to steady_clock.
+    std::function<double()> clock;
+
+    common::Status Validate() const;
+  };
+
+  /// One admitted wire batch, stamped with its admission time so the
+  /// server can measure enqueue→publish staleness.
+  struct Batch {
+    std::vector<core::Message> messages;
+    double enqueue_seconds = 0.0;
+  };
+
+  /// Drains one channel's admitted batches into its engine. Invoked on a
+  /// scheduler worker with no scheduler lock held.
+  using DrainFn =
+      std::function<void(const std::string& video_id, std::vector<Batch>)>;
+  /// Invoked by an idle worker (no scheduler lock held); see
+  /// `idle_scan_seconds`.
+  using IdleFn = std::function<void()>;
+
+  /// Outcome of `Admit`/`Offer`.
+  struct Admission {
+    bool admitted = true;
+    /// When refused: seconds until the bucket has refilled enough for a
+    /// batch of the offered size (or a queue-pressure estimate).
+    double retry_after_seconds = 0.0;
+    /// Refused because the channel was closed by `CloseChannel` (stream
+    /// finalizing), not because of budget.
+    bool closed = false;
+  };
+
+  static common::Result<std::unique_ptr<ChannelScheduler>> Create(
+      Options options, DrainFn drain, IdleFn idle = nullptr);
+
+  ~ChannelScheduler();
+  ChannelScheduler(const ChannelScheduler&) = delete;
+  ChannelScheduler& operator=(const ChannelScheduler&) = delete;
+
+  /// Admission-only check: charges the channel's bucket for `offered`
+  /// messages (all-or-nothing). Used on the synchronous ingest path.
+  Admission Admit(const std::string& video_id, size_t offered);
+
+  /// Admission + enqueue (async mode): charges the bucket for `offered`
+  /// messages and, when admitted, queues `messages` (the subset that
+  /// passed the caller's ordering filter) for DRR draining. Nothing is
+  /// queued on refusal.
+  Admission Offer(const std::string& video_id,
+                  std::vector<core::Message> messages, size_t offered);
+
+  /// Server callback: a provisional snapshot for `video_id` was
+  /// published, covering messages admitted up to `staleness_seconds`
+  /// ago. Feeds the per-channel staleness columns of `Snapshot()`.
+  void RecordPublish(const std::string& video_id, double staleness_seconds);
+  /// Server callback: `count` admitted messages were dropped by the
+  /// engine (out-of-order stragglers that slipped past the admission
+  /// mirror, or a drain that lost its engine to a finalize race).
+  void RecordRejected(const std::string& video_id, size_t count);
+
+  /// Blocks until the channel's queue is empty and no drain is in
+  /// flight. Must not be called under a shard lock.
+  void FlushChannel(const std::string& video_id);
+  /// Flushes the channel, then marks it closed: subsequent `Offer`s are
+  /// refused with `closed = true`. Used by FinalizeStream to guarantee
+  /// every acked message reaches the engine before it is claimed.
+  void CloseChannel(const std::string& video_id);
+  /// Reverts `CloseChannel` (finalize failed, the stream lives on).
+  void ReopenChannel(const std::string& video_id);
+  /// Blocks until every channel's queue is drained.
+  void FlushAll();
+
+  /// Drains every queue, then stops and joins the workers. Idempotent;
+  /// the destructor calls it.
+  void Shutdown();
+
+  /// Point-in-time per-channel accounting for `/debug/channels`.
+  struct ChannelSnapshot {
+    std::string video_id;
+    size_t queued_messages = 0;
+    uint64_t admitted_messages = 0;
+    uint64_t throttled_batches = 0;
+    uint64_t rejected_messages = 0;
+    uint64_t publishes = 0;
+    double last_staleness_seconds = 0.0;
+    double max_staleness_seconds = 0.0;
+    bool closed = false;
+  };
+  std::vector<ChannelSnapshot> Snapshot() const;
+
+  size_t TotalQueuedMessages() const;
+  const Options& options() const { return options_; }
+
+ private:
+  /// All live-ingest bookkeeping of one channel; guarded by mu_.
+  struct Channel {
+    // Token bucket.
+    double tokens = 0.0;
+    double last_refill_seconds = 0.0;
+    bool bucket_started = false;  ///< tokens initialized to burst
+    // DRR queue.
+    std::deque<Batch> queue;
+    size_t queued_messages = 0;
+    size_t deficit = 0;
+    bool in_service = false;  ///< a worker is draining this channel
+    bool in_active = false;   ///< queued on the round-robin list
+    bool closed = false;
+    // Accounting (mirrors ChannelSnapshot).
+    uint64_t admitted_messages = 0;
+    uint64_t throttled_batches = 0;
+    uint64_t rejected_messages = 0;
+    uint64_t publishes = 0;
+    double last_staleness_seconds = 0.0;
+    double max_staleness_seconds = 0.0;
+  };
+
+  ChannelScheduler(Options options, DrainFn drain, IdleFn idle);
+
+  double Now() const { return options_.clock(); }
+  double EffectiveBurst() const;
+  /// Refills the bucket and charges it for `offered`; on refusal fills
+  /// in the retry delay. Requires mu_ held.
+  Admission ChargeBucket(Channel& ch, size_t offered, double now);
+  void WorkerLoop();
+
+  Options options_;
+  DrainFn drain_;
+  IdleFn idle_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< work queued / stopping
+  std::condition_variable flush_cv_;  ///< a channel finished draining
+  std::unordered_map<std::string, Channel> channels_;
+  /// Round-robin order of channels with queued work (DRR active list).
+  std::deque<std::string> active_;
+  size_t total_queued_ = 0;
+  double last_idle_scan_ = 0.0;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lightor::serving
+
+#endif  // LIGHTOR_SERVING_CHANNEL_SCHEDULER_H_

@@ -49,6 +49,33 @@ HighlightServer::HighlightServer(ServerOptions options)
       shard.videos[video_id].watermark = watermark;
     }
   }
+  // The per-channel admission + DRR tier. Always constructed: with
+  // ingest_workers == 0 it is admission-only (and free when no budget is
+  // configured); its workers call DrainChannelBatches, which takes shard
+  // locks, so it must come after the shards and may start immediately.
+  {
+    ChannelScheduler::Options sched;
+    sched.num_workers = options_.ingest_workers;
+    sched.rate_messages_per_sec = options_.ingest_rate_messages_per_sec;
+    sched.burst_messages = options_.ingest_burst_messages;
+    sched.max_queue_messages = options_.ingest_queue_messages;
+    sched.quantum_messages = options_.ingest_quantum_messages;
+    sched.clock = options_.ingest_clock;
+    if (options_.ingest_workers > 0 &&
+        options_.stream_publish_max_delay_seconds > 0.0) {
+      sched.idle_scan_seconds =
+          std::max(0.01, options_.stream_publish_max_delay_seconds / 2.0);
+    }
+    ingest_scheduler_ =
+        ChannelScheduler::Create(
+            std::move(sched),
+            [this](const std::string& id,
+                   std::vector<ChannelScheduler::Batch> batches) {
+              DrainChannelBatches(id, std::move(batches));
+            },
+            [this] { PublishStaleProvisionals(/*force=*/false); })
+            .value();
+  }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -289,6 +316,46 @@ common::Result<PageVisitResponse> HighlightServer::OnPageVisit(
   return response;
 }
 
+double HighlightServer::IngestNow() const {
+  if (options_.ingest_clock) return options_.ingest_clock();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool HighlightServer::MaybePublishProvisional(const std::string& video_id,
+                                              VideoState& state, bool force) {
+  if (state.stream == nullptr || state.stream_since_publish == 0) return false;
+  const double now = IngestNow();
+  const bool threshold =
+      state.stream_since_publish >= options_.stream_refresh_messages;
+  const double max_delay = options_.stream_publish_max_delay_seconds;
+  const bool aged = max_delay > 0.0 && state.has_unpublished &&
+                    now - state.oldest_unpublished_seconds >= max_delay;
+  if (!threshold && !aged && !force) return false;
+  state.stream_since_publish = 0;
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->version =
+      state.snapshot == nullptr ? 1 : state.snapshot->version + 1;
+  snapshot->provisional = true;
+  snapshot->records =
+      RecordsFromDots(video_id, state.stream->Provisional(options_.top_k));
+  state.snapshot = std::move(snapshot);
+  StreamProvisionalPublishesCounter().Increment();
+  // Staleness: admission of the oldest message this snapshot newly
+  // covers → now. On the synchronous path that is intra-request time;
+  // on the async path it includes the DRR queue wait, which is the
+  // number the fairness SLO bounds.
+  const double staleness =
+      state.has_unpublished
+          ? std::max(0.0, now - state.oldest_unpublished_seconds)
+          : 0.0;
+  state.has_unpublished = false;
+  ProvisionalStalenessHistogram().Observe(staleness);
+  ingest_scheduler_->RecordPublish(video_id, staleness);
+  return true;
+}
+
 common::Result<IngestChatResponse> HighlightServer::IngestChat(
     const IngestChatRequest& req) {
   if (!accepting_.load(std::memory_order_acquire)) {
@@ -313,30 +380,130 @@ common::Result<IngestChatResponse> HighlightServer::IngestChat(
     LIGHTOR_LOG(Info) << "serving: live stream opened for " << req.video_id;
   }
   IngestChatResponse response;
-  for (const auto& m : req.messages) {
-    if (state.stream->Ingest(m).ok()) {
-      ++response.accepted;
+  if (options_.ingest_workers == 0) {
+    // Synchronous path: admission check, then feed the engine inline.
+    const ChannelScheduler::Admission admission =
+        ingest_scheduler_->Admit(req.video_id, req.messages.size());
+    if (!admission.admitted) {
+      if (admission.closed) {
+        return common::Status::FailedPrecondition(
+            "IngestChat: stream is finalizing: " + req.video_id);
+      }
+      response.throttled = true;
+      response.retry_after_seconds = admission.retry_after_seconds;
     } else {
-      ++response.rejected;
+      auto counts = state.stream->IngestBatch(req.messages);
+      if (!counts.ok()) return counts.status();
+      response.accepted = counts.value().accepted;
+      response.rejected = counts.value().rejected;
+      ingest_scheduler_->RecordRejected(req.video_id, response.rejected);
+      if (response.accepted > 0) {
+        state.stream_since_publish += response.accepted;
+        if (!state.has_unpublished) {
+          state.has_unpublished = true;
+          state.oldest_unpublished_seconds = IngestNow();
+        }
+      }
+      response.provisional_published =
+          MaybePublishProvisional(req.video_id, state, /*force=*/false);
     }
-  }
-  state.stream_since_publish += response.accepted;
-  if (state.stream_since_publish >= options_.stream_refresh_messages) {
-    state.stream_since_publish = 0;
-    auto snapshot = std::make_shared<Snapshot>();
-    snapshot->version =
-        state.snapshot == nullptr ? 1 : state.snapshot->version + 1;
-    snapshot->provisional = true;
-    snapshot->records =
-        RecordsFromDots(req.video_id, state.stream->Provisional(options_.top_k));
-    state.snapshot = std::move(snapshot);
-    response.provisional_published = true;
-    StreamProvisionalPublishesCounter().Increment();
+  } else {
+    // Fair-share path: mirror the engine's ordering rule here so the
+    // tally acked to the client equals what the engine will decide at
+    // drain time, then hand the accepted tail to the DRR queues. The
+    // watermark only advances when the batch clears the budget — a
+    // throttled batch leaves no trace.
+    std::vector<core::Message> accepted;
+    accepted.reserve(req.messages.size());
+    double watermark = state.admit_watermark;
+    bool any = state.admit_any;
+    size_t rejected = 0;
+    for (const auto& m : req.messages) {
+      if (any && m.timestamp < watermark) {
+        ++rejected;
+        continue;
+      }
+      watermark = m.timestamp;
+      any = true;
+      accepted.push_back(m);
+    }
+    const size_t accepted_count = accepted.size();
+    const ChannelScheduler::Admission admission = ingest_scheduler_->Offer(
+        req.video_id, std::move(accepted), req.messages.size());
+    if (!admission.admitted) {
+      if (admission.closed) {
+        return common::Status::FailedPrecondition(
+            "IngestChat: stream is finalizing: " + req.video_id);
+      }
+      response.throttled = true;
+      response.retry_after_seconds = admission.retry_after_seconds;
+    } else {
+      state.admit_watermark = watermark;
+      state.admit_any = any;
+      response.accepted = accepted_count;
+      response.rejected = rejected;
+      ingest_scheduler_->RecordRejected(req.video_id, rejected);
+    }
   }
   if (state.snapshot != nullptr) {
     response.snapshot_version = state.snapshot->version;
   }
   return response;
+}
+
+void HighlightServer::DrainChannelBatches(
+    const std::string& video_id,
+    std::vector<ChannelScheduler::Batch> batches) {
+  obs::ScopedSpan span("serving.DrainChannel");
+  Shard& shard = ShardFor(video_id);
+  auto lk = LockShard(shard);
+  auto it = shard.videos.find(video_id);
+  if (it == shard.videos.end() || it->second.stream == nullptr) {
+    // The stream vanished between admission and drain. FinalizeStream
+    // closes and flushes the channel before claiming the engine, so
+    // this only happens when Shutdown dropped the stream; keep the
+    // accounting honest.
+    size_t lost = 0;
+    for (const auto& b : batches) lost += b.messages.size();
+    ingest_scheduler_->RecordRejected(video_id, lost);
+    return;
+  }
+  VideoState& state = it->second;
+  for (auto& batch : batches) {
+    if (!state.has_unpublished && !batch.messages.empty()) {
+      state.has_unpublished = true;
+      state.oldest_unpublished_seconds = batch.enqueue_seconds;
+    }
+    auto counts = state.stream->IngestBatch(batch.messages);
+    if (!counts.ok()) {
+      ingest_scheduler_->RecordRejected(video_id, batch.messages.size());
+      continue;
+    }
+    state.stream_since_publish += counts.value().accepted;
+    if (counts.value().rejected > 0) {
+      ingest_scheduler_->RecordRejected(video_id, counts.value().rejected);
+    }
+  }
+  MaybePublishProvisional(video_id, state, /*force=*/false);
+}
+
+void HighlightServer::PublishStaleProvisionals(bool force) {
+  for (auto& shard : shards_) {
+    auto lk = LockShard(*shard);
+    for (auto& [video_id, state] : shard->videos) {
+      MaybePublishProvisional(video_id, state, force);
+    }
+  }
+}
+
+void HighlightServer::FlushIngest() {
+  if (options_.ingest_workers > 0) ingest_scheduler_->FlushAll();
+  PublishStaleProvisionals(/*force=*/true);
+}
+
+std::vector<ChannelScheduler::ChannelSnapshot>
+HighlightServer::ChannelsSnapshot() const {
+  return ingest_scheduler_->Snapshot();
 }
 
 common::Result<FinalizeStreamResponse> HighlightServer::FinalizeStream(
@@ -345,6 +512,12 @@ common::Result<FinalizeStreamResponse> HighlightServer::FinalizeStream(
     return ShuttingDown("FinalizeStream");
   }
   obs::ScopedSpan span("serving.FinalizeStream");
+
+  // No-ack-drop: before the engine is claimed, stop the channel's
+  // admission and drain its queue, so every 200-acked message is in the
+  // engine when the final scores are computed. Must run without the
+  // shard lock (the drain workers take it).
+  ingest_scheduler_->CloseChannel(req.video_id);
 
   // Claim the engine: moving it out under the shard lock makes finalize
   // one-shot and lets the (possibly long) batch tail run without holding
@@ -355,6 +528,8 @@ common::Result<FinalizeStreamResponse> HighlightServer::FinalizeStream(
     auto lk = LockShard(shard);
     auto it = shard.videos.find(req.video_id);
     if (it == shard.videos.end() || it->second.stream == nullptr) {
+      lk.unlock();
+      ingest_scheduler_->ReopenChannel(req.video_id);
       return common::Status::FailedPrecondition(
           "FinalizeStream: no active stream for video: " + req.video_id);
     }
@@ -374,10 +549,14 @@ common::Result<FinalizeStreamResponse> HighlightServer::FinalizeStream(
   }
   auto dots = engine->Finalize(video_length, options_.top_k);
   if (!dots.ok()) {
-    // e.g. a length behind the watermark: hand the engine back so the
-    // caller can retry with a valid length.
-    auto relock = LockShard(shard);
-    shard.videos[req.video_id].stream = std::move(engine);
+    // e.g. a length behind the watermark: hand the engine back (and
+    // reopen the channel's admission) so the caller can retry with a
+    // valid length.
+    {
+      auto relock = LockShard(shard);
+      shard.videos[req.video_id].stream = std::move(engine);
+    }
+    ingest_scheduler_->ReopenChannel(req.video_id);
     return dots.status();
   }
   ActiveStreamsGauge().Add(-1.0);
@@ -401,6 +580,15 @@ common::Result<FinalizeStreamResponse> HighlightServer::FinalizeStream(
     snapshot->records = response.highlights;
     state.snapshot = std::move(snapshot);
     response.snapshot_version = state.snapshot->version;
+    // The final snapshot covers whatever the provisional publishes had
+    // not yet; account its staleness like any other publish.
+    if (state.has_unpublished) {
+      const double staleness =
+          std::max(0.0, IngestNow() - state.oldest_unpublished_seconds);
+      ProvisionalStalenessHistogram().Observe(staleness);
+      ingest_scheduler_->RecordPublish(req.video_id, staleness);
+      state.has_unpublished = false;
+    }
   }
   LIGHTOR_LOG(Info) << "serving: stream " << req.video_id << " finalized at "
                     << video_length << "s with "
@@ -678,6 +866,11 @@ void HighlightServer::Shutdown() {
   }
   draining_.store(true, std::memory_order_relaxed);
   accepting_.store(false, std::memory_order_release);
+  // Drain queued ingest batches into their engines first: a 200-acked
+  // message is applied (and its provisional progress published) even
+  // when the stream is then dropped below.
+  ingest_scheduler_->Shutdown();
+  PublishStaleProvisionals(/*force=*/true);
   // Drain: synchronously consume accumulated batches, then let the
   // workers finish whatever is still queued and exit.
   Flush();

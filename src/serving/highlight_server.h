@@ -16,6 +16,7 @@
 #include "core/streaming.h"
 #include "obs/trace_context.h"
 #include "serving/api.h"
+#include "serving/channel_scheduler.h"
 #include "storage/checkpoint.h"
 #include "storage/crawler.h"
 #include "storage/database.h"
@@ -100,7 +101,25 @@ class HighlightServer {
   /// `stream_refresh_messages` accepted messages. Fails with
   /// FailedPrecondition when the video already has recorded (finalized
   /// or batch-initialized) highlights. Thread-safe.
+  ///
+  /// Admission: when a per-channel budget is configured
+  /// (`ingest_rate_messages_per_sec`), a batch exceeding the channel's
+  /// tokens returns OK with `throttled = true` and nothing applied.
+  /// With `ingest_workers > 0` accepted messages are queued for
+  /// fair-share (DRR) draining instead of being ingested inline; the
+  /// accept/reject tally still matches what the engine will do (the
+  /// admission mirror enforces the same ordering rule), so an acked
+  /// count is a promise the engine keeps.
   common::Result<IngestChatResponse> IngestChat(const IngestChatRequest& req);
+
+  /// Blocks until every queued ingest batch has been drained into its
+  /// engine and age-due provisional snapshots are published. No-op on
+  /// the synchronous path. Test/CLI seam; thread-safe.
+  void FlushIngest();
+
+  /// Per-channel live-ingest accounting (queues, budgets, staleness) for
+  /// the `/debug/channels` endpoint. Thread-safe.
+  std::vector<ChannelScheduler::ChannelSnapshot> ChannelsSnapshot() const;
 
   /// Ends a live stream: finalizes the incremental engine (bit-exact
   /// with the batch initializer over the same messages), persists the
@@ -172,6 +191,17 @@ class HighlightServer {
     std::unique_ptr<core::StreamingInitializer> stream;
     /// Accepted messages since the last provisional publish.
     size_t stream_since_publish = 0;
+    /// Admission mirror of the engine's ordering rule (async mode): the
+    /// timestamp of the last message acked for this channel, so the
+    /// accept/reject tally computed at admission equals what the engine
+    /// will decide at drain time.
+    double admit_watermark = 0.0;
+    bool admit_any = false;
+    /// Admission time of the oldest accepted-but-not-yet-published
+    /// message; drives the provisional-staleness histogram and the
+    /// age-triggered publish.
+    double oldest_unpublished_seconds = 0.0;
+    bool has_unpublished = false;
   };
 
   struct Shard {
@@ -215,6 +245,26 @@ class HighlightServer {
       const std::string& video_id,
       const std::vector<core::RedDot>& dots) const;
 
+  /// Monotonic seconds from the (injectable) ingest clock.
+  double IngestNow() const;
+
+  /// Publishes a provisional snapshot for `state` if the refresh
+  /// threshold or the staleness age trigger fires (`force` publishes any
+  /// unpublished progress regardless). Requires the shard mutex held.
+  /// Returns whether a snapshot was published.
+  bool MaybePublishProvisional(const std::string& video_id, VideoState& state,
+                               bool force);
+
+  /// ChannelScheduler drain callback: feeds a channel's admitted batches
+  /// into its shard engine and publishes when due.
+  void DrainChannelBatches(const std::string& video_id,
+                           std::vector<ChannelScheduler::Batch> batches);
+
+  /// Scheduler idle callback / flush tail: publishes provisional
+  /// snapshots for channels whose unpublished messages aged past the
+  /// configured delay (`force` ignores the age check).
+  void PublishStaleProvisionals(bool force);
+
   /// One full refinement pass (the worker body and the synchronous
   /// `Refine`). `trigger` is "batch", "explicit", or "drain".
   common::Result<RefineReport> RefinePass(const std::string& video_id,
@@ -239,6 +289,13 @@ class HighlightServer {
   ServerOptions options_;
   storage::Crawler crawler_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Per-channel admission budgets + DRR drain tier (always present;
+  /// with `ingest_workers == 0` it is admission-only and `IngestChat`
+  /// stays synchronous). Workers call back into `DrainChannelBatches`,
+  /// which takes shard locks — the scheduler never holds its own lock
+  /// across the callback, so shard → scheduler ordering is acyclic.
+  std::unique_ptr<ChannelScheduler> ingest_scheduler_;
 
   /// Coarse database mutex; see the lock-ordering note above.
   std::mutex db_mu_;

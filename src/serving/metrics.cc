@@ -175,6 +175,50 @@ obs::Histogram& RefineBatchSessionsHistogram() {
   return *histogram;
 }
 
+obs::Histogram& ProvisionalStalenessHistogram() {
+  static obs::Histogram* const histogram =
+      obs::Registry::Global().GetHistogram(
+          "lightor_serving_provisional_staleness_seconds",
+          obs::Histogram::LatencyBounds());
+  return *histogram;
+}
+
+obs::Counter& ChannelAdmittedMessagesCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_serving_channel_admitted_messages_total");
+  return *counter;
+}
+
+obs::Counter& ChannelThrottledCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_serving_channel_throttled_total");
+  return *counter;
+}
+
+obs::Counter& ChannelRejectedMessagesCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_serving_channel_rejected_messages_total");
+  return *counter;
+}
+
+obs::Counter& ChannelDrainRoundsCounter() {
+  static obs::Counter* const counter = obs::Registry::Global().GetCounter(
+      "lightor_serving_channel_drain_rounds_total");
+  return *counter;
+}
+
+obs::Gauge& ChannelQueuedMessagesGauge() {
+  static obs::Gauge* const gauge = obs::Registry::Global().GetGauge(
+      "lightor_serving_channel_queued_messages");
+  return *gauge;
+}
+
+obs::Gauge& ChannelActiveGauge() {
+  static obs::Gauge* const gauge =
+      obs::Registry::Global().GetGauge("lightor_serving_channel_active");
+  return *gauge;
+}
+
 obs::Histogram& RefineLatencyHistogram() {
   static obs::Histogram* const histogram =
       obs::Registry::Global().GetHistogram("lightor_serving_refine_seconds",

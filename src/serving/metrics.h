@@ -50,6 +50,19 @@ obs::Gauge& QueueDepthGauge();
 obs::Counter& ShardContentionCounter();
 obs::Counter& EnqueueDroppedCounter();
 obs::Histogram& RefineBatchSessionsHistogram();
+/// Enqueue-to-publish latency of provisional snapshots: how stale a
+/// channel's served dots were at the moment a publish refreshed them.
+/// Global (no per-channel labels — the registry's cardinality convention;
+/// per-channel detail lives in `/debug/channels`).
+obs::Histogram& ProvisionalStalenessHistogram();
+/// Multi-channel ingest tier (`lightor_serving_channel_*`): admission
+/// budgets + DRR scheduler accounting, aggregated across channels.
+obs::Counter& ChannelAdmittedMessagesCounter();
+obs::Counter& ChannelThrottledCounter();
+obs::Counter& ChannelRejectedMessagesCounter();
+obs::Counter& ChannelDrainRoundsCounter();
+obs::Gauge& ChannelQueuedMessagesGauge();
+obs::Gauge& ChannelActiveGauge();
 obs::Histogram& RefineLatencyHistogram();
 obs::Counter& RefineTriggerCounter(const char* trigger);
 /// Checkpoint passes by what fired them: "explicit" (API / admin

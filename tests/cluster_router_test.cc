@@ -37,9 +37,11 @@ struct Backend {
   }
 };
 
-Backend MakeBackend(const std::string& db_dir) {
+Backend MakeBackend(
+    const std::string& db_dir,
+    const std::function<void(serving::ServerOptions&)>& tweak = nullptr) {
   Backend backend;
-  backend.stack = testutil::MakeServingStack(db_dir);
+  backend.stack = testutil::MakeServingStack(db_dir, tweak);
   auto http = net::HttpServer::Create(
       net::NetOptions{}, net::BuildRoutes(backend.stack.server.get()));
   EXPECT_TRUE(http.ok()) << http.status().ToString();
@@ -392,6 +394,82 @@ TEST_F(ClusterRouterTest, ValidateRejectsBadOptions) {
   RouterOptions missing_file;
   missing_file.membership_file = "/nonexistent/members.json";
   EXPECT_FALSE(HighlightRouter::Create(std::move(missing_file)).ok());
+}
+
+TEST_F(ClusterRouterTest, ThrottledIngestPassesThrough429ByteExact) {
+  // Admission backpressure must survive the router untouched: a 429
+  // from the owning backend reaches the client byte-identical to a
+  // direct hit (same body, same Retry-After), and the router must not
+  // burn its retry budget on it — throttling is the channel telling the
+  // client to slow down, not a transient backend failure.
+  const auto rate_limited = [](serving::ServerOptions& o) {
+    o.ingest_rate_messages_per_sec = 10.0;
+    o.ingest_burst_messages = 20.0;
+    o.ingest_clock = [] { return 0.0; };  // bucket never refills
+  };
+  Backend reference = MakeBackend(dir_ + "/ref", rate_limited);
+  std::vector<Backend> fleet;
+  std::vector<std::string> addresses;
+  for (int i = 0; i < 2; ++i) {
+    fleet.push_back(MakeBackend(dir_ + "/b" + std::to_string(i),
+                                rate_limited));
+    addresses.push_back(fleet.back().address());
+  }
+  auto router = HighlightRouter::Create(FastRetryOptions(addresses));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  net::HttpClient via_router("127.0.0.1", router.value()->port());
+  net::HttpClient direct("127.0.0.1", reference.http->port());
+  const auto ingest_body = [](size_t count, double start_ts) {
+    serving::IngestChatRequest req;
+    req.video_id = "hot-stream";
+    for (size_t i = 0; i < count; ++i) {
+      core::Message m;
+      m.timestamp = start_ts + static_cast<double>(i);
+      m.user = "u";
+      m.text = "spam " + std::to_string(i);
+      req.messages.push_back(std::move(m));
+    }
+    return net::EncodeJson(req);
+  };
+
+  // Drain the burst on both sides, then force a throttle.
+  const std::string drain = ingest_body(20, 1.0);
+  auto drained = via_router.Post("/ingest", drain);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  ASSERT_EQ(drained.value().status, 200) << drained.value().body;
+  auto drained_direct = direct.Post("/ingest", drain);
+  ASSERT_TRUE(drained_direct.ok()) << drained_direct.status().ToString();
+  EXPECT_EQ(drained.value().body, drained_direct.value().body);
+
+  const std::string over = ingest_body(5, 100.0);
+  auto throttled = via_router.Post("/ingest", over);
+  ASSERT_TRUE(throttled.ok()) << throttled.status().ToString();
+  auto throttled_direct = direct.Post("/ingest", over);
+  ASSERT_TRUE(throttled_direct.ok()) << throttled_direct.status().ToString();
+  EXPECT_EQ(throttled.value().status, 429);
+  EXPECT_EQ(throttled_direct.value().status, 429);
+  EXPECT_EQ(throttled.value().body, throttled_direct.value().body);
+  const std::string* routed_retry =
+      throttled.value().FindHeader("retry-after");
+  const std::string* direct_retry =
+      throttled_direct.value().FindHeader("retry-after");
+  ASSERT_NE(routed_retry, nullptr);
+  ASSERT_NE(direct_retry, nullptr);
+  EXPECT_EQ(*routed_retry, *direct_retry);
+  EXPECT_TRUE(net::HttpClient::IsRetryableAfterDelay(throttled.value().status));
+  EXPECT_DOUBLE_EQ(net::HttpClient::RetryAfterSeconds(throttled.value(), 9.0),
+                   1.0);
+
+  // Exactly one backend saw exactly one throttled batch: the router
+  // attempted the owner once and did not retry the 429 anywhere.
+  size_t fleet_throttled = 0;
+  for (const auto& backend : fleet) {
+    for (const auto& channel : backend.stack.server->ChannelsSnapshot()) {
+      fleet_throttled += channel.throttled_batches;
+    }
+  }
+  EXPECT_EQ(fleet_throttled, 1u);
 }
 
 }  // namespace

@@ -243,6 +243,139 @@ TEST(CodecTest, StrictDecodeErrors) {
                   .ok());
 }
 
+TEST(CodecTest, ThrottleFieldsRoundTripAndTolerateOldServers) {
+  serving::IngestChatResponse resp;
+  resp.throttled = true;
+  resp.retry_after_seconds = 2.5;
+  auto back = DecodeIngestChatResponse(EncodeJson(resp));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().throttled);
+  EXPECT_DOUBLE_EQ(back.value().retry_after_seconds, 2.5);
+
+  // A pre-admission server's body has no throttle fields; the decoder
+  // must default them, not reject the frame.
+  auto old = DecodeIngestChatResponse(
+      "{\"accepted\":3,\"rejected\":0,\"provisional_published\":false,"
+      "\"snapshot_version\":0}");
+  ASSERT_TRUE(old.ok());
+  EXPECT_FALSE(old.value().throttled);
+  EXPECT_DOUBLE_EQ(old.value().retry_after_seconds, 0.0);
+}
+
+std::vector<serving::IngestChatRequest> MakeBatchFrame() {
+  std::vector<serving::IngestChatRequest> batches;
+  for (int c = 0; c < 3; ++c) {
+    serving::IngestChatRequest req;
+    req.video_id = "chan-" + std::to_string(c);
+    for (int m = 0; m < 2 + c; ++m) {
+      core::Message msg;
+      msg.timestamp = c * 100.0 + m * 0.5;
+      msg.user = "u" + std::to_string(m);
+      msg.text = "line \"" + std::to_string(m) + "\" é";
+      req.messages.push_back(std::move(msg));
+    }
+    batches.push_back(std::move(req));
+  }
+  return batches;
+}
+
+TEST(CodecTest, BatchIngestFrameRoundTrip) {
+  const auto batches = MakeBatchFrame();
+  auto back = DecodeIngestBatchRequest(EncodeIngestBatchRequest(batches));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), batches.size());
+  for (size_t c = 0; c < batches.size(); ++c) {
+    EXPECT_EQ(back.value()[c].video_id, batches[c].video_id);
+    ASSERT_EQ(back.value()[c].messages.size(), batches[c].messages.size());
+    for (size_t m = 0; m < batches[c].messages.size(); ++m) {
+      EXPECT_DOUBLE_EQ(back.value()[c].messages[m].timestamp,
+                       batches[c].messages[m].timestamp);
+      EXPECT_EQ(back.value()[c].messages[m].user, batches[c].messages[m].user);
+      EXPECT_EQ(back.value()[c].messages[m].text, batches[c].messages[m].text);
+    }
+  }
+
+  std::vector<IngestBatchEntry> entries;
+  IngestBatchEntry ok_entry;
+  ok_entry.video_id = "chan-0";
+  ok_entry.status = 200;
+  ok_entry.response.accepted = 2;
+  ok_entry.response.snapshot_version = 5;
+  entries.push_back(ok_entry);
+  IngestBatchEntry throttled;
+  throttled.video_id = "chan-1";
+  throttled.status = 429;
+  throttled.response.throttled = true;
+  throttled.response.retry_after_seconds = 1.25;
+  entries.push_back(throttled);
+  IngestBatchEntry conflict;
+  conflict.video_id = "chan-2";
+  conflict.status = 409;
+  conflict.error = "recorded video";
+  entries.push_back(conflict);
+
+  auto entries_back = DecodeIngestBatchResponse(
+      EncodeIngestBatchResponse(entries));
+  ASSERT_TRUE(entries_back.ok()) << entries_back.status().ToString();
+  ASSERT_EQ(entries_back.value().size(), 3u);
+  EXPECT_EQ(entries_back.value()[0].status, 200);
+  EXPECT_EQ(entries_back.value()[0].response.accepted, 2u);
+  EXPECT_EQ(entries_back.value()[0].response.snapshot_version, 5u);
+  EXPECT_EQ(entries_back.value()[1].status, 429);
+  EXPECT_TRUE(entries_back.value()[1].response.throttled);
+  EXPECT_DOUBLE_EQ(entries_back.value()[1].response.retry_after_seconds,
+                   1.25);
+  EXPECT_EQ(entries_back.value()[2].status, 409);
+  EXPECT_EQ(entries_back.value()[2].error, "recorded video");
+}
+
+TEST(CodecTest, BatchDecodeMatchesJsonParseReference) {
+  // The batch decoder runs over the arena JsonDoc parser; walk the same
+  // wire bytes with the independent Json::Parse tree and require field-
+  // for-field agreement.
+  const std::string wire = EncodeIngestBatchRequest(MakeBatchFrame());
+  auto arena = DecodeIngestBatchRequest(wire);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  auto tree = Json::Parse(wire);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  ASSERT_TRUE(tree.value().is_array());
+  const auto& ref_batches = tree.value().AsArray();
+  ASSERT_EQ(arena.value().size(), ref_batches.size());
+  for (size_t c = 0; c < ref_batches.size(); ++c) {
+    const Json* video_id = ref_batches[c].Find("video_id");
+    ASSERT_NE(video_id, nullptr);
+    EXPECT_EQ(arena.value()[c].video_id, video_id->AsString());
+    const Json* messages = ref_batches[c].Find("messages");
+    ASSERT_NE(messages, nullptr);
+    ASSERT_TRUE(messages->is_array());
+    ASSERT_EQ(arena.value()[c].messages.size(), messages->AsArray().size());
+    for (size_t m = 0; m < messages->AsArray().size(); ++m) {
+      const Json& ref = messages->AsArray()[m];
+      EXPECT_DOUBLE_EQ(arena.value()[c].messages[m].timestamp,
+                       ref.Find("timestamp")->AsNumber());
+      EXPECT_EQ(arena.value()[c].messages[m].user,
+                ref.Find("user")->AsString());
+      EXPECT_EQ(arena.value()[c].messages[m].text,
+                ref.Find("text")->AsString());
+    }
+  }
+}
+
+TEST(CodecTest, BatchStrictDecodeErrors) {
+  // A batch frame must be a top-level array of single-frame objects.
+  EXPECT_FALSE(DecodeIngestBatchRequest("{}").ok());
+  EXPECT_FALSE(DecodeIngestBatchRequest("{\"video_id\":\"v\"}").ok());
+  EXPECT_FALSE(DecodeIngestBatchRequest("[1]").ok());
+  EXPECT_FALSE(DecodeIngestBatchRequest("[{\"messages\":[]}]").ok());
+  EXPECT_FALSE(
+      DecodeIngestBatchRequest("[{\"video_id\":\"v\",\"messages\":3}]").ok());
+  EXPECT_FALSE(DecodeIngestBatchRequest("[").ok());
+  // The empty frame is well-formed (zero channels).
+  auto empty = DecodeIngestBatchRequest("[]");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
 TEST(CodecTest, EncodingIsCanonical) {
   // The differential check depends on stable byte-for-byte encodings.
   serving::GetHighlightsResponse resp;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -27,7 +28,12 @@ struct ServingStack {
   std::unique_ptr<serving::HighlightServer> server;
 };
 
-inline ServingStack MakeServingStack(const std::string& db_dir) {
+/// `tweak`, when non-null, runs over the assembled ServerOptions before
+/// Create — the hook HTTP-level tests use to turn on live-ingest
+/// admission budgets, scheduler workers, or an injectable clock.
+inline ServingStack MakeServingStack(
+    const std::string& db_dir,
+    const std::function<void(serving::ServerOptions&)>& tweak) {
   ServingStack stack;
   sim::Platform::Options popts;
   popts.num_channels = 2;
@@ -57,10 +63,15 @@ inline ServingStack MakeServingStack(const std::string& db_dir) {
   sopts.num_workers = 2;
   sopts.refine_batch_sessions = 0;
   sopts.batched_session_flush = false;
+  if (tweak) tweak(sopts);
   auto server = serving::HighlightServer::Create(sopts);
   EXPECT_TRUE(server.ok()) << server.status().ToString();
   stack.server = std::move(server).value();
   return stack;
+}
+
+inline ServingStack MakeServingStack(const std::string& db_dir) {
+  return MakeServingStack(db_dir, nullptr);
 }
 
 }  // namespace lightor::testutil

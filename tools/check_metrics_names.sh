@@ -73,6 +73,27 @@ if [ -n "$dupes" ]; then
   status=1
 fi
 
+# 3. The live-ingest scheduler series must stay registered: dashboards
+#    and the flash-crowd CI stage key off these exact names.
+required="lightor_serving_provisional_staleness_seconds
+lightor_serving_channel_admitted_messages_total
+lightor_serving_channel_throttled_total
+lightor_serving_channel_rejected_messages_total
+lightor_serving_channel_drain_rounds_total
+lightor_serving_channel_queued_messages
+lightor_serving_channel_active"
+missing=$(for name in $required; do
+  if ! printf '%s\n' "$parsed" | awk -v n="$name" '$3 == n { found = 1 }
+      END { exit !found }'; then
+    printf 'required live-ingest metric %s is not registered anywhere\n' \
+        "$name"
+  fi
+done)
+if [ -n "$missing" ]; then
+  printf '%s\n' "$missing" >&2
+  status=1
+fi
+
 if [ "$status" -eq 0 ]; then
   count=$(printf '%s\n' "$parsed" | awk '{print $3}' | sort -u | wc -l)
   echo "check_metrics_names: OK ($count metric names, all conventional)"

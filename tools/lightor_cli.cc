@@ -596,6 +596,20 @@ common::Result<ServingStack> MakeServingStack(const common::Flags& flags,
       static_cast<size_t>(flags.GetInt("checkpoint-sessions", 0));
   sopts.checkpoint_interval_seconds =
       flags.GetDouble("checkpoint-interval", 0.0);
+  // Multi-channel live ingest: defaults keep the classic synchronous
+  // path; turn on workers + a rate to get fair-share DRR backpressure.
+  sopts.stream_refresh_messages =
+      static_cast<size_t>(flags.GetInt("refresh", 64));
+  sopts.ingest_workers =
+      static_cast<size_t>(flags.GetInt("ingest-workers", 0));
+  sopts.ingest_rate_messages_per_sec = flags.GetDouble("ingest-rate", 0.0);
+  sopts.ingest_burst_messages = flags.GetDouble("ingest-burst", 0.0);
+  sopts.ingest_queue_messages =
+      static_cast<size_t>(flags.GetInt("ingest-queue", 8192));
+  sopts.ingest_quantum_messages =
+      static_cast<size_t>(flags.GetInt("ingest-quantum", 256));
+  sopts.stream_publish_max_delay_seconds =
+      flags.GetDouble("publish-delay", 0.0);
   LIGHTOR_ASSIGN_OR_RETURN(stack.server,
                            serving::HighlightServer::Create(sopts));
   stack.server->Bootstrap(stack.recovery);
@@ -627,7 +641,11 @@ int CmdServeHttp(const common::Flags& flags) {
                  "            --deadline=10 --idle-timeout=60 --poll "
                  "--batched-flush=true\n"
                  "            --checkpoint-sessions=0 "
-                 "--checkpoint-interval=0 --drain-grace=0]\n");
+                 "--checkpoint-interval=0 --drain-grace=0\n"
+                 "            --refresh=64 --ingest-workers=0 "
+                 "--ingest-rate=0 --ingest-burst=0\n"
+                 "            --ingest-queue=8192 --ingest-quantum=256 "
+                 "--publish-delay=0]\n");
     return 2;
   }
   auto stack = MakeServingStack(
@@ -695,7 +713,14 @@ int CmdLoadgen(const common::Flags& flags) {
                  "refine ingest finalize all;\n"
                  "   a violated target exits 1)\n"
                  "   --retry-503 --retry-budget=10 (cluster mode: absorb "
-                 "503s/transient wire errors)]\n");
+                 "503s/transient wire errors)\n"
+                 "   --scenario=flash-crowd --flash-channels=1000 "
+                 "--hot-mult=100 --frame-channels=32\n"
+                 "   (flash-crowd gauntlet: cold channels via batch "
+                 "frames, one hot channel at\n"
+                 "   hot-mult x; gate staleness with "
+                 "--slo=provisional_p99:MS; any cold-channel\n"
+                 "   delivery failure exits 1)]\n");
     return 2;
   }
 
@@ -745,6 +770,13 @@ int CmdLoadgen(const common::Flags& flags) {
   }
   lgopts.retry_503 = flags.GetBool("retry-503", false);
   lgopts.retry_budget_seconds = flags.GetDouble("retry-budget", 10.0);
+  lgopts.scenario = flags.GetString("scenario");
+  lgopts.flash_channels =
+      static_cast<size_t>(flags.GetInt("flash-channels", 1000));
+  lgopts.flash_hot_multiplier =
+      static_cast<size_t>(flags.GetInt("hot-mult", 100));
+  lgopts.flash_frame_channels =
+      static_cast<size_t>(flags.GetInt("frame-channels", 32));
   lgopts.platform = &platform;
   const size_t recorded = std::min(
       static_cast<size_t>(flags.GetInt("recorded", 2)), ids.size());
@@ -804,6 +836,13 @@ int CmdLoadgen(const common::Flags& flags) {
   int code = report.value().wire_errors == 0 ? 0 : 1;
   if (!report.value().slo_ok) {
     std::fprintf(stderr, "loadgen: SLO violated (see report \"slo\")\n");
+    code = 1;
+  }
+  if (report.value().flash_cold_failures > 0) {
+    std::fprintf(stderr,
+                 "loadgen: %zu cold-channel deliveries failed "
+                 "(fair-share admission must never fail a cold channel)\n",
+                 report.value().flash_cold_failures);
     code = 1;
   }
   if (check) {
